@@ -1,0 +1,138 @@
+package jportal
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/meta"
+	"jportal/internal/pt"
+	"jportal/internal/vm"
+)
+
+// A run archive is JPortal's deployment interface between the online and
+// offline phases (paper §3): everything the offline decoder needs, written
+// to a directory —
+//
+//	program.gob     the bytecode program (source of the ICFG)
+//	snapshot.bin    machine-code metadata (templates, JIT blobs, debug info)
+//	sideband.gob    scheduler thread-switch records
+//	trace.core<N>   one PT trace file per core
+//
+// so collection and analysis can run in different processes (or machines),
+// exactly as the paper separates them.
+
+// SaveRun writes prog and the run's offline-relevant artefacts into dir
+// (created if missing).
+func SaveRun(dir string, prog *bytecode.Program, run *RunResult) error {
+	if run.Traces == nil {
+		return fmt.Errorf("jportal: run has no traces to save")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeGob(filepath.Join(dir, "program.gob"), prog); err != nil {
+		return err
+	}
+	sf, err := os.Create(filepath.Join(dir, "snapshot.bin"))
+	if err != nil {
+		return err
+	}
+	if err := meta.WriteSnapshot(sf, run.Snapshot); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	if err := writeGob(filepath.Join(dir, "sideband.gob"), run.Sideband); err != nil {
+		return err
+	}
+	for i := range run.Traces {
+		tf, err := os.Create(filepath.Join(dir, fmt.Sprintf("trace.core%d", run.Traces[i].Core)))
+		if err != nil {
+			return err
+		}
+		if err := pt.WriteTrace(tf, &run.Traces[i]); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadRun reads an archive written by SaveRun. The returned RunResult
+// carries traces, sideband and snapshot (no oracle and no runtime stats —
+// those exist only in the collecting process).
+func LoadRun(dir string) (*bytecode.Program, *RunResult, error) {
+	var prog bytecode.Program
+	if err := readGob(filepath.Join(dir, "program.gob"), &prog); err != nil {
+		return nil, nil, err
+	}
+	if err := bytecode.Verify(&prog); err != nil {
+		return nil, nil, fmt.Errorf("jportal: archived program invalid: %w", err)
+	}
+	sf, err := os.Open(filepath.Join(dir, "snapshot.bin"))
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := meta.ReadSnapshot(sf)
+	sf.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	var sideband []vm.SwitchRecord
+	if err := readGob(filepath.Join(dir, "sideband.gob"), &sideband); err != nil {
+		return nil, nil, err
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "trace.core*"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(matches) == 0 {
+		return nil, nil, fmt.Errorf("jportal: no trace files in %s", dir)
+	}
+	var traces []pt.CoreTrace
+	for _, name := range matches {
+		tf, err := os.Open(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr, err := pt.ReadTrace(tf)
+		tf.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("jportal: %s: %w", name, err)
+		}
+		traces = append(traces, *tr)
+	}
+	return &prog, &RunResult{Traces: traces, Sideband: sideband, Snapshot: snap}, nil
+}
+
+func writeGob(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		f.Close()
+		return fmt.Errorf("jportal: encode %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}
+
+func readGob(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("jportal: decode %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

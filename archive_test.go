@@ -1,0 +1,86 @@
+package jportal
+
+import (
+	"path/filepath"
+	"testing"
+
+	"jportal/internal/core"
+	"jportal/internal/metrics"
+	"jportal/internal/workload"
+)
+
+func TestArchiveRoundTrip(t *testing.T) {
+	s := workload.MustLoad("fop", 0.3)
+	run, err := Run(s.Program, s.Threads, DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "archive")
+	if err := SaveRun(dir, s.Program, run); err != nil {
+		t.Fatal(err)
+	}
+
+	prog2, run2, err := LoadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog2.Methods) != len(s.Program.Methods) {
+		t.Fatalf("program methods: %d vs %d", len(prog2.Methods), len(s.Program.Methods))
+	}
+	if len(run2.Traces) != len(run.Traces) {
+		t.Fatalf("traces: %d vs %d", len(run2.Traces), len(run.Traces))
+	}
+	if len(run2.Sideband) != len(run.Sideband) {
+		t.Fatalf("sideband: %d vs %d", len(run2.Sideband), len(run.Sideband))
+	}
+	if len(run2.Snapshot.Compiled) != len(run.Snapshot.Compiled) {
+		t.Fatalf("snapshot blobs: %d vs %d", len(run2.Snapshot.Compiled), len(run.Snapshot.Compiled))
+	}
+
+	// Analyzing the loaded archive must produce the same reconstruction
+	// as analyzing the live run.
+	live, err := Analyze(s.Program, run, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Analyze(prog2, run2, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live.Threads) != len(loaded.Threads) {
+		t.Fatal("thread counts differ")
+	}
+	for i := range live.Threads {
+		a, b := live.Threads[i].Steps, loaded.Threads[i].Steps
+		if len(a) != len(b) {
+			t.Fatalf("thread %d: %d vs %d steps", i, len(a), len(b))
+		}
+		var ka, kb []metrics.Key
+		for j := range a {
+			ka = append(ka, metrics.StepKey(int32(a[j].Method), a[j].PC))
+			kb = append(kb, metrics.StepKey(int32(b[j].Method), b[j].PC))
+		}
+		if metrics.Similarity(ka, kb, 4096) != 1 {
+			t.Fatalf("thread %d: reconstructions differ after archive round trip", i)
+		}
+	}
+}
+
+func TestSaveRunRequiresTraces(t *testing.T) {
+	s := workload.MustLoad("fop", 0.1)
+	cfg := DefaultRunConfig()
+	cfg.DisableTracing = true
+	run, err := Run(s.Program, s.Threads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRun(t.TempDir(), s.Program, run); err == nil {
+		t.Fatal("saved a traceless run")
+	}
+}
+
+func TestLoadRunMissingDir(t *testing.T) {
+	if _, _, err := LoadRun(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("loaded a missing archive")
+	}
+}

@@ -1,0 +1,419 @@
+// Command jportal is the command-line front end of the JPortal
+// reproduction: run workloads under simulated PT tracing, decode and
+// reconstruct their control flow, derive profiles, and regenerate the
+// paper's tables and figures.
+//
+// Usage:
+//
+//	jportal subjects                      list the benchmark subjects
+//	jportal run      <subject|file.jasm>  run with PT collection, print stats
+//	jportal analyze  <subject|file.jasm>  run + offline reconstruction + accuracy
+//	jportal report   <subject|file.jasm>  run + reconstruction + client profiles
+//	jportal disasm   <file.jasm>          assemble and disassemble a program
+//	jportal exp      <table1|table2|table3|table4|table5|figure7|all>
+//
+// Flags (where applicable): -scale, -buf (paper-label MB), -top, -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"jportal"
+	"jportal/internal/bytecode"
+	"jportal/internal/core"
+	"jportal/internal/experiments"
+	"jportal/internal/metrics"
+	"jportal/internal/profile"
+	"jportal/internal/pt"
+	"jportal/internal/vm"
+	"jportal/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "subjects":
+		err = cmdSubjects(args)
+	case "run":
+		err = cmdRun(args)
+	case "analyze":
+		err = cmdAnalyze(args)
+	case "report":
+		err = cmdReport(args)
+	case "collect":
+		err = cmdCollect(args)
+	case "decode":
+		err = cmdDecode(args)
+	case "disasm":
+		err = cmdDisasm(args)
+	case "exp":
+		err = cmdExp(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "jportal: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jportal %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `jportal - control-flow tracing for JVM-like programs with simulated Intel PT
+
+commands:
+  subjects                     list benchmark subjects (Table 1)
+  run     <subject|file.jasm>  run under PT collection and print statistics
+  analyze <subject|file.jasm>  run, decode, reconstruct; print accuracy
+  report  <subject|file.jasm>  run, reconstruct, print client profiles
+  collect <subject|file.jasm>  online phase only: run and archive traces+metadata
+  decode  <dir>                offline phase only: analyze a collected archive
+  disasm  <file.jasm>          assemble and pretty-print a program
+  exp     <experiment>         regenerate a paper table/figure
+                               (table1 table2 table3 table4 table5 figure7 paths all)
+
+common flags: -scale F (workload size), -buf MB (paper-label buffer),
+              -top N (hot-method count), -out FILE (write traces)
+`)
+}
+
+// loadTarget resolves a subject name or a .jasm file into a program plus
+// thread specs.
+func loadTarget(name string, scale float64) (*bytecode.Program, []vm.ThreadSpec, string, error) {
+	if strings.HasSuffix(name, ".jasm") {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		p, err := bytecode.Assemble(string(src))
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return p, []vm.ThreadSpec{{Method: p.Entry}}, filepath.Base(name), nil
+	}
+	s, err := workload.Load(name, workload.Scale(scale))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return s.Program, s.Threads, s.Name, nil
+}
+
+func cmdSubjects(args []string) error {
+	fs := flag.NewFlagSet("subjects", flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "workload scale")
+	fs.Parse(args)
+	rows, err := experiments.Table1(experiments.Options{Scale: workload.Scale(*scale)})
+	if err != nil {
+		return err
+	}
+	experiments.PrintTable1(os.Stdout, rows)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "workload scale")
+	buf := fs.Int("buf", 128, "paper-label buffer size (MB)")
+	out := fs.String("out", "", "write per-core traces to FILE.core<N>")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need a subject or .jasm file")
+	}
+	prog, threads, name, err := loadTarget(fs.Arg(0), *scale)
+	if err != nil {
+		return err
+	}
+	cfg := jportal.DefaultRunConfig()
+	cfg.PT.BufBytes = uint64(*buf) << (20 - experiments.BufScaleShift)
+	run, err := jportal.Run(prog, threads, cfg)
+	if err != nil {
+		return err
+	}
+	st := run.Stats
+	fmt.Printf("%s: %d threads, %d bytecodes (%.1f%% interpreted), %d cycles\n",
+		name, len(threads), st.ExecutedBytecodes,
+		100*float64(st.InterpBytecodes)/float64(st.ExecutedBytecodes), st.Cycles)
+	fmt.Printf("compilations=%d evictions=%d uncaught=%d\n",
+		st.Compilations, st.Evictions, st.UncaughtThrows)
+	var exported, lost uint64
+	for _, tr := range run.Traces {
+		exported += tr.Bytes()
+		lost += tr.LostBytes()
+	}
+	fmt.Printf("trace: generated=%dKB exported=%dKB lost=%dKB (%.1f%%)\n",
+		run.GenBytes/1024, exported/1024, lost/1024,
+		100*float64(lost)/float64(run.GenBytes))
+	if *out != "" {
+		for _, tr := range run.Traces {
+			f, err := os.Create(fmt.Sprintf("%s.core%d", *out, tr.Core))
+			if err != nil {
+				return err
+			}
+			if err := pt.WriteTrace(f, &tr); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+		}
+		fmt.Printf("traces written to %s.core*\n", *out)
+	}
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "workload scale")
+	buf := fs.Int("buf", 128, "paper-label buffer size (MB)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need a subject or .jasm file")
+	}
+	prog, threads, name, err := loadTarget(fs.Arg(0), *scale)
+	if err != nil {
+		return err
+	}
+	cfg := jportal.DefaultRunConfig()
+	cfg.PT.BufBytes = uint64(*buf) << (20 - experiments.BufScaleShift)
+	run, err := jportal.Run(prog, threads, cfg)
+	if err != nil {
+		return err
+	}
+	an, err := jportal.Analyze(prog, run, core.DefaultPipelineConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: offline analysis of %d thread(s)\n", name, len(an.Threads))
+	for _, th := range an.Threads {
+		truth := run.Oracle.Keys(th.Thread)
+		var got []metrics.Key
+		for _, s := range th.Steps {
+			got = append(got, metrics.StepKey(int32(s.Method), s.PC))
+		}
+		sim := metrics.Similarity(got, truth, 4096)
+		fmt.Printf("  thread %d: segments=%d tokens=%d steps=%d (recovered %d) "+
+			"similarity=%.1f%% decode=%.0fms recover=%.0fms\n",
+			th.Thread, th.Decode.Segments, th.Decode.Tokens, len(th.Steps),
+			th.RecoveredSteps, sim*100,
+			float64(th.DecodeTime.Milliseconds()), float64(th.RecoverTime.Milliseconds()))
+	}
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "workload scale")
+	top := fs.Int("top", 10, "hot methods to list")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need a subject or .jasm file")
+	}
+	prog, threads, name, err := loadTarget(fs.Arg(0), *scale)
+	if err != nil {
+		return err
+	}
+	run, err := jportal.Run(prog, threads, jportal.DefaultRunConfig())
+	if err != nil {
+		return err
+	}
+	an, err := jportal.Analyze(prog, run, core.DefaultPipelineConfig())
+	if err != nil {
+		return err
+	}
+	steps := an.Steps()
+	fmt.Printf("=== %s: control-flow profile (%d steps) ===\n", name, len(steps))
+
+	cov := profile.ComputeCoverage(prog, steps)
+	fmt.Printf("statement coverage: %.1f%% (%d/%d instructions, %d/%d methods)\n",
+		cov.Ratio()*100, cov.CoveredInstrs, cov.TotalInstrs,
+		cov.CoveredMethods, len(prog.Methods))
+
+	fmt.Printf("hot methods (top %d by executed instructions):\n", *top)
+	for i, mid := range profile.HotMethods(prog, steps, *top) {
+		fmt.Printf("  %2d. %s\n", i+1, prog.Methods[mid].FullName())
+	}
+
+	edges := profile.EdgeProfile(prog, steps)
+	n := 5
+	if len(edges) < n {
+		n = len(edges)
+	}
+	fmt.Printf("hottest control-flow edges:\n")
+	for _, e := range edges[:n] {
+		fmt.Printf("  %s @%d -> @%d  x%d\n",
+			prog.Methods[e.Method].FullName(), e.From, e.To, e.Count)
+	}
+
+	tree := profile.CallTree(prog, steps)
+	fmt.Printf("call tree: %d total calls, max depth %d\n", tree.TotalCalls(), tree.Depth())
+
+	pp := profile.ComputePathProfile(prog, steps)
+	paths := 0
+	for _, c := range pp.Counts {
+		paths += len(c)
+	}
+	fmt.Printf("path profile: %d distinct Ball-Larus paths across %d methods\n",
+		paths, len(pp.Counts))
+	return nil
+}
+
+func cmdCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "workload scale")
+	buf := fs.Int("buf", 128, "paper-label buffer size (MB)")
+	out := fs.String("out", "jportal-run", "archive directory")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need a subject or .jasm file")
+	}
+	prog, threads, name, err := loadTarget(fs.Arg(0), *scale)
+	if err != nil {
+		return err
+	}
+	cfg := jportal.DefaultRunConfig()
+	cfg.CollectOracle = false // the offline phase has no oracle in production
+	cfg.PT.BufBytes = uint64(*buf) << (20 - experiments.BufScaleShift)
+	run, err := jportal.Run(prog, threads, cfg)
+	if err != nil {
+		return err
+	}
+	if err := jportal.SaveRun(*out, prog, run); err != nil {
+		return err
+	}
+	var exported, lost uint64
+	for _, tr := range run.Traces {
+		exported += tr.Bytes()
+		lost += tr.LostBytes()
+	}
+	fmt.Printf("%s: archived %d cores (%dKB exported, %dKB lost) to %s\n",
+		name, len(run.Traces), exported/1024, lost/1024, *out)
+	return nil
+}
+
+func cmdDecode(args []string) error {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need an archive directory")
+	}
+	prog, run, err := jportal.LoadRun(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	an, err := jportal.Analyze(prog, run, core.DefaultPipelineConfig())
+	if err != nil {
+		return err
+	}
+	for _, th := range an.Threads {
+		fmt.Printf("thread %d: segments=%d tokens=%d steps=%d (recovered %d) "+
+			"decode=%.0fms recover=%.0fms\n",
+			th.Thread, th.Decode.Segments, th.Decode.Tokens, len(th.Steps),
+			th.RecoveredSteps,
+			float64(th.DecodeTime.Milliseconds()), float64(th.RecoverTime.Milliseconds()))
+	}
+	steps := an.Steps()
+	cov := profile.ComputeCoverage(prog, steps)
+	fmt.Printf("statement coverage: %.1f%%; hot methods:", cov.Ratio()*100)
+	for _, mid := range profile.HotMethods(prog, steps, 5) {
+		fmt.Printf(" %s", prog.Methods[mid].FullName())
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("need a .jasm file")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	p, err := bytecode.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Print(bytecode.Disassemble(p))
+	return nil
+}
+
+func cmdExp(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "workload scale")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need an experiment name")
+	}
+	o := experiments.Options{Scale: workload.Scale(*scale)}
+	which := fs.Arg(0)
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			rows, err := experiments.Table1(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable1(os.Stdout, rows)
+		case "table2":
+			rows, err := experiments.Table2(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable2(os.Stdout, rows)
+		case "table3":
+			rows, err := experiments.Table3(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable3(os.Stdout, rows)
+		case "table4":
+			rows, err := experiments.Table4(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable4(os.Stdout, rows)
+		case "table5":
+			rows, err := experiments.Table5(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable5(os.Stdout, rows)
+		case "figure7":
+			rows, err := experiments.Figure7(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure7(os.Stdout, rows)
+		case "paths":
+			rows, err := experiments.PathAccuracy(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintPathAccuracy(os.Stdout, rows)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+	if which == "all" {
+		for _, name := range []string{"table1", "table2", "figure7", "table3", "table4", "table5", "paths"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return runOne(which)
+}

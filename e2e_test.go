@@ -1,0 +1,86 @@
+package jportal
+
+import (
+	"testing"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/core"
+	"jportal/internal/metrics"
+)
+
+const fibSrc = `
+method Test.fib(1) returns int {
+    iload 0
+    iconst 2
+    if_icmpge Lrec
+    iload 0
+    ireturn
+Lrec:
+    iload 0
+    iconst 1
+    isub
+    invokestatic Test.fib
+    iload 0
+    iconst 2
+    isub
+    invokestatic Test.fib
+    iadd
+    ireturn
+}
+
+method Test.main(0) {
+    iconst 16
+    invokestatic Test.fib
+    istore 0
+    return
+}
+
+entry Test.main
+`
+
+// TestEndToEndLossless checks the whole stack on a single-threaded run with
+// buffers large enough that nothing is lost: reconstruction accuracy must
+// be high (only JIT debug-info imprecision reduces it).
+func TestEndToEndLossless(t *testing.T) {
+	prog := bytecode.MustAssemble(fibSrc)
+	cfg := DefaultRunConfig()
+	cfg.VM.Cores = 1
+	run, err := Run(prog, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lost uint64
+	for _, tr := range run.Traces {
+		lost += tr.LostBytes()
+	}
+	if lost != 0 {
+		t.Fatalf("expected lossless run, lost %d bytes", lost)
+	}
+	an, err := Analyze(prog, run, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Threads) != 1 {
+		t.Fatalf("got %d threads, want 1", len(an.Threads))
+	}
+	th := an.Threads[0]
+	if th.Decode.Segments == 0 || len(th.Steps) == 0 {
+		t.Fatalf("no reconstruction output: %+v", th.Decode)
+	}
+
+	truth := run.Oracle.Keys(0)
+	got := make([]metrics.Key, len(th.Steps))
+	for i, s := range th.Steps {
+		got[i] = metrics.StepKey(int32(s.Method), s.PC)
+	}
+	sim := metrics.Similarity(got, truth, 4096)
+	t.Logf("steps=%d truth=%d similarity=%.3f segments=%d tokens=%d located=%d desyncs=%d",
+		len(got), len(truth), sim, th.Decode.Segments, th.Decode.Tokens,
+		th.Decode.LocatedTokens, th.Decode.NativeDesyncs)
+	if sim < 0.75 {
+		t.Errorf("similarity %.3f too low for a lossless run", sim)
+	}
+	if float64(len(got)) < 0.7*float64(len(truth)) {
+		t.Errorf("reconstructed only %d of %d steps", len(got), len(truth))
+	}
+}

@@ -1,0 +1,3 @@
+module jportal
+
+go 1.22

@@ -1,0 +1,196 @@
+package ballarus
+
+import (
+	"testing"
+
+	"jportal/internal/bytecode"
+)
+
+const diamondSrc = `
+method T.fun(2) returns int {
+    iload 0
+    ifeq Lelse
+    iload 1
+    iconst 1
+    iadd
+    istore 1
+    goto Ljoin
+Lelse:
+    iload 1
+    iconst 2
+    isub
+    istore 1
+Ljoin:
+    iload 1
+    iconst 2
+    irem
+    ifne Lfalse
+    iconst 1
+    ireturn
+Lfalse:
+    iconst 0
+    ireturn
+}
+method T.main(0) {
+    iconst 1
+    iconst 7
+    invokestatic T.fun
+    pop
+    return
+}
+entry T.main
+`
+
+func TestNumberDiamond(t *testing.T) {
+	p := bytecode.MustAssemble(diamondSrc)
+	num, err := Number(p.MethodByName("T.fun"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 branch choices x 2 = 4 acyclic paths.
+	if num.NumPaths != 4 {
+		t.Errorf("NumPaths = %d, want 4", num.NumPaths)
+	}
+}
+
+func TestPathIDsAreDistinct(t *testing.T) {
+	p := bytecode.MustAssemble(diamondSrc)
+	m := p.MethodByName("T.fun")
+	num, err := Number(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := num.G
+	// Enumerate the four concrete block paths through the diamond.
+	b := func(pc int32) int { return g.BlockOf[pc] }
+	paths := [][]int{
+		{b(0), b(2), b(11), b(15)}, // then, then
+		{b(0), b(2), b(11), b(17)}, // then, else
+		{b(0), b(7), b(11), b(15)}, // else, then
+		{b(0), b(7), b(11), b(17)}, // else, else
+	}
+	seen := map[int64]bool{}
+	for _, bp := range paths {
+		ids := num.PathCount(bp)
+		if len(ids) != 1 {
+			t.Fatalf("path %v produced ids %v", bp, ids)
+		}
+		id := ids[0]
+		if id < 0 || id >= num.NumPaths {
+			t.Errorf("path id %d out of range [0,%d)", id, num.NumPaths)
+		}
+		if seen[id] {
+			t.Errorf("duplicate path id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+const loopSrc = `
+method T.loop(1) returns int {
+    iconst 0
+    istore 1
+Lhead:
+    iload 1
+    iload 0
+    if_icmpge Ldone
+    iinc 1 1
+    goto Lhead
+Ldone:
+    iload 1
+    ireturn
+}
+method T.main(0) {
+    iconst 3
+    invokestatic T.loop
+    pop
+    return
+}
+entry T.main
+`
+
+func TestNumberLoopHasBackedge(t *testing.T) {
+	p := bytecode.MustAssemble(loopSrc)
+	num, err := Number(p.MethodByName("T.loop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backs := 0
+	for _, inc := range num.Increments {
+		if inc.Backedge {
+			backs++
+		}
+	}
+	if backs != 1 {
+		t.Fatalf("backedge increments = %d, want 1", backs)
+	}
+}
+
+func TestPathCountLoopIterations(t *testing.T) {
+	p := bytecode.MustAssemble(loopSrc)
+	m := p.MethodByName("T.loop")
+	num, err := Number(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := num.G
+	b := func(pc int32) int { return g.BlockOf[pc] }
+	// Three iterations then exit:
+	// entry, head, body, head, body, head, body, head, done.
+	blocks := []int{b(0), b(2), b(5), b(2), b(5), b(2), b(5), b(2), b(7)}
+	ids := num.PathCount(blocks)
+	// Each backedge closes one path; the final exit closes the last:
+	// 3 backedge paths + 1 exit path.
+	if len(ids) != 4 {
+		t.Fatalf("got %d paths: %v", len(ids), ids)
+	}
+	// All ids must be in range.
+	for _, id := range ids {
+		if id < 0 || id >= num.NumPaths {
+			t.Errorf("id %d out of [0,%d)", id, num.NumPaths)
+		}
+	}
+	// The three middle iterations traverse the same path id.
+	if ids[1] != ids[2] {
+		t.Errorf("identical iterations got ids %v", ids)
+	}
+}
+
+func TestPathExplosionDetected(t *testing.T) {
+	// A method with 25 consecutive diamonds has 2^25 > MaxPaths acyclic
+	// paths.
+	b := bytecode.NewBuilder("T", "wide", 1)
+	b.ReturnsValue()
+	for i := 0; i < 25; i++ {
+		then := "t" + string(rune('A'+i%26)) + string(rune('a'+i/26))
+		b.Iload(0)
+		b.If(bytecode.IFEQ, then)
+		b.Iinc(0, 1)
+		b.Label(then)
+	}
+	b.Iload(0)
+	b.Ireturn()
+	m := b.MustBuild()
+	if _, err := Number(m); err == nil {
+		t.Fatal("path explosion not detected")
+	}
+}
+
+func TestIncrementsCoverOnlyRealEdges(t *testing.T) {
+	p := bytecode.MustAssemble(diamondSrc)
+	m := p.MethodByName("T.fun")
+	num, err := Number(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := num.G
+	valid := map[EdgeKey]bool{}
+	for _, e := range g.Edges {
+		valid[EdgeKey{From: e.From, To: e.To, Kind: e.Kind, Arg: e.Arg}] = true
+	}
+	for _, inc := range num.Increments {
+		if !valid[inc.Edge] {
+			t.Errorf("increment on non-edge %+v", inc.Edge)
+		}
+	}
+}

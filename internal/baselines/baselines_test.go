@@ -1,0 +1,288 @@
+package baselines
+
+import (
+	"testing"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/vm"
+)
+
+const baseSrc = `
+method T.fun(2) returns int {
+    iload 0
+    ifeq Lelse
+    iload 1
+    iconst 1
+    iadd
+    istore 1
+    goto Ljoin
+Lelse:
+    iload 1
+    iconst 2
+    isub
+    istore 1
+Ljoin:
+    iload 1
+    iconst 2
+    irem
+    ifne Lfalse
+    iconst 1
+    ireturn
+Lfalse:
+    iconst 0
+    ireturn
+}
+
+method T.driver(0) returns int {
+    iconst 0
+    istore 0
+    iconst 0
+    istore 1
+Lloop:
+    iload 0
+    iconst 50
+    if_icmpge Ldone
+    iload 0
+    iconst 2
+    irem
+    iload 0
+    iconst 2
+    idiv
+    invokestatic T.fun
+    iload 1
+    iadd
+    istore 1
+    iinc 0 1
+    goto Lloop
+Ldone:
+    iload 1
+    ireturn
+}
+
+method T.main(0) {
+    invokestatic T.driver
+    istore 2
+    return
+}
+entry T.main
+`
+
+// runBoth executes the original and an instrumented program and returns the
+// two results (semantic equivalence harness).
+func runResult(t *testing.T, p *bytecode.Program, reg *Registry) int32 {
+	t.Helper()
+	cfg := vm.DefaultConfig()
+	m := vm.New(p, cfg)
+	if reg != nil {
+		m.Probe = reg.Handle
+		m.ProbeActionCost = 10
+	}
+	// Make the entry return the driver value for comparison: main stores
+	// into local 2; use ThreadResults via a wrapper that ireturns... The
+	// entry is void, so compare via oracle instruction counts instead:
+	// here we just ensure execution completes and return driver's value
+	// by re-running driver directly.
+	stats, err := m.Run([]vm.ThreadSpec{{Method: p.MethodByName("T.driver").ID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = stats
+	return stats.ThreadResults[0]
+}
+
+func TestInstrumentationPreservesSemantics(t *testing.T) {
+	orig := bytecode.MustAssemble(baseSrc)
+	want := runResult(t, orig, nil)
+
+	t.Run("coverage", func(t *testing.T) {
+		ip, prof, err := InstrumentCoverage(bytecode.MustAssemble(baseSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runResult(t, ip, &prof.Registry); got != want {
+			t.Errorf("SC-instrumented result %d, want %d", got, want)
+		}
+	})
+	t.Run("paths", func(t *testing.T) {
+		ip, prof, err := InstrumentPaths(bytecode.MustAssemble(baseSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runResult(t, ip, &prof.Registry); got != want {
+			t.Errorf("PF-instrumented result %d, want %d", got, want)
+		}
+	})
+	t.Run("flow", func(t *testing.T) {
+		ip, prof, err := InstrumentFlow(bytecode.MustAssemble(baseSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runResult(t, ip, &prof.Registry); got != want {
+			t.Errorf("CF-instrumented result %d, want %d", got, want)
+		}
+	})
+	t.Run("hot", func(t *testing.T) {
+		ip, prof, err := InstrumentHot(bytecode.MustAssemble(baseSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runResult(t, ip, &prof.Registry); got != want {
+			t.Errorf("HM-instrumented result %d, want %d", got, want)
+		}
+	})
+}
+
+func TestCoverageProfilerFindsAllHotBlocks(t *testing.T) {
+	p := bytecode.MustAssemble(baseSrc)
+	ip, prof, err := InstrumentCoverage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runResult(t, ip, &prof.Registry)
+	cov, tot := prof.CoveredBlocks()
+	if tot == 0 || cov == 0 {
+		t.Fatalf("coverage empty: %d/%d", cov, tot)
+	}
+	// Both branch sides of fun execute over 50 iterations; everything in
+	// fun and driver is covered; only main (not run here) is untouched.
+	fun := p.MethodByName("T.fun")
+	for blk, hit := range prof.Covered[fun.ID] {
+		if !hit {
+			t.Errorf("fun block %d never covered", blk)
+		}
+	}
+}
+
+func TestPathProfilerCountsMatchExecution(t *testing.T) {
+	p := bytecode.MustAssemble(baseSrc)
+	ip, prof, err := InstrumentPaths(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runResult(t, ip, &prof.Registry)
+	fun := p.MethodByName("T.fun")
+	counts := prof.Counts[fun.ID]
+	if counts == nil {
+		t.Fatal("no path counts for fun")
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	// fun runs 50 times; each invocation completes exactly one acyclic
+	// path (no loops inside fun).
+	if total != 50 {
+		t.Errorf("fun path executions = %d, want 50", total)
+	}
+	// The even/odd argument split exercises both first branches: at least
+	// 2 distinct paths.
+	if len(counts) < 2 {
+		t.Errorf("distinct paths = %d, want >= 2", len(counts))
+	}
+}
+
+func TestFlowProfilerTraceAndReplay(t *testing.T) {
+	p := bytecode.MustAssemble(baseSrc)
+	ip, prof, err := InstrumentFlow(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runResult(t, ip, &prof.Registry)
+	if prof.TraceBytes() == 0 {
+		t.Fatal("no flow events")
+	}
+	steps := prof.Replay(0)
+	if len(steps) == 0 {
+		t.Fatal("replay empty")
+	}
+	// Replay expands blocks to instructions: strictly more steps than
+	// events.
+	if len(steps) < len(prof.Events) {
+		t.Errorf("replay %d < events %d", len(steps), len(prof.Events))
+	}
+}
+
+func TestHotProfilerCounts(t *testing.T) {
+	p := bytecode.MustAssemble(baseSrc)
+	ip, prof, err := InstrumentHot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runResult(t, ip, &prof.Registry)
+	fun := p.MethodByName("T.fun")
+	if prof.Calls[fun.ID] != 50 {
+		t.Errorf("fun calls = %d, want 50", prof.Calls[fun.ID])
+	}
+	top := prof.Top(10)
+	if len(top) == 0 || top[0] != int32(fun.ID) {
+		t.Errorf("top = %v, want fun first", top)
+	}
+}
+
+func TestSamplersProduceRankings(t *testing.T) {
+	p := bytecode.MustAssemble(baseSrc)
+	xp := NewXprof(500)
+	m := vm.New(p, vm.DefaultConfig())
+	m.Sampler = xp
+	if _, err := m.Run([]vm.ThreadSpec{{Method: p.MethodByName("T.driver").ID}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(xp.Samples) == 0 {
+		t.Fatal("xprof took no samples")
+	}
+	if len(xp.Top(10)) == 0 {
+		t.Fatal("xprof top empty")
+	}
+
+	jp := NewJProfiler(500)
+	m2 := vm.New(bytecode.MustAssemble(baseSrc), vm.DefaultConfig())
+	m2.Sampler = jp
+	if _, err := m2.Run([]vm.ThreadSpec{{Method: p.MethodByName("T.driver").ID}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(jp.Samples) == 0 {
+		t.Fatal("jprofiler took no samples")
+	}
+}
+
+func TestRewritePreservesHandlers(t *testing.T) {
+	src := `
+method T.m(1) returns int {
+Ltry:
+    iconst 10
+    iload 0
+    idiv
+    ireturn
+Lcatch:
+    iconst 1
+    iadd
+    ireturn
+    handler Ltry Lcatch Lcatch any
+}
+method T.main(0) {
+    iconst 0
+    invokestatic T.m
+    pop
+    return
+}
+entry T.main
+`
+	p := bytecode.MustAssemble(src)
+	ip, prof, err := InstrumentCoverage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run T.m(0): divides by zero, caught, returns code+1 = 2.
+	m := vm.New(ip, vm.DefaultConfig())
+	m.Probe = prof.Registry.Handle
+	stats, err := m.Run([]vm.ThreadSpec{{Method: ip.MethodByName("T.m").ID, Args: []int32{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ThreadResults[0] != 2 {
+		t.Errorf("instrumented exception path returned %d, want 2", stats.ThreadResults[0])
+	}
+	if stats.UncaughtThrows != 0 {
+		t.Error("handler lost in rewriting")
+	}
+}

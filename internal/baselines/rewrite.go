@@ -1,0 +1,193 @@
+// Package baselines implements the profiling techniques JPortal is
+// evaluated against (paper §7): Ball-Larus instrumentation-based statement
+// coverage, efficient path profiling and full control-flow tracing
+// ([24]/[25], reimplemented as real bytecode rewriting, the way the paper
+// reimplements them with ASM), a hot-method instrumentation profiler, and
+// two sampling profilers standing in for xprof and JProfiler.
+package baselines
+
+import (
+	"fmt"
+
+	"jportal/internal/bytecode"
+)
+
+// probePlan describes where probes go in one method.
+type probePlan struct {
+	// beforeAll[pc] probes run whenever control reaches pc (branch
+	// targets land on them).
+	beforeAll map[int32][]int32
+	// fallOnly[pc] probes run only when control falls through from pc-1
+	// (they instrument the fallthrough edge; branch targets skip them).
+	fallOnly map[int32][]int32
+	// trampolines instrument branch edges: the branch is re-targeted to a
+	// probe sequence that jumps on to the original target.
+	trampolines []trampoline
+}
+
+type trampoline struct {
+	fromPC int32
+	// caseIdx selects which outgoing edge: -1 the primary target (A of a
+	// conditional or goto), -2 a tableswitch default, >= 0 a tableswitch
+	// case slot.
+	caseIdx int32
+	probes  []int32
+}
+
+func newPlan() *probePlan {
+	return &probePlan{
+		beforeAll: make(map[int32][]int32),
+		fallOnly:  make(map[int32][]int32),
+	}
+}
+
+func (p *probePlan) atAll(pc int32, probe int32) {
+	p.beforeAll[pc] = append(p.beforeAll[pc], probe)
+}
+
+func (p *probePlan) atFall(pc int32, probe int32) {
+	p.fallOnly[pc] = append(p.fallOnly[pc], probe)
+}
+
+func (p *probePlan) onEdge(fromPC, caseIdx int32, probe int32) {
+	for i := range p.trampolines {
+		t := &p.trampolines[i]
+		if t.fromPC == fromPC && t.caseIdx == caseIdx {
+			t.probes = append(t.probes, probe)
+			return
+		}
+	}
+	p.trampolines = append(p.trampolines, trampoline{
+		fromPC: fromPC, caseIdx: caseIdx, probes: []int32{probe},
+	})
+}
+
+// rewrite produces an instrumented copy of m according to plan. Branch
+// targets, switch tables and handler ranges are remapped; trampolines are
+// appended after the original code.
+func rewrite(m *bytecode.Method, plan *probePlan) (*bytecode.Method, error) {
+	n := int32(len(m.Code))
+	// Layout: for each old pc, [fallOnly probes][beforeAll probes][instr].
+	landing := make([]int32, n+1) // branch targets land after fallOnly
+	fallStart := make([]int32, n+1)
+	var pos int32
+	for pc := int32(0); pc <= n; pc++ {
+		fallStart[pc] = pos
+		pos += int32(len(plan.fallOnly[pc]))
+		landing[pc] = pos
+		if pc < n {
+			pos += int32(len(plan.beforeAll[pc]))
+			pos++ // the instruction itself
+		}
+	}
+	bodyLen := pos
+
+	// Trampoline layout, after the body.
+	trampAt := make(map[[2]int32]int32, len(plan.trampolines))
+	for _, t := range plan.trampolines {
+		trampAt[[2]int32{t.fromPC, t.caseIdx}] = pos
+		pos += int32(len(t.probes)) + 1 // probes + goto
+	}
+
+	out := &bytecode.Method{
+		ID:           bytecode.NoMethod,
+		Class:        m.Class,
+		Name:         m.Name,
+		NArgs:        m.NArgs,
+		MaxLocals:    m.MaxLocals,
+		ReturnsValue: m.ReturnsValue,
+		Code:         make([]bytecode.Instruction, 0, pos),
+	}
+
+	retarget := func(fromPC, caseIdx, oldTarget int32) int32 {
+		if t, ok := trampAt[[2]int32{fromPC, caseIdx}]; ok {
+			return t
+		}
+		return landing[oldTarget]
+	}
+
+	for pc := int32(0); pc < n; pc++ {
+		for _, id := range plan.fallOnly[pc] {
+			out.Code = append(out.Code, bytecode.Instruction{Op: bytecode.PROBE, A: id})
+		}
+		for _, id := range plan.beforeAll[pc] {
+			out.Code = append(out.Code, bytecode.Instruction{Op: bytecode.PROBE, A: id})
+		}
+		ins := m.Code[pc]
+		switch {
+		case ins.Op == bytecode.GOTO || ins.Op.IsCondBranch():
+			ins.A = retarget(pc, -1, ins.A)
+		case ins.Op == bytecode.TABLESWITCH:
+			newTargets := make([]int32, len(ins.Targets))
+			for i, t := range ins.Targets {
+				newTargets[i] = retarget(pc, int32(i), t)
+			}
+			ins.Targets = newTargets
+			ins.B = retarget(pc, -2, ins.B)
+		}
+		out.Code = append(out.Code, ins)
+	}
+	if int32(len(out.Code)) != bodyLen {
+		return nil, fmt.Errorf("rewrite %s: body layout mismatch", m.FullName())
+	}
+	for _, t := range plan.trampolines {
+		for _, id := range t.probes {
+			out.Code = append(out.Code, bytecode.Instruction{Op: bytecode.PROBE, A: id})
+		}
+		target, err := edgeTarget(m, t.fromPC, t.caseIdx)
+		if err != nil {
+			return nil, err
+		}
+		out.Code = append(out.Code, bytecode.Instruction{Op: bytecode.GOTO, A: landing[target]})
+	}
+
+	for _, h := range m.Handlers {
+		out.Handlers = append(out.Handlers, bytecode.Handler{
+			From:   fallStart[h.From],
+			To:     fallStart[h.To],
+			Target: landing[h.Target],
+			Code:   h.Code,
+		})
+	}
+	return out, nil
+}
+
+func edgeTarget(m *bytecode.Method, fromPC, caseIdx int32) (int32, error) {
+	ins := &m.Code[fromPC]
+	switch {
+	case caseIdx == -1:
+		return ins.A, nil
+	case caseIdx == -2:
+		if ins.Op != bytecode.TABLESWITCH {
+			return 0, fmt.Errorf("rewrite %s: default edge on non-switch @%d", m.FullName(), fromPC)
+		}
+		return ins.B, nil
+	default:
+		if ins.Op != bytecode.TABLESWITCH || int(caseIdx) >= len(ins.Targets) {
+			return 0, fmt.Errorf("rewrite %s: bad case edge @%d/%d", m.FullName(), fromPC, caseIdx)
+		}
+		return ins.Targets[caseIdx], nil
+	}
+}
+
+// InstrumentProgram applies instrument to every method of prog and returns
+// the instrumented program (dispatch tables and entry carried over; method
+// IDs preserved).
+func InstrumentProgram(prog *bytecode.Program, instrument func(*bytecode.Method) (*bytecode.Method, error)) (*bytecode.Program, error) {
+	out := &bytecode.Program{
+		DispatchTables: prog.DispatchTables,
+		Entry:          prog.Entry,
+	}
+	for _, m := range prog.Methods {
+		im, err := instrument(m)
+		if err != nil {
+			return nil, err
+		}
+		im.ID = m.ID
+		out.Methods = append(out.Methods, im)
+	}
+	if err := bytecode.Verify(out); err != nil {
+		return nil, fmt.Errorf("instrumented program fails verification: %w", err)
+	}
+	return out, nil
+}

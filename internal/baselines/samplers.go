@@ -1,0 +1,123 @@
+package baselines
+
+import (
+	"jportal/internal/bytecode"
+)
+
+// Sampling profilers (paper §7: xprof [16] and JProfiler [8]). Both take
+// one sample per interval (the paper uses the 10ms xprof default); they
+// differ in *where* samples land and in agent overhead:
+//
+//   - XprofSampler samples on a timer tick regardless of position (flat
+//     profiler); its agent overhead is small.
+//   - JProfilerSampler can only observe threads at safepoints (method
+//     entries and taken backedges), biasing samples toward call- and
+//     loop-heavy code, and its heavier agent charges more per safepoint
+//     poll — reproducing JProfiler's higher Table 2 overheads.
+type XprofSampler struct {
+	Interval uint64
+	// SampleCost is charged per sample (signal + stack walk).
+	SampleCost uint64
+	// TickCost is the agent's continuous per-bytecode overhead.
+	TickCost uint64
+
+	Samples []bytecode.MethodID
+	next    map[int]uint64 // per-core next sample time
+	ticks   uint64
+}
+
+// NewXprof returns the xprof-equivalent sampler; interval is in cycles.
+func NewXprof(interval uint64) *XprofSampler {
+	return &XprofSampler{Interval: interval, SampleCost: 2200, TickCost: 1, next: map[int]uint64{}}
+}
+
+// OnStep implements vm.Sampler.
+func (s *XprofSampler) OnStep(tid, core int, tsc uint64, mid bytecode.MethodID, safepoint bool) uint64 {
+	// xprof's agent overhead is light: charge the tick cost on every
+	// fourth bytecode.
+	s.ticks++
+	var cost uint64
+	if s.ticks&3 == 0 {
+		cost = s.TickCost
+	}
+	nx, ok := s.next[core]
+	if !ok {
+		nx = tsc + s.Interval
+	}
+	if tsc >= nx {
+		s.Samples = append(s.Samples, mid)
+		nx = tsc + s.Interval
+		cost += s.SampleCost
+	}
+	s.next[core] = nx
+	return cost
+}
+
+// Top returns the methods ranked by sample count.
+func (s *XprofSampler) Top(n int) []int32 {
+	return topFromSamples(s.Samples, n)
+}
+
+// JProfilerSampler is the safepoint-biased sampler.
+type JProfilerSampler struct {
+	Interval uint64
+	// SampleCost is charged per sample (JVMTI stack dump).
+	SampleCost uint64
+	// SafepointCost is charged at every safepoint poll while the agent is
+	// attached.
+	SafepointCost uint64
+	// TickCost is the continuous bookkeeping overhead.
+	TickCost uint64
+
+	Samples []bytecode.MethodID
+	next    map[int]uint64
+}
+
+// NewJProfiler returns the JProfiler-equivalent sampler.
+func NewJProfiler(interval uint64) *JProfilerSampler {
+	return &JProfilerSampler{
+		Interval: interval, SampleCost: 9000, SafepointCost: 5, TickCost: 1,
+		next: map[int]uint64{},
+	}
+}
+
+// OnStep implements vm.Sampler.
+func (s *JProfilerSampler) OnStep(tid, core int, tsc uint64, mid bytecode.MethodID, safepoint bool) uint64 {
+	cost := s.TickCost
+	if safepoint {
+		cost += s.SafepointCost
+		nx, ok := s.next[core]
+		if !ok {
+			nx = tsc + s.Interval
+		}
+		if tsc >= nx {
+			s.Samples = append(s.Samples, mid)
+			nx = tsc + s.Interval
+			cost += s.SampleCost
+		}
+		s.next[core] = nx
+	}
+	return cost
+}
+
+// Top returns the methods ranked by sample count.
+func (s *JProfilerSampler) Top(n int) []int32 {
+	return topFromSamples(s.Samples, n)
+}
+
+func topFromSamples(samples []bytecode.MethodID, n int) []int32 {
+	if len(samples) == 0 {
+		return nil
+	}
+	max := bytecode.MethodID(0)
+	for _, m := range samples {
+		if m > max {
+			max = m
+		}
+	}
+	counts := make([]int64, max+1)
+	for _, m := range samples {
+		counts[m]++
+	}
+	return rankTop(counts, n)
+}

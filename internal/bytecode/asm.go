@@ -1,0 +1,363 @@
+package bytecode
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual assembly format into a Program and verifies
+// it. The format, line oriented, with '#' comments:
+//
+//	table t0 = Worker.step Worker.tick     # INVOKEDYN dispatch table
+//
+//	method Test.fun(2) returns int {       # 2 int args; "returns int" optional
+//	    iload 0
+//	    ifeq Lelse
+//	    iload 1
+//	    iconst 1
+//	    iadd
+//	    istore 1
+//	    goto Ljoin
+//	Lelse:
+//	    iload 1
+//	    iconst 2
+//	    isub
+//	    istore 1
+//	Ljoin:
+//	    iload 1
+//	    ireturn
+//	    handler Lelse Ljoin Lcatch any     # optional; code number or "any"
+//	}
+//
+//	entry Test.main
+//
+// Branches name labels; calls name methods (Class.Name); tableswitch is
+// written `tableswitch <low> default=<label> [<label> ...]`.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Entry: NoMethod}
+	a := &assembler{prog: p}
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		line := stripComment(lines[i])
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "table "):
+			if err := a.parseTable(line, i+1); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "method "):
+			end, err := a.parseMethod(lines, i)
+			if err != nil {
+				return nil, err
+			}
+			i = end
+		case strings.HasPrefix(line, "entry "):
+			a.entryName = strings.TrimSpace(strings.TrimPrefix(line, "entry "))
+		default:
+			return nil, fmt.Errorf("asm line %d: unexpected %q", i+1, line)
+		}
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	if err := Verify(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble but panics on error; for tests and examples.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	prog      *Program
+	entryName string
+	// callFixups patch INVOKESTATIC operands from method names after all
+	// methods are known.
+	callFixups []callFixup
+	// tableFixups patch dispatch-table entries from method names.
+	tableFixups []tableFixup
+	tableIndex  map[string]int32
+}
+
+type callFixup struct {
+	m    *Method
+	pc   int32
+	name string
+	line int
+}
+
+type tableFixup struct {
+	table int
+	slot  int
+	name  string
+	line  int
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+func (a *assembler) parseTable(line string, lineno int) error {
+	// table tN = Name Name ...
+	rest := strings.TrimPrefix(line, "table ")
+	eq := strings.IndexByte(rest, '=')
+	if eq < 0 {
+		return fmt.Errorf("asm line %d: table needs '='", lineno)
+	}
+	name := strings.TrimSpace(rest[:eq])
+	if a.tableIndex == nil {
+		a.tableIndex = make(map[string]int32)
+	}
+	if _, dup := a.tableIndex[name]; dup {
+		return fmt.Errorf("asm line %d: duplicate table %q", lineno, name)
+	}
+	idx := len(a.prog.DispatchTables)
+	a.tableIndex[name] = int32(idx)
+	entries := strings.Fields(rest[eq+1:])
+	if len(entries) == 0 {
+		return fmt.Errorf("asm line %d: empty table %q", lineno, name)
+	}
+	a.prog.DispatchTables = append(a.prog.DispatchTables, make([]MethodID, len(entries)))
+	for slot, e := range entries {
+		a.tableFixups = append(a.tableFixups, tableFixup{table: idx, slot: slot, name: e, line: lineno})
+	}
+	return nil
+}
+
+// parseMethod consumes lines[start..] up to the closing '}' and returns the
+// index of that line.
+func (a *assembler) parseMethod(lines []string, start int) (int, error) {
+	header := stripComment(lines[start])
+	// method Class.Name(N) [returns int] {
+	rest := strings.TrimPrefix(header, "method ")
+	open := strings.IndexByte(rest, '(')
+	closeP := strings.IndexByte(rest, ')')
+	if open < 0 || closeP < open || !strings.HasSuffix(rest, "{") {
+		return 0, fmt.Errorf("asm line %d: bad method header %q", start+1, header)
+	}
+	full := strings.TrimSpace(rest[:open])
+	dot := strings.LastIndexByte(full, '.')
+	if dot <= 0 || dot == len(full)-1 {
+		return 0, fmt.Errorf("asm line %d: method name must be Class.Name, got %q", start+1, full)
+	}
+	nargs, err := strconv.Atoi(strings.TrimSpace(rest[open+1 : closeP]))
+	if err != nil || nargs < 0 {
+		return 0, fmt.Errorf("asm line %d: bad arg count in %q", start+1, header)
+	}
+	tail := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest[closeP+1:]), "{"))
+	returnsInt := false
+	switch tail {
+	case "":
+	case "returns int":
+		returnsInt = true
+	default:
+		return 0, fmt.Errorf("asm line %d: bad method header tail %q", start+1, tail)
+	}
+
+	b := NewBuilder(full[:dot], full[dot+1:], nargs)
+	if returnsInt {
+		b.ReturnsValue()
+	}
+	m := b.m // builder method, for call fixups against instruction indices
+
+	i := start + 1
+	for ; i < len(lines); i++ {
+		line := stripComment(lines[i])
+		if line == "" {
+			continue
+		}
+		if line == "}" {
+			built, err := b.Build()
+			if err != nil {
+				return 0, fmt.Errorf("asm line %d: %v", i+1, err)
+			}
+			a.prog.AddMethod(built)
+			return i, nil
+		}
+		// Labels may prefix an instruction on the same line.
+		for {
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 || strings.ContainsAny(line[:colon], " \t") {
+				break
+			}
+			b.Label(line[:colon])
+			line = strings.TrimSpace(line[colon+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.parseInstr(b, m, line, i+1); err != nil {
+			return 0, err
+		}
+	}
+	return 0, fmt.Errorf("asm line %d: method %s not closed", start+1, full)
+}
+
+func (a *assembler) parseInstr(b *Builder, m *Method, line string, lineno int) error {
+	fields := strings.Fields(line)
+	mnemonic := fields[0]
+	argn := func(i int) (int32, error) {
+		if i >= len(fields) {
+			return 0, fmt.Errorf("asm line %d: %s needs operand %d", lineno, mnemonic, i)
+		}
+		v, err := strconv.ParseInt(fields[i], 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("asm line %d: bad operand %q", lineno, fields[i])
+		}
+		return int32(v), nil
+	}
+
+	if mnemonic == "handler" {
+		// handler From To Target code|any
+		if len(fields) != 5 {
+			return fmt.Errorf("asm line %d: handler needs 4 operands", lineno)
+		}
+		code := int32(-1)
+		if fields[4] != "any" {
+			v, err := strconv.ParseInt(fields[4], 10, 32)
+			if err != nil {
+				return fmt.Errorf("asm line %d: bad handler code %q", lineno, fields[4])
+			}
+			code = int32(v)
+		}
+		b.Handler(fields[1], fields[2], fields[3], code)
+		return nil
+	}
+
+	op, ok := OpcodeByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("asm line %d: unknown mnemonic %q", lineno, mnemonic)
+	}
+	switch op {
+	case ICONST:
+		v, err := argn(1)
+		if err != nil {
+			return err
+		}
+		b.Iconst(v)
+	case PROBE:
+		v, err := argn(1)
+		if err != nil {
+			return err
+		}
+		b.Probe(v)
+	case ILOAD, ISTORE:
+		v, err := argn(1)
+		if err != nil {
+			return err
+		}
+		if op == ILOAD {
+			b.Iload(v)
+		} else {
+			b.Istore(v)
+		}
+	case IINC:
+		s, err := argn(1)
+		if err != nil {
+			return err
+		}
+		d, err := argn(2)
+		if err != nil {
+			return err
+		}
+		b.Iinc(s, d)
+	case GOTO:
+		if len(fields) < 2 {
+			return fmt.Errorf("asm line %d: goto needs a label", lineno)
+		}
+		b.Goto(fields[1])
+	case TABLESWITCH:
+		// tableswitch <low> default=<label> [<l1> <l2> ...]
+		low, err := argn(1)
+		if err != nil {
+			return err
+		}
+		if len(fields) < 3 || !strings.HasPrefix(fields[2], "default=") {
+			return fmt.Errorf("asm line %d: tableswitch needs default=<label>", lineno)
+		}
+		def := strings.TrimPrefix(fields[2], "default=")
+		rest := strings.TrimSpace(strings.Join(fields[3:], " "))
+		if !strings.HasPrefix(rest, "[") || !strings.HasSuffix(rest, "]") {
+			return fmt.Errorf("asm line %d: tableswitch needs [labels]", lineno)
+		}
+		cases := strings.Fields(rest[1 : len(rest)-1])
+		if len(cases) == 0 {
+			return fmt.Errorf("asm line %d: tableswitch with no cases", lineno)
+		}
+		b.TableSwitch(low, def, cases...)
+	case INVOKESTATIC:
+		if len(fields) < 2 {
+			return fmt.Errorf("asm line %d: invokestatic needs a method name", lineno)
+		}
+		b.InvokeStatic(NoMethod) // patched in resolve
+		a.callFixups = append(a.callFixups, callFixup{m: m, pc: int32(len(m.Code) - 1), name: fields[1], line: lineno})
+	case INVOKEDYN:
+		if len(fields) < 2 {
+			return fmt.Errorf("asm line %d: invokedyn needs a table name", lineno)
+		}
+		idx, ok := a.tableIndex[fields[1]]
+		if !ok {
+			return fmt.Errorf("asm line %d: unknown table %q", lineno, fields[1])
+		}
+		b.InvokeDyn(idx)
+	default:
+		if op.IsCondBranch() {
+			if len(fields) < 2 {
+				return fmt.Errorf("asm line %d: %s needs a label", lineno, mnemonic)
+			}
+			b.If(op, fields[1])
+		} else {
+			b.emit(Instruction{Op: op})
+		}
+	}
+	return nil
+}
+
+func (a *assembler) resolve() error {
+	byName := make(map[string]MethodID, len(a.prog.Methods))
+	for _, m := range a.prog.Methods {
+		if _, dup := byName[m.FullName()]; dup {
+			return fmt.Errorf("asm: duplicate method %s", m.FullName())
+		}
+		byName[m.FullName()] = m.ID
+	}
+	for _, f := range a.callFixups {
+		id, ok := byName[f.name]
+		if !ok {
+			return fmt.Errorf("asm line %d: call to unknown method %q", f.line, f.name)
+		}
+		f.m.Code[f.pc].A = int32(id)
+	}
+	for _, f := range a.tableFixups {
+		id, ok := byName[f.name]
+		if !ok {
+			return fmt.Errorf("asm line %d: table entry references unknown method %q", f.line, f.name)
+		}
+		a.prog.DispatchTables[f.table][f.slot] = id
+	}
+	if a.entryName == "" {
+		return fmt.Errorf("asm: no entry directive")
+	}
+	id, ok := byName[a.entryName]
+	if !ok {
+		return fmt.Errorf("asm: entry method %q not found", a.entryName)
+	}
+	a.prog.Entry = id
+	return nil
+}

@@ -1,0 +1,196 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+const asmExample = `
+# The paper's Figure 2(a) program.
+method Test.fun(2) returns int {
+    iload 0
+    ifeq Lelse
+    iload 1
+    iconst 1
+    iadd
+    istore 1
+    goto Ljoin
+Lelse:
+    iload 1
+    iconst 2
+    isub
+    istore 1
+Ljoin:
+    iload 1
+    iconst 2
+    irem
+    ifne Lfalse
+    iconst 1
+    ireturn
+Lfalse:
+    iconst 0
+    ireturn
+}
+
+method Test.main(0) {
+    iconst 1
+    iconst 7
+    invokestatic Test.fun
+    pop
+    return
+}
+
+entry Test.main
+`
+
+func TestAssembleExample(t *testing.T) {
+	p, err := Assemble(asmExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Methods) != 2 {
+		t.Fatalf("got %d methods", len(p.Methods))
+	}
+	fun := p.MethodByName("Test.fun")
+	if fun == nil || !fun.ReturnsValue || fun.NArgs != 2 {
+		t.Fatalf("bad fun: %+v", fun)
+	}
+	if fun.Code[1].Op != IFEQ || fun.Code[1].A != 7 {
+		t.Errorf("ifeq target = %d, want 7", fun.Code[1].A)
+	}
+	if p.Methods[p.Entry].Name != "main" {
+		t.Error("entry not main")
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p1 := MustAssemble(asmExample)
+	text := Disassemble(p1)
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text)
+	}
+	if Disassemble(p2) != text {
+		t.Error("disassembly not a fixed point")
+	}
+}
+
+func TestDisassembleRoundTripWithTablesAndHandlers(t *testing.T) {
+	src := `
+table t0 = A.f A.g
+
+method A.f(1) returns int {
+    iload 0
+    ireturn
+}
+
+method A.g(1) returns int {
+Ltry:
+    iconst 5
+    iload 0
+    idiv
+    tableswitch 0 default=Ld [La Lb]
+La:
+    iconst 1
+    ireturn
+Lb:
+    iconst 2
+    ireturn
+Ld:
+    iconst 0
+    ireturn
+Lcatch:
+    ireturn
+    handler Ltry La Lcatch any
+}
+
+method A.main(0) {
+    iconst 3
+    iconst 0
+    invokedyn t0
+    pop
+    return
+}
+
+entry A.main
+`
+	p1 := MustAssemble(src)
+	text := Disassemble(p1)
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text)
+	}
+	if len(p2.DispatchTables) != 1 || len(p2.DispatchTables[0]) != 2 {
+		t.Error("dispatch table lost in round trip")
+	}
+	g := p2.MethodByName("A.g")
+	if len(g.Handlers) != 1 || g.Handlers[0].Code != -1 {
+		t.Errorf("handlers lost: %+v", g.Handlers)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no entry", "method A.m(0) {\n return\n}\n", "no entry"},
+		{"unknown entry", "method A.m(0) {\n return\n}\nentry B.x\n", "not found"},
+		{"bad mnemonic", "method A.m(0) {\n zorp\n return\n}\nentry A.m\n", "unknown mnemonic"},
+		{"undefined label", "method A.m(0) {\n goto Lx\n return\n}\nentry A.m\n", "undefined label"},
+		{"unknown call", "method A.m(0) {\n invokestatic B.f\n return\n}\nentry A.m\n", "unknown method"},
+		{"unknown table", "method A.m(0) {\n iconst 0\n invokedyn t9\n return\n}\nentry A.m\n", "unknown table"},
+		{"dup method", "method A.m(0) {\n return\n}\nmethod A.m(0) {\n return\n}\nentry A.m\n", "duplicate method"},
+		// An unclosed method swallows following directives as mnemonics.
+		{"unclosed", "method A.m(0) {\n return\nentry A.m\n", "unknown mnemonic"},
+		{"bad header", "method A.m {\n return\n}\nentry A.m\n", "bad method header"},
+		{"entry with args", "method A.m(1) {\n return\n}\nentry A.m\n", "no arguments"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	src := `
+# leading comment
+method A.m(0) { # trailing comment
+    iconst 1   # value
+    pop
+    return
+}
+entry A.m
+`
+	p := MustAssemble(src)
+	if len(p.Methods[0].Code) != 3 {
+		t.Errorf("comments altered code: %d instrs", len(p.Methods[0].Code))
+	}
+}
+
+func TestAssembleLabelOnlyLineAndSameLine(t *testing.T) {
+	src := `
+method A.m(0) {
+    goto L1
+L1: L2:
+    nop
+    goto L3
+L3: return
+}
+entry A.m
+`
+	p := MustAssemble(src)
+	m := p.Methods[0]
+	if m.Code[0].A != 1 {
+		t.Errorf("L1 at %d, want 1", m.Code[0].A)
+	}
+	if m.Code[2].A != 3 {
+		t.Errorf("L3 at %d, want 3", m.Code[2].A)
+	}
+}

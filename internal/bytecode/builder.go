@@ -1,0 +1,220 @@
+package bytecode
+
+import "fmt"
+
+// Builder constructs a Method programmatically with symbolic labels, so that
+// callers (tests, the workload generator, the baselines' instrumenters) do
+// not juggle raw instruction indices.
+type Builder struct {
+	m       *Method
+	labels  map[string]int32
+	fixups  []fixup
+	nlocals int
+	err     error
+}
+
+type fixup struct {
+	pc    int32  // instruction whose operand needs patching
+	label string // label to resolve
+	tsIdx int    // operand selector: -1 = A, -2 = B, >= 0 Targets index,
+	// -3/-4/-5 = handler From/To/Target (pc then encodes the handler)
+}
+
+// NewBuilder starts a method with the given class and name, taking nargs int
+// arguments.
+func NewBuilder(class, name string, nargs int) *Builder {
+	return &Builder{
+		m: &Method{
+			ID:        NoMethod,
+			Class:     class,
+			Name:      name,
+			NArgs:     nargs,
+			MaxLocals: nargs,
+		},
+		labels:  make(map[string]int32),
+		nlocals: nargs,
+	}
+}
+
+func (b *Builder) emit(ins Instruction) *Builder {
+	b.m.Code = append(b.m.Code, ins)
+	return b
+}
+
+func (b *Builder) pc() int32 { return int32(len(b.m.Code)) }
+
+func (b *Builder) touchLocal(slot int32) {
+	if int(slot)+1 > b.nlocals {
+		b.nlocals = int(slot) + 1
+	}
+}
+
+// Label binds name to the next instruction emitted.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("duplicate label %q", name)
+	}
+	b.labels[name] = b.pc()
+	return b
+}
+
+// Nop, stack, arithmetic and array emitters.
+func (b *Builder) Nop() *Builder         { return b.emit(Instruction{Op: NOP}) }
+func (b *Builder) Dup() *Builder         { return b.emit(Instruction{Op: DUP}) }
+func (b *Builder) Pop() *Builder         { return b.emit(Instruction{Op: POP}) }
+func (b *Builder) Swap() *Builder        { return b.emit(Instruction{Op: SWAP}) }
+func (b *Builder) Iadd() *Builder        { return b.emit(Instruction{Op: IADD}) }
+func (b *Builder) Isub() *Builder        { return b.emit(Instruction{Op: ISUB}) }
+func (b *Builder) Imul() *Builder        { return b.emit(Instruction{Op: IMUL}) }
+func (b *Builder) Idiv() *Builder        { return b.emit(Instruction{Op: IDIV}) }
+func (b *Builder) Irem() *Builder        { return b.emit(Instruction{Op: IREM}) }
+func (b *Builder) Ineg() *Builder        { return b.emit(Instruction{Op: INEG}) }
+func (b *Builder) Iand() *Builder        { return b.emit(Instruction{Op: IAND}) }
+func (b *Builder) Ior() *Builder         { return b.emit(Instruction{Op: IOR}) }
+func (b *Builder) Ixor() *Builder        { return b.emit(Instruction{Op: IXOR}) }
+func (b *Builder) Ishl() *Builder        { return b.emit(Instruction{Op: ISHL}) }
+func (b *Builder) Ishr() *Builder        { return b.emit(Instruction{Op: ISHR}) }
+func (b *Builder) NewArray() *Builder    { return b.emit(Instruction{Op: NEWARRAY}) }
+func (b *Builder) Iaload() *Builder      { return b.emit(Instruction{Op: IALOAD}) }
+func (b *Builder) Iastore() *Builder     { return b.emit(Instruction{Op: IASTORE}) }
+func (b *Builder) ArrayLength() *Builder { return b.emit(Instruction{Op: ARRAYLENGTH}) }
+func (b *Builder) Athrow() *Builder      { return b.emit(Instruction{Op: ATHROW}) }
+func (b *Builder) Ireturn() *Builder     { return b.emit(Instruction{Op: IRETURN}) }
+func (b *Builder) Return() *Builder      { return b.emit(Instruction{Op: RETURN}) }
+
+// Op emits a no-operand instruction of the given opcode (for callers
+// choosing opcodes dynamically, e.g. generators).
+func (b *Builder) Op(op Opcode) *Builder { return b.emit(Instruction{Op: op}) }
+
+// Probe emits an instrumentation probe with the given ID.
+func (b *Builder) Probe(id int32) *Builder { return b.emit(Instruction{Op: PROBE, A: id}) }
+
+// Iconst pushes v.
+func (b *Builder) Iconst(v int32) *Builder { return b.emit(Instruction{Op: ICONST, A: v}) }
+
+// Iload pushes local slot.
+func (b *Builder) Iload(slot int32) *Builder {
+	b.touchLocal(slot)
+	return b.emit(Instruction{Op: ILOAD, A: slot})
+}
+
+// Istore pops into local slot.
+func (b *Builder) Istore(slot int32) *Builder {
+	b.touchLocal(slot)
+	return b.emit(Instruction{Op: ISTORE, A: slot})
+}
+
+// Iinc adds delta to local slot.
+func (b *Builder) Iinc(slot, delta int32) *Builder {
+	b.touchLocal(slot)
+	return b.emit(Instruction{Op: IINC, A: slot, B: delta})
+}
+
+// Goto jumps to label.
+func (b *Builder) Goto(label string) *Builder { return b.branch(GOTO, label) }
+
+// If emits a conditional branch of the given opcode to label.
+func (b *Builder) If(op Opcode, label string) *Builder {
+	if !op.IsCondBranch() && b.err == nil {
+		b.err = fmt.Errorf("If: %s is not a conditional branch", op)
+	}
+	return b.branch(op, label)
+}
+
+func (b *Builder) branch(op Opcode, label string) *Builder {
+	b.emit(Instruction{Op: op})
+	pc := b.pc() - 1
+	b.fixups = append(b.fixups, fixup{pc: pc, label: label, tsIdx: -1})
+	return b
+}
+
+// TableSwitch pops a value v and jumps to caseLabels[v-low], or to
+// defaultLabel when v is out of range.
+func (b *Builder) TableSwitch(low int32, defaultLabel string, caseLabels ...string) *Builder {
+	b.emit(Instruction{Op: TABLESWITCH, A: low, Targets: make([]int32, len(caseLabels))})
+	pc := b.pc() - 1
+	b.fixups = append(b.fixups, fixup{pc: pc, label: defaultLabel, tsIdx: -2})
+	for i, l := range caseLabels {
+		b.fixups = append(b.fixups, fixup{pc: pc, label: l, tsIdx: i})
+	}
+	return b
+}
+
+// InvokeStatic calls the method with the given id. IDs may be assigned after
+// building; use InvokeStaticLate with a patch list if needed.
+func (b *Builder) InvokeStatic(id MethodID) *Builder {
+	return b.emit(Instruction{Op: INVOKESTATIC, A: int32(id)})
+}
+
+// InvokeDyn pops a selector and calls through dispatch table `table`.
+func (b *Builder) InvokeDyn(table int32) *Builder {
+	return b.emit(Instruction{Op: INVOKEDYN, A: table})
+}
+
+// Handler registers an exception handler: exceptions with the given code
+// (-1 for any) raised in [fromLabel, toLabel) are routed to handlerLabel.
+// Labels are resolved at Build time; all three must be bound by then.
+func (b *Builder) Handler(fromLabel, toLabel, handlerLabel string, code int32) *Builder {
+	b.m.Handlers = append(b.m.Handlers, Handler{Code: code})
+	idx := len(b.m.Handlers) - 1
+	b.fixups = append(b.fixups,
+		fixup{pc: int32(-idx - 1), label: fromLabel, tsIdx: -3},
+		fixup{pc: int32(-idx - 1), label: toLabel, tsIdx: -4},
+		fixup{pc: int32(-idx - 1), label: handlerLabel, tsIdx: -5},
+	)
+	return b
+}
+
+// ReturnsValue marks the method as returning an int.
+func (b *Builder) ReturnsValue() *Builder {
+	b.m.ReturnsValue = true
+	return b
+}
+
+// Build resolves labels and returns the completed method.
+func (b *Builder) Build() (*Method, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("%s: undefined label %q", b.m.FullName(), f.label)
+		}
+		if f.pc < 0 { // handler fixup
+			h := &b.m.Handlers[int(-f.pc)-1]
+			switch f.tsIdx {
+			case -3:
+				h.From = target
+			case -4:
+				h.To = target
+			case -5:
+				h.Target = target
+			}
+			continue
+		}
+		ins := &b.m.Code[f.pc]
+		switch f.tsIdx {
+		case -1:
+			ins.A = target
+		case -2:
+			ins.B = target
+		default:
+			ins.Targets[f.tsIdx] = target
+		}
+	}
+	if b.nlocals > b.m.MaxLocals {
+		b.m.MaxLocals = b.nlocals
+	}
+	return b.m, nil
+}
+
+// MustBuild is Build but panics on error; intended for tests and generators
+// whose input is known-good by construction.
+func (b *Builder) MustBuild() *Method {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

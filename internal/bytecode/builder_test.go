@@ -1,0 +1,131 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderLabelsResolve(t *testing.T) {
+	b := NewBuilder("T", "m", 1)
+	b.Iload(0)
+	b.If(IFEQ, "end")
+	b.Iinc(0, 1)
+	b.Label("end")
+	b.Return()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Code[1].A != 3 {
+		t.Errorf("branch target %d, want 3", m.Code[1].A)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("T", "m", 0)
+	b.Goto("nowhere")
+	b.Return()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("T", "m", 0)
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Return()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBuilderTracksMaxLocals(t *testing.T) {
+	b := NewBuilder("T", "m", 1)
+	b.Iconst(5)
+	b.Istore(7)
+	b.Return()
+	m := b.MustBuild()
+	if m.MaxLocals != 8 {
+		t.Errorf("MaxLocals = %d, want 8", m.MaxLocals)
+	}
+}
+
+func TestBuilderTableSwitch(t *testing.T) {
+	b := NewBuilder("T", "m", 1)
+	b.Iload(0)
+	b.TableSwitch(10, "def", "c0", "c1")
+	b.Label("c0")
+	b.Return()
+	b.Label("c1")
+	b.Return()
+	b.Label("def")
+	b.Return()
+	m := b.MustBuild()
+	sw := m.Code[1]
+	if sw.A != 10 || sw.B != 4 || sw.Targets[0] != 2 || sw.Targets[1] != 3 {
+		t.Errorf("switch resolved wrong: %+v", sw)
+	}
+}
+
+func TestBuilderHandlerResolution(t *testing.T) {
+	b := NewBuilder("T", "m", 0)
+	b.Label("a")
+	b.Iconst(1).Iconst(0).Idiv().Pop()
+	b.Label("b")
+	b.Return()
+	b.Label("h")
+	b.Pop()
+	b.Return()
+	b.Handler("a", "b", "h", 1)
+	m := b.MustBuild()
+	h := m.Handlers[0]
+	if h.From != 0 || h.To != 4 || h.Target != 5 || h.Code != 1 {
+		t.Errorf("handler resolved wrong: %+v", h)
+	}
+}
+
+func TestBuilderIfRejectsNonCond(t *testing.T) {
+	b := NewBuilder("T", "m", 0)
+	b.If(GOTO, "x")
+	b.Label("x")
+	b.Return()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("If(GOTO) should fail")
+	}
+}
+
+func TestBranchTargets(t *testing.T) {
+	goto5 := Instruction{Op: GOTO, A: 5}
+	if ts := goto5.BranchTargets(); len(ts) != 1 || ts[0] != 5 {
+		t.Errorf("goto targets %v", ts)
+	}
+	sw := Instruction{Op: TABLESWITCH, A: 0, B: 9, Targets: []int32{3, 4}}
+	if ts := sw.BranchTargets(); len(ts) != 3 || ts[2] != 9 {
+		t.Errorf("switch targets %v", ts)
+	}
+	lin := Instruction{Op: IADD}
+	if ts := lin.BranchTargets(); ts != nil {
+		t.Errorf("linear targets %v", ts)
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p := MustAssemble(asmExample)
+	if p.Method(MethodID(len(p.Methods))) != nil {
+		t.Error("out-of-range method lookup should be nil")
+	}
+	if p.Method(-1) != nil {
+		t.Error("negative method lookup should be nil")
+	}
+	if p.MethodByName("fun") == nil {
+		t.Error("bare-name lookup failed")
+	}
+	if p.NumInstructions() == 0 {
+		t.Error("no instructions counted")
+	}
+	if got := p.Classes(); len(got) != 1 || got[0] != "Test" {
+		t.Errorf("classes = %v", got)
+	}
+}

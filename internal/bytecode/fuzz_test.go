@@ -1,0 +1,47 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks the assembler never panics and that anything it
+// accepts verifies, disassembles, and reassembles to a fixed point. The
+// seed corpus covers the syntax space; `go test -fuzz=FuzzAssemble` explores
+// further.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		asmExample,
+		"",
+		"entry A.m\n",
+		"method A.m(0) {\n return\n}\nentry A.m\n",
+		"method A.m(0) {\n iconst 1\n pop\n return\n}\nentry A.m\n",
+		"table t0 = A.m\nmethod A.m(1) returns int {\n iload 0\n ireturn\n}\nentry A.m\n",
+		"method A.m(0) {\nL: goto L\n}\nentry A.m\n",
+		"method A.m(0) {\n tableswitch 0 default=L [L]\nL: return\n}\nentry A.m\n",
+		"method A.m(0) {\n iconst -2147483648\n pop\n return\n}\nentry A.m\n",
+		"# only a comment\n",
+		"method A.m(0) {\n handler L L L any\nL: return\n}\nentry A.m\n",
+		strings.Repeat("method A.m(0) {\n return\n}\n", 2) + "entry A.m\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := Verify(p); err != nil {
+			t.Fatalf("accepted program fails verification: %v", err)
+		}
+		text := Disassemble(p)
+		p2, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n%s", err, text)
+		}
+		if Disassemble(p2) != text {
+			t.Fatal("disassembly is not a fixed point")
+		}
+	})
+}

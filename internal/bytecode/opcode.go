@@ -1,0 +1,246 @@
+// Package bytecode defines a JVM-like stack-machine bytecode: the instruction
+// set, methods, classes and whole programs, together with an assembler, a
+// disassembler and a verifier.
+//
+// The instruction set is a deliberately faithful subset of Java bytecode
+// (integer arithmetic, locals, an operand stack, conditional and unconditional
+// branches, table switches, static and indirect calls, integer arrays, and
+// exceptions with per-method handler tables). It is the source language for
+// every other subsystem in this repository: the template interpreter and the
+// JIT execute it, the ICFG used by control-flow reconstruction is built from
+// it, and the Ball-Larus baselines instrument it.
+package bytecode
+
+import "fmt"
+
+// Opcode identifies a bytecode instruction kind.
+type Opcode uint8
+
+// The instruction set. Branch directions for the IF* family follow the JVM:
+// the branch is "taken" when the condition holds, otherwise execution falls
+// through to the next instruction.
+const (
+	NOP Opcode = iota
+
+	// Constants and local variables.
+	ICONST // push immediate A
+	ILOAD  // push locals[A]
+	ISTORE // locals[A] = pop
+	IINC   // locals[A] += B
+
+	// Operand stack shuffling.
+	DUP  // duplicate top of stack
+	POP  // discard top of stack
+	SWAP // swap top two stack slots
+
+	// Integer arithmetic and bit operations.
+	IADD
+	ISUB
+	IMUL
+	IDIV // throws ArithmeticException on division by zero
+	IREM // throws ArithmeticException on division by zero
+	INEG
+	IAND
+	IOR
+	IXOR
+	ISHL
+	ISHR
+
+	// Control flow.
+	GOTO        // jump to A
+	IFEQ        // pop v; branch to A if v == 0
+	IFNE        // pop v; branch to A if v != 0
+	IFLT        // pop v; branch to A if v < 0
+	IFGE        // pop v; branch to A if v >= 0
+	IFGT        // pop v; branch to A if v > 0
+	IFLE        // pop v; branch to A if v <= 0
+	IF_ICMPEQ   // pop b, a; branch to A if a == b
+	IF_ICMPNE   // pop b, a; branch to A if a != b
+	IF_ICMPLT   // pop b, a; branch to A if a < b
+	IF_ICMPGE   // pop b, a; branch to A if a >= b
+	IF_ICMPGT   // pop b, a; branch to A if a > b
+	IF_ICMPLE   // pop b, a; branch to A if a <= b
+	TABLESWITCH // pop v; jump to Targets[v-A] if in range, else to B (default)
+
+	// Calls and returns. INVOKESTATIC calls method A directly. INVOKEDYN
+	// pops a selector and calls DispatchTables[A][selector mod len]; it is
+	// the indirect-dispatch instruction that models virtual calls,
+	// callbacks and reflection (the ICFG cannot always know its targets,
+	// exercising the paper's missing-call-edge handling).
+	INVOKESTATIC
+	INVOKEDYN
+	IRETURN // pop v; return v to caller
+	RETURN  // return void
+
+	// Integer arrays, backed by the VM heap.
+	NEWARRAY    // pop n; push ref to new int[n]; negative n throws
+	IALOAD      // pop idx, ref; push ref[idx]; bad idx/null throws
+	IASTORE     // pop v, idx, ref; ref[idx] = v; bad idx/null throws
+	ARRAYLENGTH // pop ref; push len(ref); null throws
+
+	// Exceptions. ATHROW pops an exception code and unwinds to the nearest
+	// matching handler (per-method handler tables, then caller frames).
+	ATHROW
+
+	// PROBE is an instrumentation hook: it invokes the probe handler
+	// registered with the VM, passing A as the probe ID. The Ball-Larus
+	// baselines insert PROBEs at the program points their algorithms
+	// compute; application programs never contain them.
+	PROBE
+
+	numOpcodes // sentinel; keep last
+)
+
+// NumOpcodes is the number of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+var opcodeNames = [...]string{
+	NOP:          "nop",
+	ICONST:       "iconst",
+	ILOAD:        "iload",
+	ISTORE:       "istore",
+	IINC:         "iinc",
+	DUP:          "dup",
+	POP:          "pop",
+	SWAP:         "swap",
+	IADD:         "iadd",
+	ISUB:         "isub",
+	IMUL:         "imul",
+	IDIV:         "idiv",
+	IREM:         "irem",
+	INEG:         "ineg",
+	IAND:         "iand",
+	IOR:          "ior",
+	IXOR:         "ixor",
+	ISHL:         "ishl",
+	ISHR:         "ishr",
+	GOTO:         "goto",
+	IFEQ:         "ifeq",
+	IFNE:         "ifne",
+	IFLT:         "iflt",
+	IFGE:         "ifge",
+	IFGT:         "ifgt",
+	IFLE:         "ifle",
+	IF_ICMPEQ:    "if_icmpeq",
+	IF_ICMPNE:    "if_icmpne",
+	IF_ICMPLT:    "if_icmplt",
+	IF_ICMPGE:    "if_icmpge",
+	IF_ICMPGT:    "if_icmpgt",
+	IF_ICMPLE:    "if_icmple",
+	TABLESWITCH:  "tableswitch",
+	INVOKESTATIC: "invokestatic",
+	INVOKEDYN:    "invokedyn",
+	IRETURN:      "ireturn",
+	RETURN:       "return",
+	NEWARRAY:     "newarray",
+	IALOAD:       "iaload",
+	IASTORE:      "iastore",
+	ARRAYLENGTH:  "arraylength",
+	ATHROW:       "athrow",
+	PROBE:        "probe",
+}
+
+// String returns the mnemonic for op.
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) && opcodeNames[op] != "" {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("op#%d", uint8(op))
+}
+
+// OpcodeByName maps a mnemonic back to its Opcode. The boolean reports
+// whether the mnemonic is known.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opcodesByName[name]
+	return op, ok
+}
+
+var opcodesByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// IsCondBranch reports whether op is a two-way conditional branch.
+func (op Opcode) IsCondBranch() bool {
+	return op >= IFEQ && op <= IF_ICMPLE
+}
+
+// IsBranch reports whether op transfers control non-sequentially within a
+// method (conditional branches, goto and tableswitch).
+func (op Opcode) IsBranch() bool {
+	return op == GOTO || op == TABLESWITCH || op.IsCondBranch()
+}
+
+// IsCall reports whether op invokes another method.
+func (op Opcode) IsCall() bool { return op == INVOKESTATIC || op == INVOKEDYN }
+
+// IsReturn reports whether op returns from the current method.
+func (op Opcode) IsReturn() bool { return op == IRETURN || op == RETURN }
+
+// IsThrow reports whether op raises an exception unconditionally.
+func (op Opcode) IsThrow() bool { return op == ATHROW }
+
+// MayThrow reports whether executing op can raise a runtime exception
+// (division by zero, array bounds, negative array size, or an explicit
+// throw).
+func (op Opcode) MayThrow() bool {
+	switch op {
+	case IDIV, IREM, NEWARRAY, IALOAD, IASTORE, ARRAYLENGTH, ATHROW:
+		return true
+	}
+	return false
+}
+
+// IsTerminator reports whether op ends a basic block.
+func (op Opcode) IsTerminator() bool {
+	return op.IsBranch() || op.IsReturn() || op.IsThrow()
+}
+
+// IsControl reports whether op is a control-flow instruction in the sense of
+// the paper's Definition 4.2 (jump, branch, call or return); these survive
+// tier-2 abstraction. ATHROW is included: it is an unconditional transfer.
+func (op Opcode) IsControl() bool {
+	return op.IsBranch() || op.IsCall() || op.IsReturn() || op.IsThrow()
+}
+
+// IsCallStructure reports whether op survives tier-1 abstraction
+// (Definition 5.2): calls and returns only.
+func (op Opcode) IsCallStructure() bool { return op.IsCall() || op.IsReturn() }
+
+// StackEffect returns how op changes operand-stack depth: the number of
+// slots popped and pushed. For INVOKESTATIC and INVOKEDYN the pop count
+// depends on the callee arity and the push count on whether the callee
+// returns a value; callers must consult the Program (use Method.StackDepths).
+// For those two opcodes StackEffect returns pops = -1 and pushes = -1.
+func (op Opcode) StackEffect() (pops, pushes int) {
+	switch op {
+	case NOP, GOTO, IINC, PROBE:
+		return 0, 0
+	case ICONST, ILOAD:
+		return 0, 1
+	case ISTORE, POP, IFEQ, IFNE, IFLT, IFGE, IFGT, IFLE, TABLESWITCH, IRETURN, ATHROW:
+		return 1, 0
+	case DUP:
+		return 1, 2
+	case SWAP:
+		return 2, 2
+	case IADD, ISUB, IMUL, IDIV, IREM, IAND, IOR, IXOR, ISHL, ISHR:
+		return 2, 1
+	case INEG, NEWARRAY, ARRAYLENGTH:
+		return 1, 1
+	case IF_ICMPEQ, IF_ICMPNE, IF_ICMPLT, IF_ICMPGE, IF_ICMPGT, IF_ICMPLE:
+		return 2, 0
+	case IALOAD:
+		return 2, 1
+	case IASTORE:
+		return 3, 0
+	case RETURN:
+		return 0, 0
+	case INVOKESTATIC, INVOKEDYN:
+		return -1, -1
+	}
+	return 0, 0
+}

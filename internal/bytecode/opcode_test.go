@@ -1,0 +1,105 @@
+package bytecode
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeNamesRoundTrip(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		name := op.String()
+		if name == "" {
+			t.Fatalf("opcode %d has no name", op)
+		}
+		got, ok := OpcodeByName(name)
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v; want %v", name, got, ok, op)
+		}
+	}
+}
+
+func TestOpcodeByNameUnknown(t *testing.T) {
+	if _, ok := OpcodeByName("frobnicate"); ok {
+		t.Error("unknown mnemonic resolved")
+	}
+}
+
+func TestOpcodeClassesAreConsistent(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if op.IsCondBranch() && !op.IsBranch() {
+			t.Errorf("%s: cond branch must be a branch", op)
+		}
+		if op.IsBranch() && !op.IsControl() {
+			t.Errorf("%s: branch must be control", op)
+		}
+		if op.IsCall() && !op.IsControl() {
+			t.Errorf("%s: call must be control", op)
+		}
+		if op.IsReturn() && !op.IsControl() {
+			t.Errorf("%s: return must be control", op)
+		}
+		if op.IsCallStructure() && !op.IsControl() {
+			t.Errorf("%s: tier-1 instruction must be control", op)
+		}
+		if op.IsCall() != (op == INVOKESTATIC || op == INVOKEDYN) {
+			t.Errorf("%s: IsCall inconsistent", op)
+		}
+		if op.IsTerminator() && !(op.IsBranch() || op.IsReturn() || op.IsThrow()) {
+			t.Errorf("%s: terminator classification wrong", op)
+		}
+	}
+}
+
+func TestCondBranchSet(t *testing.T) {
+	want := map[Opcode]bool{
+		IFEQ: true, IFNE: true, IFLT: true, IFGE: true, IFGT: true, IFLE: true,
+		IF_ICMPEQ: true, IF_ICMPNE: true, IF_ICMPLT: true,
+		IF_ICMPGE: true, IF_ICMPGT: true, IF_ICMPLE: true,
+	}
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if op.IsCondBranch() != want[op] {
+			t.Errorf("%s: IsCondBranch = %v", op, op.IsCondBranch())
+		}
+	}
+}
+
+func TestStackEffectBounds(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		pops, pushes := op.StackEffect()
+		if op.IsCall() {
+			if pops != -1 || pushes != -1 {
+				t.Errorf("%s: calls must report unknown effect", op)
+			}
+			continue
+		}
+		if pops < 0 || pops > 3 || pushes < 0 || pushes > 2 {
+			t.Errorf("%s: implausible stack effect (%d, %d)", op, pops, pushes)
+		}
+	}
+}
+
+func TestStackEffectQuickNonCallStable(t *testing.T) {
+	// Property: StackEffect is a pure function.
+	f := func(raw uint8) bool {
+		op := Opcode(raw % uint8(numOpcodes))
+		p1, q1 := op.StackEffect()
+		p2, q2 := op.StackEffect()
+		return p1 == p2 && q1 == q2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMayThrowSet(t *testing.T) {
+	for _, op := range []Opcode{IDIV, IREM, NEWARRAY, IALOAD, IASTORE, ARRAYLENGTH, ATHROW} {
+		if !op.MayThrow() {
+			t.Errorf("%s should may-throw", op)
+		}
+	}
+	for _, op := range []Opcode{IADD, GOTO, ICONST, INVOKESTATIC, PROBE} {
+		if op.MayThrow() {
+			t.Errorf("%s should not may-throw", op)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MethodID identifies a method within a Program. IDs are dense indices into
+// Program.Methods.
+type MethodID int32
+
+// NoMethod is the invalid MethodID.
+const NoMethod MethodID = -1
+
+// Instruction is a single bytecode instruction. The meaning of A and B
+// depends on the opcode:
+//
+//	ICONST        A = immediate value
+//	ILOAD/ISTORE  A = local slot
+//	IINC          A = local slot, B = increment
+//	GOTO, IF*     A = branch target (instruction index within the method)
+//	TABLESWITCH   A = low key, B = default target, Targets = per-key targets
+//	INVOKESTATIC  A = callee MethodID
+//	INVOKEDYN     A = dispatch table index in Program.DispatchTables
+//
+// Targets is nil except for TABLESWITCH.
+type Instruction struct {
+	Op      Opcode
+	A, B    int32
+	Targets []int32
+}
+
+// BranchTargets returns the explicit intra-method targets of ins (excluding
+// fall-through): the single target for GOTO and conditional branches, and
+// all case targets plus the default for TABLESWITCH.
+func (ins *Instruction) BranchTargets() []int32 {
+	switch {
+	case ins.Op == GOTO || ins.Op.IsCondBranch():
+		return []int32{ins.A}
+	case ins.Op == TABLESWITCH:
+		ts := make([]int32, 0, len(ins.Targets)+1)
+		ts = append(ts, ins.Targets...)
+		ts = append(ts, ins.B)
+		return ts
+	}
+	return nil
+}
+
+// String renders ins in assembler syntax (without label resolution).
+func (ins Instruction) String() string {
+	switch ins.Op {
+	case ICONST, ILOAD, ISTORE, PROBE:
+		return fmt.Sprintf("%s %d", ins.Op, ins.A)
+	case IINC:
+		return fmt.Sprintf("iinc %d %d", ins.A, ins.B)
+	case GOTO, IFEQ, IFNE, IFLT, IFGE, IFGT, IFLE,
+		IF_ICMPEQ, IF_ICMPNE, IF_ICMPLT, IF_ICMPGE, IF_ICMPGT, IF_ICMPLE:
+		return fmt.Sprintf("%s @%d", ins.Op, ins.A)
+	case TABLESWITCH:
+		var b strings.Builder
+		fmt.Fprintf(&b, "tableswitch %d default=@%d [", ins.A, ins.B)
+		for i, t := range ins.Targets {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "@%d", t)
+		}
+		b.WriteByte(']')
+		return b.String()
+	case INVOKESTATIC:
+		return fmt.Sprintf("invokestatic m%d", ins.A)
+	case INVOKEDYN:
+		return fmt.Sprintf("invokedyn t%d", ins.A)
+	}
+	return ins.Op.String()
+}
+
+// Handler is one entry of a method's exception-handler table: if an
+// exception is raised at an instruction index in [From, To) the handler at
+// Target catches it when the exception code matches Code (a Code of -1
+// catches everything). Entries are searched in order; the first match wins.
+type Handler struct {
+	From, To int32
+	Target   int32
+	Code     int32
+}
+
+// Method is a single bytecode method.
+type Method struct {
+	ID    MethodID
+	Class string
+	Name  string
+
+	// NArgs is the number of int arguments; they occupy locals [0, NArgs).
+	NArgs int
+	// MaxLocals is the size of the locals array (>= NArgs).
+	MaxLocals int
+	// ReturnsValue reports whether the method returns an int (IRETURN)
+	// rather than void (RETURN).
+	ReturnsValue bool
+
+	Code     []Instruction
+	Handlers []Handler
+}
+
+// FullName returns "Class.Name".
+func (m *Method) FullName() string { return m.Class + "." + m.Name }
+
+// Program is a complete bytecode program: a set of methods, the dispatch
+// tables used by INVOKEDYN, and a designated entry method.
+type Program struct {
+	Methods []*Method
+	// DispatchTables[i] lists the possible targets of `invokedyn t<i>`;
+	// the runtime selects DispatchTables[i][selector mod len].
+	DispatchTables [][]MethodID
+	Entry          MethodID
+}
+
+// Method returns the method with the given id, or nil if out of range.
+func (p *Program) Method(id MethodID) *Method {
+	if id < 0 || int(id) >= len(p.Methods) {
+		return nil
+	}
+	return p.Methods[id]
+}
+
+// MethodByName returns the first method whose FullName or bare Name matches,
+// or nil.
+func (p *Program) MethodByName(name string) *Method {
+	for _, m := range p.Methods {
+		if m.FullName() == name || m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// AddMethod appends m, assigns its ID, and returns it.
+func (p *Program) AddMethod(m *Method) *Method {
+	m.ID = MethodID(len(p.Methods))
+	p.Methods = append(p.Methods, m)
+	return m
+}
+
+// AddDispatchTable registers a dispatch table and returns its index.
+func (p *Program) AddDispatchTable(targets ...MethodID) int32 {
+	p.DispatchTables = append(p.DispatchTables, targets)
+	return int32(len(p.DispatchTables) - 1)
+}
+
+// NumInstructions returns the total static instruction count.
+func (p *Program) NumInstructions() int {
+	n := 0
+	for _, m := range p.Methods {
+		n += len(m.Code)
+	}
+	return n
+}
+
+// Classes returns the sorted-by-first-appearance distinct class names.
+func (p *Program) Classes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range p.Methods {
+		if !seen[m.Class] {
+			seen[m.Class] = true
+			out = append(out, m.Class)
+		}
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VerifyError describes a verification failure at a specific program point.
+type VerifyError struct {
+	Method string
+	PC     int32 // -1 when the error is not tied to an instruction
+	Reason string
+}
+
+func (e *VerifyError) Error() string {
+	if e.PC < 0 {
+		return fmt.Sprintf("verify %s: %s", e.Method, e.Reason)
+	}
+	return fmt.Sprintf("verify %s@%d: %s", e.Method, e.PC, e.Reason)
+}
+
+func verr(m *Method, pc int32, format string, args ...any) error {
+	return &VerifyError{Method: m.FullName(), PC: pc, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Verify checks the structural well-formedness of a whole program:
+// every method individually (see VerifyMethod), that the entry method
+// exists and takes no arguments, that call targets resolve, and that
+// dispatch tables are non-empty and in range.
+func Verify(p *Program) error {
+	if p.Method(p.Entry) == nil {
+		return errors.New("verify: entry method does not exist")
+	}
+	if p.Method(p.Entry).NArgs != 0 {
+		return errors.New("verify: entry method must take no arguments")
+	}
+	for i, tbl := range p.DispatchTables {
+		if len(tbl) == 0 {
+			return fmt.Errorf("verify: dispatch table t%d is empty", i)
+		}
+		for _, id := range tbl {
+			if p.Method(id) == nil {
+				return fmt.Errorf("verify: dispatch table t%d references unknown method m%d", i, id)
+			}
+		}
+	}
+	for i, m := range p.Methods {
+		if m.ID != MethodID(i) {
+			return fmt.Errorf("verify: method %s has ID %d but index %d", m.FullName(), m.ID, i)
+		}
+		if err := VerifyMethod(p, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyMethod checks a single method:
+//
+//   - the code is non-empty and control cannot fall off the end;
+//   - branch and handler targets are in range;
+//   - local-variable slots are within MaxLocals;
+//   - call operands resolve within the program;
+//   - the operand stack has a consistent depth at every program point
+//     (computed by fixpoint dataflow over all CFG edges, including
+//     exception edges, which clear the stack to depth 1) and never
+//     underflows;
+//   - return instructions match ReturnsValue.
+//
+// StackDepths for the method can be retrieved separately via StackDepths.
+func VerifyMethod(p *Program, m *Method) error {
+	n := int32(len(m.Code))
+	if n == 0 {
+		return verr(m, -1, "empty code")
+	}
+	if m.NArgs < 0 || m.MaxLocals < m.NArgs {
+		return verr(m, -1, "bad locals: nargs=%d maxlocals=%d", m.NArgs, m.MaxLocals)
+	}
+	if last := m.Code[n-1].Op; !last.IsTerminator() {
+		return verr(m, n-1, "control falls off the end (last opcode %s)", last)
+	}
+	inRange := func(t int32) bool { return t >= 0 && t < n }
+
+	for pc := int32(0); pc < n; pc++ {
+		ins := &m.Code[pc]
+		if int(ins.Op) >= NumOpcodes {
+			return verr(m, pc, "unknown opcode %d", ins.Op)
+		}
+		for _, t := range ins.BranchTargets() {
+			if !inRange(t) {
+				return verr(m, pc, "branch target @%d out of range", t)
+			}
+		}
+		switch ins.Op {
+		case ILOAD, ISTORE, IINC:
+			if ins.A < 0 || int(ins.A) >= m.MaxLocals {
+				return verr(m, pc, "local slot %d out of range [0,%d)", ins.A, m.MaxLocals)
+			}
+		case INVOKESTATIC:
+			if p.Method(MethodID(ins.A)) == nil {
+				return verr(m, pc, "call to unknown method m%d", ins.A)
+			}
+		case INVOKEDYN:
+			if ins.A < 0 || int(ins.A) >= len(p.DispatchTables) {
+				return verr(m, pc, "unknown dispatch table t%d", ins.A)
+			}
+		case TABLESWITCH:
+			if len(ins.Targets) == 0 {
+				return verr(m, pc, "tableswitch with no cases")
+			}
+		}
+	}
+	for i, h := range m.Handlers {
+		if !(h.From >= 0 && h.From < h.To && h.To <= n) {
+			return verr(m, -1, "handler %d has bad range [%d,%d)", i, h.From, h.To)
+		}
+		if !inRange(h.Target) {
+			return verr(m, -1, "handler %d target @%d out of range", i, h.Target)
+		}
+	}
+	_, err := StackDepths(p, m)
+	return err
+}
+
+// StackDepths computes, by forward dataflow, the operand-stack depth at the
+// entry of every instruction. Unreachable instructions get depth -1. An
+// error is returned if any reachable point has inconsistent depths along
+// different paths, underflows the stack, or returns the wrong kind.
+func StackDepths(p *Program, m *Method) ([]int, error) {
+	n := len(m.Code)
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	type item struct {
+		pc int32
+		d  int
+	}
+	depth[0] = 0
+	work := []item{{0, 0}}
+	push := func(pc int32, d int) error {
+		if depth[pc] == -1 {
+			depth[pc] = d
+			work = append(work, item{pc, d})
+			return nil
+		}
+		if depth[pc] != d {
+			return verr(m, pc, "inconsistent stack depth: %d vs %d", depth[pc], d)
+		}
+		return nil
+	}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		ins := &m.Code[it.pc]
+		pops, pushes := ins.Op.StackEffect()
+		if ins.Op.IsCall() {
+			callee, err := calleeShape(p, ins)
+			if err != nil {
+				return nil, verr(m, it.pc, "%v", err)
+			}
+			pops, pushes = callee.pops, callee.pushes
+			if ins.Op == INVOKEDYN {
+				pops++ // the selector
+			}
+		}
+		d := it.d - pops
+		if d < 0 {
+			return nil, verr(m, it.pc, "stack underflow (depth %d, pops %d)", it.d, pops)
+		}
+		d += pushes
+		switch {
+		case ins.Op == IRETURN:
+			if !m.ReturnsValue {
+				return nil, verr(m, it.pc, "ireturn in void method")
+			}
+		case ins.Op == RETURN:
+			if m.ReturnsValue {
+				return nil, verr(m, it.pc, "return in int method")
+			}
+		case ins.Op == ATHROW:
+			// no successors
+		case ins.Op == GOTO:
+			if err := push(ins.A, d); err != nil {
+				return nil, err
+			}
+		case ins.Op == TABLESWITCH:
+			if err := push(ins.B, d); err != nil {
+				return nil, err
+			}
+			for _, t := range ins.Targets {
+				if err := push(t, d); err != nil {
+					return nil, err
+				}
+			}
+		case ins.Op.IsCondBranch():
+			if err := push(ins.A, d); err != nil {
+				return nil, err
+			}
+			fallthroughTo(m, it.pc)
+			if it.pc+1 < int32(n) {
+				if err := push(it.pc+1, d); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			if it.pc+1 >= int32(n) {
+				return nil, verr(m, it.pc, "control falls off the end")
+			}
+			if err := push(it.pc+1, d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Exception handlers enter with depth 1 (the exception code on the
+	// stack). Seed them and iterate once more if any were unreachable via
+	// normal flow but have reachable protected regions.
+	for changed := true; changed; {
+		changed = false
+		for _, h := range m.Handlers {
+			reachable := false
+			for pc := h.From; pc < h.To; pc++ {
+				if depth[pc] >= 0 && m.Code[pc].Op.MayThrow() {
+					reachable = true
+					break
+				}
+			}
+			if reachable && depth[h.Target] == -1 {
+				depth[h.Target] = 1
+				if err := flowFrom(p, m, depth, h.Target); err != nil {
+					return nil, err
+				}
+				changed = true
+			}
+		}
+	}
+	return depth, nil
+}
+
+// fallthroughTo exists only to keep the control flow of StackDepths readable;
+// conditional branches always also fall through.
+func fallthroughTo(_ *Method, _ int32) {}
+
+// flowFrom re-runs the worklist from a newly seeded program point.
+func flowFrom(p *Program, m *Method, depth []int, start int32) error {
+	type item struct {
+		pc int32
+		d  int
+	}
+	work := []item{{start, depth[start]}}
+	push := func(pc int32, d int) error {
+		if depth[pc] == -1 {
+			depth[pc] = d
+			work = append(work, item{pc, d})
+			return nil
+		}
+		if depth[pc] != d {
+			return verr(m, pc, "inconsistent stack depth: %d vs %d", depth[pc], d)
+		}
+		return nil
+	}
+	n := int32(len(m.Code))
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		ins := &m.Code[it.pc]
+		pops, pushes := ins.Op.StackEffect()
+		if ins.Op.IsCall() {
+			callee, err := calleeShape(p, ins)
+			if err != nil {
+				return verr(m, it.pc, "%v", err)
+			}
+			pops, pushes = callee.pops, callee.pushes
+			if ins.Op == INVOKEDYN {
+				pops++
+			}
+		}
+		d := it.d - pops
+		if d < 0 {
+			return verr(m, it.pc, "stack underflow (depth %d, pops %d)", it.d, pops)
+		}
+		d += pushes
+		switch {
+		case ins.Op.IsReturn() || ins.Op == ATHROW:
+		case ins.Op == GOTO:
+			if err := push(ins.A, d); err != nil {
+				return err
+			}
+		case ins.Op == TABLESWITCH:
+			if err := push(ins.B, d); err != nil {
+				return err
+			}
+			for _, t := range ins.Targets {
+				if err := push(t, d); err != nil {
+					return err
+				}
+			}
+		case ins.Op.IsCondBranch():
+			if err := push(ins.A, d); err != nil {
+				return err
+			}
+			if it.pc+1 < n {
+				if err := push(it.pc+1, d); err != nil {
+					return err
+				}
+			}
+		default:
+			if it.pc+1 >= n {
+				return verr(m, it.pc, "control falls off the end")
+			}
+			if err := push(it.pc+1, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type shape struct{ pops, pushes int }
+
+// calleeShape resolves the stack effect of a call instruction. For
+// INVOKEDYN all entries of the dispatch table must agree on arity and
+// return kind (a deliberate simplification mirroring a single resolved
+// signature per call site in Java bytecode).
+func calleeShape(p *Program, ins *Instruction) (shape, error) {
+	switch ins.Op {
+	case INVOKESTATIC:
+		callee := p.Method(MethodID(ins.A))
+		if callee == nil {
+			return shape{}, fmt.Errorf("call to unknown method m%d", ins.A)
+		}
+		return shape{pops: callee.NArgs, pushes: b2i(callee.ReturnsValue)}, nil
+	case INVOKEDYN:
+		if ins.A < 0 || int(ins.A) >= len(p.DispatchTables) {
+			return shape{}, fmt.Errorf("unknown dispatch table t%d", ins.A)
+		}
+		tbl := p.DispatchTables[ins.A]
+		if len(tbl) == 0 {
+			return shape{}, fmt.Errorf("empty dispatch table t%d", ins.A)
+		}
+		first := p.Method(tbl[0])
+		if first == nil {
+			return shape{}, fmt.Errorf("dispatch table t%d references unknown method", ins.A)
+		}
+		for _, id := range tbl[1:] {
+			m := p.Method(id)
+			if m == nil {
+				return shape{}, fmt.Errorf("dispatch table t%d references unknown method", ins.A)
+			}
+			if m.NArgs != first.NArgs || m.ReturnsValue != first.ReturnsValue {
+				return shape{}, fmt.Errorf("dispatch table t%d mixes signatures", ins.A)
+			}
+		}
+		return shape{pops: first.NArgs, pushes: b2i(first.ReturnsValue)}, nil
+	}
+	return shape{}, fmt.Errorf("not a call: %s", ins.Op)
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,207 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildProg wraps a single method (plus optional extras) into a program
+// with a trivial entry.
+func buildProg(t *testing.T, m *Method, extra ...*Method) *Program {
+	t.Helper()
+	p := &Program{}
+	p.AddMethod(m)
+	for _, e := range extra {
+		p.AddMethod(e)
+	}
+	entry := NewBuilder("T", "entry", 0)
+	entry.Return()
+	p.Entry = p.AddMethod(entry.MustBuild()).ID
+	return p
+}
+
+func wantVerifyError(t *testing.T, p *Program, sub string) {
+	t.Helper()
+	err := Verify(p)
+	if err == nil {
+		t.Fatalf("expected verification error containing %q", sub)
+	}
+	if !strings.Contains(err.Error(), sub) {
+		t.Errorf("error %q does not contain %q", err, sub)
+	}
+}
+
+func TestVerifyEmptyMethod(t *testing.T) {
+	m := &Method{Class: "T", Name: "m"}
+	wantVerifyError(t, buildProg(t, m), "empty code")
+}
+
+func TestVerifyFallsOffEnd(t *testing.T) {
+	m := &Method{Class: "T", Name: "m", Code: []Instruction{{Op: NOP}}}
+	wantVerifyError(t, buildProg(t, m), "falls off the end")
+}
+
+func TestVerifyBranchOutOfRange(t *testing.T) {
+	m := &Method{Class: "T", Name: "m", Code: []Instruction{
+		{Op: GOTO, A: 99},
+	}}
+	wantVerifyError(t, buildProg(t, m), "out of range")
+}
+
+func TestVerifyLocalOutOfRange(t *testing.T) {
+	m := &Method{Class: "T", Name: "m", MaxLocals: 1, Code: []Instruction{
+		{Op: ILOAD, A: 5},
+		{Op: POP},
+		{Op: RETURN},
+	}}
+	wantVerifyError(t, buildProg(t, m), "local slot")
+}
+
+func TestVerifyStackUnderflow(t *testing.T) {
+	m := &Method{Class: "T", Name: "m", Code: []Instruction{
+		{Op: IADD},
+		{Op: RETURN},
+	}}
+	wantVerifyError(t, buildProg(t, m), "underflow")
+}
+
+func TestVerifyInconsistentDepth(t *testing.T) {
+	// Two paths reach the same point with different stack depths.
+	b := NewBuilder("T", "m", 1)
+	b.Iload(0)
+	b.If(IFEQ, "join") // taken: depth 0 at join
+	b.Iconst(1)        // fallthrough: push
+	b.Label("join")    // depth conflict: 0 vs 1
+	b.Return()
+	m := b.MustBuild()
+	wantVerifyError(t, buildProg(t, m), "inconsistent stack depth")
+}
+
+func TestVerifyIreturnInVoid(t *testing.T) {
+	m := &Method{Class: "T", Name: "m", Code: []Instruction{
+		{Op: ICONST, A: 1},
+		{Op: IRETURN},
+	}}
+	wantVerifyError(t, buildProg(t, m), "ireturn in void method")
+}
+
+func TestVerifyReturnInIntMethod(t *testing.T) {
+	m := &Method{Class: "T", Name: "m", ReturnsValue: true, Code: []Instruction{
+		{Op: RETURN},
+	}}
+	wantVerifyError(t, buildProg(t, m), "return in int method")
+}
+
+func TestVerifyUnknownCallee(t *testing.T) {
+	m := &Method{Class: "T", Name: "m", Code: []Instruction{
+		{Op: INVOKESTATIC, A: 42},
+		{Op: RETURN},
+	}}
+	wantVerifyError(t, buildProg(t, m), "unknown method")
+}
+
+func TestVerifyDispatchTableSignatureMismatch(t *testing.T) {
+	f := NewBuilder("T", "f", 1)
+	f.ReturnsValue()
+	f.Iload(0).Ireturn()
+	g := NewBuilder("T", "g", 2)
+	g.ReturnsValue()
+	g.Iload(0).Ireturn()
+
+	p := &Program{}
+	fid := p.AddMethod(f.MustBuild()).ID
+	gid := p.AddMethod(g.MustBuild()).ID
+	p.AddDispatchTable(fid, gid)
+
+	caller := NewBuilder("T", "main", 0)
+	caller.Iconst(1).Iconst(0).InvokeDyn(0).Pop().Return()
+	p.Entry = p.AddMethod(caller.MustBuild()).ID
+	wantVerifyError(t, p, "mixes signatures")
+}
+
+func TestVerifyEmptyDispatchTable(t *testing.T) {
+	p := &Program{}
+	p.DispatchTables = append(p.DispatchTables, nil)
+	entry := NewBuilder("T", "entry", 0)
+	entry.Return()
+	p.Entry = p.AddMethod(entry.MustBuild()).ID
+	wantVerifyError(t, p, "empty")
+}
+
+func TestVerifyHandlerBadRange(t *testing.T) {
+	m := &Method{Class: "T", Name: "m",
+		Code:     []Instruction{{Op: NOP}, {Op: RETURN}},
+		Handlers: []Handler{{From: 1, To: 1, Target: 0}},
+	}
+	wantVerifyError(t, buildProg(t, m), "bad range")
+}
+
+func TestVerifyEntryMissing(t *testing.T) {
+	p := &Program{Entry: 3}
+	if err := Verify(p); err == nil {
+		t.Fatal("expected error for missing entry")
+	}
+}
+
+func TestVerifyTableswitchNoCases(t *testing.T) {
+	m := &Method{Class: "T", Name: "m", Code: []Instruction{
+		{Op: ICONST, A: 0},
+		{Op: TABLESWITCH, A: 0, B: 2},
+		{Op: RETURN},
+	}}
+	wantVerifyError(t, buildProg(t, m), "no cases")
+}
+
+func TestStackDepthsHandlerEntry(t *testing.T) {
+	// A handler entry must have depth exactly 1 (the exception code).
+	b := NewBuilder("T", "m", 0)
+	b.ReturnsValue()
+	b.Label("try")
+	b.Iconst(4).Iconst(0).Idiv()
+	b.Ireturn()
+	b.Label("catch")
+	b.Ireturn() // consumes the pushed exception code
+	b.Handler("try", "catch", "catch", -1)
+	m := b.MustBuild()
+	p := buildProg(t, m)
+	if err := Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	depths, err := StackDepths(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depths[4] != 1 {
+		t.Errorf("handler entry depth = %d, want 1", depths[4])
+	}
+}
+
+func TestStackDepthsStraightLine(t *testing.T) {
+	b := NewBuilder("T", "m", 0)
+	b.ReturnsValue()
+	b.Iconst(1) // depth 0 -> 1
+	b.Iconst(2) // 1 -> 2
+	b.Iadd()    // 2 -> 1
+	b.Ireturn()
+	m := b.MustBuild()
+	p := buildProg(t, m)
+	depths, err := StackDepths(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 1}
+	for i, w := range want {
+		if depths[i] != w {
+			t.Errorf("depth[%d] = %d, want %d", i, depths[i], w)
+		}
+	}
+}
+
+func TestVerifyWorkloadLikePrograms(t *testing.T) {
+	// Verified example from the assembler suite should pass whole-program
+	// verification (belt and braces for the asm path).
+	p := MustAssemble(asmExample)
+	if err := Verify(p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package cfg
+
+import "sort"
+
+// Dominators computes the immediate dominator of every block in g using the
+// simple iterative dataflow algorithm (Cooper, Harvey, Kennedy). The entry
+// block dominates itself; unreachable blocks get idom -1.
+func Dominators(g *CFG) []int {
+	n := len(g.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	order := ReversePostorder(g)
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range order {
+		rpoNum[b] = i
+	}
+	idom[g.EntryBlock()] = g.EntryBlock()
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == g.EntryBlock() {
+				continue
+			}
+			newIdom := -1
+			for _, e := range g.Preds[b] {
+				p := e.From
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b under idom.
+func Dominates(idom []int, a, b int) bool {
+	if idom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == idom[b] {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// ReversePostorder returns the block IDs of g in reverse postorder from the
+// entry. Unreachable blocks are appended at the end in ID order so that every
+// block appears exactly once.
+func ReversePostorder(g *CFG) []int {
+	n := len(g.Blocks)
+	seen := make([]bool, n)
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, e := range g.Succs[b] {
+			if !seen[e.To] {
+				dfs(e.To)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.EntryBlock())
+	out := make([]int, 0, n)
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	for b := 0; b < n; b++ {
+		if !seen[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Loop describes a natural loop: its header block and body (sorted block
+// IDs, header included).
+type Loop struct {
+	Header int
+	Body   []int
+}
+
+// NaturalLoops finds the natural loops of g: for every back edge t->h
+// (where h dominates t), the loop body is every block that can reach t
+// without passing through h. Loops sharing a header are merged.
+func NaturalLoops(g *CFG) []Loop {
+	idom := Dominators(g)
+	bodies := map[int]map[int]bool{}
+	for _, e := range g.Edges {
+		if !Dominates(idom, e.To, e.From) {
+			continue
+		}
+		h, t := e.To, e.From
+		body := bodies[h]
+		if body == nil {
+			body = map[int]bool{h: true}
+			bodies[h] = body
+		}
+		// Walk predecessors from t up to h.
+		stack := []int{t}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if body[b] {
+				continue
+			}
+			body[b] = true
+			for _, pe := range g.Preds[b] {
+				stack = append(stack, pe.From)
+			}
+		}
+	}
+	headers := make([]int, 0, len(bodies))
+	for h := range bodies {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	loops := make([]Loop, 0, len(headers))
+	for _, h := range headers {
+		body := make([]int, 0, len(bodies[h]))
+		for b := range bodies[h] {
+			body = append(body, b)
+		}
+		sort.Ints(body)
+		loops = append(loops, Loop{Header: h, Body: body})
+	}
+	return loops
+}
+
+// BackEdges returns the back edges of g (edges whose target dominates their
+// source).
+func BackEdges(g *CFG) []BlockEdge {
+	idom := Dominators(g)
+	var out []BlockEdge
+	for _, e := range g.Edges {
+		if Dominates(idom, e.To, e.From) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func Reachable(g *CFG) []bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []int{g.EntryBlock()}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		for _, e := range g.Succs[b] {
+			stack = append(stack, e.To)
+		}
+	}
+	return seen
+}
+
+// CallGraph is the static call graph over methods.
+type CallGraph struct {
+	// Callees[mid] lists distinct callee methods of mid in first-seen order.
+	Callees [][]int32
+	// Callers[mid] lists distinct caller methods of mid.
+	Callers [][]int32
+}
+
+// BuildCallGraph derives the call graph of the program underlying g.
+func (g *ICFG) BuildCallGraph() *CallGraph {
+	n := len(g.Prog.Methods)
+	cg := &CallGraph{Callees: make([][]int32, n), Callers: make([][]int32, n)}
+	seenCallee := make([]map[int32]bool, n)
+	seenCaller := make([]map[int32]bool, n)
+	for i := range seenCallee {
+		seenCallee[i] = map[int32]bool{}
+		seenCaller[i] = map[int32]bool{}
+	}
+	for callee, sites := range g.CallSitesOf {
+		for _, s := range sites {
+			caller, _ := g.Location(s)
+			if !seenCallee[caller][int32(callee)] {
+				seenCallee[caller][int32(callee)] = true
+				cg.Callees[caller] = append(cg.Callees[caller], int32(callee))
+			}
+			if !seenCaller[callee][int32(caller)] {
+				seenCaller[callee][int32(caller)] = true
+				cg.Callers[callee] = append(cg.Callers[callee], int32(caller))
+			}
+		}
+	}
+	return cg
+}

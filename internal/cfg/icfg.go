@@ -1,0 +1,187 @@
+package cfg
+
+import (
+	"jportal/internal/bytecode"
+)
+
+// NodeID identifies an instruction node in the ICFG: a dense index over all
+// instructions of all methods.
+type NodeID int32
+
+// NoNode is the invalid node.
+const NoNode NodeID = -1
+
+// Edge is a labelled ICFG edge.
+type Edge struct {
+	To   NodeID
+	Kind EdgeKind
+	// Arg carries the case key for EdgeSwitch edges.
+	Arg int32
+}
+
+// Options configures ICFG construction.
+type Options struct {
+	// ResolveDynCalls controls whether INVOKEDYN call edges to the
+	// statically known dispatch-table entries are added. When false, the
+	// ICFG deliberately misses those feasible paths, modelling dynamic
+	// language features (reflection, callbacks) that a statically built
+	// ICFG cannot see (paper §4, Discussions); the reconstruction layer
+	// must then fall back to scanning candidate entry points.
+	ResolveDynCalls bool
+}
+
+// DefaultOptions resolves dynamic calls.
+func DefaultOptions() Options { return Options{ResolveDynCalls: true} }
+
+// ICFG is the interprocedural control-flow graph over instructions. Each
+// node represents one bytecode instruction; edges represent the
+// "potential-next-instruction-to-execute" relation of Definition 4.1,
+// context-insensitively (returns connect to every compatible return site).
+type ICFG struct {
+	Prog *bytecode.Program
+	Opts Options
+
+	// base[mid] is the NodeID of instruction 0 of method mid.
+	base []NodeID
+	// nodes is the total node count.
+	nodes int
+
+	Succs [][]Edge
+	Preds [][]Edge
+
+	// CallSitesOf[mid] lists the nodes holding calls that may target mid
+	// (used to wire EdgeReturn and by recovery diagnostics).
+	CallSitesOf [][]NodeID
+}
+
+// BuildICFG constructs the ICFG of p.
+func BuildICFG(p *bytecode.Program, opts Options) *ICFG {
+	g := &ICFG{Prog: p, Opts: opts, base: make([]NodeID, len(p.Methods))}
+	total := 0
+	for i, m := range p.Methods {
+		g.base[i] = NodeID(total)
+		total += len(m.Code)
+	}
+	g.nodes = total
+	g.Succs = make([][]Edge, total)
+	g.Preds = make([][]Edge, total)
+	g.CallSitesOf = make([][]NodeID, len(p.Methods))
+
+	add := func(from NodeID, e Edge) {
+		g.Succs[from] = append(g.Succs[from], e)
+		g.Preds[e.To] = append(g.Preds[e.To], Edge{To: from, Kind: e.Kind, Arg: e.Arg})
+	}
+
+	// Pass 1: intra-method edges and call edges; collect call sites.
+	for _, m := range p.Methods {
+		n := int32(len(m.Code))
+		for pc := int32(0); pc < n; pc++ {
+			node := g.Node(m.ID, pc)
+			ins := &m.Code[pc]
+			switch {
+			case ins.Op == bytecode.GOTO:
+				add(node, Edge{To: g.Node(m.ID, ins.A), Kind: EdgeJump})
+			case ins.Op.IsCondBranch():
+				add(node, Edge{To: g.Node(m.ID, ins.A), Kind: EdgeTaken})
+				if pc+1 < n {
+					add(node, Edge{To: g.Node(m.ID, pc+1), Kind: EdgeFallthrough})
+				}
+			case ins.Op == bytecode.TABLESWITCH:
+				for i, t := range ins.Targets {
+					add(node, Edge{To: g.Node(m.ID, t), Kind: EdgeSwitch, Arg: ins.A + int32(i)})
+				}
+				add(node, Edge{To: g.Node(m.ID, ins.B), Kind: EdgeSwitch, Arg: SwitchDefault})
+			case ins.Op == bytecode.INVOKESTATIC:
+				callee := bytecode.MethodID(ins.A)
+				add(node, Edge{To: g.Entry(callee), Kind: EdgeCall})
+				g.CallSitesOf[callee] = append(g.CallSitesOf[callee], node)
+			case ins.Op == bytecode.INVOKEDYN:
+				if opts.ResolveDynCalls {
+					for _, callee := range p.DispatchTables[ins.A] {
+						add(node, Edge{To: g.Entry(callee), Kind: EdgeCall})
+						g.CallSitesOf[callee] = append(g.CallSitesOf[callee], node)
+					}
+				}
+			case ins.Op.IsReturn():
+				// wired in pass 2
+			case ins.Op == bytecode.ATHROW:
+				// handler edges below; cross-method unwinding is not
+				// represented (context-insensitive NFA, paper §4)
+			default:
+				if pc+1 < n {
+					add(node, Edge{To: g.Node(m.ID, pc+1), Kind: EdgeFallthrough})
+				}
+			}
+			// Intra-method exception edges.
+			if ins.Op.MayThrow() {
+				for _, h := range m.Handlers {
+					if pc >= h.From && pc < h.To {
+						add(node, Edge{To: g.Node(m.ID, h.Target), Kind: EdgeThrow})
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: return edges. A return in method mid flows to the
+	// instruction after every call site that may target mid.
+	for mid, m := range p.Methods {
+		sites := g.CallSitesOf[mid]
+		if len(sites) == 0 {
+			continue
+		}
+		for pc := int32(0); pc < int32(len(m.Code)); pc++ {
+			if !m.Code[pc].Op.IsReturn() {
+				continue
+			}
+			node := g.Node(m.ID, pc)
+			for _, site := range sites {
+				smid, spc := g.Location(site)
+				caller := p.Methods[smid]
+				if spc+1 < int32(len(caller.Code)) {
+					add(node, Edge{To: g.Node(smid, spc+1), Kind: EdgeReturn})
+				}
+			}
+		}
+	}
+	return g
+}
+
+// NumNodes returns the total node count.
+func (g *ICFG) NumNodes() int { return g.nodes }
+
+// Node returns the NodeID of (mid, pc).
+func (g *ICFG) Node(mid bytecode.MethodID, pc int32) NodeID {
+	return g.base[mid] + NodeID(pc)
+}
+
+// Entry returns the entry node of method mid.
+func (g *ICFG) Entry(mid bytecode.MethodID) NodeID { return g.base[mid] }
+
+// Location maps a NodeID back to (method, pc).
+func (g *ICFG) Location(n NodeID) (bytecode.MethodID, int32) {
+	// Binary search over base.
+	lo, hi := 0, len(g.base)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if g.base[mid] <= n {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return bytecode.MethodID(lo), int32(n - g.base[lo])
+}
+
+// Instr returns the instruction at node n.
+func (g *ICFG) Instr(n NodeID) *bytecode.Instruction {
+	mid, pc := g.Location(n)
+	return &g.Prog.Methods[mid].Code[pc]
+}
+
+// MethodEntries returns the entry nodes of all methods.
+func (g *ICFG) MethodEntries() []NodeID {
+	out := make([]NodeID, len(g.base))
+	copy(out, g.base)
+	return out
+}

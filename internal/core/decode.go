@@ -1,0 +1,145 @@
+package core
+
+import (
+	"jportal/internal/bytecode"
+	"jportal/internal/meta"
+	"jportal/internal/pt"
+	"jportal/internal/ptdecode"
+)
+
+// DecodeThread runs the two-level decode for one thread's stitched packet
+// stream: the native-level walk (package ptdecode) followed by the
+// bytecode-level mapping of §3 — template-range lookup for interpreted
+// dispatches (§3.1) and debug-record lookup, through inline frames, for
+// JITed ranges (§3.2). The result is the segmented bytecode token stream
+// that reconstruction (§4) and recovery (§5) consume.
+func DecodeThread(prog *bytecode.Program, snap *meta.Snapshot, items []pt.Item) ([]*Segment, *DecodeThreadStats) {
+	dec := ptdecode.New(snap)
+	events := dec.Decode(items)
+	segs, stats := TokenizeEvents(prog, events)
+	stats.NativeDesyncs = dec.Desyncs
+	return segs, stats
+}
+
+// DecodeThreadStats summarises one thread's decode.
+type DecodeThreadStats struct {
+	Segments      int
+	Tokens        int
+	LocatedTokens int
+	Gaps          int
+	LostBytes     uint64
+	NativeDesyncs int
+}
+
+// TokenizeEvents lowers native-level decoder events to bytecode tokens,
+// splitting segments at gaps and desyncs.
+func TokenizeEvents(prog *bytecode.Program, events []ptdecode.Event) ([]*Segment, *DecodeThreadStats) {
+	st := &DecodeThreadStats{}
+	var segs []*Segment
+	cur := &Segment{}
+	var pendingGap *GapInfo
+	tsc := uint64(0)
+
+	flush := func(gapAfter *GapInfo) {
+		if len(cur.Tokens) > 0 {
+			cur.GapBefore = pendingGap
+			segs = append(segs, cur)
+			st.Segments++
+			st.Tokens += len(cur.Tokens)
+			pendingGap = nil
+		} else if pendingGap != nil && gapAfter != nil {
+			// Merge adjacent gaps.
+			gapAfter.LostBytes += pendingGap.LostBytes
+			if pendingGap.Start < gapAfter.Start {
+				gapAfter.Start = pendingGap.Start
+			}
+			gapAfter.Desync = gapAfter.Desync && pendingGap.Desync
+		}
+		cur = &Segment{}
+		pendingGap = gapAfter
+	}
+
+	// Pending conditional dispatch awaiting its TNT (interpreter mode
+	// pairs TIP(template) + TNT).
+	pendingCond := -1
+
+	appendTok := func(t Token) {
+		t.TSC = tsc
+		cur.Tokens = append(cur.Tokens, t)
+	}
+
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case ptdecode.EvTime:
+			tsc = ev.TSC
+		case ptdecode.EvEnable, ptdecode.EvDisable, ptdecode.EvStub:
+			pendingCond = -1
+		case ptdecode.EvGap:
+			pendingCond = -1
+			st.Gaps++
+			st.LostBytes += ev.LostBytes
+			tsc = ev.GapEnd
+			flush(&GapInfo{LostBytes: ev.LostBytes, Start: ev.GapStart, End: ev.GapEnd})
+		case ptdecode.EvDesync:
+			pendingCond = -1
+			flush(&GapInfo{Start: tsc, End: tsc, Desync: true})
+		case ptdecode.EvTemplate:
+			appendTok(Token{Op: ev.Op, Method: bytecode.NoMethod})
+			if ev.Op.IsCondBranch() {
+				pendingCond = len(cur.Tokens) - 1
+			} else {
+				pendingCond = -1
+			}
+		case ptdecode.EvTemplateTNT:
+			if pendingCond >= 0 && cur.Tokens[pendingCond].Op == ev.Op {
+				cur.Tokens[pendingCond].HasDir = true
+				cur.Tokens[pendingCond].Taken = ev.Taken
+			} else {
+				// A TNT without its dispatch (post-loss FUP anchored the
+				// bits mid-template): synthesise the branch token.
+				appendTok(Token{Op: ev.Op, Method: bytecode.NoMethod, HasDir: true, Taken: ev.Taken})
+			}
+			pendingCond = -1
+		case ptdecode.EvJITRange:
+			pendingCond = -1
+			tokenizeRange(prog, ev, appendTok)
+		}
+	}
+	flush(nil)
+	for _, s := range segs {
+		for i := range s.Tokens {
+			if s.Tokens[i].Located() {
+				st.LocatedTokens++
+			}
+		}
+	}
+	return segs, st
+}
+
+// tokenizeRange converts an executed native instruction range into bytecode
+// tokens via the blob's debug records, collapsing the several native
+// instructions a bytecode lowers to into one token, and resolving inline
+// frames to the innermost instruction (§6, "Dealing with Inlined Code").
+func tokenizeRange(prog *bytecode.Program, ev *ptdecode.Event, emit func(Token)) {
+	blob := ev.Blob
+	var lastM bytecode.MethodID = bytecode.NoMethod
+	lastPC := int32(-1)
+	for i := ev.First; i < ev.Last; i++ {
+		rec := &blob.Debug[i]
+		inner := rec.Frames[len(rec.Frames)-1]
+		if inner.Method == lastM && inner.PC == lastPC {
+			continue // same bytecode instruction, subsequent native instr
+		}
+		lastM, lastPC = inner.Method, inner.PC
+		tok := Token{
+			Method: inner.Method,
+			PC:     inner.PC,
+			Approx: rec.Approximate,
+		}
+		if m := prog.Method(inner.Method); m != nil && int(inner.PC) < len(m.Code) {
+			tok.Op = m.Code[inner.PC].Op
+		}
+		emit(tok)
+	}
+}

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"sort"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/cfg"
+)
+
+// Matcher holds the NFA view of a program's ICFG (Definition 4.1: states
+// are instruction nodes, the alphabet is bytecode instructions with branch
+// directions, any state can start or accept) together with the control
+// skeleton used as the abstract NFA (Definitions 4.2/4.3) and the indexes
+// that make reconstruction fast.
+type Matcher struct {
+	G *cfg.ICFG
+
+	// opIndex[op] lists nodes whose instruction is op (candidate starting
+	// states for a trace beginning with op).
+	opIndex [][]cfg.NodeID
+	// handlerTargets are all exception-handler entries; cross-method
+	// unwinding, which the context-insensitive ICFG does not represent,
+	// falls back to them.
+	handlerTargets []cfg.NodeID
+	// entryNodes are all method entries; unresolved dynamic calls fall
+	// back to them (the paper's callback search, §4 Discussions).
+	entryNodes []cfg.NodeID
+	// returnSites are the instructions following any call site; returns
+	// from callees the static ICFG did not wire (unresolved dynamic
+	// callers) fall back to them.
+	returnSites []cfg.NodeID
+
+	// ctrlReach memoises, per node, the set of control nodes reachable
+	// through non-control instructions only (the ε-closure of the ANFA,
+	// Fig 5).
+	ctrlReach map[cfg.NodeID][]cfg.NodeID
+
+	// MaxStates caps subset-simulation layers (deterministic pruning).
+	MaxStates int
+	// UseContext selects the PDA engine (MatchFromContext) for segment
+	// reconstruction instead of the paper's NFA (an evaluated extension;
+	// see pda.go).
+	UseContext bool
+}
+
+// NewMatcher builds the matcher for g.
+func NewMatcher(g *cfg.ICFG) *Matcher {
+	m := &Matcher{
+		G:         g,
+		opIndex:   make([][]cfg.NodeID, bytecode.NumOpcodes),
+		ctrlReach: make(map[cfg.NodeID][]cfg.NodeID),
+		MaxStates: 4096,
+	}
+	for _, meth := range g.Prog.Methods {
+		for pc := range meth.Code {
+			n := g.Node(meth.ID, int32(pc))
+			op := meth.Code[pc].Op
+			m.opIndex[op] = append(m.opIndex[op], n)
+			if op.IsCall() && pc+1 < len(meth.Code) {
+				m.returnSites = append(m.returnSites, g.Node(meth.ID, int32(pc+1)))
+			}
+		}
+		for _, h := range meth.Handlers {
+			m.handlerTargets = append(m.handlerTargets, g.Node(meth.ID, h.Target))
+		}
+	}
+	m.entryNodes = g.MethodEntries()
+	return m
+}
+
+// NodesWithOp returns candidate starting states for a trace beginning with
+// op.
+func (m *Matcher) NodesWithOp(op bytecode.Opcode) []cfg.NodeID { return m.opIndex[op] }
+
+// tokenMatchesNode implements the symbol match I(N(o)) = s of
+// Definition 4.1: located tokens must be at exactly their node; interpreter
+// tokens match any node with the same opcode.
+func (m *Matcher) tokenMatchesNode(t *Token, n cfg.NodeID) bool {
+	if t.Located() {
+		mid, pc := m.G.Location(n)
+		return mid == t.Method && pc == t.PC
+	}
+	return m.G.Instr(n).Op == t.Op
+}
+
+// successors returns the NFA transition targets from node n given that the
+// token consumed at n was t (the token's branch direction selects among a
+// conditional's out-edges). The boolean reports whether a fallback
+// (handler targets or method entries) was used.
+func (m *Matcher) successors(n cfg.NodeID, t *Token, buf []cfg.NodeID) ([]cfg.NodeID, bool) {
+	ins := m.G.Instr(n)
+	edges := m.G.Succs[n]
+	switch {
+	case ins.Op.IsCondBranch():
+		for _, e := range edges {
+			if !t.HasDir {
+				if e.Kind == cfg.EdgeTaken || e.Kind == cfg.EdgeFallthrough {
+					buf = append(buf, e.To)
+				}
+				continue
+			}
+			if t.Taken && e.Kind == cfg.EdgeTaken || !t.Taken && e.Kind == cfg.EdgeFallthrough {
+				buf = append(buf, e.To)
+			}
+		}
+	case ins.Op == bytecode.GOTO:
+		for _, e := range edges {
+			if e.Kind == cfg.EdgeJump {
+				buf = append(buf, e.To)
+			}
+		}
+	case ins.Op == bytecode.TABLESWITCH:
+		for _, e := range edges {
+			if e.Kind == cfg.EdgeSwitch {
+				buf = append(buf, e.To)
+			}
+		}
+	case ins.Op.IsCall():
+		for _, e := range edges {
+			if e.Kind == cfg.EdgeCall {
+				buf = append(buf, e.To)
+			}
+		}
+		if len(buf) == 0 {
+			// The statically built ICFG misses this call's targets
+			// (dynamic dispatch/reflection): inspect all potential
+			// entry points (§4, Discussions).
+			return m.entryNodes, true
+		}
+	case ins.Op.IsReturn():
+		for _, e := range edges {
+			if e.Kind == cfg.EdgeReturn {
+				buf = append(buf, e.To)
+			}
+		}
+		if len(buf) == 0 {
+			// No statically known caller (the method is only reachable
+			// through unresolved dynamic dispatch): any return site.
+			return m.returnSites, true
+		}
+	case ins.Op == bytecode.ATHROW:
+		for _, e := range edges {
+			if e.Kind == cfg.EdgeThrow {
+				buf = append(buf, e.To)
+			}
+		}
+		if len(buf) == 0 {
+			return m.handlerTargets, true
+		}
+	default:
+		for _, e := range edges {
+			if e.Kind == cfg.EdgeFallthrough {
+				buf = append(buf, e.To)
+			}
+		}
+		// A may-throw instruction can also transfer to a handler.
+		if ins.Op.MayThrow() {
+			for _, e := range edges {
+				if e.Kind == cfg.EdgeThrow {
+					buf = append(buf, e.To)
+				}
+			}
+			if len(edges) == 0 || onlyThrowless(edges) {
+				// Uncaught in this method: cross-method unwind.
+				buf = append(buf, m.handlerTargets...)
+				return buf, true
+			}
+		}
+	}
+	return buf, false
+}
+
+func onlyThrowless(edges []cfg.Edge) bool {
+	for _, e := range edges {
+		if e.Kind == cfg.EdgeThrow {
+			return false
+		}
+	}
+	return true
+}
+
+// CtrlReach returns the ANFA ε-closure of n: the control nodes reachable
+// from n through zero or more non-control instructions (n itself if it is a
+// control node).
+func (m *Matcher) CtrlReach(n cfg.NodeID) []cfg.NodeID {
+	if r, ok := m.ctrlReach[n]; ok {
+		return r
+	}
+	var out []cfg.NodeID
+	seen := map[cfg.NodeID]bool{}
+	var visit func(cfg.NodeID)
+	visit = func(x cfg.NodeID) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		if m.G.Instr(x).Op.IsControl() {
+			out = append(out, x)
+			return
+		}
+		for _, e := range m.G.Succs[x] {
+			visit(e.To)
+		}
+	}
+	visit(n)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	m.ctrlReach[n] = out
+	return out
+}
+
+// AbstractTokens returns the tier-2 (control-structure) abstraction of toks
+// (Definition 4.2).
+func AbstractTokens(toks []Token) []Token {
+	var out []Token
+	for i := range toks {
+		if toks[i].Op.IsControl() {
+			out = append(out, toks[i])
+		}
+	}
+	return out
+}
+
+// IsAcceptedAbstract checks whether the abstract token sequence can be
+// matched by the ANFA starting from concrete node start (Theorem 4.4's
+// necessary condition). atoks must already be abstracted.
+func (m *Matcher) IsAcceptedAbstract(start cfg.NodeID, atoks []Token) bool {
+	if len(atoks) == 0 {
+		return true
+	}
+	// ε-close the start, filter by the first abstract symbol.
+	var states []cfg.NodeID
+	for _, c := range m.CtrlReach(start) {
+		if m.tokenMatchesNode(&atoks[0], c) {
+			states = append(states, c)
+		}
+	}
+	var buf []cfg.NodeID
+	for i := 0; i+1 < len(atoks); i++ {
+		next := next0(len(states))
+		seen := map[cfg.NodeID]bool{}
+		for _, s := range states {
+			buf = buf[:0]
+			succs, _ := m.successors(s, &atoks[i], buf)
+			for _, sc := range succs {
+				for _, c := range m.CtrlReach(sc) {
+					if !seen[c] && m.tokenMatchesNode(&atoks[i+1], c) {
+						seen[c] = true
+						next = append(next, c)
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		if len(next) > m.MaxStates {
+			next = next[:m.MaxStates]
+		}
+		states = next
+	}
+	return len(states) > 0
+}
+
+func next0(capHint int) []cfg.NodeID { return make([]cfg.NodeID, 0, capHint+4) }
+
+// MatchResult is the outcome of projecting a token run onto the ICFG.
+type MatchResult struct {
+	// Path holds one node per matched token.
+	Path []cfg.NodeID
+	// Matched is the number of tokens consumed (len(Path)).
+	Matched int
+	// Complete reports whether every token matched.
+	Complete bool
+	// Reanchors counts located-token re-anchorings (debug-info gaps the
+	// matcher stepped over).
+	Reanchors int
+	// Fallbacks counts uses of the entry/handler fallbacks.
+	Fallbacks int
+}
+
+// layerEntry is one NFA state with its predecessor for path recovery.
+type layerEntry struct {
+	node   cfg.NodeID
+	parent int32 // index into previous layer, -1 at the start
+}
+
+// MatchFrom runs the NFA subset simulation over toks beginning from the
+// given start states, returning the longest matched prefix and one witness
+// path (the disambiguated projection). It is the engine beneath both
+// Algorithm 1 and Algorithm 2 and the production pipeline.
+func (m *Matcher) MatchFrom(starts []cfg.NodeID, toks []Token) MatchResult {
+	if len(toks) == 0 {
+		return MatchResult{Complete: true}
+	}
+	var res MatchResult
+	layer := make([]layerEntry, 0, len(starts))
+	for _, s := range starts {
+		if m.tokenMatchesNode(&toks[0], s) {
+			layer = append(layer, layerEntry{node: s, parent: -1})
+		}
+		if len(layer) >= m.MaxStates {
+			break
+		}
+	}
+	if len(layer) == 0 {
+		return res
+	}
+	layers := make([][]layerEntry, 1, len(toks))
+	layers[0] = layer
+
+	var buf []cfg.NodeID
+	for i := 0; i+1 < len(toks); i++ {
+		cur := layers[i]
+		next := make([]layerEntry, 0, len(cur))
+		seen := make(map[cfg.NodeID]bool, len(cur))
+		tok := &toks[i]
+		ntok := &toks[i+1]
+		for pi := range cur {
+			buf = buf[:0]
+			succs, fb := m.successors(cur[pi].node, tok, buf)
+			if fb {
+				res.Fallbacks++
+			}
+			for _, sc := range succs {
+				if !seen[sc] && m.tokenMatchesNode(ntok, sc) {
+					seen[sc] = true
+					next = append(next, layerEntry{node: sc, parent: int32(pi)})
+					if len(next) >= m.MaxStates {
+						break
+					}
+				}
+			}
+			if len(next) >= m.MaxStates {
+				break
+			}
+		}
+		if len(next) == 0 {
+			if ntok.Located() {
+				// Debug-info imprecision (elided instructions,
+				// approximate records) broke the chain; re-anchor at
+				// the known location rather than splitting the run.
+				res.Reanchors++
+				next = append(next, layerEntry{
+					node:   m.G.Node(ntok.Method, ntok.PC),
+					parent: int32(minParent(cur)),
+				})
+			} else {
+				break
+			}
+		}
+		layers = append(layers, next)
+	}
+
+	// Walk back from the lexicographically smallest final state.
+	final := layers[len(layers)-1]
+	best := 0
+	for i := 1; i < len(final); i++ {
+		if final[i].node < final[best].node {
+			best = i
+		}
+	}
+	path := make([]cfg.NodeID, len(layers))
+	idx := int32(best)
+	for li := len(layers) - 1; li >= 0; li-- {
+		e := layers[li][idx]
+		path[li] = e.node
+		idx = e.parent
+		if idx < 0 && li > 0 {
+			// Re-anchor boundary: earlier layers keep their smallest
+			// state as the witness.
+			for lj := li - 1; lj >= 0; lj-- {
+				path[lj] = layers[lj][smallest(layers[lj])].node
+			}
+			break
+		}
+	}
+	res.Path = path
+	res.Matched = len(layers)
+	res.Complete = res.Matched == len(toks)
+	return res
+}
+
+func smallest(l []layerEntry) int {
+	b := 0
+	for i := 1; i < len(l); i++ {
+		if l[i].node < l[b].node {
+			b = i
+		}
+	}
+	return b
+}
+
+func minParent(cur []layerEntry) int {
+	if len(cur) == 0 {
+		return -1
+	}
+	return -1
+}
+
+// EnumerateAndTest is Algorithm 1: try every node of the ICFG as the start
+// state and return the first whose NFA accepts the whole sequence. It is
+// the quadratic baseline the abstraction-guided algorithm improves on; kept
+// for the ablation benchmarks.
+func (m *Matcher) EnumerateAndTest(toks []Token) (MatchResult, bool) {
+	for n := cfg.NodeID(0); int(n) < m.G.NumNodes(); n++ {
+		r := m.MatchFrom([]cfg.NodeID{n}, toks)
+		if r.Complete {
+			return r, true
+		}
+	}
+	return MatchResult{}, false
+}
+
+// AbstractionGuided is Algorithm 2: for each candidate start (indexed by
+// the first symbol), first test the abstract sequence against the ANFA/DFA
+// and only on abstract acceptance run the concrete match.
+func (m *Matcher) AbstractionGuided(toks []Token) (MatchResult, bool) {
+	if len(toks) == 0 {
+		return MatchResult{Complete: true}, true
+	}
+	atoks := AbstractTokens(toks)
+	for _, n := range m.candidateStarts(&toks[0]) {
+		if !m.IsAcceptedAbstract(n, atoks) {
+			continue
+		}
+		r := m.MatchFrom([]cfg.NodeID{n}, toks)
+		if r.Complete {
+			return r, true
+		}
+	}
+	return MatchResult{}, false
+}
+
+func (m *Matcher) candidateStarts(t *Token) []cfg.NodeID {
+	if t.Located() {
+		return []cfg.NodeID{m.G.Node(t.Method, t.PC)}
+	}
+	return m.opIndex[t.Op]
+}

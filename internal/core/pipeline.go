@@ -1,0 +1,110 @@
+package core
+
+import (
+	"time"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/cfg"
+	"jportal/internal/meta"
+	"jportal/internal/pt"
+)
+
+// PipelineConfig configures the offline analysis.
+type PipelineConfig struct {
+	// ICFG options (whether dynamic call edges are statically resolved).
+	ICFG cfg.Options
+	// Recovery is the §5 configuration.
+	Recovery RecoveryConfig
+	// UseCallContext switches reconstruction to the PDA engine (an
+	// extension; the paper uses the NFA).
+	UseCallContext bool
+}
+
+// DefaultPipelineConfig returns the production configuration.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		ICFG:     cfg.DefaultOptions(),
+		Recovery: DefaultRecoveryConfig(),
+	}
+}
+
+// Pipeline is the reusable offline analyser for one program: it owns the
+// ICFG and matcher and processes per-thread packet streams.
+type Pipeline struct {
+	Prog    *bytecode.Program
+	Matcher *Matcher
+	Cfg     PipelineConfig
+}
+
+// NewPipeline builds the ICFG and matcher for prog.
+func NewPipeline(prog *bytecode.Program, cfg PipelineConfig) *Pipeline {
+	g := buildICFG(prog, cfg)
+	m := NewMatcher(g)
+	m.UseContext = cfg.UseCallContext
+	return &Pipeline{Prog: prog, Matcher: m, Cfg: cfg}
+}
+
+func buildICFG(prog *bytecode.Program, pcfg PipelineConfig) *cfg.ICFG {
+	return cfg.BuildICFG(prog, pcfg.ICFG)
+}
+
+// ThreadResult is the reconstructed control flow of one thread.
+type ThreadResult struct {
+	Thread int
+	// Steps is the end-to-end control-flow profile: decoded steps plus
+	// recovered steps, in execution order.
+	Steps []Step
+
+	Decode DecodeThreadStats
+	// Flows are the per-segment projections (kept for diagnostics and
+	// recovery ablations).
+	Flows []*SegmentFlow
+	// Fills describe each hole's recovery outcome; Fills[i] fills the
+	// hole after Flows[i].
+	Fills []Fill
+
+	// Timing of the offline phases.
+	DecodeTime  time.Duration
+	RecoverTime time.Duration
+
+	// RecoveredSteps counts steps contributed by recovery.
+	RecoveredSteps int
+	// DecodedSteps counts steps from captured data.
+	DecodedSteps int
+}
+
+// AnalyzeThread runs decode, reconstruction and recovery for one thread's
+// stitched packet stream.
+func (p *Pipeline) AnalyzeThread(thread int, snap *meta.Snapshot, items []pt.Item) *ThreadResult {
+	res := &ThreadResult{Thread: thread}
+
+	t0 := time.Now()
+	segs, dstats := DecodeThread(p.Prog, snap, items)
+	res.Decode = *dstats
+	for _, s := range segs {
+		res.Flows = append(res.Flows, p.Matcher.ReconstructSegment(s))
+	}
+	res.DecodeTime = time.Since(t0)
+
+	t1 := time.Now()
+	rec := NewRecoverer(p.Matcher, res.Flows, p.Cfg.Recovery)
+	res.Fills = make([]Fill, len(res.Flows))
+	for i := 0; i+1 < len(res.Flows); i++ {
+		// Only recover across genuine data loss (desync splits carry no
+		// missing execution of meaningful length but are filled too —
+		// the walk reconnects them cheaply).
+		res.Fills[i] = rec.RecoverHole(i)
+	}
+	res.RecoverTime = time.Since(t1)
+
+	for i, f := range res.Flows {
+		steps := f.Steps()
+		res.DecodedSteps += len(steps)
+		res.Steps = append(res.Steps, steps...)
+		if i < len(res.Fills) && res.Fills[i].Method != FillNone {
+			res.Steps = append(res.Steps, res.Fills[i].Steps...)
+			res.RecoveredSteps += len(res.Fills[i].Steps)
+		}
+	}
+	return res
+}

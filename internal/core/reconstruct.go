@@ -1,0 +1,82 @@
+package core
+
+import (
+	"jportal/internal/bytecode"
+	"jportal/internal/cfg"
+)
+
+// Step is one reconstructed control-flow step: the bytecode instruction at
+// (Method, PC) executed.
+type Step struct {
+	Method bytecode.MethodID
+	PC     int32
+	TSC    uint64
+	// Recovered marks steps synthesised by the data-recovery phase (§5)
+	// rather than decoded from captured trace data.
+	Recovered bool
+}
+
+// SegmentFlow is a reconstructed segment: the projection of its tokens onto
+// the ICFG.
+type SegmentFlow struct {
+	Seg *Segment
+	// Nodes is parallel to Seg.Tokens; cfg.NoNode marks unprojected
+	// tokens.
+	Nodes []cfg.NodeID
+	// Runs counts maximal matched runs (1 when the whole segment
+	// projected in one piece).
+	Runs int
+	// Skipped counts tokens no projection was found for.
+	Skipped int
+	// Reanchors and Fallbacks aggregate the matcher diagnostics.
+	Reanchors int
+	Fallbacks int
+
+	g *cfg.ICFG
+}
+
+// Steps materialises the segment's steps (matched tokens only).
+func (f *SegmentFlow) Steps() []Step {
+	steps := make([]Step, 0, len(f.Nodes))
+	for i, n := range f.Nodes {
+		if n == cfg.NoNode {
+			continue
+		}
+		mid, pc := f.g.Location(n)
+		steps = append(steps, Step{Method: mid, PC: pc, TSC: f.Seg.Tokens[i].TSC})
+	}
+	return steps
+}
+
+// ReconstructSegment projects one segment onto the ICFG (§4): it matches
+// maximal runs of tokens starting from the candidate states of the first
+// unmatched token, restarting after hard mismatches the way the paper's
+// reconstruction resumes from a fresh starting point.
+func (m *Matcher) ReconstructSegment(seg *Segment) *SegmentFlow {
+	f := &SegmentFlow{Seg: seg, Nodes: make([]cfg.NodeID, len(seg.Tokens)), g: m.G}
+	for i := range f.Nodes {
+		f.Nodes[i] = cfg.NoNode
+	}
+	toks := seg.Tokens
+	i := 0
+	for i < len(toks) {
+		starts := m.candidateStarts(&toks[i])
+		var r MatchResult
+		if m.UseContext {
+			r = m.MatchFromContext(starts, toks[i:])
+		} else {
+			r = m.MatchFrom(starts, toks[i:])
+		}
+		if r.Matched == 0 {
+			f.Skipped++
+			i++
+			continue
+		}
+		copy(f.Nodes[i:], r.Path)
+		f.Runs++
+		f.Reanchors += r.Reanchors
+		f.Fallbacks += r.Fallbacks
+		i += r.Matched
+	}
+	return f
+}

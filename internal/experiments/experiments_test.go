@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// Small-scale smoke runs of every experiment driver; shape assertions live
+// here, full-scale numbers in the bench harness / EXPERIMENTS.md.
+
+func small() Options {
+	return Options{Scale: 0.25}.Defaults()
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	multi := map[string]bool{"h2": true, "lusearch": true, "pmd": true}
+	for _, r := range rows {
+		if want := multi[r.Subject]; want != (r.Threaded == "multiple") {
+			t.Errorf("%s: threaded=%s", r.Subject, r.Threaded)
+		}
+		if r.Methods < 5 || r.Instrs < 100 {
+			t.Errorf("%s: implausibly small (%d methods, %d instrs)", r.Subject, r.Methods, r.Instrs)
+		}
+	}
+	PrintTable1(os.Stderr, rows)
+}
+
+func TestTable2Shape(t *testing.T) {
+	o := small()
+	o.Subjects = []string{"batik", "h2"}
+	rows, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%+v", r)
+		if r.JPortal < 1.0 || r.JPortal > 1.6 {
+			t.Errorf("%s: JPortal slowdown %.3f outside the paper's band", r.Subject, r.JPortal)
+		}
+		if !(r.CF > r.PF && r.PF >= r.SC*0.8) {
+			t.Errorf("%s: ordering violated: SC=%.2f PF=%.2f CF=%.2f", r.Subject, r.SC, r.PF, r.CF)
+		}
+		if r.JPortal >= r.SC {
+			t.Errorf("%s: JPortal (%.3f) should beat SC instrumentation (%.3f)", r.Subject, r.JPortal, r.SC)
+		}
+		if r.Xprof < 1.0 || r.JProf < 1.0 {
+			t.Errorf("%s: sampler slowdowns below 1: %.3f %.3f", r.Subject, r.Xprof, r.JProf)
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	o := small()
+	o.Subjects = []string{"fop", "sunflow"}
+	rows, err := Figure7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%s: overall=%.3f PMD=%.3f DA=%.3f RA=%.3f segments=%d", r.Subject, r.Overall, r.PMD, r.DA, r.RA, r.Segments)
+		if r.Overall < 0.4 || r.Overall > 1.0 {
+			t.Errorf("%s: overall accuracy %.3f out of plausible range", r.Subject, r.Overall)
+		}
+		if r.DA < 0.5 {
+			t.Errorf("%s: decode accuracy %.3f too low", r.Subject, r.DA)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	o := small()
+	o.Subjects = []string{"jython"}
+	rows, err := Table4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	t.Logf("%+v", r)
+	if r.JPortal < r.Xprof || r.JPortal < r.JProf {
+		t.Errorf("JPortal (%d) should beat samplers (xprof=%d, jprof=%d)", r.JPortal, r.Xprof, r.JProf)
+	}
+	if r.JPortal < 3 {
+		t.Errorf("JPortal found only %d of top 10", r.JPortal)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	o := small()
+	o.Subjects = []string{"avrora"}
+	rows, err := Table5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	t.Logf("%+v", r)
+	if r.TS == 0 || r.BaseTS == 0 {
+		t.Fatal("zero trace sizes")
+	}
+}
+
+func TestBufBytesScaling(t *testing.T) {
+	// The paper-label mapping must be monotone and hit the documented
+	// points: 128MB -> 32KB at shift 12.
+	if got := bufBytes(128); got != 128<<(20-BufScaleShift) {
+		t.Errorf("bufBytes(128) = %d", got)
+	}
+	if bufBytes(64) >= bufBytes(128) || bufBytes(128) >= bufBytes(256) {
+		t.Error("buffer mapping not monotone")
+	}
+}
+
+func TestPathAccuracySmoke(t *testing.T) {
+	o := small()
+	o.Subjects = []string{"luindex"}
+	rows, err := PathAccuracy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	t.Logf("%+v", r)
+	if r.TruePaths == 0 || r.ReconPaths == 0 {
+		t.Fatal("empty path profiles")
+	}
+	if r.Overlap < 0.5 {
+		t.Errorf("path overlap %.2f too low for a lossless-scale run", r.Overlap)
+	}
+}
+
+func TestTable3Rows(t *testing.T) {
+	o := small()
+	o.Subjects = []string{"sunflow"}
+	rows, err := Table3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// Monotone buffer labels 256, 128, 64 and PMD non-decreasing as the
+	// buffer shrinks.
+	if rows[0].BufMB != 256 || rows[1].BufMB != 128 || rows[2].BufMB != 64 {
+		t.Errorf("buffer order: %d %d %d", rows[0].BufMB, rows[1].BufMB, rows[2].BufMB)
+	}
+	if rows[0].PMD > rows[1].PMD+0.05 || rows[1].PMD > rows[2].PMD+0.05 {
+		t.Errorf("PMD not monotone-ish: %.2f %.2f %.2f", rows[0].PMD, rows[1].PMD, rows[2].PMD)
+	}
+	for _, r := range rows {
+		if d := r.PD - r.PDC*r.DA; d > 1e-9 || d < -1e-9 {
+			t.Errorf("PD != PDC*DA at %dM", r.BufMB)
+		}
+		if d := r.PR - r.PMD*r.RA; d > 1e-9 || d < -1e-9 {
+			t.Errorf("PR != PMD*RA at %dM", r.BufMB)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleBlob() *Blob {
+	a := NewAssembler("test", 0x1000)
+	a.Emit(Linear, 3, 0, "a")
+	a.Emit(CondBranch, 6, 0x1000, "b")
+	a.Emit(Jump, 5, 0x1000, "c")
+	a.Emit(Call, 5, 0x2000, "d")
+	a.Emit(Ret, 1, 0, "e")
+	return a.Finish()
+}
+
+func TestAssemblerLayout(t *testing.T) {
+	b := sampleBlob()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Base() != 0x1000 {
+		t.Errorf("base %#x", b.Base())
+	}
+	if b.Limit() != 0x1000+3+6+5+5+1 {
+		t.Errorf("limit %#x", b.Limit())
+	}
+	wantAddrs := []uint64{0x1000, 0x1003, 0x1009, 0x100e, 0x1013}
+	for i, ins := range b.Instrs {
+		if ins.Addr != wantAddrs[i] {
+			t.Errorf("instr %d at %#x, want %#x", i, ins.Addr, wantAddrs[i])
+		}
+	}
+}
+
+func TestBlobLookup(t *testing.T) {
+	b := sampleBlob()
+	for i, ins := range b.Instrs {
+		if got := b.IndexOf(ins.Addr); got != i {
+			t.Errorf("IndexOf(%#x) = %d, want %d", ins.Addr, got, i)
+		}
+		if b.At(ins.Addr) == nil {
+			t.Errorf("At(%#x) nil", ins.Addr)
+		}
+	}
+	if b.IndexOf(0x1001) != -1 {
+		t.Error("mid-instruction address should not resolve")
+	}
+	if !b.Contains(0x1001) || b.Contains(0x0fff) || b.Contains(b.Limit()) {
+		t.Error("Contains boundaries wrong")
+	}
+}
+
+func TestPatchTarget(t *testing.T) {
+	a := NewAssembler("t", 0)
+	addr := a.Emit(Jump, 5, 0, "")
+	a.PatchTarget(addr, 0x42)
+	b := a.Finish()
+	if b.Instrs[0].Target != 0x42 {
+		t.Errorf("patch failed: %#x", b.Instrs[0].Target)
+	}
+}
+
+func TestKindIsIndirect(t *testing.T) {
+	indirect := map[Kind]bool{IndirectJump: true, IndirectCall: true, Ret: true}
+	for k := Linear; k <= Ret; k++ {
+		if k.IsIndirect() != indirect[k] {
+			t.Errorf("%v IsIndirect = %v", k, k.IsIndirect())
+		}
+	}
+}
+
+func TestAddressSpaceNonOverlap(t *testing.T) {
+	var s AddressSpace
+	mk := func(base uint64, n int) *Blob {
+		a := NewAssembler("b", base)
+		for i := 0; i < n; i++ {
+			a.Emit(Linear, 4, 0, "")
+		}
+		return a.Finish()
+	}
+	if err := s.Add(mk(0x1000, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(mk(0x2000, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(mk(0x1008, 2)); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	if s.Lookup(0x1004) == nil || s.Lookup(0x2004) == nil {
+		t.Error("lookup failed")
+	}
+	if s.Lookup(0x1800) != nil {
+		t.Error("hole lookup should be nil")
+	}
+	if got := s.Remove(0x1004); got == nil {
+		t.Fatal("remove failed")
+	}
+	if s.Lookup(0x1004) != nil {
+		t.Error("blob still resolvable after removal")
+	}
+}
+
+func TestAddressSpaceLookupQuick(t *testing.T) {
+	var s AddressSpace
+	bases := []uint64{0x1000, 0x3000, 0x9000, 0x20000}
+	for _, base := range bases {
+		a := NewAssembler("b", base)
+		for i := 0; i < 8; i++ {
+			a.Emit(Linear, 4, 0, "")
+		}
+		if err := s.Add(a.Finish()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(addr uint64) bool {
+		addr %= 0x30000
+		got := s.Lookup(addr)
+		want := false
+		for _, base := range bases {
+			if addr >= base && addr < base+32 {
+				want = true
+			}
+		}
+		return (got != nil) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlobValidateCatchesGaps(t *testing.T) {
+	b := &Blob{Name: "bad", Instrs: []Instr{
+		{Addr: 0x100, Size: 4},
+		{Addr: 0x105, Size: 4}, // gap of 1
+	}}
+	if err := b.Validate(); err == nil {
+		t.Fatal("gap not caught")
+	}
+	b2 := &Blob{Name: "bad2", Instrs: []Instr{{Addr: 0x100, Size: 0}}}
+	if err := b2.Validate(); err == nil {
+		t.Fatal("zero size not caught")
+	}
+}

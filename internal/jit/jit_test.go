@@ -1,0 +1,260 @@
+package jit
+
+import (
+	"testing"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/isa"
+	"jportal/internal/meta"
+)
+
+const jitSrc = `
+method T.leaf(2) returns int {
+    iload 0
+    iload 1
+    iadd
+    ireturn
+}
+
+method T.fun(2) returns int {
+    iload 0
+    ifeq Lelse
+    iload 1
+    iconst 1
+    iadd
+    istore 1
+    goto Ljoin
+Lelse:
+    iload 1
+    iconst 2
+    isub
+    istore 1
+Ljoin:
+    iload 0
+    iload 1
+    invokestatic T.leaf
+    ireturn
+}
+
+method T.main(0) {
+    iconst 1
+    iconst 7
+    invokestatic T.fun
+    pop
+    return
+}
+entry T.main
+`
+
+func compileOne(t *testing.T, name string, opts Options) (*bytecode.Program, *NativeMethod) {
+	t.Helper()
+	p := bytecode.MustAssemble(jitSrc)
+	m := p.MethodByName(name)
+	nm, err := Compile(p, m.ID, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, nm
+}
+
+func TestCompileC1Structure(t *testing.T) {
+	p, nm := compileOne(t, "T.fun", DefaultC1(meta.CodeCacheBase, nil))
+	if nm.Tier != 1 {
+		t.Fatal("tier")
+	}
+	if err := nm.Meta.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fun := p.MethodByName("T.fun")
+	// Every bytecode has a unit; C1 never elides.
+	for pc := int32(0); pc < int32(len(fun.Code)); pc++ {
+		u, ok := nm.UnitFor(0, pc)
+		if !ok {
+			t.Fatalf("no unit for bci %d", pc)
+		}
+		if u.First == u.Last {
+			t.Errorf("C1 elided bci %d", pc)
+		}
+	}
+	// The conditional has a CondBranch instruction at its recorded addr.
+	ca := nm.CondAddrAt(0, 1)
+	ins := nm.Meta.Code.At(ca)
+	if ins == nil || ins.Kind != isa.CondBranch {
+		t.Fatalf("cond addr %#x resolves to %+v", ca, ins)
+	}
+	// Its target is the native address of bci 7 (Lelse).
+	if ins.Target != nm.AddrOf(0, 7) {
+		t.Errorf("branch target %#x, want %#x", ins.Target, nm.AddrOf(0, 7))
+	}
+	// No inlining at C1: the call site is a resolution stub (indirect).
+	ci, ok := nm.CallAt(0, 13)
+	if !ok || ci.Inlined >= 0 || ci.Direct != 0 {
+		t.Errorf("C1 call info: %+v", ci)
+	}
+}
+
+func TestCompileDirectCallBinding(t *testing.T) {
+	p := bytecode.MustAssemble(jitSrc)
+	leaf := p.MethodByName("T.leaf")
+	lnm, err := Compile(p, leaf.ID, DefaultC1(meta.CodeCacheBase, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := map[bytecode.MethodID]uint64{leaf.ID: lnm.EntryAddr()}
+	fun := p.MethodByName("T.fun")
+	opts := DefaultC1(meta.CodeCacheBase+0x10000, entries)
+	fnm, err := Compile(p, fun.ID, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, ok := fnm.CallAt(0, 13)
+	if !ok || ci.Direct != lnm.EntryAddr() {
+		t.Errorf("direct binding: %+v", ci)
+	}
+	// The call instruction's target points at the callee blob.
+	u, _ := fnm.UnitFor(0, 13)
+	call := fnm.Meta.Code.Instrs[u.Last-1]
+	if call.Kind != isa.Call || call.Target != lnm.EntryAddr() {
+		t.Errorf("call instr: %+v", call)
+	}
+}
+
+func TestCompileC2Inlining(t *testing.T) {
+	p, nm := compileOne(t, "T.fun", DefaultC2(meta.CodeCacheBase, nil))
+	ci, ok := nm.CallAt(0, 13)
+	if !ok || ci.Inlined < 0 {
+		t.Fatalf("leaf should inline at C2: %+v", ci)
+	}
+	child := nm.CtxInfo(ci.Inlined)
+	leaf := p.MethodByName("T.leaf")
+	if child.Method != leaf.ID || child.Parent != 0 || child.SiteBCI != 13 {
+		t.Errorf("inline ctx: %+v", child)
+	}
+	if len(nm.Meta.Inlined) != 1 || nm.Meta.Inlined[0] != leaf.ID {
+		t.Errorf("inlined list: %v", nm.Meta.Inlined)
+	}
+	// Inlined units exist with two-frame debug chains.
+	u, ok := nm.UnitFor(ci.Inlined, 0)
+	if !ok {
+		t.Fatal("no unit for inlined bci 0")
+	}
+	rec, ok := nm.Meta.DebugAt(nm.Meta.Code.Instrs[u.First].Addr)
+	if !ok {
+		t.Fatal("no debug record for inlined instr")
+	}
+	if len(rec.Frames) != 2 {
+		t.Fatalf("inline frames: %v", rec.Frames)
+	}
+	if rec.Frames[0].Method != p.MethodByName("T.fun").ID || rec.Frames[0].PC != 13 {
+		t.Errorf("outer frame: %v", rec.Frames[0])
+	}
+	if rec.Frames[1].Method != leaf.ID || rec.Frames[1].PC != 0 {
+		t.Errorf("inner frame: %v", rec.Frames[1])
+	}
+}
+
+func TestDebugRecordsCoverEveryInstruction(t *testing.T) {
+	for _, tier := range []int{1, 2} {
+		var opts Options
+		if tier == 1 {
+			opts = DefaultC1(meta.CodeCacheBase, nil)
+		} else {
+			opts = DefaultC2(meta.CodeCacheBase, nil)
+		}
+		_, nm := compileOne(t, "T.fun", opts)
+		if len(nm.Meta.Debug) != len(nm.Meta.Code.Instrs) {
+			t.Fatalf("tier %d: %d records for %d instrs",
+				tier, len(nm.Meta.Debug), len(nm.Meta.Code.Instrs))
+		}
+		for i, rec := range nm.Meta.Debug {
+			if rec.Addr != nm.Meta.Code.Instrs[i].Addr {
+				t.Fatalf("tier %d: record %d misaligned", tier, i)
+			}
+		}
+	}
+}
+
+func TestC2ElisionIsDeterministicAndBounded(t *testing.T) {
+	_, nm1 := compileOne(t, "T.fun", DefaultC2(meta.CodeCacheBase, nil))
+	_, nm2 := compileOne(t, "T.fun", DefaultC2(meta.CodeCacheBase, nil))
+	if len(nm1.Meta.Code.Instrs) != len(nm2.Meta.Code.Instrs) {
+		t.Fatal("C2 compilation is not deterministic")
+	}
+	elided := 0
+	for _, u := range nm1.Units() {
+		if u.First == u.Last {
+			elided++
+		}
+	}
+	if elided > len(nm1.Units())/2 {
+		t.Errorf("implausibly many elisions: %d of %d", elided, len(nm1.Units()))
+	}
+	// Elided units must be value-shuffling instructions only.
+	p := bytecode.MustAssemble(jitSrc)
+	fun := p.MethodByName("T.fun")
+	for _, u := range nm1.Units() {
+		if u.First == u.Last && u.Ctx == 0 {
+			if op := fun.Code[u.BCI].Op; op.IsControl() {
+				t.Errorf("control instruction %s elided", op)
+			}
+		}
+	}
+}
+
+func TestAddrOfElidedFallsThrough(t *testing.T) {
+	// AddrOf on an elided unit must return the next emitted address so
+	// branch targets to it stay meaningful.
+	_, nm := compileOne(t, "T.fun", DefaultC2(meta.CodeCacheBase, nil))
+	for _, u := range nm.Units() {
+		addr := nm.AddrOf(u.Ctx, u.BCI)
+		if addr < nm.Meta.Code.Base() || addr > nm.Meta.Code.Limit() {
+			t.Fatalf("AddrOf(ctx%d,%d) = %#x outside blob", u.Ctx, u.BCI, addr)
+		}
+	}
+}
+
+func TestCompileRejectsBadTier(t *testing.T) {
+	p := bytecode.MustAssemble(jitSrc)
+	if _, err := Compile(p, p.Methods[0].ID, Options{Tier: 3}); err == nil {
+		t.Fatal("tier 3 accepted")
+	}
+	if _, err := Compile(p, 99, DefaultC1(0, nil)); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestTableswitchLowersToIndirectJump(t *testing.T) {
+	src := `
+method T.sw(1) returns int {
+    iload 0
+    tableswitch 0 default=Ld [La Lb]
+La:
+    iconst 1
+    ireturn
+Lb:
+    iconst 2
+    ireturn
+Ld:
+    iconst 0
+    ireturn
+}
+method T.main(0) {
+    iconst 0
+    invokestatic T.sw
+    pop
+    return
+}
+entry T.main
+`
+	p := bytecode.MustAssemble(src)
+	m := p.MethodByName("T.sw")
+	nm, err := Compile(p, m.ID, DefaultC1(meta.CodeCacheBase, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := nm.UnitFor(0, 1)
+	last := nm.Meta.Code.Instrs[u.Last-1]
+	if last.Kind != isa.IndirectJump {
+		t.Errorf("switch lowered to %v", last.Kind)
+	}
+}

@@ -1,0 +1,144 @@
+package meta
+
+import (
+	"testing"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/isa"
+)
+
+func TestTemplateTableLookup(t *testing.T) {
+	tt := NewTemplateTable()
+	tt.Add(bytecode.ICONST, Range{Start: 0x1000, End: 0x1080})
+	tt.Add(bytecode.IFEQ, Range{Start: 0x2000, End: 0x2300})
+	tt.Add(bytecode.IFEQ, Range{Start: 0x9000, End: 0x9060}) // secondary sub-range
+
+	if tt.Entry(bytecode.ICONST) != 0x1000 {
+		t.Error("entry wrong")
+	}
+	cases := []struct {
+		addr uint64
+		op   bytecode.Opcode
+		ok   bool
+	}{
+		{0x1000, bytecode.ICONST, true},
+		{0x107f, bytecode.ICONST, true},
+		{0x1080, 0, false},
+		{0x2100, bytecode.IFEQ, true},
+		{0x9010, bytecode.IFEQ, true},
+		{0x0fff, 0, false},
+		{0x5000, 0, false},
+	}
+	for _, c := range cases {
+		op, ok := tt.Lookup(c.addr)
+		if ok != c.ok || (ok && op != c.op) {
+			t.Errorf("Lookup(%#x) = %v,%v; want %v,%v", c.addr, op, ok, c.op, c.ok)
+		}
+	}
+}
+
+func TestTemplateEntryPanicsWithoutRange(t *testing.T) {
+	tt := NewTemplateTable()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tt.Entry(bytecode.NOP)
+}
+
+func mkCompiled(base uint64, root bytecode.MethodID) *CompiledMethod {
+	a := isa.NewAssembler("m", base)
+	a.Emit(isa.Linear, 4, 0, "")
+	a.Emit(isa.Ret, 1, 0, "")
+	blob := a.Finish()
+	debug := []DebugRecord{
+		{Addr: base, Frames: []Frame{{Method: root, PC: 0}}},
+		{Addr: base + 4, Frames: []Frame{{Method: root, PC: 1}}},
+	}
+	return &CompiledMethod{Root: root, Tier: 1, Code: blob, Debug: debug}
+}
+
+func TestSnapshotBlobFor(t *testing.T) {
+	s := NewSnapshot(NewTemplateTable())
+	c1 := mkCompiled(CodeCacheBase, 1)
+	c2 := mkCompiled(CodeCacheBase+0x100, 2)
+	s.Export(c1)
+	s.Export(c2)
+	if got := s.BlobFor(CodeCacheBase + 2); got != c1 {
+		t.Error("BlobFor inside c1 failed")
+	}
+	if got := s.BlobFor(CodeCacheBase + 0x104); got != c2 {
+		t.Error("BlobFor inside c2 failed")
+	}
+	if s.BlobFor(CodeCacheBase+0x50) != nil {
+		t.Error("hole resolved")
+	}
+	// Re-exporting at the same base replaces.
+	c1b := mkCompiled(CodeCacheBase, 1)
+	c1b.Tier = 2
+	s.Export(c1b)
+	if got := s.BlobFor(CodeCacheBase); got.Tier != 2 {
+		t.Error("re-export did not replace")
+	}
+}
+
+func TestCompiledValidate(t *testing.T) {
+	c := mkCompiled(CodeCacheBase, 1)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Debug = c.Debug[:1]
+	if err := c.Validate(); err == nil {
+		t.Error("record count mismatch not caught")
+	}
+	c = mkCompiled(CodeCacheBase, 1)
+	c.Debug[1].Frames = nil
+	if err := c.Validate(); err == nil {
+		t.Error("empty frames not caught")
+	}
+	c = mkCompiled(CodeCacheBase, 1)
+	c.Debug[1].Addr++
+	if err := c.Validate(); err == nil {
+		t.Error("misaligned record not caught")
+	}
+}
+
+func TestDebugAt(t *testing.T) {
+	c := mkCompiled(CodeCacheBase, 7)
+	rec, ok := c.DebugAt(CodeCacheBase + 4)
+	if !ok || rec.Frames[0].PC != 1 {
+		t.Errorf("DebugAt: %+v %v", rec, ok)
+	}
+	if _, ok := c.DebugAt(CodeCacheBase + 2); ok {
+		t.Error("mid-instruction DebugAt should miss")
+	}
+}
+
+func TestStubsClassify(t *testing.T) {
+	st := Stubs{
+		InterpEntry: Range{Start: 0x100, End: 0x140},
+		RetEntry:    Range{Start: 0x200, End: 0x240},
+		Unwind:      Range{Start: 0x300, End: 0x340},
+		ThreadExit:  Range{Start: 0x400, End: 0x440},
+	}
+	cases := map[uint64]string{
+		0x100: "interp_entry", 0x210: "ret_entry",
+		0x33f: "unwind", 0x400: "thread_exit", 0x500: "",
+	}
+	for addr, want := range cases {
+		if got := st.Classify(addr); got != want {
+			t.Errorf("Classify(%#x) = %q, want %q", addr, got, want)
+		}
+	}
+}
+
+func TestSnapshotRegionClassification(t *testing.T) {
+	s := NewSnapshot(NewTemplateTable())
+	if !s.IsTemplate(TemplateBase) || s.IsTemplate(CodeCacheBase) {
+		t.Error("IsTemplate boundaries wrong")
+	}
+	if !s.InFilter(TemplateBase) || !s.InFilter(CodeCacheBase) || s.InFilter(0x1000) {
+		t.Error("IP filter boundaries wrong")
+	}
+}

@@ -1,0 +1,82 @@
+package meta
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"jportal/internal/bytecode"
+)
+
+// The snapshot wire format supports JPortal's actual deployment model: the
+// online phase exports machine-code metadata to disk next to the trace
+// files, and the offline phase — possibly on another machine — loads both.
+// gob is used (stdlib, self-describing); a version header guards format
+// drift.
+
+const snapshotMagic = "JPSNAP1\n"
+
+// snapshotWire is the serializable projection of Snapshot.
+type snapshotWire struct {
+	TemplateRanges [][]Range
+	Stubs          Stubs
+	CodeCache      Range
+	Compiled       []*CompiledMethod
+}
+
+// WriteSnapshot serialises s to w.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, snapshotMagic); err != nil {
+		return err
+	}
+	wire := snapshotWire{
+		TemplateRanges: s.Templates.Ranges,
+		Stubs:          s.Stubs,
+		CodeCache:      s.CodeCache,
+	}
+	for _, c := range s.Compiled {
+		wire.Compiled = append(wire.Compiled, c)
+	}
+	if err := gob.NewEncoder(bw).Encode(&wire); err != nil {
+		return fmt.Errorf("meta: encode snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserialises a snapshot written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	if string(hdr) != snapshotMagic {
+		return nil, fmt.Errorf("meta: bad snapshot magic %q", hdr)
+	}
+	var wire snapshotWire
+	if err := gob.NewDecoder(br).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("meta: decode snapshot: %w", err)
+	}
+	t := NewTemplateTable()
+	for op, ranges := range wire.TemplateRanges {
+		if op >= bytecode.NumOpcodes {
+			return nil, fmt.Errorf("meta: snapshot has %d opcode templates, binary knows %d",
+				len(wire.TemplateRanges), bytecode.NumOpcodes)
+		}
+		for _, rg := range ranges {
+			t.Add(bytecode.Opcode(op), rg)
+		}
+	}
+	s := NewSnapshot(t)
+	s.Stubs = wire.Stubs
+	s.CodeCache = wire.CodeCache
+	for _, c := range wire.Compiled {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("meta: snapshot blob invalid: %w", err)
+		}
+		s.Export(c)
+	}
+	return s, nil
+}

@@ -1,0 +1,91 @@
+package meta
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jportal/internal/bytecode"
+)
+
+func buildSampleSnapshot() *Snapshot {
+	tt := NewTemplateTable()
+	for op := 0; op < bytecode.NumOpcodes; op++ {
+		start := TemplateBase + uint64(op)*0x200
+		tt.Add(bytecode.Opcode(op), Range{Start: start, End: start + 0x100})
+	}
+	tt.Add(bytecode.IRETURN, Range{Start: TemplateBase + 0x100000, End: TemplateBase + 0x100040})
+	s := NewSnapshot(tt)
+	s.Stubs = Stubs{
+		InterpEntry: Range{Start: TemplateBase + 0x200000, End: TemplateBase + 0x200040},
+		RetEntry:    Range{Start: TemplateBase + 0x200100, End: TemplateBase + 0x200140},
+		Unwind:      Range{Start: TemplateBase + 0x200200, End: TemplateBase + 0x200240},
+		ThreadExit:  Range{Start: TemplateBase + 0x200300, End: TemplateBase + 0x200340},
+		Deopt:       Range{Start: TemplateBase + 0x200400, End: TemplateBase + 0x200440},
+	}
+	s.Export(mkCompiled(CodeCacheBase, 3))
+	s.Export(mkCompiled(CodeCacheBase+0x1000, 5))
+	return s
+}
+
+func TestSnapshotSerializeRoundTrip(t *testing.T) {
+	s := buildSampleSnapshot()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Template lookups agree on a sample of addresses.
+	for op := 0; op < bytecode.NumOpcodes; op += 3 {
+		addr := TemplateBase + uint64(op)*0x200 + 7
+		o1, ok1 := s.Templates.Lookup(addr)
+		o2, ok2 := got.Templates.Lookup(addr)
+		if ok1 != ok2 || o1 != o2 {
+			t.Fatalf("template lookup diverged at %#x", addr)
+		}
+	}
+	if got.Stubs != s.Stubs {
+		t.Error("stubs lost")
+	}
+	if len(got.Compiled) != 2 {
+		t.Fatalf("compiled blobs: %d", len(got.Compiled))
+	}
+	b := got.BlobFor(CodeCacheBase + 0x1000)
+	if b == nil || b.Root != 5 {
+		t.Errorf("blob lookup after round trip: %+v", b)
+	}
+	if len(b.Debug) != 2 || b.Debug[1].Frames[0].PC != 1 {
+		t.Error("debug records lost")
+	}
+	if got.CodeCache != s.CodeCache {
+		t.Error("code cache range lost")
+	}
+}
+
+func TestReadSnapshotRejectsBadMagic(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("NOTASNAP........")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader("JPSNAP1\nnot gob")); err == nil {
+		t.Fatal("bad payload accepted")
+	}
+}
+
+func TestReadSnapshotValidatesBlobs(t *testing.T) {
+	s := buildSampleSnapshot()
+	// Corrupt a debug record after export, then serialize.
+	for _, c := range s.Compiled {
+		c.Debug = c.Debug[:1]
+		break
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(&buf); err == nil {
+		t.Fatal("invalid blob accepted on read")
+	}
+}

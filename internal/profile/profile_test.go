@@ -1,0 +1,182 @@
+package profile
+
+import (
+	"testing"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/core"
+)
+
+const profSrc = `
+method T.leaf(1) returns int {
+    iload 0
+    iconst 1
+    iadd
+    ireturn
+}
+method T.main(0) {
+    iconst 3
+    invokestatic T.leaf
+    pop
+    return
+}
+entry T.main
+`
+
+// steps builds a step stream from (mid, pc) pairs.
+func mkSteps(pairs ...[2]int32) []core.Step {
+	out := make([]core.Step, len(pairs))
+	for i, p := range pairs {
+		out[i] = core.Step{Method: bytecode.MethodID(p[0]), PC: p[1]}
+	}
+	return out
+}
+
+func TestCoverage(t *testing.T) {
+	p := bytecode.MustAssemble(profSrc)
+	leaf := p.MethodByName("T.leaf")
+	main := p.MethodByName("T.main")
+	steps := mkSteps(
+		[2]int32{int32(main.ID), 0}, [2]int32{int32(main.ID), 1},
+		[2]int32{int32(leaf.ID), 0}, [2]int32{int32(leaf.ID), 1},
+		[2]int32{int32(leaf.ID), 2}, [2]int32{int32(leaf.ID), 3},
+		[2]int32{int32(main.ID), 2}, [2]int32{int32(main.ID), 3},
+	)
+	cov := ComputeCoverage(p, steps)
+	if cov.CoveredInstrs != 8 || cov.TotalInstrs != 8 {
+		t.Errorf("coverage %d/%d", cov.CoveredInstrs, cov.TotalInstrs)
+	}
+	if cov.Ratio() != 1.0 || cov.CoveredMethods != 2 {
+		t.Errorf("ratio %f methods %d", cov.Ratio(), cov.CoveredMethods)
+	}
+	// Duplicate steps do not double count.
+	cov2 := ComputeCoverage(p, append(steps, steps...))
+	if cov2.CoveredInstrs != 8 {
+		t.Error("duplicates double-counted")
+	}
+}
+
+func TestEdgeProfile(t *testing.T) {
+	p := bytecode.MustAssemble(profSrc)
+	leaf := p.MethodByName("T.leaf")
+	steps := mkSteps(
+		[2]int32{int32(leaf.ID), 0}, [2]int32{int32(leaf.ID), 1},
+		[2]int32{int32(leaf.ID), 0}, [2]int32{int32(leaf.ID), 1},
+	)
+	edges := EdgeProfile(p, steps)
+	// Edges: 0->1 twice, 1->0 once.
+	if len(edges) != 2 {
+		t.Fatalf("edges: %+v", edges)
+	}
+	if edges[0].From != 0 || edges[0].To != 1 || edges[0].Count != 2 {
+		t.Errorf("hottest edge: %+v", edges[0])
+	}
+}
+
+func TestHotMethods(t *testing.T) {
+	p := bytecode.MustAssemble(profSrc)
+	leaf := p.MethodByName("T.leaf")
+	main := p.MethodByName("T.main")
+	var steps []core.Step
+	for i := 0; i < 10; i++ {
+		steps = append(steps, core.Step{Method: leaf.ID, PC: 0})
+	}
+	steps = append(steps, core.Step{Method: main.ID, PC: 0})
+	hot := HotMethods(p, steps, 10)
+	if len(hot) != 2 || hot[0] != int32(leaf.ID) {
+		t.Errorf("hot: %v", hot)
+	}
+	if got := HotMethods(p, steps, 1); len(got) != 1 {
+		t.Errorf("top-1: %v", got)
+	}
+}
+
+func TestPathProfileFromSteps(t *testing.T) {
+	p := bytecode.MustAssemble(profSrc)
+	leaf := p.MethodByName("T.leaf")
+	// Two complete straight-line executions of leaf.
+	var steps []core.Step
+	for r := 0; r < 2; r++ {
+		for pc := int32(0); pc < int32(len(leaf.Code)); pc++ {
+			steps = append(steps, core.Step{Method: leaf.ID, PC: pc})
+		}
+	}
+	pp := ComputePathProfile(p, steps)
+	counts := pp.Counts[leaf.ID]
+	if counts == nil {
+		t.Fatal("no counts for leaf")
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 2 || len(counts) != 1 {
+		t.Errorf("paths: %v", counts)
+	}
+}
+
+func TestCallTree(t *testing.T) {
+	p := bytecode.MustAssemble(profSrc)
+	leaf := p.MethodByName("T.leaf")
+	main := p.MethodByName("T.main")
+	steps := mkSteps(
+		[2]int32{int32(main.ID), 0},
+		[2]int32{int32(main.ID), 1}, // invokestatic
+		[2]int32{int32(leaf.ID), 0},
+		[2]int32{int32(leaf.ID), 1},
+		[2]int32{int32(leaf.ID), 2},
+		[2]int32{int32(leaf.ID), 3}, // ireturn
+		[2]int32{int32(main.ID), 2},
+		[2]int32{int32(main.ID), 3},
+	)
+	tree := CallTree(p, steps)
+	if tree.TotalCalls() != 1 {
+		t.Errorf("total calls %d", tree.TotalCalls())
+	}
+	child := tree.Children[leaf.ID]
+	if child == nil || child.Count != 1 {
+		t.Fatalf("leaf child: %+v", tree.Children)
+	}
+	if d := tree.Depth(); d != 2 {
+		t.Errorf("depth %d", d)
+	}
+}
+
+func TestTimeProfile(t *testing.T) {
+	p := bytecode.MustAssemble(profSrc)
+	leaf := p.MethodByName("T.leaf")
+	main := p.MethodByName("T.main")
+	steps := []core.Step{
+		{Method: main.ID, PC: 0, TSC: 0},
+		{Method: main.ID, PC: 1, TSC: 10},
+		{Method: leaf.ID, PC: 0, TSC: 20},
+		{Method: leaf.ID, PC: 1, TSC: 120}, // 100 cycles inside leaf
+		{Method: main.ID, PC: 2, TSC: 130},
+		{Method: main.ID, PC: 3, TSC: 999_999}, // beyond maxGap: dropped
+	}
+	tp := ComputeTimeProfile(p, steps, 1000)
+	// main: (10-0) + (20-10 charged to main@1) + (130-120 charged to leaf)...
+	// charging is to the method executing BEFORE each gap:
+	// main: 0->10 (10), 10->20 (10); leaf: 20->120 (100), 120->130 (10).
+	if tp.Cycles[main.ID] != 20 {
+		t.Errorf("main cycles = %d, want 20", tp.Cycles[main.ID])
+	}
+	if tp.Cycles[leaf.ID] != 110 {
+		t.Errorf("leaf cycles = %d, want 110", tp.Cycles[leaf.ID])
+	}
+	if tp.Total != 130 {
+		t.Errorf("total = %d", tp.Total)
+	}
+	top := tp.Top(5)
+	if len(top) != 2 || top[0] != int32(leaf.ID) {
+		t.Errorf("top: %v", top)
+	}
+}
+
+func TestTimeProfileDefaultsAndEmpty(t *testing.T) {
+	p := bytecode.MustAssemble(profSrc)
+	tp := ComputeTimeProfile(p, nil, 0)
+	if tp.Total != 0 || len(tp.Top(3)) != 0 {
+		t.Error("empty profile not empty")
+	}
+}

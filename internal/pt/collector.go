@@ -1,0 +1,345 @@
+package pt
+
+// Config sets the collection parameters that the paper's evaluation varies.
+type Config struct {
+	// BufBytes is the per-core trace buffer capacity (the paper uses 64MB,
+	// 128MB and 256MB).
+	BufBytes uint64
+	// DrainBytesPerKCycle is the export bandwidth: how many buffered bytes
+	// the exporter writes out per thousand cycles. When the generation
+	// rate exceeds this, the buffer fills and data is lost.
+	DrainBytesPerKCycle uint64
+	// TSCPeriodCycles is the interval between timestamp packets.
+	TSCPeriodCycles uint64
+	// PSBPeriodBytes is the interval between synchronisation packets.
+	PSBPeriodBytes uint64
+	// ResumePercent is the loss-episode hysteresis: once the buffer
+	// overflows, packets keep dropping until the exporter drains it below
+	// this percentage of capacity (perf reads the AUX area in chunks, so
+	// real losses span whole chunks). 100 disables the hysteresis.
+	ResumePercent int
+}
+
+// DefaultConfig mirrors the paper's default setting (128MB per-core buffer).
+func DefaultConfig() Config {
+	return Config{
+		BufBytes:            128 << 20,
+		DrainBytesPerKCycle: 150,
+		TSCPeriodCycles:     2048,
+		PSBPeriodBytes:      4096,
+		ResumePercent:       85,
+	}
+}
+
+// WithBufMB returns cfg with the buffer size set to mb megabytes.
+func (c Config) WithBufMB(mb int) Config {
+	c.BufBytes = uint64(mb) << 20
+	return c
+}
+
+// Collector models the per-core PT hardware plus the exporter thread: it
+// accepts logical branch events from the VM, encodes them into packets,
+// stores them in a bounded ring, and drains the ring at a bounded rate.
+// It satisfies the VM's NativeTracer interface.
+type Collector struct {
+	cfg   Config
+	cores []coreState
+
+	// GenBytes is the total bytes generated (exported + lost).
+	GenBytes uint64
+}
+
+type coreState struct {
+	enc          encoder
+	ring         ring
+	trace        CoreTrace
+	lastTSC      uint64
+	lastDrainTSC uint64
+	curTSC       uint64
+	sincePSB     uint64
+	// drainMilli carries the fractional drain budget between Advance
+	// calls (the exporter's bandwidth is sub-byte per cycle).
+	drainMilli uint64
+	// lastGapEnd monotonizes loss episodes per core.
+	lastGapEnd uint64
+	// needResync requests a PSB/TSC/FUP preamble before the next packet
+	// after a loss episode.
+	needResync bool
+}
+
+type ring struct {
+	capBytes  uint64
+	usedBytes uint64
+	// q holds packets and in-band gap markers in generation order; gap
+	// markers occupy no buffer space (they model perf_record_aux sideband
+	// records, which are not stored in the AUX area).
+	q         []Item
+	inLoss    bool
+	lossStart uint64
+	lostBytes uint64
+	// lostBits counts TNT bits dropped individually during a loss episode
+	// (they never became packets); folded into lostBytes at gap close.
+	lostBits uint64
+}
+
+// NewCollector creates a collector for ncores cores.
+func NewCollector(cfg Config, ncores int) *Collector {
+	c := &Collector{cfg: cfg, cores: make([]coreState, ncores)}
+	for i := range c.cores {
+		c.cores[i].ring.capBytes = cfg.BufBytes
+	}
+	return c
+}
+
+// NumCores returns the core count.
+func (c *Collector) NumCores() int { return len(c.cores) }
+
+// push tries to enqueue p on core cs; on overflow it records/extends a loss
+// episode instead. A loss episode persists until the exporter has drained
+// the buffer to half capacity — the hysteresis models perf reading the AUX
+// area in chunks, which is why real PT loses long spans rather than
+// isolated packets (paper §1: "an arbitrary number of execution periods,
+// each at an arbitrary length").
+func (c *Collector) push(cs *coreState, p Packet, tsc uint64) {
+	r := &cs.ring
+	full := r.usedBytes+uint64(p.WireLen) > r.capBytes
+	resumeAt := r.capBytes * uint64(c.cfg.ResumePercent) / 100
+	if full || (r.inLoss && r.usedBytes > resumeAt) {
+		if !r.inLoss {
+			r.inLoss = true
+			r.lossStart = tsc
+			if r.lossStart < cs.lastGapEnd {
+				r.lossStart = cs.lastGapEnd
+			}
+			r.lostBytes = 0
+		}
+		r.lostBytes += uint64(p.WireLen)
+		c.GenBytes += uint64(p.WireLen)
+		return
+	}
+	if r.inLoss {
+		// Loss episode ends: record the gap, reset compression, and
+		// request a resync preamble.
+		c.closeGap(cs, tsc)
+	}
+	if cs.needResync {
+		cs.needResync = false
+		psb := cs.enc.psb()
+		tscP := cs.enc.tsc(tsc)
+		cs.lastTSC = tsc
+		cs.sincePSB = 0
+		// The resync preamble itself must fit; it is small relative to
+		// the buffer so we account for it without re-checking capacity.
+		r.q = append(r.q, Item{Packet: psb}, Item{Packet: tscP})
+		r.usedBytes += uint64(psb.WireLen) + uint64(tscP.WireLen)
+		c.GenBytes += uint64(psb.WireLen) + uint64(tscP.WireLen)
+		// Re-encode the packet: compression state was reset, so an
+		// IP-bearing packet needs its full width.
+		if p.Kind == KTIP || p.Kind == KFUP || p.Kind == KPGE || p.Kind == KPGD {
+			p = cs.enc.ip(p.Kind, p.IP)
+		}
+	}
+	r.q = append(r.q, Item{Packet: p})
+	r.usedBytes += uint64(p.WireLen)
+	c.GenBytes += uint64(p.WireLen)
+	cs.sincePSB += uint64(p.WireLen)
+}
+
+// closeGap records the pending loss episode ending at endTSC and arms the
+// resync preamble.
+func (c *Collector) closeGap(cs *coreState, endTSC uint64) {
+	r := &cs.ring
+	if endTSC <= r.lossStart {
+		endTSC = r.lossStart + 1
+	}
+	// The gap marker travels through the ring FIFO so the exported
+	// stream stays in generation order even when packets generated before
+	// the loss drain afterwards.
+	r.q = append(r.q, Item{
+		Gap: true, LostBytes: r.lostBytes + (r.lostBits+7)/8,
+		GapStart: r.lossStart, GapEnd: endTSC,
+	})
+	cs.lastGapEnd = endTSC
+	r.inLoss = false
+	r.lostBits = 0
+	cs.enc.reset()
+	cs.needResync = true
+}
+
+// housekeeping emits periodic TSC and PSB packets before a payload packet.
+func (c *Collector) housekeeping(cs *coreState, tsc uint64) {
+	if tsc-cs.lastTSC >= c.cfg.TSCPeriodCycles {
+		if p, ok := cs.enc.flushTNT(); ok {
+			c.push(cs, p, tsc)
+		}
+		cs.lastTSC = tsc
+		c.push(cs, cs.enc.tsc(tsc), tsc)
+	}
+	if cs.sincePSB >= c.cfg.PSBPeriodBytes {
+		if p, ok := cs.enc.flushTNT(); ok {
+			c.push(cs, p, tsc)
+		}
+		cs.sincePSB = 0
+		c.push(cs, cs.enc.psb(), tsc)
+	}
+}
+
+// flushPending flushes buffered TNT bits (before any non-TNT packet, to
+// preserve event order).
+func (c *Collector) flushPending(cs *coreState, tsc uint64) {
+	if p, ok := cs.enc.flushTNT(); ok {
+		c.push(cs, p, tsc)
+	}
+}
+
+// PGE records a packet-generation-enable event on core.
+func (c *Collector) PGE(core int, ip, tsc uint64) {
+	cs := &c.cores[core]
+	c.Advance(core, tsc)
+	c.housekeeping(cs, tsc)
+	c.flushPending(cs, tsc)
+	c.push(cs, cs.enc.ip(KPGE, ip), tsc)
+}
+
+// PGD records a packet-generation-disable event on core.
+func (c *Collector) PGD(core int, ip, tsc uint64) {
+	cs := &c.cores[core]
+	c.Advance(core, tsc)
+	c.housekeeping(cs, tsc)
+	c.flushPending(cs, tsc)
+	c.push(cs, cs.enc.ip(KPGD, ip), tsc)
+}
+
+// TNT records a conditional-branch outcome at branchAddr on core.
+func (c *Collector) TNT(core int, branchAddr uint64, taken bool, tsc uint64) {
+	cs := &c.cores[core]
+	c.Advance(core, tsc)
+	c.housekeeping(cs, tsc)
+	if cs.ring.inLoss {
+		// Try to end the loss episode with a FUP anchoring the TNT bits
+		// that follow; if the buffer is still full the bit itself is
+		// lost.
+		c.push(cs, cs.enc.ip(KFUP, branchAddr), tsc)
+		if cs.ring.inLoss {
+			cs.ring.lostBits++
+			return
+		}
+	} else if cs.needResync {
+		// After a loss the decoder cannot attribute raw TNT bits; emit a
+		// FUP carrying the branch address first so decoding can resume
+		// here (the push path prepends the PSB/TSC preamble).
+		c.push(cs, cs.enc.ip(KFUP, branchAddr), tsc)
+	}
+	if p, full := cs.enc.tnt(taken); full {
+		c.push(cs, p, tsc)
+	}
+	cs.curTSC = tsc
+}
+
+// TIP records an indirect transfer to target on core.
+func (c *Collector) TIP(core int, target, tsc uint64) {
+	cs := &c.cores[core]
+	c.Advance(core, tsc)
+	c.housekeeping(cs, tsc)
+	c.flushPending(cs, tsc)
+	c.push(cs, cs.enc.ip(KTIP, target), tsc)
+}
+
+// FUP records the source IP of an asynchronous event (e.g. an exception).
+func (c *Collector) FUP(core int, ip, tsc uint64) {
+	cs := &c.cores[core]
+	c.Advance(core, tsc)
+	c.housekeeping(cs, tsc)
+	c.flushPending(cs, tsc)
+	c.push(cs, cs.enc.ip(KFUP, ip), tsc)
+}
+
+// SwitchMark records a context-switch boundary: PT emits a PIP packet at
+// the CR3 write; we model it as a forced timestamp so offline thread
+// segregation has a precise anchor (paper §6).
+func (c *Collector) SwitchMark(core int, tsc uint64) {
+	cs := &c.cores[core]
+	c.Advance(core, tsc)
+	c.flushPending(cs, tsc)
+	cs.lastTSC = tsc
+	c.push(cs, cs.enc.tsc(tsc), tsc)
+}
+
+// Advance drains the core's ring according to the export bandwidth and the
+// elapsed cycles. The VM calls it implicitly via every event and explicitly
+// at scheduling points.
+func (c *Collector) Advance(core int, tsc uint64) {
+	cs := &c.cores[core]
+	if tsc <= cs.lastDrainTSC {
+		return
+	}
+	prev := cs.lastDrainTSC
+	cs.drainMilli += (tsc - prev) * c.cfg.DrainBytesPerKCycle
+	cs.lastDrainTSC = tsc
+	budget := cs.drainMilli / 1000
+	cs.drainMilli %= 1000
+	r := &cs.ring
+	before := r.usedBytes
+	n := 0
+	for n < len(r.q) {
+		it := &r.q[n]
+		if it.Gap {
+			cs.trace.Items = append(cs.trace.Items, *it)
+			n++
+			continue
+		}
+		w := uint64(it.Packet.WireLen)
+		if budget < w {
+			break
+		}
+		budget -= w
+		r.usedBytes -= w
+		cs.trace.Items = append(cs.trace.Items, *it)
+		n++
+	}
+	r.q = r.q[n:]
+	// Close an open loss episode once the exporter has caught up, even if
+	// nothing new is being generated. The episode's end time is when the
+	// buffer crossed the resume threshold — interpolated within the drain
+	// interval, since the exporter works linearly in time.
+	resumeAt := r.capBytes * uint64(c.cfg.ResumePercent) / 100
+	if r.inLoss && r.usedBytes <= resumeAt {
+		end := tsc
+		if drained := before - r.usedBytes; drained > 0 && before > resumeAt {
+			needed := before - resumeAt
+			end = prev + (tsc-prev)*needed/drained
+		}
+		c.closeGap(cs, end)
+	}
+}
+
+// Finish flushes everything (the exporter catches up after the run) and
+// returns the per-core traces.
+func (c *Collector) Finish(tsc uint64) []CoreTrace {
+	out := make([]CoreTrace, len(c.cores))
+	for i := range c.cores {
+		cs := &c.cores[i]
+		if p, ok := cs.enc.flushTNT(); ok {
+			c.push(cs, p, tsc)
+		}
+		if cs.ring.inLoss {
+			c.closeGap(cs, tsc)
+			cs.needResync = false
+		}
+		cs.trace.Items = append(cs.trace.Items, cs.ring.q...)
+		cs.ring.q = nil
+		cs.ring.usedBytes = 0
+		cs.trace.Core = i
+		out[i] = cs.trace
+	}
+	return out
+}
+
+// ExportedBytes returns total bytes drained so far across cores.
+func (c *Collector) ExportedBytes() uint64 {
+	var n uint64
+	for i := range c.cores {
+		n += c.cores[i].trace.Bytes()
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+package pt
+
+// encoder turns logical trace events into packets, applying PT's
+// compression: TNT bits are buffered and packed (up to 6 bits in a short
+// 1-byte-payload packet, up to 47 in a long packet), and TIP/FUP addresses
+// are suffix-compressed against the last IP emitted.
+type encoder struct {
+	pendingBits  uint64
+	pendingNBits uint8
+	lastIP       uint64
+	haveLastIP   bool
+}
+
+// wire-format sizing. The header byte carries the kind; payloads follow.
+const (
+	psbWireLen = 16
+	tscWireLen = 8
+)
+
+// ipWireLen computes the encoded size of an IP-bearing packet given the
+// last-IP compression state: PT sends only the differing low-order bytes
+// (2, 4, 6 or 8 of them) when the high-order bytes match the previous IP.
+func (e *encoder) ipWireLen(ip uint64) uint8 {
+	if !e.haveLastIP {
+		return 1 + 8
+	}
+	diff := ip ^ e.lastIP
+	switch {
+	case diff>>16 == 0:
+		return 1 + 2
+	case diff>>32 == 0:
+		return 1 + 4
+	case diff>>48 == 0:
+		return 1 + 6
+	default:
+		return 1 + 8
+	}
+}
+
+// flushTNT converts the pending TNT bits into a packet, or returns false if
+// none are pending.
+func (e *encoder) flushTNT() (Packet, bool) {
+	if e.pendingNBits == 0 {
+		return Packet{}, false
+	}
+	p := Packet{Kind: KTNT, Bits: e.pendingBits, NBits: e.pendingNBits}
+	if e.pendingNBits <= 6 {
+		p.WireLen = 1 + 1 // short TNT
+	} else {
+		p.WireLen = 8 // long TNT
+	}
+	e.pendingBits, e.pendingNBits = 0, 0
+	return p, true
+}
+
+// tnt appends one branch bit; it returns a completed packet when the buffer
+// fills to 47 bits.
+func (e *encoder) tnt(taken bool) (Packet, bool) {
+	if taken {
+		e.pendingBits |= 1 << uint(e.pendingNBits)
+	}
+	e.pendingNBits++
+	if e.pendingNBits == MaxTNTBits {
+		return e.flushTNT()
+	}
+	return Packet{}, false
+}
+
+// ip builds an IP-bearing packet of the given kind, updating compression
+// state.
+func (e *encoder) ip(kind Kind, addr uint64) Packet {
+	p := Packet{Kind: kind, IP: addr, WireLen: e.ipWireLen(addr)}
+	e.lastIP = addr
+	e.haveLastIP = true
+	return p
+}
+
+// tsc builds a timestamp packet.
+func (e *encoder) tsc(t uint64) Packet {
+	return Packet{Kind: KTSC, TSC: t, WireLen: tscWireLen}
+}
+
+// psb builds a synchronisation packet and resets IP compression, as real PT
+// decoders resynchronise at PSBs.
+func (e *encoder) psb() Packet {
+	e.haveLastIP = false
+	return Packet{Kind: KPSB, WireLen: psbWireLen}
+}
+
+// reset drops all compression state (used after data loss).
+func (e *encoder) reset() {
+	e.pendingBits, e.pendingNBits = 0, 0
+	e.haveLastIP = false
+}

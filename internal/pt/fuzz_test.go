@@ -1,0 +1,39 @@
+package pt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace checks the trace reader never panics on corrupt input and
+// that valid traces round-trip.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a real trace.
+	cfg := DefaultConfig()
+	c := NewCollector(cfg, 1)
+	c.PGE(0, 0x7f40_0000_0000, 0)
+	for i := 0; i < 50; i++ {
+		c.TIP(0, uint64(i+1)<<30, uint64(i)*9)
+		c.TNT(0, 0x7f40_0000_0040, i%2 == 0, uint64(i)*9+1)
+	}
+	tr := c.Finish(1000)[0]
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, &tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("JPTRACE1garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-serialize.
+		var out bytes.Buffer
+		if err := WriteTrace(&out, got); err != nil {
+			t.Fatalf("accepted trace does not re-serialize: %v", err)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+// Package pt is a software model of the Intel Processor Trace packet
+// protocol (paper §2): the packet kinds JPortal consumes (PGE, PGD, TNT,
+// TIP, FUP, TSC, PSB), the compression PT applies (TNT bit packing, TIP
+// instruction-pointer suffix compression), per-core ring buffers whose
+// bounded export bandwidth loses data exactly the way the paper describes
+// (22-54% under small buffers), and a binary wire format used to measure
+// trace sizes.
+//
+// The paper's algorithms never touch silicon; they consume packets. This
+// model reproduces the packet-level properties those algorithms must cope
+// with, which is what makes the reproduction meaningful on machines without
+// PT hardware.
+package pt
+
+import "fmt"
+
+// Kind identifies a trace packet type.
+type Kind uint8
+
+const (
+	// KPGE marks packet generation enable: tracing begins at IP.
+	KPGE Kind = iota
+	// KPGD marks packet generation disable: tracing ends at IP.
+	KPGD
+	// KTIP carries the target of an indirect branch (call*, jmp*, ret).
+	KTIP
+	// KFUP carries the source IP of an asynchronous event or a resync
+	// point after data loss.
+	KFUP
+	// KTNT carries 1..47 taken/not-taken bits, oldest bit first.
+	KTNT
+	// KTSC carries a timestamp.
+	KTSC
+	// KPSB is a synchronisation boundary.
+	KPSB
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KPGE:
+		return "PGE"
+	case KPGD:
+		return "PGD"
+	case KTIP:
+		return "TIP"
+	case KFUP:
+		return "FUP"
+	case KTNT:
+		return "TNT"
+	case KTSC:
+		return "TSC"
+	case KPSB:
+		return "PSB"
+	}
+	return fmt.Sprintf("pkt#%d", uint8(k))
+}
+
+// MaxTNTBits is the capacity of a long TNT packet.
+const MaxTNTBits = 47
+
+// Packet is one decoded trace packet.
+type Packet struct {
+	Kind Kind
+	// IP is the address payload of PGE/PGD/TIP/FUP.
+	IP uint64
+	// Bits holds TNT bits, oldest in bit 0; NBits of them are valid.
+	Bits  uint64
+	NBits uint8
+	// TSC is the timestamp payload of TSC packets.
+	TSC uint64
+	// WireLen is the encoded size in bytes (set by the encoder; used for
+	// buffer accounting and trace-size measurements).
+	WireLen uint8
+}
+
+// TNTBit returns bit i (0 = oldest) of a TNT packet.
+func (p *Packet) TNTBit(i int) bool { return (p.Bits>>uint(i))&1 == 1 }
+
+func (p Packet) String() string {
+	switch p.Kind {
+	case KTIP, KFUP, KPGE, KPGD:
+		return fmt.Sprintf("%s(%#x)", p.Kind, p.IP)
+	case KTNT:
+		s := make([]byte, p.NBits)
+		for i := range s {
+			if p.TNTBit(i) {
+				s[i] = '1'
+			} else {
+				s[i] = '0'
+			}
+		}
+		return fmt.Sprintf("TNT(%s)", s)
+	case KTSC:
+		return fmt.Sprintf("TSC(%d)", p.TSC)
+	}
+	return p.Kind.String()
+}
+
+// Item is one element of an exported trace: either a packet or a gap marker
+// recording a data-loss episode (the model of a perf_record_aux record with
+// the truncated flag, paper §4).
+type Item struct {
+	// Gap is true for loss markers.
+	Gap bool
+	// Packet is valid when !Gap.
+	Packet Packet
+	// LostBytes, GapStart and GapEnd describe the loss episode when Gap.
+	LostBytes        uint64
+	GapStart, GapEnd uint64
+}
+
+// CoreTrace is everything exported from one core's trace buffer, in order.
+type CoreTrace struct {
+	Core  int
+	Items []Item
+}
+
+// Bytes returns the exported payload size in bytes (gaps excluded).
+func (t *CoreTrace) Bytes() uint64 {
+	var n uint64
+	for i := range t.Items {
+		if !t.Items[i].Gap {
+			n += uint64(t.Items[i].Packet.WireLen)
+		}
+	}
+	return n
+}
+
+// LostBytes returns the total bytes dropped in loss episodes.
+func (t *CoreTrace) LostBytes() uint64 {
+	var n uint64
+	for i := range t.Items {
+		if t.Items[i].Gap {
+			n += t.Items[i].LostBytes
+		}
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package pt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The trace file format: a magic header, then a stream of records. Each
+// record is a 1-byte tag followed by a fixed-size payload. Packet records
+// carry the full Packet struct fields (the in-memory WireLen is recomputed
+// on read); gap records carry the loss episode. The format is deliberately
+// simple and self-describing enough for tests to round-trip traces through
+// disk, and its sizes are what Table 5 reports as "TS".
+
+var wireMagic = [8]byte{'J', 'P', 'T', 'R', 'A', 'C', 'E', '1'}
+
+const (
+	tagPacket byte = 0x01
+	tagGap    byte = 0x02
+	tagEnd    byte = 0x03
+)
+
+// WriteTrace serialises a core trace to w.
+func WriteTrace(w io.Writer, t *CoreTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(wireMagic[:]); err != nil {
+		return err
+	}
+	var buf [41]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(t.Core))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	for i := range t.Items {
+		it := &t.Items[i]
+		if it.Gap {
+			buf[0] = tagGap
+			binary.LittleEndian.PutUint64(buf[1:9], it.LostBytes)
+			binary.LittleEndian.PutUint64(buf[9:17], it.GapStart)
+			binary.LittleEndian.PutUint64(buf[17:25], it.GapEnd)
+			if _, err := bw.Write(buf[:25]); err != nil {
+				return err
+			}
+			continue
+		}
+		p := &it.Packet
+		buf[0] = tagPacket
+		buf[1] = byte(p.Kind)
+		buf[2] = p.NBits
+		buf[3] = p.WireLen
+		binary.LittleEndian.PutUint64(buf[4:12], p.IP)
+		binary.LittleEndian.PutUint64(buf[12:20], p.Bits)
+		binary.LittleEndian.PutUint64(buf[20:28], p.TSC)
+		if _, err := bw.Write(buf[:28]); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte(tagEnd); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserialises a core trace from r.
+func ReadTrace(r io.Reader) (*CoreTrace, error) {
+	br := bufio.NewReader(r)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if [8]byte(hdr[:8]) != wireMagic {
+		return nil, errors.New("pt: bad trace magic")
+	}
+	t := &CoreTrace{Core: int(binary.LittleEndian.Uint32(hdr[8:12]))}
+	var buf [27]byte
+	for {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagEnd:
+			return t, nil
+		case tagGap:
+			if _, err := io.ReadFull(br, buf[:24]); err != nil {
+				return nil, err
+			}
+			t.Items = append(t.Items, Item{
+				Gap:       true,
+				LostBytes: binary.LittleEndian.Uint64(buf[0:8]),
+				GapStart:  binary.LittleEndian.Uint64(buf[8:16]),
+				GapEnd:    binary.LittleEndian.Uint64(buf[16:24]),
+			})
+		case tagPacket:
+			if _, err := io.ReadFull(br, buf[:27]); err != nil {
+				return nil, err
+			}
+			p := Packet{
+				Kind:    Kind(buf[0]),
+				NBits:   buf[1],
+				WireLen: buf[2],
+				IP:      binary.LittleEndian.Uint64(buf[3:11]),
+				Bits:    binary.LittleEndian.Uint64(buf[11:19]),
+				TSC:     binary.LittleEndian.Uint64(buf[19:27]),
+			}
+			t.Items = append(t.Items, Item{Packet: p})
+		default:
+			return nil, fmt.Errorf("pt: unknown record tag %#x", tag)
+		}
+	}
+}

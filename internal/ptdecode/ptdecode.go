@@ -1,0 +1,424 @@
+// Package ptdecode is the native-level PT decoder (the role libipt plays in
+// the paper, §2/§3.2): it consumes a packet stream plus the machine-code
+// metadata snapshot and reconstructs the native-level control flow. For
+// addresses in the code cache it walks the compiled blobs — following
+// linear code, direct jumps and calls, consuming one TNT bit per
+// conditional branch and one TIP per indirect transfer — and yields the
+// executed instruction ranges (paper Fig 3d). For addresses in the
+// interpreter's template area it yields dispatch events identifying the
+// interpreted opcode (paper Fig 2e). Data-loss gaps and desynchronisation
+// are surfaced as events so the bytecode-level layers (package core) can
+// segment the trace.
+package ptdecode
+
+import (
+	"fmt"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/isa"
+	"jportal/internal/meta"
+	"jportal/internal/pt"
+)
+
+// EventKind classifies decoder output events.
+type EventKind uint8
+
+const (
+	// EvTemplate is a dispatch into an interpreter opcode template.
+	EvTemplate EventKind = iota
+	// EvTemplateTNT is a conditional outcome inside the current branch
+	// template (interpreted mode).
+	EvTemplateTNT
+	// EvJITRange reports that native instructions [First, Last) of Blob
+	// executed.
+	EvJITRange
+	// EvStub is a transfer into a runtime adapter stub.
+	EvStub
+	// EvGap is a data-loss episode.
+	EvGap
+	// EvTime is a timestamp update.
+	EvTime
+	// EvEnable and EvDisable delimit tracing.
+	EvEnable
+	EvDisable
+	// EvDesync reports that the walker lost sync (packet/code mismatch,
+	// typically following loss or imprecise metadata) and re-anchored.
+	EvDesync
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvTemplate:
+		return "template"
+	case EvTemplateTNT:
+		return "template-tnt"
+	case EvJITRange:
+		return "jit-range"
+	case EvStub:
+		return "stub"
+	case EvGap:
+		return "gap"
+	case EvTime:
+		return "time"
+	case EvEnable:
+		return "enable"
+	case EvDisable:
+		return "disable"
+	case EvDesync:
+		return "desync"
+	}
+	return fmt.Sprintf("ev#%d", uint8(k))
+}
+
+// Event is one decoded native-level event.
+type Event struct {
+	Kind EventKind
+	// Op is the dispatched opcode for EvTemplate/EvTemplateTNT.
+	Op bytecode.Opcode
+	// Taken is the branch outcome for EvTemplateTNT.
+	Taken bool
+	// Blob plus [First, Last) identify executed instructions for
+	// EvJITRange.
+	Blob        *meta.CompiledMethod
+	First, Last int
+	// Stub names the adapter for EvStub.
+	Stub string
+	// TSC is the current timestamp (valid on EvTime; best-effort
+	// elsewhere).
+	TSC uint64
+	// LostBytes/GapStart/GapEnd describe EvGap.
+	LostBytes        uint64
+	GapStart, GapEnd uint64
+}
+
+type mode uint8
+
+const (
+	modeIdle mode = iota
+	modeTemplate
+	modeJIT
+)
+
+// Decoder decodes one packet stream (typically one thread's stitched
+// stream).
+type Decoder struct {
+	snap *meta.Snapshot
+
+	out []Event
+
+	mode  mode
+	curOp bytecode.Opcode // last dispatched template op
+
+	blob       *meta.CompiledMethod
+	idx        int // next instruction index within blob
+	rangeStart int // first index of the pending range, -1 if none
+
+	bits  uint64
+	nbits int
+
+	tsc uint64
+
+	// fupArmed is set after a FUP: the next TIP is the target of an
+	// asynchronous transfer (exception, OSR) and must not be matched
+	// against a pending indirect instruction.
+	fupArmed bool
+
+	// Desyncs counts re-anchoring events (diagnostics).
+	Desyncs int
+	// DroppedBits counts TNT bits discarded with no position to attribute
+	// them to (diagnostics).
+	DroppedBits int
+}
+
+// New creates a decoder over the given metadata snapshot.
+func New(snap *meta.Snapshot) *Decoder {
+	return &Decoder{snap: snap, rangeStart: -1}
+}
+
+// Decode processes a whole item stream and returns the events.
+func (d *Decoder) Decode(items []pt.Item) []Event {
+	for i := range items {
+		d.Feed(&items[i])
+	}
+	d.flushRange()
+	out := d.out
+	d.out = nil
+	return out
+}
+
+// Feed processes one trace item.
+func (d *Decoder) Feed(it *pt.Item) {
+	if it.Gap {
+		d.flushRange()
+		d.emit(Event{Kind: EvGap, LostBytes: it.LostBytes,
+			GapStart: it.GapStart, GapEnd: it.GapEnd, TSC: it.GapStart})
+		d.reset()
+		return
+	}
+	p := &it.Packet
+	switch p.Kind {
+	case pt.KPSB:
+		// Synchronisation point; nothing to do at this abstraction.
+	case pt.KTSC:
+		d.tsc = p.TSC
+		d.emit(Event{Kind: EvTime, TSC: p.TSC})
+	case pt.KPGE:
+		d.emit(Event{Kind: EvEnable, TSC: d.tsc})
+		// TIP.PGE carries the resume IP: re-anchor there (tracing often
+		// resumes mid-compiled-loop where no TIP would otherwise occur).
+		d.anchor(p.IP)
+	case pt.KPGD:
+		d.flushRange()
+		d.emit(Event{Kind: EvDisable, TSC: d.tsc})
+		d.mode = modeIdle
+		d.bits, d.nbits = 0, 0
+	case pt.KTNT:
+		for i := 0; i < int(p.NBits); i++ {
+			if d.nbits >= 64 {
+				// Overflow means severe desync; drop oldest.
+				d.DroppedBits += d.nbits
+				d.desync()
+			}
+			if p.TNTBit(i) {
+				d.bits |= 1 << uint(d.nbits)
+			}
+			d.nbits++
+		}
+		d.drainBits()
+	case pt.KFUP:
+		d.anchor(p.IP)
+		d.fupArmed = true
+	case pt.KTIP:
+		async := d.fupArmed
+		d.fupArmed = false
+		d.tip(p.IP, async)
+	}
+	if p.Kind != pt.KFUP && p.Kind != pt.KTSC && p.Kind != pt.KPSB {
+		d.fupArmed = false
+	}
+}
+
+func (d *Decoder) emit(e Event) {
+	if e.TSC == 0 {
+		e.TSC = d.tsc
+	}
+	d.out = append(d.out, e)
+}
+
+func (d *Decoder) reset() {
+	d.mode = modeIdle
+	d.blob = nil
+	d.rangeStart = -1
+	d.bits, d.nbits = 0, 0
+}
+
+func (d *Decoder) desync() {
+	d.Desyncs++
+	d.flushRange()
+	d.emit(Event{Kind: EvDesync})
+	d.reset()
+}
+
+func (d *Decoder) takeBit() bool {
+	b := d.bits&1 == 1
+	d.bits >>= 1
+	d.nbits--
+	return b
+}
+
+// flushRange emits the pending JIT instruction range.
+func (d *Decoder) flushRange() {
+	if d.rangeStart >= 0 && d.idx > d.rangeStart {
+		d.emit(Event{Kind: EvJITRange, Blob: d.blob, First: d.rangeStart, Last: d.idx})
+	}
+	d.rangeStart = -1
+}
+
+// anchor re-positions the decoder at ip without consuming a transfer
+// (FUP semantics: the IP is where execution currently is).
+func (d *Decoder) anchor(ip uint64) {
+	d.flushRange()
+	if d.snap.IsTemplate(ip) {
+		if name := d.snap.Stubs.Classify(ip); name != "" {
+			d.mode = modeIdle
+			return
+		}
+		if op, ok := d.snap.Templates.Lookup(ip); ok {
+			d.mode = modeTemplate
+			d.curOp = op
+			d.drainBits()
+			return
+		}
+		d.mode = modeIdle
+		return
+	}
+	if blob := d.snap.BlobFor(ip); blob != nil {
+		if i := blob.Code.IndexOf(ip); i >= 0 {
+			d.mode = modeJIT
+			d.blob = blob
+			d.idx = i
+			d.rangeStart = -1
+			d.drainBits()
+			return
+		}
+	}
+	d.mode = modeIdle
+}
+
+// tip handles an indirect transfer: it first advances the walker to the
+// pending indirect instruction (there must be exactly the executed linear
+// path in between), then lands at the target. When the TIP completes a
+// FUP+TIP pair (async means an exception or OSR transfer), there is no
+// indirect instruction to consume: control was ripped away by the runtime.
+func (d *Decoder) tip(target uint64, async bool) {
+	if async {
+		d.flushRange()
+		d.land(target)
+		return
+	}
+	if d.mode == modeJIT {
+		// Walk up to the indirect instruction this TIP resolves.
+		d.walk()
+		if d.mode == modeJIT {
+			if d.idx < len(d.blob.Code.Instrs) && d.blob.Code.Instrs[d.idx].Kind.IsIndirect() {
+				// Execute the indirect instruction itself.
+				d.extend()
+				d.idx++
+				d.flushRange()
+			} else {
+				// The walker is stuck mid-walk (e.g. at a conditional
+				// with no bits): metadata/trace mismatch.
+				d.desync()
+			}
+		}
+	}
+	d.land(target)
+}
+
+// land positions execution at a transfer target and classifies it.
+func (d *Decoder) land(target uint64) {
+	if d.snap.IsTemplate(target) {
+		d.flushRange()
+		if name := d.snap.Stubs.Classify(target); name != "" {
+			d.mode = modeIdle
+			d.emit(Event{Kind: EvStub, Stub: name})
+			return
+		}
+		if op, ok := d.snap.Templates.Lookup(target); ok {
+			d.mode = modeTemplate
+			d.curOp = op
+			d.emit(Event{Kind: EvTemplate, Op: op})
+			return
+		}
+		d.mode = modeIdle
+		return
+	}
+	if blob := d.snap.BlobFor(target); blob != nil {
+		if i := blob.Code.IndexOf(target); i >= 0 {
+			d.flushRange()
+			d.mode = modeJIT
+			d.blob = blob
+			d.idx = i
+			d.rangeStart = i
+			d.walk()
+			return
+		}
+	}
+	d.desync()
+}
+
+// extend includes the current instruction in the pending range.
+func (d *Decoder) extend() {
+	if d.rangeStart < 0 {
+		d.rangeStart = d.idx
+	}
+}
+
+// jumpTo transfers within/between blobs following a direct target.
+func (d *Decoder) jumpTo(target uint64) bool {
+	d.idx++ // the transfer instruction itself executed
+	d.flushRange()
+	blob := d.blob
+	if !blob.Code.Contains(target) {
+		blob = d.snap.BlobFor(target)
+	}
+	if blob == nil {
+		return false
+	}
+	i := blob.Code.IndexOf(target)
+	if i < 0 {
+		return false
+	}
+	d.blob = blob
+	d.idx = i
+	d.rangeStart = i
+	return true
+}
+
+// drainBits consumes pending TNT bits according to the current mode.
+func (d *Decoder) drainBits() {
+	for d.nbits > 0 {
+		switch d.mode {
+		case modeTemplate:
+			taken := d.takeBit()
+			d.emit(Event{Kind: EvTemplateTNT, Op: d.curOp, Taken: taken})
+		case modeJIT:
+			before := d.nbits
+			d.walk()
+			if d.nbits == before {
+				// walk() could not consume: waiting for a TIP while
+				// bits are pending would be a mismatch, but bits can
+				// also simply be buffered ahead; stop here.
+				return
+			}
+		default:
+			// No position to attribute bits to (post-loss); drop them.
+			d.DroppedBits += d.nbits
+			d.bits, d.nbits = 0, 0
+			return
+		}
+	}
+}
+
+// walk advances through the current blob while progress is possible without
+// further packets.
+func (d *Decoder) walk() {
+	for d.mode == modeJIT {
+		if d.idx >= len(d.blob.Code.Instrs) {
+			// Fell off the blob end: desync.
+			d.desync()
+			return
+		}
+		ins := &d.blob.Code.Instrs[d.idx]
+		switch ins.Kind {
+		case isa.Linear:
+			d.extend()
+			d.idx++
+		case isa.Jump, isa.Call:
+			d.extend()
+			if !d.jumpTo(ins.Target) {
+				d.desync()
+				return
+			}
+		case isa.CondBranch:
+			if d.nbits == 0 {
+				return // need more TNT bits
+			}
+			d.extend()
+			taken := d.takeBit()
+			if taken {
+				if !d.jumpTo(ins.Target) {
+					d.desync()
+					return
+				}
+			} else {
+				d.idx++
+			}
+		case isa.IndirectCall, isa.IndirectJump, isa.Ret:
+			return // need a TIP
+		default:
+			d.desync()
+			return
+		}
+	}
+}

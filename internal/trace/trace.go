@@ -1,0 +1,141 @@
+// Package trace reassembles per-core PT traces into per-thread packet
+// streams (paper §6, "Multi-Cores and Multi-Threads"): the scheduler's
+// sideband thread-switch records carve each core's trace into windows, and
+// each thread's windows are stitched together across cores in time order.
+//
+// Loss episodes need care: a gap recorded on one core can span many
+// scheduling windows (the buffer may stay backlogged long after the thread
+// that overflowed it migrated away), so each overlapped window receives the
+// gap clipped to its own bounds — the thread only lost data while it was
+// actually running there.
+//
+// Sideband timestamps are *not* perfectly consistent with the timestamps
+// embedded in the trace (the machine adds deterministic jitter, mirroring
+// the inconsistency the paper reports in §7.2), so packets adjacent to a
+// switch boundary can be attributed to the wrong thread — an accuracy
+// limiter JPortal inherits by design.
+package trace
+
+import (
+	"sort"
+
+	"jportal/internal/pt"
+	"jportal/internal/vm"
+)
+
+// ThreadStream is one thread's stitched packet stream.
+type ThreadStream struct {
+	Thread int
+	Items  []pt.Item
+}
+
+// window is a contiguous slice of one core's trace attributed to a thread.
+type window struct {
+	thread int
+	start  uint64 // sideband timestamp ordering key
+	items  []pt.Item
+}
+
+// collapseRuns merges consecutive same-thread records, keeping the first.
+func collapseRuns(recs []vm.SwitchRecord) []vm.SwitchRecord {
+	out := recs[:0:0]
+	for _, r := range recs {
+		if n := len(out); n > 0 && out[n-1].Thread == r.Thread {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// SplitByThread segregates per-core traces into per-thread streams using
+// the scheduler sideband. For a single-threaded program this degenerates to
+// concatenating the (single) core windows in time order.
+func SplitByThread(cores []pt.CoreTrace, sideband []vm.SwitchRecord) []ThreadStream {
+	perCore := make(map[int][]vm.SwitchRecord)
+	maxThread := 0
+	for _, r := range sideband {
+		perCore[r.Core] = append(perCore[r.Core], r)
+		if r.Thread > maxThread {
+			maxThread = r.Thread
+		}
+	}
+
+	var windows []window
+	for _, ct := range cores {
+		recs := perCore[ct.Core]
+		if len(recs) == 0 {
+			continue
+		}
+		// Collapse consecutive records with the same owner (including
+		// idle runs) so windowAt stays cheap.
+		recs = collapseRuns(recs)
+		// windowAt returns the index of the scheduling window covering t.
+		windowAt := func(t uint64) int {
+			i := sort.Search(len(recs), func(i int) bool { return recs[i].TSC > t })
+			if i == 0 {
+				return 0
+			}
+			return i - 1
+		}
+
+		wins := make([][]pt.Item, len(recs))
+		tsc := uint64(0)
+		wi := 0
+		for _, it := range ct.Items {
+			if it.Gap {
+				// Distribute the gap to every window it overlaps,
+				// clipped to the window bounds.
+				lo := windowAt(it.GapStart)
+				hi := windowAt(it.GapEnd)
+				span := it.GapEnd - it.GapStart
+				for j := lo; j <= hi; j++ {
+					g := it
+					if j > lo {
+						g.GapStart = recs[j].TSC
+					}
+					if j < hi && j+1 < len(recs) {
+						g.GapEnd = recs[j+1].TSC
+					}
+					if g.GapEnd <= g.GapStart {
+						continue
+					}
+					// Apportion the lost bytes by covered time.
+					if span > 0 {
+						g.LostBytes = it.LostBytes * (g.GapEnd - g.GapStart) / span
+					}
+					wins[j] = append(wins[j], g)
+				}
+				tsc = it.GapEnd
+				if w := windowAt(tsc); w > wi {
+					wi = w
+				}
+				continue
+			}
+			if it.Packet.Kind == pt.KTSC {
+				tsc = it.Packet.TSC
+				if w := windowAt(tsc); w > wi {
+					wi = w
+				}
+			}
+			wins[wi] = append(wins[wi], it)
+		}
+		for i, items := range wins {
+			if len(items) > 0 && recs[i].Thread >= 0 {
+				windows = append(windows, window{thread: recs[i].Thread, start: recs[i].TSC, items: items})
+			}
+		}
+	}
+
+	// Stitch each thread's windows in time order.
+	sort.SliceStable(windows, func(i, j int) bool { return windows[i].start < windows[j].start })
+	streams := make([]ThreadStream, maxThread+1)
+	for i := range streams {
+		streams[i].Thread = i
+	}
+	for _, w := range windows {
+		s := &streams[w.thread]
+		s.Items = append(s.Items, w.items...)
+	}
+	return streams
+}

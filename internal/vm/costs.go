@@ -1,0 +1,72 @@
+package vm
+
+import "jportal/internal/bytecode"
+
+// CostModel assigns deterministic cycle costs to everything the machine
+// does. Absolute values are arbitrary; what matters for reproducing the
+// paper's Table 2 is the *structure*: interpretation costs an order of
+// magnitude more than compiled code per bytecode, instrumentation probes
+// cost a handful of cycles each (cheap for coverage bits, expensive for
+// control-flow event logging), sampling interrupts are costly but rare, and
+// PT generation costs almost nothing while its export consumes a small,
+// bounded slice of bandwidth.
+type CostModel struct {
+	// InterpDispatch is the per-bytecode template-dispatch overhead.
+	InterpDispatch uint64
+	// InterpTemplate is the per-opcode template body cost.
+	InterpTemplate [bytecode.NumOpcodes]uint64
+	// JITCyclePerInstr is the cost of one compiled native instruction.
+	JITCyclePerInstr uint64
+	// CallOverhead is added per method invocation (frame setup).
+	CallOverhead uint64
+	// ThrowOverhead is added per exception unwinding step.
+	ThrowOverhead uint64
+	// CompileCostPerInstr models JIT compilation time (charged to the
+	// invoking core, as HotSpot background compilation steals cycles).
+	CompileCostPerInstr uint64
+	// ExportMilliCyclesPerByte is the PT exporter's cost per trace byte,
+	// in millicycles, charged to the core that generated the data.
+	ExportMilliCyclesPerByte uint64
+	// MetadataExportPerInstr is the cost of copying a compiled blob into
+	// the shared metadata buffer (JPortal online collection, paper §6).
+	MetadataExportPerInstr uint64
+}
+
+// DefaultCosts returns the tuned default model.
+func DefaultCosts() CostModel {
+	c := CostModel{
+		InterpDispatch:           4,
+		JITCyclePerInstr:         1,
+		CallOverhead:             10,
+		ThrowOverhead:            40,
+		CompileCostPerInstr:      120,
+		ExportMilliCyclesPerByte: 600,
+		MetadataExportPerInstr:   20,
+	}
+	for op := 0; op < bytecode.NumOpcodes; op++ {
+		c.InterpTemplate[op] = 6
+	}
+	set := func(cost uint64, ops ...bytecode.Opcode) {
+		for _, op := range ops {
+			c.InterpTemplate[op] = cost
+		}
+	}
+	set(3, bytecode.NOP, bytecode.ICONST, bytecode.ILOAD, bytecode.DUP, bytecode.POP)
+	set(4, bytecode.ISTORE, bytecode.IINC, bytecode.SWAP)
+	set(5, bytecode.IADD, bytecode.ISUB, bytecode.IAND, bytecode.IOR, bytecode.IXOR,
+		bytecode.ISHL, bytecode.ISHR, bytecode.INEG)
+	set(9, bytecode.IMUL)
+	set(18, bytecode.IDIV, bytecode.IREM)
+	set(7, bytecode.GOTO, bytecode.IFEQ, bytecode.IFNE, bytecode.IFLT,
+		bytecode.IFGE, bytecode.IFGT, bytecode.IFLE,
+		bytecode.IF_ICMPEQ, bytecode.IF_ICMPNE, bytecode.IF_ICMPLT,
+		bytecode.IF_ICMPGE, bytecode.IF_ICMPGT, bytecode.IF_ICMPLE)
+	set(12, bytecode.TABLESWITCH)
+	set(16, bytecode.INVOKESTATIC, bytecode.INVOKEDYN)
+	set(12, bytecode.IRETURN, bytecode.RETURN)
+	set(10, bytecode.NEWARRAY, bytecode.IALOAD, bytecode.IASTORE)
+	set(5, bytecode.ARRAYLENGTH)
+	set(30, bytecode.ATHROW)
+	set(2, bytecode.PROBE) // the dispatch; the handler action cost is separate
+	return c
+}

@@ -1,0 +1,601 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/jit"
+)
+
+// Exception codes raised by the runtime; ATHROW throws whatever code is on
+// the stack (generated programs use codes >= 10).
+const (
+	ExcArithmetic   int32 = 1
+	ExcBounds       int32 = 2
+	ExcNegativeSize int32 = 3
+	ExcNullPointer  int32 = 4
+)
+
+func (f *frame) pushv(v int32) { f.stack = append(f.stack, v) }
+
+func (f *frame) popv() int32 {
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v
+}
+
+// Trace generation is free in hardware; the runtime overhead JPortal pays
+// is exporting the packet stream (memory bandwidth + the exporter thread).
+// Each event charges its approximate wire size times the export cost, in
+// millicycles, to the emitting core.
+const (
+	tipMilliBytes = 3000 // a compressed TIP averages ~3 bytes
+	tntMilliBytes = 170  // a TNT bit averages ~1/6 byte
+	fupMilliBytes = 3000
+)
+
+func (m *Machine) chargeExport(core int, milliBytes uint64) {
+	cs := &m.cores[core]
+	cs.milli += milliBytes * m.Cfg.Costs.ExportMilliCyclesPerByte / 1000
+	if cs.milli >= 1000 {
+		cs.clock += cs.milli / 1000
+		cs.milli %= 1000
+	}
+}
+
+func (m *Machine) emitTIP(core int, target, tsc uint64) {
+	if m.Tracer != nil {
+		m.Tracer.TIP(core, target, tsc)
+		m.chargeExport(core, tipMilliBytes)
+	}
+}
+
+func (m *Machine) emitTNT(core int, addr uint64, taken bool, tsc uint64) {
+	if m.Tracer != nil {
+		m.Tracer.TNT(core, addr, taken, tsc)
+		m.chargeExport(core, tntMilliBytes)
+	}
+}
+
+func (m *Machine) emitFUP(core int, ip, tsc uint64) {
+	if m.Tracer != nil {
+		m.Tracer.FUP(core, ip, tsc)
+		m.chargeExport(core, fupMilliBytes)
+	}
+}
+
+// retSiteAddr is the native address just past the call instruction at
+// (ctx, bci): where a callee's return re-enters this blob.
+func retSiteAddr(nm *jit.NativeMethod, ctx jit.CtxID, bci int32) uint64 {
+	u, ok := nm.UnitFor(ctx, bci)
+	if !ok || u.Last == u.First {
+		panic(fmt.Sprintf("vm: no native call site at ctx%d bci%d", ctx, bci))
+	}
+	ins := nm.Meta.Code.Instrs[u.Last-1]
+	return ins.End()
+}
+
+// step executes one bytecode instruction of t's top frame on core.
+func (m *Machine) step(t *thread, core int) error {
+	m.steps++
+	if m.steps > m.Cfg.MaxSteps {
+		return errMaxSteps
+	}
+	fi := len(t.frames) - 1
+	f := &t.frames[fi]
+	ins := &f.method.Code[f.pc]
+	op := ins.Op
+	cs := &m.cores[core]
+	tsc := cs.clock
+	mid := f.method.ID
+
+	if m.Listener != nil {
+		m.Listener.OnExec(t.id, mid, f.pc, core, tsc)
+	}
+	m.Stats.ExecutedBytecodes++
+
+	var cycles uint64
+	if f.jit {
+		if u, ok := f.nm.UnitFor(f.ctx, f.pc); ok {
+			cycles = uint64(u.Last-u.First) * m.Cfg.Costs.JITCyclePerInstr
+		}
+		m.Stats.JITBytecodes++
+	} else {
+		cycles = m.Cfg.Costs.InterpDispatch + m.Cfg.Costs.InterpTemplate[op]
+		m.Stats.InterpBytecodes++
+		// Template dispatch: one indirect jump per interpreted bytecode
+		// (paper Fig 2d).
+		m.emitTIP(core, m.templates.Entry(op), tsc)
+	}
+	safepoint := false
+
+	// throwNow raises code at the current instruction; it handles
+	// emission, unwinding and cost.
+	throwNow := func(code int32) {
+		cycles += m.throwTo(t, core, tsc, code)
+	}
+
+	switch op {
+	case bytecode.NOP:
+		f.pc++
+
+	case bytecode.PROBE:
+		if m.Probe != nil {
+			m.Probe(t.id, ins.A)
+		}
+		cycles += m.ProbeActionCost
+		f.pc++
+
+	case bytecode.ICONST:
+		f.pushv(ins.A)
+		f.pc++
+	case bytecode.ILOAD:
+		f.pushv(f.locals[ins.A])
+		f.pc++
+	case bytecode.ISTORE:
+		f.locals[ins.A] = f.popv()
+		f.pc++
+	case bytecode.IINC:
+		f.locals[ins.A] += ins.B
+		f.pc++
+	case bytecode.DUP:
+		v := f.stack[len(f.stack)-1]
+		f.pushv(v)
+		f.pc++
+	case bytecode.POP:
+		f.popv()
+		f.pc++
+	case bytecode.SWAP:
+		n := len(f.stack)
+		f.stack[n-1], f.stack[n-2] = f.stack[n-2], f.stack[n-1]
+		f.pc++
+
+	case bytecode.IADD, bytecode.ISUB, bytecode.IMUL, bytecode.IAND,
+		bytecode.IOR, bytecode.IXOR, bytecode.ISHL, bytecode.ISHR:
+		b := f.popv()
+		a := f.popv()
+		var r int32
+		switch op {
+		case bytecode.IADD:
+			r = a + b
+		case bytecode.ISUB:
+			r = a - b
+		case bytecode.IMUL:
+			r = a * b
+		case bytecode.IAND:
+			r = a & b
+		case bytecode.IOR:
+			r = a | b
+		case bytecode.IXOR:
+			r = a ^ b
+		case bytecode.ISHL:
+			r = a << (uint32(b) & 31)
+		case bytecode.ISHR:
+			r = a >> (uint32(b) & 31)
+		}
+		f.pushv(r)
+		f.pc++
+
+	case bytecode.IDIV, bytecode.IREM:
+		b := f.popv()
+		a := f.popv()
+		if b == 0 {
+			throwNow(ExcArithmetic)
+			break
+		}
+		var r int32
+		if a == math.MinInt32 && b == -1 {
+			// JVM semantics: overflowing division wraps.
+			if op == bytecode.IDIV {
+				r = math.MinInt32
+			} else {
+				r = 0
+			}
+		} else if op == bytecode.IDIV {
+			r = a / b
+		} else {
+			r = a % b
+		}
+		f.pushv(r)
+		f.pc++
+
+	case bytecode.INEG:
+		f.pushv(-f.popv())
+		f.pc++
+
+	case bytecode.GOTO:
+		back := ins.A <= f.pc
+		f.pc = ins.A
+		if back {
+			safepoint = true
+			if f.jit {
+				m.backedgeJIT(f, core, tsc)
+			} else {
+				m.backedge(f, core, tsc)
+			}
+		}
+
+	case bytecode.IFEQ, bytecode.IFNE, bytecode.IFLT, bytecode.IFGE,
+		bytecode.IFGT, bytecode.IFLE,
+		bytecode.IF_ICMPEQ, bytecode.IF_ICMPNE, bytecode.IF_ICMPLT,
+		bytecode.IF_ICMPGE, bytecode.IF_ICMPGT, bytecode.IF_ICMPLE:
+		var a, b int32
+		if op >= bytecode.IF_ICMPEQ {
+			b = f.popv()
+			a = f.popv()
+		} else {
+			a = f.popv()
+		}
+		taken := evalCond(op, a, b)
+		if f.jit {
+			m.emitTNT(core, f.nm.CondAddrAt(f.ctx, f.pc), taken, tsc)
+		} else {
+			m.emitTNT(core, condTNTAddr(m.templates, op), taken, tsc)
+		}
+		if taken {
+			back := ins.A <= f.pc
+			f.pc = ins.A
+			if back {
+				safepoint = true
+				if f.jit {
+					m.backedgeJIT(f, core, tsc)
+				} else {
+					m.backedge(f, core, tsc)
+				}
+			}
+		} else {
+			f.pc++
+		}
+
+	case bytecode.TABLESWITCH:
+		v := f.popv()
+		target := ins.B
+		if idx := int64(v) - int64(ins.A); idx >= 0 && idx < int64(len(ins.Targets)) {
+			target = ins.Targets[idx]
+		}
+		if f.jit {
+			// The jump table dispatch is an indirect jump.
+			m.emitTIP(core, f.nm.AddrOf(f.ctx, target), tsc)
+		}
+		f.pc = target
+
+	case bytecode.INVOKESTATIC, bytecode.INVOKEDYN:
+		var callee *bytecode.Method
+		if op == bytecode.INVOKESTATIC {
+			callee = m.Prog.Method(bytecode.MethodID(ins.A))
+		} else {
+			sel := f.popv()
+			tbl := m.Prog.DispatchTables[ins.A]
+			callee = m.Prog.Method(tbl[int(uint32(sel))%len(tbl)])
+		}
+		args := make([]int32, callee.NArgs)
+		for i := callee.NArgs - 1; i >= 0; i-- {
+			args[i] = f.popv()
+		}
+		callBCI := f.pc
+		f.pc++ // return continuation
+		cycles += m.Cfg.Costs.CallOverhead
+		m.Stats.MethodCalls[callee.ID]++
+		safepoint = true
+
+		if f.jit {
+			ci, ok := f.nm.CallAt(f.ctx, callBCI)
+			if !ok {
+				panic(fmt.Sprintf("vm: missing call info at m%d ctx%d bci%d", mid, f.ctx, callBCI))
+			}
+			switch {
+			case ci.Inlined >= 0:
+				// Inlined: stay in this blob, no native call.
+				t.frames = append(t.frames, frame{
+					method: callee, locals: newLocals(callee, args),
+					jit: true, nm: f.nm, ctx: ci.Inlined, inline: true,
+				})
+			case ci.Direct != 0:
+				// Direct call bound at compile time: no packet; the
+				// decoder follows the call instruction. The bound blob
+				// is executed even if the callee was recompiled since.
+				nm2 := m.blobAt[ci.Direct]
+				if nm2 == nil {
+					panic(fmt.Sprintf("vm: direct call to unknown blob %#x", ci.Direct))
+				}
+				t.frames = append(t.frames, frame{
+					method: callee, locals: newLocals(callee, args),
+					jit: true, nm: nm2, ctx: 0,
+					retNative: retSiteAddr(f.nm, f.ctx, callBCI),
+				})
+			default:
+				// Indirect call through a stub: TIP.
+				m.hotness[callee.ID]++
+				m.maybeCompile(callee.ID, core)
+				ret := retSiteAddr(f.nm, f.ctx, callBCI)
+				if nm2 := m.compiled[callee.ID]; nm2 != nil {
+					m.emitTIP(core, nm2.EntryAddr(), tsc)
+					t.frames = append(t.frames, frame{
+						method: callee, locals: newLocals(callee, args),
+						jit: true, nm: nm2, ctx: 0, retNative: ret,
+					})
+				} else {
+					m.emitTIP(core, m.stubs.InterpEntry.Start, tsc)
+					t.frames = append(t.frames, frame{
+						method: callee, locals: newLocals(callee, args),
+						retNative: ret,
+					})
+				}
+			}
+		} else {
+			m.hotness[callee.ID]++
+			m.maybeCompile(callee.ID, core)
+			if nm2 := m.compiled[callee.ID]; nm2 != nil {
+				// Interpreter dispatches indirectly into compiled code.
+				m.emitTIP(core, nm2.EntryAddr(), tsc)
+				t.frames = append(t.frames, frame{
+					method: callee, locals: newLocals(callee, args),
+					jit: true, nm: nm2, ctx: 0,
+					retNative: m.stubs.RetEntry.Start,
+				})
+			} else {
+				t.frames = append(t.frames, frame{
+					method: callee, locals: newLocals(callee, args),
+				})
+			}
+		}
+
+	case bytecode.IRETURN, bytecode.RETURN:
+		var rv int32
+		hasVal := op == bytecode.IRETURN
+		if hasVal {
+			rv = f.popv()
+		}
+		if f.jit {
+			if !f.inline {
+				// Native ret: indirect, TIP to the return site.
+				target := f.retNative
+				if len(t.frames) == 1 {
+					target = m.stubs.ThreadExit.Start
+				}
+				m.emitTIP(core, target, tsc)
+			}
+		} else if f.retNative != 0 {
+			// Interpreted frame returning into compiled caller.
+			m.emitTIP(core, f.retNative, tsc)
+		}
+		t.frames = t.frames[:fi]
+		if fi == 0 {
+			t.done = true
+			t.result = rv
+		} else if hasVal {
+			t.frames[fi-1].pushv(rv)
+		}
+
+	case bytecode.NEWARRAY:
+		n := f.popv()
+		if n < 0 {
+			throwNow(ExcNegativeSize)
+			break
+		}
+		m.heap = append(m.heap, make([]int32, n))
+		f.pushv(int32(len(m.heap) - 1))
+		f.pc++
+
+	case bytecode.IALOAD:
+		idx := f.popv()
+		ref := f.popv()
+		arr, err := m.array(ref)
+		if err != 0 {
+			throwNow(err)
+			break
+		}
+		if idx < 0 || int(idx) >= len(arr) {
+			throwNow(ExcBounds)
+			break
+		}
+		f.pushv(arr[idx])
+		f.pc++
+
+	case bytecode.IASTORE:
+		v := f.popv()
+		idx := f.popv()
+		ref := f.popv()
+		arr, err := m.array(ref)
+		if err != 0 {
+			throwNow(err)
+			break
+		}
+		if idx < 0 || int(idx) >= len(arr) {
+			throwNow(ExcBounds)
+			break
+		}
+		arr[idx] = v
+		f.pc++
+
+	case bytecode.ARRAYLENGTH:
+		ref := f.popv()
+		arr, err := m.array(ref)
+		if err != 0 {
+			throwNow(err)
+			break
+		}
+		f.pushv(int32(len(arr)))
+		f.pc++
+
+	case bytecode.ATHROW:
+		throwNow(f.popv())
+
+	default:
+		panic(fmt.Sprintf("vm: unimplemented opcode %s", op))
+	}
+
+	if m.Sampler != nil {
+		cycles += m.Sampler.OnStep(t.id, core, tsc, mid, safepoint)
+	}
+	cs.clock += cycles
+	m.Stats.MethodCycles[mid] += cycles
+	return nil
+}
+
+// backedge handles an interpreter-mode taken backedge: it bumps hotness,
+// may trigger compilation, and performs on-stack replacement — once the
+// method has a compiled version, the running interpreted frame jumps into
+// the compiled code at the loop header (HotSpot's OSR), which is what lets
+// long-running loops leave the interpreter without waiting for the next
+// invocation.
+func (m *Machine) backedge(f *frame, core int, tsc uint64) {
+	mid := f.method.ID
+	m.hotness[mid] += m.Cfg.BackedgeWeight
+	m.maybeCompile(mid, core)
+	nm := m.compiled[mid]
+	if nm == nil {
+		return
+	}
+	if _, ok := nm.UnitFor(0, f.pc); !ok {
+		return
+	}
+	f.jit = true
+	f.nm = nm
+	f.ctx = 0
+	if f.retNative == 0 {
+		// The caller is interpreted (or this is the thread's bottom
+		// frame, which the return path special-cases): returning from
+		// compiled code goes through the RetEntry adapter.
+		f.retNative = m.stubs.RetEntry.Start
+	}
+	// The OSR transition is an indirect jump into the compiled loop
+	// header.
+	m.emitTIP(core, nm.AddrOf(0, f.pc), tsc)
+}
+
+// backedgeJIT profiles backedges in tier-1 compiled code (C1 code keeps
+// profile counters in HotSpot): a hot-enough loop triggers tier-2
+// recompilation and re-OSRs the running frame into the C2 blob.
+func (m *Machine) backedgeJIT(f *frame, core int, tsc uint64) {
+	if f.nm.Tier != 1 || f.ctx != 0 {
+		return
+	}
+	mid := f.method.ID
+	m.hotness[mid] += m.Cfg.BackedgeWeight
+	m.maybeCompile(mid, core)
+	nm := m.compiled[mid]
+	if nm == nil || nm == f.nm || nm.Tier <= f.nm.Tier {
+		return
+	}
+	if _, ok := nm.UnitFor(0, f.pc); !ok {
+		return
+	}
+	// OSR is an asynchronous transfer through the runtime, not a native
+	// branch: the hardware records it as FUP (source) + TIP (target).
+	m.emitFUP(core, f.nm.AddrOf(f.ctx, f.pc), tsc)
+	f.nm = nm
+	f.ctx = 0
+	m.emitTIP(core, nm.AddrOf(0, f.pc), tsc)
+}
+
+func evalCond(op bytecode.Opcode, a, b int32) bool {
+	switch op {
+	case bytecode.IFEQ:
+		return a == 0
+	case bytecode.IFNE:
+		return a != 0
+	case bytecode.IFLT:
+		return a < 0
+	case bytecode.IFGE:
+		return a >= 0
+	case bytecode.IFGT:
+		return a > 0
+	case bytecode.IFLE:
+		return a <= 0
+	case bytecode.IF_ICMPEQ:
+		return a == b
+	case bytecode.IF_ICMPNE:
+		return a != b
+	case bytecode.IF_ICMPLT:
+		return a < b
+	case bytecode.IF_ICMPGE:
+		return a >= b
+	case bytecode.IF_ICMPGT:
+		return a > b
+	case bytecode.IF_ICMPLE:
+		return a <= b
+	}
+	panic("evalCond: not a conditional: " + op.String())
+}
+
+func newLocals(m *bytecode.Method, args []int32) []int32 {
+	l := make([]int32, m.MaxLocals)
+	copy(l, args)
+	return l
+}
+
+// array resolves a heap reference, returning an exception code on failure.
+func (m *Machine) array(ref int32) ([]int32, int32) {
+	if ref <= 0 || int(ref) >= len(m.heap) {
+		return nil, ExcNullPointer
+	}
+	return m.heap[ref], 0
+}
+
+// findHandler locates the first handler of meth covering pc with a matching
+// code.
+func findHandler(meth *bytecode.Method, pc int32, code int32) *bytecode.Handler {
+	for i := range meth.Handlers {
+		h := &meth.Handlers[i]
+		if pc >= h.From && pc < h.To && (h.Code < 0 || h.Code == code) {
+			return h
+		}
+	}
+	return nil
+}
+
+// throwTo raises an exception at the current instruction of t's top frame:
+// it emits the FUP/TIP events the hardware would see (paper §2: FUPs carry
+// the source IP of asynchronous events), unwinds frames until a handler
+// catches, and returns the cycle cost of unwinding.
+func (m *Machine) throwTo(t *thread, core int, tsc uint64, code int32) uint64 {
+	var cycles uint64
+	top := &t.frames[len(t.frames)-1]
+	var src uint64
+	if top.jit {
+		src = top.nm.AddrOf(top.ctx, top.pc)
+	} else {
+		src = m.templates.Entry(top.method.Code[top.pc].Op)
+	}
+	m.emitFUP(core, src, tsc)
+	m.emitTIP(core, m.stubs.Unwind.Start, tsc)
+
+	first := true
+	for len(t.frames) > 0 {
+		f := &t.frames[len(t.frames)-1]
+		pc := f.pc
+		if !first {
+			// Caller frames have already advanced past the call site.
+			pc--
+		}
+		if h := findHandler(f.method, pc, code); h != nil {
+			f.stack = f.stack[:0]
+			f.pushv(code)
+			f.pc = h.Target
+			if f.jit {
+				if m.Cfg.DeoptOnThrow && !f.inline {
+					// Uncommon trap: the compiled frame deoptimizes and
+					// the handler runs interpreted; the next hot
+					// backedge OSRs back into compiled code.
+					m.emitTIP(core, m.stubs.Deopt.Start, tsc)
+					f.jit = false
+					f.nm = nil
+					f.ctx = 0
+					cycles += m.Cfg.Costs.ThrowOverhead * 2
+					return cycles
+				}
+				m.emitTIP(core, f.nm.AddrOf(f.ctx, h.Target), tsc)
+			}
+			cycles += m.Cfg.Costs.ThrowOverhead
+			return cycles
+		}
+		t.frames = t.frames[:len(t.frames)-1]
+		cycles += m.Cfg.Costs.ThrowOverhead
+		first = false
+	}
+	t.done = true
+	m.Stats.UncaughtThrows++
+	return cycles
+}

@@ -1,0 +1,57 @@
+package vm
+
+import (
+	"jportal/internal/bytecode"
+	"jportal/internal/meta"
+)
+
+// buildTemplates lays out the interpreter's opcode templates in the
+// template area of the address space and registers their ranges in a
+// meta.TemplateTable, the way JPortal harvests them from the JVM during
+// initialisation (paper §3.1). A few opcodes deliberately get a second,
+// non-contiguous sub-range, mirroring HotSpot handlers whose machine code
+// is split (paper: "multiple sub-ranges could be recorded").
+//
+// It also lays out the adapter stubs (meta.Stubs).
+func buildTemplates() (*meta.TemplateTable, meta.Stubs) {
+	t := meta.NewTemplateTable()
+	const stride = 0x400
+	base := meta.TemplateBase
+	for op := 0; op < bytecode.NumOpcodes; op++ {
+		start := base + uint64(op)*stride
+		size := uint64(0x80)
+		if bytecode.Opcode(op).IsCondBranch() {
+			// Branch templates are large (they embed profiling counters
+			// in HotSpot); cf. the wide ifeq/ifne ranges in Fig 2(c).
+			size = 0x300
+		}
+		t.Add(bytecode.Opcode(op), meta.Range{Start: start, End: start + size})
+	}
+	// Non-contiguous secondary sub-ranges for a few handlers.
+	aux := base + uint64(bytecode.NumOpcodes)*stride
+	for i, op := range []bytecode.Opcode{bytecode.TABLESWITCH, bytecode.IRETURN, bytecode.ATHROW} {
+		start := aux + uint64(i)*0x100
+		t.Add(op, meta.Range{Start: start, End: start + 0x60})
+	}
+
+	stubBase := aux + 0x1000
+	stub := func(i int) meta.Range {
+		s := stubBase + uint64(i)*0x100
+		return meta.Range{Start: s, End: s + 0x40}
+	}
+	stubs := meta.Stubs{
+		InterpEntry: stub(0),
+		RetEntry:    stub(1),
+		Unwind:      stub(2),
+		ThreadExit:  stub(3),
+		Deopt:       stub(4),
+	}
+	return t, stubs
+}
+
+// condTNTAddr returns the address inside op's branch template where the
+// conditional jump sits; TNT events in interpreter mode carry it so a
+// post-loss FUP can identify the opcode being interpreted.
+func condTNTAddr(t *meta.TemplateTable, op bytecode.Opcode) uint64 {
+	return t.Ranges[op][0].Start + 0x20
+}

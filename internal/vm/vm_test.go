@@ -1,0 +1,632 @@
+package vm
+
+import (
+	"testing"
+
+	"jportal/internal/bytecode"
+)
+
+// runProg executes src's entry and returns the machine and stats.
+func runProg(t *testing.T, src string, cfg Config) (*Machine, *Stats) {
+	t.Helper()
+	p := bytecode.MustAssemble(src)
+	m := New(p, cfg)
+	stats, err := m.Run([]ThreadSpec{{Method: p.Entry}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, stats
+}
+
+// runFunc executes a named method with args and returns its result.
+func runFunc(t *testing.T, src, name string, args ...int32) int32 {
+	t.Helper()
+	p := bytecode.MustAssemble(src)
+	m := New(p, DefaultConfig())
+	meth := p.MethodByName(name)
+	if meth == nil {
+		t.Fatalf("no method %s", name)
+	}
+	stats, err := m.Run([]ThreadSpec{{Method: meth.ID, Args: args}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.ThreadResults[0]
+}
+
+const arithSrc = `
+method T.calc(2) returns int {
+    iload 0
+    iload 1
+    iadd
+    iload 0
+    iload 1
+    isub
+    imul
+    ireturn
+}
+method T.shifts(2) returns int {
+    iload 0
+    iload 1
+    ishl
+    iload 0
+    iload 1
+    ishr
+    ixor
+    ireturn
+}
+method T.bits(2) returns int {
+    iload 0
+    iload 1
+    iand
+    iload 0
+    iload 1
+    ior
+    ixor
+    ireturn
+}
+method T.divrem(2) returns int {
+    iload 0
+    iload 1
+    idiv
+    iload 0
+    iload 1
+    irem
+    iadd
+    ireturn
+}
+method T.neg(1) returns int {
+    iload 0
+    ineg
+    ireturn
+}
+method T.main(0) {
+    return
+}
+entry T.main
+`
+
+func TestArithmeticSemantics(t *testing.T) {
+	if got := runFunc(t, arithSrc, "T.calc", 7, 3); got != (7+3)*(7-3) {
+		t.Errorf("calc = %d", got)
+	}
+	if got := runFunc(t, arithSrc, "T.shifts", -8, 2); got != (-8<<2)^(-8>>2) {
+		t.Errorf("shifts = %d", got)
+	}
+	if got := runFunc(t, arithSrc, "T.bits", 12, 10); got != (12&10)^(12|10) {
+		t.Errorf("bits = %d", got)
+	}
+	if got := runFunc(t, arithSrc, "T.divrem", 17, 5); got != 17/5+17%5 {
+		t.Errorf("divrem = %d", got)
+	}
+	if got := runFunc(t, arithSrc, "T.divrem", -17, 5); got != -17/5+-17%5 {
+		t.Errorf("negative divrem = %d", got)
+	}
+	if got := runFunc(t, arithSrc, "T.neg", -2147483648); got != -2147483648 {
+		t.Errorf("neg MinInt32 = %d (should wrap)", got)
+	}
+}
+
+func TestDivisionOverflowWraps(t *testing.T) {
+	// MinInt32 / -1 must not crash the VM and must wrap per JVM rules.
+	if got := runFunc(t, arithSrc, "T.divrem", -2147483648, -1); got != -2147483648+0 {
+		t.Errorf("MinInt32/-1 = %d", got)
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	// Shift counts are masked to 5 bits (JVM semantics): 1 << 33 == 2.
+	src := `
+method T.s(2) returns int {
+    iload 0
+    iload 1
+    ishl
+    ireturn
+}
+method T.main(0) {
+    return
+}
+entry T.main
+`
+	if got := runFunc(t, src, "T.s", 1, 33); got != 2 {
+		t.Errorf("1<<33 = %d, want 2", got)
+	}
+}
+
+const arraySrc = `
+method T.sum(1) returns int {
+    iload 0
+    newarray
+    istore 1
+    iconst 0
+    istore 2
+Lfill:
+    iload 2
+    iload 0
+    if_icmpge Lsum0
+    iload 1
+    iload 2
+    iload 2
+    iconst 3
+    imul
+    iastore
+    iinc 2 1
+    goto Lfill
+Lsum0:
+    iconst 0
+    istore 3
+    iconst 0
+    istore 2
+Lsum:
+    iload 2
+    iload 1
+    arraylength
+    if_icmpge Ldone
+    iload 3
+    iload 1
+    iload 2
+    iaload
+    iadd
+    istore 3
+    iinc 2 1
+    goto Lsum
+Ldone:
+    iload 3
+    ireturn
+}
+method T.main(0) {
+    return
+}
+entry T.main
+`
+
+func TestArraySemantics(t *testing.T) {
+	// sum of 3*i for i in [0,10): 3*45 = 135.
+	if got := runFunc(t, arraySrc, "T.sum", 10); got != 135 {
+		t.Errorf("array sum = %d, want 135", got)
+	}
+}
+
+const excSrc = `
+method T.thrower(1) returns int {
+    iload 0
+    athrow
+}
+method T.catcher(1) returns int {
+Ltry:
+    iload 0
+    invokestatic T.thrower
+    ireturn
+Lcatch10:
+    iconst 100
+    iadd
+    ireturn
+Lany:
+    iconst 1000
+    iadd
+    ireturn
+    handler Ltry Lcatch10 Lcatch10 10
+    handler Ltry Lcatch10 Lany any
+}
+method T.uncaught(0) returns int {
+    iconst 42
+    athrow
+}
+method T.bounds(1) returns int {
+Ltry:
+    iconst 4
+    newarray
+    iload 0
+    iaload
+    ireturn
+Lcatch:
+    ireturn
+    handler Ltry Lcatch Lcatch any
+}
+method T.main(0) {
+    return
+}
+entry T.main
+`
+
+func TestExceptionDispatchByCode(t *testing.T) {
+	// Code 10 hits the first (specific) handler: 10 + 100.
+	if got := runFunc(t, excSrc, "T.catcher", 10); got != 110 {
+		t.Errorf("specific handler: %d", got)
+	}
+	// Other codes fall to the any-handler: 7 + 1000.
+	if got := runFunc(t, excSrc, "T.catcher", 7); got != 1007 {
+		t.Errorf("any handler: %d", got)
+	}
+}
+
+func TestExceptionCrossFrameUnwind(t *testing.T) {
+	// thrower has no handler: the exception unwinds into catcher.
+	p := bytecode.MustAssemble(excSrc)
+	m := New(p, DefaultConfig())
+	stats, err := m.Run([]ThreadSpec{{Method: p.MethodByName("T.catcher").ID, Args: []int32{10}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UncaughtThrows != 0 {
+		t.Error("cross-frame unwind failed")
+	}
+	if stats.ThreadResults[0] != 110 {
+		t.Errorf("result %d", stats.ThreadResults[0])
+	}
+}
+
+func TestUncaughtExceptionTerminatesThread(t *testing.T) {
+	p := bytecode.MustAssemble(excSrc)
+	m := New(p, DefaultConfig())
+	stats, err := m.Run([]ThreadSpec{{Method: p.MethodByName("T.uncaught").ID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UncaughtThrows != 1 {
+		t.Errorf("uncaught = %d", stats.UncaughtThrows)
+	}
+}
+
+func TestRuntimeExceptionCodes(t *testing.T) {
+	// Out-of-bounds index raises ExcBounds, caught and returned.
+	if got := runFunc(t, excSrc, "T.bounds", 9); got != ExcBounds {
+		t.Errorf("bounds code = %d, want %d", got, ExcBounds)
+	}
+	if got := runFunc(t, excSrc, "T.bounds", -1); got != ExcBounds {
+		t.Errorf("negative index code = %d", got)
+	}
+	// In-bounds access returns the (zero) element.
+	if got := runFunc(t, excSrc, "T.bounds", 2); got != 0 {
+		t.Errorf("in bounds = %d", got)
+	}
+}
+
+const negSizeSrc = `
+method T.mk(1) returns int {
+Ltry:
+    iload 0
+    newarray
+    arraylength
+    ireturn
+Lcatch:
+    ireturn
+    handler Ltry Lcatch Lcatch any
+}
+method T.main(0) {
+    return
+}
+entry T.main
+`
+
+func TestNegativeArraySize(t *testing.T) {
+	if got := runFunc(t, negSizeSrc, "T.mk", -3); got != ExcNegativeSize {
+		t.Errorf("code %d", got)
+	}
+	if got := runFunc(t, negSizeSrc, "T.mk", 6); got != 6 {
+		t.Errorf("length %d", got)
+	}
+}
+
+const switchSrc = `
+method T.sw(1) returns int {
+    iload 0
+    tableswitch 2 default=Ld [La Lb Lc]
+La:
+    iconst 10
+    ireturn
+Lb:
+    iconst 20
+    ireturn
+Lc:
+    iconst 30
+    ireturn
+Ld:
+    iconst -1
+    ireturn
+}
+method T.main(0) {
+    return
+}
+entry T.main
+`
+
+func TestTableSwitchSemantics(t *testing.T) {
+	cases := map[int32]int32{2: 10, 3: 20, 4: 30, 1: -1, 99: -1, -5: -1}
+	for in, want := range cases {
+		if got := runFunc(t, switchSrc, "T.sw", in); got != want {
+			t.Errorf("sw(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+const hotLoopSrc = `
+method T.hot(1) returns int {
+    iconst 0
+    istore 1
+Lloop:
+    iload 1
+    iload 0
+    if_icmpge Ldone
+    iinc 1 1
+    goto Lloop
+Ldone:
+    iload 1
+    ireturn
+}
+method T.main(0) {
+    iconst 20000
+    invokestatic T.hot
+    istore 0
+    return
+}
+entry T.main
+`
+
+func TestOSRCompilesLongRunningLoop(t *testing.T) {
+	m, stats := runProg(t, hotLoopSrc, DefaultConfig())
+	if stats.Compilations == 0 {
+		t.Fatal("hot loop never compiled")
+	}
+	hot := m.Prog.MethodByName("T.hot")
+	if m.CompiledTier(hot.ID) != 2 {
+		t.Errorf("hot tier = %d, want 2 (re-OSR tier-up)", m.CompiledTier(hot.ID))
+	}
+	// Most bytecodes must have executed in compiled mode.
+	if stats.JITBytecodes < stats.InterpBytecodes {
+		t.Errorf("OSR ineffective: interp=%d jit=%d", stats.InterpBytecodes, stats.JITBytecodes)
+	}
+}
+
+const recurSrc = `
+method T.fib(1) returns int {
+    iload 0
+    iconst 2
+    if_icmpge Lr
+    iload 0
+    ireturn
+Lr:
+    iload 0
+    iconst 1
+    isub
+    invokestatic T.fib
+    iload 0
+    iconst 2
+    isub
+    invokestatic T.fib
+    iadd
+    ireturn
+}
+method T.main(0) {
+    iconst 18
+    invokestatic T.fib
+    istore 0
+    return
+}
+entry T.main
+`
+
+func TestRecursionAndTieredCompilation(t *testing.T) {
+	m, stats := runProg(t, recurSrc, DefaultConfig())
+	fib := m.Prog.MethodByName("T.fib")
+	if m.CompiledTier(fib.ID) != 2 {
+		t.Errorf("fib tier = %d", m.CompiledTier(fib.ID))
+	}
+	if stats.MethodCalls[fib.ID] < 1000 {
+		t.Errorf("fib calls = %d", stats.MethodCalls[fib.ID])
+	}
+}
+
+func TestCodeCacheEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CodeCacheBytes = 100 // tiny: force eviction
+	m, stats := runProg(t, recurSrc, cfg)
+	if stats.Evictions == 0 {
+		t.Error("no evictions under a tiny code cache")
+	}
+	// The snapshot retains every exported blob even after eviction.
+	if len(m.Snapshot.Compiled) < stats.Compilations {
+		t.Errorf("snapshot holds %d blobs for %d compilations",
+			len(m.Snapshot.Compiled), stats.Compilations)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, uint64) {
+		p := bytecode.MustAssemble(recurSrc)
+		m := New(p, DefaultConfig())
+		stats, err := m.Run([]ThreadSpec{{Method: p.Entry}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Cycles, stats.ExecutedBytecodes
+	}
+	c1, b1 := run()
+	c2, b2 := run()
+	if c1 != c2 || b1 != b2 {
+		t.Errorf("nondeterministic: (%d,%d) vs (%d,%d)", c1, b1, c2, b2)
+	}
+}
+
+func TestMultiThreadScheduling(t *testing.T) {
+	src := `
+method T.work(1) returns int {
+    iconst 0
+    istore 1
+Ll:
+    iload 1
+    iconst 30000
+    if_icmpge Ld
+    iinc 1 1
+    goto Ll
+Ld:
+    iload 1
+    ireturn
+}
+method T.main(0) {
+    return
+}
+entry T.main
+`
+	p := bytecode.MustAssemble(src)
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	m := New(p, cfg)
+	work := p.MethodByName("T.work")
+	specs := []ThreadSpec{
+		{Method: work.ID, Args: []int32{1}},
+		{Method: work.ID, Args: []int32{2}},
+		{Method: work.ID, Args: []int32{3}},
+	}
+	stats, err := m.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range stats.ThreadResults {
+		if r != 30000 {
+			t.Errorf("thread %d result %d", i, r)
+		}
+	}
+	// Sideband must cover all threads and be time-monotone per core.
+	seen := map[int]bool{}
+	lastPerCore := map[int]uint64{}
+	idles := 0
+	for _, r := range m.Sideband() {
+		if r.Thread >= 0 {
+			seen[r.Thread] = true
+		} else {
+			idles++
+		}
+		if r.TSC < lastPerCore[r.Core] {
+			t.Errorf("sideband regressed on core %d: %d < %d", r.Core, r.TSC, lastPerCore[r.Core])
+		}
+		lastPerCore[r.Core] = r.TSC
+	}
+	if len(seen) != 3 {
+		t.Errorf("sideband covers %d threads", len(seen))
+	}
+	if idles == 0 {
+		t.Error("no sched-out records")
+	}
+	// With 3 threads on 2 cores, wall-clock beats serial execution.
+	if stats.Cycles >= stats.ActiveCycles {
+		t.Errorf("no parallelism: wall %d vs cpu %d", stats.Cycles, stats.ActiveCycles)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := bytecode.MustAssemble(recurSrc)
+	m := New(p, DefaultConfig())
+	if _, err := m.Run(nil); err == nil {
+		t.Error("empty specs accepted")
+	}
+	m2 := New(p, DefaultConfig())
+	if _, err := m2.Run([]ThreadSpec{{Method: 99}}); err == nil {
+		t.Error("unknown entry accepted")
+	}
+	m3 := New(p, DefaultConfig())
+	if _, err := m3.Run([]ThreadSpec{{Method: p.MethodByName("T.fib").ID}}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	m4 := New(p, DefaultConfig())
+	if _, err := m4.Run([]ThreadSpec{{Method: p.Entry}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m4.Run([]ThreadSpec{{Method: p.Entry}}); err == nil {
+		t.Error("machine reuse accepted")
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	src := `
+method T.forever(0) {
+Ll:
+    goto Ll
+}
+entry T.forever
+`
+	p := bytecode.MustAssemble(src)
+	cfg := DefaultConfig()
+	cfg.MaxSteps = 10_000
+	m := New(p, cfg)
+	if _, err := m.Run([]ThreadSpec{{Method: p.Entry}}); err == nil {
+		t.Fatal("runaway loop not aborted")
+	}
+}
+
+func TestMethodCyclesAttribution(t *testing.T) {
+	m, stats := runProg(t, recurSrc, DefaultConfig())
+	fib := m.Prog.MethodByName("T.fib")
+	main := m.Prog.MethodByName("T.main")
+	if stats.MethodCycles[fib.ID] <= stats.MethodCycles[main.ID] {
+		t.Errorf("fib cycles (%d) should dominate main (%d)",
+			stats.MethodCycles[fib.ID], stats.MethodCycles[main.ID])
+	}
+}
+
+const deoptSrc = `
+method T.risky(1) returns int {
+    iconst 0
+    istore 1
+Lloop:
+    iload 1
+    iconst 4000
+    if_icmpge Ldone
+Ltry:
+    iconst 100
+    iload 1
+    iconst 37
+    irem
+    iconst 18
+    isub
+    idiv
+    pop
+    goto Lnext
+Lcatch:
+    pop
+Lnext:
+    iinc 1 1
+    goto Lloop
+Ldone:
+    iload 1
+    ireturn
+    handler Ltry Lcatch Lcatch any
+}
+method T.main(0) {
+    iconst 0
+    invokestatic T.risky
+    istore 0
+    return
+}
+entry T.main
+`
+
+func TestDeoptOnThrowAndReOSR(t *testing.T) {
+	// risky's loop divides by (i%37 - 18), which is zero every 37th
+	// iteration: the compiled loop takes the exception path repeatedly,
+	// deoptimizes, and must OSR back into compiled code in between.
+	cfg := DefaultConfig()
+	cfg.DeoptOnThrow = true
+	m, stats := runProg(t, deoptSrc, cfg)
+	risky := m.Prog.MethodByName("T.risky")
+	if m.CompiledTier(risky.ID) == 0 {
+		t.Fatal("risky never compiled")
+	}
+	if stats.UncaughtThrows != 0 {
+		t.Fatal("handler lost")
+	}
+	// Both modes must have executed substantially: JIT via OSR, interp
+	// via repeated deopts.
+	if stats.JITBytecodes == 0 || stats.InterpBytecodes < 300 {
+		t.Errorf("mode churn missing: interp=%d jit=%d", stats.InterpBytecodes, stats.JITBytecodes)
+	}
+
+	// Same program without deopt stays compiled through handlers.
+	cfg2 := DefaultConfig()
+	cfg2.DeoptOnThrow = false
+	_, stats2 := runProg(t, deoptSrc, cfg2)
+	if stats2.InterpBytecodes >= stats.InterpBytecodes {
+		t.Errorf("deopt had no effect: %d vs %d interp bytecodes",
+			stats2.InterpBytecodes, stats.InterpBytecodes)
+	}
+}

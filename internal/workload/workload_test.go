@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"testing"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/vm"
+)
+
+func TestAllSubjectsGenerateAndVerify(t *testing.T) {
+	subs, err := LoadAll(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 9 {
+		t.Fatalf("got %d subjects, want 9", len(subs))
+	}
+	for _, s := range subs {
+		if err := bytecode.Verify(s.Program); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if len(s.Threads) == 0 {
+			t.Errorf("%s: no threads", s.Name)
+		}
+		if s.Multithreaded != (len(s.Threads) > 1) {
+			t.Errorf("%s: multithreaded flag inconsistent", s.Name)
+		}
+	}
+}
+
+func TestSubjectsDeterministic(t *testing.T) {
+	a := MustLoad("h2", 0.1)
+	b := MustLoad("h2", 0.1)
+	if bytecode.Disassemble(a.Program) != bytecode.Disassemble(b.Program) {
+		t.Fatal("h2 generation is not deterministic")
+	}
+}
+
+func TestAllSubjectsRun(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s := MustLoad(name, 0.1)
+			m := vm.New(s.Program, vm.DefaultConfig())
+			stats, err := m.Run(s.Threads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.ExecutedBytecodes < 1000 {
+				t.Errorf("%s executed only %d bytecodes", name, stats.ExecutedBytecodes)
+			}
+			t.Logf("%s: bytecodes=%d cycles=%d compilations=%d uncaught=%d",
+				name, stats.ExecutedBytecodes, stats.Cycles, stats.Compilations, stats.UncaughtThrows)
+			if stats.UncaughtThrows > 0 {
+				t.Errorf("%s had %d uncaught exceptions", name, stats.UncaughtThrows)
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+// Package jportal is the public API of the JPortal reproduction: precise
+// and efficient control-flow tracing for JVM-like programs with (simulated)
+// Intel Processor Trace.
+//
+// The typical flow mirrors the paper's two phases:
+//
+//	prog := bytecode.MustAssemble(src)        // or the workload generator
+//	run, _ := jportal.Run(prog, nil, jportal.DefaultRunConfig())  // online
+//	an, _ := jportal.Analyze(prog, run, core.DefaultPipelineConfig()) // offline
+//	cov := jportal.Coverage(prog, an)
+//	hot := jportal.HotMethods(an, 10)
+//
+// Run executes the program on the simulated JVM with the PT collector
+// attached (online collection: hardware trace + machine-code metadata,
+// paper §3/§6); Analyze segregates the per-core traces by thread, decodes
+// them, projects them onto the ICFG and recovers the data-loss holes
+// (offline decoding, §4/§5).
+package jportal
+
+import (
+	"errors"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/core"
+	"jportal/internal/meta"
+	"jportal/internal/pt"
+	"jportal/internal/trace"
+	"jportal/internal/vm"
+)
+
+// RunConfig bundles the online-phase configuration.
+type RunConfig struct {
+	VM vm.Config
+	PT pt.Config
+	// CollectOracle attaches the ground-truth oracle (simulation-only
+	// affordance used to measure accuracy; it does not exist on real
+	// hardware).
+	CollectOracle bool
+	// DisableTracing runs without PT (baseline timing runs).
+	DisableTracing bool
+}
+
+// DefaultRunConfig mirrors the paper's defaults (128MB-class buffers,
+// scaled to simulation size).
+func DefaultRunConfig() RunConfig {
+	return RunConfig{VM: vm.DefaultConfig(), PT: pt.DefaultConfig(), CollectOracle: true}
+}
+
+// RunResult is everything the online phase produces.
+type RunResult struct {
+	Stats    *vm.Stats
+	Traces   []pt.CoreTrace
+	Sideband []vm.SwitchRecord
+	Snapshot *meta.Snapshot
+	Oracle   *Oracle
+	// GenBytes is the total trace volume generated (exported + lost).
+	GenBytes uint64
+}
+
+// Run executes prog's threads under the simulated JVM with PT collection.
+// A nil threads slice runs the program entry as a single thread.
+func Run(prog *bytecode.Program, threads []vm.ThreadSpec, cfg RunConfig) (*RunResult, error) {
+	if err := bytecode.Verify(prog); err != nil {
+		return nil, err
+	}
+	if threads == nil {
+		threads = []vm.ThreadSpec{{Method: prog.Entry}}
+	}
+	m := vm.New(prog, cfg.VM)
+	var col *pt.Collector
+	if !cfg.DisableTracing {
+		col = pt.NewCollector(cfg.PT, cfg.VM.Cores)
+		m.Tracer = col
+	}
+	var oracle *Oracle
+	if cfg.CollectOracle {
+		oracle = NewOracle(len(threads))
+		m.Listener = oracle
+	}
+	stats, err := m.Run(threads)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{
+		Stats:    stats,
+		Sideband: m.Sideband(),
+		Snapshot: m.Snapshot,
+		Oracle:   oracle,
+	}
+	if col != nil {
+		res.Traces = col.Finish(m.FinalTSC())
+		res.GenBytes = col.GenBytes
+	}
+	return res, nil
+}
+
+// Analysis is the offline phase's output: one reconstructed control flow
+// per thread.
+type Analysis struct {
+	Threads  []*core.ThreadResult
+	Pipeline *core.Pipeline
+}
+
+// Analyze decodes and reconstructs a run.
+func Analyze(prog *bytecode.Program, run *RunResult, cfg core.PipelineConfig) (*Analysis, error) {
+	if run == nil || run.Traces == nil {
+		return nil, errors.New("jportal: run has no traces (tracing disabled?)")
+	}
+	p := core.NewPipeline(prog, cfg)
+	streams := trace.SplitByThread(run.Traces, run.Sideband)
+	an := &Analysis{Pipeline: p}
+	for _, s := range streams {
+		an.Threads = append(an.Threads, p.AnalyzeThread(s.Thread, run.Snapshot, s.Items))
+	}
+	return an, nil
+}
+
+// Steps returns all threads' steps concatenated (thread order).
+func (a *Analysis) Steps() []core.Step {
+	var out []core.Step
+	for _, t := range a.Threads {
+		out = append(out, t.Steps...)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package jportal
+
+import (
+	"jportal/internal/bytecode"
+	"jportal/internal/metrics"
+)
+
+// Oracle records the ground-truth bytecode execution stream per thread. It
+// is a simulation-only affordance (real hardware has no oracle); the
+// evaluation uses it the way the paper uses the instrumentation-based
+// control-flow profile as ground truth (§7.2).
+type Oracle struct {
+	threads []oracleThread
+}
+
+type oracleThread struct {
+	methods []bytecode.MethodID
+	pcs     []int32
+	tscs    []uint64
+}
+
+// NewOracle creates an oracle for n threads.
+func NewOracle(n int) *Oracle {
+	return &Oracle{threads: make([]oracleThread, n)}
+}
+
+// OnExec implements vm.BytecodeListener.
+func (o *Oracle) OnExec(tid int, mid bytecode.MethodID, pc int32, core int, tsc uint64) {
+	t := &o.threads[tid]
+	t.methods = append(t.methods, mid)
+	t.pcs = append(t.pcs, pc)
+	t.tscs = append(t.tscs, tsc)
+}
+
+// NumThreads returns the thread count.
+func (o *Oracle) NumThreads() int { return len(o.threads) }
+
+// Len returns the number of recorded events for thread tid.
+func (o *Oracle) Len(tid int) int { return len(o.threads[tid].methods) }
+
+// Keys returns thread tid's step keys for similarity scoring.
+func (o *Oracle) Keys(tid int) []metrics.Key {
+	t := &o.threads[tid]
+	out := make([]metrics.Key, len(t.methods))
+	for i := range t.methods {
+		out[i] = metrics.StepKey(int32(t.methods[i]), t.pcs[i])
+	}
+	return out
+}
+
+// TimedKeys returns thread tid's steps with timestamps.
+func (o *Oracle) TimedKeys(tid int) []metrics.TimedKey {
+	t := &o.threads[tid]
+	out := make([]metrics.TimedKey, len(t.methods))
+	for i := range t.methods {
+		out[i] = metrics.TimedKey{
+			Key: metrics.StepKey(int32(t.methods[i]), t.pcs[i]),
+			TSC: t.tscs[i],
+		}
+	}
+	return out
+}
+
+// MethodCounts returns, per method, the number of executed instructions
+// (ground truth for hot-method ranking).
+func (o *Oracle) MethodCounts(numMethods int) []int64 {
+	counts := make([]int64, numMethods)
+	for ti := range o.threads {
+		for _, mid := range o.threads[ti].methods {
+			counts[mid]++
+		}
+	}
+	return counts
+}
