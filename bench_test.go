@@ -14,8 +14,10 @@ package jportal_test
 
 import (
 	"os"
+	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"jportal"
 
@@ -407,10 +409,9 @@ func BenchmarkOfflineDecode(b *testing.B) {
 	}
 }
 
-func BenchmarkNFAMatch(b *testing.B) {
-	// A loop program whose token trace is a genuine ICFG cycle, repeated
-	// 500 times: the matcher must carry one long run end to end.
-	const loopSrc = `
+// nfaLoopSrc is a loop program whose token trace is a genuine ICFG cycle:
+// the matcher must carry one long run end to end.
+const nfaLoopSrc = `
 method B.loop(1) returns int {
     iconst 0
     istore 1
@@ -436,8 +437,9 @@ method B.main(0) {
 }
 entry B.main
 `
-	prog := bytecode.MustAssemble(loopSrc)
-	m := core.NewMatcher(cfg.BuildICFG(prog, cfg.DefaultOptions()))
+
+// nfaLoopTokens is nfaLoopSrc's loop body repeated 500 times.
+func nfaLoopTokens() []core.Token {
 	mk := func(op bytecode.Opcode) core.Token { return core.Token{Op: op, Method: bytecode.NoMethod} }
 	iter := []core.Token{
 		mk(bytecode.ILOAD), mk(bytecode.ILOAD),
@@ -449,6 +451,14 @@ entry B.main
 	for i := 0; i < 500; i++ {
 		toks = append(toks, iter...)
 	}
+	return toks
+}
+
+func BenchmarkNFAMatch(b *testing.B) {
+	prog := bytecode.MustAssemble(nfaLoopSrc)
+	m := core.NewMatcher(cfg.BuildICFG(prog, cfg.DefaultOptions()))
+	toks := nfaLoopTokens()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := m.MatchFrom(m.NodesWithOp(toks[0].Op), toks)
@@ -456,5 +466,84 @@ entry B.main
 			b.Fatalf("rejected at %d of %d", r.Matched, len(toks))
 		}
 		b.SetBytes(int64(len(toks)))
+	}
+}
+
+// BenchmarkNFAMatchScratch is BenchmarkNFAMatch on a caller-held scratch:
+// together with -benchmem on both, it shows what the per-worker scratch
+// buys — steady-state matching allocates only the result path, not the
+// per-layer frontier sets and dedup maps of the old implementation.
+func BenchmarkNFAMatchScratch(b *testing.B) {
+	prog := bytecode.MustAssemble(nfaLoopSrc)
+	m := core.NewMatcher(cfg.BuildICFG(prog, cfg.DefaultOptions()))
+	toks := nfaLoopTokens()
+	starts := m.NodesWithOp(toks[0].Op)
+	sc := m.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := m.MatchFromScratch(sc, starts, toks)
+		if !r.Complete {
+			b.Fatalf("rejected at %d of %d", r.Matched, len(toks))
+		}
+		b.SetBytes(int64(len(toks)))
+	}
+}
+
+// BenchmarkAnalyzeParallel measures the offline pipeline's parallel
+// speedup on a multi-thread (4-thread) lossy workload: the timed loop runs
+// with Workers = GOMAXPROCS, a serial (Workers=1) pass of the same run is
+// timed outside the loop, and the ratio is reported as speedup-vs-serial.
+// On a single-core host the ratio hovers around 1.0 (the pool degrades to
+// inline execution); on >=4 cores it tracks the thread-level fan-out. The
+// outputs of both configurations are verified identical.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	s := workload.MustLoad("h2", 0.5)
+	rcfg := jportal.DefaultRunConfig()
+	rcfg.PT.BufBytes = 16 << 10 // paper-label 64MB: lossy, exercises recovery
+	run, err := jportal.Run(s.Program, s.Threads, rcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	serialCfg := core.DefaultPipelineConfig()
+	serialCfg.Workers = 1
+	parCfg := core.DefaultPipelineConfig() // Workers=0 -> GOMAXPROCS
+
+	// Serial baseline (untimed by the harness, measured directly).
+	t0 := time.Now()
+	serialAn, err := jportal.Analyze(s.Program, run, serialCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serialTime := time.Since(t0)
+
+	var last *jportal.Analysis
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an, err := jportal.Analyze(s.Program, run, parCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = an
+	}
+	b.StopTimer()
+
+	perOp := b.Elapsed() / time.Duration(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(serialTime)/float64(perOp), "speedup-vs-serial")
+	}
+
+	// Determinism: parallel output must be byte-identical to serial.
+	if len(last.Threads) != len(serialAn.Threads) {
+		b.Fatalf("thread count diverges: %d vs %d", len(last.Threads), len(serialAn.Threads))
+	}
+	for i := range last.Threads {
+		if !reflect.DeepEqual(last.Threads[i].Steps, serialAn.Threads[i].Steps) ||
+			!reflect.DeepEqual(last.Threads[i].Fills, serialAn.Threads[i].Fills) ||
+			last.Threads[i].Decode != serialAn.Threads[i].Decode {
+			b.Fatalf("thread %d: parallel output diverges from serial", i)
+		}
 	}
 }

@@ -1,0 +1,26 @@
+#!/bin/sh
+# ci.sh - the repository's check gauntlet. Run before sending a PR.
+#
+#   ./ci.sh          vet + build + full tests + race-detector pass over the
+#                    concurrent packages (core, trace, conc)
+#
+# The race pass covers the offline-phase parallelism introduced with the
+# worker pool: the read-only Matcher contract, the per-core trace carve and
+# the pool primitives themselves.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (concurrent packages)"
+go test -race ./internal/core/... ./internal/trace/... ./internal/conc/...
+
+echo "ci.sh: all checks passed"

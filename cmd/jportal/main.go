@@ -12,7 +12,8 @@
 //	jportal disasm   <file.jasm>          assemble and disassemble a program
 //	jportal exp      <table1|table2|table3|table4|table5|figure7|all>
 //
-// Flags (where applicable): -scale, -buf (paper-label MB), -top, -out.
+// Flags (where applicable): -scale, -buf (paper-label MB), -top, -out,
+// -workers (offline-phase worker count, 0 = GOMAXPROCS).
 package main
 
 import (
@@ -85,7 +86,8 @@ commands:
                                (table1 table2 table3 table4 table5 figure7 paths all)
 
 common flags: -scale F (workload size), -buf MB (paper-label buffer),
-              -top N (hot-method count), -out FILE (write traces)
+              -top N (hot-method count), -out FILE (write traces),
+              -workers N (offline-phase parallelism, 0 = GOMAXPROCS)
 `)
 }
 
@@ -176,6 +178,7 @@ func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	scale := fs.Float64("scale", 1.0, "workload scale")
 	buf := fs.Int("buf", 128, "paper-label buffer size (MB)")
+	workers := fs.Int("workers", 0, "offline-phase workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need a subject or .jasm file")
@@ -190,7 +193,9 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	an, err := jportal.Analyze(prog, run, core.DefaultPipelineConfig())
+	pcfg := core.DefaultPipelineConfig()
+	pcfg.Workers = *workers
+	an, err := jportal.Analyze(prog, run, pcfg)
 	if err != nil {
 		return err
 	}
@@ -215,6 +220,7 @@ func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	scale := fs.Float64("scale", 1.0, "workload scale")
 	top := fs.Int("top", 10, "hot methods to list")
+	workers := fs.Int("workers", 0, "offline-phase workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need a subject or .jasm file")
@@ -227,7 +233,9 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
-	an, err := jportal.Analyze(prog, run, core.DefaultPipelineConfig())
+	pcfg := core.DefaultPipelineConfig()
+	pcfg.Workers = *workers
+	an, err := jportal.Analyze(prog, run, pcfg)
 	if err != nil {
 		return err
 	}
@@ -303,6 +311,7 @@ func cmdCollect(args []string) error {
 
 func cmdDecode(args []string) error {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "offline-phase workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need an archive directory")
@@ -311,7 +320,9 @@ func cmdDecode(args []string) error {
 	if err != nil {
 		return err
 	}
-	an, err := jportal.Analyze(prog, run, core.DefaultPipelineConfig())
+	pcfg := core.DefaultPipelineConfig()
+	pcfg.Workers = *workers
+	an, err := jportal.Analyze(prog, run, pcfg)
 	if err != nil {
 		return err
 	}
@@ -351,11 +362,12 @@ func cmdDisasm(args []string) error {
 func cmdExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ExitOnError)
 	scale := fs.Float64("scale", 1.0, "workload scale")
+	workers := fs.Int("workers", 0, "per-subject/offline-phase workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need an experiment name")
 	}
-	o := experiments.Options{Scale: workload.Scale(*scale)}
+	o := experiments.Options{Scale: workload.Scale(*scale), Workers: *workers}
 	which := fs.Arg(0)
 	runOne := func(name string) error {
 		switch name {

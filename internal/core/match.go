@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"jportal/internal/bytecode"
 	"jportal/internal/cfg"
@@ -30,10 +31,12 @@ type Matcher struct {
 	// callers) fall back to them.
 	returnSites []cfg.NodeID
 
-	// ctrlReach memoises, per node, the set of control nodes reachable
+	// ctrlReach holds, per node, the set of control nodes reachable
 	// through non-control instructions only (the ε-closure of the ANFA,
-	// Fig 5).
-	ctrlReach map[cfg.NodeID][]cfg.NodeID
+	// Fig 5). It is precomputed for every node at construction time so the
+	// matcher is strictly read-only afterwards — safe for any number of
+	// concurrent readers with no locking on the hot path.
+	ctrlReach [][]cfg.NodeID
 
 	// MaxStates caps subset-simulation layers (deterministic pruning).
 	MaxStates int
@@ -41,6 +44,10 @@ type Matcher struct {
 	// reconstruction instead of the paper's NFA (an evaluated extension;
 	// see pda.go).
 	UseContext bool
+
+	// scratch recycles MatchScratch values for callers that use the
+	// scratch-free entry points (MatchFrom, ReconstructSegment).
+	scratch sync.Pool
 }
 
 // NewMatcher builds the matcher for g.
@@ -48,7 +55,6 @@ func NewMatcher(g *cfg.ICFG) *Matcher {
 	m := &Matcher{
 		G:         g,
 		opIndex:   make([][]cfg.NodeID, bytecode.NumOpcodes),
-		ctrlReach: make(map[cfg.NodeID][]cfg.NodeID),
 		MaxStates: 4096,
 	}
 	for _, meth := range g.Prog.Methods {
@@ -65,7 +71,44 @@ func NewMatcher(g *cfg.ICFG) *Matcher {
 		}
 	}
 	m.entryNodes = g.MethodEntries()
+	m.precomputeCtrlReach()
 	return m
+}
+
+// precomputeCtrlReach computes the ANFA ε-closure of every node eagerly.
+// The previous implementation memoised closures lazily in a map, which was
+// a data race once segments reconstruct concurrently; eager computation
+// removes both the race and any need for a lock on the query path.
+func (m *Matcher) precomputeCtrlReach() {
+	n := m.G.NumNodes()
+	m.ctrlReach = make([][]cfg.NodeID, n)
+	seen := make([]int32, n) // generation marks: seen[x] == gen means visited
+	gen := int32(0)
+	var stack, out []cfg.NodeID
+	for v := 0; v < n; v++ {
+		gen++
+		out = out[:0]
+		stack = append(stack[:0], cfg.NodeID(v))
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[x] == gen {
+				continue
+			}
+			seen[x] = gen
+			if m.G.Instr(x).Op.IsControl() {
+				out = append(out, x)
+				continue
+			}
+			for _, e := range m.G.Succs[x] {
+				if seen[e.To] != gen {
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		m.ctrlReach[v] = append([]cfg.NodeID(nil), out...)
+	}
 }
 
 // NodesWithOp returns candidate starting states for a trace beginning with
@@ -86,7 +129,9 @@ func (m *Matcher) tokenMatchesNode(t *Token, n cfg.NodeID) bool {
 // successors returns the NFA transition targets from node n given that the
 // token consumed at n was t (the token's branch direction selects among a
 // conditional's out-edges). The boolean reports whether a fallback
-// (handler targets or method entries) was used.
+// (handler targets or method entries) was used. The result always aliases
+// buf's backing array (fallback sets are copied in), so callers may retain
+// the returned slice as their reusable scratch buffer.
 func (m *Matcher) successors(n cfg.NodeID, t *Token, buf []cfg.NodeID) ([]cfg.NodeID, bool) {
 	ins := m.G.Instr(n)
 	edges := m.G.Succs[n]
@@ -125,7 +170,7 @@ func (m *Matcher) successors(n cfg.NodeID, t *Token, buf []cfg.NodeID) ([]cfg.No
 			// The statically built ICFG misses this call's targets
 			// (dynamic dispatch/reflection): inspect all potential
 			// entry points (§4, Discussions).
-			return m.entryNodes, true
+			return append(buf, m.entryNodes...), true
 		}
 	case ins.Op.IsReturn():
 		for _, e := range edges {
@@ -136,7 +181,7 @@ func (m *Matcher) successors(n cfg.NodeID, t *Token, buf []cfg.NodeID) ([]cfg.No
 		if len(buf) == 0 {
 			// No statically known caller (the method is only reachable
 			// through unresolved dynamic dispatch): any return site.
-			return m.returnSites, true
+			return append(buf, m.returnSites...), true
 		}
 	case ins.Op == bytecode.ATHROW:
 		for _, e := range edges {
@@ -145,7 +190,7 @@ func (m *Matcher) successors(n cfg.NodeID, t *Token, buf []cfg.NodeID) ([]cfg.No
 			}
 		}
 		if len(buf) == 0 {
-			return m.handlerTargets, true
+			return append(buf, m.handlerTargets...), true
 		}
 	default:
 		for _, e := range edges {
@@ -181,32 +226,67 @@ func onlyThrowless(edges []cfg.Edge) bool {
 
 // CtrlReach returns the ANFA ε-closure of n: the control nodes reachable
 // from n through zero or more non-control instructions (n itself if it is a
-// control node).
+// control node). The closure is precomputed at construction; the returned
+// slice is shared and must not be mutated.
 func (m *Matcher) CtrlReach(n cfg.NodeID) []cfg.NodeID {
-	if r, ok := m.ctrlReach[n]; ok {
-		return r
-	}
-	var out []cfg.NodeID
-	seen := map[cfg.NodeID]bool{}
-	var visit func(cfg.NodeID)
-	visit = func(x cfg.NodeID) {
-		if seen[x] {
-			return
-		}
-		seen[x] = true
-		if m.G.Instr(x).Op.IsControl() {
-			out = append(out, x)
-			return
-		}
-		for _, e := range m.G.Succs[x] {
-			visit(e.To)
-		}
-	}
-	visit(n)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	m.ctrlReach[n] = out
-	return out
+	return m.ctrlReach[n]
 }
+
+// MatchScratch holds the per-call working state of the subset simulation:
+// the dedup marks, the successor buffer and the layer backing store. One
+// scratch serves one goroutine at a time; a worker reuses its scratch
+// across calls so the hot path stops allocating per token layer. Obtain one
+// with Matcher.NewScratch and pass it to the *Scratch entry points.
+type MatchScratch struct {
+	// seen is a generation-marked dense set over NodeIDs: seen[n] == gen
+	// means n is a member. Bumping gen clears the set in O(1).
+	seen []int32
+	gen  int32
+	// buf is the successor scratch buffer.
+	buf []cfg.NodeID
+	// layers recycles the per-token state layers of MatchFrom.
+	layers [][]layerEntry
+	// states/next recycle the abstract-state slices of IsAcceptedAbstract.
+	states, next []cfg.NodeID
+}
+
+// NewScratch allocates a scratch sized for this matcher's ICFG.
+func (m *Matcher) NewScratch() *MatchScratch {
+	return &MatchScratch{seen: make([]int32, m.G.NumNodes())}
+}
+
+// reset starts a fresh membership generation.
+func (sc *MatchScratch) reset() {
+	sc.gen++
+	if sc.gen == 0 { // wrapped: clear marks once every 2^31 generations
+		for i := range sc.seen {
+			sc.seen[i] = 0
+		}
+		sc.gen = 1
+	}
+}
+
+func (sc *MatchScratch) mark(n cfg.NodeID) { sc.seen[n] = sc.gen }
+func (sc *MatchScratch) has(n cfg.NodeID) bool {
+	return sc.seen[n] == sc.gen
+}
+
+// layer returns the recycled backing slice for layer i, emptied.
+func (sc *MatchScratch) layer(i int) []layerEntry {
+	for len(sc.layers) <= i {
+		sc.layers = append(sc.layers, nil)
+	}
+	return sc.layers[i][:0]
+}
+
+func (m *Matcher) getScratch() *MatchScratch {
+	if v := m.scratch.Get(); v != nil {
+		return v.(*MatchScratch)
+	}
+	return m.NewScratch()
+}
+
+func (m *Matcher) putScratch(sc *MatchScratch) { m.scratch.Put(sc) }
 
 // AbstractTokens returns the tier-2 (control-structure) abstraction of toks
 // (Definition 4.2).
@@ -224,44 +304,53 @@ func AbstractTokens(toks []Token) []Token {
 // matched by the ANFA starting from concrete node start (Theorem 4.4's
 // necessary condition). atoks must already be abstracted.
 func (m *Matcher) IsAcceptedAbstract(start cfg.NodeID, atoks []Token) bool {
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	return m.IsAcceptedAbstractScratch(sc, start, atoks)
+}
+
+// IsAcceptedAbstractScratch is IsAcceptedAbstract using caller-provided
+// scratch buffers (one scratch per goroutine).
+func (m *Matcher) IsAcceptedAbstractScratch(sc *MatchScratch, start cfg.NodeID, atoks []Token) bool {
 	if len(atoks) == 0 {
 		return true
 	}
 	// ε-close the start, filter by the first abstract symbol.
-	var states []cfg.NodeID
+	states := sc.states[:0]
 	for _, c := range m.CtrlReach(start) {
 		if m.tokenMatchesNode(&atoks[0], c) {
 			states = append(states, c)
 		}
 	}
-	var buf []cfg.NodeID
+	next := sc.next[:0]
 	for i := 0; i+1 < len(atoks); i++ {
-		next := next0(len(states))
-		seen := map[cfg.NodeID]bool{}
+		next = next[:0]
+		sc.reset()
 		for _, s := range states {
-			buf = buf[:0]
-			succs, _ := m.successors(s, &atoks[i], buf)
-			for _, sc := range succs {
-				for _, c := range m.CtrlReach(sc) {
-					if !seen[c] && m.tokenMatchesNode(&atoks[i+1], c) {
-						seen[c] = true
+			succs, _ := m.successors(s, &atoks[i], sc.buf[:0])
+			sc.buf = succs
+			for _, scc := range succs {
+				for _, c := range m.CtrlReach(scc) {
+					if !sc.has(c) && m.tokenMatchesNode(&atoks[i+1], c) {
+						sc.mark(c)
 						next = append(next, c)
 					}
 				}
 			}
 		}
 		if len(next) == 0 {
+			sc.states, sc.next = states, next
 			return false
 		}
 		if len(next) > m.MaxStates {
 			next = next[:m.MaxStates]
 		}
-		states = next
+		states, next = next, states
 	}
-	return len(states) > 0
+	ok := len(states) > 0
+	sc.states, sc.next = states, next
+	return ok
 }
-
-func next0(capHint int) []cfg.NodeID { return make([]cfg.NodeID, 0, capHint+4) }
 
 // MatchResult is the outcome of projecting a token run onto the ICFG.
 type MatchResult struct {
@@ -289,11 +378,20 @@ type layerEntry struct {
 // path (the disambiguated projection). It is the engine beneath both
 // Algorithm 1 and Algorithm 2 and the production pipeline.
 func (m *Matcher) MatchFrom(starts []cfg.NodeID, toks []Token) MatchResult {
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	return m.MatchFromScratch(sc, starts, toks)
+}
+
+// MatchFromScratch is MatchFrom using caller-provided scratch buffers. The
+// matcher itself is read-only, so any number of goroutines may match
+// concurrently as long as each brings its own scratch.
+func (m *Matcher) MatchFromScratch(sc *MatchScratch, starts []cfg.NodeID, toks []Token) MatchResult {
 	if len(toks) == 0 {
 		return MatchResult{Complete: true}
 	}
 	var res MatchResult
-	layer := make([]layerEntry, 0, len(starts))
+	layer := sc.layer(0)
 	for _, s := range starts {
 		if m.tokenMatchesNode(&toks[0], s) {
 			layer = append(layer, layerEntry{node: s, parent: -1})
@@ -302,29 +400,28 @@ func (m *Matcher) MatchFrom(starts []cfg.NodeID, toks []Token) MatchResult {
 			break
 		}
 	}
+	sc.layers[0] = layer
 	if len(layer) == 0 {
 		return res
 	}
-	layers := make([][]layerEntry, 1, len(toks))
-	layers[0] = layer
+	nLayers := 1
 
-	var buf []cfg.NodeID
 	for i := 0; i+1 < len(toks); i++ {
-		cur := layers[i]
-		next := make([]layerEntry, 0, len(cur))
-		seen := make(map[cfg.NodeID]bool, len(cur))
+		cur := sc.layers[i]
+		next := sc.layer(i + 1)
+		sc.reset()
 		tok := &toks[i]
 		ntok := &toks[i+1]
 		for pi := range cur {
-			buf = buf[:0]
-			succs, fb := m.successors(cur[pi].node, tok, buf)
+			succs, fb := m.successors(cur[pi].node, tok, sc.buf[:0])
+			sc.buf = succs
 			if fb {
 				res.Fallbacks++
 			}
-			for _, sc := range succs {
-				if !seen[sc] && m.tokenMatchesNode(ntok, sc) {
-					seen[sc] = true
-					next = append(next, layerEntry{node: sc, parent: int32(pi)})
+			for _, s := range succs {
+				if !sc.has(s) && m.tokenMatchesNode(ntok, s) {
+					sc.mark(s)
+					next = append(next, layerEntry{node: s, parent: int32(pi)})
 					if len(next) >= m.MaxStates {
 						break
 					}
@@ -345,11 +442,15 @@ func (m *Matcher) MatchFrom(starts []cfg.NodeID, toks []Token) MatchResult {
 					parent: int32(minParent(cur)),
 				})
 			} else {
+				sc.layers[i+1] = next
 				break
 			}
 		}
-		layers = append(layers, next)
+		sc.layers[i+1] = next
+		nLayers++
 	}
+
+	layers := sc.layers[:nLayers]
 
 	// Walk back from the lexicographically smallest final state.
 	final := layers[len(layers)-1]

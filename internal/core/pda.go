@@ -107,8 +107,8 @@ func (m *Matcher) MatchFromContext(starts []cfg.NodeID, toks []Token) MatchResul
 				if pc+1 < int32(len(meth.Code)) && (st == nil || st.depth < MaxStackDepth) {
 					st = push(st, m.G.Node(mid, pc+1))
 				}
-				buf = buf[:0]
-				succs, fb := m.successors(e.node, tok, buf)
+				succs, fb := m.successors(e.node, tok, buf[:0])
+				buf = succs
 				if fb {
 					res.Fallbacks++
 				}
@@ -122,15 +122,15 @@ func (m *Matcher) MatchFromContext(starts []cfg.NodeID, toks []Token) MatchResul
 				} else {
 					// Unknown stack prefix: the NFA behaviour.
 					res.Fallbacks++
-					buf = buf[:0]
-					succs, _ := m.successors(e.node, tok, buf)
+					succs, _ := m.successors(e.node, tok, buf[:0])
+					buf = succs
 					for _, sc := range succs {
 						emit(sc, nil)
 					}
 				}
 			default:
-				buf = buf[:0]
-				succs, fb := m.successors(e.node, tok, buf)
+				succs, fb := m.successors(e.node, tok, buf[:0])
+				buf = succs
 				if fb {
 					res.Fallbacks++
 				}

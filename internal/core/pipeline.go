@@ -5,6 +5,7 @@ import (
 
 	"jportal/internal/bytecode"
 	"jportal/internal/cfg"
+	"jportal/internal/conc"
 	"jportal/internal/meta"
 	"jportal/internal/pt"
 )
@@ -18,7 +19,16 @@ type PipelineConfig struct {
 	// UseCallContext switches reconstruction to the PDA engine (an
 	// extension; the paper uses the NFA).
 	UseCallContext bool
+	// Workers bounds the goroutines of each parallel stage of the offline
+	// phase: per-thread analysis, per-segment reconstruction and per-hole
+	// recovery all fan out to at most this many workers. 0 means
+	// GOMAXPROCS. The reconstructed output is deterministic — identical
+	// for every worker count.
+	Workers int
 }
+
+// WorkerCount resolves the Workers knob (0 = GOMAXPROCS).
+func (c PipelineConfig) WorkerCount() int { return conc.Workers(c.Workers) }
 
 // DefaultPipelineConfig returns the production configuration.
 func DefaultPipelineConfig() PipelineConfig {
@@ -74,29 +84,49 @@ type ThreadResult struct {
 }
 
 // AnalyzeThread runs decode, reconstruction and recovery for one thread's
-// stitched packet stream.
+// stitched packet stream. Segment reconstruction and hole recovery fan out
+// to the configured worker count; results land in index-addressed slots, so
+// the output is byte-identical to the serial pipeline regardless of
+// scheduling.
 func (p *Pipeline) AnalyzeThread(thread int, snap *meta.Snapshot, items []pt.Item) *ThreadResult {
 	res := &ThreadResult{Thread: thread}
+	workers := p.Cfg.WorkerCount()
 
 	t0 := time.Now()
 	segs, dstats := DecodeThread(p.Prog, snap, items)
 	res.Decode = *dstats
-	for _, s := range segs {
-		res.Flows = append(res.Flows, p.Matcher.ReconstructSegment(s))
-	}
+	// Segments are independent projections over the read-only matcher:
+	// reconstruct them concurrently, one MatchScratch per worker.
+	res.Flows = make([]*SegmentFlow, len(segs))
+	conc.ParallelWork(workers, len(segs), p.Matcher.NewScratch,
+		func(sc *MatchScratch, i int) {
+			res.Flows[i] = p.Matcher.ReconstructSegmentScratch(sc, segs[i])
+		})
 	res.DecodeTime = time.Since(t0)
 
 	t1 := time.Now()
 	rec := NewRecoverer(p.Matcher, res.Flows, p.Cfg.Recovery)
 	res.Fills = make([]Fill, len(res.Flows))
-	for i := 0; i+1 < len(res.Flows); i++ {
-		// Only recover across genuine data loss (desync splits carry no
-		// missing execution of meaningful length but are filled too —
-		// the walk reconnects them cheaply).
+	// Each hole's recovery walk stays ordered internally, but holes of
+	// different flows are independent (the recoverer and its anchor index
+	// are read-only after construction): fan them out too. Only recover
+	// across genuine data loss (desync splits carry no missing execution
+	// of meaningful length but are filled too — the walk reconnects them
+	// cheaply).
+	conc.ParallelFor(workers, len(res.Flows)-1, func(i int) {
 		res.Fills[i] = rec.RecoverHole(i)
-	}
+	})
 	res.RecoverTime = time.Since(t1)
 
+	// Pre-size the merged profile from the per-flow matched counts.
+	total := 0
+	for i, f := range res.Flows {
+		total += f.Matched()
+		if i < len(res.Fills) {
+			total += len(res.Fills[i].Steps)
+		}
+	}
+	res.Steps = make([]Step, 0, total)
 	for i, f := range res.Flows {
 		steps := f.Steps()
 		res.DecodedSteps += len(steps)

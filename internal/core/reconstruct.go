@@ -35,9 +35,13 @@ type SegmentFlow struct {
 	g *cfg.ICFG
 }
 
+// Matched counts the projected tokens (the length of Steps without
+// materialising it).
+func (f *SegmentFlow) Matched() int { return len(f.Nodes) - f.Skipped }
+
 // Steps materialises the segment's steps (matched tokens only).
 func (f *SegmentFlow) Steps() []Step {
-	steps := make([]Step, 0, len(f.Nodes))
+	steps := make([]Step, 0, f.Matched())
 	for i, n := range f.Nodes {
 		if n == cfg.NoNode {
 			continue
@@ -53,6 +57,16 @@ func (f *SegmentFlow) Steps() []Step {
 // unmatched token, restarting after hard mismatches the way the paper's
 // reconstruction resumes from a fresh starting point.
 func (m *Matcher) ReconstructSegment(seg *Segment) *SegmentFlow {
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	return m.ReconstructSegmentScratch(sc, seg)
+}
+
+// ReconstructSegmentScratch is ReconstructSegment with caller-provided
+// scratch, the per-worker entry point of the parallel pipeline: segments
+// are independent, the matcher is read-only, so one worker per scratch can
+// reconstruct different segments of a thread concurrently.
+func (m *Matcher) ReconstructSegmentScratch(sc *MatchScratch, seg *Segment) *SegmentFlow {
 	f := &SegmentFlow{Seg: seg, Nodes: make([]cfg.NodeID, len(seg.Tokens)), g: m.G}
 	for i := range f.Nodes {
 		f.Nodes[i] = cfg.NoNode
@@ -65,7 +79,7 @@ func (m *Matcher) ReconstructSegment(seg *Segment) *SegmentFlow {
 		if m.UseContext {
 			r = m.MatchFromContext(starts, toks[i:])
 		} else {
-			r = m.MatchFrom(starts, toks[i:])
+			r = m.MatchFromScratch(sc, starts, toks[i:])
 		}
 		if r.Matched == 0 {
 			f.Skipped++

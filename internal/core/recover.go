@@ -89,11 +89,17 @@ type anchorPos struct {
 // NewRecoverer builds the anchor index over all of the thread's segments
 // (every segment is a potential CS for some other segment's hole — the
 // paper notes "complete" and "incomplete" are relative).
+//
+// Construction also forces every segment's tier-1/tier-2 abstraction
+// caches: after NewRecoverer returns, the recoverer, its index and all
+// segments are strictly read-only, so RecoverHole may be called for
+// different holes from concurrent goroutines.
 func NewRecoverer(m *Matcher, flows []*SegmentFlow, cfg RecoveryConfig) *Recoverer {
 	r := &Recoverer{m: m, cfg: cfg, flows: flows, index: make(map[uint64][]anchorPos)}
 	var tokens uint64
 	var activeSpan uint64
 	for si, f := range flows {
+		f.Seg.ensureAbs() // lazily-built otherwise: a data race under concurrent recovery
 		toks := f.Seg.Tokens
 		tokens += uint64(len(toks))
 		if n := len(toks); n > 1 && toks[n-1].TSC > toks[0].TSC {

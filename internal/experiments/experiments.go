@@ -20,6 +20,7 @@ import (
 	"jportal"
 	"jportal/internal/baselines"
 	"jportal/internal/bytecode"
+	"jportal/internal/conc"
 	"jportal/internal/core"
 	"jportal/internal/metrics"
 	"jportal/internal/pt"
@@ -41,6 +42,11 @@ type Options struct {
 	SampleInterval uint64
 	// Cores overrides the VM core count (0 = default).
 	Cores int
+	// Workers bounds the parallelism of the per-subject experiment loops
+	// and of the offline pipelines they run (0 = GOMAXPROCS). Every table
+	// and figure is deterministic for any worker count: subjects are
+	// simulated independently and rows land in subject order.
+	Workers int
 }
 
 // BufScaleShift: paper-label MB -> bytes = MB << (20 - 12) = MB * 256B
@@ -67,6 +73,25 @@ func (o Options) Defaults() Options {
 
 // bufBytes converts a paper buffer label to simulation bytes.
 func bufBytes(labelMB int) uint64 { return uint64(labelMB) << (20 - BufScaleShift) }
+
+// pipelineConfig is the offline configuration the experiments analyse with:
+// the production defaults plus the harness's worker bound.
+func pipelineConfig(o Options) core.PipelineConfig {
+	cfg := core.DefaultPipelineConfig()
+	cfg.Workers = o.Workers
+	return cfg
+}
+
+// forSubjects fans fn out over the configured subjects on the shared worker
+// pool. fn must write results only into its own index i (rows[i]), which
+// keeps output order deterministic; the first error in subject order wins.
+func forSubjects(o Options, fn func(i int, name string) error) error {
+	errs := make([]error, len(o.Subjects))
+	conc.ParallelFor(conc.Workers(o.Workers), len(o.Subjects), func(i int) {
+		errs[i] = fn(i, o.Subjects[i])
+	})
+	return conc.FirstError(errs)
+}
 
 func vmConfig(o Options) vm.Config {
 	cfg := vm.DefaultConfig()
@@ -96,21 +121,25 @@ type Table1Row struct {
 // Table1 generates the subjects and describes them.
 func Table1(o Options) ([]Table1Row, error) {
 	o = o.Defaults()
-	var rows []Table1Row
-	for _, name := range o.Subjects {
+	rows := make([]Table1Row, len(o.Subjects))
+	err := forSubjects(o, func(i int, name string) error {
 		s, err := workload.Load(name, o.Scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ch := workload.Describe(s)
 		threaded := "single"
 		if ch.Multi {
 			threaded = "multiple"
 		}
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			Subject: name, Instrs: ch.Instrs, Methods: ch.Methods,
 			Classes: ch.Classes, Threaded: threaded,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -139,25 +168,28 @@ type Table2Row struct {
 }
 
 // Table2 measures slowdowns: simulated cycles under each profiler divided
-// by the plain run's cycles.
+// by the plain run's cycles. Subjects are measured concurrently — each
+// iteration builds its own program, VM and profilers, and the slowdown
+// ratios come from deterministic simulated cycle counts, not wall time, so
+// the fan-out cannot perturb the numbers.
 func Table2(o Options) ([]Table2Row, error) {
 	o = o.Defaults()
-	var rows []Table2Row
-	for _, name := range o.Subjects {
+	rows := make([]Table2Row, len(o.Subjects))
+	err := forSubjects(o, func(i int, name string) error {
 		s, err := workload.Load(name, o.Scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := runPlain(s, o, nil, 0, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Table2Row{Subject: name}
 
 		// JPortal: PT collection + metadata export.
 		jp, err := runJPortal(s, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Slowdowns use total CPU time (deterministic and monotone in
 		// added per-step cost); for single-threaded subjects this equals
@@ -177,13 +209,13 @@ func Table2(o Options) ([]Table2Row, error) {
 		} {
 			ip, reg, err := b.inst(s.Program)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			st, err := runPlain(&workload.Subject{
 				Name: s.Name, Program: ip, Threads: s.Threads,
 			}, o, reg, b.cost, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			*b.slot = ratio(st.ActiveCycles, base.ActiveCycles)
 		}
@@ -192,18 +224,22 @@ func Table2(o Options) ([]Table2Row, error) {
 		xp := baselines.NewXprof(o.SampleInterval)
 		st, err := runPlain(s, o, nil, 0, xp)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.Xprof = ratio(st.ActiveCycles, base.ActiveCycles)
 
 		jpr := baselines.NewJProfiler(o.SampleInterval)
 		st, err = runPlain(s, o, nil, 0, jpr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.JProf = ratio(st.ActiveCycles, base.ActiveCycles)
 
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -307,7 +343,7 @@ func MeasureAccuracy(name string, o Options) (*AccuracyRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	an, err := jportal.Analyze(s.Program, run, core.DefaultPipelineConfig())
+	an, err := jportal.Analyze(s.Program, run, pipelineConfig(o))
 	if err != nil {
 		return nil, err
 	}
@@ -396,16 +432,20 @@ func lostIntervals(t *core.ThreadResult) []metrics.Interval {
 }
 
 // Figure7 measures overall accuracy for every subject at the default
-// buffer size.
+// buffer size, fanning the subjects out on the worker pool.
 func Figure7(o Options) ([]AccuracyRow, error) {
 	o = o.Defaults()
-	var rows []AccuracyRow
-	for _, name := range o.Subjects {
+	rows := make([]AccuracyRow, len(o.Subjects))
+	err := forSubjects(o, func(i int, name string) error {
 		r, err := MeasureAccuracy(name, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, *r)
+		rows[i] = *r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -429,24 +469,29 @@ func PrintFigure7(w io.Writer, rows []AccuracyRow) {
 var Table3Subjects = []string{"batik", "h2", "sunflow"}
 
 // Table3 measures the loss/recovery breakdown at the paper's three buffer
-// sizes.
+// sizes. The (subject, buffer) grid is flattened and fanned out as one
+// index space so small subject lists still fill the worker pool.
 func Table3(o Options) ([]AccuracyRow, error) {
 	o = o.Defaults()
 	subjects := o.Subjects
 	if len(subjects) == len(workload.Names()) {
 		subjects = Table3Subjects
 	}
-	var rows []AccuracyRow
-	for _, name := range subjects {
-		for _, mb := range []int{256, 128, 64} {
-			oo := o
-			oo.BufMBLabel = mb
-			r, err := MeasureAccuracy(name, oo)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, *r)
+	bufs := []int{256, 128, 64}
+	rows := make([]AccuracyRow, len(subjects)*len(bufs))
+	errs := make([]error, len(rows))
+	conc.ParallelFor(conc.Workers(o.Workers), len(rows), func(i int) {
+		oo := o
+		oo.BufMBLabel = bufs[i%len(bufs)]
+		r, err := MeasureAccuracy(subjects[i/len(bufs)], oo)
+		if err != nil {
+			errs[i] = err
+			return
 		}
+		rows[i] = *r
+	})
+	if err := conc.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -6,7 +6,6 @@ import (
 
 	"jportal"
 	"jportal/internal/baselines"
-	"jportal/internal/core"
 	"jportal/internal/profile"
 	"jportal/internal/workload"
 )
@@ -27,33 +26,34 @@ type PathRow struct {
 	Overlap float64
 }
 
-// PathAccuracy measures path-profile accuracy for the configured subjects.
+// PathAccuracy measures path-profile accuracy for the configured subjects,
+// fanned out on the worker pool.
 func PathAccuracy(o Options) ([]PathRow, error) {
 	o = o.Defaults()
-	var rows []PathRow
-	for _, name := range o.Subjects {
+	rows := make([]PathRow, len(o.Subjects))
+	err := forSubjects(o, func(i int, name string) error {
 		s, err := workload.Load(name, o.Scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Ground truth from Ball-Larus instrumentation.
 		ip, prof, err := baselines.InstrumentPaths(s.Program)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := runPlain(&workload.Subject{Name: name, Program: ip, Threads: s.Threads},
 			o, &prof.Registry, baselines.PathProbeCost, nil); err != nil {
-			return nil, err
+			return err
 		}
 
 		// JPortal-derived profile.
 		run, err := runJPortal(s, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		an, err := jportal.Analyze(s.Program, run, core.DefaultPipelineConfig())
+		an, err := jportal.Analyze(s.Program, run, pipelineConfig(o))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pp := profile.ComputePathProfile(s.Program, an.Steps())
 
@@ -78,7 +78,11 @@ func PathAccuracy(o Options) ([]PathRow, error) {
 		if trueTotal > 0 {
 			row.Overlap = float64(overlap) / float64(trueTotal)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -7,7 +7,6 @@ import (
 
 	"jportal"
 	"jportal/internal/baselines"
-	"jportal/internal/core"
 	"jportal/internal/metrics"
 	"jportal/internal/profile"
 	"jportal/internal/vm"
@@ -26,22 +25,23 @@ type Table4Row struct {
 
 // Table4 ranks the 10 hottest methods under each profiler and intersects
 // with the ground truth (instruction counts from the oracle, standing in
-// for the instrumentation-derived truth of the paper).
+// for the instrumentation-derived truth of the paper). Subjects fan out on
+// the worker pool.
 func Table4(o Options) ([]Table4Row, error) {
 	o = o.Defaults()
 	const topN = 10
-	var rows []Table4Row
-	for _, name := range o.Subjects {
+	rows := make([]Table4Row, len(o.Subjects))
+	err := forSubjects(o, func(i int, name string) error {
 		s, err := workload.Load(name, o.Scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Ground truth from an oracle-attached plain run.
 		m := vm.New(s.Program, vmConfig(o))
 		oracle := jportal.NewOracle(len(s.Threads))
 		m.Listener = oracle
 		if _, err := m.Run(s.Threads); err != nil {
-			return nil, err
+			return err
 		}
 		truth := rankTruth(oracle.MethodCounts(len(s.Program.Methods)), topN)
 
@@ -50,30 +50,34 @@ func Table4(o Options) ([]Table4Row, error) {
 		// xprof.
 		xp := baselines.NewXprof(o.SampleInterval)
 		if _, err := runPlain(s, o, nil, 0, xp); err != nil {
-			return nil, err
+			return err
 		}
 		row.Xprof = metrics.TopNIntersection(truth, xp.Top(topN), topN)
 
 		// JProfiler.
 		jp := baselines.NewJProfiler(o.SampleInterval)
 		if _, err := runPlain(s, o, nil, 0, jp); err != nil {
-			return nil, err
+			return err
 		}
 		row.JProf = metrics.TopNIntersection(truth, jp.Top(topN), topN)
 
 		// JPortal: hot methods from the reconstructed control flow.
 		run, err := runJPortal(s, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		an, err := jportal.Analyze(s.Program, run, core.DefaultPipelineConfig())
+		an, err := jportal.Analyze(s.Program, run, pipelineConfig(o))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hot := profile.HotMethods(s.Program, an.Steps(), topN)
 		row.JPortal = metrics.TopNIntersection(truth, hot, topN)
 
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -127,25 +131,27 @@ type Table5Row struct {
 	HasLoss bool
 }
 
-// Table5 measures trace sizes and decode/recovery times.
+// Table5 measures trace sizes and decode/recovery times. Subjects fan out
+// on the worker pool; DT/RT remain comparable because they are per-thread
+// times summed, measured inside each subject's own pipeline.
 func Table5(o Options) ([]Table5Row, error) {
 	o = o.Defaults()
-	var rows []Table5Row
-	for _, name := range o.Subjects {
+	rows := make([]Table5Row, len(o.Subjects))
+	err := forSubjects(o, func(i int, name string) error {
 		s, err := workload.Load(name, o.Scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Table5Row{Subject: name}
 
 		// Baseline CF tracer.
 		ip, fp, err := baselines.InstrumentFlow(s.Program)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := runPlain(&workload.Subject{Name: name, Program: ip, Threads: s.Threads},
 			o, &fp.Registry, baselines.FlowProbeCost, nil); err != nil {
-			return nil, err
+			return err
 		}
 		row.BaseTS = fp.TraceBytes()
 		t0 := time.Now()
@@ -157,16 +163,16 @@ func Table5(o Options) ([]Table5Row, error) {
 		// JPortal.
 		run, err := runJPortal(s, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var exported uint64
 		for _, tr := range run.Traces {
 			exported += tr.Bytes()
 		}
 		row.TS = exported
-		an, err := jportal.Analyze(s.Program, run, core.DefaultPipelineConfig())
+		an, err := jportal.Analyze(s.Program, run, pipelineConfig(o))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, t := range an.Threads {
 			row.DT += t.DecodeTime
@@ -175,7 +181,11 @@ func Table5(o Options) ([]Table5Row, error) {
 				row.HasLoss = true
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

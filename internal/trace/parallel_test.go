@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"jportal/internal/pt"
+	"jportal/internal/vm"
+)
+
+// TestSplitDeterministicAcrossWorkers checks the parallel per-core carve:
+// the stitched streams must be identical for any worker count, including a
+// fixture with cross-core migration, idle windows and a multi-window gap.
+func TestSplitDeterministicAcrossWorkers(t *testing.T) {
+	gap := pt.Item{Gap: true, GapStart: 150, GapEnd: 320, LostBytes: 1700}
+	cores := []pt.CoreTrace{
+		{Core: 0, Items: []pt.Item{
+			tscItem(0), tipItem(1), tipItem(2),
+			tscItem(100), tipItem(3), gap,
+			tscItem(330), tipItem(4),
+		}},
+		{Core: 1, Items: []pt.Item{
+			tscItem(50), tipItem(10),
+			tscItem(210), tipItem(11), tipItem(12),
+		}},
+		{Core: 2, Items: []pt.Item{tscItem(5), tipItem(20)}},
+	}
+	sideband := []vm.SwitchRecord{
+		{Core: 0, TSC: 0, Thread: 0},
+		{Core: 2, TSC: 0, Thread: 2},
+		{Core: 1, TSC: 40, Thread: 1},
+		{Core: 0, TSC: 100, Thread: 1},
+		{Core: 1, TSC: 200, Thread: 0},
+		{Core: 0, TSC: 300, Thread: 2},
+	}
+
+	base := SplitByThreadWorkers(cores, sideband, 1)
+	for _, w := range []int{2, 4, 8} {
+		got := SplitByThreadWorkers(cores, sideband, w)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d: streams diverge from workers=1", w)
+		}
+	}
+	// And the legacy entry point is the same thing.
+	if !reflect.DeepEqual(SplitByThread(cores, sideband), base) {
+		t.Fatal("SplitByThread diverges from SplitByThreadWorkers")
+	}
+}

@@ -19,6 +19,7 @@ package trace
 import (
 	"sort"
 
+	"jportal/internal/conc"
 	"jportal/internal/pt"
 	"jportal/internal/vm"
 )
@@ -52,6 +53,77 @@ func collapseRuns(recs []vm.SwitchRecord) []vm.SwitchRecord {
 // the scheduler sideband. For a single-threaded program this degenerates to
 // concatenating the (single) core windows in time order.
 func SplitByThread(cores []pt.CoreTrace, sideband []vm.SwitchRecord) []ThreadStream {
+	return SplitByThreadWorkers(cores, sideband, 0)
+}
+
+// carveCore slices one core's trace into scheduling windows owned by
+// threads (the per-core half of SplitByThread). recs must already be
+// collapsed.
+func carveCore(ct *pt.CoreTrace, recs []vm.SwitchRecord) []window {
+	// windowAt returns the index of the scheduling window covering t.
+	windowAt := func(t uint64) int {
+		i := sort.Search(len(recs), func(i int) bool { return recs[i].TSC > t })
+		if i == 0 {
+			return 0
+		}
+		return i - 1
+	}
+
+	wins := make([][]pt.Item, len(recs))
+	tsc := uint64(0)
+	wi := 0
+	for _, it := range ct.Items {
+		if it.Gap {
+			// Distribute the gap to every window it overlaps,
+			// clipped to the window bounds.
+			lo := windowAt(it.GapStart)
+			hi := windowAt(it.GapEnd)
+			span := it.GapEnd - it.GapStart
+			for j := lo; j <= hi; j++ {
+				g := it
+				if j > lo {
+					g.GapStart = recs[j].TSC
+				}
+				if j < hi && j+1 < len(recs) {
+					g.GapEnd = recs[j+1].TSC
+				}
+				if g.GapEnd <= g.GapStart {
+					continue
+				}
+				// Apportion the lost bytes by covered time.
+				if span > 0 {
+					g.LostBytes = it.LostBytes * (g.GapEnd - g.GapStart) / span
+				}
+				wins[j] = append(wins[j], g)
+			}
+			tsc = it.GapEnd
+			if w := windowAt(tsc); w > wi {
+				wi = w
+			}
+			continue
+		}
+		if it.Packet.Kind == pt.KTSC {
+			tsc = it.Packet.TSC
+			if w := windowAt(tsc); w > wi {
+				wi = w
+			}
+		}
+		wins[wi] = append(wins[wi], it)
+	}
+	var out []window
+	for i, items := range wins {
+		if len(items) > 0 && recs[i].Thread >= 0 {
+			out = append(out, window{thread: recs[i].Thread, start: recs[i].TSC, items: items})
+		}
+	}
+	return out
+}
+
+// SplitByThreadWorkers is SplitByThread with an explicit worker bound
+// (0 = GOMAXPROCS): cores carve their windows concurrently — each core's
+// trace is independent — and the merge walks the per-core results in core
+// order, so the stitched streams are identical for any worker count.
+func SplitByThreadWorkers(cores []pt.CoreTrace, sideband []vm.SwitchRecord, workers int) []ThreadStream {
 	perCore := make(map[int][]vm.SwitchRecord)
 	maxThread := 0
 	for _, r := range sideband {
@@ -61,70 +133,19 @@ func SplitByThread(cores []pt.CoreTrace, sideband []vm.SwitchRecord) []ThreadStr
 		}
 	}
 
-	var windows []window
-	for _, ct := range cores {
-		recs := perCore[ct.Core]
+	coreWins := make([][]window, len(cores))
+	conc.ParallelFor(conc.Workers(workers), len(cores), func(ci int) {
+		recs := perCore[cores[ci].Core]
 		if len(recs) == 0 {
-			continue
+			return
 		}
 		// Collapse consecutive records with the same owner (including
 		// idle runs) so windowAt stays cheap.
-		recs = collapseRuns(recs)
-		// windowAt returns the index of the scheduling window covering t.
-		windowAt := func(t uint64) int {
-			i := sort.Search(len(recs), func(i int) bool { return recs[i].TSC > t })
-			if i == 0 {
-				return 0
-			}
-			return i - 1
-		}
-
-		wins := make([][]pt.Item, len(recs))
-		tsc := uint64(0)
-		wi := 0
-		for _, it := range ct.Items {
-			if it.Gap {
-				// Distribute the gap to every window it overlaps,
-				// clipped to the window bounds.
-				lo := windowAt(it.GapStart)
-				hi := windowAt(it.GapEnd)
-				span := it.GapEnd - it.GapStart
-				for j := lo; j <= hi; j++ {
-					g := it
-					if j > lo {
-						g.GapStart = recs[j].TSC
-					}
-					if j < hi && j+1 < len(recs) {
-						g.GapEnd = recs[j+1].TSC
-					}
-					if g.GapEnd <= g.GapStart {
-						continue
-					}
-					// Apportion the lost bytes by covered time.
-					if span > 0 {
-						g.LostBytes = it.LostBytes * (g.GapEnd - g.GapStart) / span
-					}
-					wins[j] = append(wins[j], g)
-				}
-				tsc = it.GapEnd
-				if w := windowAt(tsc); w > wi {
-					wi = w
-				}
-				continue
-			}
-			if it.Packet.Kind == pt.KTSC {
-				tsc = it.Packet.TSC
-				if w := windowAt(tsc); w > wi {
-					wi = w
-				}
-			}
-			wins[wi] = append(wins[wi], it)
-		}
-		for i, items := range wins {
-			if len(items) > 0 && recs[i].Thread >= 0 {
-				windows = append(windows, window{thread: recs[i].Thread, start: recs[i].TSC, items: items})
-			}
-		}
+		coreWins[ci] = carveCore(&cores[ci], collapseRuns(recs))
+	})
+	var windows []window
+	for _, ws := range coreWins {
+		windows = append(windows, ws...)
 	}
 
 	// Stitch each thread's windows in time order.

@@ -21,6 +21,7 @@ import (
 	"errors"
 
 	"jportal/internal/bytecode"
+	"jportal/internal/conc"
 	"jportal/internal/core"
 	"jportal/internal/meta"
 	"jportal/internal/pt"
@@ -101,23 +102,31 @@ type Analysis struct {
 	Pipeline *core.Pipeline
 }
 
-// Analyze decodes and reconstructs a run.
+// Analyze decodes and reconstructs a run. Thread streams are independent
+// by construction (they share only the read-only ICFG and matcher), so they
+// are analysed concurrently on cfg.Workers goroutines (0 = GOMAXPROCS);
+// Analysis.Threads keeps deterministic thread order and byte-identical
+// content for every worker count.
 func Analyze(prog *bytecode.Program, run *RunResult, cfg core.PipelineConfig) (*Analysis, error) {
 	if run == nil || run.Traces == nil {
 		return nil, errors.New("jportal: run has no traces (tracing disabled?)")
 	}
 	p := core.NewPipeline(prog, cfg)
-	streams := trace.SplitByThread(run.Traces, run.Sideband)
-	an := &Analysis{Pipeline: p}
-	for _, s := range streams {
-		an.Threads = append(an.Threads, p.AnalyzeThread(s.Thread, run.Snapshot, s.Items))
-	}
+	streams := trace.SplitByThreadWorkers(run.Traces, run.Sideband, cfg.Workers)
+	an := &Analysis{Pipeline: p, Threads: make([]*core.ThreadResult, len(streams))}
+	conc.ParallelFor(cfg.WorkerCount(), len(streams), func(i int) {
+		an.Threads[i] = p.AnalyzeThread(streams[i].Thread, run.Snapshot, streams[i].Items)
+	})
 	return an, nil
 }
 
 // Steps returns all threads' steps concatenated (thread order).
 func (a *Analysis) Steps() []core.Step {
-	var out []core.Step
+	total := 0
+	for _, t := range a.Threads {
+		total += len(t.Steps)
+	}
+	out := make([]core.Step, 0, total)
 	for _, t := range a.Threads {
 		out = append(out, t.Steps...)
 	}
