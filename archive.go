@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 
 	"jportal/internal/bytecode"
 	"jportal/internal/meta"
@@ -14,15 +17,85 @@ import (
 
 // A run archive is JPortal's deployment interface between the online and
 // offline phases (paper §3): everything the offline decoder needs, written
-// to a directory —
+// to a directory. Two layouts exist, declared by the archive.meta header:
 //
+// layout "batch" (SaveRun, after a completed run):
+//
+//	archive.meta    magic + format version + layout
 //	program.gob     the bytecode program (source of the ICFG)
 //	snapshot.bin    machine-code metadata (templates, JIT blobs, debug info)
 //	sideband.gob    scheduler thread-switch records
 //	trace.core<N>   one PT trace file per core
 //
-// so collection and analysis can run in different processes (or machines),
-// exactly as the paper separates them.
+// layout "chunked" (CreateStreamArchive, appended to while the run is
+// live): archive.meta, program.gob and stream.jpt — see stream_archive.go.
+//
+// Either way collection and analysis can run in different processes (or
+// machines), exactly as the paper separates them. Archives written before
+// the header existed (version 1) are read as layout "batch".
+
+const (
+	archiveMetaFile  = "archive.meta"
+	archiveMagicLine = "jportal-run-archive"
+	archiveVersion   = 2
+
+	// LayoutBatch and LayoutChunked are the archive layouts.
+	LayoutBatch   = "batch"
+	LayoutChunked = "chunked"
+)
+
+// writeArchiveMeta writes the version header declaring the layout.
+func writeArchiveMeta(dir, layout string) error {
+	body := fmt.Sprintf("%s\nversion: %d\nlayout: %s\n", archiveMagicLine, archiveVersion, layout)
+	return os.WriteFile(filepath.Join(dir, archiveMetaFile), []byte(body), 0o644)
+}
+
+// readArchiveMeta parses the header. A missing header with a program.gob
+// present is a pre-versioning (v1) batch archive; anything else that lacks
+// the header is not a run archive at all.
+func readArchiveMeta(dir string) (version int, layout string, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, archiveMetaFile))
+	if os.IsNotExist(err) {
+		if _, serr := os.Stat(filepath.Join(dir, "program.gob")); serr != nil {
+			return 0, "", fmt.Errorf("jportal: %s is not a run archive (no %s, no program.gob)", dir, archiveMetaFile)
+		}
+		return 1, LayoutBatch, nil
+	}
+	if err != nil {
+		return 0, "", err
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 3 || strings.TrimSpace(lines[0]) != archiveMagicLine {
+		return 0, "", fmt.Errorf("jportal: %s: malformed archive header", dir)
+	}
+	version, layout = 0, ""
+	for _, ln := range lines[1:] {
+		k, v, ok := strings.Cut(ln, ":")
+		if !ok {
+			continue
+		}
+		switch strings.TrimSpace(k) {
+		case "version":
+			version, err = strconv.Atoi(strings.TrimSpace(v))
+			if err != nil {
+				return 0, "", fmt.Errorf("jportal: %s: bad archive version %q", dir, strings.TrimSpace(v))
+			}
+		case "layout":
+			layout = strings.TrimSpace(v)
+		}
+	}
+	if version > archiveVersion {
+		return 0, "", fmt.Errorf("jportal: %s: archive version %d is newer than this binary supports (%d)",
+			dir, version, archiveVersion)
+	}
+	if version < 1 {
+		return 0, "", fmt.Errorf("jportal: %s: archive header missing a version", dir)
+	}
+	if layout != LayoutBatch && layout != LayoutChunked {
+		return 0, "", fmt.Errorf("jportal: %s: unknown archive layout %q", dir, layout)
+	}
+	return version, layout, nil
+}
 
 // SaveRun writes prog and the run's offline-relevant artefacts into dir
 // (created if missing).
@@ -31,6 +104,9 @@ func SaveRun(dir string, prog *bytecode.Program, run *RunResult) error {
 		return fmt.Errorf("jportal: run has no traces to save")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeArchiveMeta(dir, LayoutBatch); err != nil {
 		return err
 	}
 	if err := writeGob(filepath.Join(dir, "program.gob"), prog); err != nil {
@@ -66,10 +142,18 @@ func SaveRun(dir string, prog *bytecode.Program, run *RunResult) error {
 	return nil
 }
 
-// LoadRun reads an archive written by SaveRun. The returned RunResult
-// carries traces, sideband and snapshot (no oracle and no runtime stats —
-// those exist only in the collecting process).
+// LoadRun reads an archive written by SaveRun or a sealed chunked archive
+// written by CreateStreamArchive (the header routes to the right reader).
+// The returned RunResult carries traces, sideband and snapshot (no oracle
+// and no runtime stats — those exist only in the collecting process).
 func LoadRun(dir string) (*bytecode.Program, *RunResult, error) {
+	_, layout, err := readArchiveMeta(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if layout == LayoutChunked {
+		return loadChunkedRun(dir)
+	}
 	var prog bytecode.Program
 	if err := readGob(filepath.Join(dir, "program.gob"), &prog); err != nil {
 		return nil, nil, err
@@ -109,6 +193,15 @@ func LoadRun(dir string) (*bytecode.Program, *RunResult, error) {
 			return nil, nil, fmt.Errorf("jportal: %s: %w", name, err)
 		}
 		traces = append(traces, *tr)
+	}
+	// Glob order is lexical (trace.core10 before trace.core2); the analysis
+	// requires ascending core order, so sort numerically by the core id each
+	// file recorded.
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Core < traces[j].Core })
+	for i := 1; i < len(traces); i++ {
+		if traces[i].Core == traces[i-1].Core {
+			return nil, nil, fmt.Errorf("jportal: duplicate trace files for core %d in %s", traces[i].Core, dir)
+		}
 	}
 	return &prog, &RunResult{Traces: traces, Sideband: sideband, Snapshot: snap}, nil
 }

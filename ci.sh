@@ -2,11 +2,15 @@
 # ci.sh - the repository's check gauntlet. Run before sending a PR.
 #
 #   ./ci.sh          vet + build + full tests + race-detector pass over the
-#                    concurrent packages (core, trace, conc)
+#                    concurrent packages (core, trace, conc, pt) and the
+#                    root streaming tests + benchmark smoke
 #
 # The race pass covers the offline-phase parallelism introduced with the
-# worker pool: the read-only Matcher contract, the per-core trace carve and
-# the pool primitives themselves.
+# worker pool — the read-only Matcher contract, the per-core trace carve and
+# the pool primitives themselves — plus the streaming pipeline: the chunked
+# collector export, the incremental stitcher, and the Session fan-out (the
+# full root suite under -race is too slow for CI, so the race pass runs the
+# streaming-specific tests).
 set -eu
 
 cd "$(dirname "$0")"
@@ -21,6 +25,12 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/core/... ./internal/trace/... ./internal/conc/...
+go test -race ./internal/core/... ./internal/trace/... ./internal/conc/... ./internal/pt/...
+
+echo "==> go test -race (root streaming tests)"
+go test -race -run 'TestStream|TestAnalyzeStreamed|TestSession|TestAnalyzeDeterministicAcrossWorkers' .
+
+echo "==> benchmark smoke (one iteration)"
+go test -bench BenchmarkStreamingMemory -benchtime=1x -run '^$' .
 
 echo "ci.sh: all checks passed"

@@ -9,11 +9,14 @@
 //	jportal run      <subject|file.jasm>  run with PT collection, print stats
 //	jportal analyze  <subject|file.jasm>  run + offline reconstruction + accuracy
 //	jportal report   <subject|file.jasm>  run + reconstruction + client profiles
+//	jportal stream   <dir>                incremental analysis of a chunked archive
 //	jportal disasm   <file.jasm>          assemble and disassemble a program
 //	jportal exp      <table1|table2|table3|table4|table5|figure7|all>
 //
 // Flags (where applicable): -scale, -buf (paper-label MB), -top, -out,
-// -workers (offline-phase worker count, 0 = GOMAXPROCS).
+// -workers (offline-phase worker count, 0 = GOMAXPROCS). collect takes
+// -chunked to write the streaming archive layout as the run progresses;
+// stream takes -follow to tail an archive a collector is still writing.
 package main
 
 import (
@@ -22,11 +25,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"jportal"
 	"jportal/internal/bytecode"
 	"jportal/internal/core"
 	"jportal/internal/experiments"
+	"jportal/internal/meta"
 	"jportal/internal/metrics"
 	"jportal/internal/profile"
 	"jportal/internal/pt"
@@ -54,6 +59,8 @@ func main() {
 		err = cmdCollect(args)
 	case "decode":
 		err = cmdDecode(args)
+	case "stream":
+		err = cmdStream(args)
 	case "disasm":
 		err = cmdDisasm(args)
 	case "exp":
@@ -80,7 +87,10 @@ commands:
   analyze <subject|file.jasm>  run, decode, reconstruct; print accuracy
   report  <subject|file.jasm>  run, reconstruct, print client profiles
   collect <subject|file.jasm>  online phase only: run and archive traces+metadata
+                               (-chunked streams the archive as the run progresses)
   decode  <dir>                offline phase only: analyze a collected archive
+  stream  <dir>                incremental analysis of a chunked archive
+                               (-follow tails an archive still being written)
   disasm  <file.jasm>          assemble and pretty-print a program
   exp     <experiment>         regenerate a paper table/figure
                                (table1 table2 table3 table4 table5 figure7 paths all)
@@ -281,6 +291,8 @@ func cmdCollect(args []string) error {
 	scale := fs.Float64("scale", 1.0, "workload scale")
 	buf := fs.Int("buf", 128, "paper-label buffer size (MB)")
 	out := fs.String("out", "jportal-run", "archive directory")
+	chunked := fs.Bool("chunked", false, "write the streaming (chunked) archive layout as the run progresses")
+	chunk := fs.Int("chunk", 0, "chunked export granularity in trace items (0 = default)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need a subject or .jasm file")
@@ -292,6 +304,25 @@ func cmdCollect(args []string) error {
 	cfg := jportal.DefaultRunConfig()
 	cfg.CollectOracle = false // the offline phase has no oracle in production
 	cfg.PT.BufBytes = uint64(*buf) << (20 - experiments.BufScaleShift)
+	if *chunked {
+		cfg.SinkChunkItems = *chunk
+		var w *jportal.StreamArchiveWriter
+		run, err := jportal.RunWithSink(prog, threads, cfg,
+			func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (jportal.TraceSink, error) {
+				var err error
+				w, err = jportal.CreateStreamArchive(*out, p, snap, ncores)
+				return w, err
+			})
+		if err != nil {
+			return err
+		}
+		if err := w.Seal(); err != nil {
+			return err
+		}
+		fmt.Printf("%s: chunked archive sealed (%dKB generated) at %s\n",
+			name, run.GenBytes/1024, *out)
+		return nil
+	}
 	run, err := jportal.Run(prog, threads, cfg)
 	if err != nil {
 		return err
@@ -332,6 +363,35 @@ func cmdDecode(args []string) error {
 			th.Thread, th.Decode.Segments, th.Decode.Tokens, len(th.Steps),
 			th.RecoveredSteps,
 			float64(th.DecodeTime.Milliseconds()), float64(th.RecoverTime.Milliseconds()))
+	}
+	steps := an.Steps()
+	cov := profile.ComputeCoverage(prog, steps)
+	fmt.Printf("statement coverage: %.1f%%; hot methods:", cov.Ratio()*100)
+	for _, mid := range profile.HotMethods(prog, steps, 5) {
+		fmt.Printf(" %s", prog.Methods[mid].FullName())
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "offline-phase workers (0 = GOMAXPROCS)")
+	follow := fs.Bool("follow", false, "tail an archive a collector is still writing")
+	poll := fs.Duration("poll", 50*time.Millisecond, "poll interval in follow mode")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need a chunked archive directory")
+	}
+	pcfg := core.DefaultPipelineConfig()
+	pcfg.Workers = *workers
+	prog, an, err := jportal.AnalyzeStreamArchive(fs.Arg(0), pcfg, *follow, *poll)
+	if err != nil {
+		return err
+	}
+	for _, th := range an.Threads {
+		fmt.Printf("thread %d: segments=%d tokens=%d steps=%d (recovered %d)\n",
+			th.Thread, th.Decode.Segments, th.Decode.Tokens, len(th.Steps), th.RecoveredSteps)
 	}
 	steps := an.Steps()
 	cov := profile.ComputeCoverage(prog, steps)

@@ -34,87 +34,117 @@ type DecodeThreadStats struct {
 // TokenizeEvents lowers native-level decoder events to bytecode tokens,
 // splitting segments at gaps and desyncs.
 func TokenizeEvents(prog *bytecode.Program, events []ptdecode.Event) ([]*Segment, *DecodeThreadStats) {
-	st := &DecodeThreadStats{}
-	var segs []*Segment
-	cur := &Segment{}
-	var pendingGap *GapInfo
-	tsc := uint64(0)
+	tk := newTokenizer(prog)
+	tk.feed(events)
+	segs := tk.finish()
+	st := tk.st
+	return segs, &st
+}
 
-	flush := func(gapAfter *GapInfo) {
-		if len(cur.Tokens) > 0 {
-			cur.GapBefore = pendingGap
-			segs = append(segs, cur)
-			st.Segments++
-			st.Tokens += len(cur.Tokens)
-			pendingGap = nil
-		} else if pendingGap != nil && gapAfter != nil {
-			// Merge adjacent gaps.
-			gapAfter.LostBytes += pendingGap.LostBytes
-			if pendingGap.Start < gapAfter.Start {
-				gapAfter.Start = pendingGap.Start
+// tokenizer is the streaming form of TokenizeEvents: all lowering state —
+// the open segment, the pending gap, the pending conditional dispatch, the
+// current TSC — lives in the struct, so feeding events in chunks produces
+// exactly the segments a single batch call would. Completed segments are
+// harvested with take; finish closes the open segment.
+type tokenizer struct {
+	prog *bytecode.Program
+	st   DecodeThreadStats
+	segs []*Segment
+	cur  *Segment
+	// pendingGap is the gap awaiting attachment to the next segment.
+	pendingGap *GapInfo
+	tsc        uint64
+	// pendingCond indexes cur's conditional dispatch awaiting its TNT
+	// (interpreter mode pairs TIP(template) + TNT). -1 = none.
+	pendingCond int
+}
+
+func newTokenizer(prog *bytecode.Program) *tokenizer {
+	return &tokenizer{prog: prog, cur: &Segment{}, pendingCond: -1}
+}
+
+func (t *tokenizer) flush(gapAfter *GapInfo) {
+	if len(t.cur.Tokens) > 0 {
+		t.cur.GapBefore = t.pendingGap
+		t.segs = append(t.segs, t.cur)
+		t.st.Segments++
+		t.st.Tokens += len(t.cur.Tokens)
+		for i := range t.cur.Tokens {
+			if t.cur.Tokens[i].Located() {
+				t.st.LocatedTokens++
 			}
-			gapAfter.Desync = gapAfter.Desync && pendingGap.Desync
 		}
-		cur = &Segment{}
-		pendingGap = gapAfter
+		t.pendingGap = nil
+	} else if t.pendingGap != nil && gapAfter != nil {
+		// Merge adjacent gaps.
+		gapAfter.LostBytes += t.pendingGap.LostBytes
+		if t.pendingGap.Start < gapAfter.Start {
+			gapAfter.Start = t.pendingGap.Start
+		}
+		gapAfter.Desync = gapAfter.Desync && t.pendingGap.Desync
 	}
+	t.cur = &Segment{}
+	t.pendingGap = gapAfter
+}
 
-	// Pending conditional dispatch awaiting its TNT (interpreter mode
-	// pairs TIP(template) + TNT).
-	pendingCond := -1
+func (t *tokenizer) appendTok(tok Token) {
+	tok.TSC = t.tsc
+	t.cur.Tokens = append(t.cur.Tokens, tok)
+}
 
-	appendTok := func(t Token) {
-		t.TSC = tsc
-		cur.Tokens = append(cur.Tokens, t)
-	}
-
+// feed lowers one chunk of decoder events.
+func (t *tokenizer) feed(events []ptdecode.Event) {
 	for i := range events {
 		ev := &events[i]
 		switch ev.Kind {
 		case ptdecode.EvTime:
-			tsc = ev.TSC
+			t.tsc = ev.TSC
 		case ptdecode.EvEnable, ptdecode.EvDisable, ptdecode.EvStub:
-			pendingCond = -1
+			t.pendingCond = -1
 		case ptdecode.EvGap:
-			pendingCond = -1
-			st.Gaps++
-			st.LostBytes += ev.LostBytes
-			tsc = ev.GapEnd
-			flush(&GapInfo{LostBytes: ev.LostBytes, Start: ev.GapStart, End: ev.GapEnd})
+			t.pendingCond = -1
+			t.st.Gaps++
+			t.st.LostBytes += ev.LostBytes
+			t.tsc = ev.GapEnd
+			t.flush(&GapInfo{LostBytes: ev.LostBytes, Start: ev.GapStart, End: ev.GapEnd})
 		case ptdecode.EvDesync:
-			pendingCond = -1
-			flush(&GapInfo{Start: tsc, End: tsc, Desync: true})
+			t.pendingCond = -1
+			t.flush(&GapInfo{Start: t.tsc, End: t.tsc, Desync: true})
 		case ptdecode.EvTemplate:
-			appendTok(Token{Op: ev.Op, Method: bytecode.NoMethod})
+			t.appendTok(Token{Op: ev.Op, Method: bytecode.NoMethod})
 			if ev.Op.IsCondBranch() {
-				pendingCond = len(cur.Tokens) - 1
+				t.pendingCond = len(t.cur.Tokens) - 1
 			} else {
-				pendingCond = -1
+				t.pendingCond = -1
 			}
 		case ptdecode.EvTemplateTNT:
-			if pendingCond >= 0 && cur.Tokens[pendingCond].Op == ev.Op {
-				cur.Tokens[pendingCond].HasDir = true
-				cur.Tokens[pendingCond].Taken = ev.Taken
+			if t.pendingCond >= 0 && t.cur.Tokens[t.pendingCond].Op == ev.Op {
+				t.cur.Tokens[t.pendingCond].HasDir = true
+				t.cur.Tokens[t.pendingCond].Taken = ev.Taken
 			} else {
 				// A TNT without its dispatch (post-loss FUP anchored the
 				// bits mid-template): synthesise the branch token.
-				appendTok(Token{Op: ev.Op, Method: bytecode.NoMethod, HasDir: true, Taken: ev.Taken})
+				t.appendTok(Token{Op: ev.Op, Method: bytecode.NoMethod, HasDir: true, Taken: ev.Taken})
 			}
-			pendingCond = -1
+			t.pendingCond = -1
 		case ptdecode.EvJITRange:
-			pendingCond = -1
-			tokenizeRange(prog, ev, appendTok)
+			t.pendingCond = -1
+			tokenizeRange(t.prog, ev, t.appendTok)
 		}
 	}
-	flush(nil)
-	for _, s := range segs {
-		for i := range s.Tokens {
-			if s.Tokens[i].Located() {
-				st.LocatedTokens++
-			}
-		}
-	}
-	return segs, st
+}
+
+// take returns the segments completed so far and forgets them.
+func (t *tokenizer) take() []*Segment {
+	segs := t.segs
+	t.segs = nil
+	return segs
+}
+
+// finish closes the open segment and returns the remaining completed ones.
+func (t *tokenizer) finish() []*Segment {
+	t.flush(nil)
+	return t.take()
 }
 
 // tokenizeRange converts an executed native instruction range into bytecode

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"time"
 
 	"jportal/internal/bytecode"
@@ -25,10 +27,38 @@ type PipelineConfig struct {
 	// GOMAXPROCS. The reconstructed output is deterministic — identical
 	// for every worker count.
 	Workers int
+	// MaxPendingSegments caps how many decoded-but-unreconstructed
+	// segments a ThreadAnalyzer buffers before reconstructing them as a
+	// wave (0 = only at Finish, matching the batch pipeline). The cap
+	// bounds streaming memory without changing output: waves preserve
+	// segment order, and recovery always sees the complete flow sequence.
+	MaxPendingSegments int
 }
 
 // WorkerCount resolves the Workers knob (0 = GOMAXPROCS).
 func (c PipelineConfig) WorkerCount() int { return conc.Workers(c.Workers) }
+
+// Validate rejects nonsensical configurations up front, before they would
+// surface as a hang, a panic, or a silently serial pipeline deep inside the
+// offline phase.
+func (c PipelineConfig) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers %d is negative (0 means GOMAXPROCS)", c.Workers)
+	}
+	if c.MaxPendingSegments < 0 {
+		return fmt.Errorf("core: MaxPendingSegments %d is negative (0 means unbounded)", c.MaxPendingSegments)
+	}
+	r := c.Recovery
+	if r.AnchorLen < 0 || r.ConfirmLen < 0 || r.TopN < 0 ||
+		r.MaxFillTokens < 0 || r.FallbackWalkMax < 0 {
+		return fmt.Errorf("core: recovery bounds must be non-negative (anchor %d, confirm %d, topN %d, maxFill %d, walk %d)",
+			r.AnchorLen, r.ConfirmLen, r.TopN, r.MaxFillTokens, r.FallbackWalkMax)
+	}
+	if math.IsNaN(r.TimeBudgetSlack) || r.TimeBudgetSlack < 0 {
+		return fmt.Errorf("core: recovery TimeBudgetSlack %v must be a non-negative number", r.TimeBudgetSlack)
+	}
+	return nil
+}
 
 // DefaultPipelineConfig returns the production configuration.
 func DefaultPipelineConfig() PipelineConfig {
@@ -84,57 +114,13 @@ type ThreadResult struct {
 }
 
 // AnalyzeThread runs decode, reconstruction and recovery for one thread's
-// stitched packet stream. Segment reconstruction and hole recovery fan out
-// to the configured worker count; results land in index-addressed slots, so
-// the output is byte-identical to the serial pipeline regardless of
-// scheduling.
+// stitched packet stream. It is the batch form of ThreadAnalyzer — one Feed
+// of the whole stream — so segment reconstruction and hole recovery fan out
+// to the configured worker count with slot-addressed results, and the
+// output is byte-identical to the serial pipeline regardless of scheduling
+// or chunking.
 func (p *Pipeline) AnalyzeThread(thread int, snap *meta.Snapshot, items []pt.Item) *ThreadResult {
-	res := &ThreadResult{Thread: thread}
-	workers := p.Cfg.WorkerCount()
-
-	t0 := time.Now()
-	segs, dstats := DecodeThread(p.Prog, snap, items)
-	res.Decode = *dstats
-	// Segments are independent projections over the read-only matcher:
-	// reconstruct them concurrently, one MatchScratch per worker.
-	res.Flows = make([]*SegmentFlow, len(segs))
-	conc.ParallelWork(workers, len(segs), p.Matcher.NewScratch,
-		func(sc *MatchScratch, i int) {
-			res.Flows[i] = p.Matcher.ReconstructSegmentScratch(sc, segs[i])
-		})
-	res.DecodeTime = time.Since(t0)
-
-	t1 := time.Now()
-	rec := NewRecoverer(p.Matcher, res.Flows, p.Cfg.Recovery)
-	res.Fills = make([]Fill, len(res.Flows))
-	// Each hole's recovery walk stays ordered internally, but holes of
-	// different flows are independent (the recoverer and its anchor index
-	// are read-only after construction): fan them out too. Only recover
-	// across genuine data loss (desync splits carry no missing execution
-	// of meaningful length but are filled too — the walk reconnects them
-	// cheaply).
-	conc.ParallelFor(workers, len(res.Flows)-1, func(i int) {
-		res.Fills[i] = rec.RecoverHole(i)
-	})
-	res.RecoverTime = time.Since(t1)
-
-	// Pre-size the merged profile from the per-flow matched counts.
-	total := 0
-	for i, f := range res.Flows {
-		total += f.Matched()
-		if i < len(res.Fills) {
-			total += len(res.Fills[i].Steps)
-		}
-	}
-	res.Steps = make([]Step, 0, total)
-	for i, f := range res.Flows {
-		steps := f.Steps()
-		res.DecodedSteps += len(steps)
-		res.Steps = append(res.Steps, steps...)
-		if i < len(res.Fills) && res.Fills[i].Method != FillNone {
-			res.Steps = append(res.Steps, res.Fills[i].Steps...)
-			res.RecoveredSteps += len(res.Fills[i].Steps)
-		}
-	}
-	return res
+	a := p.NewThreadAnalyzer(thread, snap)
+	a.Feed(items)
+	return a.Finish()
 }

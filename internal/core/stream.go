@@ -1,0 +1,132 @@
+package core
+
+import (
+	"time"
+
+	"jportal/internal/conc"
+	"jportal/internal/meta"
+	"jportal/internal/pt"
+	"jportal/internal/ptdecode"
+)
+
+// ThreadAnalyzer is the resumable form of Pipeline.AnalyzeThread: one
+// thread's stitched packet stream is fed in chunks, decoded and tokenized
+// incrementally, and reconstructed in waves bounded by
+// PipelineConfig.MaxPendingSegments, so the decoded-but-unreconstructed
+// backlog — not the whole trace — is what stays in memory.
+//
+// Hole recovery deliberately runs only at Finish: the §5 recoverer indexes
+// every flow of the thread as a candidate continuation sequence for every
+// hole (an early segment can splice a late hole), so recovering before the
+// stream ends would change fills. Wave boundaries, by contrast, are
+// invisible: reconstruction is per-segment and order-preserving, so Finish
+// returns byte-identical results to the batch call for any chunking and any
+// cap.
+type ThreadAnalyzer struct {
+	p        *Pipeline
+	snap     *meta.Snapshot
+	dec      *ptdecode.Decoder
+	tk       *tokenizer
+	res      *ThreadResult
+	pend     []*Segment
+	finished bool
+}
+
+// NewThreadAnalyzer starts the analysis of one thread's stream.
+func (p *Pipeline) NewThreadAnalyzer(thread int, snap *meta.Snapshot) *ThreadAnalyzer {
+	return &ThreadAnalyzer{
+		p:    p,
+		snap: snap,
+		dec:  ptdecode.New(snap),
+		tk:   newTokenizer(p.Prog),
+		res:  &ThreadResult{Thread: thread},
+	}
+}
+
+// Feed analyses the next chunk of the thread's stitched stream. When the
+// completed-segment backlog reaches MaxPendingSegments, it is reconstructed
+// as a wave (fanning out to the configured workers) and released.
+func (a *ThreadAnalyzer) Feed(items []pt.Item) {
+	if a.finished {
+		panic("core: ThreadAnalyzer.Feed after Finish")
+	}
+	t0 := time.Now()
+	a.tk.feed(a.dec.DecodeChunk(items))
+	a.pend = append(a.pend, a.tk.take()...)
+	if cap := a.p.Cfg.MaxPendingSegments; cap > 0 && len(a.pend) >= cap {
+		a.reconstruct()
+	}
+	a.res.DecodeTime += time.Since(t0)
+}
+
+// PendingSegments returns the decoded-but-unreconstructed backlog.
+func (a *ThreadAnalyzer) PendingSegments() int { return len(a.pend) }
+
+// reconstruct projects the pending segments onto the ICFG, appending their
+// flows in segment order (slot-addressed, so identical for any worker
+// count), and drops the segment references.
+func (a *ThreadAnalyzer) reconstruct() {
+	if len(a.pend) == 0 {
+		return
+	}
+	base := len(a.res.Flows)
+	a.res.Flows = append(a.res.Flows, make([]*SegmentFlow, len(a.pend))...)
+	pend := a.pend
+	conc.ParallelWork(a.p.Cfg.WorkerCount(), len(pend), a.p.Matcher.NewScratch,
+		func(sc *MatchScratch, i int) {
+			a.res.Flows[base+i] = a.p.Matcher.ReconstructSegmentScratch(sc, pend[i])
+		})
+	for i := range a.pend {
+		a.pend[i] = nil
+	}
+	a.pend = a.pend[:0]
+}
+
+// Finish flushes the decoder and tokenizer, reconstructs the remaining
+// segments, runs §5 hole recovery over the complete flow sequence, and
+// merges the end-to-end profile — exactly AnalyzeThread's tail. Repeated
+// calls return the same result.
+func (a *ThreadAnalyzer) Finish() *ThreadResult {
+	if a.finished {
+		return a.res
+	}
+	a.finished = true
+	res := a.res
+
+	t0 := time.Now()
+	a.tk.feed(a.dec.Flush())
+	a.pend = append(a.pend, a.tk.finish()...)
+	st := a.tk.st
+	st.NativeDesyncs = a.dec.Desyncs
+	res.Decode = st
+	a.reconstruct()
+	res.DecodeTime += time.Since(t0)
+
+	t1 := time.Now()
+	rec := NewRecoverer(a.p.Matcher, res.Flows, a.p.Cfg.Recovery)
+	res.Fills = make([]Fill, len(res.Flows))
+	conc.ParallelFor(a.p.Cfg.WorkerCount(), len(res.Flows)-1, func(i int) {
+		res.Fills[i] = rec.RecoverHole(i)
+	})
+	res.RecoverTime = time.Since(t1)
+
+	// Pre-size the merged profile from the per-flow matched counts.
+	total := 0
+	for i, f := range res.Flows {
+		total += f.Matched()
+		if i < len(res.Fills) {
+			total += len(res.Fills[i].Steps)
+		}
+	}
+	res.Steps = make([]Step, 0, total)
+	for i, f := range res.Flows {
+		steps := f.Steps()
+		res.DecodedSteps += len(steps)
+		res.Steps = append(res.Steps, steps...)
+		if i < len(res.Fills) && res.Fills[i].Method != FillNone {
+			res.Steps = append(res.Steps, res.Fills[i].Steps...)
+			res.RecoveredSteps += len(res.Fills[i].Steps)
+		}
+	}
+	return res
+}

@@ -202,6 +202,10 @@ type Snapshot struct {
 
 	sorted []uint64 // sorted entry addresses, lazily rebuilt
 	dirty  bool
+	// exportLog records every blob passed to Export, in export order
+	// (re-exports appear again). Streaming consumers read suffixes of it
+	// as metadata deltas.
+	exportLog []*CompiledMethod
 }
 
 // NewSnapshot creates an empty snapshot with the standard layout.
@@ -219,10 +223,22 @@ func (s *Snapshot) Export(c *CompiledMethod) {
 		s.dirty = true
 	}
 	s.Compiled[c.EntryAddr()] = c
+	s.exportLog = append(s.exportLog, c)
 }
 
-// BlobFor returns the compiled method whose code contains addr, or nil.
-func (s *Snapshot) BlobFor(addr uint64) *CompiledMethod {
+// ExportedBlobs returns the export log: every blob ever passed to Export,
+// in export order. Replaying the log through Export reproduces Compiled
+// exactly (later entries overwrite earlier ones at the same address), which
+// is how the chunked archive ships metadata incrementally (§3.2).
+func (s *Snapshot) ExportedBlobs() []*CompiledMethod { return s.exportLog }
+
+// Seal eagerly rebuilds the sorted address index. BlobFor rebuilds it
+// lazily, which mutates the snapshot on first lookup; callers that are
+// about to share the snapshot across goroutines (the offline pipeline's
+// per-thread fan-out) must Seal first so every subsequent BlobFor is a
+// pure read. Sealing an already-clean snapshot is a no-op, so it is cheap
+// to call before every parallel stage.
+func (s *Snapshot) Seal() {
 	if s.dirty || s.sorted == nil {
 		s.sorted = s.sorted[:0]
 		for base := range s.Compiled {
@@ -231,6 +247,11 @@ func (s *Snapshot) BlobFor(addr uint64) *CompiledMethod {
 		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
 		s.dirty = false
 	}
+}
+
+// BlobFor returns the compiled method whose code contains addr, or nil.
+func (s *Snapshot) BlobFor(addr uint64) *CompiledMethod {
+	s.Seal()
 	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] > addr })
 	if i == 0 {
 		return nil

@@ -80,3 +80,27 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	}
 	return s, nil
 }
+
+// WriteBlob serialises a single compiled-method blob. It is the delta
+// record of the chunked streaming archive: the online phase exports each
+// method's metadata as it is JITed, so the offline consumer can decode
+// trace chunks referencing the blob without waiting for the final
+// snapshot (paper §3.2's incremental metadata dump).
+func WriteBlob(w io.Writer, c *CompiledMethod) error {
+	if err := gob.NewEncoder(w).Encode(c); err != nil {
+		return fmt.Errorf("meta: encode blob: %w", err)
+	}
+	return nil
+}
+
+// ReadBlob deserialises a blob written by WriteBlob and validates it.
+func ReadBlob(r io.Reader) (*CompiledMethod, error) {
+	var c CompiledMethod
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("meta: decode blob: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("meta: streamed blob invalid: %w", err)
+	}
+	return &c, nil
+}

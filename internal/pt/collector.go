@@ -1,5 +1,7 @@
 package pt
 
+import "fmt"
+
 // Config sets the collection parameters that the paper's evaluation varies.
 type Config struct {
 	// BufBytes is the per-core trace buffer capacity (the paper uses 64MB,
@@ -37,6 +39,29 @@ func (c Config) WithBufMB(mb int) Config {
 	return c
 }
 
+// Validate rejects configurations the collector cannot meaningfully run
+// with. A zero buffer loses every packet, a zero drain rate never exports,
+// and zero periods would emit a housekeeping packet before every payload
+// packet (an infinite regress in the real hardware's terms).
+func (c Config) Validate() error {
+	if c.BufBytes == 0 {
+		return fmt.Errorf("pt: BufBytes must be positive (a zero-capacity buffer drops all trace data)")
+	}
+	if c.DrainBytesPerKCycle == 0 {
+		return fmt.Errorf("pt: DrainBytesPerKCycle must be positive (a zero export rate never drains the buffer)")
+	}
+	if c.TSCPeriodCycles == 0 {
+		return fmt.Errorf("pt: TSCPeriodCycles must be positive")
+	}
+	if c.PSBPeriodBytes == 0 {
+		return fmt.Errorf("pt: PSBPeriodBytes must be positive")
+	}
+	if c.ResumePercent < 1 || c.ResumePercent > 100 {
+		return fmt.Errorf("pt: ResumePercent must be in [1,100], got %d", c.ResumePercent)
+	}
+	return nil
+}
+
 // Collector models the per-core PT hardware plus the exporter thread: it
 // accepts logical branch events from the VM, encodes them into packets,
 // stores them in a bounded ring, and drains the ring at a bounded rate.
@@ -47,6 +72,35 @@ type Collector struct {
 
 	// GenBytes is the total bytes generated (exported + lost).
 	GenBytes uint64
+
+	// sink, when set, receives drained items incrementally instead of
+	// letting them accumulate in the per-core traces (streaming export).
+	sink      ChunkSink
+	sinkFlush int
+}
+
+// ChunkSink receives items drained from one core's trace buffer, in export
+// order. The slice is freshly allocated per call and may be retained. The
+// collector invokes the sink synchronously from whatever goroutine drives
+// it (the VM's execution loop), so a sink must be fast or hand off.
+type ChunkSink func(core int, items []Item)
+
+// DefaultSinkFlushItems is the per-core chunk size used when SetSink is
+// given a non-positive flush bound.
+const DefaultSinkFlushItems = 256
+
+// SetSink switches the collector to streaming export: drained items are
+// delivered to sink in chunks of at most flushItems items (<= 0 means
+// DefaultSinkFlushItems) instead of accumulating in memory until Finish.
+// In sink mode Finish flushes the remainder through the sink and returns
+// CoreTraces that carry only the core numbers, with nil Items. Set the
+// sink before the run starts; switching mid-run would reorder the stream.
+func (c *Collector) SetSink(flushItems int, sink ChunkSink) {
+	if flushItems <= 0 {
+		flushItems = DefaultSinkFlushItems
+	}
+	c.sink = sink
+	c.sinkFlush = flushItems
 }
 
 type coreState struct {
@@ -65,6 +119,12 @@ type coreState struct {
 	// needResync requests a PSB/TSC/FUP preamble before the next packet
 	// after a loss episode.
 	needResync bool
+	// exported counts drained payload bytes (gap markers excluded), in
+	// both accumulate and sink mode.
+	exported uint64
+	// pendingOut buffers drained items awaiting a sink flush (sink mode
+	// only).
+	pendingOut []Item
 }
 
 type ring struct {
@@ -284,7 +344,7 @@ func (c *Collector) Advance(core int, tsc uint64) {
 	for n < len(r.q) {
 		it := &r.q[n]
 		if it.Gap {
-			cs.trace.Items = append(cs.trace.Items, *it)
+			c.export(core, cs, *it)
 			n++
 			continue
 		}
@@ -294,7 +354,7 @@ func (c *Collector) Advance(core int, tsc uint64) {
 		}
 		budget -= w
 		r.usedBytes -= w
-		cs.trace.Items = append(cs.trace.Items, *it)
+		c.export(core, cs, *it)
 		n++
 	}
 	r.q = r.q[n:]
@@ -313,8 +373,35 @@ func (c *Collector) Advance(core int, tsc uint64) {
 	}
 }
 
+// export hands one drained item onward: appended to the accumulated trace
+// in batch mode, buffered toward the next sink chunk in streaming mode.
+func (c *Collector) export(core int, cs *coreState, it Item) {
+	if !it.Gap {
+		cs.exported += uint64(it.Packet.WireLen)
+	}
+	if c.sink == nil {
+		cs.trace.Items = append(cs.trace.Items, it)
+		return
+	}
+	cs.pendingOut = append(cs.pendingOut, it)
+	if len(cs.pendingOut) >= c.sinkFlush {
+		c.flushSink(core, cs)
+	}
+}
+
+// flushSink delivers the core's buffered items to the sink.
+func (c *Collector) flushSink(core int, cs *coreState) {
+	if len(cs.pendingOut) == 0 {
+		return
+	}
+	items := cs.pendingOut
+	cs.pendingOut = nil
+	c.sink(core, items)
+}
+
 // Finish flushes everything (the exporter catches up after the run) and
-// returns the per-core traces.
+// returns the per-core traces. In sink mode the remainder is delivered
+// through the sink and the returned traces carry only core numbers.
 func (c *Collector) Finish(tsc uint64) []CoreTrace {
 	out := make([]CoreTrace, len(c.cores))
 	for i := range c.cores {
@@ -326,20 +413,25 @@ func (c *Collector) Finish(tsc uint64) []CoreTrace {
 			c.closeGap(cs, tsc)
 			cs.needResync = false
 		}
-		cs.trace.Items = append(cs.trace.Items, cs.ring.q...)
+		for _, it := range cs.ring.q {
+			c.export(i, cs, it)
+		}
 		cs.ring.q = nil
 		cs.ring.usedBytes = 0
+		if c.sink != nil {
+			c.flushSink(i, cs)
+		}
 		cs.trace.Core = i
 		out[i] = cs.trace
 	}
 	return out
 }
 
-// ExportedBytes returns total bytes drained so far across cores.
+// ExportedBytes returns total payload bytes drained so far across cores.
 func (c *Collector) ExportedBytes() uint64 {
 	var n uint64
 	for i := range c.cores {
-		n += c.cores[i].trace.Bytes()
+		n += c.cores[i].exported
 	}
 	return n
 }

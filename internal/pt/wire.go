@@ -23,38 +23,85 @@ const (
 	tagEnd    byte = 0x03
 )
 
+// AppendItem appends the wire encoding of one item (a tagged record) to
+// dst and returns the extended slice. It is the unit the chunked archive
+// frames trace chunks with; WriteTrace uses the same records.
+func AppendItem(dst []byte, it *Item) []byte {
+	var buf [28]byte
+	if it.Gap {
+		buf[0] = tagGap
+		binary.LittleEndian.PutUint64(buf[1:9], it.LostBytes)
+		binary.LittleEndian.PutUint64(buf[9:17], it.GapStart)
+		binary.LittleEndian.PutUint64(buf[17:25], it.GapEnd)
+		return append(dst, buf[:25]...)
+	}
+	p := &it.Packet
+	buf[0] = tagPacket
+	buf[1] = byte(p.Kind)
+	buf[2] = p.NBits
+	buf[3] = p.WireLen
+	binary.LittleEndian.PutUint64(buf[4:12], p.IP)
+	binary.LittleEndian.PutUint64(buf[12:20], p.Bits)
+	binary.LittleEndian.PutUint64(buf[20:28], p.TSC)
+	return append(dst, buf[:28]...)
+}
+
+// DecodeItem decodes one item record from the front of src, returning the
+// item and the number of bytes consumed.
+func DecodeItem(src []byte) (Item, int, error) {
+	if len(src) == 0 {
+		return Item{}, 0, io.ErrUnexpectedEOF
+	}
+	switch src[0] {
+	case tagGap:
+		if len(src) < 25 {
+			return Item{}, 0, io.ErrUnexpectedEOF
+		}
+		return decodeGapPayload(src[1:25]), 25, nil
+	case tagPacket:
+		if len(src) < 28 {
+			return Item{}, 0, io.ErrUnexpectedEOF
+		}
+		return Item{Packet: decodePacketPayload(src[1:28])}, 28, nil
+	}
+	return Item{}, 0, fmt.Errorf("pt: unknown record tag %#x", src[0])
+}
+
+func decodeGapPayload(buf []byte) Item {
+	return Item{
+		Gap:       true,
+		LostBytes: binary.LittleEndian.Uint64(buf[0:8]),
+		GapStart:  binary.LittleEndian.Uint64(buf[8:16]),
+		GapEnd:    binary.LittleEndian.Uint64(buf[16:24]),
+	}
+}
+
+func decodePacketPayload(buf []byte) Packet {
+	return Packet{
+		Kind:    Kind(buf[0]),
+		NBits:   buf[1],
+		WireLen: buf[2],
+		IP:      binary.LittleEndian.Uint64(buf[3:11]),
+		Bits:    binary.LittleEndian.Uint64(buf[11:19]),
+		TSC:     binary.LittleEndian.Uint64(buf[19:27]),
+	}
+}
+
 // WriteTrace serialises a core trace to w.
 func WriteTrace(w io.Writer, t *CoreTrace) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(wireMagic[:]); err != nil {
 		return err
 	}
-	var buf [41]byte
-	binary.LittleEndian.PutUint32(buf[:4], uint32(t.Core))
-	if _, err := bw.Write(buf[:4]); err != nil {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(t.Core))
+	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
+	var rec []byte
 	for i := range t.Items {
-		it := &t.Items[i]
-		if it.Gap {
-			buf[0] = tagGap
-			binary.LittleEndian.PutUint64(buf[1:9], it.LostBytes)
-			binary.LittleEndian.PutUint64(buf[9:17], it.GapStart)
-			binary.LittleEndian.PutUint64(buf[17:25], it.GapEnd)
-			if _, err := bw.Write(buf[:25]); err != nil {
-				return err
-			}
-			continue
-		}
-		p := &it.Packet
-		buf[0] = tagPacket
-		buf[1] = byte(p.Kind)
-		buf[2] = p.NBits
-		buf[3] = p.WireLen
-		binary.LittleEndian.PutUint64(buf[4:12], p.IP)
-		binary.LittleEndian.PutUint64(buf[12:20], p.Bits)
-		binary.LittleEndian.PutUint64(buf[20:28], p.TSC)
-		if _, err := bw.Write(buf[:28]); err != nil {
+		rec = AppendItem(rec[:0], &t.Items[i])
+		if _, err := bw.Write(rec); err != nil {
 			return err
 		}
 	}
@@ -88,25 +135,12 @@ func ReadTrace(r io.Reader) (*CoreTrace, error) {
 			if _, err := io.ReadFull(br, buf[:24]); err != nil {
 				return nil, err
 			}
-			t.Items = append(t.Items, Item{
-				Gap:       true,
-				LostBytes: binary.LittleEndian.Uint64(buf[0:8]),
-				GapStart:  binary.LittleEndian.Uint64(buf[8:16]),
-				GapEnd:    binary.LittleEndian.Uint64(buf[16:24]),
-			})
+			t.Items = append(t.Items, decodeGapPayload(buf[:24]))
 		case tagPacket:
 			if _, err := io.ReadFull(br, buf[:27]); err != nil {
 				return nil, err
 			}
-			p := Packet{
-				Kind:    Kind(buf[0]),
-				NBits:   buf[1],
-				WireLen: buf[2],
-				IP:      binary.LittleEndian.Uint64(buf[3:11]),
-				Bits:    binary.LittleEndian.Uint64(buf[11:19]),
-				TSC:     binary.LittleEndian.Uint64(buf[19:27]),
-			}
-			t.Items = append(t.Items, Item{Packet: p})
+			t.Items = append(t.Items, Item{Packet: decodePacketPayload(buf[:27])})
 		default:
 			return nil, fmt.Errorf("pt: unknown record tag %#x", tag)
 		}

@@ -137,9 +137,28 @@ func New(snap *meta.Snapshot) *Decoder {
 
 // Decode processes a whole item stream and returns the events.
 func (d *Decoder) Decode(items []pt.Item) []Event {
+	out := d.DecodeChunk(items)
+	return append(out, d.Flush()...)
+}
+
+// DecodeChunk processes one chunk of an item stream and returns the events
+// decoded so far. The decoder keeps its walking state (mode, pending TNT
+// bits, pending JIT range) across calls, so feeding a stream in chunks of
+// any size yields, concatenated with the final Flush, exactly the events
+// Decode yields for the whole stream at once: already-emitted events are
+// final and never revised.
+func (d *Decoder) DecodeChunk(items []pt.Item) []Event {
 	for i := range items {
 		d.Feed(&items[i])
 	}
+	out := d.out
+	d.out = nil
+	return out
+}
+
+// Flush terminates the stream: the pending JIT instruction range (if any)
+// is emitted. Call once after the last DecodeChunk.
+func (d *Decoder) Flush() []Event {
 	d.flushRange()
 	out := d.out
 	d.out = nil

@@ -270,6 +270,13 @@ func (m *Machine) Stubs() meta.Stubs { return m.stubs }
 // Sideband returns the thread-switch records collected during Run.
 func (m *Machine) Sideband() []SwitchRecord { return m.sideband }
 
+// SidebandWatermarks returns, per core, a timestamp below which no further
+// switch record can be emitted (sideband is clamped monotone per core).
+// Streaming consumers use it to decide which scheduling windows are final.
+func (m *Machine) SidebandWatermarks() []uint64 {
+	return append([]uint64(nil), m.lastSideband...)
+}
+
 // CompiledTier returns the current tier of mid (0 = interpreted).
 func (m *Machine) CompiledTier(mid bytecode.MethodID) int { return m.tierOf[mid] }
 

@@ -19,13 +19,12 @@ package jportal
 
 import (
 	"errors"
+	"fmt"
 
 	"jportal/internal/bytecode"
-	"jportal/internal/conc"
 	"jportal/internal/core"
 	"jportal/internal/meta"
 	"jportal/internal/pt"
-	"jportal/internal/trace"
 	"jportal/internal/vm"
 )
 
@@ -39,6 +38,27 @@ type RunConfig struct {
 	CollectOracle bool
 	// DisableTracing runs without PT (baseline timing runs).
 	DisableTracing bool
+	// SinkChunkItems is the per-core chunk size of streaming export
+	// (RunWithSink); 0 means pt.DefaultSinkFlushItems. Ignored by Run.
+	SinkChunkItems int
+}
+
+// Validate rejects configurations the online phase cannot run with, before
+// they surface as a zero-core deadlock or a collector that drops or never
+// drains everything.
+func (c RunConfig) Validate() error {
+	if c.VM.Cores <= 0 {
+		return fmt.Errorf("jportal: VM.Cores must be positive, got %d", c.VM.Cores)
+	}
+	if c.SinkChunkItems < 0 {
+		return fmt.Errorf("jportal: SinkChunkItems %d is negative (0 means the default)", c.SinkChunkItems)
+	}
+	if !c.DisableTracing {
+		if err := c.PT.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DefaultRunConfig mirrors the paper's defaults (128MB-class buffers,
@@ -61,6 +81,9 @@ type RunResult struct {
 // Run executes prog's threads under the simulated JVM with PT collection.
 // A nil threads slice runs the program entry as a single thread.
 func Run(prog *bytecode.Program, threads []vm.ThreadSpec, cfg RunConfig) (*RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if err := bytecode.Verify(prog); err != nil {
 		return nil, err
 	}
@@ -102,22 +125,37 @@ type Analysis struct {
 	Pipeline *core.Pipeline
 }
 
-// Analyze decodes and reconstructs a run. Thread streams are independent
-// by construction (they share only the read-only ICFG and matcher), so they
-// are analysed concurrently on cfg.Workers goroutines (0 = GOMAXPROCS);
-// Analysis.Threads keeps deterministic thread order and byte-identical
-// content for every worker count.
+// Analyze decodes and reconstructs a run. It is the batch form of the
+// streaming Session — everything fed at once, drained at Close — so thread
+// streams are analysed concurrently on cfg.Workers goroutines (0 =
+// GOMAXPROCS) and Analysis.Threads keeps deterministic thread order and
+// byte-identical content for every worker count and chunking. Traces must
+// be in ascending core order (Run and LoadRun both guarantee it).
 func Analyze(prog *bytecode.Program, run *RunResult, cfg core.PipelineConfig) (*Analysis, error) {
 	if run == nil || run.Traces == nil {
 		return nil, errors.New("jportal: run has no traces (tracing disabled?)")
 	}
-	p := core.NewPipeline(prog, cfg)
-	streams := trace.SplitByThreadWorkers(run.Traces, run.Sideband, cfg.Workers)
-	an := &Analysis{Pipeline: p, Threads: make([]*core.ThreadResult, len(streams))}
-	conc.ParallelFor(cfg.WorkerCount(), len(streams), func(i int) {
-		an.Threads[i] = p.AnalyzeThread(streams[i].Thread, run.Snapshot, streams[i].Items)
-	})
-	return an, nil
+	ncores := 1
+	for i := range run.Traces {
+		if i > 0 && run.Traces[i].Core <= run.Traces[i-1].Core {
+			return nil, fmt.Errorf("jportal: traces out of core order (core %d after core %d)",
+				run.Traces[i].Core, run.Traces[i-1].Core)
+		}
+		if n := run.Traces[i].Core + 1; n > ncores {
+			ncores = n
+		}
+	}
+	s, err := OpenSession(prog, run.Snapshot, ncores, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.AddSideband(run.Sideband)
+	for i := range run.Traces {
+		if err := s.Feed(run.Traces[i].Core, run.Traces[i].Items); err != nil {
+			return nil, err
+		}
+	}
+	return s.Close()
 }
 
 // Steps returns all threads' steps concatenated (thread order).

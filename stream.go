@@ -1,0 +1,277 @@
+package jportal
+
+import (
+	"errors"
+	"fmt"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/conc"
+	"jportal/internal/core"
+	"jportal/internal/meta"
+	"jportal/internal/pt"
+	"jportal/internal/trace"
+	"jportal/internal/vm"
+)
+
+// Session is the incremental form of Analyze: trace chunks, sideband
+// records and watermarks are fed as they become available, Drain advances
+// the analysis over everything that is final under the current watermarks,
+// and Close completes it. The resulting Analysis is byte-identical to the
+// batch call for every chunking, watermark schedule and worker count —
+// streaming changes when work happens, never what it computes.
+//
+// Memory stays bounded by the stages: the stitcher holds only windows that
+// are not yet globally safe to emit (PeakBufferedItems reports the high
+// water mark), and each thread's analyzer reconstructs its decoded
+// segments in waves capped by PipelineConfig.MaxPendingSegments. Hole
+// recovery alone waits for Close: §5's recoverer matches holes against
+// every segment of the thread, so recovering earlier would change fills.
+type Session struct {
+	prog      *bytecode.Program
+	snap      *meta.Snapshot
+	pipe      *core.Pipeline
+	st        *trace.StreamStitcher
+	analyzers []*core.ThreadAnalyzer
+	peak      int
+	closed    bool
+	result    *Analysis
+}
+
+// OpenSession starts an incremental analysis over ncores per-core trace
+// streams, decoding against snap (which may still be growing: the online
+// phase exports method metadata before the trace bytes that reference it).
+func OpenSession(prog *bytecode.Program, snap *meta.Snapshot, ncores int, cfg core.PipelineConfig) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if snap == nil {
+		return nil, errors.New("jportal: session needs a metadata snapshot")
+	}
+	if ncores <= 0 {
+		return nil, fmt.Errorf("jportal: session needs at least one core, got %d", ncores)
+	}
+	snap.Seal()
+	return &Session{
+		prog: prog,
+		snap: snap,
+		pipe: core.NewPipeline(prog, cfg),
+		st:   trace.NewStreamStitcher(ncores),
+	}, nil
+}
+
+// AddSideband delivers scheduler switch records in the order the VM
+// recorded them.
+func (s *Session) AddSideband(recs []vm.SwitchRecord) { s.st.AddSideband(recs) }
+
+// Watermark declares that every switch record for core with TSC < w has
+// been delivered (watermarks only move forward).
+func (s *Session) Watermark(core int, w uint64) { s.st.Watermark(core, w) }
+
+// Feed delivers one chunk of a core's exported trace, in export order.
+func (s *Session) Feed(core int, items []pt.Item) error {
+	if s.closed {
+		return errors.New("jportal: Feed on closed session")
+	}
+	if err := s.st.Feed(core, items); err != nil {
+		return err
+	}
+	if n := s.st.BufferedItems(); n > s.peak {
+		s.peak = n
+	}
+	return nil
+}
+
+// Drain advances the analysis over every scheduling window that is final
+// under the current watermarks: finalized per-thread deltas are stitched
+// out and pushed through the per-thread analyzers (decode, tokenize, and
+// reconstruction waves).
+func (s *Session) Drain() error {
+	if s.closed {
+		return errors.New("jportal: Drain on closed session")
+	}
+	s.apply(s.st.Drain())
+	return nil
+}
+
+// apply feeds emitted thread deltas to their analyzers. Deltas are
+// per-thread independent, so they fan out to the configured workers.
+func (s *Session) apply(deltas []trace.ThreadStream) {
+	if len(deltas) == 0 {
+		return
+	}
+	// Seal before concurrent decode: BlobFor must not rebuild the sorted
+	// address index from racing goroutines when the snapshot grew since
+	// the last drain.
+	s.snap.Seal()
+	s.grow(s.st.NumThreads())
+	conc.ParallelFor(s.pipe.Cfg.WorkerCount(), len(deltas), func(i int) {
+		s.analyzers[deltas[i].Thread].Feed(deltas[i].Items)
+	})
+}
+
+// grow ensures one analyzer per thread seen so far.
+func (s *Session) grow(nthreads int) {
+	for t := len(s.analyzers); t < nthreads; t++ {
+		s.analyzers = append(s.analyzers, s.pipe.NewThreadAnalyzer(t, s.snap))
+	}
+}
+
+// BufferedItems returns the trace items currently buffered in the stitcher
+// (fed but not yet emitted to an analyzer).
+func (s *Session) BufferedItems() int { return s.st.BufferedItems() }
+
+// PeakBufferedItems returns the high-water mark of BufferedItems over the
+// session — the streaming pipeline's peak in-flight trace memory.
+func (s *Session) PeakBufferedItems() int { return s.peak }
+
+// Close declares the input complete, runs the remaining decode,
+// reconstruction and recovery, and returns the Analysis. Close is
+// idempotent; after it, Feed and Drain fail.
+func (s *Session) Close() (*Analysis, error) {
+	if s.closed {
+		return s.result, nil
+	}
+	s.closed = true
+	s.apply(s.st.FinishWorkers(s.pipe.Cfg.Workers))
+	s.grow(s.st.NumThreads())
+	threads := make([]*core.ThreadResult, len(s.analyzers))
+	conc.ParallelFor(s.pipe.Cfg.WorkerCount(), len(s.analyzers), func(i int) {
+		threads[i] = s.analyzers[i].Finish()
+	})
+	s.result = &Analysis{Threads: threads, Pipeline: s.pipe}
+	return s.result, nil
+}
+
+// TraceSink consumes the online phase's outputs incrementally: RunWithSink
+// delivers sideband, watermarks and trace chunks through it as the
+// collector drains. *Session implements TraceSink (live analysis); so does
+// *StreamArchiveWriter (chunked archival).
+type TraceSink interface {
+	AddSideband(recs []vm.SwitchRecord)
+	Watermark(core int, w uint64)
+	Feed(core int, items []pt.Item) error
+	Drain() error
+}
+
+// BlobSink is optionally implemented by sinks that persist metadata (the
+// live Session shares the VM's snapshot and does not need it): RunWithSink
+// delivers each compiled method's blob before any trace chunk that can
+// reference it, mirroring §3.2's dump-before-use ordering.
+type BlobSink interface {
+	AddBlobs(blobs []*meta.CompiledMethod) error
+}
+
+// RunWithSink is Run with streaming export: drained trace bytes leave the
+// collector in chunks of cfg.SinkChunkItems through the sink instead of
+// accumulating until the end. open is called once the VM exists — its
+// snapshot is live and grows as methods are JITed — and must return the
+// sink to use. The returned RunResult carries no Traces (they went through
+// the sink); stats, sideband, snapshot and oracle are as in Run.
+func RunWithSink(prog *bytecode.Program, threads []vm.ThreadSpec, cfg RunConfig,
+	open func(prog *bytecode.Program, snap *meta.Snapshot, ncores int) (TraceSink, error)) (*RunResult, error) {
+
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DisableTracing {
+		return nil, errors.New("jportal: RunWithSink needs tracing enabled")
+	}
+	if err := bytecode.Verify(prog); err != nil {
+		return nil, err
+	}
+	if threads == nil {
+		threads = []vm.ThreadSpec{{Method: prog.Entry}}
+	}
+	m := vm.New(prog, cfg.VM)
+	col := pt.NewCollector(cfg.PT, cfg.VM.Cores)
+	m.Tracer = col
+	var oracle *Oracle
+	if cfg.CollectOracle {
+		oracle = NewOracle(len(threads))
+		m.Listener = oracle
+	}
+
+	sink, err := open(prog, m.Snapshot, cfg.VM.Cores)
+	if err != nil {
+		return nil, err
+	}
+	blobSink, _ := sink.(BlobSink)
+
+	// The collector invokes the sink synchronously on the VM goroutine, so
+	// reading the machine's sideband and snapshot here is race-free.
+	var sinkErr error
+	sbSent, blobsSent := 0, 0
+	deliver := func() {
+		if blobSink != nil {
+			if log := m.Snapshot.ExportedBlobs(); len(log) > blobsSent {
+				if err := blobSink.AddBlobs(log[blobsSent:]); err != nil {
+					sinkErr = err
+					return
+				}
+				blobsSent = len(log)
+			}
+		}
+		if sb := m.Sideband(); len(sb) > sbSent {
+			sink.AddSideband(sb[sbSent:])
+			sbSent = len(sb)
+		}
+		for c, w := range m.SidebandWatermarks() {
+			sink.Watermark(c, w)
+		}
+	}
+	col.SetSink(cfg.SinkChunkItems, func(c int, items []pt.Item) {
+		if sinkErr != nil {
+			return
+		}
+		deliver()
+		if err := sink.Feed(c, items); err != nil {
+			sinkErr = err
+			return
+		}
+		sinkErr = sink.Drain()
+	})
+
+	stats, err := m.Run(threads)
+	if err != nil {
+		return nil, err
+	}
+	col.Finish(m.FinalTSC()) // flushes the ring residue through the sink
+	if sinkErr == nil {
+		deliver() // trailing sideband/blobs after the last chunk
+	}
+	if sinkErr == nil {
+		sinkErr = sink.Drain()
+	}
+	if sinkErr != nil {
+		return nil, fmt.Errorf("jportal: trace sink: %w", sinkErr)
+	}
+	return &RunResult{
+		Stats:    stats,
+		Sideband: m.Sideband(),
+		Snapshot: m.Snapshot,
+		Oracle:   oracle,
+		GenBytes: col.GenBytes,
+	}, nil
+}
+
+// AnalyzeStreamed runs the online phase with a live analysis session as
+// the sink: trace bytes are decoded, stitched and reconstructed as they
+// drain, and whole per-core traces are never materialised. The returned
+// Analysis equals Run + Analyze on the same program and configuration.
+func AnalyzeStreamed(prog *bytecode.Program, threads []vm.ThreadSpec, rcfg RunConfig, pcfg core.PipelineConfig) (*RunResult, *Analysis, error) {
+	var sess *Session
+	run, err := RunWithSink(prog, threads, rcfg,
+		func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (TraceSink, error) {
+			var err error
+			sess, err = OpenSession(p, snap, ncores, pcfg)
+			return sess, err
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	an, err := sess.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return run, an, nil
+}

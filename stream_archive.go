@@ -1,0 +1,553 @@
+package jportal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/core"
+	"jportal/internal/meta"
+	"jportal/internal/pt"
+	"jportal/internal/vm"
+)
+
+// The chunked archive is the streaming counterpart of SaveRun: instead of
+// four complete artefacts written after the run, everything goes into one
+// append-only stream.jpt next to program.gob, in the order the online phase
+// produced it. That makes the archive tail-followable — an offline analyzer
+// (jportal stream -follow) can decode it while the collecting process is
+// still appending — and it preserves §3.2's dump-before-use discipline on
+// disk: a blob record always precedes the first chunk whose trace bytes
+// reference it.
+//
+// stream.jpt layout: the magic, a u32 core count, then tagged records
+// (lengths and integers little-endian):
+//
+//	0x01 snapshot   u32 len, WriteSnapshot bytes   (once, first record)
+//	0x02 blob       u32 len, WriteBlob bytes       (incremental metadata)
+//	0x03 sideband   u64 TSC, i32 core, i32 thread  (one switch record)
+//	0x04 chunk      u32 core, u32 len, AppendItem-framed trace items
+//	0x05 watermark  u32 core, u64 mark
+//	0x06 seal       (no payload; input is complete)
+//
+// A reader that hits the end of the file before a complete record sees
+// ErrStreamPending rather than a decode error: the writer only ever
+// flushes whole records, so a short tail means "not written yet", never
+// corruption.
+
+var streamMagic = [8]byte{'J', 'P', 'S', 'T', 'R', 'M', '2', '\n'}
+
+const (
+	streamFile = "stream.jpt"
+
+	recSnapshot  byte = 0x01
+	recBlob      byte = 0x02
+	recSideband  byte = 0x03
+	recChunk     byte = 0x04
+	recWatermark byte = 0x05
+	recSeal      byte = 0x06
+)
+
+// ErrStreamPending is returned by StreamArchiveReader.Next when the archive
+// ends mid-record or before a seal: the writer has not (yet) appended the
+// next record. Followers wait and retry; one-shot readers treat it as a
+// truncated archive.
+var ErrStreamPending = errors.New("jportal: stream archive has no complete next record (still being written?)")
+
+// StreamArchiveWriter appends a run's outputs to a chunked archive as they
+// happen. It implements TraceSink and BlobSink, so it plugs directly into
+// RunWithSink. Methods record the first error and turn later calls into
+// no-ops; Drain and Seal report it.
+type StreamArchiveWriter struct {
+	f     *os.File
+	bw    *bufio.Writer
+	err   error
+	marks []uint64 // last watermark written per core, to skip no-ops
+	tmp   []byte
+}
+
+// CreateStreamArchive creates dir as a chunked run archive: header,
+// program, and a stream.jpt opened with the initial snapshot record (the
+// template table and stubs exist before any thread runs; compiled methods
+// arrive later as blob records).
+func CreateStreamArchive(dir string, prog *bytecode.Program, snap *meta.Snapshot, ncores int) (*StreamArchiveWriter, error) {
+	if ncores <= 0 {
+		return nil, fmt.Errorf("jportal: stream archive needs at least one core, got %d", ncores)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeArchiveMeta(dir, LayoutChunked); err != nil {
+		return nil, err
+	}
+	if err := writeGob(filepath.Join(dir, "program.gob"), prog); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, streamFile))
+	if err != nil {
+		return nil, err
+	}
+	w := &StreamArchiveWriter{f: f, bw: bufio.NewWriter(f), marks: make([]uint64, ncores)}
+	w.bw.Write(streamMagic[:])
+	w.writeU32(uint32(ncores))
+	var buf bytes.Buffer
+	if err := meta.WriteSnapshot(&buf, snap); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.bw.WriteByte(recSnapshot)
+	w.writeU32(uint32(buf.Len()))
+	w.bw.Write(buf.Bytes())
+	if err := w.flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *StreamArchiveWriter) writeU32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.bw.Write(b[:])
+}
+
+func (w *StreamArchiveWriter) writeU64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.bw.Write(b[:])
+}
+
+// AddBlobs appends one blob record per exported method (BlobSink).
+func (w *StreamArchiveWriter) AddBlobs(blobs []*meta.CompiledMethod) error {
+	if w.err != nil {
+		return w.err
+	}
+	var buf bytes.Buffer
+	for _, c := range blobs {
+		buf.Reset()
+		if err := meta.WriteBlob(&buf, c); err != nil {
+			w.err = err
+			return err
+		}
+		w.bw.WriteByte(recBlob)
+		w.writeU32(uint32(buf.Len()))
+		w.bw.Write(buf.Bytes())
+	}
+	return nil
+}
+
+// AddSideband appends one sideband record per switch record (TraceSink).
+func (w *StreamArchiveWriter) AddSideband(recs []vm.SwitchRecord) {
+	if w.err != nil {
+		return
+	}
+	for i := range recs {
+		w.bw.WriteByte(recSideband)
+		w.writeU64(recs[i].TSC)
+		w.writeU32(uint32(int32(recs[i].Core)))
+		w.writeU32(uint32(int32(recs[i].Thread)))
+	}
+}
+
+// Watermark appends a watermark record when it moves the core's mark
+// forward (TraceSink).
+func (w *StreamArchiveWriter) Watermark(core int, mark uint64) {
+	if w.err != nil || core < 0 || core >= len(w.marks) || mark <= w.marks[core] {
+		return
+	}
+	w.marks[core] = mark
+	w.bw.WriteByte(recWatermark)
+	w.writeU32(uint32(core))
+	w.writeU64(mark)
+}
+
+// Feed appends one chunk record framing the items with pt.AppendItem
+// (TraceSink).
+func (w *StreamArchiveWriter) Feed(core int, items []pt.Item) error {
+	if w.err != nil {
+		return w.err
+	}
+	if core < 0 || core >= len(w.marks) {
+		w.err = fmt.Errorf("jportal: stream archive chunk for core %d of %d", core, len(w.marks))
+		return w.err
+	}
+	w.tmp = w.tmp[:0]
+	for i := range items {
+		w.tmp = pt.AppendItem(w.tmp, &items[i])
+	}
+	w.bw.WriteByte(recChunk)
+	w.writeU32(uint32(core))
+	w.writeU32(uint32(len(w.tmp)))
+	w.bw.Write(w.tmp)
+	return nil
+}
+
+// flush pushes buffered whole records to the file so followers can see
+// them.
+func (w *StreamArchiveWriter) flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// Drain flushes to disk (TraceSink): after it returns, a follower reads
+// every record appended so far.
+func (w *StreamArchiveWriter) Drain() error { return w.flush() }
+
+// Seal appends the seal record, flushes and closes the file. The archive is
+// complete: readers reach the seal instead of ErrStreamPending, and LoadRun
+// accepts the directory.
+func (w *StreamArchiveWriter) Seal() error {
+	if w.err == nil {
+		w.bw.WriteByte(recSeal)
+		w.flush()
+	}
+	if cerr := w.f.Close(); w.err == nil {
+		w.err = cerr
+	}
+	return w.err
+}
+
+// StreamEventKind discriminates StreamEvent.
+type StreamEventKind int
+
+const (
+	EvSnapshot StreamEventKind = iota
+	EvBlob
+	EvSideband
+	EvChunk
+	EvWatermark
+	EvSeal
+)
+
+// StreamEvent is one decoded record of a chunked archive.
+type StreamEvent struct {
+	Kind     StreamEventKind
+	Snapshot *meta.Snapshot       // EvSnapshot
+	Blob     *meta.CompiledMethod // EvBlob
+	Rec      vm.SwitchRecord      // EvSideband
+	Core     int                  // EvChunk, EvWatermark
+	Items    []pt.Item            // EvChunk
+	Mark     uint64               // EvWatermark
+}
+
+// StreamArchiveReader reads a chunked archive record by record, including
+// one that is still being written: Next returns ErrStreamPending at an
+// incomplete tail (retry after the writer appends more) and io.EOF once the
+// seal record has been consumed.
+type StreamArchiveReader struct {
+	f      *os.File
+	prog   *bytecode.Program
+	ncores int
+	buf    []byte // read-ahead not yet consumed
+	off    int64  // file offset of the first byte past buf
+	sealed bool
+}
+
+// OpenStreamArchive opens dir (which must be a chunked-layout archive) and
+// reads the fixed header. The initial snapshot record arrives as the first
+// Next event.
+func OpenStreamArchive(dir string) (*StreamArchiveReader, error) {
+	_, layout, err := readArchiveMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	if layout != LayoutChunked {
+		return nil, fmt.Errorf("jportal: %s is a %q archive, not a chunked stream", dir, layout)
+	}
+	var prog bytecode.Program
+	if err := readGob(filepath.Join(dir, "program.gob"), &prog); err != nil {
+		return nil, err
+	}
+	if err := bytecode.Verify(&prog); err != nil {
+		return nil, fmt.Errorf("jportal: archived program invalid: %w", err)
+	}
+	f, err := os.Open(filepath.Join(dir, streamFile))
+	if err != nil {
+		return nil, err
+	}
+	r := &StreamArchiveReader{f: f, prog: &prog}
+	hdr, err := r.need(12)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jportal: %s: truncated stream header", dir)
+	}
+	if [8]byte(hdr[:8]) != streamMagic {
+		f.Close()
+		return nil, fmt.Errorf("jportal: %s: bad stream magic %q", dir, hdr[:8])
+	}
+	r.ncores = int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if r.ncores <= 0 {
+		f.Close()
+		return nil, fmt.Errorf("jportal: %s: stream declares %d cores", dir, r.ncores)
+	}
+	r.consume(12)
+	return r, nil
+}
+
+// Program returns the archived program.
+func (r *StreamArchiveReader) Program() *bytecode.Program { return r.prog }
+
+// NumCores returns the stream's core count.
+func (r *StreamArchiveReader) NumCores() int { return r.ncores }
+
+// Close closes the underlying file.
+func (r *StreamArchiveReader) Close() error { return r.f.Close() }
+
+// need returns at least n unconsumed bytes, reading more from the file if
+// available. ErrStreamPending means the file currently ends before byte n;
+// nothing is consumed, so the caller can retry after the writer appends.
+func (r *StreamArchiveReader) need(n int) ([]byte, error) {
+	for len(r.buf) < n {
+		chunk := make([]byte, max(4096, n-len(r.buf)))
+		m, err := r.f.ReadAt(chunk, r.off)
+		r.buf = append(r.buf, chunk[:m]...)
+		r.off += int64(m)
+		if err == io.EOF {
+			if len(r.buf) < n {
+				return nil, ErrStreamPending
+			}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return r.buf[:n], nil
+}
+
+// consume drops n bytes from the front of the read-ahead.
+func (r *StreamArchiveReader) consume(n int) {
+	r.buf = r.buf[:copy(r.buf, r.buf[n:])]
+}
+
+// Next decodes the next record. It returns ErrStreamPending at an
+// incomplete (unsealed) tail and io.EOF after the seal.
+func (r *StreamArchiveReader) Next() (*StreamEvent, error) {
+	if r.sealed {
+		return nil, io.EOF
+	}
+	tag, err := r.need(1)
+	if err != nil {
+		return nil, err
+	}
+	switch tag[0] {
+	case recSnapshot, recBlob:
+		hdr, err := r.need(5)
+		if err != nil {
+			return nil, err
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[1:5]))
+		body, err := r.need(5 + n)
+		if err != nil {
+			return nil, err
+		}
+		payload := body[5 : 5+n]
+		var ev StreamEvent
+		if tag[0] == recSnapshot {
+			snap, err := meta.ReadSnapshot(bytes.NewReader(payload))
+			if err != nil {
+				return nil, err
+			}
+			ev = StreamEvent{Kind: EvSnapshot, Snapshot: snap}
+		} else {
+			blob, err := meta.ReadBlob(bytes.NewReader(payload))
+			if err != nil {
+				return nil, err
+			}
+			ev = StreamEvent{Kind: EvBlob, Blob: blob}
+		}
+		r.consume(5 + n)
+		return &ev, nil
+	case recSideband:
+		body, err := r.need(17)
+		if err != nil {
+			return nil, err
+		}
+		ev := StreamEvent{Kind: EvSideband, Rec: vm.SwitchRecord{
+			TSC:    binary.LittleEndian.Uint64(body[1:9]),
+			Core:   int(int32(binary.LittleEndian.Uint32(body[9:13]))),
+			Thread: int(int32(binary.LittleEndian.Uint32(body[13:17]))),
+		}}
+		r.consume(17)
+		return &ev, nil
+	case recChunk:
+		hdr, err := r.need(9)
+		if err != nil {
+			return nil, err
+		}
+		core := int(binary.LittleEndian.Uint32(hdr[1:5]))
+		n := int(binary.LittleEndian.Uint32(hdr[5:9]))
+		body, err := r.need(9 + n)
+		if err != nil {
+			return nil, err
+		}
+		payload := body[9 : 9+n]
+		var items []pt.Item
+		for len(payload) > 0 {
+			it, used, err := pt.DecodeItem(payload)
+			if err != nil {
+				return nil, fmt.Errorf("jportal: stream chunk for core %d: %w", core, err)
+			}
+			items = append(items, it)
+			payload = payload[used:]
+		}
+		ev := StreamEvent{Kind: EvChunk, Core: core, Items: items}
+		r.consume(9 + n)
+		return &ev, nil
+	case recWatermark:
+		body, err := r.need(13)
+		if err != nil {
+			return nil, err
+		}
+		ev := StreamEvent{
+			Kind: EvWatermark,
+			Core: int(binary.LittleEndian.Uint32(body[1:5])),
+			Mark: binary.LittleEndian.Uint64(body[5:13]),
+		}
+		r.consume(13)
+		return &ev, nil
+	case recSeal:
+		r.consume(1)
+		r.sealed = true
+		return &StreamEvent{Kind: EvSeal}, nil
+	}
+	return nil, fmt.Errorf("jportal: stream archive: unknown record tag %#x", tag[0])
+}
+
+// AnalyzeStreamArchive replays a chunked archive through a streaming
+// Session. With follow true it tails an archive still being written,
+// sleeping poll between attempts until the seal arrives; otherwise an
+// unsealed archive is an error. The result is byte-identical to batch
+// Analyze over the same run.
+func AnalyzeStreamArchive(dir string, cfg core.PipelineConfig, follow bool, poll time.Duration) (*bytecode.Program, *Analysis, error) {
+	r, err := OpenStreamArchive(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.Close()
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	var sess *Session
+	for {
+		ev, err := r.Next()
+		if err == ErrStreamPending {
+			if !follow {
+				return nil, nil, fmt.Errorf("jportal: %s is unsealed (writer still running? use follow mode)", dir)
+			}
+			time.Sleep(poll)
+			continue
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		switch ev.Kind {
+		case EvSnapshot:
+			if sess != nil {
+				return nil, nil, fmt.Errorf("jportal: %s: duplicate snapshot record", dir)
+			}
+			sess, err = OpenSession(r.Program(), ev.Snapshot, r.NumCores(), cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+		case EvBlob:
+			if sess == nil {
+				return nil, nil, fmt.Errorf("jportal: %s: blob record before snapshot", dir)
+			}
+			sess.snap.Export(ev.Blob)
+		case EvSideband:
+			if sess == nil {
+				return nil, nil, fmt.Errorf("jportal: %s: sideband record before snapshot", dir)
+			}
+			sess.AddSideband([]vm.SwitchRecord{ev.Rec})
+		case EvWatermark:
+			if sess == nil {
+				return nil, nil, fmt.Errorf("jportal: %s: watermark record before snapshot", dir)
+			}
+			sess.Watermark(ev.Core, ev.Mark)
+		case EvChunk:
+			if sess == nil {
+				return nil, nil, fmt.Errorf("jportal: %s: chunk record before snapshot", dir)
+			}
+			if err := sess.Feed(ev.Core, ev.Items); err != nil {
+				return nil, nil, err
+			}
+			if err := sess.Drain(); err != nil {
+				return nil, nil, err
+			}
+		case EvSeal:
+			// loop exits via io.EOF on the next Next
+		}
+	}
+	if sess == nil {
+		return nil, nil, fmt.Errorf("jportal: %s: stream has no snapshot record", dir)
+	}
+	an, err := sess.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Program(), an, nil
+}
+
+// loadChunkedRun materialises a sealed chunked archive as a batch
+// RunResult, so every batch consumer (jportal decode, experiments) accepts
+// either layout.
+func loadChunkedRun(dir string) (*bytecode.Program, *RunResult, error) {
+	r, err := OpenStreamArchive(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.Close()
+	var snap *meta.Snapshot
+	var sideband []vm.SwitchRecord
+	items := make([][]pt.Item, r.NumCores())
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err == ErrStreamPending {
+			return nil, nil, fmt.Errorf("jportal: %s is an unsealed chunked archive; use jportal stream -follow", dir)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		switch ev.Kind {
+		case EvSnapshot:
+			snap = ev.Snapshot
+		case EvBlob:
+			if snap == nil {
+				return nil, nil, fmt.Errorf("jportal: %s: blob record before snapshot", dir)
+			}
+			snap.Export(ev.Blob)
+		case EvSideband:
+			sideband = append(sideband, ev.Rec)
+		case EvChunk:
+			if ev.Core < 0 || ev.Core >= len(items) {
+				return nil, nil, fmt.Errorf("jportal: %s: chunk for core %d of %d", dir, ev.Core, len(items))
+			}
+			items[ev.Core] = append(items[ev.Core], ev.Items...)
+		}
+	}
+	if snap == nil {
+		return nil, nil, fmt.Errorf("jportal: %s: stream has no snapshot record", dir)
+	}
+	traces := make([]pt.CoreTrace, r.NumCores())
+	for c := range traces {
+		traces[c] = pt.CoreTrace{Core: c, Items: items[c]}
+	}
+	return r.Program(), &RunResult{Traces: traces, Sideband: sideband, Snapshot: snap}, nil
+}

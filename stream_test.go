@@ -1,0 +1,499 @@
+package jportal
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/core"
+	"jportal/internal/meta"
+	"jportal/internal/pt"
+	"jportal/internal/vm"
+	"jportal/internal/workload"
+)
+
+// equalAnalyses asserts byte-identical reconstructions: steps, hole fills,
+// segment flows and decode statistics per thread (times are wall-clock and
+// excluded).
+func equalAnalyses(t *testing.T, label string, want, got *Analysis) {
+	t.Helper()
+	if len(want.Threads) != len(got.Threads) {
+		t.Fatalf("%s: thread count %d vs %d", label, len(want.Threads), len(got.Threads))
+	}
+	for i := range want.Threads {
+		a, b := want.Threads[i], got.Threads[i]
+		if a.Thread != b.Thread {
+			t.Fatalf("%s: thread order diverged at %d (%d vs %d)", label, i, a.Thread, b.Thread)
+		}
+		if !reflect.DeepEqual(a.Steps, b.Steps) {
+			t.Errorf("%s: thread %d steps diverge (%d vs %d)", label, a.Thread, len(a.Steps), len(b.Steps))
+		}
+		if !reflect.DeepEqual(a.Fills, b.Fills) {
+			t.Errorf("%s: thread %d fills diverge", label, a.Thread)
+		}
+		if len(a.Flows) != len(b.Flows) {
+			t.Errorf("%s: thread %d flow count %d vs %d", label, a.Thread, len(a.Flows), len(b.Flows))
+		} else {
+			for j := range a.Flows {
+				if !reflect.DeepEqual(a.Flows[j].Nodes, b.Flows[j].Nodes) ||
+					a.Flows[j].Skipped != b.Flows[j].Skipped {
+					t.Errorf("%s: thread %d flow %d diverges", label, a.Thread, j)
+					break
+				}
+			}
+		}
+		if a.Decode != b.Decode {
+			t.Errorf("%s: thread %d decode stats diverge (%+v vs %+v)", label, a.Thread, a.Decode, b.Decode)
+		}
+		if a.RecoveredSteps != b.RecoveredSteps || a.DecodedSteps != b.DecodedSteps {
+			t.Errorf("%s: thread %d step counts diverge", label, a.Thread)
+		}
+	}
+}
+
+// sessionAnalyze replays a finished run through a Session incrementally:
+// sideband first, watermarks to infinity, then round-robin chunks of the
+// per-core traces with a Drain after every round.
+func sessionAnalyze(t *testing.T, s *workload.Subject, run *RunResult, cfg core.PipelineConfig, chunk int) *Analysis {
+	t.Helper()
+	ncores := 1
+	for i := range run.Traces {
+		if n := run.Traces[i].Core + 1; n > ncores {
+			ncores = n
+		}
+	}
+	sess, err := OpenSession(s.Program, run.Snapshot, ncores, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddSideband(run.Sideband)
+	for c := 0; c < ncores; c++ {
+		sess.Watermark(c, math.MaxUint64)
+	}
+	offs := make([]int, len(run.Traces))
+	for {
+		progress := false
+		for i := range run.Traces {
+			items := run.Traces[i].Items
+			if offs[i] >= len(items) {
+				continue
+			}
+			end := offs[i] + chunk
+			if end > len(items) {
+				end = len(items)
+			}
+			if err := sess.Feed(run.Traces[i].Core, items[offs[i]:end]); err != nil {
+				t.Fatal(err)
+			}
+			offs[i] = end
+			progress = true
+		}
+		if !progress {
+			break
+		}
+		if err := sess.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	an, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything was final under the infinite watermarks, so the stitcher
+	// should have emitted incrementally rather than hoarding until Close.
+	total := 0
+	for i := range run.Traces {
+		total += len(run.Traces[i].Items)
+	}
+	if chunk < total/4 && total > 1000 && sess.PeakBufferedItems() >= total {
+		t.Errorf("chunk %d: peak buffered %d items, never emitted before Close (total %d)",
+			chunk, sess.PeakBufferedItems(), total)
+	}
+	return an
+}
+
+// TestStreamingMatchesBatchAllSubjects is the golden equivalence check of
+// the streaming refactor: for every benchmark subject, the incremental
+// Session must reproduce the batch Analyze byte-for-byte at several chunk
+// sizes, worker counts and reconstruction-wave caps. The buffer is small
+// enough that runs lose data, so the §5 recovery path is covered too.
+func TestStreamingMatchesBatchAllSubjects(t *testing.T) {
+	variants := []struct {
+		name    string
+		chunk   int
+		workers int
+		pending int
+	}{
+		{"chunk7-serial", 7, 1, 0},
+		{"chunk256-parallel", 256, 3, 0},
+		{"chunk64-waves", 64, 3, 4},
+		{"chunk1M-serial", 1 << 20, 1, 0},
+	}
+	for _, name := range workload.Names() {
+		s := workload.MustLoad(name, 0.25)
+		rcfg := DefaultRunConfig()
+		rcfg.CollectOracle = false
+		rcfg.PT.BufBytes = 16 << 10
+		run, err := Run(s.Program, s.Threads, rcfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		batch, err := Analyze(s.Program, run, core.DefaultPipelineConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, v := range variants {
+			cfg := core.DefaultPipelineConfig()
+			cfg.Workers = v.workers
+			cfg.MaxPendingSegments = v.pending
+			got := sessionAnalyze(t, s, run, cfg, v.chunk)
+			equalAnalyses(t, name+"/"+v.name, batch, got)
+		}
+	}
+}
+
+// TestAnalyzeStreamedMatchesBatch checks the fully live path: collector →
+// sink → Session with real (finite) watermarks, decoding against the
+// growing snapshot, must equal a separate batch run (VM runs are
+// deterministic).
+func TestAnalyzeStreamedMatchesBatch(t *testing.T) {
+	s := workload.MustLoad("h2", 0.5)
+	rcfg := DefaultRunConfig()
+	rcfg.CollectOracle = false
+	rcfg.PT.BufBytes = 16 << 10
+	rcfg.SinkChunkItems = 128
+
+	run, err := Run(s.Program, s.Threads, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Analyze(s.Program, run, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := workload.MustLoad("h2", 0.5)
+	_, streamed, err := AnalyzeStreamed(s2.Program, s2.Threads, rcfg, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalAnalyses(t, "live", batch, streamed)
+}
+
+// TestStreamArchiveRoundTrip collects a run into a chunked archive and
+// checks that both consumers agree with each other and with a live batch
+// run: AnalyzeStreamArchive (incremental replay) and LoadRun+Analyze (the
+// batch materialisation of the same records).
+func TestStreamArchiveRoundTrip(t *testing.T) {
+	s := workload.MustLoad("fop", 0.3)
+	rcfg := DefaultRunConfig()
+	rcfg.CollectOracle = false
+	rcfg.PT.BufBytes = 16 << 10
+	rcfg.SinkChunkItems = 64
+
+	dir := filepath.Join(t.TempDir(), "chunked")
+	var w *StreamArchiveWriter
+	_, err := RunWithSink(s.Program, s.Threads, rcfg,
+		func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (TraceSink, error) {
+			var err error
+			w, err = CreateStreamArchive(dir, p, snap, ncores)
+			return w, err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unsealed: one-shot readers must refuse with a clear error.
+	if _, _, err := AnalyzeStreamArchive(dir, core.DefaultPipelineConfig(), false, 0); err == nil {
+		t.Fatal("analyzed an unsealed archive without follow")
+	}
+	if _, _, err := LoadRun(dir); err == nil {
+		t.Fatal("batch-loaded an unsealed archive")
+	}
+
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	prog2, run2, err := LoadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBatch, err := Analyze(prog2, run2, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fromStream, err := AnalyzeStreamArchive(dir, core.DefaultPipelineConfig(), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalAnalyses(t, "archive stream vs archive batch", fromBatch, fromStream)
+
+	// And both equal a live batch run of the same subject (determinism).
+	s2 := workload.MustLoad("fop", 0.3)
+	run3, err := Run(s2.Program, s2.Threads, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Analyze(s2.Program, run3, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalAnalyses(t, "archive vs live", live, fromStream)
+}
+
+// TestStreamArchiveFollow tails an archive whose seal arrives only after
+// the follower has caught up with the flushed records.
+func TestStreamArchiveFollow(t *testing.T) {
+	s := workload.MustLoad("luindex", 0.25)
+	rcfg := DefaultRunConfig()
+	rcfg.CollectOracle = false
+	rcfg.SinkChunkItems = 64
+
+	dir := filepath.Join(t.TempDir(), "chunked")
+	var w *StreamArchiveWriter
+	if _, err := RunWithSink(s.Program, s.Threads, rcfg,
+		func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (TraceSink, error) {
+			var err error
+			w, err = CreateStreamArchive(dir, p, snap, ncores)
+			return w, err
+		}); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		an  *Analysis
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		_, an, err := AnalyzeStreamArchive(dir, core.DefaultPipelineConfig(), true, time.Millisecond)
+		done <- result{an, err}
+	}()
+	// Let the follower reach the pending tail, then complete the archive.
+	time.Sleep(20 * time.Millisecond)
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+
+	prog2, run2, err := LoadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Analyze(prog2, run2, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalAnalyses(t, "follow", batch, r.an)
+}
+
+// TestArchiveVersioning covers the header satellite: legacy (headerless)
+// archives still load, future versions and non-archives fail with clear
+// errors, and trace files sort numerically by core.
+func TestArchiveVersioning(t *testing.T) {
+	s := workload.MustLoad("fop", 0.2)
+	rcfg := DefaultRunConfig()
+	rcfg.CollectOracle = false
+	run, err := Run(s.Program, s.Threads, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "arch")
+	if err := SaveRun(dir, s.Program, run); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadRun(dir); err != nil {
+		t.Fatalf("versioned archive: %v", err)
+	}
+
+	// Legacy: archives written before the header existed load as v1 batch.
+	if err := os.Remove(filepath.Join(dir, archiveMetaFile)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadRun(dir); err != nil {
+		t.Fatalf("legacy archive: %v", err)
+	}
+
+	// Future version: refuse with a version message, not a decode error.
+	if err := os.WriteFile(filepath.Join(dir, archiveMetaFile),
+		[]byte(archiveMagicLine+"\nversion: 99\nlayout: batch\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadRun(dir); err == nil {
+		t.Fatal("loaded a future-version archive")
+	}
+
+	// Unknown layout.
+	if err := os.WriteFile(filepath.Join(dir, archiveMetaFile),
+		[]byte(archiveMagicLine+"\nversion: 2\nlayout: exotic\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadRun(dir); err == nil {
+		t.Fatal("loaded an unknown-layout archive")
+	}
+
+	// Not an archive at all: empty directory.
+	if _, _, err := LoadRun(t.TempDir()); err == nil {
+		t.Fatal("loaded an empty directory as an archive")
+	}
+
+	// Malformed header.
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, archiveMetaFile), []byte("junk\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadRun(bad); err == nil {
+		t.Fatal("loaded a malformed header")
+	}
+}
+
+// TestLoadRunSortsCoresNumerically guards the lexical-glob bug: trace.core10
+// sorted before trace.core2 would violate Analyze's ascending-core check.
+func TestLoadRunSortsCoresNumerically(t *testing.T) {
+	s := workload.MustLoad("fop", 0.15)
+	rcfg := DefaultRunConfig()
+	rcfg.CollectOracle = false
+	rcfg.VM.Cores = 12
+	run, err := Run(s.Program, s.Threads, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Traces) < 11 {
+		t.Fatalf("expected 12 core traces, got %d", len(run.Traces))
+	}
+	dir := filepath.Join(t.TempDir(), "arch")
+	if err := SaveRun(dir, s.Program, run); err != nil {
+		t.Fatal(err)
+	}
+	_, run2, err := LoadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range run2.Traces {
+		if run2.Traces[i].Core != i {
+			t.Fatalf("trace %d has core %d: not sorted numerically", i, run2.Traces[i].Core)
+		}
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	s := workload.MustLoad("fop", 0.1)
+	snap := meta.NewSnapshot(meta.NewTemplateTable())
+	if _, err := OpenSession(s.Program, nil, 1, core.DefaultPipelineConfig()); err == nil {
+		t.Error("opened a session without a snapshot")
+	}
+	if _, err := OpenSession(s.Program, snap, 0, core.DefaultPipelineConfig()); err == nil {
+		t.Error("opened a session with zero cores")
+	}
+	bad := core.DefaultPipelineConfig()
+	bad.Workers = -1
+	if _, err := OpenSession(s.Program, snap, 1, bad); err == nil {
+		t.Error("opened a session with an invalid pipeline config")
+	}
+
+	sess, err := OpenSession(s.Program, snap, 2, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Feed(5, nil); err == nil {
+		t.Error("fed an out-of-range core")
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Feed(0, []pt.Item{{}}); err == nil {
+		t.Error("fed a closed session")
+	}
+	if err := sess.Drain(); err == nil {
+		t.Error("drained a closed session")
+	}
+
+	rcfg := DefaultRunConfig()
+	rcfg.VM.Cores = 0
+	if _, err := Run(s.Program, s.Threads, rcfg); err == nil {
+		t.Error("ran with zero cores")
+	}
+	rcfg = DefaultRunConfig()
+	rcfg.SinkChunkItems = -1
+	if _, err := Run(s.Program, s.Threads, rcfg); err == nil {
+		t.Error("ran with a negative sink chunk size")
+	}
+	rcfg = DefaultRunConfig()
+	rcfg.DisableTracing = true
+	if _, err := RunWithSink(s.Program, s.Threads, rcfg,
+		func(*bytecode.Program, *meta.Snapshot, int) (TraceSink, error) { return nil, nil }); err == nil {
+		t.Error("RunWithSink accepted disabled tracing")
+	}
+}
+
+func TestErrStreamPendingIsSentinel(t *testing.T) {
+	if !errors.Is(ErrStreamPending, ErrStreamPending) {
+		t.Fatal("sentinel mismatch")
+	}
+	_ = vm.SwitchRecord{}
+}
+
+// BenchmarkStreamingMemory reports the streaming pipeline's peak in-flight
+// trace buffering against the total trace volume a batch analysis would
+// hold at once. Run with -benchtime=1x for a smoke reading.
+func BenchmarkStreamingMemory(b *testing.B) {
+	s := workload.MustLoad("h2", 0.5)
+	rcfg := DefaultRunConfig()
+	rcfg.CollectOracle = false
+	rcfg.PT.BufBytes = 16 << 10
+	rcfg.SinkChunkItems = 128
+	pcfg := core.DefaultPipelineConfig()
+	pcfg.MaxPendingSegments = 8
+
+	var peak, total float64
+	for i := 0; i < b.N; i++ {
+		var sess *Session
+		var fed int
+		_, err := RunWithSink(s.Program, s.Threads, rcfg,
+			func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (TraceSink, error) {
+				var err error
+				sess, err = OpenSession(p, snap, ncores, pcfg)
+				if err != nil {
+					return nil, err
+				}
+				return countingSink{sess, &fed}, nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Close(); err != nil {
+			b.Fatal(err)
+		}
+		peak = float64(sess.PeakBufferedItems())
+		total = float64(fed)
+	}
+	b.ReportMetric(peak, "peak-items")
+	b.ReportMetric(total, "total-items")
+	if total > 0 {
+		b.ReportMetric(peak/total, "peak/total")
+	}
+}
+
+// countingSink forwards to a Session while tallying fed items (benchmark
+// instrumentation).
+type countingSink struct {
+	s   *Session
+	fed *int
+}
+
+func (c countingSink) AddSideband(recs []vm.SwitchRecord) { c.s.AddSideband(recs) }
+func (c countingSink) Watermark(core int, w uint64)       { c.s.Watermark(core, w) }
+func (c countingSink) Feed(core int, items []pt.Item) error {
+	*c.fed += len(items)
+	return c.s.Feed(core, items)
+}
+func (c countingSink) Drain() error { return c.s.Drain() }
