@@ -30,6 +30,30 @@ go test -race ./internal/core/... ./internal/trace/... ./internal/conc/... ./int
 echo "==> go test -race (root streaming tests)"
 go test -race -run 'TestStream|TestAnalyzeStreamed|TestSession|TestAnalyzeDeterministicAcrossWorkers' .
 
+echo "==> go test -race (ingest service)"
+go test -race ./internal/ingest/...
+
+echo "==> go test -race (root ingest e2e)"
+go test -race -run 'TestIngest' .
+
+echo "==> serve/push loopback smoke"
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+go build -o "$SMOKE/jportal" ./cmd/jportal
+"$SMOKE/jportal" collect -chunked -scale 0.5 -out "$SMOKE/local" fop >/dev/null
+"$SMOKE/jportal" serve -listen 127.0.0.1:7901 -data "$SMOKE/ingest" >"$SMOKE/serve.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    grep -q 'listening on' "$SMOKE/serve.log" && break
+    sleep 0.1
+done
+"$SMOKE/jportal" push -addr 127.0.0.1:7901 -id smoke "$SMOKE/local" >/dev/null
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+cmp "$SMOKE/local/stream.jpt" "$SMOKE/ingest/smoke/stream.jpt"
+cmp "$SMOKE/local/program.gob" "$SMOKE/ingest/smoke/program.gob"
+echo "    loopback archive byte-identical"
+
 echo "==> benchmark smoke (one iteration)"
 go test -bench BenchmarkStreamingMemory -benchtime=1x -run '^$' .
 

@@ -10,6 +10,8 @@
 //	jportal analyze  <subject|file.jasm>  run + offline reconstruction + accuracy
 //	jportal report   <subject|file.jasm>  run + reconstruction + client profiles
 //	jportal stream   <dir>                incremental analysis of a chunked archive
+//	jportal serve                         networked trace-ingest server
+//	jportal push     <dir>                upload a chunked archive to a server
 //	jportal disasm   <file.jasm>          assemble and disassemble a program
 //	jportal exp      <table1|table2|table3|table4|table5|figure7|all>
 //
@@ -20,11 +22,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"jportal"
@@ -61,6 +67,10 @@ func main() {
 		err = cmdDecode(args)
 	case "stream":
 		err = cmdStream(args)
+	case "serve":
+		err = cmdServe(args)
+	case "push":
+		err = cmdPush(args)
 	case "disasm":
 		err = cmdDisasm(args)
 	case "exp":
@@ -90,7 +100,14 @@ commands:
                                (-chunked streams the archive as the run progresses)
   decode  <dir>                offline phase only: analyze a collected archive
   stream  <dir>                incremental analysis of a chunked archive
-                               (-follow tails an archive still being written)
+                               (-follow tails an archive still being written,
+                                -poll sets the follow-mode poll interval)
+  serve                        trace-ingest server: agents push archives over TCP
+                               (-listen, -http metrics sidecar, -data, -queue,
+                                -policy block|nack, -drain shutdown budget)
+  push    <dir>                upload a chunked archive to a jportal serve
+                               (-addr, -id session, resumable; -live runs a
+                                subject and streams its records as they appear)
   disasm  <file.jasm>          assemble and pretty-print a program
   exp     <experiment>         regenerate a paper table/figure
                                (table1 table2 table3 table4 table5 figure7 paths all)
@@ -385,9 +402,17 @@ func cmdStream(args []string) error {
 	}
 	pcfg := core.DefaultPipelineConfig()
 	pcfg.Workers = *workers
-	prog, an, err := jportal.AnalyzeStreamArchive(fs.Arg(0), pcfg, *follow, *poll)
-	if err != nil {
+	// In follow mode a SIGINT stops the tail cleanly: the analysis of
+	// everything read so far is flushed below instead of being discarded.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	prog, an, err := jportal.AnalyzeStreamArchiveContext(ctx, fs.Arg(0), pcfg, *follow, *poll)
+	interrupted := err != nil && errors.Is(err, context.Canceled) && an != nil
+	if err != nil && !interrupted {
 		return err
+	}
+	if interrupted {
+		fmt.Println("stream: interrupted; partial analysis of the records read so far:")
 	}
 	for _, th := range an.Threads {
 		fmt.Printf("thread %d: segments=%d tokens=%d steps=%d (recovered %d)\n",

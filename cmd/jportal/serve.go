@@ -1,0 +1,177 @@
+// The networked trace-ingest commands: `jportal serve` runs the ingest
+// server that many collection agents push archives to, and `jportal push`
+// is such an agent — it replays a local chunked archive (or streams a
+// live run with -live) to a server over the frame protocol with
+// retry/backoff and resume-from-last-ACK.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"jportal"
+	"jportal/internal/bytecode"
+	"jportal/internal/experiments"
+	"jportal/internal/ingest"
+	"jportal/internal/ingest/client"
+	"jportal/internal/meta"
+)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7071", "ingest listen address")
+	httpAddr := fs.String("http", "", "observability sidecar address (/healthz, /metrics); empty = disabled")
+	data := fs.String("data", "ingest-data", "directory holding one chunked archive per session")
+	queue := fs.Int("queue", 64, "per-session inbound queue depth (frames)")
+	policy := fs.String("policy", "block", "backpressure policy when a session queue is full: block | nack")
+	drain := fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes no positional arguments")
+	}
+
+	srv, err := ingest.NewServer(ingest.Config{
+		DataDir:    *data,
+		QueueDepth: *queue,
+		Policy:     ingest.Policy(*policy),
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "serve: "+format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("jportal serve: listening on %s (data %s, queue %d, policy %s)\n",
+		ln.Addr(), *data, *queue, *policy)
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		httpSrv = &http.Server{Handler: srv.Observability()}
+		go httpSrv.Serve(hln)
+		fmt.Printf("jportal serve: metrics on http://%s/metrics\n", hln.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("jportal serve: %v, draining (budget %s)\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err = srv.Shutdown(ctx)
+		cancel()
+		<-serveErr
+	case err = <-serveErr:
+	}
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	if err != nil {
+		return err
+	}
+	m := srv.Metrics()
+	fmt.Printf("jportal serve: drained (%d sessions, %d chunks, %dKB ingested)\n",
+		m.SessionsTotal.Load(), m.ChunksIngested.Load(), m.BytesIngested.Load()/1024)
+	return nil
+}
+
+func cmdPush(args []string) error {
+	fs := flag.NewFlagSet("push", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7071", "ingest server address")
+	id := fs.String("id", "", "session id (default: archive directory base name / subject name)")
+	chunk := fs.Int("chunk", 0, "max CHUNK frame payload bytes (0 = default)")
+	attempts := fs.Int("attempts", 0, "connect attempts before giving up (0 = default)")
+	live := fs.Bool("live", false, "argument is a subject/.jasm: run it and stream records live")
+	scale := fs.Float64("scale", 1.0, "workload scale (-live)")
+	buf := fs.Int("buf", 128, "paper-label buffer size in MB (-live)")
+	items := fs.Int("items", 0, "export granularity in trace items, as collect -chunk (0 = default, -live)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		if *live {
+			return fmt.Errorf("need a subject or .jasm file")
+		}
+		return fmt.Errorf("need a chunked archive directory")
+	}
+	arg := fs.Arg(0)
+	opts := client.Options{
+		Addr:          *addr,
+		SessionID:     *id,
+		MaxChunkBytes: *chunk,
+		MaxAttempts:   *attempts,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "push: "+format+"\n", a...)
+		},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *live {
+		prog, threads, name, err := loadTarget(arg, *scale)
+		if err != nil {
+			return err
+		}
+		if opts.SessionID == "" {
+			opts.SessionID = name
+		}
+		cfg := jportal.DefaultRunConfig()
+		cfg.CollectOracle = false
+		cfg.PT.BufBytes = uint64(*buf) << (20 - experiments.BufScaleShift)
+		cfg.SinkChunkItems = *items
+		var sink *client.LiveSink
+		run, err := jportal.RunWithSink(prog, threads, cfg,
+			func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (jportal.TraceSink, error) {
+				var err error
+				sink, err = client.NewLiveSink(ctx, opts, p, snap, ncores)
+				return sink, err
+			})
+		if err != nil {
+			return err
+		}
+		if err := sink.Seal(); err != nil {
+			return err
+		}
+		p := sink.Pusher()
+		fmt.Printf("%s: live run streamed to %s as session %q (%dKB generated, %d reconnects, %d nacks)\n",
+			name, *addr, opts.SessionID, run.GenBytes/1024, p.Reconnects(), p.Nacks())
+		return nil
+	}
+
+	dir := filepath.Clean(arg)
+	if opts.SessionID == "" {
+		opts.SessionID = filepath.Base(dir)
+	}
+	st, err := client.PushArchive(ctx, opts, dir)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted; re-run the same push to resume from the server's last ACK")
+		}
+		return err
+	}
+	resumed := ""
+	if st.ResumeSeq > 0 {
+		resumed = fmt.Sprintf(", resumed past seq %d", st.ResumeSeq)
+	}
+	fmt.Printf("%s: pushed to %s as session %q (%d frames, %dKB%s, %d reconnects, %d nacks)\n",
+		dir, *addr, opts.SessionID, st.Frames, st.Bytes/1024, resumed, st.Reconnects, st.Nacks)
+	return nil
+}

@@ -1,0 +1,488 @@
+// Package client is the agent side of jportal's trace-ingest protocol
+// (internal/ingest): it pushes the records of a chunked run archive — or a
+// live run's streaming export — to a jportal serve instance, surviving
+// disconnects, server restarts and backpressure.
+//
+// Reliability model: every data frame carries a sequence number and stays
+// buffered until the server's cumulative ACK covers it. On any connection
+// failure the client redials with exponential backoff plus jitter, learns
+// the server's acknowledged frontier from HELLO_ACK, drops everything at
+// or below it, and retransmits the rest. A NACK (bounded-queue overflow
+// under the server's NACK policy, or a sequence gap) triggers the same
+// retransmission after a backoff without dropping the connection. Delivery
+// is exactly-once on the archive: the server drops duplicate sequences.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"jportal/internal/ingest"
+)
+
+// Options configures a Pusher.
+type Options struct {
+	// Addr is the jportal serve address (host:port).
+	Addr string
+	// SessionID names the upload; the server archives it under this name
+	// and resumes it across reconnects. Must satisfy ingest.ValidSessionID.
+	SessionID string
+	// MaxChunkBytes bounds the record payload of one CHUNK frame
+	// (default 64KiB).
+	MaxChunkBytes int
+	// WindowBytes bounds the unacknowledged payload in flight; Send blocks
+	// beyond it, so a slow or NACKing server backpressures the producer
+	// (default 1MiB).
+	WindowBytes int
+	// MaxAttempts is the dial attempt budget of one (re)connect
+	// (default 8).
+	MaxAttempts int
+	// Backoff is the first retry delay; it doubles per attempt with up to
+	// 50% added jitter, capped at MaxBackoff (defaults 50ms / 2s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Dial overrides the transport (tests inject failing connections).
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+	// Logf, when set, receives one line per reconnect/backoff event.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() error {
+	if o.Addr == "" {
+		return errors.New("ingest client: Options.Addr is required")
+	}
+	if !ingest.ValidSessionID(o.SessionID) {
+		return fmt.Errorf("ingest client: invalid session id %q", o.SessionID)
+	}
+	if o.MaxChunkBytes <= 0 {
+		o.MaxChunkBytes = 64 << 10
+	}
+	if o.WindowBytes <= 0 {
+		o.WindowBytes = 1 << 20
+	}
+	if o.WindowBytes < o.MaxChunkBytes {
+		o.WindowBytes = o.MaxChunkBytes
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Dial == nil {
+		o.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// pframe is one unacknowledged data frame.
+type pframe struct {
+	typ  byte
+	seq  uint64
+	data []byte
+}
+
+// Pusher is a reliable, resumable upload of one session's record stream.
+// It is safe for use by a single producer goroutine (Send/Finish/Close);
+// acknowledgement handling runs internally.
+type Pusher struct {
+	opts   Options
+	ncores int
+	ctx    context.Context
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	conn         net.Conn
+	gen          int // bumped per successful (re)connect
+	connDead     bool
+	reconnecting bool
+	pending      []pframe
+	pendingBytes int
+	nextSeq      uint64
+	acked        uint64
+	finAcked     uint64
+	finSent      bool
+	needRetx     bool
+	fatal        error
+	closed       bool
+
+	// Stats, guarded by mu.
+	reconnects int
+	nacks      int
+	resumeSeq  uint64 // frontier reported by the first HELLO_ACK
+}
+
+// Dial connects to the server, performs the HELLO handshake, and returns a
+// pusher whose acknowledged frontier reflects any previous upload of the
+// same session id. ctx bounds the whole upload: when it is cancelled the
+// pusher fails fast with ctx's error.
+func Dial(ctx context.Context, opts Options, ncores int) (*Pusher, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if ncores <= 0 {
+		return nil, fmt.Errorf("ingest client: implausible core count %d", ncores)
+	}
+	p := &Pusher{opts: opts, ncores: ncores, ctx: ctx, nextSeq: 1}
+	p.cond = sync.NewCond(&p.mu)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.reconnectLocked(); err != nil {
+		return nil, err
+	}
+	p.resumeSeq = p.acked
+	go func() {
+		<-ctx.Done()
+		p.mu.Lock()
+		if p.fatal == nil && !p.closed {
+			p.fatal = ctx.Err()
+			if p.conn != nil {
+				p.conn.Close()
+			}
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}()
+	return p, nil
+}
+
+// ResumeSeq returns the acknowledged sequence the server reported at the
+// first handshake — non-zero when this upload resumed an earlier one.
+func (p *Pusher) ResumeSeq() uint64 { return p.resumeSeq }
+
+// Reconnects returns how many times the connection was re-established.
+func (p *Pusher) Reconnects() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reconnects
+}
+
+// Nacks returns how many NACKs the server sent this upload.
+func (p *Pusher) Nacks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nacks
+}
+
+// Acked returns the server's acknowledged frontier.
+func (p *Pusher) Acked() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acked
+}
+
+// backoffDelay computes the attempt'th retry delay: exponential with up to
+// 50% jitter, capped.
+func (p *Pusher) backoffDelay(attempt int) time.Duration {
+	d := p.opts.Backoff << attempt
+	if d > p.opts.MaxBackoff || d <= 0 {
+		d = p.opts.MaxBackoff
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// reconnectLocked (re)establishes the connection and retransmits the
+// unacknowledged tail. Called with mu held; releases it while dialing.
+// Only one goroutine reconnects at a time; others wait on cond.
+func (p *Pusher) reconnectLocked() error {
+	for p.reconnecting {
+		p.cond.Wait()
+	}
+	if p.fatal != nil {
+		return p.fatal
+	}
+	if p.conn != nil && !p.connDead {
+		return nil
+	}
+	p.reconnecting = true
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+		p.reconnects++
+	}
+	p.mu.Unlock()
+
+	var (
+		conn      net.Conn
+		resumeSeq uint64
+		err       error
+	)
+	for attempt := 0; attempt < p.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := p.backoffDelay(attempt - 1)
+			p.opts.Logf("ingest client: %s: retrying in %v (attempt %d/%d): %v",
+				p.opts.Addr, delay, attempt+1, p.opts.MaxAttempts, err)
+			select {
+			case <-p.ctx.Done():
+				err = p.ctx.Err()
+				attempt = p.opts.MaxAttempts // exhaust
+			case <-time.After(delay):
+			}
+			if p.ctx.Err() != nil {
+				break
+			}
+		}
+		conn, resumeSeq, err = p.dialHello()
+		if err == nil {
+			break
+		}
+	}
+
+	p.mu.Lock()
+	p.reconnecting = false
+	defer p.cond.Broadcast()
+	if err != nil {
+		if p.fatal == nil {
+			p.fatal = fmt.Errorf("ingest client: %s: %w", p.opts.Addr, err)
+		}
+		return p.fatal
+	}
+	if p.fatal != nil { // cancelled while dialing
+		conn.Close()
+		return p.fatal
+	}
+	p.conn = conn
+	p.connDead = false
+	p.needRetx = false
+	p.finSent = false
+	p.gen++
+	if resumeSeq > p.acked {
+		p.acked = resumeSeq
+	}
+	p.pruneLocked()
+	go p.readAcks(conn, p.gen)
+	return p.resendPendingLocked()
+}
+
+// dialHello performs one dial + HELLO/HELLO_ACK exchange.
+func (p *Pusher) dialHello() (net.Conn, uint64, error) {
+	conn, err := p.opts.Dial(p.ctx, p.opts.Addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	hello := ingest.AppendHello(nil, ingest.ProtoVersion, p.ncores, p.opts.SessionID)
+	if err := ingest.WriteFrame(conn, ingest.FrameHello, hello); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	typ, payload, err := ingest.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	switch typ {
+	case ingest.FrameHelloAck:
+		version, resumeSeq, err := ingest.ParseHelloAck(payload)
+		if err != nil {
+			conn.Close()
+			return nil, 0, err
+		}
+		if version != ingest.ProtoVersion {
+			conn.Close()
+			return nil, 0, fmt.Errorf("server speaks protocol %d, client speaks %d", version, ingest.ProtoVersion)
+		}
+		return conn, resumeSeq, nil
+	case ingest.FrameErr:
+		conn.Close()
+		return nil, 0, fmt.Errorf("server rejected session: %s", payload)
+	default:
+		conn.Close()
+		return nil, 0, fmt.Errorf("unexpected handshake frame %#x", typ)
+	}
+}
+
+// readAcks consumes server frames for one connection generation.
+func (p *Pusher) readAcks(conn net.Conn, gen int) {
+	for {
+		typ, payload, err := ingest.ReadFrame(conn)
+		p.mu.Lock()
+		if p.gen != gen || p.closed {
+			p.mu.Unlock()
+			return
+		}
+		if err != nil {
+			p.connDead = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		switch typ {
+		case ingest.FrameAck:
+			if seq, _, perr := ingest.ParseSeq(payload); perr == nil && seq > p.acked {
+				p.acked = seq
+				p.pruneLocked()
+			}
+		case ingest.FrameNack:
+			p.nacks++
+			p.needRetx = true
+			p.finSent = false
+		case ingest.FrameFinAck:
+			if seq, _, perr := ingest.ParseSeq(payload); perr == nil && seq > p.finAcked {
+				p.finAcked = seq
+			}
+		case ingest.FrameErr:
+			if p.fatal == nil {
+				p.fatal = fmt.Errorf("ingest client: server error: %s", payload)
+			}
+			p.connDead = true
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// pruneLocked drops pending frames covered by the acknowledged frontier.
+func (p *Pusher) pruneLocked() {
+	keep := p.pending[:0]
+	bytes := 0
+	for _, f := range p.pending {
+		if f.seq > p.acked {
+			keep = append(keep, f)
+			bytes += len(f.data)
+		}
+	}
+	p.pending = keep
+	p.pendingBytes = bytes
+}
+
+// writeFrameLocked writes one data frame on the current connection,
+// marking it dead on failure (the next service pass reconnects).
+func (p *Pusher) writeFrameLocked(f pframe) bool {
+	if p.conn == nil || p.connDead {
+		return false
+	}
+	payload := ingest.AppendSeq(make([]byte, 0, 8+len(f.data)), f.seq)
+	payload = append(payload, f.data...)
+	if err := ingest.WriteFrame(p.conn, f.typ, payload); err != nil {
+		p.connDead = true
+		return false
+	}
+	return true
+}
+
+// resendPendingLocked retransmits every unacknowledged frame in order.
+func (p *Pusher) resendPendingLocked() error {
+	for _, f := range p.pending {
+		if !p.writeFrameLocked(f) {
+			return nil // dead again; the next service pass retries
+		}
+	}
+	return nil
+}
+
+// service makes one unit of progress while a caller waits: reconnect a
+// dead connection, honor a NACK with a backed-off retransmission, or block
+// until an acknowledgement (or failure) arrives. Called with mu held.
+func (p *Pusher) service() error {
+	if p.fatal != nil {
+		return p.fatal
+	}
+	switch {
+	case p.conn == nil || p.connDead:
+		return p.reconnectLocked()
+	case p.needRetx:
+		p.needRetx = false
+		delay := p.backoffDelay(0)
+		p.opts.Logf("ingest client: %s: NACK, retransmitting %d frame(s) in %v",
+			p.opts.Addr, len(p.pending), delay)
+		p.mu.Unlock()
+		select {
+		case <-p.ctx.Done():
+		case <-time.After(delay):
+		}
+		p.mu.Lock()
+		if p.fatal != nil {
+			return p.fatal
+		}
+		return p.resendPendingLocked()
+	default:
+		p.cond.Wait()
+		return p.fatal
+	}
+}
+
+// Send transmits one data frame (ingest.FrameProgram or ingest.FrameChunk)
+// and returns its sequence number. The payload is copied; Send blocks while
+// the in-flight window is full. Frames whose sequence the server has
+// already acknowledged (an upload resumed from an earlier push of the same
+// archive) are skipped without touching the network.
+func (p *Pusher) Send(typ byte, data []byte) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, errors.New("ingest client: Send on closed pusher")
+	}
+	if p.fatal != nil {
+		return 0, p.fatal
+	}
+	seq := p.nextSeq
+	p.nextSeq++
+	if seq <= p.acked {
+		return seq, nil // the server already has it
+	}
+	f := pframe{typ: typ, seq: seq, data: append([]byte(nil), data...)}
+	p.pending = append(p.pending, f)
+	p.pendingBytes += len(f.data)
+	if !p.writeFrameLocked(f) {
+		if err := p.service(); err != nil {
+			return seq, err
+		}
+	}
+	for p.pendingBytes >= p.opts.WindowBytes {
+		if err := p.service(); err != nil {
+			return seq, err
+		}
+	}
+	return seq, nil
+}
+
+// Finish waits for every sent frame to be acknowledged, then closes the
+// upload with FIN/FIN_ACK. After Finish returns nil, the server has
+// archived and verified the complete stream.
+func (p *Pusher) Finish() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	last := p.nextSeq - 1
+	for p.finAcked < last {
+		if p.fatal != nil {
+			return p.fatal
+		}
+		if p.acked == last && !p.finSent && p.conn != nil && !p.connDead && !p.needRetx {
+			if p.writeFrameLocked(pframe{typ: ingest.FrameFin, seq: last}) {
+				p.finSent = true
+			}
+			continue
+		}
+		if err := p.service(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close tears the connection down. Safe after Finish and after errors.
+func (p *Pusher) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	p.cond.Broadcast()
+	return nil
+}

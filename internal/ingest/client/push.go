@@ -1,0 +1,112 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"jportal"
+	"jportal/internal/ingest"
+	"jportal/internal/streamfmt"
+)
+
+// PushStats summarises one archive upload.
+type PushStats struct {
+	Frames     int    // data frames transmitted (or skipped as resumed)
+	Bytes      int64  // payload bytes of those frames
+	ResumeSeq  uint64 // server frontier at handshake (non-zero: resumed)
+	Reconnects int
+	Nacks      int
+}
+
+// PushArchive replays the sealed chunked archive in dir to a jportal serve
+// instance. The upload is resumable: pushing the same archive under the
+// same session id after an interruption (or after ACKs were lost) skips
+// everything the server already archived and completes the rest, and the
+// server-side archive comes out byte-identical to dir's stream.jpt and
+// program.gob.
+func PushArchive(ctx context.Context, opts Options, dir string) (PushStats, error) {
+	var st PushStats
+	programGob, err := os.ReadFile(filepath.Join(dir, "program.gob"))
+	if err != nil {
+		return st, err
+	}
+	stream, err := os.ReadFile(filepath.Join(dir, jportal.StreamFileName))
+	if err != nil {
+		return st, err
+	}
+	ncores, err := streamfmt.ParseHeader(stream)
+	if err != nil {
+		return st, fmt.Errorf("ingest client: %s: %w", dir, err)
+	}
+
+	// Pre-scan the records: the whole stream must be well-formed and end
+	// with a seal — pushing an unsealed (still-being-written) archive
+	// would leave the server waiting for a seal that never comes.
+	records := stream[streamfmt.HeaderLen:]
+	sealed := false
+	for off := 0; off < len(records); {
+		if sealed {
+			return st, fmt.Errorf("ingest client: %s: records after the seal", dir)
+		}
+		n, err := streamfmt.Scan(records[off:])
+		if err != nil {
+			if errors.Is(err, streamfmt.ErrShort) {
+				return st, fmt.Errorf("ingest client: %s has an incomplete record tail (writer still running?)", dir)
+			}
+			return st, fmt.Errorf("ingest client: %s: %w", dir, err)
+		}
+		if _, ok := streamfmt.SealCRC(records[off : off+n]); ok {
+			sealed = true
+		}
+		off += n
+	}
+	if !sealed {
+		return st, fmt.Errorf("ingest client: %s is unsealed; finish the collection before pushing", dir)
+	}
+
+	p, err := Dial(ctx, opts, ncores)
+	if err != nil {
+		return st, err
+	}
+	defer p.Close()
+	st.ResumeSeq = p.ResumeSeq()
+
+	send := func(typ byte, data []byte) error {
+		if _, err := p.Send(typ, data); err != nil {
+			return err
+		}
+		st.Frames++
+		st.Bytes += int64(len(data))
+		return nil
+	}
+	if err := send(ingest.FrameProgram, programGob); err != nil {
+		return st, err
+	}
+	// Batch whole records into chunks of at most MaxChunkBytes. The
+	// batching is deterministic for a given archive, so a resumed push
+	// reproduces the same frame sequence and the skip-below-frontier logic
+	// lines up exactly.
+	for off := 0; off < len(records); {
+		end := off
+		for end < len(records) {
+			n, _ := streamfmt.Scan(records[end:]) // pre-validated above
+			if end > off && end+n-off > p.opts.MaxChunkBytes {
+				break
+			}
+			end += n
+		}
+		if err := send(ingest.FrameChunk, records[off:end]); err != nil {
+			return st, err
+		}
+		off = end
+	}
+	if err := p.Finish(); err != nil {
+		return st, err
+	}
+	st.Reconnects = p.Reconnects()
+	st.Nacks = p.Nacks()
+	return st, nil
+}

@@ -1,0 +1,121 @@
+package ingest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != byte(i+1) {
+			t.Fatalf("frame %d: type %#x", i, typ)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+}
+
+func TestReadFrameEnforcesCap(t *testing.T) {
+	// A frame header declaring more than MaxFramePayload must be rejected
+	// before any allocation happens.
+	hdr := []byte{FrameChunk, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	p := AppendHello(nil, ProtoVersion, 8, "agent-01")
+	version, ncores, id, err := ParseHello(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != ProtoVersion || ncores != 8 || id != "agent-01" {
+		t.Fatalf("got version=%d ncores=%d id=%q", version, ncores, id)
+	}
+	if _, _, _, err := ParseHello(p[:5]); err == nil {
+		t.Error("short HELLO accepted")
+	}
+	if _, _, _, err := ParseHello(append(p, 'x')); err == nil {
+		t.Error("HELLO with trailing bytes accepted")
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	p := AppendHelloAck(nil, ProtoVersion, 42)
+	version, seq, err := ParseHelloAck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != ProtoVersion || seq != 42 {
+		t.Fatalf("got version=%d seq=%d", version, seq)
+	}
+	if _, _, err := ParseHelloAck(p[:8]); err == nil {
+		t.Error("short HELLO_ACK accepted")
+	}
+}
+
+func TestSeqRoundTrip(t *testing.T) {
+	p := AppendSeq(nil, 7)
+	p = append(p, "data"...)
+	seq, rest, err := ParseSeq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 || string(rest) != "data" {
+		t.Fatalf("got seq=%d rest=%q", seq, rest)
+	}
+	if _, _, err := ParseSeq(p[:4]); err == nil {
+		t.Error("short sequenced payload accepted")
+	}
+}
+
+func TestValidSessionID(t *testing.T) {
+	good := []string{"a", "agent-01", "h2_run.3", "A-B_c.9", strings.Repeat("x", MaxSessionIDLen)}
+	for _, id := range good {
+		if !ValidSessionID(id) {
+			t.Errorf("ValidSessionID(%q) = false", id)
+		}
+	}
+	bad := []string{"", ".", "..", ".hidden", "a/b", "a\\b", "a b", "a\x00b", "ü",
+		strings.Repeat("x", MaxSessionIDLen+1)}
+	for _, id := range bad {
+		if ValidSessionID(id) {
+			t.Errorf("ValidSessionID(%q) = true", id)
+		}
+	}
+}
+
+func TestParseStateRoundTrip(t *testing.T) {
+	st := sessionState{seq: 9, size: 12345, crc: 0xDEADBEEF, sealed: true}
+	sess := &session{lastAcked: st.seq, size: st.size, crc: st.crc, sealed: st.sealed}
+	body := stateBody(sess)
+	got, err := parseState(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != st {
+		t.Fatalf("round trip: %+v vs %+v", got, st)
+	}
+	for _, raw := range []string{
+		"", "garbage", "jportal-ingest-state\nseq: x\nbytes: 20\ncrc: 0\nsealed: false\n",
+		"jportal-ingest-state\nseq: 1\nbytes: 2\ncrc: 0\nsealed: false\n", // size < header
+	} {
+		if _, err := parseState(raw); err == nil {
+			t.Errorf("parseState(%q) accepted", raw)
+		}
+	}
+}

@@ -1,0 +1,763 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"jportal"
+	"jportal/internal/streamfmt"
+)
+
+// Policy selects what the server does when a session's bounded inbound
+// queue is full.
+type Policy string
+
+const (
+	// PolicyBlock stops reading the connection until the archiver catches
+	// up: backpressure propagates to the client through TCP flow control.
+	// Nothing is dropped; a slow disk simply slows the sender.
+	PolicyBlock Policy = "block"
+
+	// PolicyNack rejects the frame with a NACK carrying the sequence the
+	// server wants next. The client backs off and retransmits; the server
+	// keeps reading, so control frames (FIN, retransmits after the queue
+	// drains) are never stuck behind a full queue.
+	PolicyNack Policy = "nack"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DataDir is where per-session archives are written: one chunked-layout
+	// run archive per session id, loadable by jportal decode/stream.
+	DataDir string
+	// QueueDepth bounds each session's inbound queue (frames accepted but
+	// not yet archived). 0 means 64.
+	QueueDepth int
+	// Policy is the backpressure policy when a queue is full; default
+	// PolicyBlock.
+	Policy Policy
+	// IdleTimeout closes a connection with no complete frame for this
+	// long, so vanished agents do not hold their session attached forever.
+	// 0 means 2 minutes.
+	IdleTimeout time.Duration
+	// Logf, when set, receives one line per connection-level event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.DataDir == "" {
+		return errors.New("ingest: Config.DataDir is required")
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("ingest: QueueDepth %d is not positive", c.QueueDepth)
+	}
+	switch c.Policy {
+	case "":
+		c.Policy = PolicyBlock
+	case PolicyBlock, PolicyNack:
+	default:
+		return fmt.Errorf("ingest: unknown backpressure policy %q", c.Policy)
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Server accepts agent connections and archives each session's record
+// stream as a chunked run archive under DataDir/<session id>.
+type Server struct {
+	cfg     Config
+	metrics Metrics
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[string]*session
+	conns    map[net.Conn]struct{}
+	drain    bool
+	stopped  bool
+	force    chan struct{}
+	forceOne sync.Once
+
+	connWG   sync.WaitGroup
+	writerWG sync.WaitGroup
+}
+
+// NewServer validates cfg and returns an idle server; call Serve to accept.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		sessions: make(map[string]*session),
+		conns:    make(map[net.Conn]struct{}),
+		force:    make(chan struct{}),
+	}, nil
+}
+
+// Metrics exposes the server's counters (the HTTP sidecar serves the same
+// numbers; tests read them directly).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Addr returns the listener's address once Serve has been called — the way
+// to discover the port after listening on ":0".
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drain
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// clean shutdown, or the accept error that stopped it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.drain {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("ingest: server is shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.drain {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr (TCP) and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains the server: stop accepting, let attached sessions finish
+// their uploads, archive everything queued, and flush state. When ctx
+// expires first, remaining connections are force-closed — already-queued
+// frames are still archived before writers exit, so nothing acknowledged
+// is ever lost.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.drain = true
+	s.stopped = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	readersDone := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(readersDone)
+	}()
+	var err error
+	select {
+	case <-readersDone:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.forceOne.Do(func() { close(s.force) })
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-readersDone
+	}
+
+	// No reader can enqueue anymore; closing the queues lets each writer
+	// drain what it has and exit, closing its archive file.
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		close(sess.queue)
+	}
+	s.mu.Unlock()
+	s.writerWG.Wait()
+	return err
+}
+
+// connWriter serializes frame writes to one connection: the session writer
+// (ACKs) and the read loop (duplicate ACKs, NACKs, errors) both send.
+type connWriter struct {
+	c  net.Conn
+	mu sync.Mutex
+}
+
+func (cw *connWriter) send(typ byte, payload []byte) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	// A write error means the client is gone; the read loop will notice
+	// and detach, and the client re-syncs from HELLO_ACK on reconnect.
+	_ = WriteFrame(cw.c, typ, payload)
+}
+
+func (cw *connWriter) sendErr(msg string) {
+	cw.send(FrameErr, []byte(msg))
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.connWG.Done()
+	}()
+	cw := &connWriter{c: conn}
+
+	conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		s.cfg.Logf("ingest: %s: handshake read: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if typ != FrameHello {
+		cw.sendErr(fmt.Sprintf("expected HELLO, got frame %#x", typ))
+		return
+	}
+	version, ncores, id, err := ParseHello(payload)
+	if err != nil {
+		cw.sendErr(err.Error())
+		return
+	}
+	if version != ProtoVersion {
+		cw.sendErr(fmt.Sprintf("protocol version %d not supported (server speaks %d)", version, ProtoVersion))
+		return
+	}
+	if !ValidSessionID(id) {
+		cw.sendErr(fmt.Sprintf("invalid session id %q", id))
+		return
+	}
+	if ncores <= 0 || ncores > streamfmt.MaxCores {
+		cw.sendErr(fmt.Sprintf("implausible core count %d", ncores))
+		return
+	}
+
+	sess, err := s.attach(id, ncores, cw)
+	if err != nil {
+		s.metrics.Errors.Add(1)
+		cw.sendErr(err.Error())
+		return
+	}
+	defer sess.detach(cw)
+	s.metrics.SessionsOpen.Add(1)
+	defer s.metrics.SessionsOpen.Add(-1)
+	resume := sess.ackedSeq()
+	if resume > 0 {
+		s.metrics.SessionsResumed.Add(1)
+	}
+	cw.send(FrameHelloAck, AppendHelloAck(nil, ProtoVersion, resume))
+	s.cfg.Logf("ingest: %s: session %q attached (resume seq %d)", conn.RemoteAddr(), id, resume)
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			s.cfg.Logf("ingest: %s: session %q read: %v", conn.RemoteAddr(), id, err)
+			return
+		}
+		switch typ {
+		case FrameProgram, FrameChunk:
+			seq, data, err := ParseSeq(payload)
+			if err != nil {
+				cw.sendErr(err.Error())
+				return
+			}
+			if !sess.submit(msg{typ: typ, seq: seq, data: data}, cw) {
+				return
+			}
+		case FrameFin:
+			seq, _, err := ParseSeq(payload)
+			if err != nil {
+				cw.sendErr(err.Error())
+				return
+			}
+			if !sess.submit(msg{typ: FrameFin, seq: seq}, cw) {
+				return
+			}
+		default:
+			cw.sendErr(fmt.Sprintf("unexpected frame %#x", typ))
+			return
+		}
+	}
+}
+
+// attach looks up or creates the session for id and binds the connection
+// to it. One connection per session: a second concurrent HELLO is
+// rejected (the client retries after the stale connection dies).
+func (s *Server) attach(id string, ncores int, cw *connWriter) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drain {
+		return nil, errors.New("server is draining, not accepting sessions")
+	}
+	sess := s.sessions[id]
+	if sess == nil {
+		var err error
+		sess, err = s.openSession(id, ncores)
+		if err != nil {
+			return nil, err
+		}
+		s.sessions[id] = sess
+		s.metrics.SessionsTotal.Add(1)
+		s.writerWG.Add(1)
+		go sess.runWriter()
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.err != nil {
+		return nil, fmt.Errorf("session %q is poisoned: %v", id, sess.err)
+	}
+	if sess.ncores != ncores {
+		return nil, fmt.Errorf("session %q was opened with %d cores, HELLO says %d", id, sess.ncores, ncores)
+	}
+	if sess.conn != nil {
+		return nil, fmt.Errorf("session %q already has an active connection", id)
+	}
+	sess.conn = cw
+	return sess, nil
+}
+
+// msg is one queued unit of work for a session's writer: a data frame to
+// archive, or a FIN marker (typ FrameFin) that asks for completion.
+type msg struct {
+	typ  byte
+	seq  uint64
+	data []byte
+}
+
+// session is the durable per-agent state: the archive being assembled, the
+// acknowledged frontier, and the bounded queue between the connection
+// reader and the archiving writer. It outlives any single connection.
+type session struct {
+	srv    *Server
+	id     string
+	dir    string
+	ncores int
+	queue  chan msg
+
+	mu          sync.Mutex
+	conn        *connWriter
+	f           *os.File
+	lastAcked   uint64 // highest sequence archived and flushed
+	nextEnqueue uint64 // next sequence the reader will accept
+	size        int64  // stream.jpt length covered by lastAcked
+	crc         uint32 // running checksum (header + records, pre-seal)
+	sealed      bool
+	haveProgram bool
+	done        bool // FIN acknowledged
+	err         error
+}
+
+const stateFileName = "ingest.state"
+
+// openSession creates or restores the session's archive directory. Called
+// with srv.mu held (session creation is rare; the disk work is trivial).
+func (s *Server) openSession(id string, ncores int) (*session, error) {
+	dir := filepath.Join(s.cfg.DataDir, id)
+	sess := &session{
+		srv:    s,
+		id:     id,
+		dir:    dir,
+		ncores: ncores,
+		queue:  make(chan msg, s.cfg.QueueDepth),
+	}
+	if restored, err := sess.restore(); err != nil {
+		return nil, fmt.Errorf("session %q: restoring %s: %v", id, dir, err)
+	} else if restored {
+		return sess, nil
+	}
+	// Fresh session: chunked archive dir with an empty record stream.
+	if err := jportal.InitChunkedArchiveDir(dir); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, jportal.StreamFileName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := streamfmt.AppendHeader(nil, ncores)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	sess.f = f
+	sess.crc = crc32.Update(0, crc32.IEEETable, hdr)
+	sess.size = int64(len(hdr))
+	sess.nextEnqueue = 1
+	if err := sess.persistState(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// restore resumes a session whose state file survived a server restart:
+// the stream is truncated back to the last acknowledged byte (dropping any
+// unacknowledged tail) so the client's resend from resumeSeq+1 recreates
+// it exactly.
+func (sess *session) restore() (bool, error) {
+	raw, err := os.ReadFile(filepath.Join(sess.dir, stateFileName))
+	if os.IsNotExist(err) {
+		if _, serr := os.Stat(sess.dir); serr == nil {
+			return false, errors.New("directory exists but has no ingest state (not an ingest session?)")
+		}
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	st, err := parseState(string(raw))
+	if err != nil {
+		return false, err
+	}
+	f, err := os.OpenFile(filepath.Join(sess.dir, jportal.StreamFileName), os.O_WRONLY, 0o644)
+	if err != nil {
+		return false, err
+	}
+	if err := f.Truncate(st.size); err != nil {
+		f.Close()
+		return false, err
+	}
+	if _, err := f.Seek(st.size, 0); err != nil {
+		f.Close()
+		return false, err
+	}
+	sess.f = f
+	sess.lastAcked = st.seq
+	sess.nextEnqueue = st.seq + 1
+	sess.size = st.size
+	sess.crc = st.crc
+	sess.sealed = st.sealed
+	_, perr := os.Stat(filepath.Join(sess.dir, "program.gob"))
+	sess.haveProgram = perr == nil
+	return true, nil
+}
+
+type sessionState struct {
+	seq    uint64
+	size   int64
+	crc    uint32
+	sealed bool
+}
+
+const stateMagicLine = "jportal-ingest-state"
+
+func parseState(raw string) (sessionState, error) {
+	var st sessionState
+	lines := strings.Split(strings.TrimSpace(raw), "\n")
+	if len(lines) < 4 || strings.TrimSpace(lines[0]) != stateMagicLine {
+		return st, errors.New("malformed ingest state file")
+	}
+	for _, ln := range lines[1:] {
+		k, v, ok := strings.Cut(ln, ":")
+		if !ok {
+			continue
+		}
+		v = strings.TrimSpace(v)
+		var err error
+		switch strings.TrimSpace(k) {
+		case "seq":
+			st.seq, err = strconv.ParseUint(v, 10, 64)
+		case "bytes":
+			st.size, err = strconv.ParseInt(v, 10, 64)
+		case "crc":
+			var c uint64
+			c, err = strconv.ParseUint(v, 10, 32)
+			st.crc = uint32(c)
+		case "sealed":
+			st.sealed, err = strconv.ParseBool(v)
+		}
+		if err != nil {
+			return st, fmt.Errorf("bad ingest state %s: %v", strings.TrimSpace(k), err)
+		}
+	}
+	if st.size < streamfmt.HeaderLen {
+		return st, fmt.Errorf("ingest state covers %d bytes, less than a stream header", st.size)
+	}
+	return st, nil
+}
+
+func stateBody(sess *session) string {
+	return fmt.Sprintf("%s\nseq: %d\nbytes: %d\ncrc: %d\nsealed: %v\n",
+		stateMagicLine, sess.lastAcked, sess.size, sess.crc, sess.sealed)
+}
+
+// persistState records the acknowledged frontier. Called with sess.mu held
+// (or before the session is shared). A restarted server resumes from here.
+func (sess *session) persistState() error {
+	return os.WriteFile(filepath.Join(sess.dir, stateFileName), []byte(stateBody(sess)), 0o644)
+}
+
+func (sess *session) ackedSeq() uint64 {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.lastAcked
+}
+
+func (sess *session) detach(cw *connWriter) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.conn == cw {
+		sess.conn = nil
+	}
+}
+
+// submit applies the sequencing rules to one inbound frame and enqueues it
+// for the writer. The return value says whether the connection should stay
+// open.
+func (sess *session) submit(m msg, cw *connWriter) bool {
+	sess.mu.Lock()
+	if sess.err != nil {
+		sess.mu.Unlock()
+		cw.sendErr(fmt.Sprintf("session %q is poisoned: %v", sess.id, sess.err))
+		return false
+	}
+	if m.typ != FrameFin {
+		switch {
+		case m.seq <= sess.lastAcked:
+			// Re-delivery of something already archived (the client lost
+			// our ACK): idempotent, just re-ACK the frontier.
+			acked := sess.lastAcked
+			sess.mu.Unlock()
+			sess.srv.metrics.Duplicates.Add(1)
+			cw.send(FrameAck, AppendSeq(nil, acked))
+			return true
+		case m.seq < sess.nextEnqueue:
+			// Already queued but not yet archived; the ACK is coming.
+			sess.mu.Unlock()
+			sess.srv.metrics.Duplicates.Add(1)
+			return true
+		case m.seq > sess.nextEnqueue:
+			// Gap: frames were dropped (NACK policy) or reordered.
+			want := sess.nextEnqueue
+			sess.mu.Unlock()
+			sess.srv.metrics.Nacks.Add(1)
+			cw.send(FrameNack, AppendSeq(nil, want))
+			return true
+		}
+	}
+	sess.mu.Unlock()
+
+	if m.typ != FrameFin && sess.srv.cfg.Policy == PolicyNack {
+		select {
+		case sess.queue <- m:
+		default:
+			sess.srv.metrics.Nacks.Add(1)
+			cw.send(FrameNack, AppendSeq(nil, m.seq))
+			return true
+		}
+	} else {
+		// PolicyBlock (and FIN under either policy): stop reading until
+		// there is room — TCP pushes the backpressure to the client.
+		select {
+		case sess.queue <- m:
+		case <-sess.srv.force:
+			return false
+		}
+	}
+	if m.typ != FrameFin {
+		sess.mu.Lock()
+		sess.nextEnqueue = m.seq + 1
+		sess.mu.Unlock()
+	}
+	return true
+}
+
+// runWriter is the session's archiving goroutine: it drains the bounded
+// queue in order, appends to the archive, persists the acknowledged
+// frontier and ACKs. It exits when the server closes the queue at
+// shutdown, after archiving everything already accepted.
+func (sess *session) runWriter() {
+	defer sess.srv.writerWG.Done()
+	for m := range sess.queue {
+		if m.typ == FrameFin {
+			sess.finish(m.seq)
+			continue
+		}
+		if err := sess.archive(m); err != nil {
+			sess.poison(err)
+		}
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.f != nil {
+		sess.f.Close()
+		sess.f = nil
+	}
+	if !sess.done {
+		sess.srv.metrics.SessionsDrained.Add(1)
+	}
+}
+
+// archive validates and appends one data frame, then advances the
+// acknowledged frontier.
+func (sess *session) archive(m msg) error {
+	switch m.typ {
+	case FrameProgram:
+		if err := jportal.WriteArchiveProgram(sess.dir, m.data); err != nil {
+			return err
+		}
+		sess.mu.Lock()
+		sess.haveProgram = true
+		sess.mu.Unlock()
+	case FrameChunk:
+		// Validate before touching the file: the payload must be whole
+		// records, never extend past a verified seal, and keep the running
+		// CRC consistent so the seal check is end-to-end.
+		sess.mu.Lock()
+		crc, sealed := sess.crc, sess.sealed
+		sess.mu.Unlock()
+		rem := m.data
+		for len(rem) > 0 {
+			if sealed {
+				return fmt.Errorf("%w: records after the seal", streamfmt.ErrCorrupt)
+			}
+			n, err := streamfmt.Scan(rem)
+			if err != nil {
+				return fmt.Errorf("chunk seq %d: %w", m.seq, err)
+			}
+			rec := rem[:n]
+			if sealCRC, ok := streamfmt.SealCRC(rec); ok {
+				if sealCRC != crc {
+					return fmt.Errorf("%w: seal CRC %#08x does not match relayed stream (%#08x)",
+						streamfmt.ErrCorrupt, sealCRC, crc)
+				}
+				sealed = true
+			} else {
+				crc = crc32.Update(crc, crc32.IEEETable, rec)
+			}
+			rem = rem[n:]
+		}
+		sess.mu.Lock()
+		f := sess.f
+		sess.mu.Unlock()
+		if f == nil {
+			return errors.New("session archive already closed")
+		}
+		if _, err := f.Write(m.data); err != nil {
+			return err
+		}
+		sess.mu.Lock()
+		sess.size += int64(len(m.data))
+		sess.crc = crc
+		if sealed && !sess.sealed {
+			sess.sealed = true
+			sess.srv.metrics.SessionsSealed.Add(1)
+		}
+		sess.mu.Unlock()
+	default:
+		return fmt.Errorf("unexpected frame %#x in session queue", m.typ)
+	}
+
+	sess.mu.Lock()
+	sess.lastAcked = m.seq
+	err := sess.persistState()
+	conn := sess.conn
+	acked := sess.lastAcked
+	sess.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	sess.srv.metrics.ChunksIngested.Add(1)
+	sess.srv.metrics.BytesIngested.Add(int64(len(m.data)))
+	if conn != nil {
+		conn.send(FrameAck, AppendSeq(nil, acked))
+	}
+	return nil
+}
+
+// finish handles a FIN marker: everything queued before it has been
+// archived, so completeness is decided by the acknowledged frontier.
+func (sess *session) finish(finSeq uint64) {
+	sess.mu.Lock()
+	conn := sess.conn
+	complete := sess.lastAcked == finSeq && sess.sealed && sess.haveProgram
+	acked := sess.lastAcked
+	sealed := sess.sealed
+	if complete {
+		sess.done = true
+	}
+	sess.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	switch {
+	case complete:
+		conn.send(FrameFinAck, AppendSeq(nil, finSeq))
+	case !sealed && acked == finSeq:
+		// Everything arrived but no seal record: the client ended the
+		// stream without sealing — a protocol violation, not a retry.
+		conn.sendErr("FIN before the stream's seal record")
+	default:
+		// Frames are missing (dropped under NACK policy, or the client
+		// ran ahead): ask for a resend from the frontier.
+		sess.srv.metrics.Nacks.Add(1)
+		conn.send(FrameNack, AppendSeq(nil, acked+1))
+	}
+}
+
+// poison records a fatal session error, reports it to the attached client,
+// and refuses all further frames for the id until the server restarts.
+func (sess *session) poison(err error) {
+	sess.mu.Lock()
+	if sess.err == nil {
+		sess.err = err
+	}
+	conn := sess.conn
+	sess.mu.Unlock()
+	sess.srv.metrics.Errors.Add(1)
+	sess.srv.cfg.Logf("ingest: session %q poisoned: %v", sess.id, err)
+	if conn != nil {
+		conn.sendErr(fmt.Sprintf("session %q: %v", sess.id, err))
+		conn.c.Close()
+	}
+}

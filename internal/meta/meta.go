@@ -128,6 +128,9 @@ func (c *CompiledMethod) DebugAt(addr uint64) (*DebugRecord, bool) {
 
 // Validate checks that the debug map covers exactly the blob's instructions.
 func (c *CompiledMethod) Validate() error {
+	if c.Code == nil {
+		return fmt.Errorf("compiled m%d: no code blob", c.Root)
+	}
 	if err := c.Code.Validate(); err != nil {
 		return err
 	}

@@ -1,0 +1,323 @@
+package streamfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"jportal/internal/meta"
+	"jportal/internal/pt"
+	"jportal/internal/vm"
+)
+
+// encodeSample builds a small but complete stream exercising every record
+// kind, returning the full byte stream (header included).
+func encodeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	e, err := NewEncoder(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := meta.NewSnapshot(meta.NewTemplateTable())
+	if err := e.Snapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Sideband(vm.SwitchRecord{TSC: 100, Core: 0, Thread: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Sideband(vm.SwitchRecord{TSC: 200, Core: 1, Thread: -1}); err != nil {
+		t.Fatal(err)
+	}
+	items := []pt.Item{
+		{Packet: pt.Packet{Kind: 1, IP: 0x4000, NBits: 3, Bits: 5, WireLen: 8}},
+		{Gap: true, LostBytes: 64, GapStart: 10, GapEnd: 20},
+	}
+	if err := e.Chunk(0, items); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Watermark(1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	stream := encodeSample(t)
+	ncores, err := ParseHeader(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ncores != 2 {
+		t.Fatalf("ncores = %d, want 2", ncores)
+	}
+	var kinds []Kind
+	var recs []Record
+	rest := stream[HeaderLen:]
+	for len(rest) > 0 {
+		rec, n, err := Decode(rest)
+		if err != nil {
+			t.Fatalf("decode at offset %d: %v", len(stream)-len(rest), err)
+		}
+		kinds = append(kinds, rec.Kind)
+		recs = append(recs, rec)
+		rest = rest[n:]
+	}
+	want := []Kind{KindSnapshot, KindSideband, KindSideband, KindChunk, KindWatermark, KindSeal}
+	if len(kinds) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(kinds), len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("record %d: kind %d, want %d", i, kinds[i], want[i])
+		}
+	}
+	if r := recs[1]; r.Rec.TSC != 100 || r.Rec.Core != 0 || r.Rec.Thread != 3 {
+		t.Errorf("sideband 1 = %+v", r.Rec)
+	}
+	if r := recs[2]; r.Rec.Thread != -1 {
+		t.Errorf("sideband 2 thread = %d, want -1 (negative survives)", r.Rec.Thread)
+	}
+	if r := recs[3]; r.Core != 0 || len(r.Items) != 2 {
+		t.Fatalf("chunk = core %d, %d items", r.Core, len(r.Items))
+	} else {
+		if r.Items[0].Packet.IP != 0x4000 || r.Items[0].Packet.NBits != 3 {
+			t.Errorf("chunk item 0 = %+v", r.Items[0])
+		}
+		if !r.Items[1].Gap || r.Items[1].LostBytes != 64 {
+			t.Errorf("chunk item 1 = %+v", r.Items[1])
+		}
+	}
+	if r := recs[4]; r.Core != 1 || r.Mark != 500 {
+		t.Errorf("watermark = core %d mark %d", r.Core, r.Mark)
+	}
+	// The seal carries the CRC of everything before it.
+	wantCRC := crc32.ChecksumIEEE(stream[:len(stream)-5])
+	if recs[5].CRC != wantCRC {
+		t.Errorf("seal CRC %#08x, want %#08x", recs[5].CRC, wantCRC)
+	}
+}
+
+func TestRawEncoderMatchesEncoder(t *testing.T) {
+	full := encodeSample(t)
+
+	var raw bytes.Buffer
+	e := NewRawEncoder(&raw, 2)
+	snap := meta.NewSnapshot(meta.NewTemplateTable())
+	if err := e.Snapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	e.Sideband(vm.SwitchRecord{TSC: 100, Core: 0, Thread: 3})
+	e.Sideband(vm.SwitchRecord{TSC: 200, Core: 1, Thread: -1})
+	e.Chunk(0, []pt.Item{
+		{Packet: pt.Packet{Kind: 1, IP: 0x4000, NBits: 3, Bits: 5, WireLen: 8}},
+		{Gap: true, LostBytes: 64, GapStart: 10, GapEnd: 20},
+	})
+	e.Watermark(1, 500)
+	if err := e.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// Raw stream + independently written header == full stream: the raw
+	// encoder seeds its checksum with the header it never writes.
+	got := append(AppendHeader(nil, 2), raw.Bytes()...)
+	if !bytes.Equal(got, full) {
+		t.Fatalf("raw encoder + header diverges from full encoder (%d vs %d bytes)", len(got), len(full))
+	}
+}
+
+func TestWatermarkSuppression(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoder(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := buf.Len()
+	e.Watermark(0, 10)
+	one := buf.Len()
+	if one == pre {
+		t.Fatal("first watermark not written")
+	}
+	e.Watermark(0, 10) // same mark: no-op
+	e.Watermark(0, 5)  // regression: no-op
+	e.Watermark(-1, 9) // out-of-range core: no-op
+	e.Watermark(2, 9)  // out-of-range core: no-op
+	if buf.Len() != one {
+		t.Fatalf("no-op watermarks wrote %d bytes", buf.Len()-one)
+	}
+	e.Watermark(0, 11)
+	if buf.Len() == one {
+		t.Fatal("advancing watermark suppressed")
+	}
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordAfterSeal(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoder(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatalf("Err() after successful seal = %v", err)
+	}
+	crc := e.CRC()
+	if got, ok := SealCRC(buf.Bytes()[HeaderLen:]); !ok || got != crc {
+		t.Fatalf("CRC() = %#08x, seal carries %#08x (ok=%v)", crc, got, ok)
+	}
+	if err := e.Sideband(vm.SwitchRecord{}); err == nil {
+		t.Fatal("record after seal accepted")
+	}
+	if e.Err() == nil {
+		t.Fatal("Err() nil after record-after-seal")
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	if _, err := ParseHeader([]byte("JPSTR")); !errors.Is(err, ErrShort) {
+		t.Errorf("short header: %v, want ErrShort", err)
+	}
+	bad := AppendHeader(nil, 2)
+	bad[0] = 'X'
+	if _, err := ParseHeader(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: %v, want ErrCorrupt", err)
+	}
+	zero := AppendHeader(nil, 0)
+	if _, err := ParseHeader(zero); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("zero cores: %v, want ErrCorrupt", err)
+	}
+	huge := AppendHeader(nil, MaxCores+1)
+	if _, err := ParseHeader(huge); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("excess cores: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestScanTruncation slices every record of a valid stream at every length
+// short of its true one: all must report ErrShort, never ErrCorrupt, never
+// a wrong length.
+func TestScanTruncation(t *testing.T) {
+	stream := encodeSample(t)
+	rest := stream[HeaderLen:]
+	for len(rest) > 0 {
+		n, err := Scan(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < n; cut++ {
+			if _, err := Scan(rest[:cut]); !errors.Is(err, ErrShort) {
+				t.Fatalf("Scan of %d/%d bytes of tag %#x: %v, want ErrShort", cut, n, rest[0], err)
+			}
+			if _, _, err := Decode(rest[:cut]); !errors.Is(err, ErrShort) {
+				t.Fatalf("Decode of %d/%d bytes of tag %#x: %v, want ErrShort", cut, n, rest[0], err)
+			}
+		}
+		rest = rest[n:]
+	}
+}
+
+func TestScanCorruption(t *testing.T) {
+	// Unknown tag.
+	if _, err := Scan([]byte{0xEE, 0, 0, 0}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("unknown tag: %v, want ErrCorrupt", err)
+	}
+	// Oversized declared length must be rejected before any allocation.
+	huge := []byte{TagBlob, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(huge[1:5], MaxPayloadLen+1)
+	if _, err := Scan(huge); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized blob: %v, want ErrCorrupt", err)
+	}
+	hugeChunk := []byte{TagChunk, 0, 0, 0, 0, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(hugeChunk[5:9], MaxPayloadLen+1)
+	if _, err := Scan(hugeChunk); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized chunk: %v, want ErrCorrupt", err)
+	}
+	// A snapshot whose payload is garbage scans fine but fails Decode with
+	// a typed error (never a panic).
+	junk := []byte{TagSnapshot, 4, 0, 0, 0, 1, 2, 3, 4}
+	if _, err := Scan(junk); err != nil {
+		t.Errorf("junk-payload snapshot should scan: %v", err)
+	}
+	if _, _, err := Decode(junk); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("junk-payload snapshot decode: %v, want ErrCorrupt", err)
+	}
+	// Same for a chunk whose payload is not whole pt items.
+	badItems := []byte{TagChunk, 0, 0, 0, 0, 2, 0, 0, 0, 0xFF, 0xFF}
+	if _, _, err := Decode(badItems); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad chunk items: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSealCRCHelper(t *testing.T) {
+	stream := encodeSample(t)
+	seal := stream[len(stream)-5:]
+	if _, ok := SealCRC(seal); !ok {
+		t.Fatal("SealCRC rejected a real seal record")
+	}
+	if _, ok := SealCRC(seal[:4]); ok {
+		t.Fatal("SealCRC accepted a truncated seal")
+	}
+	if _, ok := SealCRC(stream[HeaderLen : HeaderLen+5]); ok {
+		t.Fatal("SealCRC accepted a non-seal record")
+	}
+}
+
+// FuzzDecode drives Scan/Decode with arbitrary bytes: they must never
+// panic, and their verdicts must be consistent (a scannable record either
+// decodes or reports corruption; lengths agree).
+func FuzzDecode(f *testing.F) {
+	sample := []byte(nil)
+	func() {
+		var buf bytes.Buffer
+		e, _ := NewEncoder(&buf, 2)
+		e.Sideband(vm.SwitchRecord{TSC: 1, Core: 0, Thread: 1})
+		e.Chunk(0, []pt.Item{{Packet: pt.Packet{Kind: 1, IP: 0x40}}})
+		e.Watermark(0, 7)
+		e.Seal()
+		sample = buf.Bytes()
+	}()
+	f.Add(sample)
+	f.Add(sample[HeaderLen:])
+	f.Add([]byte{TagSideband})
+	f.Add([]byte{TagSnapshot, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ParseHeader(data)
+		n, scanErr := Scan(data)
+		rec, dn, decErr := Decode(data)
+		if scanErr != nil {
+			if decErr == nil {
+				t.Fatalf("Scan erred (%v) but Decode succeeded", scanErr)
+			}
+			if !errors.Is(scanErr, ErrShort) && !errors.Is(scanErr, ErrCorrupt) {
+				t.Fatalf("Scan error %v is neither ErrShort nor ErrCorrupt", scanErr)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("Scan length %d outside (0, %d]", n, len(data))
+		}
+		if decErr != nil {
+			if !errors.Is(decErr, ErrCorrupt) {
+				t.Fatalf("Decode of scannable record: error %v is not ErrCorrupt", decErr)
+			}
+			return
+		}
+		if dn != n {
+			t.Fatalf("Scan length %d != Decode length %d", n, dn)
+		}
+		if rec.Kind < KindSnapshot || rec.Kind > KindSeal {
+			t.Fatalf("decoded impossible kind %d", rec.Kind)
+		}
+	})
+}

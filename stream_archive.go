@@ -3,9 +3,11 @@ package jportal
 import (
 	"bufio"
 	"bytes"
-	"encoding/binary"
+	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -15,6 +17,7 @@ import (
 	"jportal/internal/core"
 	"jportal/internal/meta"
 	"jportal/internal/pt"
+	"jportal/internal/streamfmt"
 	"jportal/internal/vm"
 )
 
@@ -27,33 +30,17 @@ import (
 // disk: a blob record always precedes the first chunk whose trace bytes
 // reference it.
 //
-// stream.jpt layout: the magic, a u32 core count, then tagged records
-// (lengths and integers little-endian):
-//
-//	0x01 snapshot   u32 len, WriteSnapshot bytes   (once, first record)
-//	0x02 blob       u32 len, WriteBlob bytes       (incremental metadata)
-//	0x03 sideband   u64 TSC, i32 core, i32 thread  (one switch record)
-//	0x04 chunk      u32 core, u32 len, AppendItem-framed trace items
-//	0x05 watermark  u32 core, u64 mark
-//	0x06 seal       (no payload; input is complete)
-//
-// A reader that hits the end of the file before a complete record sees
+// The record format lives in internal/streamfmt (it is shared with the
+// networked ingest layer, which relays the same records over TCP). A
+// reader that hits the end of the file before a complete record sees
 // ErrStreamPending rather than a decode error: the writer only ever
 // flushes whole records, so a short tail means "not written yet", never
-// corruption.
+// corruption. Actual corruption — flipped bytes, truncated payloads, a
+// seal whose checksum does not cover what was read — surfaces as an error
+// wrapping streamfmt.ErrCorrupt.
 
-var streamMagic = [8]byte{'J', 'P', 'S', 'T', 'R', 'M', '2', '\n'}
-
-const (
-	streamFile = "stream.jpt"
-
-	recSnapshot  byte = 0x01
-	recBlob      byte = 0x02
-	recSideband  byte = 0x03
-	recChunk     byte = 0x04
-	recWatermark byte = 0x05
-	recSeal      byte = 0x06
-)
+// StreamFileName is the record stream inside a chunked archive directory.
+const StreamFileName = "stream.jpt"
 
 // ErrStreamPending is returned by StreamArchiveReader.Next when the archive
 // ends mid-record or before a seal: the writer has not (yet) appended the
@@ -66,11 +53,36 @@ var ErrStreamPending = errors.New("jportal: stream archive has no complete next 
 // RunWithSink. Methods record the first error and turn later calls into
 // no-ops; Drain and Seal report it.
 type StreamArchiveWriter struct {
-	f     *os.File
-	bw    *bufio.Writer
-	err   error
-	marks []uint64 // last watermark written per core, to skip no-ops
-	tmp   []byte
+	f   *os.File
+	bw  *bufio.Writer
+	enc *streamfmt.Encoder
+	err error
+}
+
+// InitChunkedArchiveDir creates dir and writes the archive.meta header
+// declaring the chunked layout. It is the first step of CreateStreamArchive,
+// exported separately for the ingest server, which assembles the same
+// archive from records relayed over the network.
+func InitChunkedArchiveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeArchiveMeta(dir, LayoutChunked)
+}
+
+// WriteArchiveProgram validates that programGob decodes to a well-formed
+// program and writes it verbatim as dir's program.gob. The ingest server
+// uses it to persist the program bytes a client relayed, byte-identical to
+// the client's local archive.
+func WriteArchiveProgram(dir string, programGob []byte) error {
+	var prog bytecode.Program
+	if err := gob.NewDecoder(bytes.NewReader(programGob)).Decode(&prog); err != nil {
+		return fmt.Errorf("jportal: program bytes do not decode: %w", err)
+	}
+	if err := bytecode.Verify(&prog); err != nil {
+		return fmt.Errorf("jportal: relayed program invalid: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, "program.gob"), programGob, 0o644)
 }
 
 // CreateStreamArchive creates dir as a chunked run archive: header,
@@ -81,47 +93,29 @@ func CreateStreamArchive(dir string, prog *bytecode.Program, snap *meta.Snapshot
 	if ncores <= 0 {
 		return nil, fmt.Errorf("jportal: stream archive needs at least one core, got %d", ncores)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	if err := writeArchiveMeta(dir, LayoutChunked); err != nil {
+	if err := InitChunkedArchiveDir(dir); err != nil {
 		return nil, err
 	}
 	if err := writeGob(filepath.Join(dir, "program.gob"), prog); err != nil {
 		return nil, err
 	}
-	f, err := os.Create(filepath.Join(dir, streamFile))
+	f, err := os.Create(filepath.Join(dir, StreamFileName))
 	if err != nil {
 		return nil, err
 	}
-	w := &StreamArchiveWriter{f: f, bw: bufio.NewWriter(f), marks: make([]uint64, ncores)}
-	w.bw.Write(streamMagic[:])
-	w.writeU32(uint32(ncores))
-	var buf bytes.Buffer
-	if err := meta.WriteSnapshot(&buf, snap); err != nil {
-		f.Close()
-		return nil, err
+	w := &StreamArchiveWriter{f: f, bw: bufio.NewWriter(f)}
+	w.enc, err = streamfmt.NewEncoder(w.bw, ncores)
+	if err == nil {
+		err = w.enc.Snapshot(snap)
 	}
-	w.bw.WriteByte(recSnapshot)
-	w.writeU32(uint32(buf.Len()))
-	w.bw.Write(buf.Bytes())
-	if err := w.flush(); err != nil {
+	if err == nil {
+		err = w.flush()
+	}
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	return w, nil
-}
-
-func (w *StreamArchiveWriter) writeU32(v uint32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	w.bw.Write(b[:])
-}
-
-func (w *StreamArchiveWriter) writeU64(v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	w.bw.Write(b[:])
 }
 
 // AddBlobs appends one blob record per exported method (BlobSink).
@@ -129,16 +123,11 @@ func (w *StreamArchiveWriter) AddBlobs(blobs []*meta.CompiledMethod) error {
 	if w.err != nil {
 		return w.err
 	}
-	var buf bytes.Buffer
 	for _, c := range blobs {
-		buf.Reset()
-		if err := meta.WriteBlob(&buf, c); err != nil {
+		if err := w.enc.Blob(c); err != nil {
 			w.err = err
 			return err
 		}
-		w.bw.WriteByte(recBlob)
-		w.writeU32(uint32(buf.Len()))
-		w.bw.Write(buf.Bytes())
 	}
 	return nil
 }
@@ -149,23 +138,22 @@ func (w *StreamArchiveWriter) AddSideband(recs []vm.SwitchRecord) {
 		return
 	}
 	for i := range recs {
-		w.bw.WriteByte(recSideband)
-		w.writeU64(recs[i].TSC)
-		w.writeU32(uint32(int32(recs[i].Core)))
-		w.writeU32(uint32(int32(recs[i].Thread)))
+		if err := w.enc.Sideband(recs[i]); err != nil {
+			w.err = err
+			return
+		}
 	}
 }
 
 // Watermark appends a watermark record when it moves the core's mark
 // forward (TraceSink).
 func (w *StreamArchiveWriter) Watermark(core int, mark uint64) {
-	if w.err != nil || core < 0 || core >= len(w.marks) || mark <= w.marks[core] {
+	if w.err != nil {
 		return
 	}
-	w.marks[core] = mark
-	w.bw.WriteByte(recWatermark)
-	w.writeU32(uint32(core))
-	w.writeU64(mark)
+	if err := w.enc.Watermark(core, mark); err != nil {
+		w.err = err
+	}
 }
 
 // Feed appends one chunk record framing the items with pt.AppendItem
@@ -174,19 +162,10 @@ func (w *StreamArchiveWriter) Feed(core int, items []pt.Item) error {
 	if w.err != nil {
 		return w.err
 	}
-	if core < 0 || core >= len(w.marks) {
-		w.err = fmt.Errorf("jportal: stream archive chunk for core %d of %d", core, len(w.marks))
-		return w.err
+	if err := w.enc.Chunk(core, items); err != nil {
+		w.err = fmt.Errorf("jportal: stream archive: %w", err)
 	}
-	w.tmp = w.tmp[:0]
-	for i := range items {
-		w.tmp = pt.AppendItem(w.tmp, &items[i])
-	}
-	w.bw.WriteByte(recChunk)
-	w.writeU32(uint32(core))
-	w.writeU32(uint32(len(w.tmp)))
-	w.bw.Write(w.tmp)
-	return nil
+	return w.err
 }
 
 // flush pushes buffered whole records to the file so followers can see
@@ -203,13 +182,16 @@ func (w *StreamArchiveWriter) flush() error {
 // every record appended so far.
 func (w *StreamArchiveWriter) Drain() error { return w.flush() }
 
-// Seal appends the seal record, flushes and closes the file. The archive is
-// complete: readers reach the seal instead of ErrStreamPending, and LoadRun
+// Seal appends the seal record — carrying the CRC-32 of the whole stream —
+// flushes, and closes the file. The archive is complete: readers reach the
+// seal (and verify the checksum) instead of ErrStreamPending, and LoadRun
 // accepts the directory.
 func (w *StreamArchiveWriter) Seal() error {
 	if w.err == nil {
-		w.bw.WriteByte(recSeal)
-		w.flush()
+		w.err = w.enc.Seal()
+		if w.err == nil {
+			w.err = w.bw.Flush()
+		}
 	}
 	if cerr := w.f.Close(); w.err == nil {
 		w.err = cerr
@@ -218,38 +200,34 @@ func (w *StreamArchiveWriter) Seal() error {
 }
 
 // StreamEventKind discriminates StreamEvent.
-type StreamEventKind int
+type StreamEventKind = streamfmt.Kind
 
+// Stream event kinds, in record-tag order.
 const (
-	EvSnapshot StreamEventKind = iota
-	EvBlob
-	EvSideband
-	EvChunk
-	EvWatermark
-	EvSeal
+	EvSnapshot  = streamfmt.KindSnapshot
+	EvBlob      = streamfmt.KindBlob
+	EvSideband  = streamfmt.KindSideband
+	EvChunk     = streamfmt.KindChunk
+	EvWatermark = streamfmt.KindWatermark
+	EvSeal      = streamfmt.KindSeal
 )
 
 // StreamEvent is one decoded record of a chunked archive.
-type StreamEvent struct {
-	Kind     StreamEventKind
-	Snapshot *meta.Snapshot       // EvSnapshot
-	Blob     *meta.CompiledMethod // EvBlob
-	Rec      vm.SwitchRecord      // EvSideband
-	Core     int                  // EvChunk, EvWatermark
-	Items    []pt.Item            // EvChunk
-	Mark     uint64               // EvWatermark
-}
+type StreamEvent = streamfmt.Record
 
 // StreamArchiveReader reads a chunked archive record by record, including
 // one that is still being written: Next returns ErrStreamPending at an
 // incomplete tail (retry after the writer appends more) and io.EOF once the
-// seal record has been consumed.
+// seal record has been consumed. The seal's checksum is verified against
+// every byte read; a mismatch is reported as corruption, so a damaged or
+// silently truncated archive cannot pass for a complete one.
 type StreamArchiveReader struct {
 	f      *os.File
 	prog   *bytecode.Program
 	ncores int
 	buf    []byte // read-ahead not yet consumed
 	off    int64  // file offset of the first byte past buf
+	crc    uint32 // checksum of all consumed bytes (header + records, pre-seal)
 	sealed bool
 }
 
@@ -271,26 +249,22 @@ func OpenStreamArchive(dir string) (*StreamArchiveReader, error) {
 	if err := bytecode.Verify(&prog); err != nil {
 		return nil, fmt.Errorf("jportal: archived program invalid: %w", err)
 	}
-	f, err := os.Open(filepath.Join(dir, streamFile))
+	f, err := os.Open(filepath.Join(dir, StreamFileName))
 	if err != nil {
 		return nil, err
 	}
-	r := &StreamArchiveReader{f: f, prog: &prog}
-	hdr, err := r.need(12)
-	if err != nil {
+	r := &StreamArchiveReader{f: f}
+	if err := r.fill(streamfmt.HeaderLen); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("jportal: %s: truncated stream header", dir)
 	}
-	if [8]byte(hdr[:8]) != streamMagic {
+	r.ncores, err = streamfmt.ParseHeader(r.buf)
+	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("jportal: %s: bad stream magic %q", dir, hdr[:8])
+		return nil, fmt.Errorf("jportal: %s: %w", dir, err)
 	}
-	r.ncores = int(binary.LittleEndian.Uint32(hdr[8:12]))
-	if r.ncores <= 0 {
-		f.Close()
-		return nil, fmt.Errorf("jportal: %s: stream declares %d cores", dir, r.ncores)
-	}
-	r.consume(12)
+	r.consume(streamfmt.HeaderLen)
+	r.prog = &prog
 	return r, nil
 }
 
@@ -303,10 +277,10 @@ func (r *StreamArchiveReader) NumCores() int { return r.ncores }
 // Close closes the underlying file.
 func (r *StreamArchiveReader) Close() error { return r.f.Close() }
 
-// need returns at least n unconsumed bytes, reading more from the file if
-// available. ErrStreamPending means the file currently ends before byte n;
-// nothing is consumed, so the caller can retry after the writer appends.
-func (r *StreamArchiveReader) need(n int) ([]byte, error) {
+// fill grows the read-ahead to at least n bytes. ErrStreamPending means the
+// file currently ends before byte n; nothing is consumed, so the caller can
+// retry after the writer appends.
+func (r *StreamArchiveReader) fill(n int) error {
 	for len(r.buf) < n {
 		chunk := make([]byte, max(4096, n-len(r.buf)))
 		m, err := r.f.ReadAt(chunk, r.off)
@@ -314,114 +288,60 @@ func (r *StreamArchiveReader) need(n int) ([]byte, error) {
 		r.off += int64(m)
 		if err == io.EOF {
 			if len(r.buf) < n {
-				return nil, ErrStreamPending
+				return ErrStreamPending
 			}
-			break
+			return nil
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return r.buf[:n], nil
+	return nil
 }
 
-// consume drops n bytes from the front of the read-ahead.
+// consume folds n bytes into the running checksum and drops them from the
+// front of the read-ahead.
 func (r *StreamArchiveReader) consume(n int) {
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, r.buf[:n])
 	r.buf = r.buf[:copy(r.buf, r.buf[n:])]
 }
 
 // Next decodes the next record. It returns ErrStreamPending at an
-// incomplete (unsealed) tail and io.EOF after the seal.
+// incomplete (unsealed) tail, io.EOF after the seal, and an error wrapping
+// streamfmt.ErrCorrupt for damaged streams — including a seal whose CRC
+// does not match the bytes read before it.
 func (r *StreamArchiveReader) Next() (*StreamEvent, error) {
 	if r.sealed {
 		return nil, io.EOF
 	}
-	tag, err := r.need(1)
+	var n int
+	for {
+		var err error
+		n, err = streamfmt.Scan(r.buf)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, streamfmt.ErrShort) {
+			return nil, fmt.Errorf("jportal: stream archive: %w", err)
+		}
+		// Incomplete: the record needs at least one more byte than we have.
+		if ferr := r.fill(len(r.buf) + 1); ferr != nil {
+			return nil, ferr
+		}
+	}
+	ev, _, err := streamfmt.Decode(r.buf[:n])
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("jportal: stream archive: %w", err)
 	}
-	switch tag[0] {
-	case recSnapshot, recBlob:
-		hdr, err := r.need(5)
-		if err != nil {
-			return nil, err
+	if ev.Kind == EvSeal {
+		if ev.CRC != r.crc {
+			return nil, fmt.Errorf("%w: seal CRC %#08x does not match stream contents (%#08x): archive damaged or truncated",
+				streamfmt.ErrCorrupt, ev.CRC, r.crc)
 		}
-		n := int(binary.LittleEndian.Uint32(hdr[1:5]))
-		body, err := r.need(5 + n)
-		if err != nil {
-			return nil, err
-		}
-		payload := body[5 : 5+n]
-		var ev StreamEvent
-		if tag[0] == recSnapshot {
-			snap, err := meta.ReadSnapshot(bytes.NewReader(payload))
-			if err != nil {
-				return nil, err
-			}
-			ev = StreamEvent{Kind: EvSnapshot, Snapshot: snap}
-		} else {
-			blob, err := meta.ReadBlob(bytes.NewReader(payload))
-			if err != nil {
-				return nil, err
-			}
-			ev = StreamEvent{Kind: EvBlob, Blob: blob}
-		}
-		r.consume(5 + n)
-		return &ev, nil
-	case recSideband:
-		body, err := r.need(17)
-		if err != nil {
-			return nil, err
-		}
-		ev := StreamEvent{Kind: EvSideband, Rec: vm.SwitchRecord{
-			TSC:    binary.LittleEndian.Uint64(body[1:9]),
-			Core:   int(int32(binary.LittleEndian.Uint32(body[9:13]))),
-			Thread: int(int32(binary.LittleEndian.Uint32(body[13:17]))),
-		}}
-		r.consume(17)
-		return &ev, nil
-	case recChunk:
-		hdr, err := r.need(9)
-		if err != nil {
-			return nil, err
-		}
-		core := int(binary.LittleEndian.Uint32(hdr[1:5]))
-		n := int(binary.LittleEndian.Uint32(hdr[5:9]))
-		body, err := r.need(9 + n)
-		if err != nil {
-			return nil, err
-		}
-		payload := body[9 : 9+n]
-		var items []pt.Item
-		for len(payload) > 0 {
-			it, used, err := pt.DecodeItem(payload)
-			if err != nil {
-				return nil, fmt.Errorf("jportal: stream chunk for core %d: %w", core, err)
-			}
-			items = append(items, it)
-			payload = payload[used:]
-		}
-		ev := StreamEvent{Kind: EvChunk, Core: core, Items: items}
-		r.consume(9 + n)
-		return &ev, nil
-	case recWatermark:
-		body, err := r.need(13)
-		if err != nil {
-			return nil, err
-		}
-		ev := StreamEvent{
-			Kind: EvWatermark,
-			Core: int(binary.LittleEndian.Uint32(body[1:5])),
-			Mark: binary.LittleEndian.Uint64(body[5:13]),
-		}
-		r.consume(13)
-		return &ev, nil
-	case recSeal:
-		r.consume(1)
 		r.sealed = true
-		return &StreamEvent{Kind: EvSeal}, nil
 	}
-	return nil, fmt.Errorf("jportal: stream archive: unknown record tag %#x", tag[0])
+	r.consume(n)
+	return &ev, nil
 }
 
 // AnalyzeStreamArchive replays a chunked archive through a streaming
@@ -430,6 +350,15 @@ func (r *StreamArchiveReader) Next() (*StreamEvent, error) {
 // unsealed archive is an error. The result is byte-identical to batch
 // Analyze over the same run.
 func AnalyzeStreamArchive(dir string, cfg core.PipelineConfig, follow bool, poll time.Duration) (*bytecode.Program, *Analysis, error) {
+	return AnalyzeStreamArchiveContext(context.Background(), dir, cfg, follow, poll)
+}
+
+// AnalyzeStreamArchiveContext is AnalyzeStreamArchive with cancellation:
+// when ctx is cancelled mid-follow, the session is closed over everything
+// consumed so far and the partial Analysis is returned alongside ctx's
+// error — the caller can flush partial output (jportal stream -follow does,
+// on SIGINT) while still seeing that the tail was never reached.
+func AnalyzeStreamArchiveContext(ctx context.Context, dir string, cfg core.PipelineConfig, follow bool, poll time.Duration) (*bytecode.Program, *Analysis, error) {
 	r, err := OpenStreamArchive(dir)
 	if err != nil {
 		return nil, nil, err
@@ -439,13 +368,27 @@ func AnalyzeStreamArchive(dir string, cfg core.PipelineConfig, follow bool, poll
 		poll = 50 * time.Millisecond
 	}
 	var sess *Session
+	partial := func(cause error) (*bytecode.Program, *Analysis, error) {
+		if sess == nil {
+			return nil, nil, cause
+		}
+		an, cerr := sess.Close()
+		if cerr != nil {
+			return nil, nil, errors.Join(cause, cerr)
+		}
+		return r.Program(), an, cause
+	}
 	for {
 		ev, err := r.Next()
 		if err == ErrStreamPending {
 			if !follow {
 				return nil, nil, fmt.Errorf("jportal: %s is unsealed (writer still running? use follow mode)", dir)
 			}
-			time.Sleep(poll)
+			select {
+			case <-ctx.Done():
+				return partial(ctx.Err())
+			case <-time.After(poll):
+			}
 			continue
 		}
 		if err == io.EOF {
@@ -490,6 +433,9 @@ func AnalyzeStreamArchive(dir string, cfg core.PipelineConfig, follow bool, poll
 			}
 		case EvSeal:
 			// loop exits via io.EOF on the next Next
+		}
+		if err := ctx.Err(); err != nil {
+			return partial(err)
 		}
 	}
 	if sess == nil {

@@ -1,0 +1,142 @@
+package jportal_test
+
+// Property-style robustness tests of stream.jpt parsing: every truncation
+// and every deterministic single-byte flip of a valid sealed archive must
+// surface as an error — never a panic, and never a silently shortened
+// analysis. The seal record's CRC-32 is what makes the "every flip"
+// guarantee possible: damage that survives the structural checks cannot
+// also match the checksum.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jportal"
+	"jportal/internal/bytecode"
+	"jportal/internal/core"
+	"jportal/internal/meta"
+	"jportal/internal/streamfmt"
+	"jportal/internal/workload"
+)
+
+// collectSmallArchive seals a small chunked archive to mutate.
+func collectSmallArchive(t *testing.T, dir string) {
+	t.Helper()
+	s := workload.MustLoad("fop", 0.15)
+	rcfg := jportal.DefaultRunConfig()
+	rcfg.CollectOracle = false
+	rcfg.PT.BufBytes = 16 << 10
+	rcfg.SinkChunkItems = 64
+	var w *jportal.StreamArchiveWriter
+	_, err := jportal.RunWithSink(s.Program, s.Threads, rcfg,
+		func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (jportal.TraceSink, error) {
+			var err error
+			w, err = jportal.CreateStreamArchive(dir, p, snap, ncores)
+			return w, err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cloneArchive copies an archive directory, substituting stream for the
+// stream.jpt contents (nil keeps the original).
+func cloneArchive(t *testing.T, src, dst string, stream []byte) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Name() == jportal.StreamFileName && stream != nil {
+			data = stream
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func analyzeDir(dir string) (err error) {
+	_, _, err = jportal.AnalyzeStreamArchive(dir, core.DefaultPipelineConfig(), false, 0)
+	return err
+}
+
+func TestStreamArchiveCorruptionIsAlwaysAnError(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base")
+	collectSmallArchive(t, base)
+	stream, err := os.ReadFile(filepath.Join(base, jportal.StreamFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: an untouched clone analyzes fine.
+	clean := filepath.Join(t.TempDir(), "clean")
+	cloneArchive(t, base, clean, nil)
+	if err := analyzeDir(clean); err != nil {
+		t.Fatalf("clean clone failed: %v", err)
+	}
+
+	// Single-byte flips at deterministic pseudo-random positions across
+	// the whole file (header, records, seal): each must yield an error.
+	// The bit flipped also varies so tags, length fields and payload bits
+	// are all hit.
+	const flips = 48
+	sawCorrupt := false
+	for i := 0; i < flips; i++ {
+		pos := int(uint64(i) * 2654435761 % uint64(len(stream)))
+		mutated := append([]byte(nil), stream...)
+		mutated[pos] ^= 1 << (i % 8)
+		dir := filepath.Join(t.TempDir(), "flip")
+		cloneArchive(t, base, dir, mutated)
+		err := analyzeDir(dir)
+		if err == nil {
+			t.Fatalf("flip %d (byte %d, bit %d) analyzed without error", i, pos, i%8)
+		}
+		if errors.Is(err, streamfmt.ErrCorrupt) {
+			sawCorrupt = true
+		}
+	}
+	if !sawCorrupt {
+		t.Error("no flip surfaced as streamfmt.ErrCorrupt (taxonomy lost?)")
+	}
+
+	// Truncations at interesting boundaries: all are "unsealed or damaged",
+	// never success, never a panic.
+	cuts := []int{0, 3, streamfmt.HeaderLen - 1, streamfmt.HeaderLen,
+		streamfmt.HeaderLen + 1, len(stream) / 2, len(stream) - 6, len(stream) - 1}
+	for _, cut := range cuts {
+		dir := filepath.Join(t.TempDir(), "cut")
+		cloneArchive(t, base, dir, stream[:cut])
+		if err := analyzeDir(dir); err == nil {
+			t.Fatalf("truncation to %d bytes analyzed without error", cut)
+		}
+	}
+
+	// A damaged program.gob is an error too.
+	dir := filepath.Join(t.TempDir(), "gob")
+	cloneArchive(t, base, dir, nil)
+	gob, err := os.ReadFile(filepath.Join(dir, "program.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gob[len(gob)/2] ^= 0xFF
+	if err := os.WriteFile(filepath.Join(dir, "program.gob"), gob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := analyzeDir(dir); err == nil {
+		t.Fatal("corrupt program.gob analyzed without error")
+	}
+}
