@@ -1,0 +1,165 @@
+package jportal
+
+import (
+	"strings"
+	"testing"
+
+	"jportal/internal/core"
+	"jportal/internal/fault"
+	"jportal/internal/workload"
+)
+
+// chaosRun produces one finished run to inject faults into. cores below
+// the subject's thread count forces cross-core migration, which is what
+// makes per-core clock skew observable downstream.
+func chaosRun(t *testing.T, subject string, scale workload.Scale, cores int) (*workload.Subject, *RunResult) {
+	t.Helper()
+	s := workload.MustLoad(subject, scale)
+	rcfg := DefaultRunConfig()
+	rcfg.CollectOracle = false
+	if cores > 0 {
+		rcfg.VM.Cores = cores
+	}
+	run, err := Run(s.Program, s.Threads, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, run
+}
+
+// TestChaosRateZeroIsGoldenEquivalent: with every fault class at zero the
+// injector is a pass-through and the chaos path must produce the exact
+// analysis the plain batch path does — the hardening is behavior-neutral.
+func TestChaosRateZeroIsGoldenEquivalent(t *testing.T) {
+	// 4 threads on 3 cores: migrations happen, so this also proves the
+	// stitcher's clock-skew overlap detector stays silent on honest
+	// (jittered but unskewed) sideband.
+	s, run := chaosRun(t, "h2", 0.3, 3)
+	batch, err := Analyze(s.Program, run, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, inj, err := analyzeFaulted(s.Program, run, core.DefaultPipelineConfig(), fault.Matrix{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(inj.Counts()); n != 0 {
+		t.Fatalf("zero matrix injected %d fault classes", n)
+	}
+	equalAnalyses(t, "rate-0 chaos", batch, faulted)
+	rep := faulted.Report
+	if rep == nil {
+		t.Fatal("analysis has no degradation report")
+	}
+	if rep.SegmentsQuarantined != 0 {
+		t.Fatalf("clean run quarantined %d segments", rep.SegmentsQuarantined)
+	}
+	// A lossy-but-unfaulted run can still desync where buffer-overflow
+	// gaps confuse the walker; the ledger reports exactly those (as
+	// lost_sync) and nothing else. In particular no clock_skew: the
+	// overlap detector must stay silent on honest jittered sideband.
+	natural := 0
+	for _, th := range batch.Threads {
+		natural += th.Decode.NativeDesyncs
+	}
+	for reason, n := range rep.Quarantined {
+		if reason != "lost_sync" || n != uint64(natural) {
+			t.Fatalf("clean run quarantined %s×%d (natural desyncs %d): %+v",
+				reason, n, natural, rep)
+		}
+	}
+}
+
+// TestChaosTableDeterministic: same subject, seed and rates twice — the
+// rendered table (counters included) must be byte-identical.
+func TestChaosTableDeterministic(t *testing.T) {
+	base := fault.DefaultMatrix(42)
+	rates := []float64{0, 1}
+	render := func() string {
+		s := workload.MustLoad("fop", 0.25)
+		rcfg := DefaultRunConfig()
+		rows, err := ChaosTable(s.Program, s.Threads, rcfg, core.DefaultPipelineConfig(), base, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatChaosTable("fop", base.Seed, rows)
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("chaos table not deterministic:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	if !strings.Contains(a, "rate") || !strings.Contains(a, "coverage") {
+		t.Fatalf("table missing header:\n%s", a)
+	}
+}
+
+// TestChaosSurvivesDefaultMatrix: the default matrix at increasing rates
+// must never panic and must keep nonzero coverage — graceful degradation,
+// not collapse.
+func TestChaosSurvivesDefaultMatrix(t *testing.T) {
+	s := workload.MustLoad("avrora", 0.25)
+	rcfg := DefaultRunConfig()
+	rows, err := ChaosTable(s.Program, s.Threads, rcfg, core.DefaultPipelineConfig(),
+		fault.DefaultMatrix(7), []float64{0, 0.5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Coverage <= 0 {
+			t.Errorf("rate %.2f: coverage %.4f, want > 0", r.Rate, r.Coverage)
+		}
+	}
+	if rows[0].Coverage < rows[len(rows)-1].Coverage {
+		// Not a hard law (recovery can beat luck) but with the default mix
+		// clean must not be worse than the most hostile rate.
+		t.Errorf("coverage at rate 0 (%.4f) below rate %.1f (%.4f)",
+			rows[0].Coverage, rows[len(rows)-1].Rate, rows[len(rows)-1].Coverage)
+	}
+}
+
+// TestChaosEveryClassObservable isolates each fault class and asserts the
+// end-to-end contract: injection increments that class's counter, and the
+// pipeline quarantines its damage under one of the typed reasons that class
+// is defined to surface as.
+func TestChaosEveryClassObservable(t *testing.T) {
+	// Contended run (4 threads, 3 cores): threads migrate across cores,
+	// without which a constant per-core skew never produces an observable
+	// inconsistency (each thread would live inside one skewed clock).
+	s, run := chaosRun(t, "h2", 0.3, 3)
+	cases := []struct {
+		class   fault.Class
+		m       fault.Matrix
+		reasons []string
+	}{
+		{fault.ClassBitFlip, fault.Matrix{Seed: 5, BitFlip: 1}, []string{"malformed_packet", "lost_sync"}},
+		{fault.ClassTruncate, fault.Matrix{Seed: 5, Truncate: 0.5}, []string{"malformed_packet"}},
+		{fault.ClassChunkDrop, fault.Matrix{Seed: 5, ChunkDrop: 0.5}, []string{"lost_sync"}},
+		{fault.ClassChunkDup, fault.Matrix{Seed: 5, ChunkDup: 0.5}, []string{"lost_sync"}},
+		{fault.ClassSidebandTear, fault.Matrix{Seed: 5, SidebandTear: 0.5}, []string{"sideband_order"}},
+		{fault.ClassSidebandReorder, fault.Matrix{Seed: 5, SidebandReorder: 0.5}, []string{"sideband_order"}},
+		{fault.ClassStaleJIT, fault.Matrix{Seed: 5, StaleJIT: 0.9}, []string{"lost_sync", "stale_metadata"}},
+		{fault.ClassClockSkew, fault.Matrix{Seed: 5, ClockSkewMax: 100_000}, []string{"clock_skew"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.class.Slug(), func(t *testing.T) {
+			an, inj, err := analyzeFaulted(s.Program, run, core.DefaultPipelineConfig(), tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := inj.Counts()[tc.class.Slug()]; got == 0 {
+				t.Fatalf("class %s never injected: %v", tc.class, inj.Counts())
+			}
+			quar := an.Report.Quarantined
+			found := false
+			for _, reason := range tc.reasons {
+				if quar[reason] > 0 {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("class %s: no quarantine under any of %v; ledger saw %v",
+					tc.class, tc.reasons, quar)
+			}
+		})
+	}
+}

@@ -54,6 +54,15 @@ cmp "$SMOKE/local/stream.jpt" "$SMOKE/ingest/smoke/stream.jpt"
 cmp "$SMOKE/local/program.gob" "$SMOKE/ingest/smoke/program.gob"
 echo "    loopback archive byte-identical"
 
+echo "==> chaos smoke (fixed seed, deterministic report, nonzero coverage)"
+# The chaos command exits nonzero if any rate's coverage collapses to zero,
+# and a panic anywhere in the hardened pipeline fails the run outright; the
+# cmp asserts the whole report is reproducible for a fixed seed.
+"$SMOKE/jportal" chaos -subjects fop,avrora -scale 0.2 -seed 42 -rates 0,1,2 >"$SMOKE/chaos1.txt"
+"$SMOKE/jportal" chaos -subjects fop,avrora -scale 0.2 -seed 42 -rates 0,1,2 >"$SMOKE/chaos2.txt"
+cmp "$SMOKE/chaos1.txt" "$SMOKE/chaos2.txt"
+echo "    chaos report deterministic"
+
 echo "==> benchmark smoke (one iteration)"
 go test -bench BenchmarkStreamingMemory -benchtime=1x -run '^$' .
 

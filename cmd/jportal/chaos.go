@@ -1,0 +1,86 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"jportal"
+	"jportal/internal/core"
+	"jportal/internal/fault"
+	"jportal/internal/workload"
+)
+
+// cmdChaos runs the fault-injection matrix over one or more subjects and
+// prints the coverage-vs-fault-rate table: how much of each program's
+// bytecode the pipeline still attributes as the input gets more hostile.
+// The run is fully deterministic for a fixed -seed, so two invocations
+// with the same flags print byte-identical reports — that property is what
+// the CI smoke checks.
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.25, "workload scale")
+	seed := fs.Uint64("seed", 42, "fault-injection seed")
+	subjects := fs.String("subjects", "fop,avrora,pmd", "comma-separated subject list")
+	rates := fs.String("rates", "0,0.5,1,2", "comma-separated fault-rate multipliers")
+	cores := fs.Int("cores", 0, "simulated cores (0 = default; fewer cores than threads forces migration)")
+	workers := fs.Int("workers", 0, "offline-phase parallelism (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	rateList, err := parseRates(*rates)
+	if err != nil {
+		return err
+	}
+	pcfg := core.DefaultPipelineConfig()
+	pcfg.Workers = *workers
+
+	for _, name := range strings.Split(*subjects, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, err := workload.Load(name, workload.Scale(*scale))
+		if err != nil {
+			return err
+		}
+		rcfg := jportal.DefaultRunConfig()
+		rcfg.CollectOracle = false
+		if *cores > 0 {
+			rcfg.VM.Cores = *cores
+		}
+		rows, err := jportal.ChaosTable(s.Program, s.Threads, rcfg, pcfg,
+			fault.DefaultMatrix(*seed), rateList)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stdout, jportal.FormatChaosTable(s.Name, *seed, rows))
+		for _, r := range rows {
+			if r.Coverage <= 0 {
+				return fmt.Errorf("%s: coverage collapsed to %.4f at rate %.2f — degradation is not graceful",
+					s.Name, r.Coverage, r.Rate)
+			}
+		}
+	}
+	return nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("bad rate %q", f)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rates given")
+	}
+	return out, nil
+}

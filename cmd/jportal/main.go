@@ -13,6 +13,7 @@
 //	jportal serve                         networked trace-ingest server
 //	jportal push     <dir>                upload a chunked archive to a server
 //	jportal disasm   <file.jasm>          assemble and disassemble a program
+//	jportal chaos                         fault-injection coverage sweep
 //	jportal exp      <table1|table2|table3|table4|table5|figure7|all>
 //
 // Flags (where applicable): -scale, -buf (paper-label MB), -top, -out,
@@ -73,6 +74,8 @@ func main() {
 		err = cmdPush(args)
 	case "disasm":
 		err = cmdDisasm(args)
+	case "chaos":
+		err = cmdChaos(args)
 	case "exp":
 		err = cmdExp(args)
 	case "help", "-h", "--help":
@@ -109,6 +112,9 @@ commands:
                                (-addr, -id session, resumable; -live runs a
                                 subject and streams its records as they appear)
   disasm  <file.jasm>          assemble and pretty-print a program
+  chaos                        fault-injection sweep: coverage vs fault rate
+                               (-subjects, -seed, -rates, -scale, -cores;
+                                deterministic for a fixed seed)
   exp     <experiment>         regenerate a paper table/figure
                                (table1 table2 table3 table4 table5 figure7 paths all)
 

@@ -18,6 +18,9 @@ func DecodeThread(prog *bytecode.Program, snap *meta.Snapshot, items []pt.Item) 
 	events := dec.Decode(items)
 	segs, stats := TokenizeEvents(prog, events)
 	stats.NativeDesyncs = dec.Desyncs
+	stats.MalformedPackets = dec.FaultCount
+	stats.SkippedPackets = dec.SkippedPackets
+	stats.QuarantinedBytes = dec.SkippedBytes
 	return segs, stats
 }
 
@@ -29,6 +32,18 @@ type DecodeThreadStats struct {
 	Gaps          int
 	LostBytes     uint64
 	NativeDesyncs int
+	// MalformedPackets counts typed decode faults (graceful degradation:
+	// each one cost a skip to the next PSB, not the thread).
+	MalformedPackets int
+	// SkippedPackets and QuarantinedBytes measure the spans discarded
+	// while resynchronizing after malformed packets.
+	SkippedPackets   int
+	QuarantinedBytes uint64
+	// TimeRegressions counts timestamp updates that went backwards within
+	// one thread's stitched stream — the per-core clock-skew signature
+	// (§7.2 timestamp inconsistency). Diagnostics only: decoding proceeds
+	// with the regressed clock exactly as before.
+	TimeRegressions int
 }
 
 // TokenizeEvents lowers native-level decoder events to bytecode tokens,
@@ -98,6 +113,9 @@ func (t *tokenizer) feed(events []ptdecode.Event) {
 		ev := &events[i]
 		switch ev.Kind {
 		case ptdecode.EvTime:
+			if ev.TSC < t.tsc {
+				t.st.TimeRegressions++
+			}
 			t.tsc = ev.TSC
 		case ptdecode.EvEnable, ptdecode.EvDisable, ptdecode.EvStub:
 			t.pendingCond = -1
@@ -108,6 +126,12 @@ func (t *tokenizer) feed(events []ptdecode.Event) {
 			t.tsc = ev.GapEnd
 			t.flush(&GapInfo{LostBytes: ev.LostBytes, Start: ev.GapStart, End: ev.GapEnd})
 		case ptdecode.EvDesync:
+			t.pendingCond = -1
+			t.flush(&GapInfo{Start: t.tsc, End: t.tsc, Desync: true})
+		case ptdecode.EvFault:
+			// A malformed packet: the decoder is skipping to the next PSB.
+			// Split the segment exactly like a desync — the span between
+			// here and the resync point is quarantined, not decoded.
 			t.pendingCond = -1
 			t.flush(&GapInfo{Start: t.tsc, End: t.tsc, Desync: true})
 		case ptdecode.EvTemplate:
@@ -147,6 +171,15 @@ func (t *tokenizer) finish() []*Segment {
 	return t.take()
 }
 
+// breakSegment force-closes the open segment around a quarantined span:
+// after a stage crash the tokens accumulated so far are still sound (they
+// were lowered before the crash) but the stream position is not, so the
+// next segment starts behind a synthetic desync gap.
+func (t *tokenizer) breakSegment() {
+	t.pendingCond = -1
+	t.flush(&GapInfo{Start: t.tsc, End: t.tsc, Desync: true})
+}
+
 // tokenizeRange converts an executed native instruction range into bytecode
 // tokens via the blob's debug records, collapsing the several native
 // instructions a bytecode lowers to into one token, and resolving inline
@@ -156,7 +189,13 @@ func tokenizeRange(prog *bytecode.Program, ev *ptdecode.Event, emit func(Token))
 	var lastM bytecode.MethodID = bytecode.NoMethod
 	lastPC := int32(-1)
 	for i := ev.First; i < ev.Last; i++ {
+		if i < 0 || i >= len(blob.Debug) {
+			return // stale metadata: fewer debug records than instructions
+		}
 		rec := &blob.Debug[i]
+		if len(rec.Frames) == 0 {
+			continue // stale metadata: frameless record
+		}
 		inner := rec.Frames[len(rec.Frames)-1]
 		if inner.Method == lastM && inner.PC == lastPC {
 			continue // same bytecode instruction, subsequent native instr

@@ -31,8 +31,24 @@ type SegmentFlow struct {
 	// Reanchors and Fallbacks aggregate the matcher diagnostics.
 	Reanchors int
 	Fallbacks int
+	// Quarantined marks a flow whose reconstruction was abandoned (the
+	// matcher crashed on untrusted tokens, typically stale or hostile JIT
+	// metadata): it contributes no steps, and §5 recovery neither indexes
+	// it as a candidate nor anchors holes on it.
+	Quarantined bool
 
 	g *cfg.ICFG
+}
+
+// quarantinedFlow builds the empty projection recorded for a segment whose
+// reconstruction crashed: every token skipped, nothing projected.
+func quarantinedFlow(seg *Segment, g *cfg.ICFG) *SegmentFlow {
+	f := &SegmentFlow{Seg: seg, Nodes: make([]cfg.NodeID, len(seg.Tokens)),
+		Skipped: len(seg.Tokens), Quarantined: true, g: g}
+	for i := range f.Nodes {
+		f.Nodes[i] = cfg.NoNode
+	}
+	return f
 }
 
 // Matched counts the projected tokens (the length of Steps without

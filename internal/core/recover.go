@@ -99,6 +99,11 @@ func NewRecoverer(m *Matcher, flows []*SegmentFlow, cfg RecoveryConfig) *Recover
 	var tokens uint64
 	var activeSpan uint64
 	for si, f := range flows {
+		if f == nil || f.Quarantined {
+			// Quarantined segments hold untrusted tokens: splicing them
+			// into holes would launder corrupt data back into the profile.
+			continue
+		}
 		f.Seg.ensureAbs() // lazily-built otherwise: a data race under concurrent recovery
 		toks := f.Seg.Tokens
 		tokens += uint64(len(toks))
@@ -177,6 +182,9 @@ type candidate struct {
 // skipping candidates that a higher tier already rules out (Theorem 5.5).
 // It returns the TopN candidates, best first, plus diagnostics.
 func (r *Recoverer) searchCS(isIdx int) ([]candidate, int, int) {
+	if f := r.flows[isIdx]; f == nil || f.Quarantined {
+		return nil, 0, 0 // no trustworthy anchor to search from
+	}
 	is := r.flows[isIdx].Seg
 	n := len(is.Tokens)
 	if n < r.cfg.AnchorLen {
@@ -241,6 +249,9 @@ func (r *Recoverer) searchCS(isIdx int) ([]candidate, int, int) {
 // pick the one with the longest concrete common suffix, with no tier
 // pruning. Used by the ablation benchmarks.
 func (r *Recoverer) searchCSNaive(isIdx int) (candidate, bool) {
+	if f := r.flows[isIdx]; f == nil || f.Quarantined {
+		return candidate{}, false
+	}
 	is := r.flows[isIdx].Seg
 	n := len(is.Tokens)
 	if n < r.cfg.AnchorLen {
@@ -250,6 +261,9 @@ func (r *Recoverer) searchCSNaive(isIdx int) (candidate, bool) {
 	best := candidate{ml3: -1}
 	found := false
 	for si, f := range r.flows {
+		if f == nil || f.Quarantined {
+			continue
+		}
 		toks := f.Seg.Tokens
 		for p := r.cfg.AnchorLen; p <= len(toks); p++ {
 			if si == isIdx && p == n {
@@ -305,6 +319,9 @@ func (r *Recoverer) RecoverHole(isIdx int) Fill {
 		return Fill{}
 	}
 	nextFlow := r.flows[isIdx+1]
+	if nextFlow == nil || r.flows[isIdx] == nil {
+		return Fill{}
+	}
 	gap := nextFlow.Seg.GapBefore
 	// The timestamps around the hole tell us roughly how much execution
 	// is missing (paper §5, Recovery): the splice must read about d's
@@ -330,6 +347,9 @@ func (r *Recoverer) RecoverHole(isIdx int) Fill {
 	cands, tried, pruned := r.searchCS(isIdx)
 	fill := Fill{CandidatesTried: tried, TierPrunes: pruned}
 	post := nextFlow.Seg.Tokens
+	if nextFlow.Quarantined {
+		post = nil // untrusted tokens cannot confirm a splice
+	}
 	var bestPartial []Step
 	for _, c := range cands {
 		steps, connected := r.chainFill(&c, kMin, budget, gap, post)

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"jportal/internal/conc"
+	"jportal/internal/fault"
 	"jportal/internal/meta"
 	"jportal/internal/pt"
 	"jportal/internal/ptdecode"
@@ -30,6 +32,21 @@ type ThreadAnalyzer struct {
 	res      *ThreadResult
 	pend     []*Segment
 	finished bool
+	// ledger, when set, receives quarantine entries (decode faults, stage
+	// crashes). Nil drops them.
+	ledger *fault.Ledger
+	// harvested decoder-fault watermarks, so each Feed reports only the
+	// new faults to the ledger.
+	seenFaults  int
+	seenSkipped uint64
+	seenDesyncs int
+	seenRegress int
+	// carried* accumulate diagnostics of decoders discarded after a stage
+	// crash, so Finish reports the whole thread.
+	carriedDesyncs  int
+	carriedFaults   int
+	carriedSkipPkts int
+	carriedSkipByte uint64
 }
 
 // NewThreadAnalyzer starts the analysis of one thread's stream.
@@ -43,6 +60,9 @@ func (p *Pipeline) NewThreadAnalyzer(thread int, snap *meta.Snapshot) *ThreadAna
 	}
 }
 
+// SetLedger attaches the quarantine ledger exclusions are reported to.
+func (a *ThreadAnalyzer) SetLedger(l *fault.Ledger) { a.ledger = l }
+
 // Feed analyses the next chunk of the thread's stitched stream. When the
 // completed-segment backlog reaches MaxPendingSegments, it is reconstructed
 // as a wave (fanning out to the configured workers) and released.
@@ -51,12 +71,80 @@ func (a *ThreadAnalyzer) Feed(items []pt.Item) {
 		panic("core: ThreadAnalyzer.Feed after Finish")
 	}
 	t0 := time.Now()
-	a.tk.feed(a.dec.DecodeChunk(items))
+	a.safeFeed(items)
+	a.harvestFaults()
 	a.pend = append(a.pend, a.tk.take()...)
 	if cap := a.p.Cfg.MaxPendingSegments; cap > 0 && len(a.pend) >= cap {
 		a.reconstruct()
 	}
 	a.res.DecodeTime += time.Since(t0)
+}
+
+// safeFeed runs the decode+tokenize of one chunk with panic containment:
+// a crash quarantines this chunk only, rebuilds the decoder (its walking
+// state is what crashed) and splits the token stream behind a synthetic
+// desync, so the thread — and every other thread — keeps analysing. It
+// runs inside the Session's per-thread fan-out, where an escaped panic
+// would kill the process.
+func (a *ThreadAnalyzer) safeFeed(items []pt.Item) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.ledger.Add(fault.Entry{
+				Reason: fault.ReasonStageCrash, Thread: a.res.Thread, Core: -1,
+				Items: len(items), Bytes: chunkBytes(items),
+				Detail: fmt.Sprintf("decode: %v", r),
+			})
+			a.carriedDesyncs += a.dec.Desyncs
+			a.carriedFaults += a.dec.FaultCount
+			a.carriedSkipPkts += a.dec.SkippedPackets
+			a.carriedSkipByte += a.dec.SkippedBytes
+			a.seenFaults, a.seenSkipped, a.seenDesyncs = 0, 0, 0
+			a.dec = ptdecode.New(a.snap)
+			a.tk.breakSegment()
+		}
+	}()
+	a.tk.feed(a.dec.DecodeChunk(items))
+}
+
+// harvestFaults reports the decode stage's new typed exclusions to the
+// ledger: malformed packets (with the bytes skipped to the next PSB),
+// lost-sync episodes, and per-thread time regressions.
+func (a *ThreadAnalyzer) harvestFaults() {
+	if a.ledger == nil {
+		return
+	}
+	if n := a.dec.FaultCount; n > a.seenFaults {
+		a.ledger.Add(fault.Entry{
+			Reason: fault.ReasonMalformedPacket, Thread: a.res.Thread, Core: -1,
+			Count: n - a.seenFaults, Bytes: a.dec.SkippedBytes - a.seenSkipped,
+		})
+		a.seenFaults = n
+		a.seenSkipped = a.dec.SkippedBytes
+	}
+	if n := a.dec.Desyncs; n > a.seenDesyncs {
+		a.ledger.Add(fault.Entry{
+			Reason: fault.ReasonLostSync, Thread: a.res.Thread, Core: -1,
+			Count: n - a.seenDesyncs,
+		})
+		a.seenDesyncs = n
+	}
+	if n := a.tk.st.TimeRegressions; n > a.seenRegress {
+		a.ledger.Add(fault.Entry{
+			Reason: fault.ReasonClockSkew, Thread: a.res.Thread, Core: -1,
+			Count: n - a.seenRegress,
+		})
+		a.seenRegress = n
+	}
+}
+
+func chunkBytes(items []pt.Item) uint64 {
+	var n uint64
+	for i := range items {
+		if !items[i].Gap {
+			n += uint64(items[i].Packet.WireLen)
+		}
+	}
+	return n
 }
 
 // PendingSegments returns the decoded-but-unreconstructed backlog.
@@ -74,12 +162,31 @@ func (a *ThreadAnalyzer) reconstruct() {
 	pend := a.pend
 	conc.ParallelWork(a.p.Cfg.WorkerCount(), len(pend), a.p.Matcher.NewScratch,
 		func(sc *MatchScratch, i int) {
-			a.res.Flows[base+i] = a.p.Matcher.ReconstructSegmentScratch(sc, pend[i])
+			a.res.Flows[base+i] = a.safeReconstruct(sc, pend[i])
 		})
 	for i := range a.pend {
 		a.pend[i] = nil
 	}
 	a.pend = a.pend[:0]
+}
+
+// safeReconstruct projects one segment with panic containment: a matcher
+// crash (tokens from stale or hostile JIT metadata can carry PCs no ICFG
+// node exists for) quarantines that segment — recorded as an empty,
+// Quarantined flow so slot addressing and hole bookkeeping stay intact —
+// instead of killing the worker pool.
+func (a *ThreadAnalyzer) safeReconstruct(sc *MatchScratch, seg *Segment) (f *SegmentFlow) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.ledger.Add(fault.Entry{
+				Reason: fault.ReasonStaleMetadata, Thread: a.res.Thread, Core: -1,
+				Items: len(seg.Tokens),
+				Detail: fmt.Sprintf("reconstruct: %v", r),
+			})
+			f = quarantinedFlow(seg, a.p.Matcher.G)
+		}
+	}()
+	return a.p.Matcher.ReconstructSegmentScratch(sc, seg)
 }
 
 // Finish flushes the decoder and tokenizer, reconstructs the remaining
@@ -95,22 +202,65 @@ func (a *ThreadAnalyzer) Finish() *ThreadResult {
 
 	t0 := time.Now()
 	a.tk.feed(a.dec.Flush())
+	a.harvestFaults()
 	a.pend = append(a.pend, a.tk.finish()...)
 	st := a.tk.st
-	st.NativeDesyncs = a.dec.Desyncs
+	st.NativeDesyncs = a.carriedDesyncs + a.dec.Desyncs
+	st.MalformedPackets = a.carriedFaults + a.dec.FaultCount
+	st.SkippedPackets = a.carriedSkipPkts + a.dec.SkippedPackets
+	st.QuarantinedBytes = a.carriedSkipByte + a.dec.SkippedBytes
 	res.Decode = st
 	a.reconstruct()
 	res.DecodeTime += time.Since(t0)
 
 	t1 := time.Now()
-	rec := NewRecoverer(a.p.Matcher, res.Flows, a.p.Cfg.Recovery)
+	rec := a.safeRecoverer()
 	res.Fills = make([]Fill, len(res.Flows))
-	conc.ParallelFor(a.p.Cfg.WorkerCount(), len(res.Flows)-1, func(i int) {
-		res.Fills[i] = rec.RecoverHole(i)
-	})
+	if rec != nil {
+		conc.ParallelFor(a.p.Cfg.WorkerCount(), len(res.Flows)-1, func(i int) {
+			res.Fills[i] = a.safeRecoverHole(rec, i)
+		})
+	}
 	res.RecoverTime = time.Since(t1)
 
-	// Pre-size the merged profile from the per-flow matched counts.
+	// Merge the end-to-end profile from the per-flow steps and fills.
+	mergeSteps(res)
+	return res
+}
+
+// safeRecoverer builds the §5 recoverer with panic containment: if index
+// construction crashes (hostile tokens), recovery is skipped for the whole
+// thread — every hole stays a hole, which is degradation, not failure.
+func (a *ThreadAnalyzer) safeRecoverer() (rec *Recoverer) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.ledger.Add(fault.Entry{
+				Reason: fault.ReasonStageCrash, Thread: a.res.Thread, Core: -1,
+				Detail: fmt.Sprintf("recoverer: %v", r),
+			})
+			rec = nil
+		}
+	}()
+	return NewRecoverer(a.p.Matcher, a.res.Flows, a.p.Cfg.Recovery)
+}
+
+// safeRecoverHole fills one hole with panic containment: a crash leaves
+// that hole unfilled and quarantines nothing else.
+func (a *ThreadAnalyzer) safeRecoverHole(rec *Recoverer, i int) (fill Fill) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.ledger.Add(fault.Entry{
+				Reason: fault.ReasonStageCrash, Thread: a.res.Thread, Core: -1,
+				Detail: fmt.Sprintf("recover hole %d: %v", i, r),
+			})
+			fill = Fill{}
+		}
+	}()
+	return rec.RecoverHole(i)
+}
+
+// mergeSteps assembles the thread's final profile from flows and fills.
+func mergeSteps(res *ThreadResult) {
 	total := 0
 	for i, f := range res.Flows {
 		total += f.Matched()
@@ -128,5 +278,4 @@ func (a *ThreadAnalyzer) Finish() *ThreadResult {
 			res.RecoveredSteps += len(res.Fills[i].Steps)
 		}
 	}
-	return res
 }

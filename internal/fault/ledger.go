@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"jportal/internal/metrics"
+)
+
+// Reason is the typed cause a span of input was quarantined for. Every
+// hardened stage reports exclusions under exactly one reason, so the ledger
+// answers "what did we not analyse, and why" per run.
+type Reason uint8
+
+const (
+	// ReasonMalformedPacket: the native decoder hit a packet that fails
+	// validation (unknown kind, hostile TNT length) and skipped to the
+	// next PSB.
+	ReasonMalformedPacket Reason = iota
+	// ReasonLostSync: the native walker lost sync with the machine code
+	// (silent chunk loss or duplication, stale/missing JIT metadata) and
+	// re-anchored; the span in between was excluded as a desync hole.
+	ReasonLostSync
+	// ReasonClockSkew: a thread's stitched stream went backwards in time —
+	// the signature of per-core clock skew leaking through the cross-core
+	// stitch (§7.2's timestamp inconsistency).
+	ReasonClockSkew
+	// ReasonSidebandOrder: a switch record violated per-core time
+	// monotonicity (torn or reordered sideband) and was dropped.
+	ReasonSidebandOrder
+	// ReasonStageCrash: a pipeline stage panicked on one thread-segment or
+	// core; the span it was processing was quarantined and the stage state
+	// rebuilt.
+	ReasonStageCrash
+	// ReasonStaleMetadata: reconstruction rejected a segment whose tokens
+	// came from unusable (stale/missing) JIT metadata.
+	ReasonStaleMetadata
+	// ReasonCorruptRecord: an ingest frame failed record validation
+	// (streamfmt corruption) and its session was quarantined.
+	ReasonCorruptRecord
+	// ReasonTornRecord: an ingest frame ended mid-record (short payload)
+	// and its session was quarantined.
+	ReasonTornRecord
+
+	numReasons
+)
+
+// Slug returns the reason's stable snake_case name (metrics counter suffix).
+func (r Reason) Slug() string {
+	switch r {
+	case ReasonMalformedPacket:
+		return "malformed_packet"
+	case ReasonLostSync:
+		return "lost_sync"
+	case ReasonClockSkew:
+		return "clock_skew"
+	case ReasonSidebandOrder:
+		return "sideband_order"
+	case ReasonStageCrash:
+		return "stage_crash"
+	case ReasonStaleMetadata:
+		return "stale_metadata"
+	case ReasonCorruptRecord:
+		return "corrupt_record"
+	case ReasonTornRecord:
+		return "torn_record"
+	}
+	return "unknown"
+}
+
+func (r Reason) String() string { return r.Slug() }
+
+// Reasons lists every quarantine reason in declaration order.
+func Reasons() []Reason {
+	out := make([]Reason, numReasons)
+	for i := range out {
+		out[i] = Reason(i)
+	}
+	return out
+}
+
+// QuarantineCounterName is the metrics counter a reason increments.
+func QuarantineCounterName(r Reason) string { return "quarantine_" + r.Slug() }
+
+// Entry is one quarantine event: what was excluded, where, and why.
+type Entry struct {
+	Reason Reason
+	// Thread and Core locate the span (-1 = not applicable).
+	Thread, Core int
+	// Count is how many faults/exclusions this entry aggregates (0 is
+	// normalised to 1).
+	Count int
+	// Items and Bytes size the excluded span (best effort).
+	Items int
+	Bytes uint64
+	// Detail is a short human-readable cause (panic value, record text).
+	Detail string
+}
+
+// maxLedgerEntries bounds the retained entry list; counts keep accumulating
+// past it. A chaos run at high fault rates can quarantine thousands of
+// spans — the totals matter, the full list does not.
+const maxLedgerEntries = 4096
+
+// Ledger is the Session's quarantine record: thread-safe, nil-safe (a nil
+// *Ledger drops everything, so stages need no wiring guards), and mirrored
+// into a metrics.Registry so the counters surface on the ingest sidecar.
+type Ledger struct {
+	mu      sync.Mutex
+	reg     *metrics.Registry
+	entries []Entry
+	counts  [numReasons]uint64
+	items   int
+	bytes   uint64
+	dropped int
+}
+
+// NewLedger creates a ledger mirroring counts into reg (nil allowed).
+func NewLedger(reg *metrics.Registry) *Ledger {
+	return &Ledger{reg: reg}
+}
+
+// Add records one quarantine event.
+func (l *Ledger) Add(e Entry) {
+	if l == nil {
+		return
+	}
+	if e.Count <= 0 {
+		e.Count = 1
+	}
+	l.mu.Lock()
+	l.counts[e.Reason] += uint64(e.Count)
+	l.items += e.Items
+	l.bytes += e.Bytes
+	if len(l.entries) < maxLedgerEntries {
+		l.entries = append(l.entries, e)
+	} else {
+		l.dropped++
+	}
+	l.mu.Unlock()
+	l.reg.Add(QuarantineCounterName(e.Reason), int64(e.Count))
+}
+
+// Count returns the accumulated count for one reason.
+func (l *Ledger) Count(r Reason) uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts[r]
+}
+
+// Counts returns nonzero per-reason totals keyed by slug.
+func (l *Ledger) Counts() map[string]uint64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64)
+	for r := Reason(0); r < numReasons; r++ {
+		if l.counts[r] > 0 {
+			out[r.Slug()] = l.counts[r]
+		}
+	}
+	return out
+}
+
+// Totals returns the excluded item and byte totals.
+func (l *Ledger) Totals() (items int, bytes uint64) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.items, l.bytes
+}
+
+// Entries returns a copy of the retained entry list (order is stage
+// completion order and therefore not deterministic under concurrency; use
+// Counts for reproducible reporting).
+func (l *Ledger) Entries() []Entry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Entry(nil), l.entries...)
+}
+
+// DegradationReport is the per-run robustness summary the Session assembles
+// at Close: what was injected (when a chaos harness drove the run), what
+// the pipeline quarantined, how much it recovered, and the bytecode
+// coverage of what survived.
+type DegradationReport struct {
+	// Injected counts faults placed by a chaos injector, per class slug
+	// (empty outside chaos runs).
+	Injected map[string]uint64
+	// Quarantined counts ledger exclusions per reason slug.
+	Quarantined map[string]uint64
+	// QuarantinedItems and QuarantinedBytes size the excluded input.
+	QuarantinedItems int
+	QuarantinedBytes uint64
+	// SegmentsDecoded and SegmentsQuarantined partition the thread-segments
+	// the decode produced.
+	SegmentsDecoded     int
+	SegmentsQuarantined int
+	// HolesFilled and HolesUnfilled partition the §5 recovery attempts.
+	HolesFilled   int
+	HolesUnfilled int
+	// DecodedSteps and RecoveredSteps are the profile's provenance split.
+	DecodedSteps   int
+	RecoveredSteps int
+	// Coverage is the fraction of the program's bytecode instructions the
+	// surviving profile executed at least once (see DESIGN.md §10 for the
+	// exact definition).
+	Coverage float64
+}
+
+// String renders the report deterministically (sorted counter names).
+func (r *DegradationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "degradation report:\n")
+	fmt.Fprintf(&b, "  coverage              %.4f\n", r.Coverage)
+	fmt.Fprintf(&b, "  segments decoded      %d\n", r.SegmentsDecoded)
+	fmt.Fprintf(&b, "  segments quarantined  %d\n", r.SegmentsQuarantined)
+	fmt.Fprintf(&b, "  holes filled          %d\n", r.HolesFilled)
+	fmt.Fprintf(&b, "  holes unfilled        %d\n", r.HolesUnfilled)
+	fmt.Fprintf(&b, "  decoded steps         %d\n", r.DecodedSteps)
+	fmt.Fprintf(&b, "  recovered steps       %d\n", r.RecoveredSteps)
+	fmt.Fprintf(&b, "  quarantined items     %d\n", r.QuarantinedItems)
+	fmt.Fprintf(&b, "  quarantined bytes     %d\n", r.QuarantinedBytes)
+	writeCounts(&b, "  injected", r.Injected)
+	writeCounts(&b, "  quarantine", r.Quarantined)
+	return b.String()
+}
+
+func writeCounts(b *strings.Builder, prefix string, m map[string]uint64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s %-18s %d\n", prefix, k, m[k])
+	}
+}

@@ -21,24 +21,37 @@ type Metrics struct {
 	Duplicates      atomic.Int64 // counter: frames at or below the acked sequence
 	Nacks           atomic.Int64 // counter: frames rejected (queue full / gap)
 	Errors          atomic.Int64 // counter: connections ended by an ERR frame
+
+	SessionsQuarantined atomic.Int64 // counter: sessions poisoned by a failed validation
+	CorruptRecords      atomic.Int64 // counter: chunks rejected as structurally corrupt
+	TornRecords         atomic.Int64 // counter: chunks rejected for ending mid-record
 }
 
-// snapshot returns the counters plus computed gauges as an ordered map.
+// snapshot returns the counters plus computed gauges as an ordered map,
+// merged with the process-wide fault/quarantine registry so one endpoint
+// covers both the ingest path and any in-process analysis sessions.
 func (s *Server) snapshot() map[string]int64 {
 	m := &s.metrics
-	return map[string]int64{
-		"sessions_open":    m.SessionsOpen.Load(),
-		"sessions_total":   m.SessionsTotal.Load(),
-		"sessions_resumed": m.SessionsResumed.Load(),
-		"sessions_sealed":  m.SessionsSealed.Load(),
-		"sessions_drained": m.SessionsDrained.Load(),
-		"chunks_ingested":  m.ChunksIngested.Load(),
-		"bytes_ingested":   m.BytesIngested.Load(),
-		"duplicates":       m.Duplicates.Load(),
-		"nacks":            m.Nacks.Load(),
-		"errors":           m.Errors.Load(),
-		"queue_depth":      s.queueDepth(),
+	out := map[string]int64{
+		"sessions_open":        m.SessionsOpen.Load(),
+		"sessions_total":       m.SessionsTotal.Load(),
+		"sessions_resumed":     m.SessionsResumed.Load(),
+		"sessions_sealed":      m.SessionsSealed.Load(),
+		"sessions_drained":     m.SessionsDrained.Load(),
+		"sessions_quarantined": m.SessionsQuarantined.Load(),
+		"chunks_ingested":      m.ChunksIngested.Load(),
+		"bytes_ingested":       m.BytesIngested.Load(),
+		"duplicates":           m.Duplicates.Load(),
+		"nacks":                m.Nacks.Load(),
+		"errors":               m.Errors.Load(),
+		"records_corrupt":      m.CorruptRecords.Load(),
+		"records_torn":         m.TornRecords.Load(),
+		"queue_depth":          s.queueDepth(),
 	}
+	for k, v := range s.cfg.Registry.Snapshot() {
+		out[k] = v
+	}
+	return out
 }
 
 // queueDepth sums the frames waiting in every session's bounded inbound

@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"jportal"
+	"jportal/internal/fault"
+	"jportal/internal/metrics"
 	"jportal/internal/streamfmt"
 )
 
@@ -51,6 +53,10 @@ type Config struct {
 	IdleTimeout time.Duration
 	// Logf, when set, receives one line per connection-level event.
 	Logf func(format string, args ...any)
+	// Registry receives the typed quarantine counters (and is merged into
+	// the /metrics sidecar). Default: metrics.Default, the process-wide
+	// registry analysis sessions also report to.
+	Registry *metrics.Registry
 }
 
 func (c *Config) fill() error {
@@ -75,6 +81,9 @@ func (c *Config) fill() error {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.Default
 	}
 	return nil
 }
@@ -105,6 +114,15 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, err
+	}
+	// Pre-register every fault-class and quarantine counter at zero, so the
+	// /metrics sidecar always exposes the full vocabulary — a scraper can
+	// alert on a counter before the first fault, not only after.
+	for _, c := range fault.Classes() {
+		cfg.Registry.Add(fault.InjectCounterName(c), 0)
+	}
+	for _, r := range fault.Reasons() {
+		cfg.Registry.Add(fault.QuarantineCounterName(r), 0)
 	}
 	return &Server{
 		cfg:      cfg,
@@ -624,7 +642,8 @@ func (sess *session) runWriter() {
 			continue
 		}
 		if err := sess.archive(m); err != nil {
-			sess.poison(err)
+			sess.srv.quarantineErr(err)
+			sess.rejectAndPoison(m, err)
 		}
 	}
 	sess.mu.Lock()
@@ -743,6 +762,36 @@ func (sess *session) finish(finSeq uint64) {
 		sess.srv.metrics.Nacks.Add(1)
 		conn.send(FrameNack, AppendSeq(nil, acked+1))
 	}
+}
+
+// quarantineErr classifies a session-poisoning archive error into the
+// typed fault taxonomy and mirrors it to the registry, so a rejected upload
+// is visible on /metrics with the same vocabulary the analysis ledger uses.
+func (s *Server) quarantineErr(err error) {
+	s.metrics.SessionsQuarantined.Add(1)
+	switch {
+	case errors.Is(err, streamfmt.ErrCorrupt):
+		s.metrics.CorruptRecords.Add(1)
+		s.cfg.Registry.Add(fault.QuarantineCounterName(fault.ReasonCorruptRecord), 1)
+	case errors.Is(err, streamfmt.ErrShort):
+		s.metrics.TornRecords.Add(1)
+		s.cfg.Registry.Add(fault.QuarantineCounterName(fault.ReasonTornRecord), 1)
+	}
+}
+
+// rejectAndPoison NACKs the frame that failed validation — telling the
+// client the sequence was not accepted — then poisons the session. The
+// blast radius is exactly this session id: sibling sessions on the same
+// server (even the same connection policy and queue) keep archiving.
+func (sess *session) rejectAndPoison(m msg, err error) {
+	sess.mu.Lock()
+	conn := sess.conn
+	sess.mu.Unlock()
+	if conn != nil && m.typ != FrameFin {
+		sess.srv.metrics.Nacks.Add(1)
+		conn.send(FrameNack, AppendSeq(nil, m.seq))
+	}
+	sess.poison(err)
 }
 
 // poison records a fatal session error, reports it to the attached client,

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"jportal/internal/bytecode"
+	"jportal/internal/fault"
 	"jportal/internal/ingest"
 	"jportal/internal/ingest/client"
 	"jportal/internal/pt"
@@ -783,5 +784,120 @@ func TestObservabilityEndpoints(t *testing.T) {
 	srv.Shutdown(ctx)
 	if code, body := get("/healthz"); code != 503 || !bytes.Contains([]byte(body), []byte("draining")) {
 		t.Fatalf("healthz during drain = %d %q", code, body)
+	}
+}
+
+// TestPoisonedSessionDoesNotAffectSiblings interleaves a clean session with
+// one that uploads a corrupt chunk: the bad frame earns a NACK and poisons
+// exactly its own session, while the sibling seals a byte-identical archive
+// on the same server.
+func TestPoisonedSessionDoesNotAffectSiblings(t *testing.T) {
+	dataDir := t.TempDir()
+	srv, addr := startServer(t, ingest.Config{DataDir: dataDir})
+	gob := testProgramGob(t)
+	stream := buildStream(t, 2, 4)
+	records := stream[streamfmt.HeaderLen:]
+
+	bad := append([]byte(nil), records...)
+	bad[len(bad)-12] ^= 0xFF // break the seal CRC
+
+	clean := dialRaw(t, addr, "clean", 2)
+	poisoned := dialRaw(t, addr, "poisoned", 2)
+
+	// Interleave: the clean session is mid-upload when the sibling poisons.
+	clean.send(ingest.FrameProgram, 1, gob)
+	clean.waitAck(1)
+	poisoned.send(ingest.FrameProgram, 1, gob)
+	poisoned.send(ingest.FrameChunk, 2, bad)
+	if got := poisoned.expect(ingest.FrameNack); got != 2 {
+		t.Fatalf("NACK for rejected frame = seq %d, want 2", got)
+	}
+	if msg := poisoned.expectErr(); !strings.Contains(msg, "corrupt") {
+		t.Fatalf("poisoned session ERR = %q, want a corrupt-stream cause", msg)
+	}
+
+	// The sibling finishes untouched and its archive is byte-identical.
+	clean.send(ingest.FrameChunk, 2, records)
+	clean.waitAck(2)
+	clean.send(ingest.FrameFin, 2, nil)
+	if got := clean.expect(ingest.FrameFinAck); got != 2 {
+		t.Fatalf("clean FIN_ACK seq = %d", got)
+	}
+	assertArchived(t, dataDir, "clean", gob, stream)
+
+	m := srv.Metrics()
+	if q := m.SessionsQuarantined.Load(); q != 1 {
+		t.Fatalf("SessionsQuarantined = %d, want 1", q)
+	}
+	if c := m.CorruptRecords.Load(); c != 1 {
+		t.Fatalf("CorruptRecords = %d, want 1", c)
+	}
+	// The poisoned id stays quarantined; the clean id sealed normally.
+	if msg := dialRawExpectErr(t, addr,
+		ingest.AppendHello(nil, ingest.ProtoVersion, 2, "poisoned")); msg == "" {
+		t.Fatal("poisoned session accepted a reconnect")
+	}
+	if m.SessionsSealed.Load() != 1 {
+		t.Fatalf("SessionsSealed = %d, want 1", m.SessionsSealed.Load())
+	}
+}
+
+// TestTornChunkQuarantinesAsTorn uploads a chunk that ends mid-record: the
+// session is quarantined under the torn-record class, not the corrupt one.
+func TestTornChunkQuarantinesAsTorn(t *testing.T) {
+	srv, addr := startServer(t, ingest.Config{DataDir: t.TempDir()})
+	stream := buildStream(t, 2, 2)
+	records := stream[streamfmt.HeaderLen:]
+
+	r := dialRaw(t, addr, "torn", 2)
+	r.send(ingest.FrameProgram, 1, testProgramGob(t))
+	r.send(ingest.FrameChunk, 2, records[:len(records)-3])
+	if got := r.expect(ingest.FrameNack); got != 2 {
+		t.Fatalf("NACK seq = %d, want 2", got)
+	}
+	if msg := r.expectErr(); msg == "" {
+		t.Fatal("empty ERR")
+	}
+	if n := srv.Metrics().TornRecords.Load(); n != 1 {
+		t.Fatalf("TornRecords = %d, want 1", n)
+	}
+	if n := srv.Metrics().CorruptRecords.Load(); n != 0 {
+		t.Fatalf("CorruptRecords = %d, want 0", n)
+	}
+}
+
+// TestMetricsExposeFaultCounters asserts the /metrics sidecar pre-declares
+// the whole fault vocabulary — every injector class and quarantine reason —
+// plus the ingest quarantine counters, before any fault has occurred.
+func TestMetricsExposeFaultCounters(t *testing.T) {
+	srv, _ := startServer(t, ingest.Config{DataDir: t.TempDir()})
+	web := httptest.NewServer(srv.Observability())
+	defer web.Close()
+
+	resp, err := web.Client().Get(web.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	var m map[string]int64
+	if err := json.Unmarshal(body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body.String())
+	}
+	for _, c := range fault.Classes() {
+		if _, ok := m[fault.InjectCounterName(c)]; !ok {
+			t.Errorf("metrics missing %q", fault.InjectCounterName(c))
+		}
+	}
+	for _, r := range fault.Reasons() {
+		if _, ok := m[fault.QuarantineCounterName(r)]; !ok {
+			t.Errorf("metrics missing %q", fault.QuarantineCounterName(r))
+		}
+	}
+	for _, key := range []string{"sessions_quarantined", "records_corrupt", "records_torn"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
 	}
 }

@@ -1,0 +1,61 @@
+package metrics
+
+import "sync"
+
+// Registry is a process-wide set of named monotonic counters: the export
+// surface for the fault-injection and quarantine accounting (DESIGN.md §10).
+// Producers (the quarantine ledger, the fault injector, the ingest server)
+// Add to named counters; consumers (the ingest /metrics sidecar, the chaos
+// report) read a Snapshot. All methods are safe for concurrent use and
+// nil-safe: a nil *Registry silently drops updates, so optional wiring needs
+// no guards at call sites.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// NewRegistry creates an empty counter registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]int64)}
+}
+
+// Default is the process-wide registry. The root Session's quarantine
+// ledger and the fault injector mirror their counts here so the ingest
+// sidecar can expose them without plumbing.
+var Default = NewRegistry()
+
+// Add increments the named counter by delta (registering it at zero first
+// if unseen). Adding zero registers the name without changing its value,
+// which the sidecar uses to pre-declare fault-class counters.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Get returns the named counter's value (0 if unregistered).
+func (r *Registry) Get(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Snapshot returns a copy of every registered counter.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 0) // registers the name at zero
+	r.Add("b", 3)
+	r.Add("b", 2)
+	if got := r.Get("a"); got != 0 {
+		t.Fatalf("a = %d", got)
+	}
+	if got := r.Get("b"); got != 5 {
+		t.Fatalf("b = %d", got)
+	}
+	if got := r.Get("missing"); got != 0 {
+		t.Fatalf("missing = %d", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap["a"] != 0 || snap["b"] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	snap["b"] = 99
+	if r.Get("b") != 5 {
+		t.Fatal("snapshot aliases registry state")
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Add("x", 1) // must not panic
+	if r.Get("x") != 0 || r.Snapshot() != nil {
+		t.Fatal("nil registry not inert")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get("n"); got != 8000 {
+		t.Fatalf("n = %d, want 8000", got)
+	}
+}

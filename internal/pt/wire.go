@@ -46,8 +46,35 @@ func AppendItem(dst []byte, it *Item) []byte {
 	return append(dst, buf[:28]...)
 }
 
+// ErrMalformed tags wire records whose decoded fields fail validation —
+// hostile lengths and impossible gaps are rejected at the trust boundary
+// instead of reaching the decoder.
+var ErrMalformed = errors.New("pt: malformed record")
+
+// Validate rejects items whose fields no well-formed encoder produces: an
+// unknown packet kind, a TNT length beyond MaxTNTBits (a hostile length
+// field must never drive downstream loops or allocation), or a loss gap
+// that ends before it starts.
+func (it *Item) Validate() error {
+	if it.Gap {
+		if it.GapEnd < it.GapStart {
+			return fmt.Errorf("%w: gap end %d before start %d", ErrMalformed, it.GapEnd, it.GapStart)
+		}
+		return nil
+	}
+	p := &it.Packet
+	if p.Kind > KPSB {
+		return fmt.Errorf("%w: unknown packet kind %#x", ErrMalformed, uint8(p.Kind))
+	}
+	if p.Kind == KTNT && p.NBits > MaxTNTBits {
+		return fmt.Errorf("%w: TNT length %d exceeds %d", ErrMalformed, p.NBits, MaxTNTBits)
+	}
+	return nil
+}
+
 // DecodeItem decodes one item record from the front of src, returning the
-// item and the number of bytes consumed.
+// item and the number of bytes consumed. Records that decode but fail
+// Validate are rejected with ErrMalformed.
 func DecodeItem(src []byte) (Item, int, error) {
 	if len(src) == 0 {
 		return Item{}, 0, io.ErrUnexpectedEOF
@@ -57,12 +84,20 @@ func DecodeItem(src []byte) (Item, int, error) {
 		if len(src) < 25 {
 			return Item{}, 0, io.ErrUnexpectedEOF
 		}
-		return decodeGapPayload(src[1:25]), 25, nil
+		it := decodeGapPayload(src[1:25])
+		if err := it.Validate(); err != nil {
+			return Item{}, 0, err
+		}
+		return it, 25, nil
 	case tagPacket:
 		if len(src) < 28 {
 			return Item{}, 0, io.ErrUnexpectedEOF
 		}
-		return Item{Packet: decodePacketPayload(src[1:28])}, 28, nil
+		it := Item{Packet: decodePacketPayload(src[1:28])}
+		if err := it.Validate(); err != nil {
+			return Item{}, 0, err
+		}
+		return it, 28, nil
 	}
 	return Item{}, 0, fmt.Errorf("pt: unknown record tag %#x", src[0])
 }
@@ -135,12 +170,20 @@ func ReadTrace(r io.Reader) (*CoreTrace, error) {
 			if _, err := io.ReadFull(br, buf[:24]); err != nil {
 				return nil, err
 			}
-			t.Items = append(t.Items, decodeGapPayload(buf[:24]))
+			it := decodeGapPayload(buf[:24])
+			if err := it.Validate(); err != nil {
+				return nil, err
+			}
+			t.Items = append(t.Items, it)
 		case tagPacket:
 			if _, err := io.ReadFull(br, buf[:27]); err != nil {
 				return nil, err
 			}
-			t.Items = append(t.Items, Item{Packet: decodePacketPayload(buf[:27])})
+			it := Item{Packet: decodePacketPayload(buf[:27])}
+			if err := it.Validate(); err != nil {
+				return nil, err
+			}
+			t.Items = append(t.Items, it)
 		default:
 			return nil, fmt.Errorf("pt: unknown record tag %#x", tag)
 		}

@@ -44,6 +44,10 @@ const (
 	// EvDesync reports that the walker lost sync (packet/code mismatch,
 	// typically following loss or imprecise metadata) and re-anchored.
 	EvDesync
+	// EvFault reports a malformed packet: the decoder recorded a typed
+	// DecodeFault, discarded its walking state and is skipping to the next
+	// PSB (graceful degradation, DESIGN.md §10).
+	EvFault
 )
 
 func (k EventKind) String() string {
@@ -66,8 +70,52 @@ func (k EventKind) String() string {
 		return "disable"
 	case EvDesync:
 		return "desync"
+	case EvFault:
+		return "fault"
 	}
 	return fmt.Sprintf("ev#%d", uint8(k))
+}
+
+// FaultKind classifies malformed-packet faults.
+type FaultKind uint8
+
+const (
+	// FaultUnknownPacket is a packet whose kind byte names no packet type
+	// (truncated or corrupted record).
+	FaultUnknownPacket FaultKind = iota
+	// FaultBadTNTLen is a TNT packet whose length field exceeds
+	// pt.MaxTNTBits — a hostile length that must not drive allocation or
+	// bit consumption.
+	FaultBadTNTLen
+	// FaultBadGap is a loss marker whose end precedes its start.
+	FaultBadGap
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultUnknownPacket:
+		return "unknown-packet"
+	case FaultBadTNTLen:
+		return "bad-tnt-len"
+	case FaultBadGap:
+		return "bad-gap"
+	}
+	return fmt.Sprintf("fault#%d", uint8(k))
+}
+
+// DecodeFault is the typed record of one malformed packet: instead of
+// aborting the core's decode, the decoder logs it, drops its walking state
+// and resynchronizes at the next PSB.
+type DecodeFault struct {
+	Kind FaultKind
+	// TSC is the stream time when the fault was seen (best effort).
+	TSC uint64
+	// Packet is a copy of the offending packet (zero for gap faults).
+	Packet pt.Packet
+}
+
+func (f *DecodeFault) Error() string {
+	return fmt.Sprintf("ptdecode: %s at tsc %d", f.Kind, f.TSC)
 }
 
 // Event is one decoded native-level event.
@@ -123,12 +171,31 @@ type Decoder struct {
 	// against a pending indirect instruction.
 	fupArmed bool
 
+	// skipPSB is set after a malformed packet: every packet until the next
+	// PSB (or a loss gap, which is its own resync point) is discarded —
+	// the stream position is untrustworthy until a synchronisation
+	// boundary.
+	skipPSB bool
+
 	// Desyncs counts re-anchoring events (diagnostics).
 	Desyncs int
 	// DroppedBits counts TNT bits discarded with no position to attribute
 	// them to (diagnostics).
 	DroppedBits int
+	// FaultCount counts malformed packets (all of Faults, plus any past
+	// the retention cap).
+	FaultCount int
+	// Faults retains the first maxFaultRecords typed fault records.
+	Faults []DecodeFault
+	// SkippedPackets and SkippedBytes measure the spans discarded while
+	// skipping to a PSB after a fault.
+	SkippedPackets int
+	SkippedBytes   uint64
 }
+
+// maxFaultRecords bounds the retained fault list; FaultCount keeps
+// counting past it.
+const maxFaultRecords = 256
 
 // New creates a decoder over the given metadata snapshot.
 func New(snap *meta.Snapshot) *Decoder {
@@ -168,16 +235,36 @@ func (d *Decoder) Flush() []Event {
 // Feed processes one trace item.
 func (d *Decoder) Feed(it *pt.Item) {
 	if it.Gap {
+		g := *it
+		if g.GapEnd < g.GapStart {
+			// Inverted loss marker: record the fault but keep the gap —
+			// clamped, it still tells the upper layers bytes were lost.
+			d.fault(FaultBadGap, &pt.Packet{})
+			g.GapEnd = g.GapStart
+		}
 		d.flushRange()
-		d.emit(Event{Kind: EvGap, LostBytes: it.LostBytes,
-			GapStart: it.GapStart, GapEnd: it.GapEnd, TSC: it.GapStart})
+		d.emit(Event{Kind: EvGap, LostBytes: g.LostBytes,
+			GapStart: g.GapStart, GapEnd: g.GapEnd, TSC: g.GapStart})
 		d.reset()
+		// Loss is a resync point: the collector re-emits a preamble after
+		// a gap, so stop skipping.
+		d.skipPSB = false
 		return
 	}
 	p := &it.Packet
+	if k, bad := validate(p); bad {
+		d.fault(k, p)
+		return
+	}
+	if d.skipPSB && p.Kind != pt.KPSB {
+		d.SkippedPackets++
+		d.SkippedBytes += uint64(p.WireLen)
+		return
+	}
 	switch p.Kind {
 	case pt.KPSB:
-		// Synchronisation point; nothing to do at this abstraction.
+		// Synchronisation point: safe to resume after a malformed packet.
+		d.skipPSB = false
 	case pt.KTSC:
 		d.tsc = p.TSC
 		d.emit(Event{Kind: EvTime, TSC: p.TSC})
@@ -236,6 +323,34 @@ func (d *Decoder) desync() {
 	d.flushRange()
 	d.emit(Event{Kind: EvDesync})
 	d.reset()
+}
+
+// validate rejects packets whose wire fields cannot be trusted. The TNT
+// length check is what keeps a hostile length field from ever driving the
+// bit loop: NBits is bounded before any consumption.
+func validate(p *pt.Packet) (FaultKind, bool) {
+	if p.Kind > pt.KPSB {
+		return FaultUnknownPacket, true
+	}
+	if p.Kind == pt.KTNT && p.NBits > pt.MaxTNTBits {
+		return FaultBadTNTLen, true
+	}
+	return 0, false
+}
+
+// fault records a typed malformed-packet fault, abandons the walking state
+// (whatever was pending can no longer be trusted) and skips forward to the
+// next synchronisation boundary.
+func (d *Decoder) fault(kind FaultKind, p *pt.Packet) {
+	d.FaultCount++
+	if len(d.Faults) < maxFaultRecords {
+		d.Faults = append(d.Faults, DecodeFault{Kind: kind, TSC: d.tsc, Packet: *p})
+	}
+	d.SkippedBytes += uint64(p.WireLen)
+	d.flushRange()
+	d.emit(Event{Kind: EvFault})
+	d.reset()
+	d.skipPSB = true
 }
 
 func (d *Decoder) takeBit() bool {

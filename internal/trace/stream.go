@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"jportal/internal/conc"
+	"jportal/internal/fault"
 	"jportal/internal/pt"
 	"jportal/internal/vm"
 )
@@ -39,7 +40,8 @@ import (
 type stWindow struct {
 	thread int
 	start  uint64
-	rec    int // index into the core's collapsed sideband records
+	end    uint64 // next record's TSC on the core, or the carve cursor for the last window
+	rec    int    // index into the core's collapsed sideband records
 	items  []pt.Item
 }
 
@@ -78,6 +80,20 @@ type StreamStitcher struct {
 	// lastThread tracks, per core, the thread of the last kept sideband
 	// record (collapseRuns, incrementally). -2 = none yet.
 	lastThread []int
+	// lastTSC tracks, per core, the timestamp of the last delivered
+	// sideband record: the monotonicity gate torn/reordered records are
+	// quarantined at.
+	lastTSC []uint64
+	// ledger, when set, receives quarantine entries (dropped sideband
+	// records, crashed carves). Nil drops them.
+	ledger *fault.Ledger
+	// emittedEnd tracks, per thread, the end of the last window emitted for
+	// it. A thread occupies one core at a time, so on an honest run its
+	// windows are disjoint in time; a window starting before the previous
+	// one ended is the cross-core clock-skew signature (§6 timestamp
+	// inconsistency) and is reported to the ledger. Report-only: the window
+	// still emits, so output stays batch-identical.
+	emittedEnd map[int]uint64
 }
 
 // NewStreamStitcher creates a stitcher for cores 0..ncores-1 (the core
@@ -85,7 +101,12 @@ type StreamStitcher struct {
 // keeps sorted — the stitcher breaks window-start ties by core number the
 // way the batch stable sort breaks them by slice position).
 func NewStreamStitcher(ncores int) *StreamStitcher {
-	s := &StreamStitcher{cores: make([]coreStitch, ncores), lastThread: make([]int, ncores)}
+	s := &StreamStitcher{
+		cores:      make([]coreStitch, ncores),
+		lastThread: make([]int, ncores),
+		lastTSC:    make([]uint64, ncores),
+		emittedEnd: make(map[int]uint64),
+	}
 	for i := range s.cores {
 		s.cores[i].open = make(map[int][]pt.Item)
 		s.lastThread[i] = -2
@@ -93,10 +114,17 @@ func NewStreamStitcher(ncores int) *StreamStitcher {
 	return s
 }
 
+// SetLedger attaches the quarantine ledger exclusions are reported to.
+func (s *StreamStitcher) SetLedger(l *fault.Ledger) { s.ledger = l }
+
 // AddSideband delivers scheduler switch records (any cores, in the global
 // order the VM recorded them, which is time-monotone per core). Records for
 // cores beyond the stitcher's range still widen the thread space, exactly
-// as the batch split sizes its output from the whole sideband.
+// as the batch split sizes its output from the whole sideband. A record
+// that violates per-core time monotonicity — torn or reordered sideband —
+// is quarantined rather than trusted: the incremental carve's soundness
+// rests on that monotonicity (see the package comment), so accepting the
+// record would silently misattribute trace bytes across threads.
 func (s *StreamStitcher) AddSideband(recs []vm.SwitchRecord) {
 	for _, r := range recs {
 		if r.Thread > s.maxThread {
@@ -105,6 +133,14 @@ func (s *StreamStitcher) AddSideband(recs []vm.SwitchRecord) {
 		if r.Core < 0 || r.Core >= len(s.cores) {
 			continue
 		}
+		if r.TSC < s.lastTSC[r.Core] {
+			s.ledger.Add(fault.Entry{
+				Reason: fault.ReasonSidebandOrder, Thread: r.Thread, Core: r.Core,
+				Detail: fmt.Sprintf("switch record tsc %d after %d", r.TSC, s.lastTSC[r.Core]),
+			})
+			continue
+		}
+		s.lastTSC[r.Core] = r.TSC
 		if s.lastThread[r.Core] == r.Thread {
 			continue // collapseRuns: same owner as the previous record
 		}
@@ -250,14 +286,31 @@ func (c *coreStitch) close(final bool) {
 		items := c.open[j]
 		delete(c.open, j)
 		if len(items) > 0 && c.recs[j].Thread >= 0 {
+			// The window runs until the core's next switch record; the last
+			// window on a core has no successor, so the carve cursor (the
+			// newest timestamp actually seen inside it) bounds it instead.
+			end := c.recs[j].TSC
+			if j+1 < len(c.recs) {
+				end = c.recs[j+1].TSC
+			} else if c.tsc > end {
+				end = c.tsc
+			}
 			c.closed = append(c.closed, stWindow{
-				thread: c.recs[j].Thread, start: c.recs[j].TSC, rec: j, items: items,
+				thread: c.recs[j].Thread, start: c.recs[j].TSC, end: end, rec: j, items: items,
 			})
 		}
 	}
 	// Keep the closed queue in window order; map iteration above is not.
 	sort.Slice(c.closed, func(i, j int) bool { return c.closed[i].rec < c.closed[j].rec })
 }
+
+// clockSkewSlack is how far (in cycles) a thread's window may reach back
+// into its previous window before the overlap is reported as clock skew.
+// Honest runs still show sub-hundred-cycle overlaps at migration
+// boundaries — switch timestamps carry scheduler jitter (vm
+// SwitchJitterCycles, the §7.2 inconsistency) — so the threshold sits an
+// order of magnitude above jitter scale and three below the timeslice.
+const clockSkewSlack = 1024
 
 // emitKey orders windows globally: start time, then core, then window
 // index — the batch stable sort's tie-breaking.
@@ -345,6 +398,15 @@ func (s *StreamStitcher) emit(final bool) []ThreadStream {
 		}
 		w := s.cores[best].closed[0]
 		s.cores[best].closed = s.cores[best].closed[1:]
+		if prev, ok := s.emittedEnd[w.thread]; ok && w.start+clockSkewSlack < prev {
+			s.ledger.Add(fault.Entry{
+				Reason: fault.ReasonClockSkew, Thread: w.thread, Core: best,
+				Detail: fmt.Sprintf("window [%d,%d) overlaps previous window ending %d", w.start, w.end, prev),
+			})
+		}
+		if w.end > s.emittedEnd[w.thread] {
+			s.emittedEnd[w.thread] = w.end
+		}
 		if deltas == nil {
 			deltas = make(map[int][]pt.Item)
 		}
@@ -362,6 +424,36 @@ func (s *StreamStitcher) emit(final bool) []ThreadStream {
 	return out
 }
 
+// safeCarve runs one core's carve with panic containment: a carve that
+// crashes (hostile timestamps driving the cursor somewhere impossible)
+// quarantines that core's pending items instead of killing the process —
+// the other cores' threads still analyse. It runs inside the per-core
+// fan-out goroutines, where an escaped panic would be fatal.
+func (s *StreamStitcher) safeCarve(i int, final bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			c := &s.cores[i]
+			s.ledger.Add(fault.Entry{
+				Reason: fault.ReasonStageCrash, Thread: -1, Core: i,
+				Items: len(c.pending), Bytes: itemBytes(c.pending),
+				Detail: fmt.Sprintf("carve: %v", r),
+			})
+			c.pending = nil
+		}
+	}()
+	s.cores[i].carve(final)
+}
+
+func itemBytes(items []pt.Item) uint64 {
+	var n uint64
+	for i := range items {
+		if !items[i].Gap {
+			n += uint64(items[i].Packet.WireLen)
+		}
+	}
+	return n
+}
+
 // Drain emits every thread delta that is final under the current
 // watermarks. Call after feeding a batch of chunks/sideband and advancing
 // watermarks.
@@ -370,7 +462,7 @@ func (s *StreamStitcher) Drain() []ThreadStream {
 		return nil
 	}
 	for i := range s.cores {
-		s.cores[i].carve(false)
+		s.safeCarve(i, false)
 	}
 	return s.emit(false)
 }
@@ -390,7 +482,7 @@ func (s *StreamStitcher) FinishWorkers(workers int) []ThreadStream {
 		return nil
 	}
 	conc.ParallelFor(conc.Workers(workers), len(s.cores), func(i int) {
-		s.cores[i].carve(true)
+		s.safeCarve(i, true)
 	})
 	s.finished = true
 	return s.emit(true)

@@ -23,6 +23,7 @@ import (
 
 	"jportal/internal/bytecode"
 	"jportal/internal/core"
+	"jportal/internal/fault"
 	"jportal/internal/meta"
 	"jportal/internal/pt"
 	"jportal/internal/vm"
@@ -123,6 +124,11 @@ func Run(prog *bytecode.Program, threads []vm.ThreadSpec, cfg RunConfig) (*RunRe
 type Analysis struct {
 	Threads  []*core.ThreadResult
 	Pipeline *core.Pipeline
+	// Report is the run's degradation summary (DESIGN.md §10): what the
+	// hardened pipeline quarantined, what recovery got back, and the
+	// bytecode coverage of the surviving profile. Always present; on a
+	// clean run its quarantine counters are all zero.
+	Report *fault.DegradationReport
 }
 
 // Analyze decodes and reconstructs a run. It is the batch form of the

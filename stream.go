@@ -7,7 +7,10 @@ import (
 	"jportal/internal/bytecode"
 	"jportal/internal/conc"
 	"jportal/internal/core"
+	"jportal/internal/fault"
 	"jportal/internal/meta"
+	"jportal/internal/metrics"
+	"jportal/internal/profile"
 	"jportal/internal/pt"
 	"jportal/internal/trace"
 	"jportal/internal/vm"
@@ -35,6 +38,10 @@ type Session struct {
 	peak      int
 	closed    bool
 	result    *Analysis
+	// ledger is the session's quarantine record (DESIGN.md §10): every
+	// hardened stage reports what it excluded and why, and Close folds the
+	// totals into the Analysis's DegradationReport.
+	ledger *fault.Ledger
 }
 
 // OpenSession starts an incremental analysis over ncores per-core trace
@@ -51,13 +58,20 @@ func OpenSession(prog *bytecode.Program, snap *meta.Snapshot, ncores int, cfg co
 		return nil, fmt.Errorf("jportal: session needs at least one core, got %d", ncores)
 	}
 	snap.Seal()
-	return &Session{
-		prog: prog,
-		snap: snap,
-		pipe: core.NewPipeline(prog, cfg),
-		st:   trace.NewStreamStitcher(ncores),
-	}, nil
+	s := &Session{
+		prog:   prog,
+		snap:   snap,
+		pipe:   core.NewPipeline(prog, cfg),
+		st:     trace.NewStreamStitcher(ncores),
+		ledger: fault.NewLedger(metrics.Default),
+	}
+	s.st.SetLedger(s.ledger)
+	return s, nil
 }
+
+// Ledger exposes the session's quarantine ledger (read it after Close for
+// a consistent view).
+func (s *Session) Ledger() *fault.Ledger { return s.ledger }
 
 // AddSideband delivers scheduler switch records in the order the VM
 // recorded them.
@@ -112,7 +126,9 @@ func (s *Session) apply(deltas []trace.ThreadStream) {
 // grow ensures one analyzer per thread seen so far.
 func (s *Session) grow(nthreads int) {
 	for t := len(s.analyzers); t < nthreads; t++ {
-		s.analyzers = append(s.analyzers, s.pipe.NewThreadAnalyzer(t, s.snap))
+		a := s.pipe.NewThreadAnalyzer(t, s.snap)
+		a.SetLedger(s.ledger)
+		s.analyzers = append(s.analyzers, a)
 	}
 }
 
@@ -139,7 +155,38 @@ func (s *Session) Close() (*Analysis, error) {
 		threads[i] = s.analyzers[i].Finish()
 	})
 	s.result = &Analysis{Threads: threads, Pipeline: s.pipe}
+	s.result.Report = s.degradationReport()
 	return s.result, nil
+}
+
+// degradationReport folds the ledger and per-thread results into the
+// per-run robustness summary.
+func (s *Session) degradationReport() *fault.DegradationReport {
+	rep := &fault.DegradationReport{Quarantined: s.ledger.Counts()}
+	rep.QuarantinedItems, rep.QuarantinedBytes = s.ledger.Totals()
+	for _, t := range s.result.Threads {
+		rep.DecodedSteps += t.DecodedSteps
+		rep.RecoveredSteps += t.RecoveredSteps
+		for i, f := range t.Flows {
+			if f == nil {
+				continue
+			}
+			if f.Quarantined {
+				rep.SegmentsQuarantined++
+			} else {
+				rep.SegmentsDecoded++
+			}
+			if i < len(t.Fills) && i+1 < len(t.Flows) {
+				if t.Fills[i].Method != core.FillNone {
+					rep.HolesFilled++
+				} else if t.Flows[i+1].Seg.GapBefore != nil {
+					rep.HolesUnfilled++
+				}
+			}
+		}
+	}
+	rep.Coverage = profile.ComputeCoverage(s.prog, s.result.Steps()).Ratio()
+	return rep
 }
 
 // TraceSink consumes the online phase's outputs incrementally: RunWithSink
