@@ -63,6 +63,26 @@ echo "==> chaos smoke (fixed seed, deterministic report, nonzero coverage)"
 cmp "$SMOKE/chaos1.txt" "$SMOKE/chaos2.txt"
 echo "    chaos report deterministic"
 
+echo "==> kill-and-resume smoke (SIGKILL mid-replay, resumed output identical)"
+# The golden property (DESIGN.md §11): a replay killed with SIGKILL and
+# resumed from its checkpoint prints exactly what an uninterrupted replay
+# prints. Completed runs delete session.ckpt, so the cmp holds regardless
+# of whether the kill landed mid-run or after completion — the mid-run
+# case is pinned deterministically by TestKillAndResumeGoldenAllSubjects.
+"$SMOKE/jportal" stream "$SMOKE/local" >"$SMOKE/golden.txt"
+"$SMOKE/jportal" stream -ckpt-every 2 "$SMOKE/local" >/dev/null 2>&1 &
+STREAM_PID=$!
+sleep 0.1
+kill -9 "$STREAM_PID" 2>/dev/null || true
+wait "$STREAM_PID" 2>/dev/null || true
+"$SMOKE/jportal" stream -resume "$SMOKE/local" >"$SMOKE/resumed.txt" 2>"$SMOKE/resume.log"
+cmp "$SMOKE/golden.txt" "$SMOKE/resumed.txt"
+test ! -e "$SMOKE/local/session.ckpt"
+echo "    resumed replay byte-identical, checkpoint cleaned up"
+
+echo "==> checkpoint fuzz corpus (seed corpus replay)"
+go test -run 'Fuzz' ./internal/ckpt/
+
 echo "==> benchmark smoke (one iteration)"
 go test -bench BenchmarkStreamingMemory -benchtime=1x -run '^$' .
 

@@ -402,17 +402,36 @@ func cmdStream(args []string) error {
 	workers := fs.Int("workers", 0, "offline-phase workers (0 = GOMAXPROCS)")
 	follow := fs.Bool("follow", false, "tail an archive a collector is still writing")
 	poll := fs.Duration("poll", 50*time.Millisecond, "poll interval in follow mode")
+	ckptEvery := fs.Int("ckpt-every", 0, "write a session checkpoint every N chunk records (0 = off unless -resume)")
+	ckptPath := fs.String("ckpt", "", "checkpoint file path (default <dir>/session.ckpt when checkpointing)")
+	resume := fs.Bool("resume", false, "resume from the checkpoint if one exists (implies checkpointing)")
+	stall := fs.Duration("stall", 0, "watchdog stall window (0 = no watchdog)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need a chunked archive directory")
 	}
 	pcfg := core.DefaultPipelineConfig()
 	pcfg.Workers = *workers
+	opts := jportal.StreamOptions{
+		Follow:          *follow,
+		Poll:            *poll,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
+		StallAfter:      *stall,
+		// Notices go to stderr so stdout (the analysis summary, diffed by
+		// the CI golden smoke) is identical with and without a resume.
+		Logf: func(format string, a ...any) { fmt.Fprintf(os.Stderr, "stream: "+format+"\n", a...) },
+	}
+	if *ckptPath != "" {
+		opts.CheckpointPath = *ckptPath
+	} else if *resume || *ckptEvery > 0 {
+		opts.CheckpointPath = filepath.Join(fs.Arg(0), jportal.CheckpointFileName)
+	}
 	// In follow mode a SIGINT stops the tail cleanly: the analysis of
 	// everything read so far is flushed below instead of being discarded.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	prog, an, err := jportal.AnalyzeStreamArchiveContext(ctx, fs.Arg(0), pcfg, *follow, *poll)
+	prog, an, err := jportal.AnalyzeStreamArchiveOpts(ctx, fs.Arg(0), pcfg, opts)
 	interrupted := err != nil && errors.Is(err, context.Canceled) && an != nil
 	if err != nil && !interrupted {
 		return err

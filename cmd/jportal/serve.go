@@ -34,15 +34,23 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 64, "per-session inbound queue depth (frames)")
 	policy := fs.String("policy", "block", "backpressure policy when a session queue is full: block | nack")
 	drain := fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	maxSessions := fs.Int("max-sessions", 0, "concurrent attached sessions before HELLOs get BUSY (0 = unlimited)")
+	budget := fs.Int64("budget", 0, "global queued-payload memory budget in bytes (0 = unlimited)")
+	breaker := fs.Int("breaker", 0, "NACKs before a session's circuit breaker poisons it (0 = disabled)")
+	stall := fs.Duration("stall", 0, "poison a session whose writer makes no progress for this long (0 = disabled)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments")
 	}
 
 	srv, err := ingest.NewServer(ingest.Config{
-		DataDir:    *data,
-		QueueDepth: *queue,
-		Policy:     ingest.Policy(*policy),
+		DataDir:           *data,
+		QueueDepth:        *queue,
+		Policy:            ingest.Policy(*policy),
+		MaxSessions:       *maxSessions,
+		MemoryBudgetBytes: *budget,
+		BreakerNacks:      *breaker,
+		StallAfter:        *stall,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "serve: "+format+"\n", a...)
 		},

@@ -1,0 +1,27 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOpen drives the checkpoint decoder with arbitrary bytes: it must
+// never panic, and whenever it accepts an input, re-sealing the returned
+// payload must reproduce that input exactly (the format has no slack
+// bytes, so accept implies canonical).
+func FuzzOpen(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(Seal(nil))
+	f.Add(Seal([]byte("seed payload")))
+	f.Add(bytes.Repeat([]byte{0xFF}, headerLen+8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Open(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(Seal(payload), data) {
+			t.Fatalf("accepted non-canonical input: %d bytes", len(data))
+		}
+	})
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"jportal/internal/conc"
@@ -47,6 +49,13 @@ type ThreadAnalyzer struct {
 	carriedFaults   int
 	carriedSkipPkts int
 	carriedSkipByte uint64
+	// segsSeen counts segments consumed by reconstruction waves — the
+	// analyzer's watchdog heartbeat. Read via SegmentsSeen after a fan-out
+	// returns (same-goroutine visibility).
+	segsSeen uint64
+	// timedOut records that the caller's deadline cut this thread short.
+	// Atomic: reconstruction workers set it concurrently.
+	timedOut atomic.Bool
 }
 
 // NewThreadAnalyzer starts the analysis of one thread's stream.
@@ -67,18 +76,48 @@ func (a *ThreadAnalyzer) SetLedger(l *fault.Ledger) { a.ledger = l }
 // completed-segment backlog reaches MaxPendingSegments, it is reconstructed
 // as a wave (fanning out to the configured workers) and released.
 func (a *ThreadAnalyzer) Feed(items []pt.Item) {
+	a.FeedContext(context.Background(), items)
+}
+
+// FeedContext is Feed with deadline awareness: once ctx is cancelled the
+// chunk is quarantined under the deadline reason instead of decoded, so a
+// timed-out analysis stops consuming CPU but stays structurally valid —
+// Finish still returns a partial ThreadResult.
+func (a *ThreadAnalyzer) FeedContext(ctx context.Context, items []pt.Item) {
 	if a.finished {
 		panic("core: ThreadAnalyzer.Feed after Finish")
+	}
+	if ctx.Err() != nil {
+		a.quarantineDeadline(len(items), chunkBytes(items), "feed cancelled")
+		return
 	}
 	t0 := time.Now()
 	a.safeFeed(items)
 	a.harvestFaults()
 	a.pend = append(a.pend, a.tk.take()...)
 	if cap := a.p.Cfg.MaxPendingSegments; cap > 0 && len(a.pend) >= cap {
-		a.reconstruct()
+		a.reconstructContext(ctx)
 	}
 	a.res.DecodeTime += time.Since(t0)
 }
+
+// quarantineDeadline records input dropped because the caller's context
+// expired and marks the thread timed out.
+func (a *ThreadAnalyzer) quarantineDeadline(items int, bytes uint64, detail string) {
+	a.timedOut.Store(true)
+	a.ledger.Add(fault.Entry{
+		Reason: fault.ReasonDeadline, Thread: a.res.Thread, Core: -1,
+		Items: items, Bytes: bytes, Detail: detail,
+	})
+}
+
+// SegmentsSeen returns how many segments reconstruction has consumed — a
+// monotone progress heartbeat for the watchdog. Read it from the goroutine
+// that drives the analyzer (or after a fan-out has returned).
+func (a *ThreadAnalyzer) SegmentsSeen() uint64 { return a.segsSeen }
+
+// TimedOut reports whether a deadline cut this thread's analysis short.
+func (a *ThreadAnalyzer) TimedOut() bool { return a.timedOut.Load() }
 
 // safeFeed runs the decode+tokenize of one chunk with panic containment:
 // a crash quarantines this chunk only, rebuilds the decoder (its walking
@@ -153,17 +192,37 @@ func (a *ThreadAnalyzer) PendingSegments() int { return len(a.pend) }
 // reconstruct projects the pending segments onto the ICFG, appending their
 // flows in segment order (slot-addressed, so identical for any worker
 // count), and drops the segment references.
-func (a *ThreadAnalyzer) reconstruct() {
+func (a *ThreadAnalyzer) reconstruct() { a.reconstructContext(context.Background()) }
+
+// reconstructContext is reconstruct under a deadline: segments whose turn
+// comes after ctx is cancelled are quarantined (an empty, Quarantined flow
+// — never nil, so slot addressing and hole bookkeeping stay intact) rather
+// than projected.
+func (a *ThreadAnalyzer) reconstructContext(ctx context.Context) {
 	if len(a.pend) == 0 {
 		return
 	}
 	base := len(a.res.Flows)
 	a.res.Flows = append(a.res.Flows, make([]*SegmentFlow, len(a.pend))...)
 	pend := a.pend
+	var cancelled atomic.Int64
 	conc.ParallelWork(a.p.Cfg.WorkerCount(), len(pend), a.p.Matcher.NewScratch,
 		func(sc *MatchScratch, i int) {
+			if ctx.Err() != nil {
+				a.timedOut.Store(true)
+				cancelled.Add(1)
+				a.res.Flows[base+i] = quarantinedFlow(pend[i], a.p.Matcher.G)
+				return
+			}
 			a.res.Flows[base+i] = a.safeReconstruct(sc, pend[i])
 		})
+	if n := cancelled.Load(); n > 0 {
+		a.ledger.Add(fault.Entry{
+			Reason: fault.ReasonDeadline, Thread: a.res.Thread, Core: -1,
+			Count: int(n), Items: int(n), Detail: "reconstruction cancelled",
+		})
+	}
+	a.segsSeen += uint64(len(pend))
 	for i := range a.pend {
 		a.pend[i] = nil
 	}
@@ -194,6 +253,14 @@ func (a *ThreadAnalyzer) safeReconstruct(sc *MatchScratch, seg *Segment) (f *Seg
 // merges the end-to-end profile — exactly AnalyzeThread's tail. Repeated
 // calls return the same result.
 func (a *ThreadAnalyzer) Finish() *ThreadResult {
+	return a.FinishContext(context.Background())
+}
+
+// FinishContext is Finish under a deadline: once ctx is cancelled, pending
+// segments are quarantined instead of reconstructed and §5 recovery is
+// skipped (every hole stays a hole — degradation, not failure), so a
+// timed-out Close returns a partial-but-valid ThreadResult promptly.
+func (a *ThreadAnalyzer) FinishContext(ctx context.Context) *ThreadResult {
 	if a.finished {
 		return a.res
 	}
@@ -210,14 +277,28 @@ func (a *ThreadAnalyzer) Finish() *ThreadResult {
 	st.SkippedPackets = a.carriedSkipPkts + a.dec.SkippedPackets
 	st.QuarantinedBytes = a.carriedSkipByte + a.dec.SkippedBytes
 	res.Decode = st
-	a.reconstruct()
+	a.reconstructContext(ctx)
 	res.DecodeTime += time.Since(t0)
 
 	t1 := time.Now()
-	rec := a.safeRecoverer()
+	var rec *Recoverer
+	if ctx.Err() == nil {
+		rec = a.safeRecoverer()
+	} else if a.timedOut.CompareAndSwap(false, true) {
+		// The deadline landed between reconstruction and recovery: no
+		// segment was cut, but recovery is skipped — record why.
+		a.ledger.Add(fault.Entry{
+			Reason: fault.ReasonDeadline, Thread: a.res.Thread, Core: -1,
+			Detail: "recovery skipped",
+		})
+	}
 	res.Fills = make([]Fill, len(res.Flows))
 	if rec != nil {
 		conc.ParallelFor(a.p.Cfg.WorkerCount(), len(res.Flows)-1, func(i int) {
+			if ctx.Err() != nil {
+				a.timedOut.Store(true)
+				return // Fill zero value = FillNone: the hole stays open
+			}
 			res.Fills[i] = a.safeRecoverHole(rec, i)
 		})
 	}

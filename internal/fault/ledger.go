@@ -43,6 +43,13 @@ const (
 	// ReasonTornRecord: an ingest frame ended mid-record (short payload)
 	// and its session was quarantined.
 	ReasonTornRecord
+	// ReasonDeadline: the caller's context expired mid-analysis; pending
+	// segments were quarantined so a partial Analysis could be returned
+	// instead of hanging.
+	ReasonDeadline
+	// ReasonStall: the watchdog supervisor observed a stage making no
+	// progress past the stall window and quarantined/failed it.
+	ReasonStall
 
 	numReasons
 )
@@ -66,6 +73,10 @@ func (r Reason) Slug() string {
 		return "corrupt_record"
 	case ReasonTornRecord:
 		return "torn_record"
+	case ReasonDeadline:
+		return "deadline"
+	case ReasonStall:
+		return "stall"
 	}
 	return "unknown"
 }
@@ -191,6 +202,52 @@ func (l *Ledger) Entries() []Entry {
 	return append([]Entry(nil), l.entries...)
 }
 
+// LedgerState is the ledger's checkpointable content: everything Add
+// accumulated, in plain exported fields (gob-friendly). The metrics
+// registry mirror is not part of the state — counters re-accumulate on the
+// restoring process's own registry.
+type LedgerState struct {
+	Entries []Entry
+	Counts  []uint64
+	Items   int
+	Bytes   uint64
+	Dropped int
+}
+
+// ExportState snapshots the ledger for a checkpoint.
+func (l *Ledger) ExportState() LedgerState {
+	if l == nil {
+		return LedgerState{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LedgerState{
+		Entries: append([]Entry(nil), l.entries...),
+		Counts:  append([]uint64(nil), l.counts[:]...),
+		Items:   l.items,
+		Bytes:   l.bytes,
+		Dropped: l.dropped,
+	}
+}
+
+// RestoreState replaces the ledger's content with a checkpointed snapshot.
+// Counts saved by a build with fewer reasons restore into the prefix; extra
+// saved reasons (from a newer build) are dropped — the checkpoint version
+// gate upstream makes that case unreachable in practice.
+func (l *Ledger) RestoreState(st LedgerState) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append([]Entry(nil), st.Entries...)
+	l.counts = [numReasons]uint64{}
+	copy(l.counts[:], st.Counts)
+	l.items = st.Items
+	l.bytes = st.Bytes
+	l.dropped = st.Dropped
+}
+
 // DegradationReport is the per-run robustness summary the Session assembles
 // at Close: what was injected (when a chaos harness drove the run), what
 // the pipeline quarantined, how much it recovered, and the bytecode
@@ -218,12 +275,19 @@ type DegradationReport struct {
 	// surviving profile executed at least once (see DESIGN.md §10 for the
 	// exact definition).
 	Coverage float64
+	// TimedOut marks an analysis cut short by the caller's deadline: the
+	// report covers what completed before cancellation, and the remainder
+	// is quarantined under the "deadline" reason.
+	TimedOut bool
 }
 
 // String renders the report deterministically (sorted counter names).
 func (r *DegradationReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "degradation report:\n")
+	if r.TimedOut {
+		fmt.Fprintf(&b, "  timed out             true\n")
+	}
 	fmt.Fprintf(&b, "  coverage              %.4f\n", r.Coverage)
 	fmt.Fprintf(&b, "  segments decoded      %d\n", r.SegmentsDecoded)
 	fmt.Fprintf(&b, "  segments quarantined  %d\n", r.SegmentsQuarantined)

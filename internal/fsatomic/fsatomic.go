@@ -1,0 +1,61 @@
+// Package fsatomic writes files crash-atomically: the data goes to a
+// temporary file in the destination's directory, is fsynced, and is renamed
+// over the destination, so a reader (or a process restarted after a crash)
+// sees either the complete old contents or the complete new contents —
+// never a torn mixture. The ingest server's durable frontier and the
+// streaming session checkpoint both depend on this property.
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temporary file is
+// created in path's directory (rename is only atomic within a filesystem),
+// fsynced before the rename, and the directory is fsynced after it so the
+// rename itself survives a crash.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// Any failure past this point must not leave the temp file behind.
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename is durable. Filesystems
+// that cannot fsync a directory (some network mounts) return an error from
+// Sync; the rename itself still happened, so that error is not fatal to
+// atomicity, only to durability — it is still reported.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

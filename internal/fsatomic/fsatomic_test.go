@@ -1,0 +1,41 @@
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state")
+	if err := WriteFile(path, []byte("one"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "one" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	if err := WriteFile(path, []byte("two, longer"), 0o644); err != nil {
+		t.Fatalf("WriteFile replace: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "two, longer" {
+		t.Fatalf("after replace: %q", got)
+	}
+	// No temp droppings left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "state" {
+		t.Fatalf("unexpected directory contents: %v", ents)
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("expected error writing into a missing directory")
+	}
+}

@@ -11,6 +11,9 @@
 // under the server's NACK policy, or a sequence gap) triggers the same
 // retransmission after a backoff without dropping the connection. Delivery
 // is exactly-once on the archive: the server drops duplicate sequences.
+// A BUSY handshake answer (the server's admission control refusing the
+// session for load reasons) is retried after the server-suggested delay
+// plus jitter rather than treated as an error.
 package client
 
 import (
@@ -87,6 +90,18 @@ func (o *Options) fill() error {
 		o.Logf = func(string, ...any) {}
 	}
 	return nil
+}
+
+// BusyError reports that the server refused admission for load reasons
+// (concurrent-session cap or memory budget) and suggested a retry delay.
+// The pusher handles it internally — redialing after RetryAfter plus
+// jitter — so callers only see it if every attempt stayed busy.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("server busy, retry after %v", e.RetryAfter)
 }
 
 // pframe is one unacknowledged data frame.
@@ -224,6 +239,12 @@ func (p *Pusher) reconnectLocked() error {
 	for attempt := 0; attempt < p.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			delay := p.backoffDelay(attempt - 1)
+			var busy *BusyError
+			if errors.As(err, &busy) && busy.RetryAfter > 0 {
+				// The server told us when to come back; add up to 50% jitter
+				// so a herd of refused agents does not redial in lockstep.
+				delay = busy.RetryAfter + time.Duration(rand.Int63n(int64(busy.RetryAfter)/2+1))
+			}
 			p.opts.Logf("ingest client: %s: retrying in %v (attempt %d/%d): %v",
 				p.opts.Addr, delay, attempt+1, p.opts.MaxAttempts, err)
 			select {
@@ -291,11 +312,19 @@ func (p *Pusher) dialHello() (net.Conn, uint64, error) {
 			conn.Close()
 			return nil, 0, err
 		}
-		if version != ingest.ProtoVersion {
+		if version < ingest.MinProtoVersion || version > ingest.ProtoVersion {
 			conn.Close()
-			return nil, 0, fmt.Errorf("server speaks protocol %d, client speaks %d", version, ingest.ProtoVersion)
+			return nil, 0, fmt.Errorf("server speaks protocol %d, client speaks %d..%d",
+				version, ingest.MinProtoVersion, ingest.ProtoVersion)
 		}
 		return conn, resumeSeq, nil
+	case ingest.FrameBusy:
+		conn.Close()
+		ms, perr := ingest.ParseBusy(payload)
+		if perr != nil {
+			return nil, 0, perr
+		}
+		return nil, 0, &BusyError{RetryAfter: time.Duration(ms) * time.Millisecond}
 	case ingest.FrameErr:
 		conn.Close()
 		return nil, 0, fmt.Errorf("server rejected session: %s", payload)

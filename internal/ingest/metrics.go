@@ -25,6 +25,12 @@ type Metrics struct {
 	SessionsQuarantined atomic.Int64 // counter: sessions poisoned by a failed validation
 	CorruptRecords      atomic.Int64 // counter: chunks rejected as structurally corrupt
 	TornRecords         atomic.Int64 // counter: chunks rejected for ending mid-record
+
+	BusyRejections atomic.Int64 // counter: HELLOs refused by admission control (BUSY/ERR)
+	FramesShed     atomic.Int64 // counter: data frames NACKed to stay inside the memory budget
+	BreakerTrips   atomic.Int64 // counter: sessions poisoned by the NACK circuit breaker
+	StallsDetected atomic.Int64 // counter: sessions poisoned by the writer watchdog
+	StateFallbacks atomic.Int64 // counter: torn ingest.state files replaced by a fresh upload
 }
 
 // snapshot returns the counters plus computed gauges as an ordered map,
@@ -46,7 +52,13 @@ func (s *Server) snapshot() map[string]int64 {
 		"errors":               m.Errors.Load(),
 		"records_corrupt":      m.CorruptRecords.Load(),
 		"records_torn":         m.TornRecords.Load(),
+		"busy_rejections":      m.BusyRejections.Load(),
+		"frames_shed":          m.FramesShed.Load(),
+		"breaker_trips":        m.BreakerTrips.Load(),
+		"writer_stalls":        m.StallsDetected.Load(),
+		"state_fallbacks":      m.StateFallbacks.Load(),
 		"queue_depth":          s.queueDepth(),
+		"queued_bytes":         s.queuedBytes.Load(),
 	}
 	for k, v := range s.cfg.Registry.Snapshot() {
 		out[k] = v

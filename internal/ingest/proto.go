@@ -26,6 +26,10 @@
 // under the NACK backpressure policy — earns a NACK carrying the sequence
 // the server wants next; the client backs off and resends from there.
 // ERR is terminal for the connection and carries a human-readable reason.
+// BUSY (protocol 2+) answers a HELLO the server refuses for load reasons —
+// the concurrent-session cap or the global memory budget — and carries a
+// retry-after hint in milliseconds; the client backs off with jitter and
+// redials instead of treating the refusal as an error.
 package ingest
 
 import (
@@ -34,9 +38,17 @@ import (
 	"io"
 )
 
-// ProtoVersion is the frame-protocol version exchanged in HELLO. Servers
-// reject clients whose version they do not speak.
-const ProtoVersion = 1
+// ProtoVersion is the frame-protocol version exchanged in HELLO. Version 2
+// adds the BUSY admission-control frame; servers still accept version-1
+// clients but answer their admission rejections with ERR instead of BUSY.
+const ProtoVersion = 2
+
+// MinProtoVersion is the oldest client protocol the server still speaks.
+const MinProtoVersion = 1
+
+// ProtoVersionBusy is the first protocol version whose clients understand
+// the BUSY frame.
+const ProtoVersionBusy = 2
 
 // Frame types.
 const (
@@ -49,6 +61,7 @@ const (
 	FrameNack     byte = 0x07 // s->c: u64 wantSeq (resend from here, after backoff)
 	FrameFinAck   byte = 0x08 // s->c: u64 seq
 	FrameErr      byte = 0x09 // s->c: utf-8 message, connection is dead
+	FrameBusy     byte = 0x0A // s->c: u32 retryAfterMs; admission refused, retry later (v2+)
 )
 
 // MaxFramePayload caps a frame's payload. Chunks are far smaller (the
@@ -149,6 +162,21 @@ func ParseSeq(p []byte) (seq uint64, rest []byte, err error) {
 		return 0, nil, fmt.Errorf("ingest: short sequenced payload (%d bytes)", len(p))
 	}
 	return binary.LittleEndian.Uint64(p[0:8]), p[8:], nil
+}
+
+// AppendBusy encodes a BUSY payload: how long the client should wait
+// before redialing, in milliseconds. BUSY is an admission-control verdict,
+// not a connection error — the session may well be accepted on retry.
+func AppendBusy(dst []byte, retryAfterMs uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, retryAfterMs)
+}
+
+// ParseBusy decodes a BUSY payload.
+func ParseBusy(p []byte) (retryAfterMs uint32, err error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("ingest: BUSY payload is %d bytes, want 4", len(p))
+	}
+	return binary.LittleEndian.Uint32(p), nil
 }
 
 // AppendHelloAck encodes a HELLO_ACK payload: the protocol version the

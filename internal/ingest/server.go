@@ -11,12 +11,15 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jportal"
 	"jportal/internal/fault"
+	"jportal/internal/fsatomic"
 	"jportal/internal/metrics"
 	"jportal/internal/streamfmt"
+	"jportal/internal/watchdog"
 )
 
 // Policy selects what the server does when a session's bounded inbound
@@ -51,6 +54,26 @@ type Config struct {
 	// long, so vanished agents do not hold their session attached forever.
 	// 0 means 2 minutes.
 	IdleTimeout time.Duration
+	// MaxSessions caps how many sessions may have a connection attached at
+	// once. A HELLO past the cap is answered with BUSY (protocol 2+) or ERR
+	// (protocol 1) instead of being accepted. 0 means unlimited.
+	MaxSessions int
+	// MemoryBudgetBytes bounds the payload bytes queued across every
+	// session (accepted but not yet archived). New sessions are refused
+	// with BUSY while the budget is exhausted, and data frames that would
+	// exceed it are shed with a NACK — the client retransmits after
+	// backoff. 0 means unlimited.
+	MemoryBudgetBytes int64
+	// BreakerNacks is the per-session circuit breaker: a session whose
+	// connection earns this many NACKs (queue overflow, budget sheds,
+	// sequence gaps) is poisoned before it burns more budget. 0 disables
+	// the breaker.
+	BreakerNacks int
+	// StallAfter poisons a session whose writer makes no progress for this
+	// long while frames are queued — a wedged disk or a hung archive write
+	// is detected instead of holding queue memory forever. 0 disables the
+	// writer watchdog.
+	StallAfter time.Duration
 	// Logf, when set, receives one line per connection-level event.
 	Logf func(format string, args ...any)
 	// Registry receives the typed quarantine counters (and is merged into
@@ -79,6 +102,15 @@ func (c *Config) fill() error {
 	if c.IdleTimeout == 0 {
 		c.IdleTimeout = 2 * time.Minute
 	}
+	if c.MaxSessions < 0 {
+		return fmt.Errorf("ingest: MaxSessions %d is negative", c.MaxSessions)
+	}
+	if c.MemoryBudgetBytes < 0 {
+		return fmt.Errorf("ingest: MemoryBudgetBytes %d is negative", c.MemoryBudgetBytes)
+	}
+	if c.BreakerNacks < 0 {
+		return fmt.Errorf("ingest: BreakerNacks %d is negative", c.BreakerNacks)
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -94,18 +126,38 @@ type Server struct {
 	cfg     Config
 	metrics Metrics
 
+	queuedBytes atomic.Int64 // payload bytes accepted but not yet archived
+
 	mu       sync.Mutex
 	ln       net.Listener
 	sessions map[string]*session
 	conns    map[net.Conn]struct{}
+	attached int // sessions with a connection bound (admission gate)
 	drain    bool
 	stopped  bool
 	force    chan struct{}
 	forceOne sync.Once
 
+	dog *watchdog.Supervisor // writer-stall supervisor; nil when disabled
+
 	connWG   sync.WaitGroup
 	writerWG sync.WaitGroup
 }
+
+// errBusy reports an admission refusal: the server is at capacity but the
+// condition is transient, so the client should redial after RetryAfter.
+type errBusy struct {
+	reason     string
+	retryAfter time.Duration
+}
+
+func (e *errBusy) Error() string {
+	return fmt.Sprintf("server busy (%s), retry in %v", e.reason, e.retryAfter)
+}
+
+// busyRetryAfter is the redial hint sent in BUSY frames. The client adds
+// its own jitter, so a fixed hint does not synchronize a thundering herd.
+const busyRetryAfter = time.Second
 
 // NewServer validates cfg and returns an idle server; call Serve to accept.
 func NewServer(cfg Config) (*Server, error) {
@@ -124,12 +176,21 @@ func NewServer(cfg Config) (*Server, error) {
 	for _, r := range fault.Reasons() {
 		cfg.Registry.Add(fault.QuarantineCounterName(r), 0)
 	}
-	return &Server{
+	// The robustness-layer counters the analysis path increments through the
+	// same registry: pre-declared so the sidecar exposes them from scrape one.
+	cfg.Registry.Add(metrics.CounterWatchdogStalls, 0)
+	cfg.Registry.Add(metrics.CounterCheckpointsWritten, 0)
+	srv := &Server{
 		cfg:      cfg,
 		sessions: make(map[string]*session),
 		conns:    make(map[net.Conn]struct{}),
 		force:    make(chan struct{}),
-	}, nil
+	}
+	if cfg.StallAfter > 0 {
+		srv.dog = watchdog.New(cfg.StallAfter/4, cfg.StallAfter)
+		srv.dog.Start()
+	}
+	return srv, nil
 }
 
 // Metrics exposes the server's counters (the HTTP sidecar serves the same
@@ -233,14 +294,59 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	// No reader can enqueue anymore; closing the queues lets each writer
-	// drain what it has and exit, closing its archive file.
+	// drain what it has and exit, closing its archive file. The wait is
+	// bounded by ctx: a writer hung on a wedged disk (or a stalled archive
+	// write) must not block shutdown past the caller's deadline — its
+	// session simply is not drained, and the state file still reflects the
+	// last acknowledged frame.
 	s.mu.Lock()
 	for _, sess := range s.sessions {
 		close(sess.queue)
 	}
 	s.mu.Unlock()
-	s.writerWG.Wait()
+	writersDone := make(chan struct{})
+	go func() {
+		s.writerWG.Wait()
+		close(writersDone)
+	}()
+	select {
+	case <-writersDone:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+		// Past the deadline, writers get only as long as they keep making
+		// progress: bounded queues drain in moments unless a writer is
+		// wedged, and a wedged writer must not block shutdown forever.
+		for {
+			before := s.processedTotal()
+			stop := false
+			select {
+			case <-writersDone:
+				stop = true
+			case <-time.After(50 * time.Millisecond):
+				stop = s.processedTotal() == before
+			}
+			if stop {
+				break
+			}
+		}
+	}
+	if s.dog != nil {
+		s.dog.Stop()
+	}
 	return err
+}
+
+// processedTotal sums every session writer's progress counter.
+func (s *Server) processedTotal() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, sess := range s.sessions {
+		n += sess.processed.Load()
+	}
+	return n
 }
 
 // connWriter serializes frame writes to one connection: the session writer
@@ -287,8 +393,8 @@ func (s *Server) handleConn(conn net.Conn) {
 		cw.sendErr(err.Error())
 		return
 	}
-	if version != ProtoVersion {
-		cw.sendErr(fmt.Sprintf("protocol version %d not supported (server speaks %d)", version, ProtoVersion))
+	if version < MinProtoVersion || version > ProtoVersion {
+		cw.sendErr(fmt.Sprintf("protocol version %d not supported (server speaks %d..%d)", version, MinProtoVersion, ProtoVersion))
 		return
 	}
 	if !ValidSessionID(id) {
@@ -302,6 +408,18 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	sess, err := s.attach(id, ncores, cw)
 	if err != nil {
+		var busy *errBusy
+		if errors.As(err, &busy) {
+			// Admission refusal, not a protocol error: a v2 client backs off
+			// and redials; a v1 client only understands ERR.
+			s.metrics.BusyRejections.Add(1)
+			if version >= ProtoVersionBusy {
+				cw.send(FrameBusy, AppendBusy(nil, uint32(busy.retryAfter.Milliseconds())))
+			} else {
+				cw.sendErr(err.Error())
+			}
+			return
+		}
 		s.metrics.Errors.Add(1)
 		cw.sendErr(err.Error())
 		return
@@ -313,7 +431,8 @@ func (s *Server) handleConn(conn net.Conn) {
 	if resume > 0 {
 		s.metrics.SessionsResumed.Add(1)
 	}
-	cw.send(FrameHelloAck, AppendHelloAck(nil, ProtoVersion, resume))
+	// Echo the client's own version: both sides then speak the older dialect.
+	cw.send(FrameHelloAck, AppendHelloAck(nil, version, resume))
 	s.cfg.Logf("ingest: %s: session %q attached (resume seq %d)", conn.RemoteAddr(), id, resume)
 
 	for {
@@ -352,11 +471,20 @@ func (s *Server) handleConn(conn net.Conn) {
 // attach looks up or creates the session for id and binds the connection
 // to it. One connection per session: a second concurrent HELLO is
 // rejected (the client retries after the stale connection dies).
+// Admission control happens here: past the concurrent-session cap or with
+// the global memory budget exhausted the HELLO earns an errBusy, which the
+// caller turns into a BUSY frame.
 func (s *Server) attach(id string, ncores int, cw *connWriter) (*session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.drain {
 		return nil, errors.New("server is draining, not accepting sessions")
+	}
+	if s.cfg.MaxSessions > 0 && s.attached >= s.cfg.MaxSessions {
+		return nil, &errBusy{"session cap reached", busyRetryAfter}
+	}
+	if b := s.cfg.MemoryBudgetBytes; b > 0 && s.queuedBytes.Load() >= b {
+		return nil, &errBusy{"memory budget exhausted", busyRetryAfter}
 	}
 	sess := s.sessions[id]
 	if sess == nil {
@@ -369,6 +497,17 @@ func (s *Server) attach(id string, ncores int, cw *connWriter) (*session, error)
 		s.metrics.SessionsTotal.Add(1)
 		s.writerWG.Add(1)
 		go sess.runWriter()
+		if s.dog != nil {
+			s.dog.Register(watchdog.Probe{
+				Name:     "ingest_writer:" + id,
+				Progress: sess.processed.Load,
+				Active:   func() bool { return len(sess.queue) > 0 || sess.working.Load() },
+				OnStall: func(name string, progress uint64, stuck time.Duration) {
+					s.metrics.StallsDetected.Add(1)
+					sess.poison(fmt.Errorf("writer stalled for %v after %d frames", stuck.Round(time.Millisecond), progress))
+				},
+			})
+		}
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -382,6 +521,7 @@ func (s *Server) attach(id string, ncores int, cw *connWriter) (*session, error)
 		return nil, fmt.Errorf("session %q already has an active connection", id)
 	}
 	sess.conn = cw
+	s.attached++
 	return sess, nil
 }
 
@@ -403,6 +543,9 @@ type session struct {
 	ncores int
 	queue  chan msg
 
+	processed atomic.Uint64 // frames the writer has fully handled (watchdog progress)
+	working   atomic.Bool   // writer is inside one frame (watchdog activity)
+
 	mu          sync.Mutex
 	conn        *connWriter
 	f           *os.File
@@ -413,8 +556,14 @@ type session struct {
 	sealed      bool
 	haveProgram bool
 	done        bool // FIN acknowledged
+	strikes     int  // circuit-breaker NACK count
 	err         error
 }
+
+// testHookArchive, when set by a test, runs in the writer goroutine before
+// each frame is archived — a blocking hook simulates a hung writer. Atomic
+// because a writer released after its test ends can race the cleanup reset.
+var testHookArchive atomic.Pointer[func(sess *session, m msg)]
 
 const stateFileName = "ingest.state"
 
@@ -475,7 +624,17 @@ func (sess *session) restore() (bool, error) {
 	}
 	st, err := parseState(string(raw))
 	if err != nil {
-		return false, err
+		// Torn or malformed state — a legacy non-atomic write interrupted by
+		// a crash. The seq↔byte mapping is unrecoverable, so fall back to a
+		// fresh upload of the session instead of failing it: the client
+		// resends everything and the end-to-end seal CRC still guarantees
+		// the re-pushed archive is byte-identical.
+		sess.srv.metrics.StateFallbacks.Add(1)
+		sess.srv.cfg.Logf("ingest: session %q: %v; restarting the upload from scratch", sess.id, err)
+		if rerr := os.Remove(filepath.Join(sess.dir, stateFileName)); rerr != nil {
+			return false, rerr
+		}
+		return false, nil
 	}
 	f, err := os.OpenFile(filepath.Join(sess.dir, jportal.StreamFileName), os.O_WRONLY, 0o644)
 	if err != nil {
@@ -549,10 +708,12 @@ func stateBody(sess *session) string {
 		stateMagicLine, sess.lastAcked, sess.size, sess.crc, sess.sealed)
 }
 
-// persistState records the acknowledged frontier. Called with sess.mu held
-// (or before the session is shared). A restarted server resumes from here.
+// persistState records the acknowledged frontier, crash-atomically (temp +
+// fsync + rename): a crash mid-write leaves the previous state file intact,
+// never a torn one. Called with sess.mu held (or before the session is
+// shared). A restarted server resumes from here.
 func (sess *session) persistState() error {
-	return os.WriteFile(filepath.Join(sess.dir, stateFileName), []byte(stateBody(sess)), 0o644)
+	return fsatomic.WriteFile(filepath.Join(sess.dir, stateFileName), []byte(stateBody(sess)), 0o644)
 }
 
 func (sess *session) ackedSeq() uint64 {
@@ -562,11 +723,39 @@ func (sess *session) ackedSeq() uint64 {
 }
 
 func (sess *session) detach(cw *connWriter) {
+	// srv.mu before sess.mu, the same order attach takes them.
+	sess.srv.mu.Lock()
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
 	if sess.conn == cw {
 		sess.conn = nil
+		sess.srv.attached--
 	}
+	sess.mu.Unlock()
+	sess.srv.mu.Unlock()
+}
+
+// shed NACKs one rejected data frame (asking the client to resend wantSeq
+// after backoff) and applies a circuit-breaker strike. The return value
+// says whether the connection should stay open.
+func (sess *session) shed(cw *connWriter, wantSeq uint64) bool {
+	sess.srv.metrics.Nacks.Add(1)
+	cw.send(FrameNack, AppendSeq(nil, wantSeq))
+	n := sess.srv.cfg.BreakerNacks
+	if n <= 0 {
+		return true
+	}
+	sess.mu.Lock()
+	sess.strikes++
+	tripped := sess.strikes == n
+	sess.mu.Unlock()
+	if !tripped {
+		return true
+	}
+	// The session has burned its rejection budget: cut it off before it
+	// consumes more queue memory on frames that keep bouncing.
+	sess.srv.metrics.BreakerTrips.Add(1)
+	sess.poison(fmt.Errorf("circuit breaker: %d frames rejected", n))
+	return false
 }
 
 // submit applies the sequencing rules to one inbound frame and enqueues it
@@ -598,26 +787,33 @@ func (sess *session) submit(m msg, cw *connWriter) bool {
 			// Gap: frames were dropped (NACK policy) or reordered.
 			want := sess.nextEnqueue
 			sess.mu.Unlock()
-			sess.srv.metrics.Nacks.Add(1)
-			cw.send(FrameNack, AppendSeq(nil, want))
-			return true
+			return sess.shed(cw, want)
 		}
 	}
 	sess.mu.Unlock()
 
+	// Global memory budget: a frame that would push the queued-but-unarchived
+	// payload past the budget is shed with a NACK regardless of policy —
+	// blocking here would hold the budget overrun in the TCP buffers instead.
+	if b := sess.srv.cfg.MemoryBudgetBytes; m.typ != FrameFin && b > 0 &&
+		sess.srv.queuedBytes.Load()+int64(len(m.data)) > b {
+		sess.srv.metrics.FramesShed.Add(1)
+		return sess.shed(cw, m.seq)
+	}
+
 	if m.typ != FrameFin && sess.srv.cfg.Policy == PolicyNack {
 		select {
 		case sess.queue <- m:
+			sess.srv.queuedBytes.Add(int64(len(m.data)))
 		default:
-			sess.srv.metrics.Nacks.Add(1)
-			cw.send(FrameNack, AppendSeq(nil, m.seq))
-			return true
+			return sess.shed(cw, m.seq)
 		}
 	} else {
 		// PolicyBlock (and FIN under either policy): stop reading until
 		// there is room — TCP pushes the backpressure to the client.
 		select {
 		case sess.queue <- m:
+			sess.srv.queuedBytes.Add(int64(len(m.data)))
 		case <-sess.srv.force:
 			return false
 		}
@@ -636,15 +832,23 @@ func (sess *session) submit(m msg, cw *connWriter) bool {
 // shutdown, after archiving everything already accepted.
 func (sess *session) runWriter() {
 	defer sess.srv.writerWG.Done()
+	if sess.srv.dog != nil {
+		defer sess.srv.dog.Unregister("ingest_writer:" + sess.id)
+	}
 	for m := range sess.queue {
+		sess.working.Store(true)
+		if h := testHookArchive.Load(); h != nil {
+			(*h)(sess, m)
+		}
 		if m.typ == FrameFin {
 			sess.finish(m.seq)
-			continue
-		}
-		if err := sess.archive(m); err != nil {
+		} else if err := sess.archive(m); err != nil {
 			sess.srv.quarantineErr(err)
 			sess.rejectAndPoison(m, err)
 		}
+		sess.srv.queuedBytes.Add(-int64(len(m.data)))
+		sess.processed.Add(1)
+		sess.working.Store(false)
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()

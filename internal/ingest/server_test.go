@@ -895,7 +895,13 @@ func TestMetricsExposeFaultCounters(t *testing.T) {
 			t.Errorf("metrics missing %q", fault.QuarantineCounterName(r))
 		}
 	}
-	for _, key := range []string{"sessions_quarantined", "records_corrupt", "records_torn"} {
+	for _, key := range []string{
+		"sessions_quarantined", "records_corrupt", "records_torn",
+		// Robustness-layer counters and gauges (DESIGN.md §11): pre-declared
+		// so a scraper can alert on them before the first incident.
+		"busy_rejections", "frames_shed", "breaker_trips", "writer_stalls",
+		"state_fallbacks", "queued_bytes", "watchdog_stalls", "checkpoints_written",
+	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("metrics missing %q", key)
 		}

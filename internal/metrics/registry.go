@@ -24,6 +24,18 @@ func NewRegistry() *Registry {
 // sidecar can expose them without plumbing.
 var Default = NewRegistry()
 
+// Registry counter names the robustness layer reports under (DESIGN.md
+// §11). Declared here so producers (the stream replay loop) and the
+// sidecar's pre-registration agree on spelling.
+const (
+	// CounterWatchdogStalls counts stall episodes the replay watchdog
+	// detected across analysis sessions in this process.
+	CounterWatchdogStalls = "watchdog_stalls"
+	// CounterCheckpointsWritten counts session checkpoints durably written
+	// by the resumable replay path.
+	CounterCheckpointsWritten = "checkpoints_written"
+)
+
 // Add increments the named counter by delta (registering it at zero first
 // if unseen). Adding zero registers the name without changing its value,
 // which the sidecar uses to pre-declare fault-class counters.

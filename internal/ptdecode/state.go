@@ -1,0 +1,118 @@
+package ptdecode
+
+import (
+	"fmt"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/meta"
+)
+
+// DecoderState is the decoder's checkpointable walking state (DESIGN.md
+// §11). It is only valid at a chunk boundary where the output buffer is
+// empty — DecodeChunk always drains it, so any point between chunks
+// qualifies. The current blob is identified by its index in the snapshot's
+// append-only export log (replayed identically on resume) with the entry
+// address as a cross-check, never by pointer.
+type DecoderState struct {
+	Mode       uint8
+	CurOp      uint8
+	BlobExport int // index into snap.ExportedBlobs(), -1 = no blob
+	BlobEntry  uint64
+	Idx        int
+	RangeStart int
+	Bits       uint64
+	NBits      int
+	TSC        uint64
+	FUPArmed   bool
+	SkipPSB    bool
+
+	Desyncs        int
+	DroppedBits    int
+	FaultCount     int
+	Faults         []DecodeFault
+	SkippedPackets int
+	SkippedBytes   uint64
+}
+
+// ExportState snapshots the decoder between chunks. It panics if called
+// with undelivered output events: that is a checkpoint at a non-quiescent
+// point, which the Session never does.
+func (d *Decoder) ExportState() DecoderState {
+	if len(d.out) != 0 {
+		panic("ptdecode: ExportState with pending output events")
+	}
+	st := DecoderState{
+		Mode:       uint8(d.mode),
+		CurOp:      uint8(d.curOp),
+		BlobExport: -1,
+		Idx:        d.idx,
+		RangeStart: d.rangeStart,
+		Bits:       d.bits,
+		NBits:      d.nbits,
+		TSC:        d.tsc,
+		FUPArmed:   d.fupArmed,
+		SkipPSB:    d.skipPSB,
+
+		Desyncs:        d.Desyncs,
+		DroppedBits:    d.DroppedBits,
+		FaultCount:     d.FaultCount,
+		Faults:         append([]DecodeFault(nil), d.Faults...),
+		SkippedPackets: d.SkippedPackets,
+		SkippedBytes:   d.SkippedBytes,
+	}
+	if d.blob != nil {
+		st.BlobEntry = d.blob.EntryAddr()
+		for i, b := range d.snap.ExportedBlobs() {
+			if b == d.blob {
+				st.BlobExport = i
+				break
+			}
+		}
+	}
+	return st
+}
+
+// RestoreState rebuilds the decoder from a checkpointed state against the
+// restoring process's snapshot (whose export log must be a replay of the
+// checkpointing process's — the archive resume path guarantees it).
+func (d *Decoder) RestoreState(st DecoderState) error {
+	d.out = nil
+	d.mode = mode(st.Mode)
+	d.curOp = bytecode.Opcode(st.CurOp)
+	d.idx = st.Idx
+	d.rangeStart = st.RangeStart
+	d.bits = st.Bits
+	d.nbits = st.NBits
+	d.tsc = st.TSC
+	d.fupArmed = st.FUPArmed
+	d.skipPSB = st.SkipPSB
+
+	d.Desyncs = st.Desyncs
+	d.DroppedBits = st.DroppedBits
+	d.FaultCount = st.FaultCount
+	d.Faults = append([]DecodeFault(nil), st.Faults...)
+	d.SkippedPackets = st.SkippedPackets
+	d.SkippedBytes = st.SkippedBytes
+
+	d.blob = nil
+	if st.BlobEntry != 0 || st.BlobExport >= 0 {
+		d.blob = d.resolveBlob(st)
+		if d.blob == nil {
+			return fmt.Errorf("ptdecode: checkpoint references unknown blob (export %d, entry %#x)",
+				st.BlobExport, st.BlobEntry)
+		}
+	}
+	return nil
+}
+
+// resolveBlob maps a checkpointed blob identity back to a live pointer:
+// export-log index first (exact, survives re-exports that shadow an entry
+// address), entry-address lookup as the fallback.
+func (d *Decoder) resolveBlob(st DecoderState) *meta.CompiledMethod {
+	if log := d.snap.ExportedBlobs(); st.BlobExport >= 0 && st.BlobExport < len(log) {
+		if b := log[st.BlobExport]; b != nil && b.EntryAddr() == st.BlobEntry {
+			return b
+		}
+	}
+	return d.snap.BlobFor(st.BlobEntry)
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"fmt"
+
+	"jportal/internal/pt"
+	"jportal/internal/vm"
+)
+
+// StitcherWindow is the checkpointable form of a closed scheduling window
+// awaiting cross-core emission.
+type StitcherWindow struct {
+	Thread int
+	Start  uint64
+	End    uint64
+	Rec    int
+	Items  []pt.Item
+}
+
+// StitcherCoreState is one core's checkpointable carve state.
+type StitcherCoreState struct {
+	Recs    []vm.SwitchRecord
+	Mark    uint64
+	Pending []pt.Item
+	WI      int
+	TSC     uint64
+	Open    map[int][]pt.Item
+	Closed  []StitcherWindow
+	FO      int
+}
+
+// StitcherState is the stitcher's complete checkpointable state (DESIGN.md
+// §11): per-core carve cursors and buffered items, plus the cross-core
+// collapse and emission frontiers. Only valid before Finish.
+type StitcherState struct {
+	NCores     int
+	MaxThread  int
+	Cores      []StitcherCoreState
+	LastThread []int
+	LastTSC    []uint64
+	EmittedEnd map[int]uint64
+}
+
+// ExportState snapshots the stitcher for a checkpoint. It panics after
+// Finish: a finished stitcher has emitted everything and is not resumable.
+func (s *StreamStitcher) ExportState() StitcherState {
+	if s.finished {
+		panic("trace: StreamStitcher.ExportState after Finish")
+	}
+	st := StitcherState{
+		NCores:     len(s.cores),
+		MaxThread:  s.maxThread,
+		Cores:      make([]StitcherCoreState, len(s.cores)),
+		LastThread: append([]int(nil), s.lastThread...),
+		LastTSC:    append([]uint64(nil), s.lastTSC...),
+		EmittedEnd: make(map[int]uint64, len(s.emittedEnd)),
+	}
+	for t, e := range s.emittedEnd {
+		st.EmittedEnd[t] = e
+	}
+	for i := range s.cores {
+		c := &s.cores[i]
+		cs := StitcherCoreState{
+			Recs:    append([]vm.SwitchRecord(nil), c.recs...),
+			Mark:    c.mark,
+			Pending: append([]pt.Item(nil), c.pending...),
+			WI:      c.wi,
+			TSC:     c.tsc,
+			Open:    make(map[int][]pt.Item, len(c.open)),
+			Closed:  make([]StitcherWindow, len(c.closed)),
+			FO:      c.fo,
+		}
+		for j, items := range c.open {
+			cs.Open[j] = append([]pt.Item(nil), items...)
+		}
+		for j, w := range c.closed {
+			cs.Closed[j] = StitcherWindow{
+				Thread: w.thread, Start: w.start, End: w.end, Rec: w.rec,
+				Items: append([]pt.Item(nil), w.items...),
+			}
+		}
+		st.Cores[i] = cs
+	}
+	return st
+}
+
+// RestoreState rebuilds a freshly-constructed stitcher from a checkpointed
+// state. The core count must match the checkpointing run's; nil maps from
+// the wire (gob encodes empty maps as nil) are normalised back to empty.
+func (s *StreamStitcher) RestoreState(st StitcherState) error {
+	if st.NCores != len(s.cores) {
+		return fmt.Errorf("trace: checkpoint has %d cores, stitcher has %d", st.NCores, len(s.cores))
+	}
+	if len(st.Cores) != st.NCores || len(st.LastThread) != st.NCores || len(st.LastTSC) != st.NCores {
+		return fmt.Errorf("trace: checkpoint core arrays inconsistent with %d cores", st.NCores)
+	}
+	s.maxThread = st.MaxThread
+	s.finished = false
+	s.lastThread = append([]int(nil), st.LastThread...)
+	s.lastTSC = append([]uint64(nil), st.LastTSC...)
+	s.emittedEnd = make(map[int]uint64, len(st.EmittedEnd))
+	for t, e := range st.EmittedEnd {
+		s.emittedEnd[t] = e
+	}
+	for i := range s.cores {
+		cs := &st.Cores[i]
+		c := &s.cores[i]
+		c.recs = append([]vm.SwitchRecord(nil), cs.Recs...)
+		c.mark = cs.Mark
+		c.pending = append([]pt.Item(nil), cs.Pending...)
+		c.wi = cs.WI
+		c.tsc = cs.TSC
+		c.open = make(map[int][]pt.Item, len(cs.Open))
+		for j, items := range cs.Open {
+			c.open[j] = append([]pt.Item(nil), items...)
+		}
+		c.closed = make([]stWindow, len(cs.Closed))
+		for j, w := range cs.Closed {
+			c.closed[j] = stWindow{
+				thread: w.Thread, start: w.Start, end: w.End, rec: w.Rec,
+				items: append([]pt.Item(nil), w.Items...),
+			}
+		}
+		c.fo = cs.FO
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package watchdog supervises pipeline stages through progress heartbeats.
+// Each stage registers a Probe exposing a monotone progress counter and an
+// activity flag; a supervisor goroutine samples the probes and, when an
+// active probe's counter stops advancing for the stall window, fires its
+// OnStall hook once. Progress after a stall re-arms the probe, so a stage
+// that recovers (or is restarted) is supervised again. The hooks decide
+// the policy — dump diagnostics, poison a session, fail the run — the
+// watchdog only detects (DESIGN.md §11).
+package watchdog
+
+import (
+	"sync"
+	"time"
+)
+
+// Probe is one supervised stage. All three callbacks are invoked from the
+// supervisor goroutine, so they must be safe to call concurrently with the
+// stage itself — atomic counters are the expected implementation.
+type Probe struct {
+	// Name identifies the stage in diagnostics (e.g. "stitcher_watermark",
+	// "analyzer_segments", "ingest_writer").
+	Name string
+	// Progress returns a monotonically non-decreasing counter that advances
+	// whenever the stage does useful work.
+	Progress func() uint64
+	// Active reports whether the stage currently has work outstanding. An
+	// idle stage (no input queued) is never considered stalled.
+	Active func() bool
+	// OnStall fires once per stall episode, with the progress value the
+	// stage has been stuck at and for how long.
+	OnStall func(name string, progress uint64, stuck time.Duration)
+}
+
+// probeState tracks one probe between samples.
+type probeState struct {
+	probe   Probe
+	last    uint64
+	since   time.Time
+	tripped bool
+}
+
+// Supervisor samples registered probes on a fixed interval and fires
+// OnStall when an active probe makes no progress for stallAfter.
+type Supervisor struct {
+	interval   time.Duration
+	stallAfter time.Duration
+
+	mu     sync.Mutex
+	probes map[string]*probeState
+	stalls uint64
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// New builds a supervisor that samples every interval and declares a stall
+// after stallAfter without progress. Call Start to begin sampling.
+func New(interval, stallAfter time.Duration) *Supervisor {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if stallAfter < interval {
+		stallAfter = interval
+	}
+	return &Supervisor{
+		interval:   interval,
+		stallAfter: stallAfter,
+		probes:     make(map[string]*probeState),
+	}
+}
+
+// Register adds (or replaces) a probe under its name.
+func (s *Supervisor) Register(p Probe) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probes[p.Name] = &probeState{probe: p, last: p.Progress(), since: time.Now()}
+}
+
+// Unregister removes a probe; a stage that finished cleanly stops being
+// supervised.
+func (s *Supervisor) Unregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.probes, name)
+}
+
+// Stalls returns how many stall episodes the supervisor has detected.
+func (s *Supervisor) Stalls() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stalls
+}
+
+// Start launches the sampling goroutine. It is a no-op if already running.
+func (s *Supervisor) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.run(s.stop, s.done)
+}
+
+// Stop halts sampling and waits for the goroutine to exit. Probes stay
+// registered; Start resumes supervision.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (s *Supervisor) run(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			s.sample(now)
+		}
+	}
+}
+
+// sample checks every probe once. Hooks run outside the lock so an OnStall
+// that calls back into Register/Unregister cannot deadlock.
+func (s *Supervisor) sample(now time.Time) {
+	type firing struct {
+		probe    Probe
+		progress uint64
+		stuck    time.Duration
+	}
+	var fire []firing
+	s.mu.Lock()
+	for _, st := range s.probes {
+		cur := st.probe.Progress()
+		if cur != st.last || !st.probe.Active() {
+			// Progress (or idleness) re-arms the probe: a later stall is a
+			// new episode.
+			st.last = cur
+			st.since = now
+			st.tripped = false
+			continue
+		}
+		if stuck := now.Sub(st.since); stuck >= s.stallAfter && !st.tripped {
+			st.tripped = true
+			s.stalls++
+			fire = append(fire, firing{st.probe, cur, stuck})
+		}
+	}
+	s.mu.Unlock()
+	for _, f := range fire {
+		if f.probe.OnStall != nil {
+			f.probe.OnStall(f.probe.Name, f.progress, f.stuck)
+		}
+	}
+}

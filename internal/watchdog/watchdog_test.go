@@ -1,0 +1,107 @@
+package watchdog
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond for up to 5s; the supervisor runs on real time, so
+// tests use generous deadlines and tiny intervals.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestDetectsStallOnActiveProbe(t *testing.T) {
+	var progress, active, fired atomic.Uint64
+	active.Store(1)
+	s := New(2*time.Millisecond, 10*time.Millisecond)
+	s.Register(Probe{
+		Name:     "stage",
+		Progress: progress.Load,
+		Active:   func() bool { return active.Load() == 1 },
+		OnStall:  func(string, uint64, time.Duration) { fired.Add(1) },
+	})
+	s.Start()
+	defer s.Stop()
+
+	waitFor(t, "stall", func() bool { return fired.Load() == 1 })
+
+	// No progress: the episode fires once, not once per tick.
+	time.Sleep(30 * time.Millisecond)
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("stall fired %d times for one episode", n)
+	}
+	if s.Stalls() != 1 {
+		t.Fatalf("Stalls() = %d, want 1", s.Stalls())
+	}
+
+	// Progress re-arms; a second stall is a new episode.
+	progress.Add(1)
+	waitFor(t, "second stall", func() bool { return fired.Load() == 2 })
+}
+
+func TestIdleProbeNeverStalls(t *testing.T) {
+	var fired atomic.Uint64
+	s := New(time.Millisecond, 2*time.Millisecond)
+	s.Register(Probe{
+		Name:     "idle",
+		Progress: func() uint64 { return 7 },
+		Active:   func() bool { return false },
+		OnStall:  func(string, uint64, time.Duration) { fired.Add(1) },
+	})
+	s.Start()
+	time.Sleep(20 * time.Millisecond)
+	s.Stop()
+	if fired.Load() != 0 {
+		t.Fatalf("idle probe stalled %d times", fired.Load())
+	}
+}
+
+func TestProgressSuppressesStall(t *testing.T) {
+	var progress, fired atomic.Uint64
+	s := New(time.Millisecond, 15*time.Millisecond)
+	s.Register(Probe{
+		Name:     "busy",
+		Progress: progress.Load,
+		Active:   func() bool { return true },
+		OnStall:  func(string, uint64, time.Duration) { fired.Add(1) },
+	})
+	s.Start()
+	for i := 0; i < 30; i++ {
+		progress.Add(1)
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	if fired.Load() != 0 {
+		t.Fatalf("advancing probe stalled %d times", fired.Load())
+	}
+}
+
+func TestUnregisterAndStopIdempotent(t *testing.T) {
+	var fired atomic.Uint64
+	s := New(time.Millisecond, 2*time.Millisecond)
+	s.Register(Probe{
+		Name:     "gone",
+		Progress: func() uint64 { return 0 },
+		Active:   func() bool { return true },
+		OnStall:  func(string, uint64, time.Duration) { fired.Add(1) },
+	})
+	s.Unregister("gone")
+	s.Start()
+	s.Start() // no-op
+	time.Sleep(10 * time.Millisecond)
+	s.Stop()
+	s.Stop() // no-op
+	if fired.Load() != 0 {
+		t.Fatalf("unregistered probe fired %d times", fired.Load())
+	}
+}

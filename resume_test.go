@@ -1,0 +1,416 @@
+package jportal
+
+// Tests for the robustness layer (DESIGN.md §11): crash-safe checkpointing
+// with kill-and-resume byte-identity, corrupt-checkpoint fallback, deadline
+// propagation yielding partial-but-valid analyses, and Session lifecycle
+// edges.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jportal/internal/bytecode"
+	"jportal/internal/core"
+	"jportal/internal/meta"
+	"jportal/internal/workload"
+)
+
+// buildChunkedArchive runs a subject with the streaming sink into a sealed
+// chunked archive. The tiny PT buffer forces data loss, so the §5 recovery
+// path is part of everything the checkpoint must reproduce.
+func buildChunkedArchive(t *testing.T, name string, scale workload.Scale, dir string) {
+	t.Helper()
+	s := workload.MustLoad(name, scale)
+	rcfg := DefaultRunConfig()
+	rcfg.CollectOracle = false
+	rcfg.PT.BufBytes = 16 << 10
+	rcfg.SinkChunkItems = 64
+	var w *StreamArchiveWriter
+	if _, err := RunWithSink(s.Program, s.Threads, rcfg,
+		func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (TraceSink, error) {
+			var err error
+			w, err = CreateStreamArchive(dir, p, snap, ncores)
+			return w, err
+		}); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countArchiveRecords scans a sealed archive and returns its record count.
+func countArchiveRecords(t *testing.T, dir string) int {
+	t.Helper()
+	r, err := OpenStreamArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+}
+
+// TestKillAndResumeGoldenAllSubjects is the tentpole's acceptance check:
+// for every workload subject, a replay killed mid-run (simulated process
+// death: no Close, checkpoint left behind) and resumed from its checkpoint
+// must produce an Analysis byte-identical to an uninterrupted replay —
+// same steps, fills, flows, decode stats, and degradation report.
+func TestKillAndResumeGoldenAllSubjects(t *testing.T) {
+	for _, name := range workload.Names() {
+		dir := filepath.Join(t.TempDir(), name)
+		buildChunkedArchive(t, name, 0.25, dir)
+		_, want, err := AnalyzeStreamArchive(dir, core.DefaultPipelineConfig(), false, 0)
+		if err != nil {
+			t.Fatalf("%s: uninterrupted replay: %v", name, err)
+		}
+		total := countArchiveRecords(t, dir)
+		if total < 8 {
+			t.Fatalf("%s: archive too small (%d records) to kill mid-run", name, total)
+		}
+		ckpt := filepath.Join(dir, CheckpointFileName)
+
+		// First pass: checkpoint frequently and die halfway through.
+		_, _, err = AnalyzeStreamArchiveOpts(context.Background(), dir, core.DefaultPipelineConfig(),
+			StreamOptions{CheckpointPath: ckpt, CheckpointEvery: 2, stopAfterRecords: total / 2})
+		if !errors.Is(err, errReplayAbandoned) {
+			t.Fatalf("%s: abandoned replay = %v", name, err)
+		}
+		if _, err := os.Stat(ckpt); err != nil {
+			t.Fatalf("%s: no checkpoint survived the kill: %v", name, err)
+		}
+
+		// Second pass: resume from the checkpoint and finish.
+		_, got, err := AnalyzeStreamArchiveOpts(context.Background(), dir, core.DefaultPipelineConfig(),
+			StreamOptions{CheckpointPath: ckpt, CheckpointEvery: 2, Resume: true})
+		if err != nil {
+			t.Fatalf("%s: resumed replay: %v", name, err)
+		}
+		equalAnalyses(t, name+"/kill-resume", want, got)
+		if w, g := want.Report.String(), got.Report.String(); w != g {
+			t.Errorf("%s: degradation reports diverge:\n--- uninterrupted\n%s\n--- resumed\n%s", name, w, g)
+		}
+		if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+			t.Errorf("%s: checkpoint not deleted after a completed run (err %v)", name, err)
+		}
+	}
+}
+
+// TestResumeWithCorruptCheckpointReplaysFresh: a damaged checkpoint must
+// never poison the analysis — resume falls back to a full replay with the
+// same output, and says so.
+func TestResumeWithCorruptCheckpointReplaysFresh(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "chunked")
+	buildChunkedArchive(t, "fop", 0.2, dir)
+	_, want, err := AnalyzeStreamArchive(dir, core.DefaultPipelineConfig(), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := countArchiveRecords(t, dir)
+	ckpt := filepath.Join(dir, CheckpointFileName)
+	_, _, err = AnalyzeStreamArchiveOpts(context.Background(), dir, core.DefaultPipelineConfig(),
+		StreamOptions{CheckpointPath: ckpt, CheckpointEvery: 2, stopAfterRecords: total / 2})
+	if !errors.Is(err, errReplayAbandoned) {
+		t.Fatalf("abandoned replay = %v", err)
+	}
+
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(ckpt, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var notices []string
+	_, got, err := AnalyzeStreamArchiveOpts(context.Background(), dir, core.DefaultPipelineConfig(),
+		StreamOptions{CheckpointPath: ckpt, Resume: true,
+			Logf: func(format string, args ...any) { notices = append(notices, fmt.Sprintf(format, args...)) }})
+	if err != nil {
+		t.Fatalf("resume over a corrupt checkpoint: %v", err)
+	}
+	equalAnalyses(t, "corrupt-ckpt-fallback", want, got)
+	found := false
+	for _, n := range notices {
+		if strings.Contains(n, "checkpoint unusable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no fallback notice logged; got %q", notices)
+	}
+}
+
+// TestResumePastArchiveEndIsAnError: a checkpoint claiming more records
+// than the archive holds (wrong directory, truncated archive) must fail
+// loudly, not silently produce a half-restored analysis.
+func TestResumePastArchiveEndIsAnError(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "chunked")
+	buildChunkedArchive(t, "fop", 0.15, dir)
+	total := countArchiveRecords(t, dir)
+	ckpt := filepath.Join(dir, CheckpointFileName)
+	_, _, err := AnalyzeStreamArchiveOpts(context.Background(), dir, core.DefaultPipelineConfig(),
+		StreamOptions{CheckpointPath: ckpt, CheckpointEvery: 2, stopAfterRecords: total / 2})
+	if !errors.Is(err, errReplayAbandoned) {
+		t.Fatalf("abandoned replay = %v", err)
+	}
+	ck, err := ReadSessionCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Records = total + 1000
+	if err := WriteSessionCheckpoint(ckpt, ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := AnalyzeStreamArchiveOpts(context.Background(), dir, core.DefaultPipelineConfig(),
+		StreamOptions{CheckpointPath: ckpt, Resume: true}); err == nil ||
+		!strings.Contains(err.Error(), "checkpoint covers") {
+		t.Fatalf("oversized checkpoint = %v, want a clear error", err)
+	}
+}
+
+// openSubjectSession runs a subject and opens a Session over its traces.
+func openSubjectSession(t *testing.T, name string, scale workload.Scale) (*Session, *RunResult, int) {
+	t.Helper()
+	s := workload.MustLoad(name, scale)
+	rcfg := DefaultRunConfig()
+	rcfg.CollectOracle = false
+	rcfg.PT.BufBytes = 16 << 10
+	run, err := Run(s.Program, s.Threads, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncores := 1
+	for i := range run.Traces {
+		if n := run.Traces[i].Core + 1; n > ncores {
+			ncores = n
+		}
+	}
+	cfg := core.DefaultPipelineConfig()
+	cfg.MaxPendingSegments = 0 // unbounded waves: everything pends until Close
+	sess, err := OpenSession(s.Program, run.Snapshot, ncores, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, run, ncores
+}
+
+// TestDeadlineYieldsPartialAnalysis: cancelling the context before Close
+// must return promptly with a structurally valid partial Analysis tagged
+// TimedOut, the un-reconstructed remainder quarantined under the deadline
+// reason — never a hang, never a panic, never an error.
+func TestDeadlineYieldsPartialAnalysis(t *testing.T) {
+	sess, run, ncores := openSubjectSession(t, "h2", 0.4)
+	sess.AddSideband(run.Sideband)
+	for c := 0; c < ncores; c++ {
+		sess.Watermark(c, math.MaxUint64)
+	}
+	for i := range run.Traces {
+		if err := sess.Feed(run.Traces[i].Core, run.Traces[i].Items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A clean Drain decodes and tokenizes: with reconstruction deferred
+	// (MaxPendingSegments = 0) every segment is still pending when the
+	// cancelled Close arrives, so the deadline cuts at the segment level.
+	if err := sess.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	an, err := sess.CloseContext(ctx)
+	if err != nil {
+		t.Fatalf("CloseContext under a dead deadline: %v", err)
+	}
+	if an == nil || an.Report == nil {
+		t.Fatal("no analysis returned")
+	}
+	if !an.Report.TimedOut {
+		t.Error("Report.TimedOut = false after a cancelled Close")
+	}
+	if an.Report.SegmentsQuarantined == 0 {
+		t.Error("nothing quarantined: the deadline seems not to have cut anything")
+	}
+	if an.Report.Quarantined["deadline"] == 0 {
+		t.Errorf("no deadline-reason ledger entries: %v", an.Report.Quarantined)
+	}
+	if !strings.Contains(an.Report.String(), "timed out") {
+		t.Errorf("report does not surface the timeout:\n%s", an.Report.String())
+	}
+	// The partial analysis must still be structurally sound: every flow
+	// non-nil, steps extractable.
+	for _, th := range an.Threads {
+		for i, f := range th.Flows {
+			if f == nil {
+				t.Fatalf("thread %d flow %d is nil in a partial analysis", th.Thread, i)
+			}
+		}
+	}
+	_ = an.Steps()
+}
+
+// TestDeadlineMidDrainStillCompletes: a deadline hit during one Drain wave
+// quarantines that wave only; the earlier clean wave keeps its decoded
+// segments and a clean Close still returns a valid Analysis. Partial means
+// partial, not poisoned. The waves are split by watermark — the first Drain
+// may only emit scheduling windows finalized below the mid-run watermark.
+func TestDeadlineMidDrainStillCompletes(t *testing.T) {
+	s := workload.MustLoad("fop", 0.3)
+	rcfg := DefaultRunConfig()
+	rcfg.CollectOracle = false
+	rcfg.PT.BufBytes = 16 << 10
+	run, err := Run(s.Program, s.Threads, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncores := 1
+	for i := range run.Traces {
+		if n := run.Traces[i].Core + 1; n > ncores {
+			ncores = n
+		}
+	}
+	cfg := core.DefaultPipelineConfig()
+	cfg.MaxPendingSegments = 1 // reconstruct eagerly, wave by wave
+	sess, err := OpenSession(s.Program, run.Snapshot, ncores, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddSideband(run.Sideband)
+	for i := range run.Traces {
+		if err := sess.Feed(run.Traces[i].Core, run.Traces[i].Items); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// First wave cleanly: watermark at the sideband midpoint finalizes the
+	// early scheduling windows only.
+	mid := run.Sideband[len(run.Sideband)/2].TSC
+	for c := 0; c < ncores; c++ {
+		sess.Watermark(c, mid)
+	}
+	if err := sess.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	decodedEarly := sess.DeltasApplied()
+
+	// Second wave under a cancelled context: its deltas quarantine at the
+	// feed level, but the session itself stays usable.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for c := 0; c < ncores; c++ {
+		sess.Watermark(c, math.MaxUint64)
+	}
+	if err := sess.DrainContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	an, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Report.TimedOut {
+		t.Error("TimedOut not set although one wave was cancelled")
+	}
+	if an.Report.Quarantined["deadline"] == 0 {
+		t.Errorf("the cancelled wave left no deadline ledger entries: %v", an.Report.Quarantined)
+	}
+	if decodedEarly == 0 {
+		t.Error("the clean first wave emitted no deltas")
+	}
+	if an.Report.SegmentsDecoded == 0 {
+		t.Error("nothing decoded: the clean wave's segments should survive")
+	}
+	for _, th := range an.Threads {
+		for i, f := range th.Flows {
+			if f == nil {
+				t.Fatalf("thread %d flow %d is nil", th.Thread, i)
+			}
+		}
+	}
+}
+
+// TestSessionLifecycleEdges covers the remaining lifecycle satellite cases:
+// double Close (idempotent, same result), Drain on an empty run, Close on a
+// never-fed session, and Feed/Drain after Close (already covered in
+// TestSessionValidation, re-checked here against the context variants).
+func TestSessionLifecycleEdges(t *testing.T) {
+	s := workload.MustLoad("fop", 0.1)
+	snap := meta.NewSnapshot(meta.NewTemplateTable())
+
+	// Empty run: Drain and Close on a session that never saw input.
+	sess, err := OpenSession(s.Program, snap, 2, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Drain(); err != nil {
+		t.Fatalf("Drain on an empty session: %v", err)
+	}
+	an, err := sess.Close()
+	if err != nil {
+		t.Fatalf("Close on an empty session: %v", err)
+	}
+	for _, th := range an.Threads {
+		if len(th.Flows) != 0 {
+			t.Errorf("empty run produced %d flows for thread %d", len(th.Flows), th.Thread)
+		}
+	}
+	if n := len(an.Steps()); n != 0 {
+		t.Errorf("empty run produced %d steps", n)
+	}
+	if an.Report == nil || an.Report.TimedOut {
+		t.Error("empty run report missing or spuriously timed out")
+	}
+
+	// Double Close: idempotent, returns the same Analysis.
+	an2, err := sess.Close()
+	if err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if an2 != an {
+		t.Error("second Close returned a different Analysis")
+	}
+
+	// Context variants after Close fail like the plain ones.
+	if err := sess.DrainContext(context.Background()); err == nil {
+		t.Error("DrainContext succeeded on a closed session")
+	}
+	if err := sess.Feed(0, nil); err == nil {
+		t.Error("Feed succeeded on a closed session")
+	}
+
+	// Checkpointing a closed session is refused; so is restoring into one.
+	if _, err := sess.ExportCheckpoint(1); err == nil {
+		t.Error("ExportCheckpoint succeeded on a closed session")
+	}
+	if err := sess.RestoreCheckpoint(&SessionCheckpoint{NCores: 2}); err == nil {
+		t.Error("RestoreCheckpoint succeeded on a closed session")
+	}
+
+	// Restoring into a session that already analysed input is refused.
+	sess2, err := OpenSession(s.Program, meta.NewSnapshot(meta.NewTemplateTable()), 3, core.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.RestoreCheckpoint(&SessionCheckpoint{NCores: 2}); err == nil {
+		t.Error("RestoreCheckpoint accepted a core-count mismatch")
+	}
+	if _, err := sess2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,8 +1,10 @@
 package jportal
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"jportal/internal/bytecode"
 	"jportal/internal/conc"
@@ -34,6 +36,7 @@ type Session struct {
 	snap      *meta.Snapshot
 	pipe      *core.Pipeline
 	st        *trace.StreamStitcher
+	ncores    int
 	analyzers []*core.ThreadAnalyzer
 	peak      int
 	closed    bool
@@ -42,6 +45,12 @@ type Session struct {
 	// hardened stage reports what it excluded and why, and Close folds the
 	// totals into the Analysis's DegradationReport.
 	ledger *fault.Ledger
+	// hbEmitted and hbSegments are watchdog heartbeats (DESIGN.md §11):
+	// thread deltas applied and segments reconstructed so far. Atomics so a
+	// supervisor goroutine can sample them while the session works; the
+	// session itself only updates them after a fan-out returns.
+	hbEmitted  atomic.Uint64
+	hbSegments atomic.Uint64
 }
 
 // OpenSession starts an incremental analysis over ncores per-core trace
@@ -63,6 +72,7 @@ func OpenSession(prog *bytecode.Program, snap *meta.Snapshot, ncores int, cfg co
 		snap:   snap,
 		pipe:   core.NewPipeline(prog, cfg),
 		st:     trace.NewStreamStitcher(ncores),
+		ncores: ncores,
 		ledger: fault.NewLedger(metrics.Default),
 	}
 	s.st.SetLedger(s.ledger)
@@ -100,16 +110,24 @@ func (s *Session) Feed(core int, items []pt.Item) error {
 // out and pushed through the per-thread analyzers (decode, tokenize, and
 // reconstruction waves).
 func (s *Session) Drain() error {
+	return s.DrainContext(context.Background())
+}
+
+// DrainContext is Drain with deadline propagation: once ctx is cancelled,
+// stitched-out deltas are quarantined under the deadline reason instead of
+// decoded, so a timed-out caller regains control without losing the
+// session's structural validity.
+func (s *Session) DrainContext(ctx context.Context) error {
 	if s.closed {
 		return errors.New("jportal: Drain on closed session")
 	}
-	s.apply(s.st.Drain())
+	s.apply(ctx, s.st.Drain())
 	return nil
 }
 
 // apply feeds emitted thread deltas to their analyzers. Deltas are
 // per-thread independent, so they fan out to the configured workers.
-func (s *Session) apply(deltas []trace.ThreadStream) {
+func (s *Session) apply(ctx context.Context, deltas []trace.ThreadStream) {
 	if len(deltas) == 0 {
 		return
 	}
@@ -119,9 +137,32 @@ func (s *Session) apply(deltas []trace.ThreadStream) {
 	s.snap.Seal()
 	s.grow(s.st.NumThreads())
 	conc.ParallelFor(s.pipe.Cfg.WorkerCount(), len(deltas), func(i int) {
-		s.analyzers[deltas[i].Thread].Feed(deltas[i].Items)
+		s.analyzers[deltas[i].Thread].FeedContext(ctx, deltas[i].Items)
 	})
+	s.hbEmitted.Add(uint64(len(deltas)))
+	s.updateSegmentHeartbeat()
 }
+
+// updateSegmentHeartbeat republishes the total segments reconstructed so
+// far. Called only after a fan-out returns, so reading each analyzer is
+// race-free; the atomic store is what makes the sum safe for a sampling
+// watchdog goroutine.
+func (s *Session) updateSegmentHeartbeat() {
+	var total uint64
+	for _, a := range s.analyzers {
+		total += a.SegmentsSeen()
+	}
+	s.hbSegments.Store(total)
+}
+
+// DeltasApplied returns the number of thread deltas pushed through the
+// analyzers — a monotone watchdog heartbeat, safe to sample concurrently.
+func (s *Session) DeltasApplied() uint64 { return s.hbEmitted.Load() }
+
+// SegmentsReconstructed returns the total segments consumed by
+// reconstruction waves — a monotone watchdog heartbeat, safe to sample
+// concurrently.
+func (s *Session) SegmentsReconstructed() uint64 { return s.hbSegments.Load() }
 
 // grow ensures one analyzer per thread seen so far.
 func (s *Session) grow(nthreads int) {
@@ -144,18 +185,33 @@ func (s *Session) PeakBufferedItems() int { return s.peak }
 // reconstruction and recovery, and returns the Analysis. Close is
 // idempotent; after it, Feed and Drain fail.
 func (s *Session) Close() (*Analysis, error) {
+	return s.CloseContext(context.Background())
+}
+
+// CloseContext is Close under a deadline: a cancelled ctx makes the
+// remaining reconstruction quarantine instead of compute and skips §5
+// recovery, returning promptly with a partial Analysis whose Report is
+// tagged TimedOut — never an error, never a hang (DESIGN.md §11).
+func (s *Session) CloseContext(ctx context.Context) (*Analysis, error) {
 	if s.closed {
 		return s.result, nil
 	}
 	s.closed = true
-	s.apply(s.st.FinishWorkers(s.pipe.Cfg.Workers))
+	s.apply(ctx, s.st.FinishWorkers(s.pipe.Cfg.Workers))
 	s.grow(s.st.NumThreads())
 	threads := make([]*core.ThreadResult, len(s.analyzers))
 	conc.ParallelFor(s.pipe.Cfg.WorkerCount(), len(s.analyzers), func(i int) {
-		threads[i] = s.analyzers[i].Finish()
+		threads[i] = s.analyzers[i].FinishContext(ctx)
 	})
+	s.updateSegmentHeartbeat()
 	s.result = &Analysis{Threads: threads, Pipeline: s.pipe}
 	s.result.Report = s.degradationReport()
+	for _, a := range s.analyzers {
+		if a.TimedOut() {
+			s.result.Report.TimedOut = true
+			break
+		}
+	}
 	return s.result, nil
 }
 

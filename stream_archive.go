@@ -11,14 +11,18 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"jportal/internal/bytecode"
 	"jportal/internal/core"
+	"jportal/internal/fault"
 	"jportal/internal/meta"
+	"jportal/internal/metrics"
 	"jportal/internal/pt"
 	"jportal/internal/streamfmt"
 	"jportal/internal/vm"
+	"jportal/internal/watchdog"
 )
 
 // The chunked archive is the streaming counterpart of SaveRun: instead of
@@ -359,35 +363,171 @@ func AnalyzeStreamArchive(dir string, cfg core.PipelineConfig, follow bool, poll
 // error — the caller can flush partial output (jportal stream -follow does,
 // on SIGINT) while still seeing that the tail was never reached.
 func AnalyzeStreamArchiveContext(ctx context.Context, dir string, cfg core.PipelineConfig, follow bool, poll time.Duration) (*bytecode.Program, *Analysis, error) {
+	return AnalyzeStreamArchiveOpts(ctx, dir, cfg, StreamOptions{Follow: follow, Poll: poll})
+}
+
+// DefaultCheckpointEvery is how many chunk records pass between checkpoint
+// writes when checkpointing is enabled without an explicit interval.
+const DefaultCheckpointEvery = 64
+
+// StreamOptions configures the resumable archive replay (DESIGN.md §11).
+// The zero value reproduces the plain one-shot replay.
+type StreamOptions struct {
+	// Follow tails an archive still being written, sleeping Poll between
+	// attempts until the seal arrives.
+	Follow bool
+	// Poll is the follow-mode retry interval (0 = 50ms).
+	Poll time.Duration
+	// CheckpointPath, when non-empty, enables crash-safe checkpointing:
+	// session.ckpt is written there (atomically, CRC-sealed) at chunk
+	// intervals, and deleted once the analysis completes.
+	CheckpointPath string
+	// CheckpointEvery is the chunk-record interval between checkpoint
+	// writes (0 = DefaultCheckpointEvery).
+	CheckpointEvery int
+	// Resume restores from CheckpointPath before replaying, if a valid
+	// checkpoint exists. A missing or corrupt/unreadable checkpoint falls
+	// back to a full replay (the corrupt case is logged via Logf) — resume
+	// never produces different output than an uninterrupted run, only less
+	// recomputation.
+	Resume bool
+	// StallAfter, when positive, runs a watchdog supervisor over the
+	// replay's progress heartbeats (records consumed, deltas applied,
+	// segments reconstructed): a stall longer than this is reported to the
+	// session ledger under the stall reason and counted on the
+	// "watchdog_stalls" metric.
+	StallAfter time.Duration
+	// Logf receives resume, checkpoint and watchdog notices (nil = silent).
+	Logf func(format string, args ...any)
+
+	// stopAfterRecords is a test hook: abandon the replay (no Close, no
+	// checkpoint deletion — as if the process died) after consuming this
+	// many records. 0 = disabled.
+	stopAfterRecords int
+}
+
+// errReplayAbandoned is the sentinel stopAfterRecords exits with.
+var errReplayAbandoned = errors.New("jportal: replay abandoned by test hook")
+
+func (o *StreamOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// AnalyzeStreamArchiveOpts replays a chunked archive through a streaming
+// Session with the full resilience option set: follow mode, cancellation
+// with partial results, crash-safe checkpointing, resume, and watchdog
+// supervision. Output is byte-identical to the plain replay (and to batch
+// Analyze) for every option combination — checkpointing and resume change
+// when work happens, never what it computes.
+func AnalyzeStreamArchiveOpts(ctx context.Context, dir string, cfg core.PipelineConfig, opts StreamOptions) (*bytecode.Program, *Analysis, error) {
 	r, err := OpenStreamArchive(dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer r.Close()
-	if poll <= 0 {
-		poll = 50 * time.Millisecond
+	if opts.Poll <= 0 {
+		opts.Poll = 50 * time.Millisecond
 	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = DefaultCheckpointEvery
+	}
+
+	// Resume: load the checkpoint up front so the replay loop knows which
+	// prefix to skip. Missing file = fresh run; damaged file = fresh run
+	// (the checkpoint is an optimisation, never a correctness dependency).
+	var resume *SessionCheckpoint
+	if opts.Resume && opts.CheckpointPath != "" {
+		switch ck, err := ReadSessionCheckpoint(opts.CheckpointPath); {
+		case err == nil:
+			resume = ck
+			opts.logf("resuming from checkpoint at record %d", ck.Records)
+		case os.IsNotExist(err):
+			// No checkpoint: a fresh run, or one that completed and cleaned up.
+		default:
+			opts.logf("checkpoint unusable, replaying from the start: %v", err)
+		}
+	}
+
 	var sess *Session
+	records := 0 // archive records fully applied
+	chunks := 0  // chunk records among them (checkpoint cadence)
+
+	// Watchdog: sample the replay's heartbeats and report stalls. busy
+	// distinguishes "working on a record" from "waiting for the writer" —
+	// an idle follower is not a stall. The supervisor goroutine reaches the
+	// session only through sessPtr (published once, atomically); the
+	// heartbeats themselves are atomics by construction.
+	var busy atomic.Bool
+	var recordsHB atomic.Uint64
+	var sessPtr atomic.Pointer[Session]
+	if opts.StallAfter > 0 {
+		dog := watchdog.New(opts.StallAfter/4, opts.StallAfter)
+		dog.Register(watchdog.Probe{
+			Name: "stream_replay",
+			Progress: func() uint64 {
+				n := recordsHB.Load()
+				if s := sessPtr.Load(); s != nil {
+					n += s.DeltasApplied() + s.SegmentsReconstructed()
+				}
+				return n
+			},
+			Active: busy.Load,
+			OnStall: func(name string, progress uint64, stuck time.Duration) {
+				metrics.Default.Add(metrics.CounterWatchdogStalls, 1)
+				opts.logf("watchdog: %s stalled for %s at progress %d", name, stuck, progress)
+				if s := sessPtr.Load(); s != nil {
+					s.Ledger().Add(fault.Entry{
+						Reason: fault.ReasonStall, Thread: -1, Core: -1,
+						Detail: fmt.Sprintf("%s stalled for %s", name, stuck),
+					})
+				}
+			},
+		})
+		dog.Start()
+		defer dog.Stop()
+	}
+
+	checkpoint := func() {
+		if opts.CheckpointPath == "" || sess == nil {
+			return
+		}
+		ck, err := sess.ExportCheckpoint(records)
+		if err == nil {
+			err = WriteSessionCheckpoint(opts.CheckpointPath, ck)
+		}
+		if err != nil {
+			// A failed checkpoint degrades resumability, not the analysis.
+			opts.logf("checkpoint at record %d failed: %v", records, err)
+			return
+		}
+		metrics.Default.Add(metrics.CounterCheckpointsWritten, 1)
+	}
+
 	partial := func(cause error) (*bytecode.Program, *Analysis, error) {
 		if sess == nil {
 			return nil, nil, cause
 		}
-		an, cerr := sess.Close()
+		an, cerr := sess.CloseContext(ctx)
 		if cerr != nil {
 			return nil, nil, errors.Join(cause, cerr)
 		}
 		return r.Program(), an, cause
 	}
 	for {
+		if opts.stopAfterRecords > 0 && records >= opts.stopAfterRecords {
+			return nil, nil, errReplayAbandoned
+		}
 		ev, err := r.Next()
 		if err == ErrStreamPending {
-			if !follow {
+			if !opts.Follow {
 				return nil, nil, fmt.Errorf("jportal: %s is unsealed (writer still running? use follow mode)", dir)
 			}
 			select {
 			case <-ctx.Done():
 				return partial(ctx.Err())
-			case <-time.After(poll):
+			case <-time.After(opts.Poll):
 			}
 			continue
 		}
@@ -397,43 +537,79 @@ func AnalyzeStreamArchiveContext(ctx context.Context, dir string, cfg core.Pipel
 		if err != nil {
 			return nil, nil, err
 		}
+		busy.Store(true)
+		// replayed marks records inside the resumed prefix: their analysis
+		// effects live in the checkpoint, so only the deterministic
+		// snapshot/blob replay (which rebuilds the metadata the checkpoint
+		// references) is applied.
+		replayed := resume != nil && records < resume.Records
 		switch ev.Kind {
 		case EvSnapshot:
 			if sess != nil {
+				busy.Store(false)
 				return nil, nil, fmt.Errorf("jportal: %s: duplicate snapshot record", dir)
 			}
 			sess, err = OpenSession(r.Program(), ev.Snapshot, r.NumCores(), cfg)
 			if err != nil {
+				busy.Store(false)
 				return nil, nil, err
 			}
+			sessPtr.Store(sess)
 		case EvBlob:
 			if sess == nil {
+				busy.Store(false)
 				return nil, nil, fmt.Errorf("jportal: %s: blob record before snapshot", dir)
 			}
 			sess.snap.Export(ev.Blob)
 		case EvSideband:
 			if sess == nil {
+				busy.Store(false)
 				return nil, nil, fmt.Errorf("jportal: %s: sideband record before snapshot", dir)
 			}
-			sess.AddSideband([]vm.SwitchRecord{ev.Rec})
+			if !replayed {
+				sess.AddSideband([]vm.SwitchRecord{ev.Rec})
+			}
 		case EvWatermark:
 			if sess == nil {
+				busy.Store(false)
 				return nil, nil, fmt.Errorf("jportal: %s: watermark record before snapshot", dir)
 			}
-			sess.Watermark(ev.Core, ev.Mark)
+			if !replayed {
+				sess.Watermark(ev.Core, ev.Mark)
+			}
 		case EvChunk:
 			if sess == nil {
+				busy.Store(false)
 				return nil, nil, fmt.Errorf("jportal: %s: chunk record before snapshot", dir)
 			}
-			if err := sess.Feed(ev.Core, ev.Items); err != nil {
-				return nil, nil, err
-			}
-			if err := sess.Drain(); err != nil {
-				return nil, nil, err
+			if !replayed {
+				if err := sess.Feed(ev.Core, ev.Items); err != nil {
+					busy.Store(false)
+					return nil, nil, err
+				}
+				if err := sess.DrainContext(ctx); err != nil {
+					busy.Store(false)
+					return nil, nil, err
+				}
+				chunks++
 			}
 		case EvSeal:
 			// loop exits via io.EOF on the next Next
 		}
+		records++
+		recordsHB.Add(1)
+		if resume != nil && records == resume.Records {
+			// The prefix is replayed: the snapshot's export log now matches
+			// the checkpointing run's, so the saved state can reattach.
+			if err := sess.RestoreCheckpoint(resume); err != nil {
+				busy.Store(false)
+				return nil, nil, fmt.Errorf("jportal: resume at record %d: %w", records, err)
+			}
+			resume = nil
+		} else if resume == nil && ev.Kind == EvChunk && !replayed && chunks%opts.CheckpointEvery == 0 {
+			checkpoint()
+		}
+		busy.Store(false)
 		if err := ctx.Err(); err != nil {
 			return partial(err)
 		}
@@ -441,9 +617,17 @@ func AnalyzeStreamArchiveContext(ctx context.Context, dir string, cfg core.Pipel
 	if sess == nil {
 		return nil, nil, fmt.Errorf("jportal: %s: stream has no snapshot record", dir)
 	}
-	an, err := sess.Close()
+	if resume != nil {
+		return nil, nil, fmt.Errorf("jportal: checkpoint covers %d records but the archive has only %d", resume.Records, records)
+	}
+	an, err := sess.CloseContext(ctx)
 	if err != nil {
 		return nil, nil, err
+	}
+	if opts.CheckpointPath != "" {
+		// The run is complete: a later -resume must start fresh, not replay
+		// a stale mid-run state over a finished analysis.
+		os.Remove(opts.CheckpointPath)
 	}
 	return r.Program(), an, nil
 }

@@ -1,0 +1,112 @@
+package jportal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"jportal/internal/ckpt"
+	"jportal/internal/core"
+	"jportal/internal/fault"
+	"jportal/internal/trace"
+)
+
+// CheckpointFileName is the checkpoint written next to a chunked archive's
+// stream.jpt by the resumable replay path.
+const CheckpointFileName = "session.ckpt"
+
+// SessionCheckpoint is a Session's complete resumable state at a record
+// boundary of the chunked archive (DESIGN.md §11): stitcher frontiers,
+// per-thread analyzer state, the quarantine ledger, and the archive cursor
+// (how many records had been consumed). The metadata snapshot is NOT part
+// of the checkpoint — resume rebuilds it by replaying the archive's
+// snapshot and blob records, which is deterministic and keeps the
+// checkpoint small.
+type SessionCheckpoint struct {
+	NCores  int
+	Records int
+	Peak    int
+
+	Stitcher  trace.StitcherState
+	Analyzers []core.ThreadAnalyzerState
+	Ledger    fault.LedgerState
+}
+
+// ExportCheckpoint snapshots the session between drains. The session must
+// be quiescent — no Feed/Drain in flight, not closed — which the archive
+// replay loop guarantees by checkpointing only between records.
+func (s *Session) ExportCheckpoint(records int) (*SessionCheckpoint, error) {
+	if s.closed {
+		return nil, errors.New("jportal: checkpoint of a closed session")
+	}
+	ck := &SessionCheckpoint{
+		NCores:    s.ncores,
+		Records:   records,
+		Peak:      s.peak,
+		Stitcher:  s.st.ExportState(),
+		Analyzers: make([]core.ThreadAnalyzerState, len(s.analyzers)),
+		Ledger:    s.ledger.ExportState(),
+	}
+	for i, a := range s.analyzers {
+		ck.Analyzers[i] = a.ExportState()
+	}
+	return ck, nil
+}
+
+// RestoreCheckpoint rebuilds a freshly-opened session from a checkpoint.
+// The session must have been opened with the same program and core count,
+// over a snapshot rebuilt by replaying the archive prefix the checkpoint
+// covers — the snapshot's export log must match the checkpointing run's,
+// or decoder blob references will not resolve.
+func (s *Session) RestoreCheckpoint(ck *SessionCheckpoint) error {
+	if s.closed {
+		return errors.New("jportal: restore into a closed session")
+	}
+	if len(s.analyzers) != 0 || s.peak != 0 {
+		return errors.New("jportal: restore into a session that has already analysed input")
+	}
+	if ck.NCores != s.ncores {
+		return fmt.Errorf("jportal: checkpoint has %d cores, session has %d", ck.NCores, s.ncores)
+	}
+	if err := s.st.RestoreState(ck.Stitcher); err != nil {
+		return err
+	}
+	s.snap.Seal()
+	s.grow(len(ck.Analyzers))
+	for i := range ck.Analyzers {
+		if err := s.analyzers[i].RestoreState(ck.Analyzers[i]); err != nil {
+			return fmt.Errorf("jportal: restore thread %d: %w", i, err)
+		}
+	}
+	s.ledger.RestoreState(ck.Ledger)
+	s.peak = ck.Peak
+	s.updateSegmentHeartbeat()
+	return nil
+}
+
+// WriteSessionCheckpoint persists a checkpoint crash-atomically inside the
+// sealed ckpt frame (gob payload, CRC-sealed envelope, temp+fsync+rename):
+// a torn write leaves the previous checkpoint (or none) intact, never a
+// partial file that parses.
+func WriteSessionCheckpoint(path string, ck *SessionCheckpoint) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return fmt.Errorf("jportal: encode checkpoint: %w", err)
+	}
+	return ckpt.WriteFile(path, buf.Bytes())
+}
+
+// ReadSessionCheckpoint loads and validates a checkpoint file. A missing
+// file returns os.IsNotExist; a damaged one wraps ckpt.ErrCorrupt.
+func ReadSessionCheckpoint(path string) (*SessionCheckpoint, error) {
+	payload, err := ckpt.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ck := new(SessionCheckpoint)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(ck); err != nil {
+		return nil, fmt.Errorf("%w: gob: %v", ckpt.ErrCorrupt, err)
+	}
+	return ck, nil
+}
