@@ -43,6 +43,7 @@ func printedBefore(key string) bool {
 // ---- Table 1 ----
 
 func BenchmarkTable1Subjects(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table1(benchOpts)
 		if err != nil {
@@ -57,6 +58,7 @@ func BenchmarkTable1Subjects(b *testing.B) {
 // ---- Table 2 ----
 
 func BenchmarkTable2Overhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table2(benchOpts)
 		if err != nil {
@@ -78,6 +80,7 @@ func BenchmarkTable2Overhead(b *testing.B) {
 // ---- Figure 7 ----
 
 func BenchmarkFigure7Accuracy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figure7(benchOpts)
 		if err != nil {
@@ -97,6 +100,7 @@ func BenchmarkFigure7Accuracy(b *testing.B) {
 // ---- Table 3 ----
 
 func BenchmarkTable3Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table3(benchOpts)
 		if err != nil {
@@ -116,6 +120,7 @@ func BenchmarkTable3Breakdown(b *testing.B) {
 // ---- Table 4 ----
 
 func BenchmarkTable4HotMethods(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table4(benchOpts)
 		if err != nil {
@@ -137,6 +142,7 @@ func BenchmarkTable4HotMethods(b *testing.B) {
 // ---- Table 5 ----
 
 func BenchmarkTable5DecodeCost(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table5(benchOpts)
 		if err != nil {
@@ -207,6 +213,7 @@ func ablationTrace() []core.Token {
 }
 
 func BenchmarkAblationReconstruction(b *testing.B) {
+	b.ReportAllocs()
 	prog := bytecode.MustAssemble(ablationSrc)
 	m := core.NewMatcher(cfg.BuildICFG(prog, cfg.DefaultOptions()))
 	toks := ablationTrace()
@@ -266,6 +273,7 @@ func recoverySegments(b *testing.B) (*core.Matcher, []*core.SegmentFlow) {
 }
 
 func BenchmarkAblationRecovery(b *testing.B) {
+	b.ReportAllocs()
 	m, flows := recoverySegments(b)
 	rec := core.NewRecoverer(m, flows, core.DefaultRecoveryConfig())
 	b.Run("Alg4-TieredIndexed", func(b *testing.B) {
@@ -287,6 +295,7 @@ func BenchmarkAblationRecovery(b *testing.B) {
 // ---- Ablation D: NFA (paper) vs PDA (extension) matching ----
 
 func BenchmarkAblationNFAvsPDA(b *testing.B) {
+	b.ReportAllocs()
 	prog := bytecode.MustAssemble(ablationSrc)
 	m := core.NewMatcher(cfg.BuildICFG(prog, cfg.DefaultOptions()))
 	var toks []core.Token
@@ -324,6 +333,7 @@ func BenchmarkAblationNFAvsPDA(b *testing.B) {
 // ---- Ablation C: recovery on/off accuracy ----
 
 func BenchmarkAblationNoRecovery(b *testing.B) {
+	b.ReportAllocs()
 	s := workload.MustLoad("batik", 1.0)
 	runCfg := jportal.DefaultRunConfig()
 	runCfg.PT.BufBytes = 16 << 10
@@ -377,6 +387,7 @@ func BenchmarkVMThroughput(b *testing.B) {
 }
 
 func BenchmarkPTCollection(b *testing.B) {
+	b.ReportAllocs()
 	s := workload.MustLoad("sunflow", 0.5)
 	for i := 0; i < b.N; i++ {
 		m := vm.New(s.Program, vm.DefaultConfig())
@@ -390,6 +401,7 @@ func BenchmarkPTCollection(b *testing.B) {
 }
 
 func BenchmarkOfflineDecode(b *testing.B) {
+	b.ReportAllocs()
 	s := workload.MustLoad("h2", 0.5)
 	run, err := jportal.Run(s.Program, s.Threads, jportal.DefaultRunConfig())
 	if err != nil {

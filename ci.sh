@@ -25,10 +25,10 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/core/... ./internal/trace/... ./internal/conc/... ./internal/pt/...
+go test -race ./internal/core/... ./internal/trace/... ./internal/conc/... ./internal/pt/... ./internal/ring/...
 
 echo "==> go test -race (root streaming tests)"
-go test -race -run 'TestStream|TestAnalyzeStreamed|TestSession|TestAnalyzeDeterministicAcrossWorkers' .
+go test -race -run 'TestStream|TestAnalyzeStreamed|TestSession|TestAnalyzeDeterministicAcrossWorkers|TestPipelined|TestAsyncSink' .
 
 echo "==> go test -race (ingest service)"
 go test -race ./internal/ingest/...
@@ -85,5 +85,14 @@ go test -run 'Fuzz' ./internal/ckpt/
 
 echo "==> benchmark smoke (one iteration)"
 go test -bench BenchmarkStreamingMemory -benchtime=1x -run '^$' .
+
+echo "==> bench snapshot smoke (kernels, guard band vs committed BENCH_*.json)"
+# Quick mode runs the steady-state kernels with the same inputs as the
+# committed snapshot, so allocs/op — the machine-independent metric — is
+# directly comparable; -base enforces the 20% guard band against the
+# newest committed snapshot, and bench.Load rejects malformed JSON.
+BASE=$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)
+"$SMOKE/jportal" bench -quick -out "$SMOKE/bench.json" -base "$BASE" -tol 0.2
+echo "    bench snapshot well-formed, allocs/op within guard band of $BASE"
 
 echo "ci.sh: all checks passed"

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"jportal"
+	"jportal/internal/bench"
 	"jportal/internal/bytecode"
 	"jportal/internal/core"
 	"jportal/internal/experiments"
@@ -76,6 +77,8 @@ func main() {
 		err = cmdDisasm(args)
 	case "chaos":
 		err = cmdChaos(args)
+	case "bench":
+		err = cmdBench(args)
 	case "exp":
 		err = cmdExp(args)
 	case "help", "-h", "--help":
@@ -104,7 +107,8 @@ commands:
   decode  <dir>                offline phase only: analyze a collected archive
   stream  <dir>                incremental analysis of a chunked archive
                                (-follow tails an archive still being written,
-                                -poll sets the follow-mode poll interval)
+                                -poll sets the follow-mode poll interval,
+                                -pipeline uses the ring-connected stages)
   serve                        trace-ingest server: agents push archives over TCP
                                (-listen, -http metrics sidecar, -data, -queue,
                                 -policy block|nack, -drain shutdown budget)
@@ -115,6 +119,10 @@ commands:
   chaos                        fault-injection sweep: coverage vs fault rate
                                (-subjects, -seed, -rates, -scale, -cores;
                                 deterministic for a fixed seed)
+  bench                        hot-path performance snapshot: steady-state
+                               kernels, streaming throughput, per-subject
+                               wall-clock (-out BENCH_n.json, -pr, -quick,
+                                -base baseline.json -tol 0.2 guard band)
   exp     <experiment>         regenerate a paper table/figure
                                (table1 table2 table3 table4 table5 figure7 paths all)
 
@@ -406,12 +414,16 @@ func cmdStream(args []string) error {
 	ckptPath := fs.String("ckpt", "", "checkpoint file path (default <dir>/session.ckpt when checkpointing)")
 	resume := fs.Bool("resume", false, "resume from the checkpoint if one exists (implies checkpointing)")
 	stall := fs.Duration("stall", 0, "watchdog stall window (0 = no watchdog)")
+	pipeline := fs.Bool("pipeline", false, "ring-connected stage pipeline (DESIGN.md §12); output is identical")
+	ringSize := fs.Int("ring", 0, "pipeline ring capacity (0 = default)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need a chunked archive directory")
 	}
 	pcfg := core.DefaultPipelineConfig()
 	pcfg.Workers = *workers
+	pcfg.Pipelined = *pipeline
+	pcfg.RingSize = *ringSize
 	opts := jportal.StreamOptions{
 		Follow:          *follow,
 		Poll:            *poll,
@@ -538,4 +550,63 @@ func cmdExp(args []string) error {
 		return nil
 	}
 	return runOne(which)
+}
+
+// cmdBench measures the hot-path kernels and (full mode) the end-to-end
+// streaming throughput, writing a BENCH_<n>.json snapshot (DESIGN.md §12).
+// With -base it also enforces the allocation guard band against a
+// committed snapshot, so CI catches steady-state allocation regressions.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	pr := fs.Int("pr", 0, "PR number stamped into the snapshot")
+	out := fs.String("out", "", "write the snapshot JSON to FILE")
+	quick := fs.Bool("quick", false, "kernels only (same inputs, comparable allocs/op)")
+	scale := fs.Float64("scale", 1.0, "streaming subject scale")
+	workers := fs.Int("workers", 8, "streaming replay worker count")
+	reps := fs.Int("reps", 3, "wall-clock repetitions (minimum is recorded)")
+	base := fs.String("base", "", "baseline snapshot to guard against")
+	tol := fs.Float64("tol", 0.2, "guard-band tolerance on allocs/op")
+	fs.Parse(args)
+
+	rep, err := jportal.RunBenchSuite(jportal.BenchOptions{
+		PR: *pr, Quick: *quick, Scale: *scale, Workers: *workers, Reps: *reps,
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range rep.Kernels {
+		fmt.Printf("kernel %-18s %12.0f ns/op %8.0f B/op %6.0f allocs/op",
+			k.Name, k.NsPerOp, k.BytesPerOp, k.AllocsPerOp)
+		if k.UnitsPerSec > 0 {
+			fmt.Printf("  %10.2fM units/s", k.UnitsPerSec/1e6)
+		}
+		fmt.Println()
+	}
+	for _, s := range rep.Streaming {
+		fmt.Printf("stream  %s x%.2g workers=%d pipelined=%-5v %8.1f ms  %6.2f MB/s  %8.2fM bytecodes/s\n",
+			s.Subject, s.Scale, s.Workers, s.Pipelined, s.WallMs, s.TraceMBPerSec, s.BytecodesPerSec/1e6)
+	}
+	for _, s := range rep.Subjects {
+		fmt.Printf("subject %-12s x%.2g %10.1f ms\n", s.Name, s.Scale, s.WallMs)
+	}
+	if *out != "" {
+		if err := bench.Write(*out, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *base != "" {
+		baseRep, err := bench.Load(*base)
+		if err != nil {
+			return err
+		}
+		if bad := bench.Guard(baseRep, rep, *tol); len(bad) > 0 {
+			for _, v := range bad {
+				fmt.Fprintln(os.Stderr, v)
+			}
+			return fmt.Errorf("%d guard-band violation(s) vs %s", len(bad), *base)
+		}
+		fmt.Printf("guard band ok vs %s (tol %.0f%%)\n", *base, *tol*100)
+	}
+	return nil
 }

@@ -45,6 +45,11 @@ type ICFG struct {
 	base []NodeID
 	// nodes is the total node count.
 	nodes int
+	// loc[n] is the precomputed (method, pc) of node n — Location is on
+	// the matcher's innermost loop (every located-token comparison and
+	// every step materialisation), so the binary search over base is
+	// replaced by one dense table lookup.
+	loc []location
 
 	Succs [][]Edge
 	Preds [][]Edge
@@ -63,6 +68,12 @@ func BuildICFG(p *bytecode.Program, opts Options) *ICFG {
 		total += len(m.Code)
 	}
 	g.nodes = total
+	g.loc = make([]location, total)
+	for i, m := range p.Methods {
+		for pc := range m.Code {
+			g.loc[int(g.base[i])+pc] = location{mid: m.ID, pc: int32(pc)}
+		}
+	}
 	g.Succs = make([][]Edge, total)
 	g.Preds = make([][]Edge, total)
 	g.CallSitesOf = make([][]NodeID, len(p.Methods))
@@ -158,19 +169,16 @@ func (g *ICFG) Node(mid bytecode.MethodID, pc int32) NodeID {
 // Entry returns the entry node of method mid.
 func (g *ICFG) Entry(mid bytecode.MethodID) NodeID { return g.base[mid] }
 
+// location is one entry of the dense NodeID → (method, pc) table.
+type location struct {
+	mid bytecode.MethodID
+	pc  int32
+}
+
 // Location maps a NodeID back to (method, pc).
 func (g *ICFG) Location(n NodeID) (bytecode.MethodID, int32) {
-	// Binary search over base.
-	lo, hi := 0, len(g.base)-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if g.base[mid] <= n {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	return bytecode.MethodID(lo), int32(n - g.base[lo])
+	l := &g.loc[n]
+	return l.mid, l.pc
 }
 
 // Instr returns the instruction at node n.

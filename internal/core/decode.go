@@ -56,6 +56,32 @@ func TokenizeEvents(prog *bytecode.Program, events []ptdecode.Event) ([]*Segment
 	return segs, &st
 }
 
+// StreamTokenizer is the exported handle over the streaming tokenizer:
+// Feed lowers event chunks as they arrive, Take harvests (and forgets)
+// the segments completed so far, Finish closes the open segment. Feeding
+// chunks produces exactly the segments one TokenizeEvents batch call
+// would. The bench harness drives it to measure the tokenizer's steady
+// state — one persistent tokenizer, Take discarding output — where the
+// token arena keeps allocations at ~O(tokens/slabSize) per chunk.
+type StreamTokenizer struct{ t *tokenizer }
+
+// NewStreamTokenizer returns a streaming tokenizer for prog.
+func NewStreamTokenizer(prog *bytecode.Program) *StreamTokenizer {
+	return &StreamTokenizer{t: newTokenizer(prog)}
+}
+
+// Feed lowers one chunk of native-level decoder events.
+func (s *StreamTokenizer) Feed(events []ptdecode.Event) { s.t.feed(events) }
+
+// Take returns the segments completed so far and forgets them.
+func (s *StreamTokenizer) Take() []*Segment { return s.t.take() }
+
+// Finish closes the open segment and returns the remaining segments.
+func (s *StreamTokenizer) Finish() []*Segment { return s.t.finish() }
+
+// Stats returns the lowering statistics accumulated so far.
+func (s *StreamTokenizer) Stats() DecodeThreadStats { return s.t.st }
+
 // tokenizer is the streaming form of TokenizeEvents: all lowering state —
 // the open segment, the pending gap, the pending conditional dispatch, the
 // current TSC — lives in the struct, so feeding events in chunks produces
@@ -72,10 +98,65 @@ type tokenizer struct {
 	// pendingCond indexes cur's conditional dispatch awaiting its TNT
 	// (interpreter mode pairs TIP(template) + TNT). -1 = none.
 	pendingCond int
+
+	// slab is the token arena (DESIGN.md §12): tokens append into one
+	// large backing array and segments are carved out of it as capped
+	// sub-slices, so the steady state allocates one slab per
+	// tokenSlabSize tokens instead of growing a fresh slice per
+	// segment. Flushed segments alias retired slabs, which stay alive
+	// exactly as long as the flows that reference them — this is an
+	// arena, not a pool: slabs are never recycled. segStart is the
+	// index in slab where the open segment begins; cur.Tokens is kept
+	// as a live capped view slab[segStart:len(slab):len(slab)].
+	slab     []Token
+	segStart int
+	// curLocated counts located tokens in the open segment (maintained
+	// by appendTok so flush doesn't rescan the segment).
+	curLocated int
+	// segSlab is the segment-header arena: headers are carved out of a
+	// fixed-capacity block (never append-grown past cap, so issued
+	// pointers stay valid) and a fresh block starts when one fills.
+	segSlab []Segment
 }
 
+// tokenSlabSize is the token-arena block size (≈128KB of tokens) and
+// segSlabSize the header-arena block size.
+const (
+	tokenSlabSize = 4096
+	segSlabSize   = 128
+)
+
 func newTokenizer(prog *bytecode.Program) *tokenizer {
-	return &tokenizer{prog: prog, cur: &Segment{}, pendingCond: -1}
+	t := &tokenizer{prog: prog, pendingCond: -1}
+	t.cur = t.newSeg()
+	return t
+}
+
+// newSeg carves a fresh segment header out of the header arena.
+func (t *tokenizer) newSeg() *Segment {
+	if len(t.segSlab) == cap(t.segSlab) {
+		t.segSlab = make([]Segment, 0, segSlabSize)
+	}
+	t.segSlab = append(t.segSlab, Segment{})
+	return &t.segSlab[len(t.segSlab)-1]
+}
+
+// growSlab starts a new token slab holding the open segment's tokens
+// plus room for at least need more, leaving flushed segments aliased to
+// the retired slab.
+func (t *tokenizer) growSlab(need int) {
+	open := len(t.slab) - t.segStart
+	size := tokenSlabSize
+	for size < (open+need)*2 {
+		size *= 2
+	}
+	ns := make([]Token, open, size)
+	copy(ns, t.slab[t.segStart:])
+	t.slab = ns
+	t.segStart = 0
+	if open > 0 {
+		t.cur.Tokens = t.slab[0:open:open]
+	}
 }
 
 func (t *tokenizer) flush(gapAfter *GapInfo) {
@@ -84,12 +165,9 @@ func (t *tokenizer) flush(gapAfter *GapInfo) {
 		t.segs = append(t.segs, t.cur)
 		t.st.Segments++
 		t.st.Tokens += len(t.cur.Tokens)
-		for i := range t.cur.Tokens {
-			if t.cur.Tokens[i].Located() {
-				t.st.LocatedTokens++
-			}
-		}
+		t.st.LocatedTokens += t.curLocated
 		t.pendingGap = nil
+		t.cur = t.newSeg()
 	} else if t.pendingGap != nil && gapAfter != nil {
 		// Merge adjacent gaps.
 		gapAfter.LostBytes += t.pendingGap.LostBytes
@@ -98,13 +176,21 @@ func (t *tokenizer) flush(gapAfter *GapInfo) {
 		}
 		gapAfter.Desync = gapAfter.Desync && t.pendingGap.Desync
 	}
-	t.cur = &Segment{}
+	t.segStart = len(t.slab)
+	t.curLocated = 0
 	t.pendingGap = gapAfter
 }
 
 func (t *tokenizer) appendTok(tok Token) {
 	tok.TSC = t.tsc
-	t.cur.Tokens = append(t.cur.Tokens, tok)
+	if tok.Method != bytecode.NoMethod {
+		t.curLocated++
+	}
+	if len(t.slab) == cap(t.slab) {
+		t.growSlab(1)
+	}
+	t.slab = append(t.slab, tok)
+	t.cur.Tokens = t.slab[t.segStart:len(t.slab):len(t.slab)]
 }
 
 // feed lowers one chunk of decoder events.
@@ -153,7 +239,7 @@ func (t *tokenizer) feed(events []ptdecode.Event) {
 			t.pendingCond = -1
 		case ptdecode.EvJITRange:
 			t.pendingCond = -1
-			tokenizeRange(t.prog, ev, t.appendTok)
+			t.tokenizeRange(ev)
 		}
 	}
 }
@@ -184,10 +270,14 @@ func (t *tokenizer) breakSegment() {
 // tokens via the blob's debug records, collapsing the several native
 // instructions a bytecode lowers to into one token, and resolving inline
 // frames to the innermost instruction (§6, "Dealing with Inlined Code").
-func tokenizeRange(prog *bytecode.Program, ev *ptdecode.Event, emit func(Token)) {
+// It is a tokenizer method (appending directly to the token slab) because
+// it runs once per JIT range on the hot decode path — an emit callback
+// would cost a closure allocation and an indirect call per token.
+func (t *tokenizer) tokenizeRange(ev *ptdecode.Event) {
 	blob := ev.Blob
 	var lastM bytecode.MethodID = bytecode.NoMethod
 	lastPC := int32(-1)
+	var lastMethod *bytecode.Method
 	for i := ev.First; i < ev.Last; i++ {
 		if i < 0 || i >= len(blob.Debug) {
 			return // stale metadata: fewer debug records than instructions
@@ -200,15 +290,18 @@ func tokenizeRange(prog *bytecode.Program, ev *ptdecode.Event, emit func(Token))
 		if inner.Method == lastM && inner.PC == lastPC {
 			continue // same bytecode instruction, subsequent native instr
 		}
+		if inner.Method != lastM {
+			lastMethod = t.prog.Method(inner.Method)
+		}
 		lastM, lastPC = inner.Method, inner.PC
 		tok := Token{
 			Method: inner.Method,
 			PC:     inner.PC,
 			Approx: rec.Approximate,
 		}
-		if m := prog.Method(inner.Method); m != nil && int(inner.PC) < len(m.Code) {
-			tok.Op = m.Code[inner.PC].Op
+		if lastMethod != nil && int(inner.PC) < len(lastMethod.Code) {
+			tok.Op = lastMethod.Code[inner.PC].Op
 		}
-		emit(tok)
+		t.appendTok(tok)
 	}
 }

@@ -248,6 +248,14 @@ type MatchScratch struct {
 	layers [][]layerEntry
 	// states/next recycle the abstract-state slices of IsAcceptedAbstract.
 	states, next []cfg.NodeID
+	// pathBuf recycles the witness-path slice MatchFromScratch returns
+	// (aliased by MatchResult.Path; see that method's contract).
+	pathBuf []cfg.NodeID
+	// poolable marks scratch owned by the matcher's pool: set while the
+	// scratch is checked out via getScratch, cleared by putScratch
+	// before the Put so a second Put of the same scratch is a no-op.
+	// Scratch from NewScratch is caller-owned and never poolable.
+	poolable bool
 }
 
 // NewScratch allocates a scratch sized for this matcher's ICFG.
@@ -280,13 +288,28 @@ func (sc *MatchScratch) layer(i int) []layerEntry {
 }
 
 func (m *Matcher) getScratch() *MatchScratch {
+	var sc *MatchScratch
 	if v := m.scratch.Get(); v != nil {
-		return v.(*MatchScratch)
+		sc = v.(*MatchScratch)
+	} else {
+		sc = m.NewScratch()
 	}
-	return m.NewScratch()
+	sc.poolable = true
+	return sc
 }
 
-func (m *Matcher) putScratch(sc *MatchScratch) { m.scratch.Put(sc) }
+// putScratch returns a pool-owned scratch to the pool. Caller-owned
+// scratch (from NewScratch) and scratch already returned are ignored:
+// the poolable flag is cleared before the Put, so no scratch can enter
+// the pool twice — a double Put would hand the same scratch to two
+// goroutines at once.
+func (m *Matcher) putScratch(sc *MatchScratch) {
+	if sc == nil || !sc.poolable {
+		return
+	}
+	sc.poolable = false
+	m.scratch.Put(sc)
+}
 
 // AbstractTokens returns the tier-2 (control-structure) abstraction of toks
 // (Definition 4.2).
@@ -380,12 +403,21 @@ type layerEntry struct {
 func (m *Matcher) MatchFrom(starts []cfg.NodeID, toks []Token) MatchResult {
 	sc := m.getScratch()
 	defer m.putScratch(sc)
-	return m.MatchFromScratch(sc, starts, toks)
+	r := m.MatchFromScratch(sc, starts, toks)
+	// The scratch goes back to the pool here, so detach the witness path
+	// from its recycled buffer.
+	if r.Path != nil {
+		r.Path = append([]cfg.NodeID(nil), r.Path...)
+	}
+	return r
 }
 
 // MatchFromScratch is MatchFrom using caller-provided scratch buffers. The
 // matcher itself is read-only, so any number of goroutines may match
-// concurrently as long as each brings its own scratch.
+// concurrently as long as each brings its own scratch. The returned
+// MatchResult.Path aliases the scratch's recycled path buffer: it is
+// valid until the next MatchFromScratch call with the same scratch, so
+// copy it out (as ReconstructSegmentScratch does) before matching again.
 func (m *Matcher) MatchFromScratch(sc *MatchScratch, starts []cfg.NodeID, toks []Token) MatchResult {
 	if len(toks) == 0 {
 		return MatchResult{Complete: true}
@@ -460,7 +492,10 @@ func (m *Matcher) MatchFromScratch(sc *MatchScratch, starts []cfg.NodeID, toks [
 			best = i
 		}
 	}
-	path := make([]cfg.NodeID, len(layers))
+	if cap(sc.pathBuf) < len(layers) {
+		sc.pathBuf = make([]cfg.NodeID, len(layers)*2)
+	}
+	path := sc.pathBuf[:len(layers)]
 	idx := int32(best)
 	for li := len(layers) - 1; li >= 0; li-- {
 		e := layers[li][idx]

@@ -33,6 +33,30 @@ type PipelineConfig struct {
 	// bounds streaming memory without changing output: waves preserve
 	// segment order, and recovery always sees the complete flow sequence.
 	MaxPendingSegments int
+	// Pipelined runs the streaming Session's stages on their own
+	// goroutines — one stitcher, WorkerCount() analyzer workers — connected
+	// by single-producer single-consumer rings (DESIGN.md §12), so the
+	// caller's Feed returns as soon as the chunk is enqueued and decode
+	// overlaps collection. Output is byte-identical to the synchronous
+	// session for every worker count and ring size.
+	Pipelined bool
+	// RingSize is the per-ring capacity in messages for the pipelined
+	// session (0 = DefaultRingSize; rounded up to a power of two). Smaller
+	// rings trade throughput for tighter in-flight memory; output is
+	// unaffected.
+	RingSize int
+}
+
+// DefaultRingSize is the pipelined session's ring capacity when RingSize
+// is zero.
+const DefaultRingSize = 256
+
+// RingCapacity resolves the RingSize knob.
+func (c PipelineConfig) RingCapacity() int {
+	if c.RingSize > 0 {
+		return c.RingSize
+	}
+	return DefaultRingSize
 }
 
 // WorkerCount resolves the Workers knob (0 = GOMAXPROCS).
@@ -47,6 +71,9 @@ func (c PipelineConfig) Validate() error {
 	}
 	if c.MaxPendingSegments < 0 {
 		return fmt.Errorf("core: MaxPendingSegments %d is negative (0 means unbounded)", c.MaxPendingSegments)
+	}
+	if c.RingSize < 0 {
+		return fmt.Errorf("core: RingSize %d is negative (0 means DefaultRingSize)", c.RingSize)
 	}
 	r := c.Recovery
 	if r.AnchorLen < 0 || r.ConfirmLen < 0 || r.TopN < 0 ||

@@ -57,15 +57,20 @@ func (f *SegmentFlow) Matched() int { return len(f.Nodes) - f.Skipped }
 
 // Steps materialises the segment's steps (matched tokens only).
 func (f *SegmentFlow) Steps() []Step {
-	steps := make([]Step, 0, f.Matched())
+	return f.AppendSteps(make([]Step, 0, f.Matched()))
+}
+
+// AppendSteps appends the segment's steps (matched tokens only) to dst —
+// the allocation-free form of Steps for callers assembling a profile.
+func (f *SegmentFlow) AppendSteps(dst []Step) []Step {
 	for i, n := range f.Nodes {
 		if n == cfg.NoNode {
 			continue
 		}
 		mid, pc := f.g.Location(n)
-		steps = append(steps, Step{Method: mid, PC: pc, TSC: f.Seg.Tokens[i].TSC})
+		dst = append(dst, Step{Method: mid, PC: pc, TSC: f.Seg.Tokens[i].TSC})
 	}
-	return steps
+	return dst
 }
 
 // ReconstructSegment projects one segment onto the ICFG (§4): it matches

@@ -75,7 +75,7 @@ type Recoverer struct {
 
 	// anchor index: hash of AnchorLen consecutive MatchKeys -> positions
 	// (the position is the index just past the anchor).
-	index map[uint64][]anchorPos
+	index anchorIndex
 
 	// tokenRate is tokens per cycle, estimated from captured data.
 	tokenRate float64
@@ -84,6 +84,61 @@ type Recoverer struct {
 type anchorPos struct {
 	seg int32
 	pos int32
+}
+
+// anchorIndex is a multi-map from anchor hash to anchor positions. All
+// positions live in one flat preallocated entry array, chained per hash
+// through next indices, with the map holding only a compact head/tail
+// pair per distinct hash — no per-hash slice allocations (those
+// dominated the recovery path's allocations as a map[uint64][]anchorPos)
+// and O(1) insertion even for the highly duplicated hashes repetitive
+// code produces. visit walks a hash's chain in insertion order, which
+// keeps candidate ranking deterministic.
+type anchorIndex struct {
+	chains  map[uint64]anchorChain
+	entries []anchorEntry
+}
+
+// anchorChain is one hash's chain: indices of the first and last entry.
+type anchorChain struct {
+	head, tail int32
+}
+
+// anchorEntry is one position plus the index of the next entry with the
+// same hash (-1 terminates the chain).
+type anchorEntry struct {
+	pos  anchorPos
+	next int32
+}
+
+func newAnchorIndex(capacity int) anchorIndex {
+	return anchorIndex{
+		chains:  make(map[uint64]anchorChain, capacity/8+1),
+		entries: make([]anchorEntry, 0, capacity),
+	}
+}
+
+func (ix *anchorIndex) add(h uint64, seg, pos int32) {
+	i := int32(len(ix.entries))
+	ix.entries = append(ix.entries, anchorEntry{pos: anchorPos{seg: seg, pos: pos}, next: -1})
+	if c, ok := ix.chains[h]; ok {
+		ix.entries[c.tail].next = i
+		c.tail = i
+		ix.chains[h] = c
+	} else {
+		ix.chains[h] = anchorChain{head: i, tail: i}
+	}
+}
+
+// visit calls fn for every position recorded under h, insertion order.
+func (ix *anchorIndex) visit(h uint64, fn func(anchorPos)) {
+	c, ok := ix.chains[h]
+	if !ok {
+		return
+	}
+	for i := c.head; i >= 0; i = ix.entries[i].next {
+		fn(ix.entries[i].pos)
+	}
 }
 
 // NewRecoverer builds the anchor index over all of the thread's segments
@@ -95,7 +150,15 @@ type anchorPos struct {
 // segments are strictly read-only, so RecoverHole may be called for
 // different holes from concurrent goroutines.
 func NewRecoverer(m *Matcher, flows []*SegmentFlow, cfg RecoveryConfig) *Recoverer {
-	r := &Recoverer{m: m, cfg: cfg, flows: flows, index: make(map[uint64][]anchorPos)}
+	// Size the flat index to its exact entry count: one entry per
+	// indexable token position.
+	positions := 0
+	for _, f := range flows {
+		if f != nil && !f.Quarantined && len(f.Seg.Tokens) >= cfg.AnchorLen {
+			positions += len(f.Seg.Tokens) - cfg.AnchorLen + 1
+		}
+	}
+	r := &Recoverer{m: m, cfg: cfg, flows: flows, index: newAnchorIndex(positions)}
 	var tokens uint64
 	var activeSpan uint64
 	for si, f := range flows {
@@ -119,7 +182,7 @@ func NewRecoverer(m *Matcher, flows []*SegmentFlow, cfg RecoveryConfig) *Recover
 		for i := 0; i < len(toks); i++ {
 			h = anchorHash(h, toks[i].MatchKey(), i, cfg.AnchorLen, toks)
 			if i+1 >= cfg.AnchorLen {
-				r.index[h] = append(r.index[h], anchorPos{seg: int32(si), pos: int32(i + 1)})
+				r.index.add(h, int32(si), int32(i+1))
 			}
 		}
 	}
@@ -194,27 +257,27 @@ func (r *Recoverer) searchCS(isIdx int) ([]candidate, int, int) {
 	var cands []candidate
 	tried, pruned := 0, 0
 	m1, m2, m3 := 0, 0, 0
-	for _, ap := range r.index[h] {
+	r.index.visit(h, func(ap anchorPos) {
 		if int(ap.seg) == isIdx && int(ap.pos) == n {
-			continue // the IS's own tail
+			return // the IS's own tail
 		}
 		cs := r.flows[ap.seg].Seg
 		// Verify the anchor (hash collisions).
 		if suffixKeys(is.Tokens, n, cs.Tokens, int(ap.pos)) < r.cfg.AnchorLen {
-			continue
+			return
 		}
 		tried++
 		// Tier 1 (call structure).
 		ml1 := suffixAbs(is, is.AbsPrefix(1, n), cs, cs.AbsPrefix(1, int(ap.pos)), 1)
 		if ml1 < m1 {
 			pruned++
-			continue
+			return
 		}
 		// Tier 2 (control structure).
 		ml2 := suffixAbs(is, is.AbsPrefix(2, n), cs, cs.AbsPrefix(2, int(ap.pos)), 2)
 		if ml2 < m2 {
 			pruned++
-			continue
+			return
 		}
 		// Tier 3 (concrete).
 		ml3 := suffixKeys(is.Tokens, n, cs.Tokens, int(ap.pos))
@@ -223,7 +286,7 @@ func (r *Recoverer) searchCS(isIdx int) ([]candidate, int, int) {
 		if ml3 >= m3 {
 			m1, m2, m3 = ml1, ml2, ml3
 		}
-	}
+	})
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].ml3 != cands[j].ml3 {
 			return cands[i].ml3 > cands[j].ml3
@@ -449,24 +512,24 @@ func (r *Recoverer) continueFrom(tail []Token) (anchorPos, bool) {
 	var best anchorPos
 	bestLen := -1
 	const window = 64
-	for _, ap := range r.index[h] {
+	r.index.visit(h, func(ap anchorPos) {
 		cs := r.flows[ap.seg].Seg
 		n := suffixKeys(tail, len(tail), cs.Tokens, int(ap.pos))
 		if n < x {
-			continue // hash collision
+			return // hash collision
 		}
 		if n > window {
 			n = window
 		}
 		// Prefer positions with actual continuation left.
 		if int(ap.pos) >= len(cs.Tokens) {
-			continue
+			return
 		}
 		if n > bestLen {
 			bestLen = n
 			best = ap
 		}
-	}
+	})
 	return best, bestLen >= x
 }
 

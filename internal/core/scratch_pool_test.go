@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"jportal/internal/cfg"
+)
+
+func poolTestMatcher(t *testing.T) (*Matcher, []Token, []cfg.NodeID) {
+	t.Helper()
+	_, m := fig2Matcher(t)
+	toks := fig2ElseTrace()
+	return m, toks, m.NodesWithOp(toks[0].Op)
+}
+
+// TestNewScratchIsCallerOwned: scratch from NewScratch must never enter
+// the matcher's pool — putScratch has to ignore it, or a caller holding
+// the scratch would share it with whatever pooled path Gets it next.
+func TestNewScratchIsCallerOwned(t *testing.T) {
+	m, _, _ := poolTestMatcher(t)
+	ns := m.NewScratch()
+	m.putScratch(ns) // must be a no-op
+	if got := m.getScratch(); got == ns {
+		t.Fatal("NewScratch scratch entered the pool via putScratch")
+	}
+}
+
+// TestPutScratchDoublePut: a second putScratch of the same scratch must
+// be a no-op. If it were not, the pool would hold the scratch twice and
+// hand it to two goroutines simultaneously.
+func TestPutScratchDoublePut(t *testing.T) {
+	m, _, _ := poolTestMatcher(t)
+	sc := m.getScratch()
+	m.putScratch(sc)
+	m.putScratch(sc) // double Put: must not re-enter the pool
+	a := m.getScratch()
+	b := m.getScratch()
+	if a == b {
+		t.Fatal("double putScratch produced the same scratch from two Gets")
+	}
+	m.putScratch(a)
+	m.putScratch(b)
+	if m.putScratch(nil); false {
+		t.Fatal("unreachable")
+	}
+}
+
+// TestScratchPoolRace races pooled matching (getScratch/putScratch via
+// MatchFrom), caller-owned scratch, and deliberate double Puts across
+// goroutines. Run under -race: before the poolable guard, the double
+// Puts let two goroutines mark the same seen[] concurrently and the race
+// detector fires.
+func TestScratchPoolRace(t *testing.T) {
+	m, toks, starts := poolTestMatcher(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			own := m.NewScratch()
+			for i := 0; i < 500; i++ {
+				switch i % 3 {
+				case 0: // pooled path
+					if r := m.MatchFrom(starts, toks); !r.Complete {
+						t.Errorf("pooled match failed at %d", r.Matched)
+						return
+					}
+				case 1: // caller-owned scratch + spurious Put
+					if r := m.MatchFromScratch(own, starts, toks); !r.Complete {
+						t.Errorf("owned match failed at %d", r.Matched)
+						return
+					}
+					m.putScratch(own) // must be ignored
+				case 2: // explicit get/put with a double Put
+					sc := m.getScratch()
+					if r := m.MatchFromScratch(sc, starts, toks); !r.Complete {
+						t.Errorf("explicit match failed at %d", r.Matched)
+						return
+					}
+					m.putScratch(sc)
+					m.putScratch(sc) // double Put: must be a no-op
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

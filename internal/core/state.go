@@ -49,9 +49,27 @@ func (t *tokenizer) exportState() TokenizerState {
 func (t *tokenizer) restoreState(st TokenizerState) {
 	t.st = st.Stats
 	t.segs = nil
-	t.cur = st.Cur
-	if t.cur == nil {
-		t.cur = &Segment{}
+	// Adopt the checkpointed open segment into the token arena: the
+	// restored tokens are copied to the head of a fresh open span so the
+	// appendTok slab invariant (cur.Tokens == slab[segStart:len(slab)])
+	// holds again.
+	t.segStart = len(t.slab)
+	t.cur = t.newSeg()
+	t.curLocated = 0
+	if st.Cur != nil {
+		t.cur.GapBefore = st.Cur.GapBefore
+		if n := len(st.Cur.Tokens); n > 0 {
+			if len(t.slab)+n > cap(t.slab) {
+				t.growSlab(n)
+			}
+			t.slab = append(t.slab, st.Cur.Tokens...)
+			t.cur.Tokens = t.slab[t.segStart:len(t.slab):len(t.slab)]
+			for i := range t.cur.Tokens {
+				if t.cur.Tokens[i].Located() {
+					t.curLocated++
+				}
+			}
+		}
 	}
 	t.pendingGap = st.PendingGap
 	t.tsc = st.TSC

@@ -206,7 +206,11 @@ func (a *ThreadAnalyzer) reconstructContext(ctx context.Context) {
 	a.res.Flows = append(a.res.Flows, make([]*SegmentFlow, len(a.pend))...)
 	pend := a.pend
 	var cancelled atomic.Int64
-	conc.ParallelWork(a.p.Cfg.WorkerCount(), len(pend), a.p.Matcher.NewScratch,
+	// Scratch comes from the matcher's pool (released after the wave),
+	// so repeated waves reuse warm buffers instead of reallocating and
+	// re-zeroing the NumNodes-sized seen[] each time.
+	conc.ParallelWorkRelease(a.p.Cfg.WorkerCount(), len(pend),
+		a.p.Matcher.getScratch, a.p.Matcher.putScratch,
 		func(sc *MatchScratch, i int) {
 			if ctx.Err() != nil {
 				a.timedOut.Store(true)
@@ -239,7 +243,7 @@ func (a *ThreadAnalyzer) safeReconstruct(sc *MatchScratch, seg *Segment) (f *Seg
 		if r := recover(); r != nil {
 			a.ledger.Add(fault.Entry{
 				Reason: fault.ReasonStaleMetadata, Thread: a.res.Thread, Core: -1,
-				Items: len(seg.Tokens),
+				Items:  len(seg.Tokens),
 				Detail: fmt.Sprintf("reconstruct: %v", r),
 			})
 			f = quarantinedFlow(seg, a.p.Matcher.G)
@@ -351,9 +355,9 @@ func mergeSteps(res *ThreadResult) {
 	}
 	res.Steps = make([]Step, 0, total)
 	for i, f := range res.Flows {
-		steps := f.Steps()
-		res.DecodedSteps += len(steps)
-		res.Steps = append(res.Steps, steps...)
+		before := len(res.Steps)
+		res.Steps = f.AppendSteps(res.Steps)
+		res.DecodedSteps += len(res.Steps) - before
 		if i < len(res.Fills) && res.Fills[i].Method != FillNone {
 			res.Steps = append(res.Steps, res.Fills[i].Steps...)
 			res.RecoveredSteps += len(res.Fills[i].Steps)

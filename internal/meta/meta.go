@@ -229,6 +229,27 @@ func (s *Snapshot) Export(c *CompiledMethod) {
 	s.exportLog = append(s.exportLog, c)
 }
 
+// Clone returns an independent snapshot sharing the immutable pieces: the
+// template table, the stubs, and the *CompiledMethod blobs themselves
+// (never mutated after export). The clone has its own Compiled map, export
+// log and sorted index, so exporting into it never races readers of the
+// original — the pipelined session gives each analyzer worker a replica
+// and delivers blob records to it in stream order.
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{
+		Templates: s.Templates,
+		Stubs:     s.Stubs,
+		Compiled:  make(map[uint64]*CompiledMethod, len(s.Compiled)),
+		CodeCache: s.CodeCache,
+		exportLog: append([]*CompiledMethod(nil), s.exportLog...),
+		dirty:     true,
+	}
+	for base, cm := range s.Compiled {
+		c.Compiled[base] = cm
+	}
+	return c
+}
+
 // ExportedBlobs returns the export log: every blob ever passed to Export,
 // in export order. Replaying the log through Export reproduces Compiled
 // exactly (later entries overwrite earlier ones at the same address), which

@@ -21,6 +21,9 @@ type Coverage struct {
 	CoveredInstrs, TotalInstrs int
 	// CoveredMethods counts methods with any coverage.
 	CoveredMethods int
+	// byMethod is the dense MethodID-indexed view of Covered (shared
+	// backing arrays; see NewCoverage).
+	byMethod [][]bool
 }
 
 // Ratio returns covered/total instructions.
@@ -33,14 +36,42 @@ func (c *Coverage) Ratio() float64 {
 
 // ComputeCoverage derives statement coverage from steps.
 func ComputeCoverage(prog *bytecode.Program, steps []core.Step) *Coverage {
+	c := NewCoverage(prog)
+	c.Add(steps)
+	c.Seal()
+	return c
+}
+
+// NewCoverage starts an incremental coverage accumulator: Add step
+// batches (e.g. one thread at a time, avoiding a concatenated copy of
+// the whole profile), then Seal to finalise CoveredMethods.
+func NewCoverage(prog *bytecode.Program) *Coverage {
 	c := &Coverage{Covered: make(map[bytecode.MethodID][]bool, len(prog.Methods))}
 	for _, m := range prog.Methods {
-		c.Covered[m.ID] = make([]bool, len(m.Code))
+		bits := make([]bool, len(m.Code))
+		c.Covered[m.ID] = bits
+		// byMethod shares the same backing arrays as the Covered map:
+		// Add marks through the dense index (MethodIDs are contiguous
+		// slice indices, so a map lookup per step is pure overhead) and
+		// the exported map reflects every mark.
+		for int(m.ID) >= len(c.byMethod) {
+			c.byMethod = append(c.byMethod, nil)
+		}
+		c.byMethod[m.ID] = bits
 		c.TotalInstrs += len(m.Code)
 	}
-	for _, s := range steps {
-		cov := c.Covered[s.Method]
-		if cov == nil || int(s.PC) >= len(cov) {
+	return c
+}
+
+// Add folds one batch of steps into the accumulator.
+func (c *Coverage) Add(steps []core.Step) {
+	for i := range steps {
+		s := &steps[i]
+		if s.Method < 0 || int(s.Method) >= len(c.byMethod) {
+			continue
+		}
+		cov := c.byMethod[s.Method]
+		if int(s.PC) >= len(cov) {
 			continue
 		}
 		if !cov[s.PC] {
@@ -48,6 +79,11 @@ func ComputeCoverage(prog *bytecode.Program, steps []core.Step) *Coverage {
 			c.CoveredInstrs++
 		}
 	}
+}
+
+// Seal recomputes CoveredMethods after the last Add. Idempotent.
+func (c *Coverage) Seal() {
+	c.CoveredMethods = 0
 	for _, cov := range c.Covered {
 		for _, b := range cov {
 			if b {
@@ -56,7 +92,6 @@ func ComputeCoverage(prog *bytecode.Program, steps []core.Step) *Coverage {
 			}
 		}
 	}
-	return c
 }
 
 // Edge is one intra-method control-flow edge with its frequency.

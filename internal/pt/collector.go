@@ -385,7 +385,20 @@ func (c *Collector) export(core int, cs *coreState, it Item) {
 	}
 	cs.pendingOut = append(cs.pendingOut, it)
 	if len(cs.pendingOut) >= c.sinkFlush {
-		c.flushSink(core, cs)
+		// Cut chunks at PSB boundaries: once the chunk is full, hold it
+		// until the next sync packet and cut just before it, so each chunk
+		// the stages exchange is a self-contained PSB-to-PSB decode unit
+		// (the decoder resynchronises at chunk start instead of mid-span).
+		// PSBPeriodBytes guarantees sync packets keep coming; the 4× slack
+		// bounds the chunk if a loss episode delays one.
+		if !it.Gap && it.Packet.Kind == KPSB && len(cs.pendingOut) > 1 {
+			psb := cs.pendingOut[len(cs.pendingOut)-1]
+			cs.pendingOut = cs.pendingOut[:len(cs.pendingOut)-1]
+			c.flushSink(core, cs)
+			cs.pendingOut = append(cs.pendingOut, psb)
+		} else if len(cs.pendingOut) >= c.sinkFlush*4 {
+			c.flushSink(core, cs)
+		}
 	}
 }
 

@@ -152,7 +152,12 @@ const (
 type Decoder struct {
 	snap *meta.Snapshot
 
-	out []Event
+	// out is the reused output buffer: truncated (not reallocated) at
+	// the start of every Decode/DecodeChunk/Flush, so the steady state
+	// emits into warm memory. undelivered tracks events emitted but not
+	// yet returned to the caller — the checkpoint quiescence signal.
+	out         []Event
+	undelivered bool
 
 	mode  mode
 	curOp bytecode.Opcode // last dispatched template op
@@ -202,10 +207,17 @@ func New(snap *meta.Snapshot) *Decoder {
 	return &Decoder{snap: snap, rangeStart: -1}
 }
 
-// Decode processes a whole item stream and returns the events.
+// Decode processes a whole item stream and returns the events. The
+// returned slice aliases the decoder's reused output buffer: it is valid
+// until the next Decode/DecodeChunk/Flush call on this decoder.
 func (d *Decoder) Decode(items []pt.Item) []Event {
-	out := d.DecodeChunk(items)
-	return append(out, d.Flush()...)
+	d.out = d.out[:0]
+	for i := range items {
+		d.Feed(&items[i])
+	}
+	d.flushRange()
+	d.undelivered = false
+	return d.out
 }
 
 // DecodeChunk processes one chunk of an item stream and returns the events
@@ -213,23 +225,26 @@ func (d *Decoder) Decode(items []pt.Item) []Event {
 // bits, pending JIT range) across calls, so feeding a stream in chunks of
 // any size yields, concatenated with the final Flush, exactly the events
 // Decode yields for the whole stream at once: already-emitted events are
-// final and never revised.
+// final and never revised. The returned slice aliases the decoder's
+// reused output buffer (zero-alloc steady state, DESIGN.md §12): consume
+// it before the next Decode/DecodeChunk/Flush call.
 func (d *Decoder) DecodeChunk(items []pt.Item) []Event {
+	d.out = d.out[:0]
 	for i := range items {
 		d.Feed(&items[i])
 	}
-	out := d.out
-	d.out = nil
-	return out
+	d.undelivered = false
+	return d.out
 }
 
 // Flush terminates the stream: the pending JIT instruction range (if any)
-// is emitted. Call once after the last DecodeChunk.
+// is emitted. Call once after the last DecodeChunk. The returned slice
+// aliases the reused output buffer, like DecodeChunk's.
 func (d *Decoder) Flush() []Event {
+	d.out = d.out[:0]
 	d.flushRange()
-	out := d.out
-	d.out = nil
-	return out
+	d.undelivered = false
+	return d.out
 }
 
 // Feed processes one trace item.
@@ -309,6 +324,7 @@ func (d *Decoder) emit(e Event) {
 		e.TSC = d.tsc
 	}
 	d.out = append(d.out, e)
+	d.undelivered = true
 }
 
 func (d *Decoder) reset() {

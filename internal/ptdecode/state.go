@@ -8,9 +8,9 @@ import (
 )
 
 // DecoderState is the decoder's checkpointable walking state (DESIGN.md
-// §11). It is only valid at a chunk boundary where the output buffer is
-// empty — DecodeChunk always drains it, so any point between chunks
-// qualifies. The current blob is identified by its index in the snapshot's
+// §11). It is only valid at a chunk boundary where every emitted event
+// has been returned to the caller — DecodeChunk always delivers its
+// output, so any point between chunks qualifies. The current blob is identified by its index in the snapshot's
 // append-only export log (replayed identically on resume) with the entry
 // address as a cross-check, never by pointer.
 type DecoderState struct {
@@ -38,7 +38,7 @@ type DecoderState struct {
 // with undelivered output events: that is a checkpoint at a non-quiescent
 // point, which the Session never does.
 func (d *Decoder) ExportState() DecoderState {
-	if len(d.out) != 0 {
+	if d.undelivered {
 		panic("ptdecode: ExportState with pending output events")
 	}
 	st := DecoderState{

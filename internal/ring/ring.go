@@ -1,0 +1,178 @@
+// Package ring provides the lock-free single-producer/single-consumer
+// ring buffer the streaming pipeline uses for stage handoff (DESIGN.md
+// §12). One goroutine pushes, one goroutine pops; under that contract no
+// CAS is needed — the producer owns the tail, the consumer owns the head,
+// and each publishes its cursor with a single atomic store after touching
+// the slots. Batched publish lets the producer stage several items and
+// make them visible with one store, so the steady-state cost per item is
+// a slot write and a fraction of an atomic.
+//
+// The ring is generic over the element type and sized to a power of two
+// (capacities round up). Closing is producer-side only: after Close the
+// consumer drains what remains and then observes the closed state.
+package ring
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// cacheLinePad keeps the producer's and consumer's cursors on separate
+// cache lines so the two sides don't false-share.
+type cacheLinePad struct{ _ [64]byte }
+
+// SPSC is a single-producer single-consumer ring buffer. The zero value
+// is not usable; construct with New. All producer-side methods (TryPush,
+// Push, Publish, Close) must be called from one goroutine at a time, and
+// all consumer-side methods (TryPop, PopBatch) from one goroutine at a
+// time; the two sides may run concurrently.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    cacheLinePad
+	head atomic.Uint64 // consumer cursor: next slot to pop
+	_    cacheLinePad
+	tail atomic.Uint64 // producer cursor: next published slot
+	_    cacheLinePad
+
+	// staged counts items written past tail but not yet published.
+	// Producer-local; no atomicity needed.
+	staged uint64
+	// cachedHead is the producer's last view of head, refreshed only
+	// when the ring looks full — most pushes never touch the shared
+	// cursor.
+	cachedHead uint64
+	// cachedTail is the consumer's last view of tail, refreshed only
+	// when the ring looks empty.
+	cachedTail uint64
+
+	closed atomic.Bool
+}
+
+// New returns an SPSC ring with capacity at least n (rounded up to a
+// power of two, minimum 1).
+func New[T any](n int) *SPSC[T] {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, c), mask: uint64(c - 1)}
+}
+
+// Cap returns the ring's slot count.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// TryPush stages v into the next free slot and reports whether it fit.
+// Staged items are invisible to the consumer until Publish (Push and
+// Close publish implicitly). Returns false when the ring is full.
+func (r *SPSC[T]) TryPush(v T) bool {
+	t := r.tail.Load() + r.staged
+	if t-r.cachedHead >= uint64(len(r.buf)) {
+		r.cachedHead = r.head.Load()
+		if t-r.cachedHead >= uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[t&r.mask] = v
+	r.staged++
+	return true
+}
+
+// Publish makes all staged items visible to the consumer with one
+// atomic store.
+func (r *SPSC[T]) Publish() {
+	if r.staged != 0 {
+		r.tail.Store(r.tail.Load() + r.staged)
+		r.staged = 0
+	}
+}
+
+// Push publishes v, spinning (with Gosched) while the ring is full.
+// It returns false if stop returns true while waiting — the producer's
+// cancellation hook; pass nil to wait indefinitely.
+func (r *SPSC[T]) Push(v T, stop func() bool) bool {
+	for !r.TryPush(v) {
+		r.Publish() // make room-blocking progress visible before spinning
+		if stop != nil && stop() {
+			return false
+		}
+		runtime.Gosched()
+	}
+	r.Publish()
+	return true
+}
+
+// Close marks the ring closed after publishing anything staged. The
+// consumer observes closure only after draining every published item.
+// Producer-side; idempotent.
+func (r *SPSC[T]) Close() {
+	r.Publish()
+	r.closed.Store(true)
+}
+
+// Closed reports whether Close was called. Note the consumer should
+// keep popping until the ring is empty AND closed.
+func (r *SPSC[T]) Closed() bool { return r.closed.Load() }
+
+// TryPop pops one item if any is published. ok=false means empty (check
+// Closed to distinguish "not yet" from "never again").
+func (r *SPSC[T]) TryPop() (v T, ok bool) {
+	h := r.head.Load()
+	if h == r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if h == r.cachedTail {
+			return v, false
+		}
+	}
+	v = r.buf[h&r.mask]
+	var zero T
+	r.buf[h&r.mask] = zero // release references for GC
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// PopBatch pops up to len(dst) published items into dst and returns the
+// count, advancing the consumer cursor once. Returns 0 when empty.
+func (r *SPSC[T]) PopBatch(dst []T) int {
+	h := r.head.Load()
+	if h == r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if h == r.cachedTail {
+			return 0
+		}
+	}
+	n := int(r.cachedTail - h)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[(h+uint64(i))&r.mask]
+		r.buf[(h+uint64(i))&r.mask] = zero
+	}
+	r.head.Store(h + uint64(n))
+	return n
+}
+
+// Pop pops one item, spinning (with Gosched) while the ring is empty.
+// ok=false means the ring closed and drained, or stop returned true.
+func (r *SPSC[T]) Pop(stop func() bool) (v T, ok bool) {
+	for {
+		if v, ok = r.TryPop(); ok {
+			return v, true
+		}
+		if r.closed.Load() {
+			// Re-check: items may have been published between the
+			// failed pop and the closed load.
+			if v, ok = r.TryPop(); ok {
+				return v, true
+			}
+			return v, false
+		}
+		if stop != nil && stop() {
+			return v, false
+		}
+		runtime.Gosched()
+	}
+}

@@ -172,6 +172,15 @@ type Record struct {
 // number of bytes consumed. Errors are ErrShort (buffer ends early) or wrap
 // ErrCorrupt; Decode never panics on arbitrary input.
 func Decode(buf []byte) (Record, int, error) {
+	return DecodeInto(buf, nil)
+}
+
+// DecodeInto is Decode with a reusable item buffer: a chunk record's Items
+// are appended to items[:0], so a caller decoding many records (the archive
+// replay loop) can reuse one backing array instead of allocating per
+// record. The returned Record's Items alias that buffer — valid until the
+// caller reuses it. A nil items behaves exactly like Decode.
+func DecodeInto(buf []byte, items []pt.Item) (Record, int, error) {
 	n, err := Scan(buf)
 	if err != nil {
 		return Record{}, 0, err
@@ -198,7 +207,7 @@ func Decode(buf []byte) (Record, int, error) {
 	case TagChunk:
 		core := int(binary.LittleEndian.Uint32(buf[1:5]))
 		payload := buf[9:n]
-		var items []pt.Item
+		items = items[:0]
 		for len(payload) > 0 {
 			it, used, err := pt.DecodeItem(payload)
 			if err != nil {

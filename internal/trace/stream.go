@@ -221,12 +221,18 @@ func (c *coreStitch) carve(final bool) {
 		return
 	}
 	done := 0
+	// Hoist the cursor window's slice out of the map: most items append to
+	// the current window, so keeping it in a local avoids two map operations
+	// per item. The local is written back whenever the cursor moves or a gap
+	// needs map access to other windows.
+	cur, curWi := c.open[c.wi], c.wi
 	for done < len(c.pending) {
 		it := c.pending[done]
 		if it.Gap {
 			if !final && it.GapEnd >= c.mark {
 				break
 			}
+			c.open[curWi] = cur
 			lo := c.windowAt(it.GapStart)
 			hi := c.windowAt(it.GapEnd)
 			span := it.GapEnd - it.GapStart
@@ -250,6 +256,7 @@ func (c *coreStitch) carve(final bool) {
 			if w := c.windowAt(c.tsc); w > c.wi {
 				c.wi = w
 			}
+			cur, curWi = c.open[c.wi], c.wi
 			done++
 			continue
 		}
@@ -259,12 +266,15 @@ func (c *coreStitch) carve(final bool) {
 			}
 			c.tsc = it.Packet.TSC
 			if w := c.windowAt(c.tsc); w > c.wi {
+				c.open[curWi] = cur
 				c.wi = w
+				cur, curWi = c.open[c.wi], c.wi
 			}
 		}
-		c.open[c.wi] = append(c.open[c.wi], it)
+		cur = append(cur, it)
 		done++
 	}
+	c.open[curWi] = cur
 	if done > 0 {
 		// Compact rather than re-slice so the carved prefix is freed —
 		// the whole point is bounding in-flight memory.

@@ -1,0 +1,298 @@
+package jportal
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"jportal/internal/core"
+	"jportal/internal/meta"
+	"jportal/internal/pt"
+	"jportal/internal/ring"
+	"jportal/internal/trace"
+	"jportal/internal/vm"
+)
+
+// The pipelined session (core.PipelineConfig.Pipelined, DESIGN.md §12)
+// runs the Session's stages on their own goroutines connected by SPSC
+// rings instead of executing them synchronously inside Feed/Drain:
+//
+//	caller ──in ring──▶ stitcher goroutine ──worker rings──▶ analyzer workers
+//
+// The caller's Feed/AddSideband/Watermark/Drain enqueue typed messages on
+// the input ring and return immediately; the stitcher goroutine applies
+// them to the StreamStitcher in arrival order — exactly the order the
+// synchronous session would have — and routes emitted thread deltas to
+// WorkerCount() analyzer workers, sharded thread→worker by thread index.
+// Each thread's deltas therefore reach its analyzer in emission order
+// through one FIFO ring, which is why the output is byte-identical to the
+// synchronous session for every worker count and ring size.
+//
+// Metadata safety: in a live run the VM keeps exporting compiled-method
+// blobs into its snapshot while workers decode, so workers never read the
+// caller's snapshot. Instead each worker owns a replica (meta.Snapshot.
+// Clone) and blob deliveries (Session.AddBlobs) are broadcast in-band
+// through the rings: ring FIFO order guarantees a worker observes a blob
+// before any chunk that references it, mirroring §3.2's dump-before-use
+// discipline.
+//
+// Quiescence: checkpoint export and restore need the whole pipeline
+// drained. quiesce() pushes a sync message that the stitcher forwards to
+// every worker and acknowledges only after all of them have; the atomic
+// ring cursors give the happens-before edges that make the session's
+// state readable (and writable, until the next enqueue) from the caller's
+// goroutine.
+
+type pipeKind uint8
+
+const (
+	pkChunk pipeKind = iota
+	pkSideband
+	pkWatermark
+	pkBlobs
+	pkDrain
+	pkSync
+	pkClose
+)
+
+// pipeMsg is one input-ring message (caller → stitcher).
+type pipeMsg struct {
+	kind  pipeKind
+	core  int
+	mark  uint64
+	items []pt.Item
+	recs  []vm.SwitchRecord
+	blobs []*meta.CompiledMethod
+	ctx   context.Context
+	ack   chan struct{} // pkSync: closed once the whole pipeline is drained
+}
+
+type workKind uint8
+
+const (
+	wkDelta workKind = iota
+	wkBlobs
+	wkSync
+)
+
+// workMsg is one worker-ring message (stitcher → analyzer worker).
+type workMsg struct {
+	kind   workKind
+	thread int
+	items  []pt.Item
+	blobs  []*meta.CompiledMethod
+	ctx    context.Context
+	wg     *sync.WaitGroup // wkSync
+}
+
+// pipelinedSession is the goroutine/ring machinery attached to a Session
+// when PipelineConfig.Pipelined is set.
+type pipelinedSession struct {
+	s       *Session
+	workers int
+	in      *ring.SPSC[pipeMsg]
+	wrings  []*ring.SPSC[workMsg]
+	// wsnap[w] is worker w's snapshot replica; only worker w touches it
+	// (main may read at quiescence).
+	wsnap []*meta.Snapshot
+	// byThread[w][t] is thread t's analyzer (t%workers == w), created
+	// lazily by worker w; main touches the table only at quiescence.
+	byThread   [][]*core.ThreadAnalyzer
+	stitchDone chan struct{}
+	workDone   []chan struct{}
+	// buffered/peak mirror the stitcher's BufferedItems for concurrent
+	// readers; written only by the stitcher goroutine.
+	buffered atomic.Int64
+	peak     atomic.Int64
+	joined   bool
+}
+
+func newPipelinedSession(s *Session) *pipelinedSession {
+	w := s.pipe.Cfg.WorkerCount()
+	n := s.pipe.Cfg.RingCapacity()
+	p := &pipelinedSession{
+		s:          s,
+		workers:    w,
+		in:         ring.New[pipeMsg](n),
+		wrings:     make([]*ring.SPSC[workMsg], w),
+		wsnap:      make([]*meta.Snapshot, w),
+		byThread:   make([][]*core.ThreadAnalyzer, w),
+		stitchDone: make(chan struct{}),
+		workDone:   make([]chan struct{}, w),
+	}
+	for i := 0; i < w; i++ {
+		p.wrings[i] = ring.New[workMsg](n)
+		p.wsnap[i] = s.snap.Clone()
+		p.workDone[i] = make(chan struct{})
+	}
+	go p.stitchLoop()
+	for i := 0; i < w; i++ {
+		go p.workLoop(i)
+	}
+	return p
+}
+
+// stitchLoop is the stitcher goroutine: it owns s.st between quiescence
+// points, applying input messages in arrival order and routing emitted
+// deltas to the worker rings.
+func (p *pipelinedSession) stitchLoop() {
+	defer close(p.stitchDone)
+	s := p.s
+	for {
+		m, ok := p.in.Pop(nil)
+		if !ok {
+			// Input ring closed without pkClose: the session was abandoned.
+			// Release the workers so nothing spins forever.
+			for _, r := range p.wrings {
+				r.Close()
+			}
+			return
+		}
+		switch m.kind {
+		case pkChunk:
+			s.st.Feed(m.core, m.items) // core range pre-validated by Session.Feed
+			p.note()
+		case pkSideband:
+			s.st.AddSideband(m.recs)
+		case pkWatermark:
+			s.st.Watermark(m.core, m.mark)
+		case pkBlobs:
+			for _, r := range p.wrings {
+				r.Push(workMsg{kind: wkBlobs, blobs: m.blobs}, nil)
+			}
+		case pkDrain:
+			p.route(s.st.Drain(), m.ctx)
+			p.note()
+		case pkSync:
+			var wg sync.WaitGroup
+			wg.Add(len(p.wrings))
+			for _, r := range p.wrings {
+				r.Push(workMsg{kind: wkSync, wg: &wg}, nil)
+			}
+			wg.Wait()
+			close(m.ack)
+		case pkClose:
+			p.route(s.st.FinishWorkers(s.pipe.Cfg.Workers), m.ctx)
+			for _, r := range p.wrings {
+				r.Close()
+			}
+			return
+		}
+	}
+}
+
+// note republishes the stitcher's in-flight item count for concurrent
+// BufferedItems/PeakBufferedItems readers.
+func (p *pipelinedSession) note() {
+	n := int64(p.s.st.BufferedItems())
+	p.buffered.Store(n)
+	if n > p.peak.Load() {
+		p.peak.Store(n)
+	}
+}
+
+// route pushes emitted thread deltas to their workers. Delta item slices
+// are freshly built by the stitcher's emit and never reused, so ownership
+// transfers cleanly through the ring.
+func (p *pipelinedSession) route(deltas []trace.ThreadStream, ctx context.Context) {
+	for i := range deltas {
+		d := deltas[i]
+		p.wrings[d.Thread%p.workers].Push(
+			workMsg{kind: wkDelta, thread: d.Thread, items: d.Items, ctx: ctx}, nil)
+	}
+}
+
+// workLoop is analyzer worker w: it drains its ring, exporting broadcast
+// blobs into its snapshot replica and feeding deltas to the analyzers it
+// owns, until the ring closes.
+func (p *pipelinedSession) workLoop(w int) {
+	defer close(p.workDone[w])
+	s := p.s
+	for {
+		m, ok := p.wrings[w].Pop(nil)
+		if !ok {
+			return
+		}
+		switch m.kind {
+		case wkBlobs:
+			for _, b := range m.blobs {
+				p.wsnap[w].Export(b)
+			}
+		case wkDelta:
+			a := p.analyzer(w, m.thread)
+			before := a.SegmentsSeen()
+			a.FeedContext(m.ctx, m.items)
+			s.hbEmitted.Add(1)
+			s.hbSegments.Add(a.SegmentsSeen() - before)
+		case wkSync:
+			m.wg.Done()
+		}
+	}
+}
+
+// analyzer returns thread's analyzer, creating it against worker w's
+// snapshot replica on first use. Called by worker w, or by the caller's
+// goroutine at quiescence (merge, checkpoint restore).
+func (p *pipelinedSession) analyzer(w, thread int) *core.ThreadAnalyzer {
+	for thread >= len(p.byThread[w]) {
+		p.byThread[w] = append(p.byThread[w], nil)
+	}
+	if a := p.byThread[w][thread]; a != nil {
+		return a
+	}
+	a := p.s.pipe.NewThreadAnalyzer(thread, p.wsnap[w])
+	a.SetLedger(p.s.ledger)
+	p.byThread[w][thread] = a
+	return a
+}
+
+// quiesce blocks until every message enqueued so far has been fully
+// processed by the stitcher and all workers. On return the session's
+// stitcher state and analyzers are safe for the caller's goroutine to
+// read and mutate, until the next enqueue.
+func (p *pipelinedSession) quiesce() {
+	ack := make(chan struct{})
+	p.in.Push(pipeMsg{kind: pkSync, ack: ack}, nil)
+	<-ack
+}
+
+// merge assembles s.analyzers — one per thread, in thread order — from
+// the per-worker tables, creating empty analyzers for threads that had
+// sideband but no trace (mirroring the synchronous grow). Safe only at
+// quiescence or after close.
+func (p *pipelinedSession) merge() {
+	n := p.s.st.NumThreads()
+	if len(p.s.analyzers) > n {
+		n = len(p.s.analyzers)
+	}
+	as := make([]*core.ThreadAnalyzer, n)
+	for t := 0; t < n; t++ {
+		as[t] = p.analyzer(t%p.workers, t)
+	}
+	p.s.analyzers = as
+}
+
+// syncPeak folds the stitcher-maintained peak into the session's field.
+func (p *pipelinedSession) syncPeak() {
+	if pk := int(p.peak.Load()); pk > p.s.peak {
+		p.s.peak = pk
+	}
+}
+
+// close finishes the stitch (final carve + emission), drains the workers,
+// joins every goroutine, and merges the per-worker analyzers into
+// s.analyzers for the common finish path. Idempotent.
+func (p *pipelinedSession) close(ctx context.Context) {
+	if p.joined {
+		return
+	}
+	p.joined = true
+	p.in.Push(pipeMsg{kind: pkClose, ctx: ctx}, nil)
+	p.in.Close()
+	<-p.stitchDone
+	for _, ch := range p.workDone {
+		<-ch
+	}
+	p.merge()
+	p.syncPeak()
+}

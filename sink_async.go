@@ -1,0 +1,146 @@
+package jportal
+
+import (
+	"sync/atomic"
+
+	"jportal/internal/meta"
+	"jportal/internal/pt"
+	"jportal/internal/ring"
+	"jportal/internal/vm"
+)
+
+// AsyncSink decouples the online phase from a slow TraceSink: the
+// producer's calls enqueue typed messages on an SPSC ring (DESIGN.md §12)
+// and return immediately, while a dedicated writer goroutine drains the
+// ring and invokes the wrapped sink in the exact call order. The VM's
+// execution loop therefore never blocks on disk (archive writing) unless
+// the ring fills — bounded backpressure, not unbounded buffering.
+//
+// Because messages are applied strictly in enqueue order, the wrapped
+// sink observes the same call sequence it would synchronously: the bytes
+// an AsyncSink-wrapped StreamArchiveWriter produces are identical for
+// every ring size, including capacity 1.
+//
+// Errors from the wrapped sink are sticky and surface on later Feed/
+// Drain calls and on Close; once one occurs, subsequent messages are
+// drained and dropped.
+type AsyncSink struct {
+	sink   TraceSink
+	blob   BlobSink
+	in     *ring.SPSC[pipeMsg]
+	done   chan struct{}
+	err    atomic.Value // error; only non-nil values stored
+	closed bool
+}
+
+// NewAsyncSink wraps sink with a ring of at least ringSize messages
+// (0 = core.DefaultRingSize via ring rounding; the capacity rounds up to
+// a power of two, minimum 1). If sink also implements BlobSink, blob
+// deliveries are forwarded in order too.
+func NewAsyncSink(sink TraceSink, ringSize int) *AsyncSink {
+	if ringSize <= 0 {
+		ringSize = 256
+	}
+	a := &AsyncSink{sink: sink, in: ring.New[pipeMsg](ringSize), done: make(chan struct{})}
+	a.blob, _ = sink.(BlobSink)
+	go a.loop()
+	return a
+}
+
+func (a *AsyncSink) loop() {
+	defer close(a.done)
+	for {
+		m, ok := a.in.Pop(nil)
+		if !ok {
+			return
+		}
+		if a.Err() != nil {
+			continue // sticky failure: drain the ring without side effects
+		}
+		var err error
+		switch m.kind {
+		case pkSideband:
+			a.sink.AddSideband(m.recs)
+		case pkWatermark:
+			a.sink.Watermark(m.core, m.mark)
+		case pkChunk:
+			err = a.sink.Feed(m.core, m.items)
+		case pkBlobs:
+			if a.blob != nil {
+				err = a.blob.AddBlobs(m.blobs)
+			}
+		case pkDrain:
+			err = a.sink.Drain()
+		}
+		if err != nil {
+			a.err.Store(err)
+		}
+	}
+}
+
+// Err returns the wrapped sink's first error, if any has surfaced yet.
+func (a *AsyncSink) Err() error {
+	if v := a.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// AddSideband enqueues scheduler switch records (TraceSink). The records
+// are copied, so the caller's slice may keep growing.
+func (a *AsyncSink) AddSideband(recs []vm.SwitchRecord) {
+	if len(recs) == 0 || a.closed {
+		return
+	}
+	a.in.Push(pipeMsg{kind: pkSideband, recs: append([]vm.SwitchRecord(nil), recs...)}, nil)
+}
+
+// Watermark enqueues a watermark (TraceSink).
+func (a *AsyncSink) Watermark(core int, w uint64) {
+	if a.closed {
+		return
+	}
+	a.in.Push(pipeMsg{kind: pkWatermark, core: core, mark: w}, nil)
+}
+
+// Feed enqueues one trace chunk (TraceSink). The collector allocates
+// chunk slices fresh per delivery, so ownership transfers without a copy.
+func (a *AsyncSink) Feed(core int, items []pt.Item) error {
+	if a.closed {
+		return a.Err()
+	}
+	a.in.Push(pipeMsg{kind: pkChunk, core: core, items: items}, nil)
+	return a.Err()
+}
+
+// AddBlobs enqueues compiled-method metadata (BlobSink).
+func (a *AsyncSink) AddBlobs(blobs []*meta.CompiledMethod) error {
+	if len(blobs) == 0 || a.closed {
+		return a.Err()
+	}
+	a.in.Push(pipeMsg{kind: pkBlobs, blobs: append([]*meta.CompiledMethod(nil), blobs...)}, nil)
+	return a.Err()
+}
+
+// Drain enqueues a drain of the wrapped sink (TraceSink). Asynchronous:
+// an error from the wrapped sink surfaces on a later call or at Close.
+func (a *AsyncSink) Drain() error {
+	if a.closed {
+		return a.Err()
+	}
+	a.in.Push(pipeMsg{kind: pkDrain}, nil)
+	return a.Err()
+}
+
+// Close waits for every enqueued message to reach the wrapped sink, stops
+// the writer goroutine, and returns the sticky error. It does not close
+// the wrapped sink (a StreamArchiveWriter still wants Seal afterwards).
+// Idempotent.
+func (a *AsyncSink) Close() error {
+	if !a.closed {
+		a.closed = true
+		a.in.Close()
+		<-a.done
+	}
+	return a.Err()
+}

@@ -41,6 +41,12 @@ type Session struct {
 	peak      int
 	closed    bool
 	result    *Analysis
+	// pl is the ring-connected stage machinery when cfg.Pipelined is set
+	// (pipeline_session.go); nil for the synchronous session. With pl
+	// non-nil, session methods must all be called from one goroutine (the
+	// input ring is single-producer) — which both RunWithSink and the
+	// archive replay already guarantee.
+	pl *pipelinedSession
 	// ledger is the session's quarantine record (DESIGN.md §10): every
 	// hardened stage reports what it excluded and why, and Close folds the
 	// totals into the Analysis's DegradationReport.
@@ -76,6 +82,9 @@ func OpenSession(prog *bytecode.Program, snap *meta.Snapshot, ncores int, cfg co
 		ledger: fault.NewLedger(metrics.Default),
 	}
 	s.st.SetLedger(s.ledger)
+	if cfg.Pipelined {
+		s.pl = newPipelinedSession(s)
+	}
 	return s, nil
 }
 
@@ -85,16 +94,70 @@ func (s *Session) Ledger() *fault.Ledger { return s.ledger }
 
 // AddSideband delivers scheduler switch records in the order the VM
 // recorded them.
-func (s *Session) AddSideband(recs []vm.SwitchRecord) { s.st.AddSideband(recs) }
+func (s *Session) AddSideband(recs []vm.SwitchRecord) {
+	if s.pl != nil {
+		if len(recs) == 0 || s.closed {
+			return
+		}
+		s.pl.in.Push(pipeMsg{kind: pkSideband, recs: append([]vm.SwitchRecord(nil), recs...)}, nil)
+		return
+	}
+	s.st.AddSideband(recs)
+}
 
 // Watermark declares that every switch record for core with TSC < w has
 // been delivered (watermarks only move forward).
-func (s *Session) Watermark(core int, w uint64) { s.st.Watermark(core, w) }
+func (s *Session) Watermark(core int, w uint64) {
+	if s.pl != nil {
+		if s.closed {
+			return
+		}
+		s.pl.in.Push(pipeMsg{kind: pkWatermark, core: core, mark: w}, nil)
+		return
+	}
+	s.st.Watermark(core, w)
+}
+
+// AddBlobs delivers compiled-method metadata (BlobSink). The synchronous
+// session shares the VM's live snapshot, so a blob already present —
+// pointer-identical at its entry address — is skipped, which makes the
+// delivery idempotent when RunWithSink re-offers the export-log suffix.
+// The pipelined session instead broadcasts the blobs to every worker's
+// snapshot replica in-band: ring order guarantees each worker sees a blob
+// before any trace chunk that references it (§3.2 dump-before-use).
+func (s *Session) AddBlobs(blobs []*meta.CompiledMethod) error {
+	if s.closed {
+		return errors.New("jportal: AddBlobs on closed session")
+	}
+	if s.pl != nil {
+		if len(blobs) == 0 {
+			return nil
+		}
+		s.pl.in.Push(pipeMsg{kind: pkBlobs, blobs: append([]*meta.CompiledMethod(nil), blobs...)}, nil)
+		return nil
+	}
+	for _, b := range blobs {
+		if b == nil || s.snap.Compiled[b.EntryAddr()] == b {
+			continue
+		}
+		s.snap.Export(b)
+	}
+	return nil
+}
 
 // Feed delivers one chunk of a core's exported trace, in export order.
+// The pipelined session copies the items before enqueueing, so the caller
+// may reuse its buffer immediately (the archive reader does).
 func (s *Session) Feed(core int, items []pt.Item) error {
 	if s.closed {
 		return errors.New("jportal: Feed on closed session")
+	}
+	if s.pl != nil {
+		if core < 0 || core >= s.ncores {
+			return fmt.Errorf("jportal: chunk for core %d, session has %d cores", core, s.ncores)
+		}
+		s.pl.in.Push(pipeMsg{kind: pkChunk, core: core, items: append([]pt.Item(nil), items...)}, nil)
+		return nil
 	}
 	if err := s.st.Feed(core, items); err != nil {
 		return err
@@ -120,6 +183,13 @@ func (s *Session) Drain() error {
 func (s *Session) DrainContext(ctx context.Context) error {
 	if s.closed {
 		return errors.New("jportal: Drain on closed session")
+	}
+	if s.pl != nil {
+		// Asynchronous: the stitcher drains and routes on its goroutine;
+		// emitted deltas carry ctx so a later cancellation still
+		// quarantines instead of decoding.
+		s.pl.in.Push(pipeMsg{kind: pkDrain, ctx: ctx}, nil)
+		return nil
 	}
 	s.apply(ctx, s.st.Drain())
 	return nil
@@ -164,22 +234,41 @@ func (s *Session) DeltasApplied() uint64 { return s.hbEmitted.Load() }
 // concurrently.
 func (s *Session) SegmentsReconstructed() uint64 { return s.hbSegments.Load() }
 
-// grow ensures one analyzer per thread seen so far.
+// grow ensures one analyzer per thread seen so far. In pipelined mode new
+// analyzers bind to their worker's snapshot replica; callers must hold
+// quiescence (checkpoint restore does).
 func (s *Session) grow(nthreads int) {
 	for t := len(s.analyzers); t < nthreads; t++ {
-		a := s.pipe.NewThreadAnalyzer(t, s.snap)
-		a.SetLedger(s.ledger)
+		var a *core.ThreadAnalyzer
+		if s.pl != nil {
+			a = s.pl.analyzer(t%s.pl.workers, t)
+		} else {
+			a = s.pipe.NewThreadAnalyzer(t, s.snap)
+			a.SetLedger(s.ledger)
+		}
 		s.analyzers = append(s.analyzers, a)
 	}
 }
 
 // BufferedItems returns the trace items currently buffered in the stitcher
 // (fed but not yet emitted to an analyzer).
-func (s *Session) BufferedItems() int { return s.st.BufferedItems() }
+func (s *Session) BufferedItems() int {
+	if s.pl != nil {
+		return int(s.pl.buffered.Load())
+	}
+	return s.st.BufferedItems()
+}
 
 // PeakBufferedItems returns the high-water mark of BufferedItems over the
 // session — the streaming pipeline's peak in-flight trace memory.
-func (s *Session) PeakBufferedItems() int { return s.peak }
+func (s *Session) PeakBufferedItems() int {
+	if s.pl != nil {
+		if pk := int(s.pl.peak.Load()); pk > s.peak {
+			return pk
+		}
+	}
+	return s.peak
+}
 
 // Close declares the input complete, runs the remaining decode,
 // reconstruction and recovery, and returns the Analysis. Close is
@@ -197,8 +286,15 @@ func (s *Session) CloseContext(ctx context.Context) (*Analysis, error) {
 		return s.result, nil
 	}
 	s.closed = true
-	s.apply(ctx, s.st.FinishWorkers(s.pipe.Cfg.Workers))
-	s.grow(s.st.NumThreads())
+	if s.pl != nil {
+		// Final carve, emission and decode happen on the pipeline's own
+		// goroutines; close joins them and merges the per-worker analyzers
+		// into s.analyzers for the common finish below.
+		s.pl.close(ctx)
+	} else {
+		s.apply(ctx, s.st.FinishWorkers(s.pipe.Cfg.Workers))
+		s.grow(s.st.NumThreads())
+	}
 	threads := make([]*core.ThreadResult, len(s.analyzers))
 	conc.ParallelFor(s.pipe.Cfg.WorkerCount(), len(s.analyzers), func(i int) {
 		threads[i] = s.analyzers[i].FinishContext(ctx)
@@ -241,7 +337,13 @@ func (s *Session) degradationReport() *fault.DegradationReport {
 			}
 		}
 	}
-	rep.Coverage = profile.ComputeCoverage(s.prog, s.result.Steps()).Ratio()
+	// Fold coverage per thread instead of concatenating the whole
+	// profile into one throwaway slice.
+	cov := profile.NewCoverage(s.prog)
+	for _, t := range s.result.Threads {
+		cov.Add(t.Steps)
+	}
+	rep.Coverage = cov.Ratio()
 	return rep
 }
 

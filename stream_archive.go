@@ -233,6 +233,9 @@ type StreamArchiveReader struct {
 	off    int64  // file offset of the first byte past buf
 	crc    uint32 // checksum of all consumed bytes (header + records, pre-seal)
 	sealed bool
+	// items is the chunk-record decode buffer, reused across Next calls:
+	// a chunk event's Items alias it and are valid until the next Next.
+	items []pt.Item
 }
 
 // OpenStreamArchive opens dir (which must be a chunked-layout archive) and
@@ -313,7 +316,9 @@ func (r *StreamArchiveReader) consume(n int) {
 // Next decodes the next record. It returns ErrStreamPending at an
 // incomplete (unsealed) tail, io.EOF after the seal, and an error wrapping
 // streamfmt.ErrCorrupt for damaged streams — including a seal whose CRC
-// does not match the bytes read before it.
+// does not match the bytes read before it. A chunk event's Items slice is
+// only valid until the following Next call (the decode buffer is reused);
+// consumers that keep items copy them, as Session.Feed does.
 func (r *StreamArchiveReader) Next() (*StreamEvent, error) {
 	if r.sealed {
 		return nil, io.EOF
@@ -333,9 +338,12 @@ func (r *StreamArchiveReader) Next() (*StreamEvent, error) {
 			return nil, ferr
 		}
 	}
-	ev, _, err := streamfmt.Decode(r.buf[:n])
+	ev, _, err := streamfmt.DecodeInto(r.buf[:n], r.items)
 	if err != nil {
 		return nil, fmt.Errorf("jportal: stream archive: %w", err)
+	}
+	if ev.Kind == EvChunk {
+		r.items = ev.Items
 	}
 	if ev.Kind == EvSeal {
 		if ev.CRC != r.crc {
@@ -453,6 +461,16 @@ func AnalyzeStreamArchiveOpts(ctx context.Context, dir string, cfg core.Pipeline
 	var sess *Session
 	records := 0 // archive records fully applied
 	chunks := 0  // chunk records among them (checkpoint cadence)
+	// Error paths below return without closing the session; a pipelined
+	// session owns goroutines, so release them (with a pre-cancelled
+	// context: quarantine, don't compute) instead of leaking spinners.
+	defer func() {
+		if sess != nil && !sess.closed {
+			cctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			sess.CloseContext(cctx)
+		}
+	}()
 
 	// Watchdog: sample the replay's heartbeats and report stalls. busy
 	// distinguishes "working on a record" from "waiting for the writer" —
@@ -560,7 +578,10 @@ func AnalyzeStreamArchiveOpts(ctx context.Context, dir string, cfg core.Pipeline
 				busy.Store(false)
 				return nil, nil, fmt.Errorf("jportal: %s: blob record before snapshot", dir)
 			}
-			sess.snap.Export(ev.Blob)
+			if err := sess.AddBlobs([]*meta.CompiledMethod{ev.Blob}); err != nil {
+				busy.Store(false)
+				return nil, nil, err
+			}
 		case EvSideband:
 			if sess == nil {
 				busy.Store(false)

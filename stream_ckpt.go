@@ -40,6 +40,13 @@ func (s *Session) ExportCheckpoint(records int) (*SessionCheckpoint, error) {
 	if s.closed {
 		return nil, errors.New("jportal: checkpoint of a closed session")
 	}
+	if s.pl != nil {
+		// Drain the ring pipeline to a quiescent point, then export over
+		// the same merged analyzer view the synchronous session holds.
+		s.pl.quiesce()
+		s.pl.merge()
+		s.pl.syncPeak()
+	}
 	ck := &SessionCheckpoint{
 		NCores:    s.ncores,
 		Records:   records,
@@ -68,6 +75,12 @@ func (s *Session) RestoreCheckpoint(ck *SessionCheckpoint) error {
 	}
 	if ck.NCores != s.ncores {
 		return fmt.Errorf("jportal: checkpoint has %d cores, session has %d", ck.NCores, s.ncores)
+	}
+	if s.pl != nil {
+		// Quiesce first: the prefix's blob records must be applied to every
+		// worker replica before analyzers restore against them, and the
+		// stitcher must be idle before its state is replaced.
+		s.pl.quiesce()
 	}
 	if err := s.st.RestoreState(ck.Stitcher); err != nil {
 		return err
