@@ -11,7 +11,7 @@ import (
 
 	"jportal/internal/bytecode"
 	"jportal/internal/meta"
-	"jportal/internal/pt"
+	"jportal/internal/source"
 	"jportal/internal/vm"
 )
 
@@ -37,38 +37,60 @@ import (
 const (
 	archiveMetaFile  = "archive.meta"
 	archiveMagicLine = "jportal-run-archive"
-	archiveVersion   = 2
+
+	// archiveVersion is the newest header version this binary reads.
+	// Version 2 added the header itself; version 3 added the source key.
+	// Writers stamp the oldest version that can faithfully read the
+	// archive (see writeArchiveMeta), so version-gating — not the reader's
+	// tolerance for unknown keys — is what keeps a pre-source binary from
+	// silently misdecoding a non-Intel-PT archive as PT packets.
+	archiveVersion       = 3
+	archiveVersionLegacy = 2
 
 	// LayoutBatch and LayoutChunked are the archive layouts.
 	LayoutBatch   = "batch"
 	LayoutChunked = "chunked"
 )
 
-// writeArchiveMeta writes the version header declaring the layout.
-func writeArchiveMeta(dir, layout string) error {
-	body := fmt.Sprintf("%s\nversion: %d\nlayout: %s\n", archiveMagicLine, archiveVersion, layout)
+// writeArchiveMeta writes the version header declaring the layout and, for
+// runs collected by a non-default trace source, the source ID. Default
+// (Intel PT) archives are stamped with the legacy version and no source
+// key, so they stay byte-identical to the ones written before sources
+// existed (the golden test pins this) and remain readable by old
+// binaries. Non-default archives are stamped with the current version:
+// a pre-source binary has no Traits for the payload, so it must refuse
+// via the version gate rather than misdecode the packets as PT.
+func writeArchiveMeta(dir, layout, srcID string) error {
+	ver := archiveVersionLegacy
+	if srcID != "" && srcID != source.DefaultID {
+		ver = archiveVersion
+	}
+	body := fmt.Sprintf("%s\nversion: %d\nlayout: %s\n", archiveMagicLine, ver, layout)
+	if srcID != "" && srcID != source.DefaultID {
+		body += fmt.Sprintf("source: %s\n", srcID)
+	}
 	return os.WriteFile(filepath.Join(dir, archiveMetaFile), []byte(body), 0o644)
 }
 
 // readArchiveMeta parses the header. A missing header with a program.gob
 // present is a pre-versioning (v1) batch archive; anything else that lacks
 // the header is not a run archive at all.
-func readArchiveMeta(dir string) (version int, layout string, err error) {
+func readArchiveMeta(dir string) (version int, layout, srcID string, err error) {
 	raw, err := os.ReadFile(filepath.Join(dir, archiveMetaFile))
 	if os.IsNotExist(err) {
 		if _, serr := os.Stat(filepath.Join(dir, "program.gob")); serr != nil {
-			return 0, "", fmt.Errorf("jportal: %s is not a run archive (no %s, no program.gob)", dir, archiveMetaFile)
+			return 0, "", "", fmt.Errorf("jportal: %s is not a run archive (no %s, no program.gob)", dir, archiveMetaFile)
 		}
-		return 1, LayoutBatch, nil
+		return 1, LayoutBatch, source.DefaultID, nil
 	}
 	if err != nil {
-		return 0, "", err
+		return 0, "", "", err
 	}
 	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
 	if len(lines) < 3 || strings.TrimSpace(lines[0]) != archiveMagicLine {
-		return 0, "", fmt.Errorf("jportal: %s: malformed archive header", dir)
+		return 0, "", "", fmt.Errorf("jportal: %s: malformed archive header", dir)
 	}
-	version, layout = 0, ""
+	version, layout, srcID = 0, "", source.DefaultID
 	for _, ln := range lines[1:] {
 		k, v, ok := strings.Cut(ln, ":")
 		if !ok {
@@ -78,23 +100,25 @@ func readArchiveMeta(dir string) (version int, layout string, err error) {
 		case "version":
 			version, err = strconv.Atoi(strings.TrimSpace(v))
 			if err != nil {
-				return 0, "", fmt.Errorf("jportal: %s: bad archive version %q", dir, strings.TrimSpace(v))
+				return 0, "", "", fmt.Errorf("jportal: %s: bad archive version %q", dir, strings.TrimSpace(v))
 			}
 		case "layout":
 			layout = strings.TrimSpace(v)
+		case "source":
+			srcID = strings.TrimSpace(v)
 		}
 	}
 	if version > archiveVersion {
-		return 0, "", fmt.Errorf("jportal: %s: archive version %d is newer than this binary supports (%d)",
+		return 0, "", "", fmt.Errorf("jportal: %s: archive version %d is newer than this binary supports (%d)",
 			dir, version, archiveVersion)
 	}
 	if version < 1 {
-		return 0, "", fmt.Errorf("jportal: %s: archive header missing a version", dir)
+		return 0, "", "", fmt.Errorf("jportal: %s: archive header missing a version", dir)
 	}
 	if layout != LayoutBatch && layout != LayoutChunked {
-		return 0, "", fmt.Errorf("jportal: %s: unknown archive layout %q", dir, layout)
+		return 0, "", "", fmt.Errorf("jportal: %s: unknown archive layout %q", dir, layout)
 	}
-	return version, layout, nil
+	return version, layout, srcID, nil
 }
 
 // SaveRun writes prog and the run's offline-relevant artefacts into dir
@@ -106,7 +130,7 @@ func SaveRun(dir string, prog *bytecode.Program, run *RunResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	if err := writeArchiveMeta(dir, LayoutBatch); err != nil {
+	if err := writeArchiveMeta(dir, LayoutBatch, run.SourceID); err != nil {
 		return err
 	}
 	if err := writeGob(filepath.Join(dir, "program.gob"), prog); err != nil {
@@ -131,7 +155,7 @@ func SaveRun(dir string, prog *bytecode.Program, run *RunResult) error {
 		if err != nil {
 			return err
 		}
-		if err := pt.WriteTrace(tf, &run.Traces[i]); err != nil {
+		if err := source.WriteTrace(tf, &run.Traces[i]); err != nil {
 			tf.Close()
 			return err
 		}
@@ -147,12 +171,16 @@ func SaveRun(dir string, prog *bytecode.Program, run *RunResult) error {
 // The returned RunResult carries traces, sideband and snapshot (no oracle
 // and no runtime stats — those exist only in the collecting process).
 func LoadRun(dir string) (*bytecode.Program, *RunResult, error) {
-	_, layout, err := readArchiveMeta(dir)
+	_, layout, srcID, err := readArchiveMeta(dir)
 	if err != nil {
 		return nil, nil, err
 	}
+	src, err := source.Lookup(srcID)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jportal: %s: %w", dir, err)
+	}
 	if layout == LayoutChunked {
-		return loadChunkedRun(dir)
+		return loadChunkedRun(dir, src)
 	}
 	var prog bytecode.Program
 	if err := readGob(filepath.Join(dir, "program.gob"), &prog); err != nil {
@@ -181,13 +209,13 @@ func LoadRun(dir string) (*bytecode.Program, *RunResult, error) {
 	if len(matches) == 0 {
 		return nil, nil, fmt.Errorf("jportal: no trace files in %s", dir)
 	}
-	var traces []pt.CoreTrace
+	var traces []source.CoreTrace
 	for _, name := range matches {
 		tf, err := os.Open(name)
 		if err != nil {
 			return nil, nil, err
 		}
-		tr, err := pt.ReadTrace(tf)
+		tr, err := source.ReadTrace(tf, src.Traits())
 		tf.Close()
 		if err != nil {
 			return nil, nil, fmt.Errorf("jportal: %s: %w", name, err)
@@ -203,7 +231,7 @@ func LoadRun(dir string) (*bytecode.Program, *RunResult, error) {
 			return nil, nil, fmt.Errorf("jportal: duplicate trace files for core %d in %s", traces[i].Core, dir)
 		}
 	}
-	return &prog, &RunResult{Traces: traces, Sideband: sideband, Snapshot: snap}, nil
+	return &prog, &RunResult{Traces: traces, Sideband: sideband, Snapshot: snap, SourceID: src.ID()}, nil
 }
 
 func writeGob(path string, v any) error {

@@ -14,7 +14,7 @@ import (
 	"jportal/internal/cfg"
 	"jportal/internal/core"
 	"jportal/internal/meta"
-	"jportal/internal/ptdecode"
+	"jportal/internal/source"
 	"jportal/internal/trace"
 	"jportal/internal/workload"
 )
@@ -147,7 +147,11 @@ func RunBenchSuite(opts BenchOptions) (*bench.Report, error) {
 	// events once, then measure the steady-state lowering — a persistent
 	// tokenizer fed the same events every op, completed segments
 	// discarded — so the op cost is the token arena's, not setup's.
-	threads := trace.SplitByThread(run.Traces, run.Sideband)
+	src, err := run.Source()
+	if err != nil {
+		return nil, err
+	}
+	threads := trace.SplitByThread(run.Traces, run.Sideband, src.Traits())
 	var busiest int
 	for i := range threads {
 		if len(threads[i].Items) > len(threads[busiest].Items) {
@@ -157,10 +161,10 @@ func RunBenchSuite(opts BenchOptions) (*bench.Report, error) {
 	if len(threads) == 0 || len(threads[busiest].Items) == 0 {
 		return nil, fmt.Errorf("bench: subject produced no stitched items")
 	}
-	events := append([]ptdecode.Event(nil),
-		ptdecode.New(run.Snapshot).Decode(threads[busiest].Items)...)
+	events := append([]source.Event(nil),
+		src.NewDecoder(run.Snapshot).Decode(threads[busiest].Items)...)
 	const tokChunk = 512
-	var chunks [][]ptdecode.Event
+	var chunks [][]source.Event
 	for off := 0; off < len(events); off += tokChunk {
 		end := off + tokChunk
 		if end > len(events) {
@@ -184,6 +188,19 @@ func RunBenchSuite(opts BenchOptions) (*bench.Report, error) {
 		}
 	}))
 
+	// WalkerDecode: the neutral decode driver (internal/source.Walker)
+	// behind every backend — one full packet-stream decode of the busiest
+	// thread per op, with a persistent decoder so the reused event buffer
+	// keeps the steady state allocation-free and the guard band pins the
+	// refactored decode path.
+	dec := src.NewDecoder(run.Snapshot)
+	rep.Kernels = append(rep.Kernels, runKernel("WalkerDecode", len(threads[busiest].Items), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dec.Decode(threads[busiest].Items)
+		}
+	}))
+
 	// Carve: one full incremental stitch — sideband, infinite
 	// watermarks, per-core feeds, finish — per op.
 	ncores := 1
@@ -197,7 +214,7 @@ func RunBenchSuite(opts BenchOptions) (*bench.Report, error) {
 	rep.Kernels = append(rep.Kernels, runKernel("CarveStitch", totalItems, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			st := trace.NewStreamStitcher(ncores)
+			st := trace.NewStreamStitcher(ncores, src.Traits())
 			st.AddSideband(run.Sideband)
 			for c := 0; c < ncores; c++ {
 				st.Watermark(c, math.MaxUint64)
@@ -261,10 +278,13 @@ func RunBenchSuite(opts BenchOptions) (*bench.Report, error) {
 		}
 		sec := best.Seconds()
 		rep.Streaming = append(rep.Streaming, bench.Streaming{
-			Subject:         "h2",
-			Scale:           opts.Scale,
-			Workers:         opts.Workers,
-			Pipelined:       pipelined,
+			Subject: "h2",
+			Scale:   opts.Scale,
+			Workers: opts.Workers,
+			// Record the mode that actually ran: on a single-CPU runtime
+			// the session falls back to the synchronous path (see
+			// core.PipelineConfig.EffectivePipelined).
+			Pipelined:       pcfg.EffectivePipelined(),
 			TraceBytes:      fi.Size(),
 			WallMs:          sec * 1e3,
 			TraceMBPerSec:   float64(fi.Size()) / (1 << 20) / sec,

@@ -68,7 +68,16 @@ func ChaosTable(prog *bytecode.Program, threads []vm.ThreadSpec, rcfg RunConfig,
 func analyzeFaulted(prog *bytecode.Program, run *RunResult, pcfg core.PipelineConfig,
 	m fault.Matrix) (*Analysis, *fault.Injector, error) {
 
-	inj := fault.NewInjector(m, metrics.Default)
+	src, err := run.Source()
+	if err != nil {
+		return nil, nil, err
+	}
+	if pcfg.Source == nil {
+		pcfg.Source = src
+	}
+	// The injector corrupts through the source's traits hooks, so chaos
+	// runs exercise whichever backend collected the trace.
+	inj := fault.NewInjector(m, src.Traits(), metrics.Default)
 	ncores := 1
 	for i := range run.Traces {
 		if n := run.Traces[i].Core + 1; n > ncores {

@@ -2,8 +2,8 @@
 # ci.sh - the repository's check gauntlet. Run before sending a PR.
 #
 #   ./ci.sh          vet + build + full tests + race-detector pass over the
-#                    concurrent packages (core, trace, conc, pt) and the
-#                    root streaming tests + benchmark smoke
+#                    concurrent packages (core, trace, conc, pt, source,
+#                    etrace) and the root streaming tests + benchmark smoke
 #
 # The race pass covers the offline-phase parallelism introduced with the
 # worker pool — the read-only Matcher contract, the per-core trace carve and
@@ -25,7 +25,7 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/core/... ./internal/trace/... ./internal/conc/... ./internal/pt/... ./internal/ring/...
+go test -race ./internal/core/... ./internal/trace/... ./internal/conc/... ./internal/pt/... ./internal/ring/... ./internal/source/... ./internal/etrace/...
 
 echo "==> go test -race (root streaming tests)"
 go test -race -run 'TestStream|TestAnalyzeStreamed|TestSession|TestAnalyzeDeterministicAcrossWorkers|TestPipelined|TestAsyncSink' .

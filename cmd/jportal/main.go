@@ -42,7 +42,7 @@ import (
 	"jportal/internal/meta"
 	"jportal/internal/metrics"
 	"jportal/internal/profile"
-	"jportal/internal/pt"
+	"jportal/internal/source"
 	"jportal/internal/vm"
 	"jportal/internal/workload"
 )
@@ -128,8 +128,16 @@ commands:
 
 common flags: -scale F (workload size), -buf MB (paper-label buffer),
               -top N (hot-method count), -out FILE (write traces),
-              -workers N (offline-phase parallelism, 0 = GOMAXPROCS)
+              -workers N (offline-phase parallelism, 0 = GOMAXPROCS),
+              -source S (trace backend: intel-pt, riscv-etrace)
 `)
+}
+
+// sourceFlagHelp builds the -source usage string from the registry, so new
+// backends show up without touching the CLI.
+func sourceFlagHelp() string {
+	return fmt.Sprintf("trace source backend (%s; default %s)",
+		strings.Join(source.Registered(), ", "), source.DefaultID)
 }
 
 // loadTarget resolves a subject name or a .jasm file into a program plus
@@ -170,6 +178,7 @@ func cmdRun(args []string) error {
 	scale := fs.Float64("scale", 1.0, "workload scale")
 	buf := fs.Int("buf", 128, "paper-label buffer size (MB)")
 	out := fs.String("out", "", "write per-core traces to FILE.core<N>")
+	src := fs.String("source", "", sourceFlagHelp())
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need a subject or .jasm file")
@@ -180,6 +189,7 @@ func cmdRun(args []string) error {
 	}
 	cfg := jportal.DefaultRunConfig()
 	cfg.PT.BufBytes = uint64(*buf) << (20 - experiments.BufScaleShift)
+	cfg.Source = *src
 	run, err := jportal.Run(prog, threads, cfg)
 	if err != nil {
 		return err
@@ -204,7 +214,7 @@ func cmdRun(args []string) error {
 			if err != nil {
 				return err
 			}
-			if err := pt.WriteTrace(f, &tr); err != nil {
+			if err := source.WriteTrace(f, &tr); err != nil {
 				f.Close()
 				return err
 			}
@@ -220,6 +230,7 @@ func cmdAnalyze(args []string) error {
 	scale := fs.Float64("scale", 1.0, "workload scale")
 	buf := fs.Int("buf", 128, "paper-label buffer size (MB)")
 	workers := fs.Int("workers", 0, "offline-phase workers (0 = GOMAXPROCS)")
+	src := fs.String("source", "", sourceFlagHelp())
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need a subject or .jasm file")
@@ -230,6 +241,7 @@ func cmdAnalyze(args []string) error {
 	}
 	cfg := jportal.DefaultRunConfig()
 	cfg.PT.BufBytes = uint64(*buf) << (20 - experiments.BufScaleShift)
+	cfg.Source = *src
 	run, err := jportal.Run(prog, threads, cfg)
 	if err != nil {
 		return err
@@ -324,6 +336,7 @@ func cmdCollect(args []string) error {
 	out := fs.String("out", "jportal-run", "archive directory")
 	chunked := fs.Bool("chunked", false, "write the streaming (chunked) archive layout as the run progresses")
 	chunk := fs.Int("chunk", 0, "chunked export granularity in trace items (0 = default)")
+	src := fs.String("source", "", sourceFlagHelp())
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need a subject or .jasm file")
@@ -335,13 +348,14 @@ func cmdCollect(args []string) error {
 	cfg := jportal.DefaultRunConfig()
 	cfg.CollectOracle = false // the offline phase has no oracle in production
 	cfg.PT.BufBytes = uint64(*buf) << (20 - experiments.BufScaleShift)
+	cfg.Source = *src
 	if *chunked {
 		cfg.SinkChunkItems = *chunk
 		var w *jportal.StreamArchiveWriter
 		run, err := jportal.RunWithSink(prog, threads, cfg,
 			func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (jportal.TraceSink, error) {
 				var err error
-				w, err = jportal.CreateStreamArchive(*out, p, snap, ncores)
+				w, err = jportal.CreateStreamArchiveSource(*out, p, snap, ncores, cfg.Source)
 				return w, err
 			})
 		if err != nil {

@@ -3,24 +3,25 @@ package core
 import (
 	"jportal/internal/bytecode"
 	"jportal/internal/meta"
-	"jportal/internal/pt"
-	"jportal/internal/ptdecode"
+	"jportal/internal/source"
 )
 
 // DecodeThread runs the two-level decode for one thread's stitched packet
-// stream: the native-level walk (package ptdecode) followed by the
-// bytecode-level mapping of §3 — template-range lookup for interpreted
-// dispatches (§3.1) and debug-record lookup, through inline frames, for
-// JITed ranges (§3.2). The result is the segmented bytecode token stream
-// that reconstruction (§4) and recovery (§5) consume.
-func DecodeThread(prog *bytecode.Program, snap *meta.Snapshot, items []pt.Item) ([]*Segment, *DecodeThreadStats) {
-	dec := ptdecode.New(snap)
+// stream: the native-level walk (the default source's decoder — Intel PT's
+// role is played by libipt in the paper) followed by the bytecode-level
+// mapping of §3 — template-range lookup for interpreted dispatches (§3.1)
+// and debug-record lookup, through inline frames, for JITed ranges (§3.2).
+// The result is the segmented bytecode token stream that reconstruction
+// (§4) and recovery (§5) consume.
+func DecodeThread(prog *bytecode.Program, snap *meta.Snapshot, items []source.Item) ([]*Segment, *DecodeThreadStats) {
+	dec := source.Default().NewDecoder(snap)
 	events := dec.Decode(items)
 	segs, stats := TokenizeEvents(prog, events)
-	stats.NativeDesyncs = dec.Desyncs
-	stats.MalformedPackets = dec.FaultCount
-	stats.SkippedPackets = dec.SkippedPackets
-	stats.QuarantinedBytes = dec.SkippedBytes
+	ds := dec.Stats()
+	stats.NativeDesyncs = ds.Desyncs
+	stats.MalformedPackets = ds.FaultCount
+	stats.SkippedPackets = ds.SkippedPackets
+	stats.QuarantinedBytes = ds.SkippedBytes
 	return segs, stats
 }
 
@@ -48,7 +49,7 @@ type DecodeThreadStats struct {
 
 // TokenizeEvents lowers native-level decoder events to bytecode tokens,
 // splitting segments at gaps and desyncs.
-func TokenizeEvents(prog *bytecode.Program, events []ptdecode.Event) ([]*Segment, *DecodeThreadStats) {
+func TokenizeEvents(prog *bytecode.Program, events []source.Event) ([]*Segment, *DecodeThreadStats) {
 	tk := newTokenizer(prog)
 	tk.feed(events)
 	segs := tk.finish()
@@ -71,9 +72,10 @@ func NewStreamTokenizer(prog *bytecode.Program) *StreamTokenizer {
 }
 
 // Feed lowers one chunk of native-level decoder events.
-func (s *StreamTokenizer) Feed(events []ptdecode.Event) { s.t.feed(events) }
+func (s *StreamTokenizer) Feed(events []source.Event) { s.t.feed(events) }
 
-// Take returns the segments completed so far and forgets them.
+// Take returns the segments completed so far and forgets them. The slice
+// reuses one harvest buffer across calls: it is valid until the next Feed.
 func (s *StreamTokenizer) Take() []*Segment { return s.t.take() }
 
 // Finish closes the open segment and returns the remaining segments.
@@ -194,40 +196,40 @@ func (t *tokenizer) appendTok(tok Token) {
 }
 
 // feed lowers one chunk of decoder events.
-func (t *tokenizer) feed(events []ptdecode.Event) {
+func (t *tokenizer) feed(events []source.Event) {
 	for i := range events {
 		ev := &events[i]
 		switch ev.Kind {
-		case ptdecode.EvTime:
+		case source.EvTime:
 			if ev.TSC < t.tsc {
 				t.st.TimeRegressions++
 			}
 			t.tsc = ev.TSC
-		case ptdecode.EvEnable, ptdecode.EvDisable, ptdecode.EvStub:
+		case source.EvEnable, source.EvDisable, source.EvStub:
 			t.pendingCond = -1
-		case ptdecode.EvGap:
+		case source.EvGap:
 			t.pendingCond = -1
 			t.st.Gaps++
 			t.st.LostBytes += ev.LostBytes
 			t.tsc = ev.GapEnd
 			t.flush(&GapInfo{LostBytes: ev.LostBytes, Start: ev.GapStart, End: ev.GapEnd})
-		case ptdecode.EvDesync:
+		case source.EvDesync:
 			t.pendingCond = -1
 			t.flush(&GapInfo{Start: t.tsc, End: t.tsc, Desync: true})
-		case ptdecode.EvFault:
+		case source.EvFault:
 			// A malformed packet: the decoder is skipping to the next PSB.
 			// Split the segment exactly like a desync — the span between
 			// here and the resync point is quarantined, not decoded.
 			t.pendingCond = -1
 			t.flush(&GapInfo{Start: t.tsc, End: t.tsc, Desync: true})
-		case ptdecode.EvTemplate:
+		case source.EvTemplate:
 			t.appendTok(Token{Op: ev.Op, Method: bytecode.NoMethod})
 			if ev.Op.IsCondBranch() {
 				t.pendingCond = len(t.cur.Tokens) - 1
 			} else {
 				t.pendingCond = -1
 			}
-		case ptdecode.EvTemplateTNT:
+		case source.EvTemplateTNT:
 			if t.pendingCond >= 0 && t.cur.Tokens[t.pendingCond].Op == ev.Op {
 				t.cur.Tokens[t.pendingCond].HasDir = true
 				t.cur.Tokens[t.pendingCond].Taken = ev.Taken
@@ -237,17 +239,21 @@ func (t *tokenizer) feed(events []ptdecode.Event) {
 				t.appendTok(Token{Op: ev.Op, Method: bytecode.NoMethod, HasDir: true, Taken: ev.Taken})
 			}
 			t.pendingCond = -1
-		case ptdecode.EvJITRange:
+		case source.EvJITRange:
 			t.pendingCond = -1
 			t.tokenizeRange(ev)
 		}
 	}
 }
 
-// take returns the segments completed so far and forgets them.
+// take returns the segments completed so far and forgets them. The
+// returned slice aliases the tokenizer's reused harvest buffer — it is
+// valid only until the next feed, so callers must consume or copy it
+// first (the analyzer appends it straight into its pending wave). The
+// Segment pointers themselves live in the header arena and stay valid.
 func (t *tokenizer) take() []*Segment {
 	segs := t.segs
-	t.segs = nil
+	t.segs = t.segs[:0]
 	return segs
 }
 
@@ -273,7 +279,7 @@ func (t *tokenizer) breakSegment() {
 // It is a tokenizer method (appending directly to the token slab) because
 // it runs once per JIT range on the hot decode path — an emit callback
 // would cost a closure allocation and an indirect call per token.
-func (t *tokenizer) tokenizeRange(ev *ptdecode.Event) {
+func (t *tokenizer) tokenizeRange(ev *source.Event) {
 	blob := ev.Blob
 	var lastM bytecode.MethodID = bytecode.NoMethod
 	lastPC := int32(-1)

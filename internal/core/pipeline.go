@@ -3,17 +3,27 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"jportal/internal/bytecode"
 	"jportal/internal/cfg"
 	"jportal/internal/conc"
 	"jportal/internal/meta"
-	"jportal/internal/pt"
+	"jportal/internal/source"
+
+	// Link in the reference Intel PT backend so the default trace source
+	// resolves for every existing caller; alternate backends are selected
+	// explicitly via PipelineConfig.Source.
+	_ "jportal/internal/ptdecode"
 )
 
 // PipelineConfig configures the offline analysis.
 type PipelineConfig struct {
+	// Source is the trace source whose decoder interprets the packet
+	// streams (nil = the registered default, Intel PT). The analysis
+	// layers above the decoder are source-independent.
+	Source source.Source
 	// ICFG options (whether dynamic call edges are statically resolved).
 	ICFG cfg.Options
 	// Recovery is the §5 configuration.
@@ -38,7 +48,9 @@ type PipelineConfig struct {
 	// by single-producer single-consumer rings (DESIGN.md §12), so the
 	// caller's Feed returns as soon as the chunk is enqueued and decode
 	// overlaps collection. Output is byte-identical to the synchronous
-	// session for every worker count and ring size.
+	// session for every worker count and ring size. The knob is a
+	// request: EffectivePipelined gates it on GOMAXPROCS >= 2, since the
+	// rings only pay off when stages truly run in parallel.
 	Pipelined bool
 	// RingSize is the per-ring capacity in messages for the pipelined
 	// session (0 = DefaultRingSize; rounded up to a power of two). Smaller
@@ -61,6 +73,17 @@ func (c PipelineConfig) RingCapacity() int {
 
 // WorkerCount resolves the Workers knob (0 = GOMAXPROCS).
 func (c PipelineConfig) WorkerCount() int { return conc.Workers(c.Workers) }
+
+// EffectivePipelined resolves the Pipelined knob: the ring-connected
+// stages run only when the runtime can actually execute two stages at
+// once (GOMAXPROCS >= 2). On a single-CPU runtime the stage goroutines
+// just time-slice one core and every ring handoff is pure overhead —
+// BENCH_6 recorded the h2 replay at 18.46 MB/s pipelined vs 19.51 MB/s
+// synchronous — so the session falls back to the synchronous path there.
+// Output is byte-identical either way (DESIGN.md §12).
+func (c PipelineConfig) EffectivePipelined() bool {
+	return c.Pipelined && runtime.GOMAXPROCS(0) >= 2
+}
 
 // Validate rejects nonsensical configurations up front, before they would
 // surface as a hang, a panic, or a silently serial pipeline deep inside the
@@ -101,6 +124,9 @@ type Pipeline struct {
 	Prog    *bytecode.Program
 	Matcher *Matcher
 	Cfg     PipelineConfig
+
+	// src is the resolved trace source (Cfg.Source or the default).
+	src source.Source
 }
 
 // NewPipeline builds the ICFG and matcher for prog.
@@ -108,7 +134,23 @@ func NewPipeline(prog *bytecode.Program, cfg PipelineConfig) *Pipeline {
 	g := buildICFG(prog, cfg)
 	m := NewMatcher(g)
 	m.UseContext = cfg.UseCallContext
-	return &Pipeline{Prog: prog, Matcher: m, Cfg: cfg}
+	src := cfg.Source
+	if src == nil {
+		src = source.Default()
+	}
+	return &Pipeline{Prog: prog, Matcher: m, Cfg: cfg, src: src}
+}
+
+// Source returns the trace source this pipeline decodes with. Pipelines
+// built as struct literals (tests) resolve the default here instead.
+func (p *Pipeline) Source() source.Source {
+	if p.src != nil {
+		return p.src
+	}
+	if p.Cfg.Source != nil {
+		return p.Cfg.Source
+	}
+	return source.Default()
 }
 
 func buildICFG(prog *bytecode.Program, pcfg PipelineConfig) *cfg.ICFG {
@@ -146,7 +188,7 @@ type ThreadResult struct {
 // to the configured worker count with slot-addressed results, and the
 // output is byte-identical to the serial pipeline regardless of scheduling
 // or chunking.
-func (p *Pipeline) AnalyzeThread(thread int, snap *meta.Snapshot, items []pt.Item) *ThreadResult {
+func (p *Pipeline) AnalyzeThread(thread int, snap *meta.Snapshot, items []source.Item) *ThreadResult {
 	a := p.NewThreadAnalyzer(thread, snap)
 	a.Feed(items)
 	return a.Finish()

@@ -3,7 +3,7 @@ package core
 import (
 	"time"
 
-	"jportal/internal/ptdecode"
+	"jportal/internal/source"
 )
 
 // TokenizerState is the tokenizer's checkpointable lowering state: the
@@ -83,7 +83,7 @@ func (t *tokenizer) restoreState(st TokenizerState) {
 // Session drains, outside any wave — and only before Finish.
 type ThreadAnalyzerState struct {
 	Thread     int
-	Decoder    ptdecode.DecoderState
+	Decoder    source.WalkerState
 	Tokenizer  TokenizerState
 	Pend       []*Segment
 	Flows      []*SegmentFlow

@@ -9,8 +9,7 @@ import (
 	"jportal/internal/conc"
 	"jportal/internal/fault"
 	"jportal/internal/meta"
-	"jportal/internal/pt"
-	"jportal/internal/ptdecode"
+	"jportal/internal/source"
 )
 
 // ThreadAnalyzer is the resumable form of Pipeline.AnalyzeThread: one
@@ -29,7 +28,7 @@ import (
 type ThreadAnalyzer struct {
 	p        *Pipeline
 	snap     *meta.Snapshot
-	dec      *ptdecode.Decoder
+	dec      source.Decoder
 	tk       *tokenizer
 	res      *ThreadResult
 	pend     []*Segment
@@ -63,7 +62,7 @@ func (p *Pipeline) NewThreadAnalyzer(thread int, snap *meta.Snapshot) *ThreadAna
 	return &ThreadAnalyzer{
 		p:    p,
 		snap: snap,
-		dec:  ptdecode.New(snap),
+		dec:  p.Source().NewDecoder(snap),
 		tk:   newTokenizer(p.Prog),
 		res:  &ThreadResult{Thread: thread},
 	}
@@ -75,7 +74,7 @@ func (a *ThreadAnalyzer) SetLedger(l *fault.Ledger) { a.ledger = l }
 // Feed analyses the next chunk of the thread's stitched stream. When the
 // completed-segment backlog reaches MaxPendingSegments, it is reconstructed
 // as a wave (fanning out to the configured workers) and released.
-func (a *ThreadAnalyzer) Feed(items []pt.Item) {
+func (a *ThreadAnalyzer) Feed(items []source.Item) {
 	a.FeedContext(context.Background(), items)
 }
 
@@ -83,7 +82,7 @@ func (a *ThreadAnalyzer) Feed(items []pt.Item) {
 // chunk is quarantined under the deadline reason instead of decoded, so a
 // timed-out analysis stops consuming CPU but stays structurally valid —
 // Finish still returns a partial ThreadResult.
-func (a *ThreadAnalyzer) FeedContext(ctx context.Context, items []pt.Item) {
+func (a *ThreadAnalyzer) FeedContext(ctx context.Context, items []source.Item) {
 	if a.finished {
 		panic("core: ThreadAnalyzer.Feed after Finish")
 	}
@@ -125,7 +124,7 @@ func (a *ThreadAnalyzer) TimedOut() bool { return a.timedOut.Load() }
 // desync, so the thread — and every other thread — keeps analysing. It
 // runs inside the Session's per-thread fan-out, where an escaped panic
 // would kill the process.
-func (a *ThreadAnalyzer) safeFeed(items []pt.Item) {
+func (a *ThreadAnalyzer) safeFeed(items []source.Item) {
 	defer func() {
 		if r := recover(); r != nil {
 			a.ledger.Add(fault.Entry{
@@ -133,12 +132,13 @@ func (a *ThreadAnalyzer) safeFeed(items []pt.Item) {
 				Items: len(items), Bytes: chunkBytes(items),
 				Detail: fmt.Sprintf("decode: %v", r),
 			})
-			a.carriedDesyncs += a.dec.Desyncs
-			a.carriedFaults += a.dec.FaultCount
-			a.carriedSkipPkts += a.dec.SkippedPackets
-			a.carriedSkipByte += a.dec.SkippedBytes
+			ds := a.dec.Stats()
+			a.carriedDesyncs += ds.Desyncs
+			a.carriedFaults += ds.FaultCount
+			a.carriedSkipPkts += ds.SkippedPackets
+			a.carriedSkipByte += ds.SkippedBytes
 			a.seenFaults, a.seenSkipped, a.seenDesyncs = 0, 0, 0
-			a.dec = ptdecode.New(a.snap)
+			a.dec = a.p.Source().NewDecoder(a.snap)
 			a.tk.breakSegment()
 		}
 	}()
@@ -152,15 +152,16 @@ func (a *ThreadAnalyzer) harvestFaults() {
 	if a.ledger == nil {
 		return
 	}
-	if n := a.dec.FaultCount; n > a.seenFaults {
+	ds := a.dec.Stats()
+	if n := ds.FaultCount; n > a.seenFaults {
 		a.ledger.Add(fault.Entry{
 			Reason: fault.ReasonMalformedPacket, Thread: a.res.Thread, Core: -1,
-			Count: n - a.seenFaults, Bytes: a.dec.SkippedBytes - a.seenSkipped,
+			Count: n - a.seenFaults, Bytes: ds.SkippedBytes - a.seenSkipped,
 		})
 		a.seenFaults = n
-		a.seenSkipped = a.dec.SkippedBytes
+		a.seenSkipped = ds.SkippedBytes
 	}
-	if n := a.dec.Desyncs; n > a.seenDesyncs {
+	if n := ds.Desyncs; n > a.seenDesyncs {
 		a.ledger.Add(fault.Entry{
 			Reason: fault.ReasonLostSync, Thread: a.res.Thread, Core: -1,
 			Count: n - a.seenDesyncs,
@@ -176,7 +177,7 @@ func (a *ThreadAnalyzer) harvestFaults() {
 	}
 }
 
-func chunkBytes(items []pt.Item) uint64 {
+func chunkBytes(items []source.Item) uint64 {
 	var n uint64
 	for i := range items {
 		if !items[i].Gap {
@@ -275,11 +276,12 @@ func (a *ThreadAnalyzer) FinishContext(ctx context.Context) *ThreadResult {
 	a.tk.feed(a.dec.Flush())
 	a.harvestFaults()
 	a.pend = append(a.pend, a.tk.finish()...)
+	ds := a.dec.Stats()
 	st := a.tk.st
-	st.NativeDesyncs = a.carriedDesyncs + a.dec.Desyncs
-	st.MalformedPackets = a.carriedFaults + a.dec.FaultCount
-	st.SkippedPackets = a.carriedSkipPkts + a.dec.SkippedPackets
-	st.QuarantinedBytes = a.carriedSkipByte + a.dec.SkippedBytes
+	st.NativeDesyncs = a.carriedDesyncs + ds.Desyncs
+	st.MalformedPackets = a.carriedFaults + ds.FaultCount
+	st.SkippedPackets = a.carriedSkipPkts + ds.SkippedPackets
+	st.QuarantinedBytes = a.carriedSkipByte + ds.SkippedBytes
 	res.Decode = st
 	a.reconstructContext(ctx)
 	res.DecodeTime += time.Since(t0)

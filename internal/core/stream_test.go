@@ -32,7 +32,9 @@ func TestTokenizerChunkInvariant(t *testing.T) {
 	for cut := 0; cut <= len(events); cut++ {
 		check("cut", func(tk *tokenizer) []*Segment {
 			tk.feed(events[:cut])
-			segs := tk.take()
+			// take's harvest buffer is reused across feeds, so the result
+			// must be copied before feeding the rest.
+			segs := append([]*Segment(nil), tk.take()...)
 			tk.feed(events[cut:])
 			return append(segs, tk.take()...)
 		})

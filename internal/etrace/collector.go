@@ -1,0 +1,353 @@
+package etrace
+
+import "jportal/internal/source"
+
+// Config is the neutral collector configuration (shared by every source).
+type Config = source.CollectorConfig
+
+// Item and CoreTrace are the neutral stream types this collector emits.
+type (
+	Item      = source.Item
+	CoreTrace = source.CoreTrace
+)
+
+// Collector models per-core E-Trace hardware plus the exporter thread: it
+// accepts logical branch events from the VM, encodes them into E-Trace
+// packets, stores them in a bounded ring, and drains the ring at a bounded
+// rate. Structure mirrors internal/pt's collector; only the packet
+// vocabulary and wire-size model differ.
+type Collector struct {
+	cfg   Config
+	cores []coreState
+
+	// GenBytes is the total bytes generated (exported + lost).
+	GenBytes uint64
+
+	sink      source.ChunkSink
+	sinkFlush int
+}
+
+type coreState struct {
+	enc          encoder
+	ring         ring
+	trace        CoreTrace
+	lastTSC      uint64
+	lastDrainTSC uint64
+	sinceSync    uint64
+	drainMilli   uint64
+	lastGapEnd   uint64
+	// needResync requests a sync preamble before the next packet after a
+	// loss episode.
+	needResync bool
+	exported   uint64
+	pendingOut []Item
+}
+
+type ring struct {
+	capBytes  uint64
+	usedBytes uint64
+	q         []Item
+	inLoss    bool
+	lossStart uint64
+	lostBytes uint64
+	lostBits  uint64
+}
+
+// NewCollector creates a collector for ncores cores.
+func NewCollector(cfg Config, ncores int) *Collector {
+	c := &Collector{cfg: cfg, cores: make([]coreState, ncores)}
+	for i := range c.cores {
+		c.cores[i].ring.capBytes = cfg.BufBytes
+	}
+	return c
+}
+
+// NumCores returns the core count.
+func (c *Collector) NumCores() int { return len(c.cores) }
+
+// SetSink switches the collector to streaming export (source.Collector).
+func (c *Collector) SetSink(flushItems int, sink source.ChunkSink) {
+	if flushItems <= 0 {
+		flushItems = source.DefaultSinkFlushItems
+	}
+	c.sink = sink
+	c.sinkFlush = flushItems
+}
+
+// push tries to enqueue p on core cs; on overflow it records/extends a
+// loss episode with the same hysteresis as the PT model (the exporter must
+// drain below the resume threshold before packets flow again).
+func (c *Collector) push(cs *coreState, p Packet, tsc uint64) {
+	r := &cs.ring
+	full := r.usedBytes+uint64(p.WireLen) > r.capBytes
+	resumeAt := r.capBytes * uint64(c.cfg.ResumePercent) / 100
+	if full || (r.inLoss && r.usedBytes > resumeAt) {
+		if !r.inLoss {
+			r.inLoss = true
+			r.lossStart = tsc
+			if r.lossStart < cs.lastGapEnd {
+				r.lossStart = cs.lastGapEnd
+			}
+			r.lostBytes = 0
+		}
+		r.lostBytes += uint64(p.WireLen)
+		c.GenBytes += uint64(p.WireLen)
+		return
+	}
+	if r.inLoss {
+		c.closeGap(cs, tsc)
+	}
+	if cs.needResync {
+		cs.needResync = false
+		// One sync packet is the whole preamble: unlike PT's PSB+TSC pair,
+		// the E-Trace sync carries the full timestamp itself.
+		sp := cs.enc.sync(tsc)
+		cs.lastTSC = tsc
+		cs.sinceSync = 0
+		r.q = append(r.q, Item{Packet: sp})
+		r.usedBytes += uint64(sp.WireLen)
+		c.GenBytes += uint64(sp.WireLen)
+		// Re-encode the packet: compression state was reset, so an
+		// address-bearing packet needs its full width.
+		if p.Kind == KAddr || p.Kind == KTrap || p.Kind == KStart || p.Kind == KStop {
+			p = cs.enc.addr(p.Kind, p.IP)
+		}
+	}
+	r.q = append(r.q, Item{Packet: p})
+	r.usedBytes += uint64(p.WireLen)
+	c.GenBytes += uint64(p.WireLen)
+	cs.sinceSync += uint64(p.WireLen)
+}
+
+// closeGap records the pending loss episode ending at endTSC and arms the
+// resync preamble.
+func (c *Collector) closeGap(cs *coreState, endTSC uint64) {
+	r := &cs.ring
+	if endTSC <= r.lossStart {
+		endTSC = r.lossStart + 1
+	}
+	r.q = append(r.q, Item{
+		Gap: true, LostBytes: r.lostBytes + (r.lostBits+7)/8,
+		GapStart: r.lossStart, GapEnd: endTSC,
+	})
+	cs.lastGapEnd = endTSC
+	r.inLoss = false
+	r.lostBits = 0
+	cs.enc.reset()
+	cs.needResync = true
+}
+
+// housekeeping emits periodic time and sync packets before a payload
+// packet.
+func (c *Collector) housekeeping(cs *coreState, tsc uint64) {
+	if tsc-cs.lastTSC >= c.cfg.TSCPeriodCycles {
+		if p, ok := cs.enc.flushBranches(); ok {
+			c.push(cs, p, tsc)
+		}
+		cs.lastTSC = tsc
+		c.push(cs, cs.enc.time(tsc), tsc)
+	}
+	if cs.sinceSync >= c.cfg.PSBPeriodBytes {
+		if p, ok := cs.enc.flushBranches(); ok {
+			c.push(cs, p, tsc)
+		}
+		cs.sinceSync = 0
+		cs.lastTSC = tsc
+		c.push(cs, cs.enc.sync(tsc), tsc)
+	}
+}
+
+// flushPending flushes buffered branch bits (before any non-branch packet,
+// to preserve event order).
+func (c *Collector) flushPending(cs *coreState, tsc uint64) {
+	if p, ok := cs.enc.flushBranches(); ok {
+		c.push(cs, p, tsc)
+	}
+}
+
+// PGE records tracing turning on at ip (source.Collector).
+func (c *Collector) PGE(core int, ip, tsc uint64) {
+	cs := &c.cores[core]
+	c.Advance(core, tsc)
+	c.housekeeping(cs, tsc)
+	c.flushPending(cs, tsc)
+	c.push(cs, cs.enc.addr(KStart, ip), tsc)
+}
+
+// PGD records tracing turning off (source.Collector).
+func (c *Collector) PGD(core int, ip, tsc uint64) {
+	cs := &c.cores[core]
+	c.Advance(core, tsc)
+	c.housekeeping(cs, tsc)
+	c.flushPending(cs, tsc)
+	c.push(cs, cs.enc.addr(KStop, ip), tsc)
+}
+
+// TNT records a conditional-branch outcome at branchAddr (source.Collector).
+func (c *Collector) TNT(core int, branchAddr uint64, taken bool, tsc uint64) {
+	cs := &c.cores[core]
+	c.Advance(core, tsc)
+	c.housekeeping(cs, tsc)
+	if cs.ring.inLoss {
+		// Try to end the loss episode with a trap-source packet anchoring
+		// the branch bits that follow; if the buffer is still full the bit
+		// itself is lost.
+		c.push(cs, cs.enc.addr(KTrap, branchAddr), tsc)
+		if cs.ring.inLoss {
+			cs.ring.lostBits++
+			return
+		}
+	} else if cs.needResync {
+		// After a loss the decoder cannot attribute raw branch bits; emit
+		// an anchor carrying the branch address first so decoding resumes
+		// here (the push path prepends the sync preamble).
+		c.push(cs, cs.enc.addr(KTrap, branchAddr), tsc)
+	}
+	if p, full := cs.enc.branch(taken); full {
+		c.push(cs, p, tsc)
+	}
+}
+
+// TIP records an indirect transfer to target (source.Collector).
+func (c *Collector) TIP(core int, target, tsc uint64) {
+	cs := &c.cores[core]
+	c.Advance(core, tsc)
+	c.housekeeping(cs, tsc)
+	c.flushPending(cs, tsc)
+	c.push(cs, cs.enc.addr(KAddr, target), tsc)
+}
+
+// FUP records the source IP of an asynchronous event (source.Collector).
+func (c *Collector) FUP(core int, ip, tsc uint64) {
+	cs := &c.cores[core]
+	c.Advance(core, tsc)
+	c.housekeeping(cs, tsc)
+	c.flushPending(cs, tsc)
+	c.push(cs, cs.enc.addr(KTrap, ip), tsc)
+}
+
+// SwitchMark records a context-switch boundary as a forced timestamp
+// (source.Collector).
+func (c *Collector) SwitchMark(core int, tsc uint64) {
+	cs := &c.cores[core]
+	c.Advance(core, tsc)
+	c.flushPending(cs, tsc)
+	cs.lastTSC = tsc
+	c.push(cs, cs.enc.time(tsc), tsc)
+}
+
+// Advance drains the core's ring according to the export bandwidth and the
+// elapsed cycles (source.Collector).
+func (c *Collector) Advance(core int, tsc uint64) {
+	cs := &c.cores[core]
+	if tsc <= cs.lastDrainTSC {
+		return
+	}
+	prev := cs.lastDrainTSC
+	cs.drainMilli += (tsc - prev) * c.cfg.DrainBytesPerKCycle
+	cs.lastDrainTSC = tsc
+	budget := cs.drainMilli / 1000
+	cs.drainMilli %= 1000
+	r := &cs.ring
+	before := r.usedBytes
+	n := 0
+	for n < len(r.q) {
+		it := &r.q[n]
+		if it.Gap {
+			c.export(core, cs, *it)
+			n++
+			continue
+		}
+		w := uint64(it.Packet.WireLen)
+		if budget < w {
+			break
+		}
+		budget -= w
+		r.usedBytes -= w
+		c.export(core, cs, *it)
+		n++
+	}
+	r.q = r.q[n:]
+	resumeAt := r.capBytes * uint64(c.cfg.ResumePercent) / 100
+	if r.inLoss && r.usedBytes <= resumeAt {
+		end := tsc
+		if drained := before - r.usedBytes; drained > 0 && before > resumeAt {
+			needed := before - resumeAt
+			end = prev + (tsc-prev)*needed/drained
+		}
+		c.closeGap(cs, end)
+	}
+}
+
+// export hands one drained item onward: appended to the accumulated trace
+// in batch mode, buffered toward the next sink chunk in streaming mode.
+func (c *Collector) export(core int, cs *coreState, it Item) {
+	if !it.Gap {
+		cs.exported += uint64(it.Packet.WireLen)
+	}
+	if c.sink == nil {
+		cs.trace.Items = append(cs.trace.Items, it)
+		return
+	}
+	cs.pendingOut = append(cs.pendingOut, it)
+	if len(cs.pendingOut) >= c.sinkFlush {
+		// Cut chunks just before a sync packet so each chunk the stages
+		// exchange is a self-contained sync-to-sync decode unit.
+		if !it.Gap && it.Packet.Kind == KSync && len(cs.pendingOut) > 1 {
+			sp := cs.pendingOut[len(cs.pendingOut)-1]
+			cs.pendingOut = cs.pendingOut[:len(cs.pendingOut)-1]
+			c.flushSink(core, cs)
+			cs.pendingOut = append(cs.pendingOut, sp)
+		} else if len(cs.pendingOut) >= c.sinkFlush*4 {
+			c.flushSink(core, cs)
+		}
+	}
+}
+
+func (c *Collector) flushSink(core int, cs *coreState) {
+	if len(cs.pendingOut) == 0 {
+		return
+	}
+	items := cs.pendingOut
+	cs.pendingOut = nil
+	c.sink(core, items)
+}
+
+// Finish flushes everything and returns the per-core traces
+// (source.Collector).
+func (c *Collector) Finish(tsc uint64) []CoreTrace {
+	out := make([]CoreTrace, len(c.cores))
+	for i := range c.cores {
+		cs := &c.cores[i]
+		if p, ok := cs.enc.flushBranches(); ok {
+			c.push(cs, p, tsc)
+		}
+		if cs.ring.inLoss {
+			c.closeGap(cs, tsc)
+			cs.needResync = false
+		}
+		for _, it := range cs.ring.q {
+			c.export(i, cs, it)
+		}
+		cs.ring.q = nil
+		cs.ring.usedBytes = 0
+		if c.sink != nil {
+			c.flushSink(i, cs)
+		}
+		cs.trace.Core = i
+		out[i] = cs.trace
+	}
+	return out
+}
+
+// GeneratedBytes returns the total bytes generated (exported + lost).
+func (c *Collector) GeneratedBytes() uint64 { return c.GenBytes }
+
+// ExportedBytes returns total payload bytes drained so far across cores.
+func (c *Collector) ExportedBytes() uint64 {
+	var n uint64
+	for i := range c.cores {
+		n += c.cores[i].exported
+	}
+	return n
+}

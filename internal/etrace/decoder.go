@@ -1,0 +1,115 @@
+package etrace
+
+import (
+	"jportal/internal/meta"
+	"jportal/internal/source"
+)
+
+// ID is this source's registry name.
+const ID = "riscv-etrace"
+
+// Decoder decodes one E-Trace packet stream (typically one thread's
+// stitched stream). All walking machinery — blob walking, template
+// classification, fault and desync bookkeeping, checkpointing — lives in
+// the embedded source.Walker; this type only reduces the E-Trace packet
+// vocabulary to the Walker's driver methods, exactly as ptdecode does for
+// PT's.
+type Decoder struct {
+	source.Walker
+}
+
+// New creates a decoder over the given metadata snapshot.
+func New(snap *meta.Snapshot) *Decoder {
+	d := &Decoder{}
+	d.Init(snap)
+	return d
+}
+
+// Decode processes a whole item stream and returns the events. The
+// returned slice aliases the decoder's reused output buffer: it is valid
+// until the next Decode/DecodeChunk/Flush call on this decoder.
+func (d *Decoder) Decode(items []source.Item) []source.Event {
+	d.Begin()
+	for i := range items {
+		d.Feed(&items[i])
+	}
+	d.FlushEnd()
+	return d.Deliver()
+}
+
+// DecodeChunk processes one chunk of an item stream and returns the events
+// decoded so far; walking state carries across calls (see
+// ptdecode.DecodeChunk for the chunking contract).
+func (d *Decoder) DecodeChunk(items []source.Item) []source.Event {
+	d.Begin()
+	for i := range items {
+		d.Feed(&items[i])
+	}
+	return d.Deliver()
+}
+
+// Flush terminates the stream: the pending JIT instruction range (if any)
+// is emitted. Call once after the last DecodeChunk.
+func (d *Decoder) Flush() []source.Event {
+	d.Begin()
+	d.FlushEnd()
+	return d.Deliver()
+}
+
+// Feed processes one trace item: the E-Trace packet vocabulary reduced to
+// the Walker's driver methods. The branch-map length check happens before
+// any bit consumption, so a hostile length field never drives the bit
+// loop.
+func (d *Decoder) Feed(it *source.Item) {
+	if it.Gap {
+		d.Gap(it)
+		return
+	}
+	p := &it.Packet
+	if k, bad := traits.ClassifyPacket(p); bad {
+		d.Fault(k, p)
+		return
+	}
+	if d.Skipping() && p.Kind != KSync {
+		d.SkipPacket(p.WireLen)
+		return
+	}
+	switch p.Kind {
+	case KSync:
+		// Synchronisation point: safe to resume after a malformed packet,
+		// and it carries the full timestamp itself.
+		d.Sync()
+		d.Time(p.TSC)
+	case KTime:
+		d.Time(p.TSC)
+	case KStart:
+		d.Enable(p.IP)
+	case KStop:
+		d.Disable()
+	case KBranch:
+		d.TNTBits(p.Bits, int(p.NBits))
+	case KTrap:
+		// A trap-source packet arms the async-transfer pairing: the next
+		// KAddr is the target of the trap (or, after data loss, the packet
+		// anchors the branch bits that follow).
+		d.ArmAnchor(p.IP)
+	case KAddr:
+		d.Tip(p.IP)
+	}
+	if p.Kind != KTrap && p.Kind != KTime && p.Kind != KSync {
+		d.Unarm()
+	}
+}
+
+// etSource is the RISC-V E-Trace TraceSource: this package's collector and
+// decoder behind the neutral interface.
+type etSource struct{}
+
+func (etSource) ID() string             { return ID }
+func (etSource) Traits() *source.Traits { return traits }
+func (etSource) NewCollector(cfg source.CollectorConfig, ncores int) source.Collector {
+	return NewCollector(cfg, ncores)
+}
+func (etSource) NewDecoder(snap *meta.Snapshot) source.Decoder { return New(snap) }
+
+func init() { source.Register(etSource{}) }

@@ -1,0 +1,101 @@
+package etrace
+
+import "jportal/internal/source"
+
+// Packet is the neutral packet this source fills.
+type Packet = source.Packet
+
+// encoder turns logical trace events into E-Trace-style packets, applying
+// the format's compression: branch outcomes pack into variable-length
+// branch maps, and reported addresses are differentially compressed at
+// byte granularity against the last reported address.
+type encoder struct {
+	pendingBits  uint64
+	pendingNBits uint8
+	lastAddr     uint64
+	haveLastAddr bool
+}
+
+// wire-format sizing.
+const (
+	// syncWireLen models the synchronisation packet: header, full
+	// timestamp and context fields.
+	syncWireLen = 14
+	// timeWireLen models a (compressed) full-width timestamp report.
+	timeWireLen = 6
+)
+
+// addrWireLen computes the encoded size of an address-bearing packet:
+// E-Trace sends the differential address — only the bytes in which the
+// address differs from the last reported one — at byte granularity (PT's
+// suffix compression snaps to 2/4/6/8 bytes).
+func (e *encoder) addrWireLen(addr uint64) uint8 {
+	if !e.haveLastAddr {
+		return 1 + 8
+	}
+	diff := addr ^ e.lastAddr
+	var n uint8 = 1 // a same-address report still spends one payload byte
+	for diff>>(8*uint(n)) != 0 {
+		n++
+	}
+	return 1 + n
+}
+
+// flushBranches converts the pending branch bits into a branch-map packet,
+// or returns false if none are pending. The wire length is one header byte
+// plus one payload byte per 8 branches.
+func (e *encoder) flushBranches() (Packet, bool) {
+	if e.pendingNBits == 0 {
+		return Packet{}, false
+	}
+	p := Packet{
+		Kind:    KBranch,
+		Bits:    e.pendingBits,
+		NBits:   e.pendingNBits,
+		WireLen: 1 + (e.pendingNBits+7)/8,
+	}
+	e.pendingBits, e.pendingNBits = 0, 0
+	return p, true
+}
+
+// branch appends one branch outcome; it returns a completed packet when
+// the map fills to MaxBranchBits.
+func (e *encoder) branch(taken bool) (Packet, bool) {
+	if taken {
+		e.pendingBits |= 1 << uint(e.pendingNBits)
+	}
+	e.pendingNBits++
+	if e.pendingNBits == MaxBranchBits {
+		return e.flushBranches()
+	}
+	return Packet{}, false
+}
+
+// addr builds an address-bearing packet of the given kind, updating
+// compression state. The neutral Packet carries the absolute address; the
+// differential encoding shows up only in WireLen.
+func (e *encoder) addr(kind Kind, a uint64) Packet {
+	p := Packet{Kind: kind, IP: a, WireLen: e.addrWireLen(a)}
+	e.lastAddr = a
+	e.haveLastAddr = true
+	return p
+}
+
+// time builds a timestamp packet.
+func (e *encoder) time(t uint64) Packet {
+	return Packet{Kind: KTime, TSC: t, WireLen: timeWireLen}
+}
+
+// sync builds a synchronisation packet carrying the full timestamp and
+// resets address compression — decoders resynchronise here without
+// history.
+func (e *encoder) sync(t uint64) Packet {
+	e.haveLastAddr = false
+	return Packet{Kind: KSync, TSC: t, WireLen: syncWireLen}
+}
+
+// reset drops all compression state (used after data loss).
+func (e *encoder) reset() {
+	e.pendingBits, e.pendingNBits = 0, 0
+	e.haveLastAddr = false
+}

@@ -1,0 +1,73 @@
+// Package etrace is a RISC-V E-Trace-style trace source: the second
+// backend behind the TraceSource abstraction (internal/source), proving the
+// neutral layers — stitching, decoding, reconstruction, recovery, archives
+// — are ISA-agnostic.
+//
+// The model follows the E-Trace (Efficient Trace for RISC-V) encoder's
+// shape rather than Intel PT's:
+//
+//   - Branch outcomes pack into variable-length branch-map packets of up to
+//     31 branches (PT's TNT carries up to 47), sized 1 header byte plus one
+//     payload byte per 8 branches.
+//   - Uninferable (indirect) targets are reported differentially: the wire
+//     carries only the bytes in which the address differs from the last one
+//     reported, at byte granularity. The neutral Packet keeps the absolute
+//     address — differential reporting is a wire-size model, exactly like
+//     PT's suffix compression in internal/pt.
+//   - Periodic synchronisation packets carry the full timestamp and reset
+//     the address compression, so a decoder (or a chunk boundary) can
+//     resynchronise without history.
+//
+// The collector mirrors internal/pt's structure — bounded per-core ring,
+// paced exporter, loss episodes with hysteresis and resync preambles — so
+// the two backends differ only where the ISAs do: packet vocabulary and
+// wire-size model.
+package etrace
+
+import "jportal/internal/source"
+
+// Kind is this source's packet-kind space.
+type Kind = source.Kind
+
+// Packet kinds. The numbering is local to this source; only Traits gives
+// them meaning.
+const (
+	// KTime carries a timestamp update (E-Trace "time" packet).
+	KTime Kind = iota
+	// KSync is the periodic synchronisation packet: full timestamp,
+	// compression reset, a safe resume point after a malformed packet.
+	KSync
+	// KStart reports tracing turning on, with the full start address
+	// (format 3 "start of tracing" in E-Trace terms).
+	KStart
+	// KStop reports tracing turning off.
+	KStop
+	// KBranch is the variable-length branch map: up to MaxBranchBits
+	// packed taken/not-taken outcomes.
+	KBranch
+	// KAddr reports an uninferable (indirect) jump target,
+	// differentially compressed on the wire.
+	KAddr
+	// KTrap reports the source address of a trap or other asynchronous
+	// transfer; the next KAddr is its target (the pairing PT expresses
+	// as FUP+TIP).
+	KTrap
+)
+
+// MaxBranchBits is the branch-map capacity: E-Trace packs at most 31
+// branches per packet.
+const MaxBranchBits = 31
+
+var traits = &source.Traits{
+	Name:    ID,
+	MaxKind: KTrap,
+	// Sync packets carry the full timestamp, so they are time-bearing too.
+	TimeMask:   1<<KTime | 1<<KSync,
+	SyncMask:   1 << KSync,
+	TNTMask:    1 << KBranch,
+	MaxTNTBits: MaxBranchBits,
+	KindNames:  []string{"TIME", "SYNC", "START", "STOP", "BMAP", "ADDR", "TRAP"},
+}
+
+// Traits describes this source's packet vocabulary for the neutral layers.
+func Traits() *source.Traits { return traits }

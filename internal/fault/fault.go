@@ -18,7 +18,7 @@ import (
 
 	"jportal/internal/meta"
 	"jportal/internal/metrics"
-	"jportal/internal/pt"
+	"jportal/internal/source"
 	"jportal/internal/vm"
 )
 
@@ -199,7 +199,12 @@ const chunkItems = 256
 // reusing it for a second run would place faults differently — build a new
 // one per run (cheap).
 type Injector struct {
-	m   Matrix
+	m Matrix
+	// tr is the trace source's packet vocabulary: corruption that depends
+	// on packet semantics (clock skew targets time-bearing kinds,
+	// truncation produces a kind invalid for the source) goes through its
+	// hooks, so the injector damages any backend's stream, not just PT's.
+	tr  *source.Traits
 	reg *metrics.Registry
 
 	cores    map[int]*splitmix
@@ -208,10 +213,11 @@ type Injector struct {
 	counts   [numClasses]uint64
 }
 
-// NewInjector creates an injector for the given matrix, mirroring injection
-// counters into reg (nil is allowed and drops them).
-func NewInjector(m Matrix, reg *metrics.Registry) *Injector {
-	in := &Injector{m: m, reg: reg, cores: make(map[int]*splitmix), skews: make(map[int]uint64)}
+// NewInjector creates an injector for the given matrix, corrupting streams
+// of the source described by tr, and mirroring injection counters into reg
+// (nil is allowed and drops them).
+func NewInjector(m Matrix, tr *source.Traits, reg *metrics.Registry) *Injector {
+	in := &Injector{m: m, tr: tr, reg: reg, cores: make(map[int]*splitmix), skews: make(map[int]uint64)}
 	in.sideband.state = m.Seed ^ 0x5b3cd1a9e4f7c261
 	return in
 }
@@ -269,13 +275,13 @@ func (in *Injector) skew(core int) uint64 {
 // exported items and returns the corrupted chunk. The input is never
 // mutated; when no trace fault class is active the input slice is returned
 // unchanged (the rate-0 identity the golden equivalence tests rely on).
-func (in *Injector) Items(core int, items []pt.Item) []pt.Item {
+func (in *Injector) Items(core int, items []source.Item) []source.Item {
 	if !in.m.traceActive() || len(items) == 0 {
 		return items
 	}
 	rng := in.coreRNG(core)
 	skew := in.skew(core)
-	out := make([]pt.Item, 0, len(items))
+	out := make([]source.Item, 0, len(items))
 	for off := 0; off < len(items); off += chunkItems {
 		end := off + chunkItems
 		if end > len(items) {
@@ -309,19 +315,19 @@ func btoi(b bool) int {
 }
 
 // corrupt returns a (possibly) damaged copy of one item.
-func (in *Injector) corrupt(rng *splitmix, skew uint64, it *pt.Item) pt.Item {
+func (in *Injector) corrupt(rng *splitmix, skew uint64, it *source.Item) source.Item {
 	c := *it
 	if c.Gap {
 		c.GapStart += skew
 		c.GapEnd += skew
 		return c
 	}
-	if skew > 0 && c.Packet.Kind == pt.KTSC {
-		c.Packet.TSC += skew
+	if skew > 0 {
+		in.tr.SkewTime(&c.Packet, skew)
 	}
 	if rng.chance(in.m.Truncate) {
 		in.count(ClassTruncate)
-		c.Packet.Kind = pt.Kind(0xff)
+		c.Packet.Kind = in.tr.TruncatedKind()
 		return c
 	}
 	if rng.chance(in.m.BitFlip) {

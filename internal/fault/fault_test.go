@@ -36,7 +36,7 @@ func syntheticSideband(n int) []vm.SwitchRecord {
 }
 
 func TestRateZeroIsIdentity(t *testing.T) {
-	in := NewInjector(Matrix{Seed: 42}, nil)
+	in := NewInjector(Matrix{Seed: 42}, pt.Traits(), nil)
 	items := syntheticItems(600)
 	if got := in.Items(0, items); &got[0] != &items[0] || len(got) != len(items) {
 		t.Fatal("zero-rate Items did not return the input slice unchanged")
@@ -75,7 +75,7 @@ func TestDeterministicAcrossCoreOrder(t *testing.T) {
 	perCore := map[int][]pt.Item{0: syntheticItems(1024), 1: syntheticItems(1024), 2: syntheticItems(1024)}
 
 	run := func(order []int) map[int][]pt.Item {
-		in := NewInjector(m, nil)
+		in := NewInjector(m, pt.Traits(), nil)
 		out := make(map[int][]pt.Item)
 		for _, core := range order {
 			out[core] = in.Items(core, perCore[core])
@@ -102,9 +102,9 @@ func TestDeterministicAcrossChunking(t *testing.T) {
 	m := DefaultMatrix(11)
 	items := syntheticItems(4 * chunkItems)
 
-	whole := NewInjector(m, nil).Items(0, items)
+	whole := NewInjector(m, pt.Traits(), nil).Items(0, items)
 
-	in := NewInjector(m, nil)
+	in := NewInjector(m, pt.Traits(), nil)
 	var pieces []pt.Item
 	for off := 0; off < len(items); off += chunkItems {
 		pieces = append(pieces, in.Items(0, items[off:off+chunkItems])...)
@@ -140,7 +140,7 @@ func TestEveryClassCountsDistinctly(t *testing.T) {
 
 func TestSidebandTearAndReorder(t *testing.T) {
 	recs := syntheticSideband(200)
-	in := NewInjector(Matrix{Seed: 3, SidebandTear: 1}, nil)
+	in := NewInjector(Matrix{Seed: 3, SidebandTear: 1}, pt.Traits(), nil)
 	torn := in.Sideband(recs)
 	if len(torn) != len(recs) {
 		t.Fatalf("tear changed record count: %d vs %d", len(torn), len(recs))
@@ -157,7 +157,7 @@ func TestSidebandTearAndReorder(t *testing.T) {
 		t.Fatalf("tear count %v", in.Counts())
 	}
 
-	in2 := NewInjector(Matrix{Seed: 3, SidebandReorder: 0.5}, nil)
+	in2 := NewInjector(Matrix{Seed: 3, SidebandReorder: 0.5}, pt.Traits(), nil)
 	swapped := in2.Sideband(recs)
 	if in2.Counts()["sideband_reorder"] == 0 {
 		t.Fatal("reorder at 0.5 never fired on 200 records")
@@ -175,7 +175,7 @@ func TestSidebandTearAndReorder(t *testing.T) {
 
 func TestInjectorMirrorsRegistry(t *testing.T) {
 	reg := metrics.NewRegistry()
-	in := NewInjector(Matrix{Seed: 9, Truncate: 1}, reg)
+	in := NewInjector(Matrix{Seed: 9, Truncate: 1}, pt.Traits(), reg)
 	in.Items(0, syntheticItems(10))
 	if got := reg.Get(InjectCounterName(ClassTruncate)); got != 10 {
 		t.Fatalf("registry truncate counter = %d, want 10", got)

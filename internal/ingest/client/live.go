@@ -9,7 +9,7 @@ import (
 	"jportal/internal/bytecode"
 	"jportal/internal/ingest"
 	"jportal/internal/meta"
-	"jportal/internal/pt"
+	"jportal/internal/source"
 	"jportal/internal/streamfmt"
 	"jportal/internal/vm"
 )
@@ -137,7 +137,7 @@ func (s *LiveSink) Watermark(core int, mark uint64) {
 }
 
 // Feed streams one trace chunk (jportal.TraceSink).
-func (s *LiveSink) Feed(core int, items []pt.Item) error {
+func (s *LiveSink) Feed(core int, items []source.Item) error {
 	if s.err != nil {
 		return s.err
 	}

@@ -36,9 +36,11 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 		Stubs:          s.Stubs,
 		CodeCache:      s.CodeCache,
 	}
-	for _, c := range s.Compiled {
-		wire.Compiled = append(wire.Compiled, c)
-	}
+	// Walk the export log, not the Compiled map: export order is
+	// deterministic, so the snapshot file is byte-reproducible for a
+	// deterministic run (the archive golden tests rely on that). Replaying
+	// the log through Export reproduces Compiled exactly.
+	wire.Compiled = append(wire.Compiled, s.exportLog...)
 	if err := gob.NewEncoder(bw).Encode(&wire); err != nil {
 		return fmt.Errorf("meta: encode snapshot: %w", err)
 	}

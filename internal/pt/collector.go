@@ -1,66 +1,14 @@
 package pt
 
-import "fmt"
+import "jportal/internal/source"
 
 // Config sets the collection parameters that the paper's evaluation varies.
-type Config struct {
-	// BufBytes is the per-core trace buffer capacity (the paper uses 64MB,
-	// 128MB and 256MB).
-	BufBytes uint64
-	// DrainBytesPerKCycle is the export bandwidth: how many buffered bytes
-	// the exporter writes out per thousand cycles. When the generation
-	// rate exceeds this, the buffer fills and data is lost.
-	DrainBytesPerKCycle uint64
-	// TSCPeriodCycles is the interval between timestamp packets.
-	TSCPeriodCycles uint64
-	// PSBPeriodBytes is the interval between synchronisation packets.
-	PSBPeriodBytes uint64
-	// ResumePercent is the loss-episode hysteresis: once the buffer
-	// overflows, packets keep dropping until the exporter drains it below
-	// this percentage of capacity (perf reads the AUX area in chunks, so
-	// real losses span whole chunks). 100 disables the hysteresis.
-	ResumePercent int
-}
+// It is the neutral collector configuration — every source's collector
+// shares the same knobs.
+type Config = source.CollectorConfig
 
 // DefaultConfig mirrors the paper's default setting (128MB per-core buffer).
-func DefaultConfig() Config {
-	return Config{
-		BufBytes:            128 << 20,
-		DrainBytesPerKCycle: 150,
-		TSCPeriodCycles:     2048,
-		PSBPeriodBytes:      4096,
-		ResumePercent:       85,
-	}
-}
-
-// WithBufMB returns cfg with the buffer size set to mb megabytes.
-func (c Config) WithBufMB(mb int) Config {
-	c.BufBytes = uint64(mb) << 20
-	return c
-}
-
-// Validate rejects configurations the collector cannot meaningfully run
-// with. A zero buffer loses every packet, a zero drain rate never exports,
-// and zero periods would emit a housekeeping packet before every payload
-// packet (an infinite regress in the real hardware's terms).
-func (c Config) Validate() error {
-	if c.BufBytes == 0 {
-		return fmt.Errorf("pt: BufBytes must be positive (a zero-capacity buffer drops all trace data)")
-	}
-	if c.DrainBytesPerKCycle == 0 {
-		return fmt.Errorf("pt: DrainBytesPerKCycle must be positive (a zero export rate never drains the buffer)")
-	}
-	if c.TSCPeriodCycles == 0 {
-		return fmt.Errorf("pt: TSCPeriodCycles must be positive")
-	}
-	if c.PSBPeriodBytes == 0 {
-		return fmt.Errorf("pt: PSBPeriodBytes must be positive")
-	}
-	if c.ResumePercent < 1 || c.ResumePercent > 100 {
-		return fmt.Errorf("pt: ResumePercent must be in [1,100], got %d", c.ResumePercent)
-	}
-	return nil
-}
+func DefaultConfig() Config { return source.DefaultCollectorConfig() }
 
 // Collector models the per-core PT hardware plus the exporter thread: it
 // accepts logical branch events from the VM, encodes them into packets,
@@ -83,11 +31,11 @@ type Collector struct {
 // order. The slice is freshly allocated per call and may be retained. The
 // collector invokes the sink synchronously from whatever goroutine drives
 // it (the VM's execution loop), so a sink must be fast or hand off.
-type ChunkSink func(core int, items []Item)
+type ChunkSink = source.ChunkSink
 
 // DefaultSinkFlushItems is the per-core chunk size used when SetSink is
 // given a non-positive flush bound.
-const DefaultSinkFlushItems = 256
+const DefaultSinkFlushItems = source.DefaultSinkFlushItems
 
 // SetSink switches the collector to streaming export: drained items are
 // delivered to sink in chunks of at most flushItems items (<= 0 means
@@ -439,6 +387,9 @@ func (c *Collector) Finish(tsc uint64) []CoreTrace {
 	}
 	return out
 }
+
+// GeneratedBytes returns the total bytes generated (exported + lost).
+func (c *Collector) GeneratedBytes() uint64 { return c.GenBytes }
 
 // ExportedBytes returns total payload bytes drained so far across cores.
 func (c *Collector) ExportedBytes() uint64 {

@@ -36,7 +36,7 @@ func FuzzReadTrace(f *testing.F) {
 		}
 		// Anything accepted must validate and re-serialize.
 		for i := range got.Items {
-			if err := got.Items[i].Validate(); err != nil {
+			if err := ValidateItem(&got.Items[i]); err != nil {
 				t.Fatalf("accepted trace holds invalid item %d: %v", i, err)
 			}
 		}
@@ -48,12 +48,13 @@ func FuzzReadTrace(f *testing.F) {
 }
 
 // hostileTrace wire-encodes one (possibly invalid) item inside an otherwise
-// well-formed trace file.
+// well-formed trace file. The magic and end tag mirror the neutral wire
+// framing in internal/source.
 func hostileTrace(it Item) []byte {
-	out := append([]byte(nil), wireMagic[:]...)
+	out := append([]byte(nil), "JPTRACE1"...)
 	out = append(out, 0, 0, 0, 0) // core 0
 	out = AppendItem(out, &it)
-	return append(out, tagEnd)
+	return append(out, 0x03) // end tag
 }
 
 // FuzzDecodeItem checks the single-record decoder never panics and never
@@ -77,7 +78,7 @@ func FuzzDecodeItem(f *testing.F) {
 		if n <= 0 || n > len(data) {
 			t.Fatalf("DecodeItem consumed %d of %d bytes", n, len(data))
 		}
-		if err := got.Validate(); err != nil {
+		if err := ValidateItem(&got); err != nil {
 			t.Fatalf("DecodeItem accepted invalid item: %v", err)
 		}
 	})

@@ -10,12 +10,18 @@
 // model reproduces the packet-level properties those algorithms must cope
 // with, which is what makes the reproduction meaningful on machines without
 // PT hardware.
+//
+// pt is the collector-side half of the "intel-pt" trace source: the
+// neutral packet/item/trace types live in internal/source (pt's names are
+// aliases kept for the package's vocabulary), and internal/ptdecode
+// registers the full Source. pt deliberately does not import ptdecode, so
+// the decode-side can depend on these types freely.
 package pt
 
-import "fmt"
+import "jportal/internal/source"
 
 // Kind identifies a trace packet type.
-type Kind uint8
+type Kind = source.Kind
 
 const (
 	// KPGE marks packet generation enable: tracing begins at IP.
@@ -35,104 +41,37 @@ const (
 	KPSB
 )
 
-func (k Kind) String() string {
-	switch k {
-	case KPGE:
-		return "PGE"
-	case KPGD:
-		return "PGD"
-	case KTIP:
-		return "TIP"
-	case KFUP:
-		return "FUP"
-	case KTNT:
-		return "TNT"
-	case KTSC:
-		return "TSC"
-	case KPSB:
-		return "PSB"
-	}
-	return fmt.Sprintf("pkt#%d", uint8(k))
-}
-
 // MaxTNTBits is the capacity of a long TNT packet.
 const MaxTNTBits = 47
 
 // Packet is one decoded trace packet.
-type Packet struct {
-	Kind Kind
-	// IP is the address payload of PGE/PGD/TIP/FUP.
-	IP uint64
-	// Bits holds TNT bits, oldest in bit 0; NBits of them are valid.
-	Bits  uint64
-	NBits uint8
-	// TSC is the timestamp payload of TSC packets.
-	TSC uint64
-	// WireLen is the encoded size in bytes (set by the encoder; used for
-	// buffer accounting and trace-size measurements).
-	WireLen uint8
-}
-
-// TNTBit returns bit i (0 = oldest) of a TNT packet.
-func (p *Packet) TNTBit(i int) bool { return (p.Bits>>uint(i))&1 == 1 }
-
-func (p Packet) String() string {
-	switch p.Kind {
-	case KTIP, KFUP, KPGE, KPGD:
-		return fmt.Sprintf("%s(%#x)", p.Kind, p.IP)
-	case KTNT:
-		s := make([]byte, p.NBits)
-		for i := range s {
-			if p.TNTBit(i) {
-				s[i] = '1'
-			} else {
-				s[i] = '0'
-			}
-		}
-		return fmt.Sprintf("TNT(%s)", s)
-	case KTSC:
-		return fmt.Sprintf("TSC(%d)", p.TSC)
-	}
-	return p.Kind.String()
-}
+type Packet = source.Packet
 
 // Item is one element of an exported trace: either a packet or a gap marker
 // recording a data-loss episode (the model of a perf_record_aux record with
 // the truncated flag, paper §4).
-type Item struct {
-	// Gap is true for loss markers.
-	Gap bool
-	// Packet is valid when !Gap.
-	Packet Packet
-	// LostBytes, GapStart and GapEnd describe the loss episode when Gap.
-	LostBytes        uint64
-	GapStart, GapEnd uint64
-}
+type Item = source.Item
 
 // CoreTrace is everything exported from one core's trace buffer, in order.
-type CoreTrace struct {
-	Core  int
-	Items []Item
+type CoreTrace = source.CoreTrace
+
+// traits is the PT packet vocabulary as the neutral layers see it.
+var traits = &source.Traits{
+	Name:       source.DefaultID,
+	MaxKind:    KPSB,
+	TimeMask:   1 << KTSC,
+	SyncMask:   1 << KPSB,
+	TNTMask:    1 << KTNT,
+	MaxTNTBits: MaxTNTBits,
+	KindNames:  []string{"PGE", "PGD", "TIP", "FUP", "TNT", "TSC", "PSB"},
 }
 
-// Bytes returns the exported payload size in bytes (gaps excluded).
-func (t *CoreTrace) Bytes() uint64 {
-	var n uint64
-	for i := range t.Items {
-		if !t.Items[i].Gap {
-			n += uint64(t.Items[i].Packet.WireLen)
-		}
-	}
-	return n
-}
+// Traits describes the PT packet vocabulary (which kinds carry time, which
+// synchronise, what validates) to the source-independent layers.
+func Traits() *source.Traits { return traits }
 
-// LostBytes returns the total bytes dropped in loss episodes.
-func (t *CoreTrace) LostBytes() uint64 {
-	var n uint64
-	for i := range t.Items {
-		if t.Items[i].Gap {
-			n += t.Items[i].LostBytes
-		}
-	}
-	return n
-}
+// KindString names a PT packet kind ("PGE", "TNT", ...).
+func KindString(k Kind) string { return traits.KindString(k) }
+
+// PacketString renders a PT packet for diagnostics.
+func PacketString(p *Packet) string { return traits.PacketString(p) }

@@ -9,215 +9,81 @@
 // interpreted opcode (paper Fig 2e). Data-loss gaps and desynchronisation
 // are surfaced as events so the bytecode-level layers (package core) can
 // segment the trace.
+//
+// Since the TraceSource refactor the walking machinery itself lives in
+// internal/source (the Walker: blob walking, template classification,
+// fault/desync bookkeeping, checkpointing); this package is the PT half of
+// the "intel-pt" Source — a packet dispatcher reducing the PT vocabulary
+// (PGE, PGD, TNT, TIP, FUP, TSC, PSB) to the Walker's driver methods — and
+// the place the Source registers itself.
 package ptdecode
 
 import (
-	"fmt"
-
-	"jportal/internal/bytecode"
-	"jportal/internal/isa"
 	"jportal/internal/meta"
 	"jportal/internal/pt"
+	"jportal/internal/source"
 )
 
-// EventKind classifies decoder output events.
-type EventKind uint8
+// The event and fault vocabulary is the neutral one in internal/source;
+// the aliases keep this package's decode-side names working.
+type (
+	// EventKind classifies decoder output events.
+	EventKind = source.EventKind
+	// Event is one decoded native-level event.
+	Event = source.Event
+	// FaultKind classifies malformed-packet faults.
+	FaultKind = source.FaultKind
+	// DecodeFault is the typed record of one malformed packet.
+	DecodeFault = source.DecodeFault
+	// DecoderState is the decoder's checkpointable walking state
+	// (DESIGN.md §11); see source.WalkerState.
+	DecoderState = source.WalkerState
+)
 
 const (
-	// EvTemplate is a dispatch into an interpreter opcode template.
-	EvTemplate EventKind = iota
-	// EvTemplateTNT is a conditional outcome inside the current branch
-	// template (interpreted mode).
-	EvTemplateTNT
-	// EvJITRange reports that native instructions [First, Last) of Blob
-	// executed.
-	EvJITRange
-	// EvStub is a transfer into a runtime adapter stub.
-	EvStub
-	// EvGap is a data-loss episode.
-	EvGap
-	// EvTime is a timestamp update.
-	EvTime
-	// EvEnable and EvDisable delimit tracing.
-	EvEnable
-	EvDisable
-	// EvDesync reports that the walker lost sync (packet/code mismatch,
-	// typically following loss or imprecise metadata) and re-anchored.
-	EvDesync
-	// EvFault reports a malformed packet: the decoder recorded a typed
-	// DecodeFault, discarded its walking state and is skipping to the next
-	// PSB (graceful degradation, DESIGN.md §10).
-	EvFault
+	EvTemplate    = source.EvTemplate
+	EvTemplateTNT = source.EvTemplateTNT
+	EvJITRange    = source.EvJITRange
+	EvStub        = source.EvStub
+	EvGap         = source.EvGap
+	EvTime        = source.EvTime
+	EvEnable      = source.EvEnable
+	EvDisable     = source.EvDisable
+	EvDesync      = source.EvDesync
+	EvFault       = source.EvFault
 )
-
-func (k EventKind) String() string {
-	switch k {
-	case EvTemplate:
-		return "template"
-	case EvTemplateTNT:
-		return "template-tnt"
-	case EvJITRange:
-		return "jit-range"
-	case EvStub:
-		return "stub"
-	case EvGap:
-		return "gap"
-	case EvTime:
-		return "time"
-	case EvEnable:
-		return "enable"
-	case EvDisable:
-		return "disable"
-	case EvDesync:
-		return "desync"
-	case EvFault:
-		return "fault"
-	}
-	return fmt.Sprintf("ev#%d", uint8(k))
-}
-
-// FaultKind classifies malformed-packet faults.
-type FaultKind uint8
 
 const (
-	// FaultUnknownPacket is a packet whose kind byte names no packet type
-	// (truncated or corrupted record).
-	FaultUnknownPacket FaultKind = iota
-	// FaultBadTNTLen is a TNT packet whose length field exceeds
-	// pt.MaxTNTBits — a hostile length that must not drive allocation or
-	// bit consumption.
-	FaultBadTNTLen
-	// FaultBadGap is a loss marker whose end precedes its start.
-	FaultBadGap
+	FaultUnknownPacket = source.FaultUnknownPacket
+	FaultBadTNTLen     = source.FaultBadTNTLen
+	FaultBadGap        = source.FaultBadGap
 )
 
-func (k FaultKind) String() string {
-	switch k {
-	case FaultUnknownPacket:
-		return "unknown-packet"
-	case FaultBadTNTLen:
-		return "bad-tnt-len"
-	case FaultBadGap:
-		return "bad-gap"
-	}
-	return fmt.Sprintf("fault#%d", uint8(k))
-}
-
-// DecodeFault is the typed record of one malformed packet: instead of
-// aborting the core's decode, the decoder logs it, drops its walking state
-// and resynchronizes at the next PSB.
-type DecodeFault struct {
-	Kind FaultKind
-	// TSC is the stream time when the fault was seen (best effort).
-	TSC uint64
-	// Packet is a copy of the offending packet (zero for gap faults).
-	Packet pt.Packet
-}
-
-func (f *DecodeFault) Error() string {
-	return fmt.Sprintf("ptdecode: %s at tsc %d", f.Kind, f.TSC)
-}
-
-// Event is one decoded native-level event.
-type Event struct {
-	Kind EventKind
-	// Op is the dispatched opcode for EvTemplate/EvTemplateTNT.
-	Op bytecode.Opcode
-	// Taken is the branch outcome for EvTemplateTNT.
-	Taken bool
-	// Blob plus [First, Last) identify executed instructions for
-	// EvJITRange.
-	Blob        *meta.CompiledMethod
-	First, Last int
-	// Stub names the adapter for EvStub.
-	Stub string
-	// TSC is the current timestamp (valid on EvTime; best-effort
-	// elsewhere).
-	TSC uint64
-	// LostBytes/GapStart/GapEnd describe EvGap.
-	LostBytes        uint64
-	GapStart, GapEnd uint64
-}
-
-type mode uint8
-
-const (
-	modeIdle mode = iota
-	modeTemplate
-	modeJIT
-)
-
-// Decoder decodes one packet stream (typically one thread's stitched
-// stream).
+// Decoder decodes one PT packet stream (typically one thread's stitched
+// stream). The embedded Walker carries the walking state and the exported
+// degradation counters (Desyncs, DroppedBits, FaultCount, Faults,
+// SkippedPackets, SkippedBytes).
 type Decoder struct {
-	snap *meta.Snapshot
-
-	// out is the reused output buffer: truncated (not reallocated) at
-	// the start of every Decode/DecodeChunk/Flush, so the steady state
-	// emits into warm memory. undelivered tracks events emitted but not
-	// yet returned to the caller — the checkpoint quiescence signal.
-	out         []Event
-	undelivered bool
-
-	mode  mode
-	curOp bytecode.Opcode // last dispatched template op
-
-	blob       *meta.CompiledMethod
-	idx        int // next instruction index within blob
-	rangeStart int // first index of the pending range, -1 if none
-
-	bits  uint64
-	nbits int
-
-	tsc uint64
-
-	// fupArmed is set after a FUP: the next TIP is the target of an
-	// asynchronous transfer (exception, OSR) and must not be matched
-	// against a pending indirect instruction.
-	fupArmed bool
-
-	// skipPSB is set after a malformed packet: every packet until the next
-	// PSB (or a loss gap, which is its own resync point) is discarded —
-	// the stream position is untrustworthy until a synchronisation
-	// boundary.
-	skipPSB bool
-
-	// Desyncs counts re-anchoring events (diagnostics).
-	Desyncs int
-	// DroppedBits counts TNT bits discarded with no position to attribute
-	// them to (diagnostics).
-	DroppedBits int
-	// FaultCount counts malformed packets (all of Faults, plus any past
-	// the retention cap).
-	FaultCount int
-	// Faults retains the first maxFaultRecords typed fault records.
-	Faults []DecodeFault
-	// SkippedPackets and SkippedBytes measure the spans discarded while
-	// skipping to a PSB after a fault.
-	SkippedPackets int
-	SkippedBytes   uint64
+	source.Walker
 }
-
-// maxFaultRecords bounds the retained fault list; FaultCount keeps
-// counting past it.
-const maxFaultRecords = 256
 
 // New creates a decoder over the given metadata snapshot.
 func New(snap *meta.Snapshot) *Decoder {
-	return &Decoder{snap: snap, rangeStart: -1}
+	d := &Decoder{}
+	d.Init(snap)
+	return d
 }
 
 // Decode processes a whole item stream and returns the events. The
 // returned slice aliases the decoder's reused output buffer: it is valid
 // until the next Decode/DecodeChunk/Flush call on this decoder.
 func (d *Decoder) Decode(items []pt.Item) []Event {
-	d.out = d.out[:0]
+	d.Begin()
 	for i := range items {
 		d.Feed(&items[i])
 	}
-	d.flushRange()
-	d.undelivered = false
-	return d.out
+	d.FlushEnd()
+	return d.Deliver()
 }
 
 // DecodeChunk processes one chunk of an item stream and returns the events
@@ -229,346 +95,74 @@ func (d *Decoder) Decode(items []pt.Item) []Event {
 // reused output buffer (zero-alloc steady state, DESIGN.md §12): consume
 // it before the next Decode/DecodeChunk/Flush call.
 func (d *Decoder) DecodeChunk(items []pt.Item) []Event {
-	d.out = d.out[:0]
+	d.Begin()
 	for i := range items {
 		d.Feed(&items[i])
 	}
-	d.undelivered = false
-	return d.out
+	return d.Deliver()
 }
 
 // Flush terminates the stream: the pending JIT instruction range (if any)
 // is emitted. Call once after the last DecodeChunk. The returned slice
 // aliases the reused output buffer, like DecodeChunk's.
 func (d *Decoder) Flush() []Event {
-	d.out = d.out[:0]
-	d.flushRange()
-	d.undelivered = false
-	return d.out
+	d.Begin()
+	d.FlushEnd()
+	return d.Deliver()
 }
 
-// Feed processes one trace item.
+// Feed processes one trace item: the PT packet vocabulary reduced to the
+// Walker's driver methods. The TNT length check happens before any bit
+// consumption, so a hostile length field never drives the bit loop.
 func (d *Decoder) Feed(it *pt.Item) {
 	if it.Gap {
-		g := *it
-		if g.GapEnd < g.GapStart {
-			// Inverted loss marker: record the fault but keep the gap —
-			// clamped, it still tells the upper layers bytes were lost.
-			d.fault(FaultBadGap, &pt.Packet{})
-			g.GapEnd = g.GapStart
-		}
-		d.flushRange()
-		d.emit(Event{Kind: EvGap, LostBytes: g.LostBytes,
-			GapStart: g.GapStart, GapEnd: g.GapEnd, TSC: g.GapStart})
-		d.reset()
-		// Loss is a resync point: the collector re-emits a preamble after
-		// a gap, so stop skipping.
-		d.skipPSB = false
+		d.Gap(it)
 		return
 	}
 	p := &it.Packet
-	if k, bad := validate(p); bad {
-		d.fault(k, p)
+	if k, bad := pt.Traits().ClassifyPacket(p); bad {
+		d.Fault(k, p)
 		return
 	}
-	if d.skipPSB && p.Kind != pt.KPSB {
-		d.SkippedPackets++
-		d.SkippedBytes += uint64(p.WireLen)
+	if d.Skipping() && p.Kind != pt.KPSB {
+		d.SkipPacket(p.WireLen)
 		return
 	}
 	switch p.Kind {
 	case pt.KPSB:
 		// Synchronisation point: safe to resume after a malformed packet.
-		d.skipPSB = false
+		d.Sync()
 	case pt.KTSC:
-		d.tsc = p.TSC
-		d.emit(Event{Kind: EvTime, TSC: p.TSC})
+		d.Time(p.TSC)
 	case pt.KPGE:
-		d.emit(Event{Kind: EvEnable, TSC: d.tsc})
 		// TIP.PGE carries the resume IP: re-anchor there (tracing often
 		// resumes mid-compiled-loop where no TIP would otherwise occur).
-		d.anchor(p.IP)
+		d.Enable(p.IP)
 	case pt.KPGD:
-		d.flushRange()
-		d.emit(Event{Kind: EvDisable, TSC: d.tsc})
-		d.mode = modeIdle
-		d.bits, d.nbits = 0, 0
+		d.Disable()
 	case pt.KTNT:
-		for i := 0; i < int(p.NBits); i++ {
-			if d.nbits >= 64 {
-				// Overflow means severe desync; drop oldest.
-				d.DroppedBits += d.nbits
-				d.desync()
-			}
-			if p.TNTBit(i) {
-				d.bits |= 1 << uint(d.nbits)
-			}
-			d.nbits++
-		}
-		d.drainBits()
+		d.TNTBits(p.Bits, int(p.NBits))
 	case pt.KFUP:
-		d.anchor(p.IP)
-		d.fupArmed = true
+		// A FUP arms the async-transfer pairing: the next TIP is the
+		// target of an exception or OSR transfer.
+		d.ArmAnchor(p.IP)
 	case pt.KTIP:
-		async := d.fupArmed
-		d.fupArmed = false
-		d.tip(p.IP, async)
+		d.Tip(p.IP)
 	}
 	if p.Kind != pt.KFUP && p.Kind != pt.KTSC && p.Kind != pt.KPSB {
-		d.fupArmed = false
+		d.Unarm()
 	}
 }
 
-func (d *Decoder) emit(e Event) {
-	if e.TSC == 0 {
-		e.TSC = d.tsc
-	}
-	d.out = append(d.out, e)
-	d.undelivered = true
-}
+// ptSource is the reference TraceSource: Intel PT collection
+// (internal/pt) plus this package's decoder.
+type ptSource struct{}
 
-func (d *Decoder) reset() {
-	d.mode = modeIdle
-	d.blob = nil
-	d.rangeStart = -1
-	d.bits, d.nbits = 0, 0
+func (ptSource) ID() string             { return source.DefaultID }
+func (ptSource) Traits() *source.Traits { return pt.Traits() }
+func (ptSource) NewCollector(cfg source.CollectorConfig, ncores int) source.Collector {
+	return pt.NewCollector(cfg, ncores)
 }
+func (ptSource) NewDecoder(snap *meta.Snapshot) source.Decoder { return New(snap) }
 
-func (d *Decoder) desync() {
-	d.Desyncs++
-	d.flushRange()
-	d.emit(Event{Kind: EvDesync})
-	d.reset()
-}
-
-// validate rejects packets whose wire fields cannot be trusted. The TNT
-// length check is what keeps a hostile length field from ever driving the
-// bit loop: NBits is bounded before any consumption.
-func validate(p *pt.Packet) (FaultKind, bool) {
-	if p.Kind > pt.KPSB {
-		return FaultUnknownPacket, true
-	}
-	if p.Kind == pt.KTNT && p.NBits > pt.MaxTNTBits {
-		return FaultBadTNTLen, true
-	}
-	return 0, false
-}
-
-// fault records a typed malformed-packet fault, abandons the walking state
-// (whatever was pending can no longer be trusted) and skips forward to the
-// next synchronisation boundary.
-func (d *Decoder) fault(kind FaultKind, p *pt.Packet) {
-	d.FaultCount++
-	if len(d.Faults) < maxFaultRecords {
-		d.Faults = append(d.Faults, DecodeFault{Kind: kind, TSC: d.tsc, Packet: *p})
-	}
-	d.SkippedBytes += uint64(p.WireLen)
-	d.flushRange()
-	d.emit(Event{Kind: EvFault})
-	d.reset()
-	d.skipPSB = true
-}
-
-func (d *Decoder) takeBit() bool {
-	b := d.bits&1 == 1
-	d.bits >>= 1
-	d.nbits--
-	return b
-}
-
-// flushRange emits the pending JIT instruction range.
-func (d *Decoder) flushRange() {
-	if d.rangeStart >= 0 && d.idx > d.rangeStart {
-		d.emit(Event{Kind: EvJITRange, Blob: d.blob, First: d.rangeStart, Last: d.idx})
-	}
-	d.rangeStart = -1
-}
-
-// anchor re-positions the decoder at ip without consuming a transfer
-// (FUP semantics: the IP is where execution currently is).
-func (d *Decoder) anchor(ip uint64) {
-	d.flushRange()
-	if d.snap.IsTemplate(ip) {
-		if name := d.snap.Stubs.Classify(ip); name != "" {
-			d.mode = modeIdle
-			return
-		}
-		if op, ok := d.snap.Templates.Lookup(ip); ok {
-			d.mode = modeTemplate
-			d.curOp = op
-			d.drainBits()
-			return
-		}
-		d.mode = modeIdle
-		return
-	}
-	if blob := d.snap.BlobFor(ip); blob != nil {
-		if i := blob.Code.IndexOf(ip); i >= 0 {
-			d.mode = modeJIT
-			d.blob = blob
-			d.idx = i
-			d.rangeStart = -1
-			d.drainBits()
-			return
-		}
-	}
-	d.mode = modeIdle
-}
-
-// tip handles an indirect transfer: it first advances the walker to the
-// pending indirect instruction (there must be exactly the executed linear
-// path in between), then lands at the target. When the TIP completes a
-// FUP+TIP pair (async means an exception or OSR transfer), there is no
-// indirect instruction to consume: control was ripped away by the runtime.
-func (d *Decoder) tip(target uint64, async bool) {
-	if async {
-		d.flushRange()
-		d.land(target)
-		return
-	}
-	if d.mode == modeJIT {
-		// Walk up to the indirect instruction this TIP resolves.
-		d.walk()
-		if d.mode == modeJIT {
-			if d.idx < len(d.blob.Code.Instrs) && d.blob.Code.Instrs[d.idx].Kind.IsIndirect() {
-				// Execute the indirect instruction itself.
-				d.extend()
-				d.idx++
-				d.flushRange()
-			} else {
-				// The walker is stuck mid-walk (e.g. at a conditional
-				// with no bits): metadata/trace mismatch.
-				d.desync()
-			}
-		}
-	}
-	d.land(target)
-}
-
-// land positions execution at a transfer target and classifies it.
-func (d *Decoder) land(target uint64) {
-	if d.snap.IsTemplate(target) {
-		d.flushRange()
-		if name := d.snap.Stubs.Classify(target); name != "" {
-			d.mode = modeIdle
-			d.emit(Event{Kind: EvStub, Stub: name})
-			return
-		}
-		if op, ok := d.snap.Templates.Lookup(target); ok {
-			d.mode = modeTemplate
-			d.curOp = op
-			d.emit(Event{Kind: EvTemplate, Op: op})
-			return
-		}
-		d.mode = modeIdle
-		return
-	}
-	if blob := d.snap.BlobFor(target); blob != nil {
-		if i := blob.Code.IndexOf(target); i >= 0 {
-			d.flushRange()
-			d.mode = modeJIT
-			d.blob = blob
-			d.idx = i
-			d.rangeStart = i
-			d.walk()
-			return
-		}
-	}
-	d.desync()
-}
-
-// extend includes the current instruction in the pending range.
-func (d *Decoder) extend() {
-	if d.rangeStart < 0 {
-		d.rangeStart = d.idx
-	}
-}
-
-// jumpTo transfers within/between blobs following a direct target.
-func (d *Decoder) jumpTo(target uint64) bool {
-	d.idx++ // the transfer instruction itself executed
-	d.flushRange()
-	blob := d.blob
-	if !blob.Code.Contains(target) {
-		blob = d.snap.BlobFor(target)
-	}
-	if blob == nil {
-		return false
-	}
-	i := blob.Code.IndexOf(target)
-	if i < 0 {
-		return false
-	}
-	d.blob = blob
-	d.idx = i
-	d.rangeStart = i
-	return true
-}
-
-// drainBits consumes pending TNT bits according to the current mode.
-func (d *Decoder) drainBits() {
-	for d.nbits > 0 {
-		switch d.mode {
-		case modeTemplate:
-			taken := d.takeBit()
-			d.emit(Event{Kind: EvTemplateTNT, Op: d.curOp, Taken: taken})
-		case modeJIT:
-			before := d.nbits
-			d.walk()
-			if d.nbits == before {
-				// walk() could not consume: waiting for a TIP while
-				// bits are pending would be a mismatch, but bits can
-				// also simply be buffered ahead; stop here.
-				return
-			}
-		default:
-			// No position to attribute bits to (post-loss); drop them.
-			d.DroppedBits += d.nbits
-			d.bits, d.nbits = 0, 0
-			return
-		}
-	}
-}
-
-// walk advances through the current blob while progress is possible without
-// further packets.
-func (d *Decoder) walk() {
-	for d.mode == modeJIT {
-		if d.idx >= len(d.blob.Code.Instrs) {
-			// Fell off the blob end: desync.
-			d.desync()
-			return
-		}
-		ins := &d.blob.Code.Instrs[d.idx]
-		switch ins.Kind {
-		case isa.Linear:
-			d.extend()
-			d.idx++
-		case isa.Jump, isa.Call:
-			d.extend()
-			if !d.jumpTo(ins.Target) {
-				d.desync()
-				return
-			}
-		case isa.CondBranch:
-			if d.nbits == 0 {
-				return // need more TNT bits
-			}
-			d.extend()
-			taken := d.takeBit()
-			if taken {
-				if !d.jumpTo(ins.Target) {
-					d.desync()
-					return
-				}
-			} else {
-				d.idx++
-			}
-		case isa.IndirectCall, isa.IndirectJump, isa.Ret:
-			return // need a TIP
-		default:
-			d.desync()
-			return
-		}
-	}
-}
+func init() { source.Register(ptSource{}) }

@@ -1,0 +1,304 @@
+// Package source is the ISA-agnostic trace-source layer: the neutral
+// packet/item/event vocabulary the reconstruction core consumes, plus the
+// TraceSource abstraction — packets in, branch events out — that concrete
+// backends (Intel PT in internal/pt + internal/ptdecode, RISC-V E-Trace in
+// internal/etrace) implement. A source owns three things:
+//
+//   - its packet model and wire framing (this package's Item records are a
+//     neutral struct dump, validated per source via Traits),
+//   - a collector-side encoder the VM's NativeTracer hooks drive, and
+//   - a decoder that consumes packets plus the machine-code metadata
+//     snapshot and yields the neutral event stream (EvTemplate, EvJITRange,
+//     EvGap, ...).
+//
+// Everything above this layer — carving, stitching, tokenizing,
+// reconstruction, recovery, archives, sessions — is source-independent:
+// the only per-source knowledge those layers need (which packet kinds
+// carry timestamps, which are sync boundaries, what validates) travels as
+// a Traits value.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"jportal/internal/meta"
+)
+
+// Kind identifies a trace packet type. The kind space is per source: kind
+// 3 means FUP to Intel PT and something else to another backend. Traits
+// carries the per-source interpretation.
+type Kind uint8
+
+// Packet is one decoded trace packet, in the neutral in-memory form every
+// source decodes its wire format into: addresses are absolute (a source's
+// differential or suffix compression shows up only in WireLen), branch
+// bits are packed oldest-first, and timestamps are absolute cycle counts.
+type Packet struct {
+	Kind Kind
+	// IP is the address payload of address-bearing packets.
+	IP uint64
+	// Bits holds packed branch bits, oldest in bit 0; NBits of them are
+	// valid.
+	Bits  uint64
+	NBits uint8
+	// TSC is the timestamp payload of time-bearing packets.
+	TSC uint64
+	// WireLen is the encoded size in bytes (set by the encoder; used for
+	// buffer accounting and trace-size measurements).
+	WireLen uint8
+}
+
+// TNTBit returns bit i (0 = oldest) of a branch-bits packet.
+func (p *Packet) TNTBit(i int) bool { return (p.Bits>>uint(i))&1 == 1 }
+
+// Item is one element of an exported trace: either a packet or a gap marker
+// recording a data-loss episode (the model of a perf_record_aux record with
+// the truncated flag, paper §4).
+type Item struct {
+	// Gap is true for loss markers.
+	Gap bool
+	// Packet is valid when !Gap.
+	Packet Packet
+	// LostBytes, GapStart and GapEnd describe the loss episode when Gap.
+	LostBytes        uint64
+	GapStart, GapEnd uint64
+}
+
+// CoreTrace is everything exported from one core's trace buffer, in order.
+type CoreTrace struct {
+	Core  int
+	Items []Item
+}
+
+// Bytes returns the exported payload size in bytes (gaps excluded).
+func (t *CoreTrace) Bytes() uint64 {
+	var n uint64
+	for i := range t.Items {
+		if !t.Items[i].Gap {
+			n += uint64(t.Items[i].Packet.WireLen)
+		}
+	}
+	return n
+}
+
+// LostBytes returns the total bytes dropped in loss episodes.
+func (t *CoreTrace) LostBytes() uint64 {
+	var n uint64
+	for i := range t.Items {
+		if t.Items[i].Gap {
+			n += t.Items[i].LostBytes
+		}
+	}
+	return n
+}
+
+// CollectorConfig sets the collection parameters every source's collector
+// shares (the knobs the paper's evaluation varies). A source interprets
+// the periods in its own packet vocabulary: TSCPeriodCycles is the
+// interval between timestamp packets (whatever the source calls them) and
+// PSBPeriodBytes the interval between synchronisation packets.
+type CollectorConfig struct {
+	// BufBytes is the per-core trace buffer capacity (the paper uses 64MB,
+	// 128MB and 256MB).
+	BufBytes uint64
+	// DrainBytesPerKCycle is the export bandwidth: how many buffered bytes
+	// the exporter writes out per thousand cycles. When the generation
+	// rate exceeds this, the buffer fills and data is lost.
+	DrainBytesPerKCycle uint64
+	// TSCPeriodCycles is the interval between timestamp packets.
+	TSCPeriodCycles uint64
+	// PSBPeriodBytes is the interval between synchronisation packets.
+	PSBPeriodBytes uint64
+	// ResumePercent is the loss-episode hysteresis: once the buffer
+	// overflows, packets keep dropping until the exporter drains it below
+	// this percentage of capacity (perf reads the AUX area in chunks, so
+	// real losses span whole chunks). 100 disables the hysteresis.
+	ResumePercent int
+}
+
+// DefaultCollectorConfig mirrors the paper's default setting (128MB
+// per-core buffer).
+func DefaultCollectorConfig() CollectorConfig {
+	return CollectorConfig{
+		BufBytes:            128 << 20,
+		DrainBytesPerKCycle: 150,
+		TSCPeriodCycles:     2048,
+		PSBPeriodBytes:      4096,
+		ResumePercent:       85,
+	}
+}
+
+// WithBufMB returns cfg with the buffer size set to mb megabytes.
+func (c CollectorConfig) WithBufMB(mb int) CollectorConfig {
+	c.BufBytes = uint64(mb) << 20
+	return c
+}
+
+// Validate rejects configurations a collector cannot meaningfully run
+// with. A zero buffer loses every packet, a zero drain rate never exports,
+// and zero periods would emit a housekeeping packet before every payload
+// packet (an infinite regress in the real hardware's terms).
+func (c CollectorConfig) Validate() error {
+	if c.BufBytes == 0 {
+		return fmt.Errorf("source: BufBytes must be positive (a zero-capacity buffer drops all trace data)")
+	}
+	if c.DrainBytesPerKCycle == 0 {
+		return fmt.Errorf("source: DrainBytesPerKCycle must be positive (a zero export rate never drains the buffer)")
+	}
+	if c.TSCPeriodCycles == 0 {
+		return fmt.Errorf("source: TSCPeriodCycles must be positive")
+	}
+	if c.PSBPeriodBytes == 0 {
+		return fmt.Errorf("source: PSBPeriodBytes must be positive")
+	}
+	if c.ResumePercent < 1 || c.ResumePercent > 100 {
+		return fmt.Errorf("source: ResumePercent must be in [1,100], got %d", c.ResumePercent)
+	}
+	return nil
+}
+
+// ChunkSink receives items drained from one core's trace buffer, in export
+// order. The slice is freshly allocated per call and may be retained. A
+// collector invokes the sink synchronously from whatever goroutine drives
+// it (the VM's execution loop), so a sink must be fast or hand off.
+type ChunkSink func(core int, items []Item)
+
+// DefaultSinkFlushItems is the per-core chunk size used when SetSink is
+// given a non-positive flush bound.
+const DefaultSinkFlushItems = 256
+
+// Collector is the collector-side half of a source: it accepts logical
+// branch events from the VM (the method set embeds vm.NativeTracer
+// structurally, so any Collector can be installed as the machine's
+// tracer), encodes them into the source's packets, buffers them in a
+// bounded per-core ring, and drains the ring at a bounded rate.
+type Collector interface {
+	PGE(core int, ip, tsc uint64)
+	PGD(core int, ip, tsc uint64)
+	TNT(core int, branchAddr uint64, taken bool, tsc uint64)
+	TIP(core int, target, tsc uint64)
+	FUP(core int, ip, tsc uint64)
+	SwitchMark(core int, tsc uint64)
+	Advance(core int, tsc uint64)
+
+	// SetSink switches the collector to streaming export: drained items
+	// are delivered to sink in chunks of at most flushItems items (<= 0
+	// means DefaultSinkFlushItems) instead of accumulating in memory until
+	// Finish. Set the sink before the run starts.
+	SetSink(flushItems int, sink ChunkSink)
+	// Finish flushes everything (the exporter catches up after the run)
+	// and returns the per-core traces. In sink mode the remainder is
+	// delivered through the sink and the returned traces carry only core
+	// numbers.
+	Finish(tsc uint64) []CoreTrace
+	// NumCores returns the core count.
+	NumCores() int
+	// GeneratedBytes returns the total bytes generated (exported + lost).
+	GeneratedBytes() uint64
+	// ExportedBytes returns total payload bytes drained so far.
+	ExportedBytes() uint64
+}
+
+// Decoder is the decode-side half of a source: it consumes the source's
+// packet stream (typically one thread's stitched stream) plus the
+// metadata snapshot and yields the neutral event stream. Both built-in
+// decoders are thin packet dispatchers over the shared Walker, so the
+// stats and checkpoint surface is uniform.
+type Decoder interface {
+	// Decode processes a whole item stream and returns the events. The
+	// returned slice aliases the decoder's reused output buffer: it is
+	// valid until the next Decode/DecodeChunk/Flush call.
+	Decode(items []Item) []Event
+	// DecodeChunk processes one chunk of an item stream. The decoder keeps
+	// its walking state across calls, so feeding a stream in chunks of any
+	// size yields, concatenated with the final Flush, exactly the events
+	// Decode yields for the whole stream at once.
+	DecodeChunk(items []Item) []Event
+	// Flush terminates the stream: the pending JIT instruction range (if
+	// any) is emitted. Call once after the last DecodeChunk.
+	Flush() []Event
+	// Stats returns the decoder's degradation counters.
+	Stats() DecodeStats
+	// FaultLog returns the retained typed fault records.
+	FaultLog() []DecodeFault
+	// ExportState snapshots the decoder's walking state between chunks
+	// (checkpointing); RestoreState rebuilds it against the restoring
+	// process's snapshot.
+	ExportState() WalkerState
+	RestoreState(WalkerState) error
+}
+
+// Source is one trace ISA backend: packet format, collector and decoder.
+type Source interface {
+	// ID is the stable archive identity (e.g. "intel-pt", "riscv-etrace").
+	ID() string
+	// Traits describes the packet vocabulary to the neutral layers.
+	Traits() *Traits
+	// NewCollector creates the collector-side encoder for ncores cores.
+	NewCollector(cfg CollectorConfig, ncores int) Collector
+	// NewDecoder creates a decoder over the given metadata snapshot.
+	NewDecoder(snap *meta.Snapshot) Decoder
+}
+
+// DefaultID is the source archives without a source field default to: the
+// Intel PT reference implementation predates the source layer, so every
+// legacy archive is a PT archive.
+const DefaultID = "intel-pt"
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Source{}
+)
+
+// Register adds a source to the registry; sources register themselves in
+// init(). Registering two sources under one ID is a programming error.
+func Register(s Source) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.ID()]; dup {
+		panic("source: duplicate registration of " + s.ID())
+	}
+	registry[s.ID()] = s
+}
+
+// Lookup resolves a source ID ("" means DefaultID). The error names the
+// registered sources, so a missing import surfaces clearly.
+func Lookup(id string) (Source, error) {
+	if id == "" {
+		id = DefaultID
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if s, ok := registry[id]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("source: unknown trace source %q (registered: %v)", id, registeredLocked())
+}
+
+// Default returns the reference source. It panics if the PT backend has
+// not been linked in — import jportal/internal/ptdecode.
+func Default() Source {
+	s, err := Lookup(DefaultID)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Registered lists the registered source IDs, sorted.
+func Registered() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registeredLocked()
+}
+
+func registeredLocked() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

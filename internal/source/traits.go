@@ -1,0 +1,120 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Traits is the per-source packet vocabulary the neutral layers consult:
+// which kinds exist, which carry timestamps, which are synchronisation
+// boundaries, and what validates. All checks are branch-free bit-mask
+// probes so they are safe on the carve/stitch hot path.
+type Traits struct {
+	// Name is the source's registry ID ("intel-pt", "riscv-etrace").
+	Name string
+	// MaxKind is the highest valid packet kind.
+	MaxKind Kind
+	// TimeMask marks kinds whose TSC field carries a timestamp update.
+	TimeMask uint64
+	// SyncMask marks kinds that are synchronisation boundaries (the
+	// decoder may resume after a fault at one, and chunk cuts prefer one).
+	SyncMask uint64
+	// TNTMask marks kinds carrying packed branch bits.
+	TNTMask uint64
+	// MaxTNTBits caps NBits for TNT-class packets: a hostile length field
+	// must never drive downstream loops or allocation.
+	MaxTNTBits uint8
+	// KindNames names each kind for diagnostics, indexed by Kind.
+	KindNames []string
+}
+
+// IsTime reports whether kind k carries a timestamp payload.
+func (t *Traits) IsTime(k Kind) bool { return k < 64 && t.TimeMask>>k&1 == 1 }
+
+// IsSync reports whether kind k is a synchronisation boundary.
+func (t *Traits) IsSync(k Kind) bool { return k < 64 && t.SyncMask>>k&1 == 1 }
+
+// IsTNT reports whether kind k carries packed branch bits.
+func (t *Traits) IsTNT(k Kind) bool { return k < 64 && t.TNTMask>>k&1 == 1 }
+
+// ErrMalformed tags wire records whose decoded fields fail validation —
+// hostile lengths and impossible gaps are rejected at the trust boundary
+// instead of reaching the decoder.
+var ErrMalformed = errors.New("source: malformed record")
+
+// ValidateItem rejects items whose fields no well-formed encoder of this
+// source produces: an unknown packet kind, a branch-bits length beyond
+// MaxTNTBits, or a loss gap that ends before it starts.
+func (t *Traits) ValidateItem(it *Item) error {
+	if it.Gap {
+		if it.GapEnd < it.GapStart {
+			return fmt.Errorf("%w: gap end %d before start %d", ErrMalformed, it.GapEnd, it.GapStart)
+		}
+		return nil
+	}
+	p := &it.Packet
+	if p.Kind > t.MaxKind {
+		return fmt.Errorf("%w: unknown packet kind %#x", ErrMalformed, uint8(p.Kind))
+	}
+	if t.IsTNT(p.Kind) && p.NBits > t.MaxTNTBits {
+		return fmt.Errorf("%w: TNT length %d exceeds %d", ErrMalformed, p.NBits, t.MaxTNTBits)
+	}
+	return nil
+}
+
+// ClassifyPacket is the decoder-side twin of ValidateItem: it reports
+// whether a packet is malformed and which FaultKind describes it, without
+// allocating an error. Decoders call it per packet before dispatching.
+func (t *Traits) ClassifyPacket(p *Packet) (FaultKind, bool) {
+	if p.Kind > t.MaxKind {
+		return FaultUnknownPacket, true
+	}
+	if t.IsTNT(p.Kind) && p.NBits > t.MaxTNTBits {
+		return FaultBadTNTLen, true
+	}
+	return 0, false
+}
+
+// SkewTime is the fault injector's clock-skew hook: it offsets the
+// timestamp of time-bearing packets, leaving every other kind untouched
+// (the way an unsynchronised per-core clock skews everything that core
+// stamps).
+func (t *Traits) SkewTime(p *Packet, skew uint64) {
+	if t.IsTime(p.Kind) {
+		p.TSC += skew
+	}
+}
+
+// TruncatedKind is the fault injector's truncation hook: the kind value a
+// record cut short on the wire decodes to. It is invalid for every source
+// (MaxKind is always below it), so validation catches it downstream.
+func (t *Traits) TruncatedKind() Kind { return ^Kind(0) }
+
+// KindString names a kind for diagnostics.
+func (t *Traits) KindString(k Kind) string {
+	if int(k) < len(t.KindNames) && t.KindNames[k] != "" {
+		return t.KindNames[k]
+	}
+	return fmt.Sprintf("pkt#%d", uint8(k))
+}
+
+// PacketString renders a packet for diagnostics.
+func (t *Traits) PacketString(p *Packet) string {
+	switch {
+	case t.IsTNT(p.Kind):
+		s := make([]byte, p.NBits)
+		for i := range s {
+			if p.TNTBit(i) {
+				s[i] = '1'
+			} else {
+				s[i] = '0'
+			}
+		}
+		return fmt.Sprintf("%s(%s)", t.KindString(p.Kind), s)
+	case t.IsTime(p.Kind) && p.IP == 0:
+		return fmt.Sprintf("%s(%d)", t.KindString(p.Kind), p.TSC)
+	case p.IP != 0:
+		return fmt.Sprintf("%s(%#x)", t.KindString(p.Kind), p.IP)
+	}
+	return t.KindString(p.Kind)
+}

@@ -1,0 +1,169 @@
+package source
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The trace file format: a magic header, then a stream of records. Each
+// record is a 1-byte tag followed by a fixed-size payload. Packet records
+// carry the full Packet struct fields (the in-memory WireLen is recomputed
+// on read); gap records carry the loss episode. The format is a neutral
+// struct dump — byte-identical for every source — so one framing serves
+// all backends; validation is the per-source part, driven by Traits. The
+// format is deliberately simple and self-describing enough for tests to
+// round-trip traces through disk, and its sizes are what Table 5 reports
+// as "TS".
+
+var wireMagic = [8]byte{'J', 'P', 'T', 'R', 'A', 'C', 'E', '1'}
+
+const (
+	tagPacket byte = 0x01
+	tagGap    byte = 0x02
+	tagEnd    byte = 0x03
+)
+
+// AppendItem appends the wire encoding of one item (a tagged record) to
+// dst and returns the extended slice. It is the unit the chunked archive
+// frames trace chunks with; WriteTrace uses the same records.
+func AppendItem(dst []byte, it *Item) []byte {
+	var buf [28]byte
+	if it.Gap {
+		buf[0] = tagGap
+		binary.LittleEndian.PutUint64(buf[1:9], it.LostBytes)
+		binary.LittleEndian.PutUint64(buf[9:17], it.GapStart)
+		binary.LittleEndian.PutUint64(buf[17:25], it.GapEnd)
+		return append(dst, buf[:25]...)
+	}
+	p := &it.Packet
+	buf[0] = tagPacket
+	buf[1] = byte(p.Kind)
+	buf[2] = p.NBits
+	buf[3] = p.WireLen
+	binary.LittleEndian.PutUint64(buf[4:12], p.IP)
+	binary.LittleEndian.PutUint64(buf[12:20], p.Bits)
+	binary.LittleEndian.PutUint64(buf[20:28], p.TSC)
+	return append(dst, buf[:28]...)
+}
+
+// DecodeItem decodes one item record from the front of src, returning the
+// item and the number of bytes consumed. Records that decode but fail the
+// source's validation are rejected with ErrMalformed.
+func DecodeItem(src []byte, tr *Traits) (Item, int, error) {
+	if len(src) == 0 {
+		return Item{}, 0, io.ErrUnexpectedEOF
+	}
+	switch src[0] {
+	case tagGap:
+		if len(src) < 25 {
+			return Item{}, 0, io.ErrUnexpectedEOF
+		}
+		it := decodeGapPayload(src[1:25])
+		if err := tr.ValidateItem(&it); err != nil {
+			return Item{}, 0, err
+		}
+		return it, 25, nil
+	case tagPacket:
+		if len(src) < 28 {
+			return Item{}, 0, io.ErrUnexpectedEOF
+		}
+		it := Item{Packet: decodePacketPayload(src[1:28])}
+		if err := tr.ValidateItem(&it); err != nil {
+			return Item{}, 0, err
+		}
+		return it, 28, nil
+	}
+	return Item{}, 0, fmt.Errorf("source: unknown record tag %#x", src[0])
+}
+
+func decodeGapPayload(buf []byte) Item {
+	return Item{
+		Gap:       true,
+		LostBytes: binary.LittleEndian.Uint64(buf[0:8]),
+		GapStart:  binary.LittleEndian.Uint64(buf[8:16]),
+		GapEnd:    binary.LittleEndian.Uint64(buf[16:24]),
+	}
+}
+
+func decodePacketPayload(buf []byte) Packet {
+	return Packet{
+		Kind:    Kind(buf[0]),
+		NBits:   buf[1],
+		WireLen: buf[2],
+		IP:      binary.LittleEndian.Uint64(buf[3:11]),
+		Bits:    binary.LittleEndian.Uint64(buf[11:19]),
+		TSC:     binary.LittleEndian.Uint64(buf[19:27]),
+	}
+}
+
+// WriteTrace serialises a core trace to w.
+func WriteTrace(w io.Writer, t *CoreTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(wireMagic[:]); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(t.Core))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec []byte
+	for i := range t.Items {
+		rec = AppendItem(rec[:0], &t.Items[i])
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte(tagEnd); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserialises a core trace from r, validating every record
+// against the source's traits.
+func ReadTrace(r io.Reader, tr *Traits) (*CoreTrace, error) {
+	br := bufio.NewReader(r)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if [8]byte(hdr[:8]) != wireMagic {
+		return nil, errors.New("source: bad trace magic")
+	}
+	t := &CoreTrace{Core: int(binary.LittleEndian.Uint32(hdr[8:12]))}
+	var buf [27]byte
+	for {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagEnd:
+			return t, nil
+		case tagGap:
+			if _, err := io.ReadFull(br, buf[:24]); err != nil {
+				return nil, err
+			}
+			it := decodeGapPayload(buf[:24])
+			if err := tr.ValidateItem(&it); err != nil {
+				return nil, err
+			}
+			t.Items = append(t.Items, it)
+		case tagPacket:
+			if _, err := io.ReadFull(br, buf[:27]); err != nil {
+				return nil, err
+			}
+			it := Item{Packet: decodePacketPayload(buf[:27])}
+			if err := tr.ValidateItem(&it); err != nil {
+				return nil, err
+			}
+			t.Items = append(t.Items, it)
+		default:
+			return nil, fmt.Errorf("source: unknown record tag %#x", tag)
+		}
+	}
+}

@@ -10,7 +10,7 @@
 //	0x01 snapshot   u32 len, meta.WriteSnapshot bytes  (once, first record)
 //	0x02 blob       u32 len, meta.WriteBlob bytes      (incremental metadata)
 //	0x03 sideband   u64 TSC, i32 core, i32 thread      (one switch record)
-//	0x04 chunk      u32 core, u32 len, pt.AppendItem-framed trace items
+//	0x04 chunk      u32 core, u32 len, source.AppendItem-framed trace items
 //	0x05 watermark  u32 core, u64 mark
 //	0x06 seal       u32 CRC-32 (IEEE) of header + every preceding record
 //
@@ -33,7 +33,7 @@ import (
 	"io"
 
 	"jportal/internal/meta"
-	"jportal/internal/pt"
+	"jportal/internal/source"
 	"jportal/internal/vm"
 )
 
@@ -163,16 +163,18 @@ type Record struct {
 	Blob     *meta.CompiledMethod // KindBlob
 	Rec      vm.SwitchRecord      // KindSideband
 	Core     int                  // KindChunk, KindWatermark
-	Items    []pt.Item            // KindChunk
+	Items    []source.Item        // KindChunk
 	Mark     uint64               // KindWatermark
 	CRC      uint32               // KindSeal: checksum the writer recorded
 }
 
 // Decode decodes the record at the front of buf, returning it and the
-// number of bytes consumed. Errors are ErrShort (buffer ends early) or wrap
-// ErrCorrupt; Decode never panics on arbitrary input.
-func Decode(buf []byte) (Record, int, error) {
-	return DecodeInto(buf, nil)
+// number of bytes consumed. Chunk items are validated against tr, the
+// packet vocabulary of the trace source that wrote the stream. Errors are
+// ErrShort (buffer ends early) or wrap ErrCorrupt; Decode never panics on
+// arbitrary input.
+func Decode(buf []byte, tr *source.Traits) (Record, int, error) {
+	return DecodeInto(buf, nil, tr)
 }
 
 // DecodeInto is Decode with a reusable item buffer: a chunk record's Items
@@ -180,7 +182,7 @@ func Decode(buf []byte) (Record, int, error) {
 // replay loop) can reuse one backing array instead of allocating per
 // record. The returned Record's Items alias that buffer — valid until the
 // caller reuses it. A nil items behaves exactly like Decode.
-func DecodeInto(buf []byte, items []pt.Item) (Record, int, error) {
+func DecodeInto(buf []byte, items []source.Item, tr *source.Traits) (Record, int, error) {
 	n, err := Scan(buf)
 	if err != nil {
 		return Record{}, 0, err
@@ -209,7 +211,7 @@ func DecodeInto(buf []byte, items []pt.Item) (Record, int, error) {
 		payload := buf[9:n]
 		items = items[:0]
 		for len(payload) > 0 {
-			it, used, err := pt.DecodeItem(payload)
+			it, used, err := source.DecodeItem(payload, tr)
 			if err != nil {
 				return Record{}, 0, corruptf("chunk record for core %d: %v", core, err)
 			}
@@ -364,7 +366,7 @@ func (e *Encoder) Watermark(core int, mark uint64) error {
 }
 
 // Chunk emits one trace-chunk record for core.
-func (e *Encoder) Chunk(core int, items []pt.Item) error {
+func (e *Encoder) Chunk(core int, items []source.Item) error {
 	if e.err != nil {
 		return e.err
 	}
@@ -376,7 +378,7 @@ func (e *Encoder) Chunk(core int, items []pt.Item) error {
 	e.tmp = binary.LittleEndian.AppendUint32(e.tmp, uint32(core))
 	e.tmp = append(e.tmp, 0, 0, 0, 0) // payload length, patched below
 	for i := range items {
-		e.tmp = pt.AppendItem(e.tmp, &items[i])
+		e.tmp = source.AppendItem(e.tmp, &items[i])
 	}
 	binary.LittleEndian.PutUint32(e.tmp[5:9], uint32(len(e.tmp)-9))
 	return e.emit(e.tmp)

@@ -63,7 +63,7 @@ func TestRoundTrip(t *testing.T) {
 	var recs []Record
 	rest := stream[HeaderLen:]
 	for len(rest) > 0 {
-		rec, n, err := Decode(rest)
+		rec, n, err := Decode(rest, pt.Traits())
 		if err != nil {
 			t.Fatalf("decode at offset %d: %v", len(stream)-len(rest), err)
 		}
@@ -219,7 +219,7 @@ func TestScanTruncation(t *testing.T) {
 			if _, err := Scan(rest[:cut]); !errors.Is(err, ErrShort) {
 				t.Fatalf("Scan of %d/%d bytes of tag %#x: %v, want ErrShort", cut, n, rest[0], err)
 			}
-			if _, _, err := Decode(rest[:cut]); !errors.Is(err, ErrShort) {
+			if _, _, err := Decode(rest[:cut], pt.Traits()); !errors.Is(err, ErrShort) {
 				t.Fatalf("Decode of %d/%d bytes of tag %#x: %v, want ErrShort", cut, n, rest[0], err)
 			}
 		}
@@ -249,12 +249,12 @@ func TestScanCorruption(t *testing.T) {
 	if _, err := Scan(junk); err != nil {
 		t.Errorf("junk-payload snapshot should scan: %v", err)
 	}
-	if _, _, err := Decode(junk); !errors.Is(err, ErrCorrupt) {
+	if _, _, err := Decode(junk, pt.Traits()); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("junk-payload snapshot decode: %v, want ErrCorrupt", err)
 	}
 	// Same for a chunk whose payload is not whole pt items.
 	badItems := []byte{TagChunk, 0, 0, 0, 0, 2, 0, 0, 0, 0xFF, 0xFF}
-	if _, _, err := Decode(badItems); !errors.Is(err, ErrCorrupt) {
+	if _, _, err := Decode(badItems, pt.Traits()); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("bad chunk items: %v, want ErrCorrupt", err)
 	}
 }
@@ -294,7 +294,7 @@ func FuzzDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ParseHeader(data)
 		n, scanErr := Scan(data)
-		rec, dn, decErr := Decode(data)
+		rec, dn, decErr := Decode(data, pt.Traits())
 		if scanErr != nil {
 			if decErr == nil {
 				t.Fatalf("Scan erred (%v) but Decode succeeded", scanErr)

@@ -34,15 +34,15 @@ func TestSplitDeterministicAcrossWorkers(t *testing.T) {
 		{Core: 0, TSC: 300, Thread: 2},
 	}
 
-	base := SplitByThreadWorkers(cores, sideband, 1)
+	base := SplitByThreadWorkers(cores, sideband, pt.Traits(), 1)
 	for _, w := range []int{2, 4, 8} {
-		got := SplitByThreadWorkers(cores, sideband, w)
+		got := SplitByThreadWorkers(cores, sideband, pt.Traits(), w)
 		if !reflect.DeepEqual(got, base) {
 			t.Fatalf("workers=%d: streams diverge from workers=1", w)
 		}
 	}
 	// And the legacy entry point is the same thing.
-	if !reflect.DeepEqual(SplitByThread(cores, sideband), base) {
+	if !reflect.DeepEqual(SplitByThread(cores, sideband, pt.Traits()), base) {
 		t.Fatal("SplitByThread diverges from SplitByThreadWorkers")
 	}
 }

@@ -3,7 +3,7 @@ package trace
 import (
 	"fmt"
 
-	"jportal/internal/pt"
+	"jportal/internal/source"
 	"jportal/internal/vm"
 )
 
@@ -14,17 +14,17 @@ type StitcherWindow struct {
 	Start  uint64
 	End    uint64
 	Rec    int
-	Items  []pt.Item
+	Items  []source.Item
 }
 
 // StitcherCoreState is one core's checkpointable carve state.
 type StitcherCoreState struct {
 	Recs    []vm.SwitchRecord
 	Mark    uint64
-	Pending []pt.Item
+	Pending []source.Item
 	WI      int
 	TSC     uint64
-	Open    map[int][]pt.Item
+	Open    map[int][]source.Item
 	Closed  []StitcherWindow
 	FO      int
 }
@@ -63,20 +63,20 @@ func (s *StreamStitcher) ExportState() StitcherState {
 		cs := StitcherCoreState{
 			Recs:    append([]vm.SwitchRecord(nil), c.recs...),
 			Mark:    c.mark,
-			Pending: append([]pt.Item(nil), c.pending...),
+			Pending: append([]source.Item(nil), c.pending...),
 			WI:      c.wi,
 			TSC:     c.tsc,
-			Open:    make(map[int][]pt.Item, len(c.open)),
+			Open:    make(map[int][]source.Item, len(c.open)),
 			Closed:  make([]StitcherWindow, len(c.closed)),
 			FO:      c.fo,
 		}
 		for j, items := range c.open {
-			cs.Open[j] = append([]pt.Item(nil), items...)
+			cs.Open[j] = append([]source.Item(nil), items...)
 		}
 		for j, w := range c.closed {
 			cs.Closed[j] = StitcherWindow{
 				Thread: w.thread, Start: w.start, End: w.end, Rec: w.rec,
-				Items: append([]pt.Item(nil), w.items...),
+				Items: append([]source.Item(nil), w.items...),
 			}
 		}
 		st.Cores[i] = cs
@@ -107,18 +107,18 @@ func (s *StreamStitcher) RestoreState(st StitcherState) error {
 		c := &s.cores[i]
 		c.recs = append([]vm.SwitchRecord(nil), cs.Recs...)
 		c.mark = cs.Mark
-		c.pending = append([]pt.Item(nil), cs.Pending...)
+		c.pending = append([]source.Item(nil), cs.Pending...)
 		c.wi = cs.WI
 		c.tsc = cs.TSC
-		c.open = make(map[int][]pt.Item, len(cs.Open))
+		c.open = make(map[int][]source.Item, len(cs.Open))
 		for j, items := range cs.Open {
-			c.open[j] = append([]pt.Item(nil), items...)
+			c.open[j] = append([]source.Item(nil), items...)
 		}
 		c.closed = make([]stWindow, len(cs.Closed))
 		for j, w := range cs.Closed {
 			c.closed[j] = stWindow{
 				thread: w.Thread, start: w.Start, end: w.End, rec: w.Rec,
-				items: append([]pt.Item(nil), w.Items...),
+				items: append([]source.Item(nil), w.Items...),
 			}
 		}
 		c.fo = cs.FO

@@ -32,7 +32,7 @@ import (
 
 	"jportal/internal/conc"
 	"jportal/internal/fault"
-	"jportal/internal/pt"
+	"jportal/internal/source"
 	"jportal/internal/vm"
 )
 
@@ -42,11 +42,13 @@ type stWindow struct {
 	start  uint64
 	end    uint64 // next record's TSC on the core, or the carve cursor for the last window
 	rec    int    // index into the core's collapsed sideband records
-	items  []pt.Item
+	items  []source.Item
 }
 
 // coreStitch is the per-core incremental carve state.
 type coreStitch struct {
+	// tr is the source's packet vocabulary (shared with the stitcher).
+	tr *source.Traits
 	// recs is the collapsed sideband (consecutive same-thread records
 	// merged, first kept), append-only so window indices are stable.
 	recs []vm.SwitchRecord
@@ -54,14 +56,14 @@ type coreStitch struct {
 	// been delivered.
 	mark uint64
 	// pending holds fed items not yet carved.
-	pending []pt.Item
+	pending []source.Item
 	// wi and tsc are the carve cursor: the current window index and the
 	// last timestamp seen (from TSC packets and gap ends).
 	wi  int
 	tsc uint64
 	// open maps window index -> items for windows at or ahead of the
 	// cursor (the cursor window plus any windows a gap pre-populated).
-	open map[int][]pt.Item
+	open map[int][]source.Item
 	// closed holds carved windows behind the cursor, in window order,
 	// awaiting cross-core emission.
 	closed []stWindow
@@ -74,6 +76,8 @@ type coreStitch struct {
 // per-thread streams. Feed order within a core must be export order;
 // cores and sideband may interleave arbitrarily.
 type StreamStitcher struct {
+	// tr is the source's packet vocabulary (which kinds carry timestamps).
+	tr        *source.Traits
 	cores     []coreStitch
 	maxThread int
 	finished  bool
@@ -97,18 +101,21 @@ type StreamStitcher struct {
 }
 
 // NewStreamStitcher creates a stitcher for cores 0..ncores-1 (the core
-// numbering of pt.Collector and of RunResult.Traces, which the batch path
-// keeps sorted — the stitcher breaks window-start ties by core number the
-// way the batch stable sort breaks them by slice position).
-func NewStreamStitcher(ncores int) *StreamStitcher {
+// numbering of the source collector and of RunResult.Traces, which the
+// batch path keeps sorted — the stitcher breaks window-start ties by core
+// number the way the batch stable sort breaks them by slice position). tr
+// identifies the time-bearing packet kinds of the trace's source.
+func NewStreamStitcher(ncores int, tr *source.Traits) *StreamStitcher {
 	s := &StreamStitcher{
+		tr:         tr,
 		cores:      make([]coreStitch, ncores),
 		lastThread: make([]int, ncores),
 		lastTSC:    make([]uint64, ncores),
 		emittedEnd: make(map[int]uint64),
 	}
 	for i := range s.cores {
-		s.cores[i].open = make(map[int][]pt.Item)
+		s.cores[i].tr = tr
+		s.cores[i].open = make(map[int][]source.Item)
 		s.lastThread[i] = -2
 	}
 	return s
@@ -161,7 +168,7 @@ func (s *StreamStitcher) Watermark(core int, w uint64) {
 }
 
 // Feed delivers one chunk of a core's exported trace, in export order.
-func (s *StreamStitcher) Feed(core int, items []pt.Item) error {
+func (s *StreamStitcher) Feed(core int, items []source.Item) error {
 	if s.finished {
 		return fmt.Errorf("trace: Feed after Finish")
 	}
@@ -260,7 +267,7 @@ func (c *coreStitch) carve(final bool) {
 			done++
 			continue
 		}
-		if it.Packet.Kind == pt.KTSC {
+		if c.tr.IsTime(it.Packet.Kind) {
 			if !final && it.Packet.TSC >= c.mark {
 				break
 			}
@@ -377,7 +384,7 @@ func (s *StreamStitcher) frontier(core int) (emitKey, bool) {
 // items to per-thread delta streams. Returns only threads that received
 // items, in thread order. Callers carve first.
 func (s *StreamStitcher) emit(final bool) []ThreadStream {
-	var deltas map[int][]pt.Item
+	var deltas map[int][]source.Item
 	for {
 		best := -1
 		var bestKey emitKey
@@ -418,7 +425,7 @@ func (s *StreamStitcher) emit(final bool) []ThreadStream {
 			s.emittedEnd[w.thread] = w.end
 		}
 		if deltas == nil {
-			deltas = make(map[int][]pt.Item)
+			deltas = make(map[int][]source.Item)
 		}
 		deltas[w.thread] = append(deltas[w.thread], w.items...)
 	}
@@ -454,7 +461,7 @@ func (s *StreamStitcher) safeCarve(i int, final bool) {
 	s.cores[i].carve(final)
 }
 
-func itemBytes(items []pt.Item) uint64 {
+func itemBytes(items []source.Item) uint64 {
 	var n uint64
 	for i := range items {
 		if !items[i].Gap {

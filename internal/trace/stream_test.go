@@ -31,7 +31,7 @@ func streamsOf(nthreads int, deltas [][]ThreadStream) []ThreadStream {
 // fed in chunks of at most chunk items with a Drain after each step.
 func runStream(t *testing.T, cores []pt.CoreTrace, sideband []vm.SwitchRecord, chunk, workers int) []ThreadStream {
 	t.Helper()
-	s := NewStreamStitcher(len(cores))
+	s := NewStreamStitcher(len(cores), pt.Traits())
 	var deltas [][]ThreadStream
 
 	// Per-core cursors into sideband (global order) and traces.
@@ -110,7 +110,7 @@ func TestStreamMatchesBatchFixture(t *testing.T) {
 		{Core: 1, TSC: 200, Thread: 0},
 		{Core: 0, TSC: 300, Thread: 2},
 	}
-	want := SplitByThread(cores, sideband)
+	want := SplitByThread(cores, sideband, pt.Traits())
 	for _, chunk := range []int{1, 2, 3, 5, 1 << 20} {
 		for _, workers := range []int{1, 3} {
 			got := runStream(t, cores, sideband, chunk, workers)
@@ -183,7 +183,7 @@ func TestStreamMatchesBatchRandom(t *testing.T) {
 	for seed := int64(0); seed < 60; seed++ {
 		r := rand.New(rand.NewSource(seed))
 		cores, sideband := genFixture(r, 1+r.Intn(4), 1+r.Intn(4), 10+r.Intn(120))
-		want := SplitByThread(cores, sideband)
+		want := SplitByThread(cores, sideband, pt.Traits())
 		chunk := 1 + r.Intn(9)
 		got := runStream(t, cores, sideband, chunk, 1+r.Intn(4))
 		if !reflect.DeepEqual(got, want) {
@@ -210,7 +210,7 @@ func TestStreamTimestampInconsistencyAcrossChunks(t *testing.T) {
 		{Core: 0, TSC: 0, Thread: 0},
 		{Core: 0, TSC: 100, Thread: 1},
 	}
-	want := SplitByThread(cores, sideband)
+	want := SplitByThread(cores, sideband, pt.Traits())
 
 	// Batch sanity: the misattribution is present at all.
 	var t0 []uint64
@@ -225,7 +225,7 @@ func TestStreamTimestampInconsistencyAcrossChunks(t *testing.T) {
 
 	// Deliver with the nastiest cut: items through the stale TSC packet
 	// arrive, and are drained, before the switch record is even known.
-	s := NewStreamStitcher(1)
+	s := NewStreamStitcher(1, pt.Traits())
 	s.AddSideband(sideband[:1])
 	s.Watermark(0, 100) // record @100 not yet delivered: mark stays below it
 	var deltas [][]ThreadStream
@@ -254,7 +254,7 @@ func TestStreamTimestampInconsistencyAcrossChunks(t *testing.T) {
 // watermarks pass a window and every core's frontier moves beyond it, Drain
 // emits it without waiting for Finish, and the buffered-item count drops.
 func TestStreamEmitsIncrementally(t *testing.T) {
-	s := NewStreamStitcher(1)
+	s := NewStreamStitcher(1, pt.Traits())
 	s.AddSideband([]vm.SwitchRecord{
 		{Core: 0, TSC: 0, Thread: 0},
 		{Core: 0, TSC: 100, Thread: 1},
@@ -284,7 +284,7 @@ func TestStreamEmitsIncrementally(t *testing.T) {
 // (thread -1) must not gate emission on the busy cores — its windows can
 // only ever be dropped.
 func TestStreamIdleCoreDoesNotStall(t *testing.T) {
-	s := NewStreamStitcher(2)
+	s := NewStreamStitcher(2, pt.Traits())
 	s.AddSideband([]vm.SwitchRecord{
 		{Core: 0, TSC: 0, Thread: 0},
 		{Core: 1, TSC: 0, Thread: -1},
@@ -303,7 +303,7 @@ func TestStreamIdleCoreDoesNotStall(t *testing.T) {
 
 // TestStreamFeedErrors covers the stitcher's misuse guards.
 func TestStreamFeedErrors(t *testing.T) {
-	s := NewStreamStitcher(2)
+	s := NewStreamStitcher(2, pt.Traits())
 	if err := s.Feed(2, nil); err == nil {
 		t.Fatal("Feed of out-of-range core succeeded")
 	}

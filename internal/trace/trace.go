@@ -20,21 +20,21 @@ import (
 	"sort"
 
 	"jportal/internal/conc"
-	"jportal/internal/pt"
+	"jportal/internal/source"
 	"jportal/internal/vm"
 )
 
 // ThreadStream is one thread's stitched packet stream.
 type ThreadStream struct {
 	Thread int
-	Items  []pt.Item
+	Items  []source.Item
 }
 
 // window is a contiguous slice of one core's trace attributed to a thread.
 type window struct {
 	thread int
 	start  uint64 // sideband timestamp ordering key
-	items  []pt.Item
+	items  []source.Item
 }
 
 // collapseRuns merges consecutive same-thread records, keeping the first.
@@ -51,15 +51,17 @@ func collapseRuns(recs []vm.SwitchRecord) []vm.SwitchRecord {
 
 // SplitByThread segregates per-core traces into per-thread streams using
 // the scheduler sideband. For a single-threaded program this degenerates to
-// concatenating the (single) core windows in time order.
-func SplitByThread(cores []pt.CoreTrace, sideband []vm.SwitchRecord) []ThreadStream {
-	return SplitByThreadWorkers(cores, sideband, 0)
+// concatenating the (single) core windows in time order. tr identifies the
+// time-bearing packet kinds of the trace's source (the only per-source
+// knowledge the carve needs).
+func SplitByThread(cores []source.CoreTrace, sideband []vm.SwitchRecord, tr *source.Traits) []ThreadStream {
+	return SplitByThreadWorkers(cores, sideband, tr, 0)
 }
 
 // carveCore slices one core's trace into scheduling windows owned by
 // threads (the per-core half of SplitByThread). recs must already be
 // collapsed.
-func carveCore(ct *pt.CoreTrace, recs []vm.SwitchRecord) []window {
+func carveCore(ct *source.CoreTrace, recs []vm.SwitchRecord, tr *source.Traits) []window {
 	// windowAt returns the index of the scheduling window covering t.
 	windowAt := func(t uint64) int {
 		i := sort.Search(len(recs), func(i int) bool { return recs[i].TSC > t })
@@ -69,7 +71,7 @@ func carveCore(ct *pt.CoreTrace, recs []vm.SwitchRecord) []window {
 		return i - 1
 	}
 
-	wins := make([][]pt.Item, len(recs))
+	wins := make([][]source.Item, len(recs))
 	tsc := uint64(0)
 	wi := 0
 	for _, it := range ct.Items {
@@ -102,7 +104,7 @@ func carveCore(ct *pt.CoreTrace, recs []vm.SwitchRecord) []window {
 			}
 			continue
 		}
-		if it.Packet.Kind == pt.KTSC {
+		if tr.IsTime(it.Packet.Kind) {
 			tsc = it.Packet.TSC
 			if w := windowAt(tsc); w > wi {
 				wi = w
@@ -123,7 +125,7 @@ func carveCore(ct *pt.CoreTrace, recs []vm.SwitchRecord) []window {
 // (0 = GOMAXPROCS): cores carve their windows concurrently — each core's
 // trace is independent — and the merge walks the per-core results in core
 // order, so the stitched streams are identical for any worker count.
-func SplitByThreadWorkers(cores []pt.CoreTrace, sideband []vm.SwitchRecord, workers int) []ThreadStream {
+func SplitByThreadWorkers(cores []source.CoreTrace, sideband []vm.SwitchRecord, tr *source.Traits, workers int) []ThreadStream {
 	perCore := make(map[int][]vm.SwitchRecord)
 	maxThread := 0
 	for _, r := range sideband {
@@ -141,7 +143,7 @@ func SplitByThreadWorkers(cores []pt.CoreTrace, sideband []vm.SwitchRecord, work
 		}
 		// Collapse consecutive records with the same owner (including
 		// idle runs) so windowAt stays cheap.
-		coreWins[ci] = carveCore(&cores[ci], collapseRuns(recs))
+		coreWins[ci] = carveCore(&cores[ci], collapseRuns(recs), tr)
 	})
 	var windows []window
 	for _, ws := range coreWins {

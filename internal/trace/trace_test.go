@@ -24,7 +24,7 @@ func TestSplitSingleThread(t *testing.T) {
 		},
 	}}
 	sideband := []vm.SwitchRecord{{Core: 0, TSC: 0, Thread: 0}}
-	streams := SplitByThread(cores, sideband)
+	streams := SplitByThread(cores, sideband, pt.Traits())
 	if len(streams) != 1 {
 		t.Fatalf("streams: %d", len(streams))
 	}
@@ -47,7 +47,7 @@ func TestSplitTwoThreadsOneCore(t *testing.T) {
 		{Core: 0, TSC: 100, Thread: 1},
 		{Core: 0, TSC: 200, Thread: 0},
 	}
-	streams := SplitByThread(cores, sideband)
+	streams := SplitByThread(cores, sideband, pt.Traits())
 	count := func(tid int) (tips int) {
 		for _, it := range streams[tid].Items {
 			if !it.Gap && it.Packet.Kind == pt.KTIP {
@@ -73,7 +73,7 @@ func TestSplitStitchesAcrossCores(t *testing.T) {
 		{Core: 0, TSC: 0, Thread: 0},
 		{Core: 1, TSC: 100, Thread: 0},
 	}
-	streams := SplitByThread(cores, sideband)
+	streams := SplitByThread(cores, sideband, pt.Traits())
 	if len(streams[0].Items) != 4 {
 		t.Fatalf("stitched items: %d", len(streams[0].Items))
 	}
@@ -99,7 +99,7 @@ func TestSplitClipsGapsToWindows(t *testing.T) {
 		{Core: 0, TSC: 100, Thread: 1},
 		{Core: 0, TSC: 200, Thread: 1},
 	}
-	streams := SplitByThread(cores, sideband)
+	streams := SplitByThread(cores, sideband, pt.Traits())
 	var g0, g1 []pt.Item
 	for _, it := range streams[0].Items {
 		if it.Gap {
@@ -138,7 +138,7 @@ func TestSplitNoSidebandForCore(t *testing.T) {
 		{Core: 7, Items: []pt.Item{tscItem(0), tipItem(9)}}, // never scheduled
 	}
 	sideband := []vm.SwitchRecord{{Core: 0, TSC: 0, Thread: 0}}
-	streams := SplitByThread(cores, sideband)
+	streams := SplitByThread(cores, sideband, pt.Traits())
 	if len(streams) != 1 || len(streams[0].Items) != 2 {
 		t.Errorf("unexpected streams: %+v", streams)
 	}
@@ -161,7 +161,7 @@ func TestSplitIdleWindowsBoundGaps(t *testing.T) {
 		{Core: 0, TSC: 100, Thread: -1},
 		{Core: 0, TSC: 405, Thread: 0},
 	}
-	streams := SplitByThread(cores, sideband)
+	streams := SplitByThread(cores, sideband, pt.Traits())
 	var gaps []pt.Item
 	for _, it := range streams[0].Items {
 		if it.Gap {

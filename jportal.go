@@ -26,12 +26,25 @@ import (
 	"jportal/internal/fault"
 	"jportal/internal/meta"
 	"jportal/internal/pt"
+	"jportal/internal/source"
 	"jportal/internal/vm"
+
+	// Link in the RISC-V E-Trace backend alongside the reference Intel PT
+	// one (registered via core's ptdecode import), so archives and
+	// RunConfig.Source resolve either by ID.
+	_ "jportal/internal/etrace"
 )
 
 // RunConfig bundles the online-phase configuration.
 type RunConfig struct {
 	VM vm.Config
+	// Source selects the trace source by registry ID ("" = "intel-pt").
+	// The source owns the packet format: its collector encodes the VM's
+	// native events, its decoder turns archived packets back into the
+	// neutral event stream.
+	Source string
+	// PT configures the collector (buffer sizes, drain cadence); the knobs
+	// are source-independent, the name is historical.
 	PT pt.Config
 	// CollectOracle attaches the ground-truth oracle (simulation-only
 	// affordance used to measure accuracy; it does not exist on real
@@ -55,6 +68,9 @@ func (c RunConfig) Validate() error {
 		return fmt.Errorf("jportal: SinkChunkItems %d is negative (0 means the default)", c.SinkChunkItems)
 	}
 	if !c.DisableTracing {
+		if _, err := source.Lookup(c.Source); err != nil {
+			return fmt.Errorf("jportal: %w", err)
+		}
 		if err := c.PT.Validate(); err != nil {
 			return err
 		}
@@ -71,12 +87,24 @@ func DefaultRunConfig() RunConfig {
 // RunResult is everything the online phase produces.
 type RunResult struct {
 	Stats    *vm.Stats
-	Traces   []pt.CoreTrace
+	Traces   []source.CoreTrace
 	Sideband []vm.SwitchRecord
 	Snapshot *meta.Snapshot
 	Oracle   *Oracle
+	// SourceID names the trace source that produced Traces ("" is read as
+	// "intel-pt", so pre-refactor results and archives keep working).
+	SourceID string
 	// GenBytes is the total trace volume generated (exported + lost).
 	GenBytes uint64
+}
+
+// Source resolves the run's trace source from its recorded ID.
+func (r *RunResult) Source() (source.Source, error) {
+	s, err := source.Lookup(r.SourceID)
+	if err != nil {
+		return nil, fmt.Errorf("jportal: %w", err)
+	}
+	return s, nil
 }
 
 // Run executes prog's threads under the simulated JVM with PT collection.
@@ -92,9 +120,14 @@ func Run(prog *bytecode.Program, threads []vm.ThreadSpec, cfg RunConfig) (*RunRe
 		threads = []vm.ThreadSpec{{Method: prog.Entry}}
 	}
 	m := vm.New(prog, cfg.VM)
-	var col *pt.Collector
+	var src source.Source
+	var col source.Collector
 	if !cfg.DisableTracing {
-		col = pt.NewCollector(cfg.PT, cfg.VM.Cores)
+		var err error
+		if src, err = source.Lookup(cfg.Source); err != nil {
+			return nil, fmt.Errorf("jportal: %w", err)
+		}
+		col = src.NewCollector(cfg.PT, cfg.VM.Cores)
 		m.Tracer = col
 	}
 	var oracle *Oracle
@@ -114,7 +147,8 @@ func Run(prog *bytecode.Program, threads []vm.ThreadSpec, cfg RunConfig) (*RunRe
 	}
 	if col != nil {
 		res.Traces = col.Finish(m.FinalTSC())
-		res.GenBytes = col.GenBytes
+		res.GenBytes = col.GeneratedBytes()
+		res.SourceID = src.ID()
 	}
 	return res, nil
 }
@@ -140,6 +174,15 @@ type Analysis struct {
 func Analyze(prog *bytecode.Program, run *RunResult, cfg core.PipelineConfig) (*Analysis, error) {
 	if run == nil || run.Traces == nil {
 		return nil, errors.New("jportal: run has no traces (tracing disabled?)")
+	}
+	if cfg.Source == nil {
+		// Route decoding by the run's recorded source: an archive collected
+		// with the E-Trace backend decodes with it, transparently.
+		src, err := run.Source()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Source = src
 	}
 	ncores := 1
 	for i := range run.Traces {

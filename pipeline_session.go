@@ -7,8 +7,8 @@ import (
 
 	"jportal/internal/core"
 	"jportal/internal/meta"
-	"jportal/internal/pt"
 	"jportal/internal/ring"
+	"jportal/internal/source"
 	"jportal/internal/trace"
 	"jportal/internal/vm"
 )
@@ -60,7 +60,7 @@ type pipeMsg struct {
 	kind  pipeKind
 	core  int
 	mark  uint64
-	items []pt.Item
+	items []source.Item
 	recs  []vm.SwitchRecord
 	blobs []*meta.CompiledMethod
 	ctx   context.Context
@@ -79,7 +79,7 @@ const (
 type workMsg struct {
 	kind   workKind
 	thread int
-	items  []pt.Item
+	items  []source.Item
 	blobs  []*meta.CompiledMethod
 	ctx    context.Context
 	wg     *sync.WaitGroup // wkSync

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"jportal/internal/bytecode"
@@ -13,6 +14,18 @@ import (
 	"jportal/internal/workload"
 )
 
+// forceTwoProcs lifts GOMAXPROCS to 2 for the duration of the test, so
+// the ring-connected stages actually run on single-CPU CI machines:
+// PipelineConfig.EffectivePipelined falls back to the synchronous session
+// below two procs, and these tests exist precisely to exercise the rings.
+func forceTwoProcs(t *testing.T) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old < 2 {
+		runtime.GOMAXPROCS(2)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
 // TestPipelinedMatchesBatchAllSubjects is the golden equivalence check of
 // the ring handoff (DESIGN.md §12): for every benchmark subject, the
 // pipelined Session — SPSC rings between caller, stitcher and sharded
@@ -20,6 +33,7 @@ import (
 // every worker count and ring size, including the degenerate capacity-1
 // ring that forces a handoff stall on every message.
 func TestPipelinedMatchesBatchAllSubjects(t *testing.T) {
+	forceTwoProcs(t)
 	variants := []struct {
 		workers int
 		ring    int
@@ -59,6 +73,7 @@ func TestPipelinedMatchesBatchAllSubjects(t *testing.T) {
 // replicas: blobs travel in-band through the rings, so every worker sees
 // a dump before the first chunk that references it (§3.2 ordering).
 func TestPipelinedLiveMatchesBatch(t *testing.T) {
+	forceTwoProcs(t)
 	s := workload.MustLoad("h2", 0.5)
 	rcfg := DefaultRunConfig()
 	rcfg.CollectOracle = false
@@ -93,6 +108,7 @@ func TestPipelinedLiveMatchesBatch(t *testing.T) {
 // returns the raw bytes of the sealed stream.jpt.
 func collectArchive(t *testing.T, ringSize int) []byte {
 	t.Helper()
+	forceTwoProcs(t)
 	s := workload.MustLoad("fop", 0.25)
 	rcfg := DefaultRunConfig()
 	rcfg.CollectOracle = false

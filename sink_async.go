@@ -4,8 +4,8 @@ import (
 	"sync/atomic"
 
 	"jportal/internal/meta"
-	"jportal/internal/pt"
 	"jportal/internal/ring"
+	"jportal/internal/source"
 	"jportal/internal/vm"
 )
 
@@ -105,7 +105,7 @@ func (a *AsyncSink) Watermark(core int, w uint64) {
 
 // Feed enqueues one trace chunk (TraceSink). The collector allocates
 // chunk slices fresh per delivery, so ownership transfers without a copy.
-func (a *AsyncSink) Feed(core int, items []pt.Item) error {
+func (a *AsyncSink) Feed(core int, items []source.Item) error {
 	if a.closed {
 		return a.Err()
 	}

@@ -13,7 +13,7 @@ import (
 	"jportal/internal/meta"
 	"jportal/internal/metrics"
 	"jportal/internal/profile"
-	"jportal/internal/pt"
+	"jportal/internal/source"
 	"jportal/internal/trace"
 	"jportal/internal/vm"
 )
@@ -73,16 +73,17 @@ func OpenSession(prog *bytecode.Program, snap *meta.Snapshot, ncores int, cfg co
 		return nil, fmt.Errorf("jportal: session needs at least one core, got %d", ncores)
 	}
 	snap.Seal()
+	pipe := core.NewPipeline(prog, cfg)
 	s := &Session{
 		prog:   prog,
 		snap:   snap,
-		pipe:   core.NewPipeline(prog, cfg),
-		st:     trace.NewStreamStitcher(ncores),
+		pipe:   pipe,
+		st:     trace.NewStreamStitcher(ncores, pipe.Source().Traits()),
 		ncores: ncores,
 		ledger: fault.NewLedger(metrics.Default),
 	}
 	s.st.SetLedger(s.ledger)
-	if cfg.Pipelined {
+	if cfg.EffectivePipelined() {
 		s.pl = newPipelinedSession(s)
 	}
 	return s, nil
@@ -148,7 +149,7 @@ func (s *Session) AddBlobs(blobs []*meta.CompiledMethod) error {
 // Feed delivers one chunk of a core's exported trace, in export order.
 // The pipelined session copies the items before enqueueing, so the caller
 // may reuse its buffer immediately (the archive reader does).
-func (s *Session) Feed(core int, items []pt.Item) error {
+func (s *Session) Feed(core int, items []source.Item) error {
 	if s.closed {
 		return errors.New("jportal: Feed on closed session")
 	}
@@ -156,7 +157,7 @@ func (s *Session) Feed(core int, items []pt.Item) error {
 		if core < 0 || core >= s.ncores {
 			return fmt.Errorf("jportal: chunk for core %d, session has %d cores", core, s.ncores)
 		}
-		s.pl.in.Push(pipeMsg{kind: pkChunk, core: core, items: append([]pt.Item(nil), items...)}, nil)
+		s.pl.in.Push(pipeMsg{kind: pkChunk, core: core, items: append([]source.Item(nil), items...)}, nil)
 		return nil
 	}
 	if err := s.st.Feed(core, items); err != nil {
@@ -354,7 +355,7 @@ func (s *Session) degradationReport() *fault.DegradationReport {
 type TraceSink interface {
 	AddSideband(recs []vm.SwitchRecord)
 	Watermark(core int, w uint64)
-	Feed(core int, items []pt.Item) error
+	Feed(core int, items []source.Item) error
 	Drain() error
 }
 
@@ -388,7 +389,11 @@ func RunWithSink(prog *bytecode.Program, threads []vm.ThreadSpec, cfg RunConfig,
 		threads = []vm.ThreadSpec{{Method: prog.Entry}}
 	}
 	m := vm.New(prog, cfg.VM)
-	col := pt.NewCollector(cfg.PT, cfg.VM.Cores)
+	src, err := source.Lookup(cfg.Source)
+	if err != nil {
+		return nil, fmt.Errorf("jportal: %w", err)
+	}
+	col := src.NewCollector(cfg.PT, cfg.VM.Cores)
 	m.Tracer = col
 	var oracle *Oracle
 	if cfg.CollectOracle {
@@ -424,7 +429,7 @@ func RunWithSink(prog *bytecode.Program, threads []vm.ThreadSpec, cfg RunConfig,
 			sink.Watermark(c, w)
 		}
 	}
-	col.SetSink(cfg.SinkChunkItems, func(c int, items []pt.Item) {
+	col.SetSink(cfg.SinkChunkItems, func(c int, items []source.Item) {
 		if sinkErr != nil {
 			return
 		}
@@ -455,7 +460,8 @@ func RunWithSink(prog *bytecode.Program, threads []vm.ThreadSpec, cfg RunConfig,
 		Sideband: m.Sideband(),
 		Snapshot: m.Snapshot,
 		Oracle:   oracle,
-		GenBytes: col.GenBytes,
+		SourceID: src.ID(),
+		GenBytes: col.GeneratedBytes(),
 	}, nil
 }
 
@@ -464,6 +470,13 @@ func RunWithSink(prog *bytecode.Program, threads []vm.ThreadSpec, cfg RunConfig,
 // drain, and whole per-core traces are never materialised. The returned
 // Analysis equals Run + Analyze on the same program and configuration.
 func AnalyzeStreamed(prog *bytecode.Program, threads []vm.ThreadSpec, rcfg RunConfig, pcfg core.PipelineConfig) (*RunResult, *Analysis, error) {
+	if pcfg.Source == nil && rcfg.Source != "" {
+		src, err := source.Lookup(rcfg.Source)
+		if err != nil {
+			return nil, nil, fmt.Errorf("jportal: %w", err)
+		}
+		pcfg.Source = src
+	}
 	var sess *Session
 	run, err := RunWithSink(prog, threads, rcfg,
 		func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (TraceSink, error) {

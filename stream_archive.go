@@ -19,7 +19,7 @@ import (
 	"jportal/internal/fault"
 	"jportal/internal/meta"
 	"jportal/internal/metrics"
-	"jportal/internal/pt"
+	"jportal/internal/source"
 	"jportal/internal/streamfmt"
 	"jportal/internal/vm"
 	"jportal/internal/watchdog"
@@ -68,10 +68,18 @@ type StreamArchiveWriter struct {
 // exported separately for the ingest server, which assembles the same
 // archive from records relayed over the network.
 func InitChunkedArchiveDir(dir string) error {
+	return InitChunkedArchiveDirSource(dir, "")
+}
+
+// InitChunkedArchiveDirSource is InitChunkedArchiveDir for a run collected
+// by the named trace source ("" = the default, Intel PT): the header
+// records the source ID so readers decode the chunks with the right
+// backend.
+func InitChunkedArchiveDirSource(dir, srcID string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return writeArchiveMeta(dir, LayoutChunked)
+	return writeArchiveMeta(dir, LayoutChunked, srcID)
 }
 
 // WriteArchiveProgram validates that programGob decodes to a well-formed
@@ -94,10 +102,19 @@ func WriteArchiveProgram(dir string, programGob []byte) error {
 // template table and stubs exist before any thread runs; compiled methods
 // arrive later as blob records).
 func CreateStreamArchive(dir string, prog *bytecode.Program, snap *meta.Snapshot, ncores int) (*StreamArchiveWriter, error) {
+	return CreateStreamArchiveSource(dir, prog, snap, ncores, "")
+}
+
+// CreateStreamArchiveSource is CreateStreamArchive for a run collected by
+// the named trace source ("" = the default, Intel PT).
+func CreateStreamArchiveSource(dir string, prog *bytecode.Program, snap *meta.Snapshot, ncores int, srcID string) (*StreamArchiveWriter, error) {
 	if ncores <= 0 {
 		return nil, fmt.Errorf("jportal: stream archive needs at least one core, got %d", ncores)
 	}
-	if err := InitChunkedArchiveDir(dir); err != nil {
+	if _, err := source.Lookup(srcID); err != nil {
+		return nil, fmt.Errorf("jportal: %w", err)
+	}
+	if err := InitChunkedArchiveDirSource(dir, srcID); err != nil {
 		return nil, err
 	}
 	if err := writeGob(filepath.Join(dir, "program.gob"), prog); err != nil {
@@ -160,9 +177,9 @@ func (w *StreamArchiveWriter) Watermark(core int, mark uint64) {
 	}
 }
 
-// Feed appends one chunk record framing the items with pt.AppendItem
+// Feed appends one chunk record framing the items with source.AppendItem
 // (TraceSink).
-func (w *StreamArchiveWriter) Feed(core int, items []pt.Item) error {
+func (w *StreamArchiveWriter) Feed(core int, items []source.Item) error {
 	if w.err != nil {
 		return w.err
 	}
@@ -233,21 +250,28 @@ type StreamArchiveReader struct {
 	off    int64  // file offset of the first byte past buf
 	crc    uint32 // checksum of all consumed bytes (header + records, pre-seal)
 	sealed bool
+	// src is the trace source the archive header names; its traits
+	// validate every decoded item.
+	src source.Source
 	// items is the chunk-record decode buffer, reused across Next calls:
 	// a chunk event's Items alias it and are valid until the next Next.
-	items []pt.Item
+	items []source.Item
 }
 
 // OpenStreamArchive opens dir (which must be a chunked-layout archive) and
 // reads the fixed header. The initial snapshot record arrives as the first
 // Next event.
 func OpenStreamArchive(dir string) (*StreamArchiveReader, error) {
-	_, layout, err := readArchiveMeta(dir)
+	_, layout, srcID, err := readArchiveMeta(dir)
 	if err != nil {
 		return nil, err
 	}
 	if layout != LayoutChunked {
 		return nil, fmt.Errorf("jportal: %s is a %q archive, not a chunked stream", dir, layout)
+	}
+	src, err := source.Lookup(srcID)
+	if err != nil {
+		return nil, fmt.Errorf("jportal: %s: %w", dir, err)
 	}
 	var prog bytecode.Program
 	if err := readGob(filepath.Join(dir, "program.gob"), &prog); err != nil {
@@ -260,7 +284,7 @@ func OpenStreamArchive(dir string) (*StreamArchiveReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &StreamArchiveReader{f: f}
+	r := &StreamArchiveReader{f: f, src: src}
 	if err := r.fill(streamfmt.HeaderLen); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("jportal: %s: truncated stream header", dir)
@@ -280,6 +304,9 @@ func (r *StreamArchiveReader) Program() *bytecode.Program { return r.prog }
 
 // NumCores returns the stream's core count.
 func (r *StreamArchiveReader) NumCores() int { return r.ncores }
+
+// Source returns the trace source the archive was collected with.
+func (r *StreamArchiveReader) Source() source.Source { return r.src }
 
 // Close closes the underlying file.
 func (r *StreamArchiveReader) Close() error { return r.f.Close() }
@@ -338,7 +365,7 @@ func (r *StreamArchiveReader) Next() (*StreamEvent, error) {
 			return nil, ferr
 		}
 	}
-	ev, _, err := streamfmt.DecodeInto(r.buf[:n], r.items)
+	ev, _, err := streamfmt.DecodeInto(r.buf[:n], r.items, r.src.Traits())
 	if err != nil {
 		return nil, fmt.Errorf("jportal: stream archive: %w", err)
 	}
@@ -435,6 +462,10 @@ func AnalyzeStreamArchiveOpts(ctx context.Context, dir string, cfg core.Pipeline
 		return nil, nil, err
 	}
 	defer r.Close()
+	if cfg.Source == nil {
+		// Decode with the backend the archive was collected with.
+		cfg.Source = r.Source()
+	}
 	if opts.Poll <= 0 {
 		opts.Poll = 50 * time.Millisecond
 	}
@@ -656,7 +687,7 @@ func AnalyzeStreamArchiveOpts(ctx context.Context, dir string, cfg core.Pipeline
 // loadChunkedRun materialises a sealed chunked archive as a batch
 // RunResult, so every batch consumer (jportal decode, experiments) accepts
 // either layout.
-func loadChunkedRun(dir string) (*bytecode.Program, *RunResult, error) {
+func loadChunkedRun(dir string, src source.Source) (*bytecode.Program, *RunResult, error) {
 	r, err := OpenStreamArchive(dir)
 	if err != nil {
 		return nil, nil, err
@@ -664,7 +695,7 @@ func loadChunkedRun(dir string) (*bytecode.Program, *RunResult, error) {
 	defer r.Close()
 	var snap *meta.Snapshot
 	var sideband []vm.SwitchRecord
-	items := make([][]pt.Item, r.NumCores())
+	items := make([][]source.Item, r.NumCores())
 	for {
 		ev, err := r.Next()
 		if err == io.EOF {
@@ -696,9 +727,9 @@ func loadChunkedRun(dir string) (*bytecode.Program, *RunResult, error) {
 	if snap == nil {
 		return nil, nil, fmt.Errorf("jportal: %s: stream has no snapshot record", dir)
 	}
-	traces := make([]pt.CoreTrace, r.NumCores())
+	traces := make([]source.CoreTrace, r.NumCores())
 	for c := range traces {
-		traces[c] = pt.CoreTrace{Core: c, Items: items[c]}
+		traces[c] = source.CoreTrace{Core: c, Items: items[c]}
 	}
-	return r.Program(), &RunResult{Traces: traces, Sideband: sideband, Snapshot: snap}, nil
+	return r.Program(), &RunResult{Traces: traces, Sideband: sideband, Snapshot: snap, SourceID: src.ID()}, nil
 }
