@@ -121,6 +121,16 @@ func readArchiveMeta(dir string) (version int, layout, srcID string, err error) 
 	return version, layout, srcID, nil
 }
 
+// ArchiveSourceID reports the trace-source backend a run archive was
+// collected by (source.DefaultID when the header carries no source key).
+// The ingest layer uses it to route a pushed or handed-off session to the
+// right decoder, and the fleet aggregation tier to analyze mixed-source
+// archives with their own backends.
+func ArchiveSourceID(dir string) (string, error) {
+	_, _, srcID, err := readArchiveMeta(dir)
+	return srcID, err
+}
+
 // SaveRun writes prog and the run's offline-relevant artefacts into dir
 // (created if missing).
 func SaveRun(dir string, prog *bytecode.Program, run *RunResult) error {

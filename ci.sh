@@ -3,7 +3,8 @@
 #
 #   ./ci.sh          vet + build + full tests + race-detector pass over the
 #                    concurrent packages (core, trace, conc, pt, source,
-#                    etrace) and the root streaming tests + benchmark smoke
+#                    etrace, ingest, fleet) and the root streaming tests +
+#                    benchmark smoke
 #
 # The race pass covers the offline-phase parallelism introduced with the
 # worker pool — the read-only Matcher contract, the per-core trace carve and
@@ -30,11 +31,11 @@ go test -race ./internal/core/... ./internal/trace/... ./internal/conc/... ./int
 echo "==> go test -race (root streaming tests)"
 go test -race -run 'TestStream|TestAnalyzeStreamed|TestSession|TestAnalyzeDeterministicAcrossWorkers|TestPipelined|TestAsyncSink' .
 
-echo "==> go test -race (ingest service)"
-go test -race ./internal/ingest/...
+echo "==> go test -race (ingest service + fleet)"
+go test -race ./internal/ingest/... ./internal/fleet/...
 
-echo "==> go test -race (root ingest e2e)"
-go test -race -run 'TestIngest' .
+echo "==> go test -race (root ingest + fleet e2e)"
+go test -race -run 'TestIngest|TestFleet' .
 
 echo "==> serve/push loopback smoke"
 SMOKE=$(mktemp -d)
@@ -53,6 +54,49 @@ wait "$SERVE_PID"
 cmp "$SMOKE/local/stream.jpt" "$SMOKE/ingest/smoke/stream.jpt"
 cmp "$SMOKE/local/program.gob" "$SMOKE/ingest/smoke/program.gob"
 echo "    loopback archive byte-identical"
+
+echo "==> fleet smoke (coordinator + 2 nodes, SIGKILL one mid-fleet)"
+# A real multi-process fleet over one shared data dir: two sessions pushed
+# through the coordinator, one node SIGKILLed while the fleet is live. The
+# survivor takes over the dead node's hash range (1s lease) and both
+# archives must still come out byte-identical — the deterministic
+# mid-CHUNK variant of this is pinned by TestFleetNodeLossResume.
+"$SMOKE/jportal" coordinate -listen 127.0.0.1:7911 -http 127.0.0.1:7912 -lease 1s >"$SMOKE/coord.log" 2>&1 &
+COORD_PID=$!
+for i in $(seq 1 50); do
+    grep -q 'control plane' "$SMOKE/coord.log" && break
+    sleep 0.1
+done
+"$SMOKE/jportal" serve -listen 127.0.0.1:7913 -data "$SMOKE/fleet" \
+    -coordinator http://127.0.0.1:7912 -node fleet-a >"$SMOKE/node-a.log" 2>&1 &
+NODE_A_PID=$!
+"$SMOKE/jportal" serve -listen 127.0.0.1:7914 -data "$SMOKE/fleet" \
+    -coordinator http://127.0.0.1:7912 -node fleet-b >"$SMOKE/node-b.log" 2>&1 &
+NODE_B_PID=$!
+for i in $(seq 1 50); do
+    grep -q 'joined fleet' "$SMOKE/node-a.log" && grep -q 'joined fleet' "$SMOKE/node-b.log" && break
+    sleep 0.1
+done
+"$SMOKE/jportal" push -addr 127.0.0.1:7911 -id fleet-s1 "$SMOKE/local" >/dev/null &
+PUSH1_PID=$!
+"$SMOKE/jportal" push -addr 127.0.0.1:7911 -id fleet-s2 "$SMOKE/local" >/dev/null &
+PUSH2_PID=$!
+kill -9 "$NODE_A_PID"
+wait "$NODE_A_PID" 2>/dev/null || true
+wait "$PUSH1_PID"
+wait "$PUSH2_PID"
+"$SMOKE/jportal" fleet -coordinator http://127.0.0.1:7912 nodes >"$SMOKE/fleet-nodes.txt"
+"$SMOKE/jportal" fleet -coordinator http://127.0.0.1:7912 metrics | grep -q '"fleet_nodes"'
+kill -TERM "$NODE_B_PID"
+wait "$NODE_B_PID"
+kill -TERM "$COORD_PID"
+wait "$COORD_PID"
+cmp "$SMOKE/local/stream.jpt" "$SMOKE/fleet/fleet-s1/stream.jpt"
+cmp "$SMOKE/local/stream.jpt" "$SMOKE/fleet/fleet-s2/stream.jpt"
+cmp "$SMOKE/local/program.gob" "$SMOKE/fleet/fleet-s1/program.gob"
+cmp "$SMOKE/local/program.gob" "$SMOKE/fleet/fleet-s2/program.gob"
+"$SMOKE/jportal" fleet -data "$SMOKE/fleet" report | grep -q 'fleet report: 2 session(s), 0 skipped'
+echo "    both sessions survived the node kill, archives byte-identical"
 
 echo "==> chaos smoke (fixed seed, deterministic report, nonzero coverage)"
 # The chaos command exits nonzero if any rate's coverage collapses to zero,

@@ -1,0 +1,153 @@
+// The fleet commands: `jportal coordinate` runs the control plane a
+// multi-node ingest fleet registers with, and `jportal fleet` queries a
+// running coordinator (nodes, merged metrics) or aggregates the shared
+// data directory into one fleet-level report.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"jportal/internal/fleet"
+)
+
+func cmdCoordinate(args []string) error {
+	fs := flag.NewFlagSet("coordinate", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7070", "ingest handshake address (clients HELLO here and get redirected)")
+	httpAddr := fs.String("http", "127.0.0.1:7072", "control-plane address (/register, /heartbeat, /nodes, /metrics)")
+	lease := fs.Duration("lease", 10*time.Second, "membership lease TTL; nodes heartbeat at a third of this")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("coordinate takes no positional arguments")
+	}
+
+	c := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		LeaseTTL: *lease,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "coordinate: "+format+"\n", a...)
+		},
+	})
+	defer c.Close()
+
+	hln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: c.Handler()}
+	go httpSrv.Serve(hln)
+	defer httpSrv.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("jportal coordinate: ingest handshakes on %s, control plane on http://%s (lease %s)\n",
+		ln.Addr(), hln.Addr(), *lease)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- c.ServeIngest(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("jportal coordinate: %v, shutting down\n", s)
+		ln.Close()
+		<-serveErr
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}
+
+func cmdFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	coordinator := fs.String("coordinator", "http://127.0.0.1:7072", "coordinator control-plane URL (nodes, metrics)")
+	data := fs.String("data", "ingest-data", "shared fleet data directory (report)")
+	top := fs.Int("top", 10, "hot methods to rank (report)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: jportal fleet [flags] nodes|metrics|report")
+	}
+	switch sub := fs.Arg(0); sub {
+	case "nodes":
+		return fleetNodes(*coordinator)
+	case "metrics":
+		return fleetMetrics(*coordinator)
+	case "report":
+		agg, err := fleet.Aggregate(*data, *top)
+		if err != nil {
+			return err
+		}
+		fmt.Print(agg.Format())
+		return nil
+	default:
+		return fmt.Errorf("unknown fleet subcommand %q (want nodes, metrics or report)", sub)
+	}
+}
+
+func fleetNodes(coordinator string) error {
+	var ms fleet.Membership
+	if err := getJSON(coordinator+"/nodes", &ms); err != nil {
+		return err
+	}
+	fmt.Printf("fleet: %d node(s), lease %s\n", len(ms.Nodes), time.Duration(ms.LeaseTTLMillis)*time.Millisecond)
+	names := make([]string, 0, len(ms.Nodes))
+	for name := range ms.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-20s %s\n", name, ms.Nodes[name])
+	}
+	return nil
+}
+
+func fleetMetrics(coordinator string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, coordinator+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/metrics: status %s", coordinator, resp.Status)
+	}
+	// The coordinator already emits the stable key-sorted JSON form;
+	// print it verbatim so scripts can consume the output directly.
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func getJSON(url string, v any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -39,6 +39,7 @@ import (
 	"jportal/internal/bytecode"
 	"jportal/internal/core"
 	"jportal/internal/experiments"
+	"jportal/internal/fleet"
 	"jportal/internal/meta"
 	"jportal/internal/metrics"
 	"jportal/internal/profile"
@@ -73,6 +74,10 @@ func main() {
 		err = cmdServe(args)
 	case "push":
 		err = cmdPush(args)
+	case "coordinate":
+		err = cmdCoordinate(args)
+	case "fleet":
+		err = cmdFleet(args)
 	case "disasm":
 		err = cmdDisasm(args)
 	case "chaos":
@@ -111,10 +116,19 @@ commands:
                                 -pipeline uses the ring-connected stages)
   serve                        trace-ingest server: agents push archives over TCP
                                (-listen, -http metrics sidecar, -data, -queue,
-                                -policy block|nack, -drain shutdown budget)
+                                -policy block|nack, -drain shutdown budget;
+                                -coordinator/-node/-advertise join a fleet)
   push    <dir>                upload a chunked archive to a jportal serve
                                (-addr, -id session, resumable; -live runs a
-                                subject and streams its records as they appear)
+                                subject and streams its records as they appear;
+                                -addr may name a coordinator or any fleet node)
+  coordinate                   fleet control plane: nodes register under
+                               heartbeat leases, sessions consistent-hash onto
+                               them, clients are redirected to their owner
+                               (-listen handshakes, -http control, -lease TTL)
+  fleet   nodes|metrics|report query a coordinator (-coordinator URL) or
+                               aggregate the shared data dir (-data, -top)
+                               into a fleet-wide coverage/hot-method report
   disasm  <file.jasm>          assemble and pretty-print a program
   chaos                        fault-injection sweep: coverage vs fault rate
                                (-subjects, -seed, -rates, -scale, -cores;
@@ -588,6 +602,15 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
+	if !*quick {
+		// Sharded-ingest throughput: the same sessions through a
+		// coordinator onto 1 node (baseline) and onto 2. Full mode only, so
+		// `bench -quick` guard runs stay comparable with old snapshots.
+		rep.Fleet, err = fleet.BenchIngest("h2", *scale, []int{1, 2}, 4, *reps)
+		if err != nil {
+			return err
+		}
+	}
 	for _, k := range rep.Kernels {
 		fmt.Printf("kernel %-18s %12.0f ns/op %8.0f B/op %6.0f allocs/op",
 			k.Name, k.NsPerOp, k.BytesPerOp, k.AllocsPerOp)
@@ -602,6 +625,10 @@ func cmdBench(args []string) error {
 	}
 	for _, s := range rep.Subjects {
 		fmt.Printf("subject %-12s x%.2g %10.1f ms\n", s.Name, s.Scale, s.WallMs)
+	}
+	for _, f := range rep.Fleet {
+		fmt.Printf("fleet   %d node(s) %d sessions %10.1f ms  %6.2f MB/s\n",
+			f.Nodes, f.Sessions, f.WallMs, f.TraceMBPerSec)
 	}
 	if *out != "" {
 		if err := bench.Write(*out, rep); err != nil {

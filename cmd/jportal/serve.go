@@ -21,6 +21,7 @@ import (
 	"jportal"
 	"jportal/internal/bytecode"
 	"jportal/internal/experiments"
+	"jportal/internal/fleet"
 	"jportal/internal/ingest"
 	"jportal/internal/ingest/client"
 	"jportal/internal/meta"
@@ -38,6 +39,9 @@ func cmdServe(args []string) error {
 	budget := fs.Int64("budget", 0, "global queued-payload memory budget in bytes (0 = unlimited)")
 	breaker := fs.Int("breaker", 0, "NACKs before a session's circuit breaker poisons it (0 = disabled)")
 	stall := fs.Duration("stall", 0, "poison a session whose writer makes no progress for this long (0 = disabled)")
+	coordinator := fs.String("coordinator", "", "fleet coordinator control-plane URL; empty = standalone")
+	node := fs.String("node", "", "fleet node name (default: hostname)")
+	advertise := fs.String("advertise", "", "ingest address advertised to the fleet (default: the -listen address)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments")
@@ -66,6 +70,7 @@ func cmdServe(args []string) error {
 		ln.Addr(), *data, *queue, *policy)
 
 	var httpSrv *http.Server
+	var metricsURL string
 	if *httpAddr != "" {
 		hln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -74,7 +79,42 @@ func cmdServe(args []string) error {
 		}
 		httpSrv = &http.Server{Handler: srv.Observability()}
 		go httpSrv.Serve(hln)
-		fmt.Printf("jportal serve: metrics on http://%s/metrics\n", hln.Addr())
+		metricsURL = fmt.Sprintf("http://%s/metrics", hln.Addr())
+		fmt.Printf("jportal serve: metrics on %s\n", metricsURL)
+	}
+
+	// Fleet membership: register with the coordinator and install the
+	// shared hash ring as the router, so HELLOs for sessions owned by a
+	// sibling node answer with a REDIRECT instead of ingesting here.
+	var member *fleet.Member
+	if *coordinator != "" {
+		name := *node
+		if name == "" {
+			if name, err = os.Hostname(); err != nil || name == "" {
+				name = fmt.Sprintf("node-%d", os.Getpid())
+			}
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = ln.Addr().String()
+		}
+		joinCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		member, err = fleet.Join(joinCtx, fleet.MemberConfig{
+			Name:           name,
+			CoordinatorURL: *coordinator,
+			IngestAddr:     adv,
+			MetricsURL:     metricsURL,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, "serve: "+format+"\n", a...)
+			},
+		})
+		cancel()
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		srv.SetRouter(member)
+		fmt.Printf("jportal serve: joined fleet at %s as %q (advertising %s)\n", *coordinator, name, adv)
 	}
 
 	serveErr := make(chan error, 1)
@@ -86,10 +126,21 @@ func cmdServe(args []string) error {
 	case s := <-sig:
 		fmt.Printf("jportal serve: %v, draining (budget %s)\n", s, *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		// Leave the fleet before draining: the coordinator immediately
+		// routes new sessions elsewhere while attached clients finish
+		// inside the drain budget.
+		if member != nil {
+			if derr := member.Drain(ctx); derr != nil {
+				fmt.Fprintf(os.Stderr, "serve: fleet deregister failed: %v\n", derr)
+			}
+		}
 		err = srv.Shutdown(ctx)
 		cancel()
 		<-serveErr
 	case err = <-serveErr:
+		if member != nil {
+			member.Stop()
+		}
 	}
 	if httpSrv != nil {
 		httpSrv.Close()
@@ -113,6 +164,7 @@ func cmdPush(args []string) error {
 	scale := fs.Float64("scale", 1.0, "workload scale (-live)")
 	buf := fs.Int("buf", 128, "paper-label buffer size in MB (-live)")
 	items := fs.Int("items", 0, "export granularity in trace items, as collect -chunk (0 = default, -live)")
+	src := fs.String("source", "", sourceFlagHelp()+" (-live; archive pushes announce their recorded source)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		if *live {
@@ -145,6 +197,8 @@ func cmdPush(args []string) error {
 		cfg.CollectOracle = false
 		cfg.PT.BufBytes = uint64(*buf) << (20 - experiments.BufScaleShift)
 		cfg.SinkChunkItems = *items
+		cfg.Source = *src
+		opts.SourceID = *src
 		var sink *client.LiveSink
 		run, err := jportal.RunWithSink(prog, threads, cfg,
 			func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (jportal.TraceSink, error) {

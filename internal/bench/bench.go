@@ -10,7 +10,9 @@
 //     allocs/op, B/op, and derived per-second rates;
 //   - streaming: end-to-end replay of a chunked archive — trace bytes/s
 //     and bytecodes reconstructed/s at a given worker count;
-//   - subjects: batch-analysis wall-clock per benchmark subject.
+//   - subjects: batch-analysis wall-clock per benchmark subject;
+//   - fleet (optional): sharded-ingest throughput, the same session set
+//     pushed through a coordinator onto 1 node and onto N.
 //
 // Wall-clock numbers move with the machine and its load; allocs/op is a
 // property of the code alone. The CI guard therefore compares only
@@ -56,6 +58,19 @@ type Subject struct {
 	WallMs float64 `json:"wall_ms"` // min over Reps
 }
 
+// Fleet is one sharded-ingest throughput measurement: the same session
+// set pushed through a coordinator onto N nodes (DESIGN.md §14). The
+// 1-node row is the baseline the multi-node rows are read against.
+type Fleet struct {
+	Nodes    int `json:"nodes"`
+	Sessions int `json:"sessions"`
+	// TraceBytes is the payload per session; the fleet ingests
+	// Sessions x TraceBytes in total.
+	TraceBytes    int64   `json:"trace_bytes"`
+	WallMs        float64 `json:"wall_ms"` // min over Reps
+	TraceMBPerSec float64 `json:"trace_mb_per_sec"`
+}
+
 // Report is one committed BENCH_<n>.json snapshot.
 type Report struct {
 	PR        int    `json:"pr"`
@@ -70,6 +85,7 @@ type Report struct {
 	Kernels   []Kernel    `json:"kernels"`
 	Streaming []Streaming `json:"streaming,omitempty"`
 	Subjects  []Subject   `json:"subjects,omitempty"`
+	Fleet     []Fleet     `json:"fleet,omitempty"`
 }
 
 // Kernel returns the named kernel entry, or nil.

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"jportal"
+	"jportal/internal/bench"
+	"jportal/internal/bytecode"
+	"jportal/internal/ingest"
+	"jportal/internal/ingest/client"
+	"jportal/internal/meta"
+	"jportal/internal/workload"
+)
+
+// BenchIngest measures sharded-ingest throughput for the BENCH_<n>.json
+// fleet section: one chunked archive is collected once, then pushed as
+// `sessions` concurrent sessions through a real coordinator onto each
+// node count in nodeCounts (fresh nodes and data dir per run, unique
+// session ids per rep so nothing resume-skips). The recorded wall is the
+// minimum over reps; throughput counts the trace payload all sessions
+// delivered. Lives here rather than the root bench suite because the
+// fleet package imports jportal for aggregation — the root cannot import
+// it back.
+func BenchIngest(subject string, scale float64, nodeCounts []int, sessions, reps int) ([]bench.Fleet, error) {
+	if sessions <= 0 {
+		sessions = 4
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	tmp, err := os.MkdirTemp("", "jportal-fleet-bench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	arch := filepath.Join(tmp, "archive")
+	s, err := workload.Load(subject, workload.Scale(scale))
+	if err != nil {
+		return nil, err
+	}
+	var w *jportal.StreamArchiveWriter
+	if _, err := jportal.RunWithSink(s.Program, s.Threads, jportal.DefaultRunConfig(),
+		func(p *bytecode.Program, snap *meta.Snapshot, nc int) (jportal.TraceSink, error) {
+			var err error
+			w, err = jportal.CreateStreamArchive(arch, p, snap, nc)
+			return w, err
+		}); err != nil {
+		return nil, err
+	}
+	if err := w.Seal(); err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(filepath.Join(arch, jportal.StreamFileName))
+	if err != nil {
+		return nil, err
+	}
+
+	var out []bench.Fleet
+	for _, nodes := range nodeCounts {
+		best := time.Duration(math.MaxInt64)
+		for rep := 0; rep < reps; rep++ {
+			d, err := benchFleetOnce(arch, nodes, sessions, fmt.Sprintf("r%d", rep))
+			if err != nil {
+				return nil, err
+			}
+			if d < best {
+				best = d
+			}
+		}
+		sec := best.Seconds()
+		out = append(out, bench.Fleet{
+			Nodes:         nodes,
+			Sessions:      sessions,
+			TraceBytes:    fi.Size(),
+			WallMs:        sec * 1e3,
+			TraceMBPerSec: float64(fi.Size()) * float64(sessions) / (1 << 20) / sec,
+		})
+	}
+	return out, nil
+}
+
+// benchFleetOnce stands up a coordinator plus `nodes` ingest servers,
+// pushes `sessions` copies of the archive concurrently through the
+// coordinator, and returns the wall-clock of the push phase (setup and
+// teardown excluded).
+func benchFleetOnce(arch string, nodes, sessions int, tag string) (time.Duration, error) {
+	c := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Minute})
+	defer c.Close()
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	go c.ServeIngest(cln)
+
+	dataDir, err := os.MkdirTemp("", "jportal-fleet-data-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dataDir)
+
+	var servers []*ingest.Server
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, srv := range servers {
+			srv.Shutdown(ctx)
+		}
+	}()
+	for i := 0; i < nodes; i++ {
+		srv, err := ingest.NewServer(ingest.Config{DataDir: dataDir})
+		if err != nil {
+			return 0, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		// Register directly: the bench does not exercise heartbeats, so a
+		// member client per node would only add goroutines to tear down.
+		name := fmt.Sprintf("bench-n%d", i)
+		addr := ln.Addr().String()
+		if err := c.registerForBench(name, addr); err != nil {
+			return 0, err
+		}
+	}
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = client.PushArchive(context.Background(), client.Options{
+				Addr:      cln.Addr().String(),
+				SessionID: fmt.Sprintf("bench-%s-s%d", tag, i),
+			}, arch)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return wall, nil
+}
+
+// registerForBench adds a node without a Member heartbeat loop.
+func (c *Coordinator) registerForBench(name, ingestAddr string) error {
+	return c.register(registration{Name: name, IngestAddr: ingestAddr})
+}

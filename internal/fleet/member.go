@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// MemberConfig configures one ingest node's fleet membership.
+type MemberConfig struct {
+	// Name identifies the node (same character rules as session ids).
+	Name string
+	// CoordinatorURL is the coordinator's HTTP control plane, e.g.
+	// "http://10.0.0.1:7071".
+	CoordinatorURL string
+	// IngestAddr is this node's advertised ingest address — what clients
+	// are redirected to, so it must be reachable from them (not ":0").
+	IngestAddr string
+	// MetricsURL optionally advertises this node's /metrics sidecar for
+	// fleet aggregation.
+	MetricsURL string
+
+	// Logf, when set, receives one line per membership event.
+	Logf func(format string, args ...any)
+	// HTTPClient talks to the coordinator. Default: 5-second timeout.
+	HTTPClient *http.Client
+}
+
+// Member is a node's view of the fleet: it registers with the
+// coordinator, keeps the lease alive with heartbeats, and mirrors the
+// membership into a local hash ring. It implements the ingest server's
+// Router, so installing it (Server.SetRouter) makes the node answer
+// HELLOs for sessions it does not own with a REDIRECT to the owner.
+type Member struct {
+	cfg       MemberConfig
+	heartbeat time.Duration
+
+	mu   sync.Mutex
+	ring *Ring
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Join registers the node with the coordinator (retrying until ctx
+// expires — the coordinator may still be starting) and starts the
+// heartbeat loop. Call Drain for a graceful exit or Stop to just halt
+// the heartbeats (the lease then expires on its own, as it would if the
+// process had died).
+func Join(ctx context.Context, cfg MemberConfig) (*Member, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("fleet: member needs a name")
+	}
+	if cfg.IngestAddr == "" {
+		return nil, fmt.Errorf("fleet: member %s needs an advertised ingest address", cfg.Name)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 5 * time.Second}
+	}
+	m := &Member{
+		cfg:  cfg,
+		ring: BuildRing(nil),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	var ms Membership
+	for {
+		var err error
+		if ms, err = m.post(ctx, "/register"); err == nil {
+			break
+		}
+		m.cfg.Logf("fleet: %s: register with %s failed, retrying: %v", cfg.Name, cfg.CoordinatorURL, err)
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("fleet: %s: register with %s: %w", cfg.Name, cfg.CoordinatorURL, ctx.Err())
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	m.applyMembership(ms)
+	// Heartbeat at a third of the lease so two consecutive losses still
+	// leave slack before expiry.
+	m.heartbeat = time.Duration(ms.LeaseTTLMillis) * time.Millisecond / 3
+	if m.heartbeat <= 0 {
+		m.heartbeat = 3 * time.Second
+	}
+	go m.heartbeatLoop()
+	return m, nil
+}
+
+func (m *Member) applyMembership(ms Membership) {
+	ring := BuildRing(ms.Nodes)
+	m.mu.Lock()
+	m.ring = ring
+	m.mu.Unlock()
+}
+
+func (m *Member) heartbeatLoop() {
+	defer close(m.done)
+	t := time.NewTicker(m.heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), m.heartbeat)
+			ms, err := m.post(ctx, "/heartbeat")
+			cancel()
+			if err != nil {
+				// Keep routing on the last known ring; the next heartbeat
+				// re-registers if the coordinator forgot us meanwhile.
+				m.cfg.Logf("fleet: %s: heartbeat failed: %v", m.cfg.Name, err)
+				continue
+			}
+			m.applyMembership(ms)
+		}
+	}
+}
+
+// post sends this node's registration to a coordinator endpoint and
+// decodes the Membership reply (empty for /deregister's 204).
+func (m *Member) post(ctx context.Context, path string) (Membership, error) {
+	var ms Membership
+	body, err := json.Marshal(registration{
+		Name:       m.cfg.Name,
+		IngestAddr: m.cfg.IngestAddr,
+		MetricsURL: m.cfg.MetricsURL,
+	})
+	if err != nil {
+		return ms, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		m.cfg.CoordinatorURL+path, bytes.NewReader(body))
+	if err != nil {
+		return ms, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := m.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return ms, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return ms, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return ms, fmt.Errorf("%s: status %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ms); err != nil {
+		return ms, err
+	}
+	return ms, nil
+}
+
+// Route implements ingest.Router. An empty ring fails open (serve
+// locally): refusing sessions because the coordinator is unreachable
+// would turn a control-plane outage into a data-plane one.
+func (m *Member) Route(sessionID string) (owner string, local bool) {
+	m.mu.Lock()
+	ring := m.ring
+	m.mu.Unlock()
+	name, addr, ok := ring.Route(sessionID)
+	if !ok || name == m.cfg.Name {
+		return "", true
+	}
+	return addr, false
+}
+
+// Nodes returns the member's current view of the fleet (sorted names).
+func (m *Member) Nodes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ring.Nodes()
+}
+
+// Stop halts the heartbeat loop without deregistering: the lease runs
+// out exactly as if the process had died. Idempotent.
+func (m *Member) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// Drain deregisters from the coordinator — immediately routing new
+// sessions elsewhere — then stops the heartbeat loop. The node's ingest
+// server should Shutdown afterwards, so already-attached clients finish
+// inside the drain budget. Used by serve's SIGTERM path.
+func (m *Member) Drain(ctx context.Context) error {
+	_, err := m.post(ctx, "/deregister")
+	m.Stop()
+	return err
+}

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) map[string]string {
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		m[fmt.Sprintf("node-%d", i)] = fmt.Sprintf("10.0.0.%d:7070", i+1)
+	}
+	return m
+}
+
+func TestRingDeterministic(t *testing.T) {
+	// The ring must be a pure function of the member set: two processes
+	// that learn the same membership (in any map-iteration order) must
+	// route every session identically, or the fleet would split-brain.
+	a := BuildRing(testMembers(5))
+	b := BuildRing(testMembers(5))
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("session-%d", i)
+		an, aa, aok := a.Route(id)
+		bn, ba, bok := b.Route(id)
+		if an != bn || aa != ba || aok != bok {
+			t.Fatalf("ring disagreement on %q: %s vs %s", id, an, bn)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := BuildRing(testMembers(3))
+	counts := map[string]int{}
+	const keys = 9000
+	for i := 0; i < keys; i++ {
+		name, _, ok := r.Route(fmt.Sprintf("s-%d", i))
+		if !ok {
+			t.Fatal("route failed on a populated ring")
+		}
+		counts[name]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 nodes own keys: %v", len(counts), counts)
+	}
+	for name, n := range counts {
+		// With 64 vnodes per node the shares land well inside [15%, 55%];
+		// the bound is loose on purpose — it catches a broken hash or a
+		// collapsed ring, not statistical jitter.
+		if n < keys*15/100 || n > keys*55/100 {
+			t.Errorf("%s owns %d/%d keys — ring badly unbalanced: %v", name, n, keys, counts)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	// Consistent hashing's point: removing a node must only move the keys
+	// it owned. Everything else keeps its owner, so a node loss does not
+	// churn sessions on the survivors.
+	members := testMembers(4)
+	before := BuildRing(members)
+	delete(members, "node-2")
+	after := BuildRing(members)
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("s-%d", i)
+		was, _, _ := before.Route(id)
+		now, _, _ := after.Route(id)
+		if was != "node-2" && now != was {
+			t.Fatalf("key %q moved %s → %s though its owner survived", id, was, now)
+		}
+		if was == "node-2" && now == "node-2" {
+			t.Fatalf("key %q still routed to the removed node", id)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if _, _, ok := BuildRing(nil).Route("x"); ok {
+		t.Fatal("empty ring claimed to route")
+	}
+	if got := BuildRing(nil).Len(); got != 0 {
+		t.Fatalf("Len = %d", got)
+	}
+}

@@ -14,6 +14,13 @@
 // A BUSY handshake answer (the server's admission control refusing the
 // session for load reasons) is retried after the server-suggested delay
 // plus jitter rather than treated as an error.
+//
+// Fleet awareness (protocol 3): a REDIRECT handshake answer — the dialed
+// process does not own the session — is followed transparently, up to a
+// small hop bound, so Options.Addr may name a coordinator or any fleet
+// node. Every reconnect starts over from Options.Addr: after a node loss
+// the coordinator re-routes the session to the surviving owner, and the
+// upload resumes from that node's durable frontier.
 package client
 
 import (
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"jportal/internal/ingest"
+	"jportal/internal/source"
 )
 
 // Options configures a Pusher.
@@ -35,6 +43,12 @@ type Options struct {
 	// SessionID names the upload; the server archives it under this name
 	// and resumes it across reconnects. Must satisfy ingest.ValidSessionID.
 	SessionID string
+	// SourceID names the trace-source backend the records were collected
+	// by ("" or source.DefaultID = Intel PT). Sent in HELLO (protocol 3+)
+	// so the server stamps the session archive's header with it —
+	// non-default archives stay analyzable after the network hop and any
+	// fleet handoff.
+	SourceID string
 	// MaxChunkBytes bounds the record payload of one CHUNK frame
 	// (default 64KiB).
 	MaxChunkBytes int
@@ -61,6 +75,9 @@ func (o *Options) fill() error {
 	}
 	if !ingest.ValidSessionID(o.SessionID) {
 		return fmt.Errorf("ingest client: invalid session id %q", o.SessionID)
+	}
+	if o.SourceID == source.DefaultID {
+		o.SourceID = "" // canonical: the default backend sends no source field
 	}
 	if o.MaxChunkBytes <= 0 {
 		o.MaxChunkBytes = 64 << 10
@@ -104,6 +121,40 @@ func (e *BusyError) Error() string {
 	return fmt.Sprintf("server busy, retry after %v", e.RetryAfter)
 }
 
+// ServerError is an ERR frame surfaced as a typed error. Category is the
+// server's machine-readable classification (ingest.ErrCategoryProtocol for
+// protocol-version verdicts) or "" for free-form errors. Protocol-version
+// errors are terminal — redialing the same address with the same protocol
+// cannot succeed, so the pusher fails fast instead of burning its retry
+// budget.
+type ServerError struct {
+	Category string
+	Message  string
+}
+
+func (e *ServerError) Error() string {
+	if e.Category == "" {
+		return fmt.Sprintf("server rejected session: %s", e.Message)
+	}
+	return fmt.Sprintf("server rejected session (%s): %s", e.Category, e.Message)
+}
+
+// redirectError is dialHelloOnce's internal signal that the dialed process
+// does not own the session; the dial loop follows Addr.
+type redirectError struct {
+	Addr string
+}
+
+func (e *redirectError) Error() string {
+	return fmt.Sprintf("session is served by %s", e.Addr)
+}
+
+// maxRedirectHops bounds a single handshake's redirect chain. Two is the
+// steady state (coordinator -> owner); the headroom covers a ring update
+// racing the dial. Past the bound the connect attempt fails and the
+// backoff loop starts over from Options.Addr with a fresher ring.
+const maxRedirectHops = 4
+
 // pframe is one unacknowledged data frame.
 type pframe struct {
 	typ  byte
@@ -138,6 +189,7 @@ type Pusher struct {
 	// Stats, guarded by mu.
 	reconnects int
 	nacks      int
+	redirects  int
 	resumeSeq  uint64 // frontier reported by the first HELLO_ACK
 }
 
@@ -191,6 +243,15 @@ func (p *Pusher) Nacks() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.nacks
+}
+
+// Redirects returns how many REDIRECT frames this upload followed —
+// non-zero when Options.Addr named a coordinator or a non-owning fleet
+// node.
+func (p *Pusher) Redirects() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.redirects
 }
 
 // Acked returns the server's acknowledged frontier.
@@ -261,6 +322,10 @@ func (p *Pusher) reconnectLocked() error {
 		if err == nil {
 			break
 		}
+		var se *ServerError
+		if errors.As(err, &se) && se.Category == ingest.ErrCategoryProtocol {
+			break // terminal: the same dial can never succeed
+		}
 	}
 
 	p.mu.Lock()
@@ -289,13 +354,37 @@ func (p *Pusher) reconnectLocked() error {
 	return p.resendPendingLocked()
 }
 
-// dialHello performs one dial + HELLO/HELLO_ACK exchange.
+// dialHello performs one connect: dial Options.Addr, exchange
+// HELLO/HELLO_ACK, and follow any REDIRECT chain to the session's owning
+// node. Each call restarts from Options.Addr so a re-routed session (node
+// loss, rebalance) lands on the current owner, not a cached one.
 func (p *Pusher) dialHello() (net.Conn, uint64, error) {
-	conn, err := p.opts.Dial(p.ctx, p.opts.Addr)
+	addr := p.opts.Addr
+	for hop := 0; ; hop++ {
+		conn, resumeSeq, err := p.dialHelloOnce(addr)
+		var redir *redirectError
+		if !errors.As(err, &redir) {
+			return conn, resumeSeq, err
+		}
+		if hop >= maxRedirectHops {
+			return nil, 0, fmt.Errorf("redirect loop: %d hops without reaching the session owner (last: %s)",
+				hop+1, redir.Addr)
+		}
+		p.mu.Lock()
+		p.redirects++
+		p.mu.Unlock()
+		p.opts.Logf("ingest client: %s: redirected to %s", addr, redir.Addr)
+		addr = redir.Addr
+	}
+}
+
+// dialHelloOnce performs one dial + HELLO handshake against one address.
+func (p *Pusher) dialHelloOnce(addr string) (net.Conn, uint64, error) {
+	conn, err := p.opts.Dial(p.ctx, addr)
 	if err != nil {
 		return nil, 0, err
 	}
-	hello := ingest.AppendHello(nil, ingest.ProtoVersion, p.ncores, p.opts.SessionID)
+	hello := ingest.AppendHelloSource(nil, ingest.ProtoVersion, p.ncores, p.opts.SessionID, p.opts.SourceID)
 	if err := ingest.WriteFrame(conn, ingest.FrameHello, hello); err != nil {
 		conn.Close()
 		return nil, 0, err
@@ -325,9 +414,17 @@ func (p *Pusher) dialHello() (net.Conn, uint64, error) {
 			return nil, 0, perr
 		}
 		return nil, 0, &BusyError{RetryAfter: time.Duration(ms) * time.Millisecond}
+	case ingest.FrameRedirect:
+		conn.Close()
+		target, perr := ingest.ParseRedirect(payload)
+		if perr != nil {
+			return nil, 0, perr
+		}
+		return nil, 0, &redirectError{Addr: target}
 	case ingest.FrameErr:
 		conn.Close()
-		return nil, 0, fmt.Errorf("server rejected session: %s", payload)
+		category, msg := ingest.SplitErr(payload)
+		return nil, 0, &ServerError{Category: category, Message: msg}
 	default:
 		conn.Close()
 		return nil, 0, fmt.Errorf("unexpected handshake frame %#x", typ)

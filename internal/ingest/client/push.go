@@ -41,6 +41,13 @@ func PushArchive(ctx context.Context, opts Options, dir string) (PushStats, erro
 	if err != nil {
 		return st, fmt.Errorf("ingest client: %s: %w", dir, err)
 	}
+	if opts.SourceID == "" {
+		src, err := jportal.ArchiveSourceID(dir)
+		if err != nil {
+			return st, err
+		}
+		opts.SourceID = src
+	}
 
 	// Pre-scan the records: the whole stream must be well-formed and end
 	// with a seal — pushing an unsealed (still-being-written) archive

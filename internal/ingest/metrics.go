@@ -1,10 +1,10 @@
 package ingest
 
 import (
-	"encoding/json"
 	"net/http"
-	"sort"
 	"sync/atomic"
+
+	"jportal/internal/metrics"
 )
 
 // Metrics is the server's observability surface: expvar-style monotonic
@@ -31,6 +31,9 @@ type Metrics struct {
 	BreakerTrips   atomic.Int64 // counter: sessions poisoned by the NACK circuit breaker
 	StallsDetected atomic.Int64 // counter: sessions poisoned by the writer watchdog
 	StateFallbacks atomic.Int64 // counter: torn ingest.state files replaced by a fresh upload
+
+	RedirectsSent    atomic.Int64 // counter: HELLOs for sessions owned by another fleet node (REDIRECT or typed ERR)
+	SessionsRestored atomic.Int64 // counter: sessions restored from on-disk ingest.state at first attach
 }
 
 // snapshot returns the counters plus computed gauges as an ordered map,
@@ -57,6 +60,8 @@ func (s *Server) snapshot() map[string]int64 {
 		"breaker_trips":        m.BreakerTrips.Load(),
 		"writer_stalls":        m.StallsDetected.Load(),
 		"state_fallbacks":      m.StateFallbacks.Load(),
+		"redirects_sent":       m.RedirectsSent.Load(),
+		"sessions_restored":    m.SessionsRestored.Load(),
 		"queue_depth":          s.queueDepth(),
 		"queued_bytes":         s.queuedBytes.Load(),
 	}
@@ -92,40 +97,8 @@ func (s *Server) Observability() http.Handler {
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		snap := s.snapshot()
-		keys := make([]string, 0, len(snap))
-		for k := range snap {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		ordered := make([]struct {
-			K string
-			V int64
-		}, len(keys))
-		for i, k := range keys {
-			ordered[i] = struct {
-				K string
-				V int64
-			}{k, snap[k]}
-		}
 		w.Header().Set("Content-Type", "application/json")
-		// Emit a stable, sorted object by hand: a plain map marshals in
-		// arbitrary order, which makes the endpoint annoying to diff.
-		w.Write([]byte("{\n"))
-		for i, kv := range ordered {
-			b, _ := json.Marshal(kv.K)
-			comma := ","
-			if i == len(ordered)-1 {
-				comma = ""
-			}
-			w.Write([]byte("  "))
-			w.Write(b)
-			w.Write([]byte(": "))
-			vb, _ := json.Marshal(kv.V)
-			w.Write(vb)
-			w.Write([]byte(comma + "\n"))
-		}
-		w.Write([]byte("}\n"))
+		metrics.WriteSortedJSON(w, s.snapshot())
 	})
 	return mux
 }

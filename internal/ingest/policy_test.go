@@ -80,7 +80,7 @@ func newTestSession(t *testing.T, cfg Config) (*Server, *session) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := srv.openSession("s", 2)
+	sess, err := srv.openSession("s", 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}

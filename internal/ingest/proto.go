@@ -30,18 +30,27 @@
 // the concurrent-session cap or the global memory budget — and carries a
 // retry-after hint in milliseconds; the client backs off with jitter and
 // redials instead of treating the refusal as an error.
+// REDIRECT (protocol 3+) answers a HELLO for a session this process does
+// not own in a sharded fleet: it carries the owning node's ingest address
+// and the client redials there. A v1/v2 client that hits a v3-only path is
+// answered with a typed ERR in the "protocol-version" category — never a
+// frame it could misparse, never silence.
 package ingest
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // ProtoVersion is the frame-protocol version exchanged in HELLO. Version 2
-// adds the BUSY admission-control frame; servers still accept version-1
-// clients but answer their admission rejections with ERR instead of BUSY.
-const ProtoVersion = 2
+// adds the BUSY admission-control frame; version 3 adds the fleet REDIRECT
+// frame and the optional HELLO source-ID field. Servers still accept
+// version-1/2 clients, but answer v3-only verdicts (a redirect to the
+// session's owning node) with a typed protocol-version ERR those clients
+// can surface instead of a frame they would misparse.
+const ProtoVersion = 3
 
 // MinProtoVersion is the oldest client protocol the server still speaks.
 const MinProtoVersion = 1
@@ -49,6 +58,10 @@ const MinProtoVersion = 1
 // ProtoVersionBusy is the first protocol version whose clients understand
 // the BUSY frame.
 const ProtoVersionBusy = 2
+
+// ProtoVersionRedirect is the first protocol version whose clients
+// understand the REDIRECT frame (and may carry a source ID in HELLO).
+const ProtoVersionRedirect = 3
 
 // Frame types.
 const (
@@ -62,6 +75,7 @@ const (
 	FrameFinAck   byte = 0x08 // s->c: u64 seq
 	FrameErr      byte = 0x09 // s->c: utf-8 message, connection is dead
 	FrameBusy     byte = 0x0A // s->c: u32 retryAfterMs; admission refused, retry later (v2+)
+	FrameRedirect byte = 0x0B // s->c: u16 addrLen | addr; session owned by another node, redial there (v3+)
 )
 
 // MaxFramePayload caps a frame's payload. Chunks are far smaller (the
@@ -107,7 +121,8 @@ func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	return hdr[0], payload, nil
 }
 
-// AppendHello encodes a HELLO payload.
+// AppendHello encodes a HELLO payload with no source field — the exact
+// wire bytes every pre-v3 client sends.
 func AppendHello(dst []byte, version uint32, ncores int, id string) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, version)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(ncores))
@@ -115,18 +130,45 @@ func AppendHello(dst []byte, version uint32, ncores int, id string) []byte {
 	return append(dst, id...)
 }
 
-// ParseHello decodes a HELLO payload.
-func ParseHello(p []byte) (version uint32, ncores int, id string, err error) {
+// AppendHelloSource encodes a HELLO payload carrying a trace-source ID
+// (v3+): the server initializes the session's archive header with it, so
+// non-default backends (RISC-V E-Trace) survive the network hop and any
+// later node handoff. An empty src emits the field-free pre-v3 layout, so
+// default-source uploads stay byte-compatible with older servers.
+func AppendHelloSource(dst []byte, version uint32, ncores int, id, src string) []byte {
+	dst = AppendHello(dst, version, ncores, id)
+	if src == "" {
+		return dst
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(src)))
+	return append(dst, src...)
+}
+
+// ParseHello decodes a HELLO payload. src is empty unless the client sent
+// the optional v3 source-ID field.
+func ParseHello(p []byte) (version uint32, ncores int, id, src string, err error) {
 	if len(p) < 10 {
-		return 0, 0, "", fmt.Errorf("ingest: short HELLO (%d bytes)", len(p))
+		return 0, 0, "", "", fmt.Errorf("ingest: short HELLO (%d bytes)", len(p))
 	}
 	version = binary.LittleEndian.Uint32(p[0:4])
 	ncores = int(binary.LittleEndian.Uint32(p[4:8]))
 	n := int(binary.LittleEndian.Uint16(p[8:10]))
-	if len(p) != 10+n {
-		return 0, 0, "", fmt.Errorf("ingest: HELLO id length %d does not match payload", n)
+	if len(p) < 10+n {
+		return 0, 0, "", "", fmt.Errorf("ingest: HELLO id length %d does not match payload", n)
 	}
-	return version, ncores, string(p[10:]), nil
+	id = string(p[10 : 10+n])
+	rest := p[10+n:]
+	if len(rest) == 0 {
+		return version, ncores, id, "", nil
+	}
+	if len(rest) < 2 {
+		return 0, 0, "", "", fmt.Errorf("ingest: HELLO has a torn source field (%d trailing bytes)", len(rest))
+	}
+	sn := int(binary.LittleEndian.Uint16(rest[0:2]))
+	if len(rest) != 2+sn {
+		return 0, 0, "", "", fmt.Errorf("ingest: HELLO source length %d does not match payload", sn)
+	}
+	return version, ncores, id, string(rest[2:]), nil
 }
 
 // ValidSessionID reports whether id is acceptable as a session identifier:
@@ -193,4 +235,52 @@ func ParseHelloAck(p []byte) (version uint32, resumeSeq uint64, err error) {
 		return 0, 0, fmt.Errorf("ingest: HELLO_ACK payload is %d bytes, want 12", len(p))
 	}
 	return binary.LittleEndian.Uint32(p[0:4]), binary.LittleEndian.Uint64(p[4:12]), nil
+}
+
+// MaxRedirectAddrLen bounds a REDIRECT target address.
+const MaxRedirectAddrLen = 256
+
+// AppendRedirect encodes a REDIRECT payload: the ingest address (host:port)
+// of the node that owns the session. A v3+ client closes this connection
+// and redials the owner; the frame is never sent to older clients.
+func AppendRedirect(dst []byte, addr string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(addr)))
+	return append(dst, addr...)
+}
+
+// ParseRedirect decodes a REDIRECT payload.
+func ParseRedirect(p []byte) (addr string, err error) {
+	if len(p) < 2 {
+		return "", fmt.Errorf("ingest: short REDIRECT (%d bytes)", len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p[0:2]))
+	if len(p) != 2+n || n == 0 || n > MaxRedirectAddrLen {
+		return "", fmt.Errorf("ingest: REDIRECT address length %d does not match payload", n)
+	}
+	return string(p[2:]), nil
+}
+
+// ErrCategoryProtocol is the typed-ERR category for protocol-version
+// verdicts: the server needed a v3-only frame (REDIRECT) but the client's
+// HELLO version cannot parse it. Clients surface the category instead of
+// retrying — redialing the same address with the same version cannot
+// succeed.
+const ErrCategoryProtocol = "protocol-version"
+
+// FormatErr renders a typed ERR payload as "category: message". Untyped
+// errors keep using plain messages; SplitErr returns an empty category for
+// them.
+func FormatErr(category, msg string) []byte {
+	return []byte(category + ": " + msg)
+}
+
+// SplitErr splits an ERR payload into its category and message. Payloads
+// without a known category come back with category "" and the full text as
+// the message.
+func SplitErr(payload []byte) (category, msg string) {
+	s := string(payload)
+	if rest, ok := strings.CutPrefix(s, ErrCategoryProtocol+": "); ok {
+		return ErrCategoryProtocol, rest
+	}
+	return "", s
 }

@@ -39,18 +39,74 @@ func TestReadFrameEnforcesCap(t *testing.T) {
 
 func TestHelloRoundTrip(t *testing.T) {
 	p := AppendHello(nil, ProtoVersion, 8, "agent-01")
-	version, ncores, id, err := ParseHello(p)
+	version, ncores, id, src, err := ParseHello(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if version != ProtoVersion || ncores != 8 || id != "agent-01" {
-		t.Fatalf("got version=%d ncores=%d id=%q", version, ncores, id)
+	if version != ProtoVersion || ncores != 8 || id != "agent-01" || src != "" {
+		t.Fatalf("got version=%d ncores=%d id=%q src=%q", version, ncores, id, src)
 	}
-	if _, _, _, err := ParseHello(p[:5]); err == nil {
+	if _, _, _, _, err := ParseHello(p[:5]); err == nil {
 		t.Error("short HELLO accepted")
 	}
-	if _, _, _, err := ParseHello(append(p, 'x')); err == nil {
+	if _, _, _, _, err := ParseHello(append(p, 'x')); err == nil {
 		t.Error("HELLO with trailing bytes accepted")
+	}
+}
+
+func TestHelloSourceRoundTrip(t *testing.T) {
+	// An explicit non-default source travels as the v3 suffix.
+	p := AppendHelloSource(nil, ProtoVersion, 4, "agent-02", "riscv-etrace")
+	version, ncores, id, src, err := ParseHello(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != ProtoVersion || ncores != 4 || id != "agent-02" || src != "riscv-etrace" {
+		t.Fatalf("got version=%d ncores=%d id=%q src=%q", version, ncores, id, src)
+	}
+	// An empty source omits the suffix entirely, producing a frame that is
+	// byte-identical to the pre-v3 layout (wire compatibility with old
+	// servers for default-source uploads).
+	plain := AppendHello(nil, ProtoVersion, 4, "agent-02")
+	withEmpty := AppendHelloSource(nil, ProtoVersion, 4, "agent-02", "")
+	if !bytes.Equal(plain, withEmpty) {
+		t.Fatalf("empty source changed the wire form: %x vs %x", plain, withEmpty)
+	}
+	// Truncated suffix must be rejected, not read past.
+	if _, _, _, _, err := ParseHello(p[:len(p)-1]); err == nil {
+		t.Error("truncated source suffix accepted")
+	}
+}
+
+func TestRedirectRoundTrip(t *testing.T) {
+	p := AppendRedirect(nil, "10.0.0.7:7070")
+	addr, err := ParseRedirect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "10.0.0.7:7070" {
+		t.Fatalf("got addr %q", addr)
+	}
+	if _, err := ParseRedirect(p[:1]); err == nil {
+		t.Error("short REDIRECT accepted")
+	}
+	if _, err := ParseRedirect(append(p, 'x')); err == nil {
+		t.Error("REDIRECT with trailing bytes accepted")
+	}
+	if _, err := ParseRedirect(AppendRedirect(nil, "")); err == nil {
+		t.Error("empty REDIRECT address accepted")
+	}
+}
+
+func TestErrCategoryRoundTrip(t *testing.T) {
+	p := FormatErr(ErrCategoryProtocol, "need v3")
+	cat, msg := SplitErr(p)
+	if cat != ErrCategoryProtocol || msg != "need v3" {
+		t.Fatalf("got category=%q msg=%q", cat, msg)
+	}
+	cat, msg = SplitErr([]byte("plain old error text"))
+	if cat != "" || msg != "plain old error text" {
+		t.Fatalf("uncategorised payload: category=%q msg=%q", cat, msg)
 	}
 }
 

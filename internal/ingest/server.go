@@ -18,9 +18,19 @@ import (
 	"jportal/internal/fault"
 	"jportal/internal/fsatomic"
 	"jportal/internal/metrics"
+	"jportal/internal/source"
 	"jportal/internal/streamfmt"
 	"jportal/internal/watchdog"
 )
+
+// Router decides, for a sharded ingest fleet, which node owns a session.
+// Route returns the owning node's ingest address and whether that node is
+// this process. A server with no router (standalone mode) owns everything.
+// Implementations must be safe for concurrent use; internal/fleet.Member
+// is the production implementation.
+type Router interface {
+	Route(sessionID string) (owner string, local bool)
+}
 
 // Policy selects what the server does when a session's bounded inbound
 // queue is full.
@@ -74,6 +84,12 @@ type Config struct {
 	// is detected instead of holding queue memory forever. 0 disables the
 	// writer watchdog.
 	StallAfter time.Duration
+	// Router, when set, scopes this server to a fleet shard: a HELLO for a
+	// session the router places on another node is answered with REDIRECT
+	// (protocol 3+) or a typed protocol-version ERR (older clients) instead
+	// of being served. Usually installed after listening via SetRouter,
+	// once the advertised address is known.
+	Router Router
 	// Logf, when set, receives one line per connection-level event.
 	Logf func(format string, args ...any)
 	// Registry receives the typed quarantine counters (and is merged into
@@ -196,6 +212,23 @@ func NewServer(cfg Config) (*Server, error) {
 // Metrics exposes the server's counters (the HTTP sidecar serves the same
 // numbers; tests read them directly).
 func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// SetRouter installs (or replaces) the fleet router. Fleet membership is
+// usually established after the listener is up — the advertised address
+// must be known before the node can claim a hash range — so the router
+// arrives after NewServer. A nil router returns the server to standalone
+// mode.
+func (s *Server) SetRouter(r Router) {
+	s.mu.Lock()
+	s.cfg.Router = r
+	s.mu.Unlock()
+}
+
+func (s *Server) router() Router {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Router
+}
 
 // Addr returns the listener's address once Serve has been called — the way
 // to discover the port after listening on ":0".
@@ -388,13 +421,14 @@ func (s *Server) handleConn(conn net.Conn) {
 		cw.sendErr(fmt.Sprintf("expected HELLO, got frame %#x", typ))
 		return
 	}
-	version, ncores, id, err := ParseHello(payload)
+	version, ncores, id, src, err := ParseHello(payload)
 	if err != nil {
 		cw.sendErr(err.Error())
 		return
 	}
 	if version < MinProtoVersion || version > ProtoVersion {
-		cw.sendErr(fmt.Sprintf("protocol version %d not supported (server speaks %d..%d)", version, MinProtoVersion, ProtoVersion))
+		cw.send(FrameErr, FormatErr(ErrCategoryProtocol,
+			fmt.Sprintf("protocol version %d not supported (server speaks %d..%d)", version, MinProtoVersion, ProtoVersion)))
 		return
 	}
 	if !ValidSessionID(id) {
@@ -405,8 +439,32 @@ func (s *Server) handleConn(conn net.Conn) {
 		cw.sendErr(fmt.Sprintf("implausible core count %d", ncores))
 		return
 	}
+	if src == source.DefaultID {
+		src = "" // canonical spelling of the default backend
+	}
+	if _, err := source.Lookup(src); err != nil {
+		cw.sendErr(fmt.Sprintf("unknown trace source %q", src))
+		return
+	}
+	// Fleet routing: a session this node does not own is redirected to its
+	// owner before any admission or session state is touched. Clients too
+	// old to parse REDIRECT get the typed protocol-version ERR — the one
+	// verdict they can surface — never a frame they would misparse.
+	if r := s.router(); r != nil {
+		if owner, local := r.Route(id); !local {
+			s.metrics.RedirectsSent.Add(1)
+			if version >= ProtoVersionRedirect {
+				cw.send(FrameRedirect, AppendRedirect(nil, owner))
+			} else {
+				cw.send(FrameErr, FormatErr(ErrCategoryProtocol,
+					fmt.Sprintf("session %q is served by %s; protocol %d cannot follow redirects (need %d+)",
+						id, owner, version, ProtoVersionRedirect)))
+			}
+			return
+		}
+	}
 
-	sess, err := s.attach(id, ncores, cw)
+	sess, err := s.attach(id, ncores, src, cw)
 	if err != nil {
 		var busy *errBusy
 		if errors.As(err, &busy) {
@@ -474,7 +532,7 @@ func (s *Server) handleConn(conn net.Conn) {
 // Admission control happens here: past the concurrent-session cap or with
 // the global memory budget exhausted the HELLO earns an errBusy, which the
 // caller turns into a BUSY frame.
-func (s *Server) attach(id string, ncores int, cw *connWriter) (*session, error) {
+func (s *Server) attach(id string, ncores int, src string, cw *connWriter) (*session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.drain {
@@ -489,7 +547,7 @@ func (s *Server) attach(id string, ncores int, cw *connWriter) (*session, error)
 	sess := s.sessions[id]
 	if sess == nil {
 		var err error
-		sess, err = s.openSession(id, ncores)
+		sess, err = s.openSession(id, ncores, src)
 		if err != nil {
 			return nil, err
 		}
@@ -517,6 +575,10 @@ func (s *Server) attach(id string, ncores int, cw *connWriter) (*session, error)
 	if sess.ncores != ncores {
 		return nil, fmt.Errorf("session %q was opened with %d cores, HELLO says %d", id, sess.ncores, ncores)
 	}
+	if sess.srcID != src {
+		return nil, fmt.Errorf("session %q was opened with trace source %q, HELLO says %q",
+			id, sourceName(sess.srcID), sourceName(src))
+	}
 	if sess.conn != nil {
 		return nil, fmt.Errorf("session %q already has an active connection", id)
 	}
@@ -541,6 +603,7 @@ type session struct {
 	id     string
 	dir    string
 	ncores int
+	srcID  string // trace-source backend ("" = default); stamped into archive.meta
 	queue  chan msg
 
 	processed atomic.Uint64 // frames the writer has fully handled (watchdog progress)
@@ -567,24 +630,38 @@ var testHookArchive atomic.Pointer[func(sess *session, m msg)]
 
 const stateFileName = "ingest.state"
 
+// sourceName renders a session source ID for error messages ("" is the
+// default backend).
+func sourceName(src string) string {
+	if src == "" {
+		return source.DefaultID
+	}
+	return src
+}
+
 // openSession creates or restores the session's archive directory. Called
 // with srv.mu held (session creation is rare; the disk work is trivial).
-func (s *Server) openSession(id string, ncores int) (*session, error) {
+// A restored session — its durable ingest.state survived a server restart,
+// or in a fleet, the loss of the node that wrote it to the shared data dir
+// — keeps the archive's own source stamp; a fresh one records src.
+func (s *Server) openSession(id string, ncores int, src string) (*session, error) {
 	dir := filepath.Join(s.cfg.DataDir, id)
 	sess := &session{
 		srv:    s,
 		id:     id,
 		dir:    dir,
 		ncores: ncores,
+		srcID:  src,
 		queue:  make(chan msg, s.cfg.QueueDepth),
 	}
 	if restored, err := sess.restore(); err != nil {
 		return nil, fmt.Errorf("session %q: restoring %s: %v", id, dir, err)
 	} else if restored {
+		s.metrics.SessionsRestored.Add(1)
 		return sess, nil
 	}
 	// Fresh session: chunked archive dir with an empty record stream.
-	if err := jportal.InitChunkedArchiveDir(dir); err != nil {
+	if err := jportal.InitChunkedArchiveDirSource(dir, src); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(filepath.Join(dir, jportal.StreamFileName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -656,6 +733,20 @@ func (sess *session) restore() (bool, error) {
 	sess.sealed = st.sealed
 	_, perr := os.Stat(filepath.Join(sess.dir, "program.gob"))
 	sess.haveProgram = perr == nil
+	// The archive header is the durable source of truth for the backend:
+	// the node resuming this session (possibly not the one that created it)
+	// re-learns the source from disk, and attach rejects a HELLO whose
+	// source disagrees.
+	archSrc, err := jportal.ArchiveSourceID(sess.dir)
+	if err != nil {
+		f.Close()
+		sess.f = nil
+		return false, err
+	}
+	if archSrc == source.DefaultID {
+		archSrc = ""
+	}
+	sess.srcID = archSrc
 	return true, nil
 }
 

@@ -901,9 +901,108 @@ func TestMetricsExposeFaultCounters(t *testing.T) {
 		// so a scraper can alert on them before the first incident.
 		"busy_rejections", "frames_shed", "breaker_trips", "writer_stalls",
 		"state_fallbacks", "queued_bytes", "watchdog_stalls", "checkpoints_written",
+		// Fleet counters (DESIGN.md §14): redirects answered on behalf of
+		// another node and sessions resumed from durable state after a
+		// restart or an ownership handoff.
+		"redirects_sent", "sessions_restored",
 	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("metrics missing %q", key)
 		}
+	}
+}
+
+// staticRouter routes listed sessions to a fixed owner address and
+// everything else locally — a stand-in for the fleet hash ring.
+type staticRouter struct{ owner map[string]string }
+
+func (r staticRouter) Route(id string) (string, bool) {
+	if addr, ok := r.owner[id]; ok {
+		return addr, false
+	}
+	return "", true
+}
+
+// TestRouterVersionGate pins the fleet-era handshake contract for every
+// protocol generation: a v3 client whose session lives elsewhere gets a
+// REDIRECT; v1/v2 clients — which cannot parse v3 frames — get a typed
+// "protocol-version" ERR (a clean verdict, not a hang or a misparsed
+// frame); and sessions the router maps locally are untouched by any of it.
+func TestRouterVersionGate(t *testing.T) {
+	srv, addr := startServer(t, ingest.Config{
+		DataDir: t.TempDir(),
+		Router:  staticRouter{owner: map[string]string{"elsewhere": "10.255.0.9:7"}},
+	})
+
+	// v3: REDIRECT carrying the owner's address.
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := ingest.WriteFrame(c, ingest.FrameHello,
+		ingest.AppendHello(nil, ingest.ProtoVersionRedirect, 2, "elsewhere")); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ingest.ReadFrame(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != ingest.FrameRedirect {
+		t.Fatalf("v3 routed HELLO: got frame %#x, want REDIRECT", typ)
+	}
+	owner, err := ingest.ParseRedirect(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != "10.255.0.9:7" {
+		t.Fatalf("REDIRECT to %q", owner)
+	}
+
+	// v1 and v2: typed ERR, never a v3 frame.
+	for _, version := range []uint32{ingest.MinProtoVersion, ingest.ProtoVersionBusy} {
+		msg := dialRawExpectErr(t, addr,
+			ingest.AppendHello(nil, version, 2, "elsewhere"))
+		category, _ := ingest.SplitErr([]byte(msg))
+		if category != ingest.ErrCategoryProtocol {
+			t.Errorf("v%d routed HELLO: ERR %q lacks the %s category",
+				version, msg, ingest.ErrCategoryProtocol)
+		}
+	}
+
+	// A session the router keeps local attaches normally at any version.
+	r := dialRaw(t, addr, "local", 2)
+	if r.resume != 0 {
+		t.Fatalf("fresh local session resumed at %d", r.resume)
+	}
+
+	if got := srv.Metrics().RedirectsSent.Load(); got != 3 {
+		t.Fatalf("RedirectsSent = %d, want 3", got)
+	}
+}
+
+// TestClientFollowsRedirect runs two servers; the first routes the session
+// to the second. The client dials the first, transparently follows the
+// REDIRECT, and the archive materialises on the owner — byte-identical.
+func TestClientFollowsRedirect(t *testing.T) {
+	frontDir, ownerDir := t.TempDir(), t.TempDir()
+	ownerSrv, ownerAddr := startServer(t, ingest.Config{DataDir: ownerDir})
+	front, frontAddr := startServer(t, ingest.Config{DataDir: frontDir})
+	front.SetRouter(staticRouter{owner: map[string]string{"moved": ownerAddr}})
+
+	gob := testProgramGob(t)
+	stream := buildStream(t, 2, 12)
+	p := pushStream(t, client.Options{Addr: frontAddr, SessionID: "moved", MaxChunkBytes: 256}, gob, stream)
+	defer p.Close()
+
+	if p.Redirects() != 1 {
+		t.Fatalf("Redirects = %d, want 1", p.Redirects())
+	}
+	assertArchived(t, ownerDir, "moved", gob, stream)
+	if _, err := os.Stat(filepath.Join(frontDir, "moved")); !os.IsNotExist(err) {
+		t.Fatalf("session dir materialised on the redirecting node (err=%v)", err)
+	}
+	if n := ownerSrv.Metrics().SessionsSealed.Load(); n != 1 {
+		t.Fatalf("owner sealed %d sessions, want 1", n)
 	}
 }

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// WriteSortedJSON renders a counter map as one stable, key-sorted JSON
+// object. A plain map marshals in arbitrary order, which makes a /metrics
+// endpoint annoying to diff; the ingest sidecar and the fleet coordinator
+// both emit this form so their outputs line up line by line.
+func WriteSortedJSON(w io.Writer, snap map[string]int64) error {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if _, err := w.Write([]byte("{\n")); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		kb, _ := json.Marshal(k)
+		vb, _ := json.Marshal(snap[k])
+		comma := ","
+		if i == len(keys)-1 {
+			comma = ""
+		}
+		if _, err := w.Write([]byte("  ")); err != nil {
+			return err
+		}
+		if _, err := w.Write(kb); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte(": ")); err != nil {
+			return err
+		}
+		if _, err := w.Write(vb); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte(comma + "\n")); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write([]byte("}\n"))
+	return err
+}
