@@ -31,8 +31,8 @@ go test -race ./internal/core/... ./internal/trace/... ./internal/conc/... ./int
 echo "==> go test -race (root streaming tests)"
 go test -race -run 'TestStream|TestAnalyzeStreamed|TestSession|TestAnalyzeDeterministicAcrossWorkers|TestPipelined|TestAsyncSink' .
 
-echo "==> go test -race (ingest service + fleet)"
-go test -race ./internal/ingest/... ./internal/fleet/...
+echo "==> go test -race (ingest service + fleet + netfault)"
+go test -race ./internal/ingest/... ./internal/fleet/... ./internal/netfault/...
 
 echo "==> go test -race (root ingest + fleet e2e)"
 go test -race -run 'TestIngest|TestFleet' .
@@ -55,48 +55,70 @@ cmp "$SMOKE/local/stream.jpt" "$SMOKE/ingest/smoke/stream.jpt"
 cmp "$SMOKE/local/program.gob" "$SMOKE/ingest/smoke/program.gob"
 echo "    loopback archive byte-identical"
 
-echo "==> fleet smoke (coordinator + 2 nodes, SIGKILL one mid-fleet)"
-# A real multi-process fleet over one shared data dir: two sessions pushed
-# through the coordinator, one node SIGKILLed while the fleet is live. The
-# survivor takes over the dead node's hash range (1s lease) and both
-# archives must still come out byte-identical — the deterministic
-# mid-CHUNK variant of this is pinned by TestFleetNodeLossResume.
-"$SMOKE/jportal" coordinate -listen 127.0.0.1:7911 -http 127.0.0.1:7912 -lease 1s >"$SMOKE/coord.log" 2>&1 &
+echo "==> fleet smoke (primary+standby coordinators, SIGKILL node and primary mid-fleet)"
+# A real multi-process fleet over one shared data dir, with a durable
+# control plane: a primary and a standby coordinator share a state dir and
+# a leadership lease. Two sessions are pushed through the coordinators;
+# one node is SIGKILLed while the fleet is live, then the PRIMARY
+# COORDINATOR is SIGKILLed mid-push. The standby must assume leadership
+# within one leader lease, rehydrate the membership its predecessor
+# persisted, and route the resumed sessions — both archives must still
+# come out byte-identical. The deterministic mid-CHUNK variants are pinned
+# by TestFleetNodeLossResume and TestFleetCoordinatorFailoverMidPush.
+COORDS=http://127.0.0.1:7912,http://127.0.0.1:7916
+"$SMOKE/jportal" coordinate -listen 127.0.0.1:7911 -http 127.0.0.1:7912 -lease 1s \
+    -data "$SMOKE/ctrl" -name primary -leader-lease 1s >"$SMOKE/coord.log" 2>&1 &
 COORD_PID=$!
 for i in $(seq 1 50); do
     grep -q 'control plane' "$SMOKE/coord.log" && break
     sleep 0.1
 done
+"$SMOKE/jportal" coordinate -listen 127.0.0.1:7915 -http 127.0.0.1:7916 -lease 1s \
+    -data "$SMOKE/ctrl" -name standby -leader-lease 1s >"$SMOKE/standby.log" 2>&1 &
+STANDBY_PID=$!
+for i in $(seq 1 50); do
+    grep -q 'control plane' "$SMOKE/standby.log" && break
+    sleep 0.1
+done
 "$SMOKE/jportal" serve -listen 127.0.0.1:7913 -data "$SMOKE/fleet" \
-    -coordinator http://127.0.0.1:7912 -node fleet-a >"$SMOKE/node-a.log" 2>&1 &
+    -coordinator "$COORDS" -node fleet-a >"$SMOKE/node-a.log" 2>&1 &
 NODE_A_PID=$!
 "$SMOKE/jportal" serve -listen 127.0.0.1:7914 -data "$SMOKE/fleet" \
-    -coordinator http://127.0.0.1:7912 -node fleet-b >"$SMOKE/node-b.log" 2>&1 &
+    -coordinator "$COORDS" -node fleet-b >"$SMOKE/node-b.log" 2>&1 &
 NODE_B_PID=$!
 for i in $(seq 1 50); do
     grep -q 'joined fleet' "$SMOKE/node-a.log" && grep -q 'joined fleet' "$SMOKE/node-b.log" && break
     sleep 0.1
 done
-"$SMOKE/jportal" push -addr 127.0.0.1:7911 -id fleet-s1 "$SMOKE/local" >/dev/null &
+"$SMOKE/jportal" push -addr 127.0.0.1:7911,127.0.0.1:7915 -id fleet-s1 "$SMOKE/local" >/dev/null &
 PUSH1_PID=$!
-"$SMOKE/jportal" push -addr 127.0.0.1:7911 -id fleet-s2 "$SMOKE/local" >/dev/null &
+"$SMOKE/jportal" push -addr 127.0.0.1:7911,127.0.0.1:7915 -id fleet-s2 "$SMOKE/local" >/dev/null &
 PUSH2_PID=$!
 kill -9 "$NODE_A_PID"
 wait "$NODE_A_PID" 2>/dev/null || true
+kill -9 "$COORD_PID"
+wait "$COORD_PID" 2>/dev/null || true
 wait "$PUSH1_PID"
 wait "$PUSH2_PID"
-"$SMOKE/jportal" fleet -coordinator http://127.0.0.1:7912 nodes >"$SMOKE/fleet-nodes.txt"
-"$SMOKE/jportal" fleet -coordinator http://127.0.0.1:7912 metrics | grep -q '"fleet_nodes"'
+for i in $(seq 1 100); do
+    grep -q 'assumed leadership' "$SMOKE/standby.log" && break
+    sleep 0.1
+done
+# Queries rotate past the dead primary to the standby leader.
+"$SMOKE/jportal" fleet -coordinator "$COORDS" nodes >"$SMOKE/fleet-nodes.txt"
+"$SMOKE/jportal" fleet -coordinator "$COORDS" metrics >"$SMOKE/fleet-metrics.json"
+grep -q '"fleet_nodes"' "$SMOKE/fleet-metrics.json"
+grep -Eq '"coordinator_failovers": [1-9]' "$SMOKE/fleet-metrics.json"
 kill -TERM "$NODE_B_PID"
 wait "$NODE_B_PID"
-kill -TERM "$COORD_PID"
-wait "$COORD_PID"
+kill -TERM "$STANDBY_PID"
+wait "$STANDBY_PID"
 cmp "$SMOKE/local/stream.jpt" "$SMOKE/fleet/fleet-s1/stream.jpt"
 cmp "$SMOKE/local/stream.jpt" "$SMOKE/fleet/fleet-s2/stream.jpt"
 cmp "$SMOKE/local/program.gob" "$SMOKE/fleet/fleet-s1/program.gob"
 cmp "$SMOKE/local/program.gob" "$SMOKE/fleet/fleet-s2/program.gob"
 "$SMOKE/jportal" fleet -data "$SMOKE/fleet" report | grep -q 'fleet report: 2 session(s), 0 skipped'
-echo "    both sessions survived the node kill, archives byte-identical"
+echo "    both sessions survived the node + primary-coordinator kills, archives byte-identical"
 
 echo "==> chaos smoke (fixed seed, deterministic report, nonzero coverage)"
 # The chaos command exits nonzero if any rate's coverage collapses to zero,
@@ -106,6 +128,17 @@ echo "==> chaos smoke (fixed seed, deterministic report, nonzero coverage)"
 "$SMOKE/jportal" chaos -subjects fop,avrora -scale 0.2 -seed 42 -rates 0,1,2 >"$SMOKE/chaos2.txt"
 cmp "$SMOKE/chaos1.txt" "$SMOKE/chaos2.txt"
 echo "    chaos report deterministic"
+
+echo "==> chaos -fleet smoke (network faults, fixed seed, archives identical)"
+# The network-fault counterpart: archives pushed through an in-process
+# fleet whose every edge runs behind the seeded netfault injector. The
+# command exits nonzero if any session's archive diverges (rate 0 pins the
+# injector's passthrough: byte-identical to the no-netfault path), and the
+# cmp asserts the sweep table is reproducible for a fixed seed.
+"$SMOKE/jportal" chaos -fleet -subjects fop -scale 0.2 -seed 7 -rates 0,1,2 >"$SMOKE/chaosf1.txt"
+"$SMOKE/jportal" chaos -fleet -subjects fop -scale 0.2 -seed 7 -rates 0,1,2 >"$SMOKE/chaosf2.txt"
+cmp "$SMOKE/chaosf1.txt" "$SMOKE/chaosf2.txt"
+echo "    chaos -fleet sweep deterministic, no data lost under faults"
 
 echo "==> kill-and-resume smoke (SIGKILL mid-replay, resumed output identical)"
 # The golden property (DESIGN.md §11): a replay killed with SIGKILL and

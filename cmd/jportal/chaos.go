@@ -4,12 +4,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"jportal"
+	"jportal/internal/bytecode"
 	"jportal/internal/core"
 	"jportal/internal/fault"
+	"jportal/internal/fleet"
+	"jportal/internal/meta"
 	"jportal/internal/workload"
 )
 
@@ -27,11 +31,17 @@ func cmdChaos(args []string) error {
 	rates := fs.String("rates", "0,0.5,1,2", "comma-separated fault-rate multipliers")
 	cores := fs.Int("cores", 0, "simulated cores (0 = default; fewer cores than threads forces migration)")
 	workers := fs.Int("workers", 0, "offline-phase parallelism (0 = GOMAXPROCS)")
+	fleetMode := fs.Bool("fleet", false, "inject network faults into an in-process ingest fleet instead of trace-decode faults")
+	sessions := fs.Int("sessions", 2, "sessions pushed per rate (-fleet)")
+	src := fs.String("source", "", sourceFlagHelp()+" (-fleet)")
 	fs.Parse(args)
 
 	rateList, err := parseRates(*rates)
 	if err != nil {
 		return err
+	}
+	if *fleetMode {
+		return chaosFleet(*subjects, *scale, *seed, *src, rateList, *sessions)
 	}
 	pcfg := core.DefaultPipelineConfig()
 	pcfg.Workers = *workers
@@ -60,6 +70,68 @@ func cmdChaos(args []string) error {
 			if r.Coverage <= 0 {
 				return fmt.Errorf("%s: coverage collapsed to %.4f at rate %.2f — degradation is not graceful",
 					s.Name, r.Coverage, r.Rate)
+			}
+		}
+	}
+	return nil
+}
+
+// chaosFleet is `jportal chaos -fleet`: collect a chunked archive per
+// subject, then push it through an in-process fleet whose every network
+// edge (coordinator control plane, ingest listeners, heartbeats, client
+// dials) runs behind a seeded netfault injector, once per rate. The
+// table reports outcome invariants only, so it is byte-identical per
+// seed — the same property the decode-fault table gives CI.
+func chaosFleet(subjects string, scale float64, seed uint64, src string, rates []float64, sessions int) error {
+	for _, name := range strings.Split(subjects, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		prog, threads, subj, err := loadTarget(name, scale)
+		if err != nil {
+			return err
+		}
+		tmp, err := os.MkdirTemp("", "jportal-chaos-archive-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		archive := filepath.Join(tmp, subj)
+		cfg := jportal.DefaultRunConfig()
+		cfg.CollectOracle = false
+		cfg.Source = src
+		var w *jportal.StreamArchiveWriter
+		if _, err := jportal.RunWithSink(prog, threads, cfg,
+			func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (jportal.TraceSink, error) {
+				var err error
+				w, err = jportal.CreateStreamArchiveSource(archive, p, snap, ncores, cfg.Source)
+				return w, err
+			}); err != nil {
+			return err
+		}
+		if err := w.Seal(); err != nil {
+			return err
+		}
+
+		rows, err := fleet.ChaosSweep(fleet.SweepConfig{
+			ArchiveDir: archive,
+			SourceID:   src,
+			Seed:       seed,
+			Rates:      rates,
+			Sessions:   sessions,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stdout, fleet.FormatSweep(subj, seed, rows))
+		for _, r := range rows {
+			if r.Identical != r.Sessions {
+				return fmt.Errorf("%s: only %d/%d sessions archived byte-identical at rate %.2f — the fleet lost data",
+					subj, r.Identical, r.Sessions, r.Rate)
 			}
 		}
 	}

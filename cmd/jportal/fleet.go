@@ -26,16 +26,44 @@ func cmdCoordinate(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7070", "ingest handshake address (clients HELLO here and get redirected)")
 	httpAddr := fs.String("http", "127.0.0.1:7072", "control-plane address (/register, /heartbeat, /nodes, /metrics)")
 	lease := fs.Duration("lease", 10*time.Second, "membership lease TTL; nodes heartbeat at a third of this")
+	data := fs.String("data", "", "durable state directory: membership survives restarts, and replicas sharing it elect a leader (standby failover)")
+	name := fs.String("name", "", "coordinator instance name in the leadership lease (default: host-pid)")
+	leaderLease := fs.Duration("leader-lease", 2*time.Second, "leadership lease TTL for replicas sharing -data")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("coordinate takes no positional arguments")
 	}
 
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "coordinate: "+format+"\n", a...)
+	}
+	var election *fleet.Election
+	if *data != "" {
+		id := *name
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "coordinator"
+			}
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		var err error
+		election, err = fleet.StartElection(fleet.ElectionConfig{
+			Dir:  *data,
+			ID:   id,
+			TTL:  *leaderLease,
+			Logf: logf,
+		})
+		if err != nil {
+			return err
+		}
+		defer election.Close()
+	}
 	c := fleet.NewCoordinator(fleet.CoordinatorConfig{
 		LeaseTTL: *lease,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, "coordinate: "+format+"\n", a...)
-		},
+		StateDir: *data,
+		Election: election,
+		Logf:     logf,
 	})
 	defer c.Close()
 
@@ -62,6 +90,11 @@ func cmdCoordinate(args []string) error {
 	select {
 	case s := <-sig:
 		fmt.Printf("jportal coordinate: %v, shutting down\n", s)
+		// Hand leadership off before dying so a standby takes over within
+		// one campaign tick instead of waiting out the lease.
+		if election != nil {
+			election.Resign()
+		}
 		ln.Close()
 		<-serveErr
 		return nil
@@ -72,7 +105,7 @@ func cmdCoordinate(args []string) error {
 
 func cmdFleet(args []string) error {
 	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
-	coordinator := fs.String("coordinator", "http://127.0.0.1:7072", "coordinator control-plane URL (nodes, metrics)")
+	coordinator := fs.String("coordinator", "http://127.0.0.1:7072", "coordinator control-plane URL(s), comma-separated; tried in order (nodes, metrics)")
 	data := fs.String("data", "ingest-data", "shared fleet data directory (report)")
 	top := fs.Int("top", 10, "hot methods to rank (report)")
 	fs.Parse(args)
@@ -81,9 +114,9 @@ func cmdFleet(args []string) error {
 	}
 	switch sub := fs.Arg(0); sub {
 	case "nodes":
-		return fleetNodes(*coordinator)
+		return anyCoordinator(splitList(*coordinator), fleetNodes)
 	case "metrics":
-		return fleetMetrics(*coordinator)
+		return anyCoordinator(splitList(*coordinator), fleetMetrics)
 	case "report":
 		agg, err := fleet.Aggregate(*data, *top)
 		if err != nil {
@@ -94,6 +127,22 @@ func cmdFleet(args []string) error {
 	default:
 		return fmt.Errorf("unknown fleet subcommand %q (want nodes, metrics or report)", sub)
 	}
+}
+
+// anyCoordinator runs fn against each coordinator URL until one answers —
+// querying a fleet with standby coordinators should not require knowing
+// which replica currently leads.
+func anyCoordinator(urls []string, fn func(string) error) error {
+	if len(urls) == 0 {
+		return fmt.Errorf("no coordinator URL given")
+	}
+	var lastErr error
+	for _, u := range urls {
+		if lastErr = fn(u); lastErr == nil {
+			return nil
+		}
+	}
+	return lastErr
 }
 
 func fleetNodes(coordinator string) error {

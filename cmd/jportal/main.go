@@ -119,20 +119,25 @@ commands:
                                 -policy block|nack, -drain shutdown budget;
                                 -coordinator/-node/-advertise join a fleet)
   push    <dir>                upload a chunked archive to a jportal serve
-                               (-addr, -id session, resumable; -live runs a
-                                subject and streams its records as they appear;
-                                -addr may name a coordinator or any fleet node)
+                               (-addr list rotated on failure, -id session,
+                                -retry-budget, resumable; -live runs a subject
+                                and streams its records as they appear;
+                                -addr may name coordinators or any fleet node)
   coordinate                   fleet control plane: nodes register under
                                heartbeat leases, sessions consistent-hash onto
                                them, clients are redirected to their owner
-                               (-listen handshakes, -http control, -lease TTL)
-  fleet   nodes|metrics|report query a coordinator (-coordinator URL) or
+                               (-listen handshakes, -http control, -lease TTL;
+                                -data makes state durable and lets replicas
+                                sharing it elect a leader, -leader-lease TTL)
+  fleet   nodes|metrics|report query a coordinator (-coordinator URL list) or
                                aggregate the shared data dir (-data, -top)
                                into a fleet-wide coverage/hot-method report
   disasm  <file.jasm>          assemble and pretty-print a program
   chaos                        fault-injection sweep: coverage vs fault rate
                                (-subjects, -seed, -rates, -scale, -cores;
-                                deterministic for a fixed seed)
+                                deterministic for a fixed seed; -fleet pushes
+                                archives through a network-faulted ingest
+                                fleet instead, -sessions per rate)
   bench                        hot-path performance snapshot: steady-state
                                kernels, streaming throughput, per-subject
                                wall-clock (-out BENCH_n.json, -pr, -quick,

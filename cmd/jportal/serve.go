@@ -15,6 +15,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -26,6 +27,17 @@ import (
 	"jportal/internal/ingest/client"
 	"jportal/internal/meta"
 )
+
+// splitList splits a comma-separated flag value into its non-empty parts.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
@@ -39,7 +51,7 @@ func cmdServe(args []string) error {
 	budget := fs.Int64("budget", 0, "global queued-payload memory budget in bytes (0 = unlimited)")
 	breaker := fs.Int("breaker", 0, "NACKs before a session's circuit breaker poisons it (0 = disabled)")
 	stall := fs.Duration("stall", 0, "poison a session whose writer makes no progress for this long (0 = disabled)")
-	coordinator := fs.String("coordinator", "", "fleet coordinator control-plane URL; empty = standalone")
+	coordinator := fs.String("coordinator", "", "fleet coordinator control-plane URL(s), comma-separated (leader + standbys); empty = standalone")
 	node := fs.String("node", "", "fleet node name (default: hostname)")
 	advertise := fs.String("advertise", "", "ingest address advertised to the fleet (default: the -listen address)")
 	fs.Parse(args)
@@ -100,10 +112,10 @@ func cmdServe(args []string) error {
 		}
 		joinCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		member, err = fleet.Join(joinCtx, fleet.MemberConfig{
-			Name:           name,
-			CoordinatorURL: *coordinator,
-			IngestAddr:     adv,
-			MetricsURL:     metricsURL,
+			Name:            name,
+			CoordinatorURLs: splitList(*coordinator),
+			IngestAddr:      adv,
+			MetricsURL:      metricsURL,
 			Logf: func(format string, a ...any) {
 				fmt.Fprintf(os.Stderr, "serve: "+format+"\n", a...)
 			},
@@ -156,10 +168,11 @@ func cmdServe(args []string) error {
 
 func cmdPush(args []string) error {
 	fs := flag.NewFlagSet("push", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:7071", "ingest server address")
+	addr := fs.String("addr", "127.0.0.1:7071", "ingest server or coordinator address(es), comma-separated (rotated on connect failure)")
 	id := fs.String("id", "", "session id (default: archive directory base name / subject name)")
 	chunk := fs.Int("chunk", 0, "max CHUNK frame payload bytes (0 = default)")
 	attempts := fs.Int("attempts", 0, "connect attempts before giving up (0 = default)")
+	retryBudget := fs.Int("retry-budget", 0, "connect-level retries across the whole upload (0 = default, negative = unlimited)")
 	live := fs.Bool("live", false, "argument is a subject/.jasm: run it and stream records live")
 	scale := fs.Float64("scale", 1.0, "workload scale (-live)")
 	buf := fs.Int("buf", 128, "paper-label buffer size in MB (-live)")
@@ -174,10 +187,11 @@ func cmdPush(args []string) error {
 	}
 	arg := fs.Arg(0)
 	opts := client.Options{
-		Addr:          *addr,
+		Addrs:         splitList(*addr),
 		SessionID:     *id,
 		MaxChunkBytes: *chunk,
 		MaxAttempts:   *attempts,
+		RetryBudget:   *retryBudget,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "push: "+format+"\n", a...)
 		},

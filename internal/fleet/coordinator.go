@@ -22,6 +22,10 @@ import (
 type Membership struct {
 	Nodes          map[string]string `json:"nodes"` // name → ingest address
 	LeaseTTLMillis int64             `json:"lease_ttl_ms"`
+	// RingEpoch counts ring rebuilds monotonically (persisted across
+	// coordinator restarts), so members can tell a fresher membership
+	// answer from a stale one during a failover.
+	RingEpoch int64 `json:"ring_epoch,omitempty"`
 }
 
 // registration is the body of register/heartbeat/deregister requests.
@@ -45,6 +49,34 @@ type CoordinatorConfig struct {
 	// Default: 2-second-timeout client.
 	HTTPClient *http.Client
 
+	// StateDir, when set, makes membership durable: every membership
+	// change is persisted (CRC-sealed, crash-atomic — internal/ckpt over
+	// internal/fsatomic) to <StateDir>/coordinator.state before it is
+	// acknowledged, and a restarted coordinator rehydrates the fleet from
+	// it — every rehydrated member gets one fresh lease to heartbeat in —
+	// instead of coming back empty and triggering a mass rebalance.
+	StateDir string
+
+	// Election, when set, puts this coordinator behind a leadership lease
+	// (standby failover): while not leading it answers control-plane
+	// posts with 503 and ingest HELLOs with BUSY, and on winning the
+	// lease it rehydrates the durable state its predecessor persisted.
+	Election *Election
+
+	// FlapDamping is the heartbeat-miss hysteresis: an expired lease
+	// stays routable this much longer before the member is dropped, so
+	// one lost heartbeat — or the heartbeat gap of a coordinator
+	// failover — does not churn the ring. A heartbeat arriving inside
+	// the window cancels the removal without any rebalance (counted in
+	// ring_flaps_damped). Default LeaseTTL/2.
+	FlapDamping time.Duration
+
+	// MinDwell is the minimum time a member stays in the ring before
+	// lease expiry may remove it (explicit deregistration is always
+	// immediate): a node that joins and immediately goes quiet should
+	// not cause two rebalances in one lease. Default LeaseTTL.
+	MinDwell time.Duration
+
 	// now substitutes the clock in tests.
 	now func() time.Time
 }
@@ -53,6 +85,7 @@ type memberEntry struct {
 	ingestAddr string
 	metricsURL string
 	deadline   time.Time
+	joinedAt   time.Time
 }
 
 // Coordinator is the fleet control plane: it tracks members under
@@ -61,13 +94,17 @@ type memberEntry struct {
 type Coordinator struct {
 	cfg CoordinatorConfig
 
-	mu      sync.Mutex
-	members map[string]*memberEntry
-	ring    *Ring
-	closed  bool
+	mu        sync.Mutex
+	members   map[string]*memberEntry
+	ring      *Ring
+	ringEpoch int64 // bumped per rebuild, persisted with the membership
+	dirty     bool  // membership changed since the last successful persist
+	ledEpoch  int64 // leadership epoch the current membership was rehydrated under
+	closed    bool
 
-	rebalances atomic.Int64 // membership changes (join, leave, lease expiry)
-	redirected atomic.Int64 // REDIRECT frames sent to v3 clients
+	rebalances  atomic.Int64 // membership changes (join, leave, lease expiry)
+	redirected  atomic.Int64 // REDIRECT frames sent to v3 clients
+	flapsDamped atomic.Int64 // heartbeats that arrived inside the damping window
 
 	stop chan struct{}
 	done chan struct{}
@@ -91,6 +128,12 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	if cfg.FlapDamping <= 0 {
+		cfg.FlapDamping = cfg.LeaseTTL / 2
+	}
+	if cfg.MinDwell <= 0 {
+		cfg.MinDwell = cfg.LeaseTTL
+	}
 	c := &Coordinator{
 		cfg:     cfg,
 		members: make(map[string]*memberEntry),
@@ -98,8 +141,35 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	c.mu.Lock()
+	c.rehydrateLocked()
+	c.mu.Unlock()
 	go c.expireLoop()
 	return c
+}
+
+// leading reports whether this coordinator may mutate fleet state.
+// Coordinators without an election always lead.
+func (c *Coordinator) leading() bool {
+	e := c.cfg.Election
+	return e == nil || e.IsLeader()
+}
+
+// syncLeadershipLocked notices a leadership transition (our election
+// epoch changed since the membership was last rehydrated) and reloads the
+// durable state the previous leader persisted, before the first mutation
+// under the new epoch is applied. Caller holds c.mu.
+func (c *Coordinator) syncLeadershipLocked() {
+	e := c.cfg.Election
+	if e == nil {
+		return
+	}
+	ep := e.Epoch()
+	if ep == 0 || ep == c.ledEpoch {
+		return
+	}
+	c.ledEpoch = ep
+	c.rehydrateLocked()
 }
 
 // Close stops the expiry sweep and any ServeIngest listeners.
@@ -137,27 +207,43 @@ func (c *Coordinator) expireLoop() {
 // expire drops members whose lease lapsed and rebuilds the ring. Each
 // expiry is a rebalance: the dead node's hash range moves to its ring
 // successors, which will resume the sessions from the shared data dir.
+// Two guards damp ring flapping: a lapsed lease gets FlapDamping of
+// extra grace (one lost heartbeat is not a death), and a member is never
+// expired before it has dwelt MinDwell in the ring.
 func (c *Coordinator) expire() {
+	if !c.leading() {
+		return // a standby's view is not authoritative; never expire from it
+	}
 	now := c.cfg.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.syncLeadershipLocked()
 	changed := false
 	for name, m := range c.members {
-		if now.After(m.deadline) {
-			delete(c.members, name)
-			changed = true
-			c.cfg.Logf("fleet: node %s lease expired, reassigning its sessions", name)
+		if !now.After(m.deadline) {
+			continue
 		}
+		if now.Before(m.joinedAt.Add(c.cfg.MinDwell)) || !now.After(m.deadline.Add(c.cfg.FlapDamping)) {
+			continue // damped: give the heartbeat time to come back
+		}
+		delete(c.members, name)
+		changed = true
+		c.cfg.Logf("fleet: node %s lease expired, reassigning its sessions", name)
 	}
 	if changed {
 		c.rebuildLocked()
+		if err := c.persistLocked(); err != nil {
+			c.cfg.Logf("fleet: persisting membership after expiry failed: %v", err)
+		}
 	}
 }
 
-// rebuildLocked recomputes the ring and counts the rebalance. Caller
-// holds c.mu.
+// rebuildLocked recomputes the ring, bumps the ring epoch and counts the
+// rebalance. Caller holds c.mu and is responsible for persisting.
 func (c *Coordinator) rebuildLocked() {
 	c.ring = BuildRing(c.memberAddrsLocked())
+	c.ringEpoch++
+	c.dirty = true
 	c.rebalances.Add(1)
 }
 
@@ -173,11 +259,18 @@ func (c *Coordinator) memberAddrsLocked() map[string]string {
 func (c *Coordinator) membership() Membership {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Membership{Nodes: c.memberAddrsLocked(), LeaseTTLMillis: c.cfg.LeaseTTL.Milliseconds()}
+	return Membership{
+		Nodes:          c.memberAddrsLocked(),
+		LeaseTTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+		RingEpoch:      c.ringEpoch,
+	}
 }
 
 // register upserts a member and extends its lease. Membership changes
-// (new node, or a known node moving address) rebuild the ring.
+// (new node, or a known node moving address) rebuild the ring and are
+// persisted durably BEFORE the caller acknowledges — the same
+// persist-before-ACK discipline as the ingest data plane, so a
+// coordinator crash never forgets a membership it confirmed.
 func (c *Coordinator) register(reg registration) error {
 	if reg.Name == "" || !ingest.ValidSessionID(reg.Name) {
 		return fmt.Errorf("fleet: invalid node name %q", reg.Name)
@@ -190,16 +283,33 @@ func (c *Coordinator) register(reg registration) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.syncLeadershipLocked()
+	now := c.cfg.now()
 	prev, known := c.members[reg.Name]
 	entry := &memberEntry{
 		ingestAddr: reg.IngestAddr,
 		metricsURL: reg.MetricsURL,
-		deadline:   c.cfg.now().Add(c.cfg.LeaseTTL),
+		deadline:   now.Add(c.cfg.LeaseTTL),
+		joinedAt:   now,
+	}
+	if known {
+		entry.joinedAt = prev.joinedAt
+		if now.After(prev.deadline) {
+			// The lease had lapsed but the damping window kept the member
+			// in the ring: the heartbeat came back in time, so this renewal
+			// is a flap the hysteresis absorbed — no rebalance happened.
+			c.flapsDamped.Add(1)
+		}
 	}
 	c.members[reg.Name] = entry
 	if !known || prev.ingestAddr != reg.IngestAddr {
 		c.rebuildLocked()
 		c.cfg.Logf("fleet: node %s joined at %s (%d nodes)", reg.Name, reg.IngestAddr, len(c.members))
+	}
+	if c.dirty {
+		if err := c.persistLocked(); err != nil {
+			return fmt.Errorf("fleet: membership not durable: %w", err)
+		}
 	}
 	return nil
 }
@@ -209,11 +319,15 @@ func (c *Coordinator) register(reg registration) error {
 func (c *Coordinator) deregister(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.syncLeadershipLocked()
 	if _, ok := c.members[name]; !ok {
 		return
 	}
 	delete(c.members, name)
 	c.rebuildLocked()
+	if err := c.persistLocked(); err != nil {
+		c.cfg.Logf("fleet: persisting membership after drain failed: %v", err)
+	}
 	c.cfg.Logf("fleet: node %s drained (%d nodes)", name, len(c.members))
 }
 
@@ -243,6 +357,10 @@ func (c *Coordinator) Handler() http.Handler {
 		c.handleJoin(w, r)
 	})
 	mux.HandleFunc("POST /deregister", func(w http.ResponseWriter, r *http.Request) {
+		if !c.leading() {
+			http.Error(w, "fleet: not the leader", http.StatusServiceUnavailable)
+			return
+		}
 		reg, err := readRegistration(r.Body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -268,8 +386,13 @@ func (c *Coordinator) Handler() http.Handler {
 // handleJoin serves both register and heartbeat: an upsert plus a lease
 // extension. A heartbeat from a node the coordinator forgot (restart,
 // lease expiry during a network partition) re-registers it, so members
-// never need to distinguish the two.
+// never need to distinguish the two. Standbys answer 503 — members
+// rotate to the next coordinator on their list.
 func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if !c.leading() {
+		http.Error(w, "fleet: not the leader", http.StatusServiceUnavailable)
+		return
+	}
 	reg, err := readRegistration(r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -341,6 +464,18 @@ func (c *Coordinator) answerHello(conn net.Conn) {
 		reply(ingest.FrameErr, []byte(fmt.Sprintf("coordinator: invalid session id %q", id)))
 		return
 	}
+	if !c.leading() {
+		// A standby's ring is not authoritative; tell the client to retry
+		// (it rotates to another coordinator address meanwhile). The hint
+		// is half the leadership lease: about how long until either the
+		// leader answers elsewhere or this standby takes over.
+		if version >= ingest.ProtoVersionBusy {
+			reply(ingest.FrameBusy, ingest.AppendBusy(nil, uint32((c.cfg.Election.cfg.TTL/2).Milliseconds())))
+		} else {
+			reply(ingest.FrameErr, []byte("coordinator: not the fleet leader"))
+		}
+		return
+	}
 	name, addr, ok := c.Route(id)
 	if !ok {
 		// Empty fleet: ask the client to retry — a node may be seconds from
@@ -363,9 +498,11 @@ func (c *Coordinator) answerHello(conn net.Conn) {
 }
 
 // MetricsSnapshot aggregates the fleet view: the coordinator's own
-// counters plus the sum of every member's /metrics sidecar. The four
-// fleet_* keys are pre-registered — present (zero) before any traffic —
-// so scrapers can alert on them from the first scrape (DESIGN.md §14).
+// counters plus the sum of every member's /metrics sidecar. Every
+// coordinator-owned key — the fleet_* set plus the resilience gauges
+// (ring_flaps_damped, coordinator_failovers, leadership_epoch) — is
+// pre-registered: present (zero) before any traffic, so scrapers can
+// alert on them from the first scrape (DESIGN.md §14/§15).
 func (c *Coordinator) MetricsSnapshot() map[string]int64 {
 	c.mu.Lock()
 	urls := make(map[string]string, len(c.members))
@@ -375,6 +512,7 @@ func (c *Coordinator) MetricsSnapshot() map[string]int64 {
 		}
 	}
 	nodes := int64(len(c.members))
+	ringEpoch := c.ringEpoch
 	c.mu.Unlock()
 
 	out := map[string]int64{
@@ -383,6 +521,10 @@ func (c *Coordinator) MetricsSnapshot() map[string]int64 {
 		"fleet_sessions_redirected":         c.redirected.Load(),
 		"fleet_sessions_resumed_after_loss": 0,
 		"fleet_scrape_errors":               0,
+		"fleet_ring_epoch":                  ringEpoch,
+		"ring_flaps_damped":                 c.flapsDamped.Load(),
+		"coordinator_failovers":             c.cfg.Election.Failovers(),
+		"leadership_epoch":                  c.cfg.Election.ObservedEpoch(),
 	}
 	for _, url := range urls {
 		snap, err := scrapeMetrics(c.cfg.HTTPClient, url)

@@ -206,6 +206,8 @@ func TestCoordinatorMetricsAggregation(t *testing.T) {
 	for _, key := range []string{
 		"fleet_nodes", "fleet_rebalances", "fleet_sessions_redirected",
 		"fleet_sessions_resumed_after_loss", "fleet_scrape_errors",
+		"fleet_ring_epoch", "ring_flaps_damped",
+		"coordinator_failovers", "leadership_epoch",
 	} {
 		if _, ok := snap[key]; !ok {
 			t.Errorf("fleet metrics missing %q", key)

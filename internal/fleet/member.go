@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -16,8 +17,14 @@ type MemberConfig struct {
 	// Name identifies the node (same character rules as session ids).
 	Name string
 	// CoordinatorURL is the coordinator's HTTP control plane, e.g.
-	// "http://10.0.0.1:7071".
+	// "http://10.0.0.1:7071". Ignored when CoordinatorURLs is set.
 	CoordinatorURL string
+	// CoordinatorURLs lists every coordinator replica (leader and
+	// standbys). The member talks to one at a time; on any failure —
+	// including a standby's 503 "not the leader" — the same request is
+	// retried against the rest of the list, so a coordinator failover
+	// costs one extra HTTP round trip, not a lease.
+	CoordinatorURLs []string
 	// IngestAddr is this node's advertised ingest address — what clients
 	// are redirected to, so it must be reachable from them (not ":0").
 	IngestAddr string
@@ -38,10 +45,12 @@ type MemberConfig struct {
 // HELLOs for sessions it does not own with a REDIRECT to the owner.
 type Member struct {
 	cfg       MemberConfig
+	urls      []string
 	heartbeat time.Duration
 
-	mu   sync.Mutex
-	ring *Ring
+	mu     sync.Mutex
+	ring   *Ring
+	active int // index into urls of the last coordinator that answered
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -66,8 +75,16 @@ func Join(ctx context.Context, cfg MemberConfig) (*Member, error) {
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{Timeout: 5 * time.Second}
 	}
+	urls := cfg.CoordinatorURLs
+	if len(urls) == 0 && cfg.CoordinatorURL != "" {
+		urls = []string{cfg.CoordinatorURL}
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("fleet: member %s needs at least one coordinator URL", cfg.Name)
+	}
 	m := &Member{
 		cfg:  cfg,
+		urls: urls,
 		ring: BuildRing(nil),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
@@ -78,10 +95,10 @@ func Join(ctx context.Context, cfg MemberConfig) (*Member, error) {
 		if ms, err = m.post(ctx, "/register"); err == nil {
 			break
 		}
-		m.cfg.Logf("fleet: %s: register with %s failed, retrying: %v", cfg.Name, cfg.CoordinatorURL, err)
+		m.cfg.Logf("fleet: %s: register with %v failed, retrying: %v", cfg.Name, urls, err)
 		select {
 		case <-ctx.Done():
-			return nil, fmt.Errorf("fleet: %s: register with %s: %w", cfg.Name, cfg.CoordinatorURL, ctx.Err())
+			return nil, fmt.Errorf("fleet: %s: register with %v: %w", cfg.Name, urls, ctx.Err())
 		case <-time.After(500 * time.Millisecond):
 		}
 	}
@@ -103,15 +120,21 @@ func (m *Member) applyMembership(ms Membership) {
 	m.mu.Unlock()
 }
 
+// jitteredHeartbeat spreads one heartbeat interval across ±20% of the
+// base so a fleet restarted at once does not heartbeat in lockstep
+// against the coordinator forever.
+func (m *Member) jitteredHeartbeat() time.Duration {
+	base := m.heartbeat
+	return base - base/5 + time.Duration(rand.Int63n(int64(2*base/5)+1))
+}
+
 func (m *Member) heartbeatLoop() {
 	defer close(m.done)
-	t := time.NewTicker(m.heartbeat)
-	defer t.Stop()
 	for {
 		select {
 		case <-m.stop:
 			return
-		case <-t.C:
+		case <-time.After(m.jitteredHeartbeat()):
 			ctx, cancel := context.WithTimeout(context.Background(), m.heartbeat)
 			ms, err := m.post(ctx, "/heartbeat")
 			cancel()
@@ -127,7 +150,9 @@ func (m *Member) heartbeatLoop() {
 }
 
 // post sends this node's registration to a coordinator endpoint and
-// decodes the Membership reply (empty for /deregister's 204).
+// decodes the Membership reply (empty for /deregister's 204). It walks
+// the coordinator list starting at the replica that last answered, so a
+// failover settles onto the new leader after one failed request.
 func (m *Member) post(ctx context.Context, path string) (Membership, error) {
 	var ms Membership
 	body, err := json.Marshal(registration{
@@ -138,8 +163,27 @@ func (m *Member) post(ctx context.Context, path string) (Membership, error) {
 	if err != nil {
 		return ms, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		m.cfg.CoordinatorURL+path, bytes.NewReader(body))
+	m.mu.Lock()
+	start := m.active
+	m.mu.Unlock()
+	var lastErr error
+	for i := 0; i < len(m.urls); i++ {
+		idx := (start + i) % len(m.urls)
+		ms, err = m.postTo(ctx, m.urls[idx], path, body)
+		if err == nil {
+			m.mu.Lock()
+			m.active = idx
+			m.mu.Unlock()
+			return ms, nil
+		}
+		lastErr = err
+	}
+	return Membership{}, lastErr
+}
+
+func (m *Member) postTo(ctx context.Context, url, path string, body []byte) (Membership, error) {
+	var ms Membership
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+path, bytes.NewReader(body))
 	if err != nil {
 		return ms, err
 	}

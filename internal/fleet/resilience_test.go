@@ -1,0 +1,355 @@
+// Control-plane resilience: durable coordinator state across restarts,
+// lease-based leadership with epoch fencing, flap damping, and the
+// membership races a real fleet produces.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCoordinatorStateSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Minute, StateDir: dir})
+	for i, name := range []string{"n1", "n2", "n3"} {
+		if err := c1.register(registration{Name: name, IngestAddr: fmt.Sprintf("127.0.0.1:%d", 9000+i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch1 := c1.membership().RingEpoch
+	if epoch1 < 3 {
+		t.Fatalf("ring epoch after 3 joins = %d, want >= 3", epoch1)
+	}
+	c1.Close()
+
+	// A restarted coordinator rehydrates the fleet rather than coming back
+	// empty: same members, same ring, epoch counting forward.
+	c2 := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Minute, StateDir: dir})
+	defer c2.Close()
+	ms := c2.membership()
+	if len(ms.Nodes) != 3 || ms.Nodes["n2"] != "127.0.0.1:9001" {
+		t.Fatalf("rehydrated membership %+v", ms)
+	}
+	if ms.RingEpoch < epoch1 {
+		t.Fatalf("ring epoch went backwards across restart: %d -> %d", epoch1, ms.RingEpoch)
+	}
+	// Routing resumes without any member re-registering.
+	if _, _, ok := c2.Route("some-session"); !ok {
+		t.Fatal("rehydrated coordinator refused to route")
+	}
+	// The ring is identical: a pure function of the rehydrated membership.
+	want := BuildRing(ms.Nodes)
+	for _, id := range []string{"a", "b", "c", "session-42"} {
+		wn, _, _ := want.Route(id)
+		gn, _, _ := c2.Route(id)
+		if wn != gn {
+			t.Fatalf("route(%q) = %s, want %s", id, gn, wn)
+		}
+	}
+}
+
+func TestCoordinatorCorruptStateStartsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, stateFileName), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Minute, StateDir: dir})
+	defer c.Close()
+	if n := len(c.membership().Nodes); n != 0 {
+		t.Fatalf("corrupt state rehydrated %d nodes, want 0", n)
+	}
+	// And the corrupt file is replaced wholesale by the next registration.
+	if err := c.register(registration{Name: "n1", IngestAddr: "127.0.0.1:9000"}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Minute, StateDir: dir})
+	defer c2.Close()
+	if c2.membership().Nodes["n1"] != "127.0.0.1:9000" {
+		t.Fatalf("membership after corrupt-state recovery: %+v", c2.membership())
+	}
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestElectionFailoverAndFencing(t *testing.T) {
+	dir := t.TempDir()
+	a, err := StartElection(ElectionConfig{Dir: dir, ID: "a", TTL: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first campaign tick runs synchronously: a lone candidate leads
+	// by the time StartElection returns.
+	if !a.IsLeader() || a.Epoch() != 1 {
+		t.Fatalf("lone candidate: leader=%v epoch=%d", a.IsLeader(), a.Epoch())
+	}
+
+	b, err := StartElection(ElectionConfig{Dir: dir, ID: "b", TTL: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.IsLeader() {
+		t.Fatal("standby claimed leadership behind a live lease")
+	}
+	if b.ObservedEpoch() != 1 {
+		t.Fatalf("standby observed epoch %d, want 1", b.ObservedEpoch())
+	}
+
+	// Graceful handoff: the resigned lease is expired on disk, so the
+	// standby acquires within a campaign tick — and the epoch fence bumps.
+	a.Resign()
+	waitFor(t, "b to assume leadership", b.IsLeader)
+	if a.IsLeader() {
+		t.Fatal("resigned candidate still claims leadership")
+	}
+	if b.Epoch() != 2 {
+		t.Fatalf("successor epoch = %d, want 2 (fence must move forward)", b.Epoch())
+	}
+	if b.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1 (acquired from a different holder)", b.Failovers())
+	}
+
+	// Crash shape: Close without Resign leaves the lease to run out, and
+	// the next candidate takes over within ~one TTL.
+	b.Close()
+	c, err := StartElection(ElectionConfig{Dir: dir, ID: "c", TTL: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitFor(t, "c to assume leadership after b's lease lapsed", c.IsLeader)
+	if c.Epoch() != 3 {
+		t.Fatalf("post-crash epoch = %d, want 3", c.Epoch())
+	}
+
+	// nil election: single-coordinator fleets always lead.
+	var none *Election
+	if !none.IsLeader() || none.Epoch() != 0 || none.Failovers() != 0 {
+		t.Fatal("nil election must lead with zero gauges")
+	}
+}
+
+func TestStandbyRefusesWritesAndRehydratesOnTakeover(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := StartElection(ElectionConfig{Dir: dir, ID: "primary", TTL: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cPrimary := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Minute, StateDir: dir, Election: leader})
+	defer cPrimary.Close()
+	if err := cPrimary.register(registration{Name: "n1", IngestAddr: "127.0.0.1:9001"}); err != nil {
+		t.Fatal(err)
+	}
+
+	standby, err := StartElection(ElectionConfig{Dir: dir, ID: "standby", TTL: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+	cStandby := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Minute, StateDir: dir, Election: standby})
+	defer cStandby.Close()
+
+	// The control plane 503s on a standby so members rotate to the leader.
+	web := httptest.NewServer(cStandby.Handler())
+	defer web.Close()
+	joinCtx, cancel := context.WithTimeout(context.Background(), 700*time.Millisecond)
+	_, err = Join(joinCtx, MemberConfig{
+		Name: "n2", CoordinatorURL: web.URL, IngestAddr: "127.0.0.1:9002",
+	})
+	cancel()
+	if err == nil {
+		t.Fatal("standby accepted a registration")
+	}
+	// And the epoch fence refuses direct persists even if one slips past.
+	if err := cStandby.register(registration{Name: "n2", IngestAddr: "127.0.0.1:9002"}); err == nil {
+		t.Fatal("standby persisted membership without holding the lease")
+	}
+
+	// Failover: the primary resigns; the standby leads, rehydrates the
+	// membership its predecessor persisted, and accepts writes.
+	leader.Resign()
+	waitFor(t, "standby to assume leadership", standby.IsLeader)
+	if err := cStandby.register(registration{Name: "n2", IngestAddr: "127.0.0.1:9002"}); err != nil {
+		t.Fatalf("new leader refused a registration: %v", err)
+	}
+	ms := cStandby.membership()
+	if len(ms.Nodes) != 2 || ms.Nodes["n1"] != "127.0.0.1:9001" || ms.Nodes["n2"] != "127.0.0.1:9002" {
+		t.Fatalf("post-takeover membership %+v: predecessor's state must survive the failover", ms)
+	}
+	if got := standby.Failovers(); got != 1 {
+		t.Fatalf("coordinator_failovers = %d, want 1", got)
+	}
+}
+
+func TestFlapDampingAbsorbsMissedHeartbeat(t *testing.T) {
+	clock := time.Now()
+	c := NewCoordinator(CoordinatorConfig{
+		LeaseTTL: time.Minute, // damping 30s, dwell 60s by default
+		now:      func() time.Time { return clock },
+	})
+	defer c.Close()
+	if err := c.register(registration{Name: "n1", IngestAddr: "127.0.0.1:9001"}); err != nil {
+		t.Fatal(err)
+	}
+	joins := c.rebalances.Load()
+
+	// Lease lapsed (60s) but inside the damping window (until 90s): the
+	// member stays routable and no rebalance happens.
+	clock = clock.Add(70 * time.Second)
+	c.expire()
+	if len(c.membership().Nodes) != 1 {
+		t.Fatal("member dropped inside the damping window")
+	}
+	// The heartbeat comes back: that is a damped flap, not a rejoin.
+	if err := c.register(registration{Name: "n1", IngestAddr: "127.0.0.1:9001"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.flapsDamped.Load(); got != 1 {
+		t.Fatalf("ring_flaps_damped = %d, want 1", got)
+	}
+	if got := c.rebalances.Load(); got != joins {
+		t.Fatalf("damped flap rebalanced the ring (%d -> %d)", joins, got)
+	}
+
+	// Silence past the damping window does drop it.
+	clock = clock.Add(2 * time.Minute)
+	c.expire()
+	if len(c.membership().Nodes) != 0 {
+		t.Fatal("member outlived lease + damping")
+	}
+}
+
+func TestMinDwellDefersEarlyExpiry(t *testing.T) {
+	clock := time.Now()
+	c := NewCoordinator(CoordinatorConfig{
+		LeaseTTL:    10 * time.Second,
+		FlapDamping: time.Nanosecond, // isolate the dwell guard
+		MinDwell:    time.Hour,
+		now:         func() time.Time { return clock },
+	})
+	defer c.Close()
+	if err := c.register(registration{Name: "n1", IngestAddr: "127.0.0.1:9001"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lease and damping long gone, but the member has not dwelt MinDwell:
+	// expiry is deferred so one quiet join cannot double-rebalance.
+	clock = clock.Add(30 * time.Second)
+	c.expire()
+	if len(c.membership().Nodes) != 1 {
+		t.Fatal("member expired before MinDwell")
+	}
+	// Explicit deregistration is always immediate, dwell or not.
+	c.deregister("n1")
+	if len(c.membership().Nodes) != 0 {
+		t.Fatal("deregister deferred by dwell")
+	}
+
+	// Past the dwell, normal expiry applies.
+	if err := c.register(registration{Name: "n2", IngestAddr: "127.0.0.1:9002"}); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(2 * time.Hour)
+	c.expire()
+	if len(c.membership().Nodes) != 0 {
+		t.Fatal("member outlived MinDwell + lease")
+	}
+}
+
+// TestMembershipChurnRaces hammers the coordinator's mutating entry
+// points concurrently (register, heartbeat, deregister, expiry sweeps,
+// reads) and then checks the survivors' ring is coherent and the durable
+// snapshot matches memory. Run under -race this is the satellite's ring
+// stability contract.
+func TestMembershipChurnRaces(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Minute, StateDir: dir})
+	defer c.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("churn-%d", w)
+			addr := fmt.Sprintf("127.0.0.1:%d", 9100+w)
+			for i := 0; i < 40; i++ {
+				if err := c.register(registration{Name: name, IngestAddr: addr}); err != nil {
+					t.Errorf("register %s: %v", name, err)
+					return
+				}
+				c.Route(fmt.Sprintf("session-%d-%d", w, i))
+				c.membership()
+				if i%3 == 0 {
+					c.deregister(name)
+				}
+				if i%7 == 0 {
+					c.expire()
+				}
+			}
+			// Half the workers leave, half stay registered.
+			if w%2 == 1 {
+				c.deregister(name)
+			} else if err := c.register(registration{Name: name, IngestAddr: addr}); err != nil {
+				t.Errorf("final register %s: %v", name, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ms := c.membership()
+	if len(ms.Nodes) != workers/2 {
+		t.Fatalf("survivors = %d, want %d: %v", len(ms.Nodes), workers/2, ms.Nodes)
+	}
+	// The ring is exactly the pure function of the surviving membership.
+	want := BuildRing(ms.Nodes)
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("post-churn-%d", i)
+		wn, wa, wok := want.Route(id)
+		gn, ga, gok := c.Route(id)
+		if wn != gn || wa != ga || wok != gok {
+			t.Fatalf("route(%q) = %s@%s, want %s@%s", id, gn, ga, wn, wa)
+		}
+	}
+	// And the durable snapshot agrees with memory: a restart right now
+	// reproduces the same fleet.
+	c2 := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Minute, StateDir: dir})
+	defer c2.Close()
+	ms2 := c2.membership()
+	if len(ms2.Nodes) != len(ms.Nodes) {
+		t.Fatalf("persisted %d nodes, memory had %d", len(ms2.Nodes), len(ms.Nodes))
+	}
+	for name, addr := range ms.Nodes {
+		if ms2.Nodes[name] != addr {
+			t.Fatalf("persisted %s = %q, memory had %q", name, ms2.Nodes[name], addr)
+		}
+	}
+}
+
+func TestJitteredHeartbeatStaysInBounds(t *testing.T) {
+	m := &Member{heartbeat: 30 * time.Second}
+	for i := 0; i < 1000; i++ {
+		d := m.jitteredHeartbeat()
+		if d < 24*time.Second || d > 36*time.Second {
+			t.Fatalf("jittered heartbeat %v outside ±20%% of 30s", d)
+		}
+	}
+}

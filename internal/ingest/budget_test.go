@@ -1,0 +1,178 @@
+package ingest_test
+
+// Client-side resilience contracts: the shared connect-level retry
+// budget, the typed redirect-loop verdict, and entry-point rotation
+// across coordinator replicas.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"jportal/internal/ingest"
+	"jportal/internal/ingest/client"
+	"jportal/internal/metrics"
+)
+
+func TestRetryBudgetExhaustionIsTerminal(t *testing.T) {
+	before := metrics.Default.Get(metrics.CounterClientRetryBudget)
+	dials := 0
+	_, err := client.Dial(context.Background(), client.Options{
+		Addr:        "127.0.0.1:1",
+		SessionID:   "budget",
+		MaxAttempts: 100,
+		RetryBudget: 3,
+		Backoff:     1, // nanoseconds; the budget, not the clock, ends this
+		Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+			dials++
+			return nil, errors.New("synthetic dial failure")
+		},
+	}, 2)
+	if err == nil {
+		t.Fatal("dial succeeded against a permanently failing transport")
+	}
+	var be *client.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v (%T) is not a *BudgetError", err, err)
+	}
+	if be.Budget != 3 || be.Last == nil {
+		t.Fatalf("BudgetError = %+v", be)
+	}
+	// The budget bounds the retries, not the first attempt: budget 3 means
+	// at most 1 + 3 dials, far below MaxAttempts' 100.
+	if dials != 4 {
+		t.Fatalf("dials = %d, want 4 (1 attempt + 3 budgeted retries)", dials)
+	}
+	if got := metrics.Default.Get(metrics.CounterClientRetryBudget) - before; got != 1 {
+		t.Fatalf("client_retry_budget_exhausted moved by %d, want 1 (counted once at the crossing)", got)
+	}
+}
+
+func TestUnlimitedBudgetKeepsRetrying(t *testing.T) {
+	srv, addr := startServer(t, ingest.Config{DataDir: t.TempDir()})
+	fails := 0
+	p, err := client.Dial(context.Background(), client.Options{
+		Addr:        addr,
+		SessionID:   "patient",
+		MaxAttempts: 64,
+		RetryBudget: -1,
+		Backoff:     1,
+		Dial: func(ctx context.Context, a string) (net.Conn, error) {
+			// Fail more times than any finite default would tolerate cheaply,
+			// then connect for real.
+			if fails < 20 {
+				fails++
+				return nil, errors.New("flaky")
+			}
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", a)
+		},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.BudgetSpent() != 20 {
+		t.Fatalf("BudgetSpent = %d, want 20", p.BudgetSpent())
+	}
+	_ = srv
+}
+
+// redirectLoopServer answers every HELLO with a REDIRECT to itself.
+func redirectLoopServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				if _, _, err := ingest.ReadFrame(c); err != nil {
+					return
+				}
+				ingest.WriteFrame(c, ingest.FrameRedirect,
+					ingest.AppendRedirect(nil, ln.Addr().String()))
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestRedirectLoopIsTypedAndTerminal(t *testing.T) {
+	addr := redirectLoopServer(t)
+	dials := 0
+	_, err := client.Dial(context.Background(), client.Options{
+		Addr:        addr,
+		SessionID:   "looped",
+		MaxAttempts: 8,
+		Backoff:     1,
+		Dial: func(ctx context.Context, a string) (net.Conn, error) {
+			dials++
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", a)
+		},
+	}, 2)
+	if err == nil {
+		t.Fatal("dial escaped a redirect loop")
+	}
+	var se *client.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v (%T) is not a *ServerError", err, err)
+	}
+	if se.Category != ingest.ErrCategoryRedirectLoop {
+		t.Fatalf("category %q, want %q", se.Category, ingest.ErrCategoryRedirectLoop)
+	}
+	if !se.Terminal() {
+		t.Fatal("redirect-loop verdict is not terminal")
+	}
+	// The message carries the hop trail for the operator.
+	if !strings.Contains(se.Message, addr+" -> "+addr) {
+		t.Fatalf("message %q lacks the hop trail", se.Message)
+	}
+	// Terminal means fail fast: one walk of the hop bound, no MaxAttempts
+	// worth of re-walks.
+	if dials > 6 {
+		t.Fatalf("dials = %d: a terminal verdict must not be retried", dials)
+	}
+	// And SplitErr round-trips the category for server-originated forms.
+	cat, _ := ingest.SplitErr(ingest.FormatErr(ingest.ErrCategoryRedirectLoop, "x"))
+	if cat != ingest.ErrCategoryRedirectLoop {
+		t.Fatalf("SplitErr lost the redirect-loop category: %q", cat)
+	}
+}
+
+func TestAddrsRotateAcrossEntryPoints(t *testing.T) {
+	dataDir := t.TempDir()
+	_, live := startServer(t, ingest.Config{DataDir: dataDir})
+	// A dead entry point first in the list: the pusher must rotate past it
+	// rather than burn all attempts on it.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	gob := testProgramGob(t)
+	stream := buildStream(t, 2, 8)
+	p := pushStream(t, client.Options{
+		Addrs:       []string{deadAddr, live},
+		SessionID:   "rotated",
+		MaxAttempts: 8,
+		Backoff:     1,
+	}, gob, stream)
+	defer p.Close()
+	if p.BudgetSpent() < 1 {
+		t.Fatalf("BudgetSpent = %d, want >= 1 (the dead entry point cost a retry)", p.BudgetSpent())
+	}
+	assertArchived(t, dataDir, "rotated", gob, stream)
+}

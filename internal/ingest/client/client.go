@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"jportal/internal/ingest"
+	"jportal/internal/metrics"
 	"jportal/internal/source"
 )
 
@@ -40,6 +41,13 @@ import (
 type Options struct {
 	// Addr is the jportal serve address (host:port).
 	Addr string
+	// Addrs optionally lists several equivalent entry points — typically
+	// the fleet's coordinator replicas. The pusher dials one at a time
+	// and rotates to the next on any connect failure (including a
+	// standby coordinator's BUSY), so a coordinator failover costs one
+	// failed attempt, not the upload. When set, Addr defaults to
+	// Addrs[0] and is used only for log/error labels.
+	Addrs []string
 	// SessionID names the upload; the server archives it under this name
 	// and resumes it across reconnects. Must satisfy ingest.ValidSessionID.
 	SessionID string
@@ -63,6 +71,14 @@ type Options struct {
 	// 50% added jitter, capped at MaxBackoff (defaults 50ms / 2s).
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// RetryBudget bounds the connect-level retries of the whole upload —
+	// failed dials, BUSY refusals, REDIRECT hops and reconnects all draw
+	// from one pool — so a partitioned fleet cannot turn one pusher into
+	// a retry storm. MaxAttempts bounds one reconnect; this bounds their
+	// sum. 0 means max(256, 4×MaxAttempts); negative means unlimited.
+	// Exhaustion is terminal: the upload fails with a *BudgetError and
+	// the client_retry_budget_exhausted counter increments.
+	RetryBudget int
 	// Dial overrides the transport (tests inject failing connections).
 	Dial func(ctx context.Context, addr string) (net.Conn, error)
 	// Logf, when set, receives one line per reconnect/backoff event.
@@ -70,8 +86,19 @@ type Options struct {
 }
 
 func (o *Options) fill() error {
-	if o.Addr == "" {
+	if len(o.Addrs) == 0 && o.Addr != "" {
+		o.Addrs = []string{o.Addr}
+	}
+	if len(o.Addrs) == 0 {
 		return errors.New("ingest client: Options.Addr is required")
+	}
+	for _, a := range o.Addrs {
+		if a == "" {
+			return errors.New("ingest client: empty address in Options.Addrs")
+		}
+	}
+	if o.Addr == "" {
+		o.Addr = o.Addrs[0]
 	}
 	if !ingest.ValidSessionID(o.SessionID) {
 		return fmt.Errorf("ingest client: invalid session id %q", o.SessionID)
@@ -97,6 +124,12 @@ func (o *Options) fill() error {
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = 2 * time.Second
 	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 4 * o.MaxAttempts
+		if o.RetryBudget < 256 {
+			o.RetryBudget = 256
+		}
+	}
 	if o.Dial == nil {
 		o.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
 			var d net.Dialer
@@ -121,12 +154,11 @@ func (e *BusyError) Error() string {
 	return fmt.Sprintf("server busy, retry after %v", e.RetryAfter)
 }
 
-// ServerError is an ERR frame surfaced as a typed error. Category is the
-// server's machine-readable classification (ingest.ErrCategoryProtocol for
-// protocol-version verdicts) or "" for free-form errors. Protocol-version
-// errors are terminal — redialing the same address with the same protocol
-// cannot succeed, so the pusher fails fast instead of burning its retry
-// budget.
+// ServerError is a handshake rejection surfaced as a typed error: an ERR
+// frame's payload, or a client-side verdict that carries the same typed
+// categories (redirect-hop exhaustion). Category is the machine-readable
+// classification (ingest.ErrCategoryProtocol, ingest.ErrCategoryRedirectLoop)
+// or "" for free-form errors.
 type ServerError struct {
 	Category string
 	Message  string
@@ -138,6 +170,34 @@ func (e *ServerError) Error() string {
 	}
 	return fmt.Sprintf("server rejected session (%s): %s", e.Category, e.Message)
 }
+
+// Terminal reports whether retrying the same connect can ever succeed.
+// Protocol-version mismatches cannot (same address, same protocol), and a
+// redirect loop means the fleet's views of the session's owner disagree —
+// more hops from the same starting point walk the same loop, so the
+// pusher fails fast instead of burning its retry budget.
+func (e *ServerError) Terminal() bool {
+	switch e.Category {
+	case ingest.ErrCategoryProtocol, ingest.ErrCategoryRedirectLoop:
+		return true
+	}
+	return false
+}
+
+// BudgetError reports that the upload's connect-level retry budget —
+// shared across dial failures, BUSY refusals, REDIRECT hops and
+// reconnects (Options.RetryBudget) — ran out. Last is the failure that
+// spent the final unit.
+type BudgetError struct {
+	Budget int
+	Last   error
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("retry budget exhausted after %d connect-level retries (last: %v)", e.Budget, e.Last)
+}
+
+func (e *BudgetError) Unwrap() error { return e.Last }
 
 // redirectError is dialHelloOnce's internal signal that the dialed process
 // does not own the session; the dial loop follows Addr.
@@ -191,6 +251,11 @@ type Pusher struct {
 	nacks      int
 	redirects  int
 	resumeSeq  uint64 // frontier reported by the first HELLO_ACK
+
+	// Retry-budget accounting, guarded by mu. addrIdx walks Options.Addrs;
+	// spent counts connect-level retries against Options.RetryBudget.
+	addrIdx int
+	spent   int
 }
 
 // Dial connects to the server, performs the HELLO handshake, and returns a
@@ -261,6 +326,43 @@ func (p *Pusher) Acked() uint64 {
 	return p.acked
 }
 
+// BudgetSpent returns how many connect-level retries the upload has drawn
+// from its retry budget so far.
+func (p *Pusher) BudgetSpent() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spent
+}
+
+// spend draws n connect-level retries from the budget, reporting false —
+// and counting the exhaustion exactly once — when the budget is gone.
+func (p *Pusher) spend(n int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.spent += n
+	if p.opts.RetryBudget < 0 || p.spent <= p.opts.RetryBudget {
+		return true
+	}
+	if p.spent-n <= p.opts.RetryBudget { // first crossing
+		metrics.Default.Add(metrics.CounterClientRetryBudget, 1)
+	}
+	return false
+}
+
+// rotate advances to the next configured entry-point address.
+func (p *Pusher) rotate() {
+	p.mu.Lock()
+	p.addrIdx = (p.addrIdx + 1) % len(p.opts.Addrs)
+	p.mu.Unlock()
+}
+
+// entryAddr is the entry point the next connect starts from.
+func (p *Pusher) entryAddr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.opts.Addrs[p.addrIdx]
+}
+
 // backoffDelay computes the attempt'th retry delay: exponential with up to
 // 50% jitter, capped.
 func (p *Pusher) backoffDelay(attempt int) time.Duration {
@@ -285,10 +387,12 @@ func (p *Pusher) reconnectLocked() error {
 		return nil
 	}
 	p.reconnecting = true
+	redial := false
 	if p.conn != nil {
 		p.conn.Close()
 		p.conn = nil
 		p.reconnects++
+		redial = true
 	}
 	p.mu.Unlock()
 
@@ -297,7 +401,11 @@ func (p *Pusher) reconnectLocked() error {
 		resumeSeq uint64
 		err       error
 	)
-	for attempt := 0; attempt < p.opts.MaxAttempts; attempt++ {
+	budgetDead := redial && !p.spend(1)
+	if budgetDead {
+		err = &BudgetError{Budget: p.opts.RetryBudget, Last: errors.New("connection lost")}
+	}
+	for attempt := 0; !budgetDead && attempt < p.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			delay := p.backoffDelay(attempt - 1)
 			var busy *BusyError
@@ -323,8 +431,20 @@ func (p *Pusher) reconnectLocked() error {
 			break
 		}
 		var se *ServerError
-		if errors.As(err, &se) && se.Category == ingest.ErrCategoryProtocol {
+		if errors.As(err, &se) && se.Terminal() {
 			break // terminal: the same dial can never succeed
+		}
+		var be *BudgetError
+		if errors.As(err, &be) {
+			break // the whole upload's budget is gone, not just this attempt's
+		}
+		// The next attempt starts from the next configured entry point (a
+		// standby coordinator answering BUSY rotates us toward the leader)
+		// and draws one unit from the shared retry budget.
+		p.rotate()
+		if !p.spend(1) {
+			err = &BudgetError{Budget: p.opts.RetryBudget, Last: err}
+			break
 		}
 	}
 
@@ -354,21 +474,30 @@ func (p *Pusher) reconnectLocked() error {
 	return p.resendPendingLocked()
 }
 
-// dialHello performs one connect: dial Options.Addr, exchange
+// dialHello performs one connect: dial the current entry point, exchange
 // HELLO/HELLO_ACK, and follow any REDIRECT chain to the session's owning
-// node. Each call restarts from Options.Addr so a re-routed session (node
-// loss, rebalance) lands on the current owner, not a cached one.
+// node. Each call restarts from the entry point so a re-routed session
+// (node loss, rebalance) lands on the current owner, not a cached one.
+// Hop exhaustion is a typed terminal ServerError carrying the hop trail;
+// every followed hop draws from the shared retry budget.
 func (p *Pusher) dialHello() (net.Conn, uint64, error) {
-	addr := p.opts.Addr
+	addr := p.entryAddr()
+	trail := addr
 	for hop := 0; ; hop++ {
 		conn, resumeSeq, err := p.dialHelloOnce(addr)
 		var redir *redirectError
 		if !errors.As(err, &redir) {
 			return conn, resumeSeq, err
 		}
+		trail += " -> " + redir.Addr
 		if hop >= maxRedirectHops {
-			return nil, 0, fmt.Errorf("redirect loop: %d hops without reaching the session owner (last: %s)",
-				hop+1, redir.Addr)
+			return nil, 0, &ServerError{
+				Category: ingest.ErrCategoryRedirectLoop,
+				Message:  fmt.Sprintf("%d hops without reaching the session owner: %s", hop+1, trail),
+			}
+		}
+		if !p.spend(1) {
+			return nil, 0, &BudgetError{Budget: p.opts.RetryBudget, Last: redir}
 		}
 		p.mu.Lock()
 		p.redirects++

@@ -267,6 +267,17 @@ func ParseRedirect(p []byte) (addr string, err error) {
 // succeed.
 const ErrCategoryProtocol = "protocol-version"
 
+// ErrCategoryRedirectLoop is the typed category for redirect-hop
+// exhaustion: the client followed its redirect bound without reaching the
+// session's owner (a ring update racing the dial, or a partitioned fleet
+// bouncing the session between stale views). Terminal for the attempt —
+// the hop trail is in the message — though unlike a protocol mismatch a
+// later dial against a settled ring may succeed.
+const ErrCategoryRedirectLoop = "redirect-loop"
+
+// errCategories lists every category SplitErr recognizes.
+var errCategories = []string{ErrCategoryProtocol, ErrCategoryRedirectLoop}
+
 // FormatErr renders a typed ERR payload as "category: message". Untyped
 // errors keep using plain messages; SplitErr returns an empty category for
 // them.
@@ -279,8 +290,10 @@ func FormatErr(category, msg string) []byte {
 // the message.
 func SplitErr(payload []byte) (category, msg string) {
 	s := string(payload)
-	if rest, ok := strings.CutPrefix(s, ErrCategoryProtocol+": "); ok {
-		return ErrCategoryProtocol, rest
+	for _, c := range errCategories {
+		if rest, ok := strings.CutPrefix(s, c+": "); ok {
+			return c, rest
+		}
 	}
 	return "", s
 }

@@ -196,6 +196,11 @@ func NewServer(cfg Config) (*Server, error) {
 	// same registry: pre-declared so the sidecar exposes them from scrape one.
 	cfg.Registry.Add(metrics.CounterWatchdogStalls, 0)
 	cfg.Registry.Add(metrics.CounterCheckpointsWritten, 0)
+	// Fleet-resilience counters: injected network faults (the netfault
+	// layer mirrors per-class counts alongside) and in-process pushers
+	// that exhausted their retry budget.
+	cfg.Registry.Add(metrics.CounterNetfaultInjected, 0)
+	cfg.Registry.Add(metrics.CounterClientRetryBudget, 0)
 	srv := &Server{
 		cfg:      cfg,
 		sessions: make(map[string]*session),

@@ -905,6 +905,9 @@ func TestMetricsExposeFaultCounters(t *testing.T) {
 		// another node and sessions resumed from durable state after a
 		// restart or an ownership handoff.
 		"redirects_sent", "sessions_restored",
+		// Control-plane resilience counters (DESIGN.md §15): injected
+		// network faults and clients that ran out of retry budget.
+		"netfault_injected_total", "client_retry_budget_exhausted",
 	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("metrics missing %q", key)

@@ -34,6 +34,14 @@ const (
 	// CounterCheckpointsWritten counts session checkpoints durably written
 	// by the resumable replay path.
 	CounterCheckpointsWritten = "checkpoints_written"
+	// CounterNetfaultInjected counts network faults the netfault layer
+	// injected (drops, torn connections, partitions, delays), all classes
+	// summed; per-class counts live under "netfault_injected_<class>".
+	CounterNetfaultInjected = "netfault_injected_total"
+	// CounterClientRetryBudget counts uploads that died because the
+	// pusher's connect-level retry budget — shared across dial failures,
+	// BUSY refusals, REDIRECT hops and reconnects — ran out.
+	CounterClientRetryBudget = "client_retry_budget_exhausted"
 )
 
 // Add increments the named counter by delta (registering it at zero first
