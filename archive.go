@@ -2,6 +2,7 @@ package jportal
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"strings"
 
 	"jportal/internal/bytecode"
+	"jportal/internal/iofault"
 	"jportal/internal/meta"
 	"jportal/internal/source"
 	"jportal/internal/vm"
@@ -61,6 +63,10 @@ const (
 // a pre-source binary has no Traits for the payload, so it must refuse
 // via the version gate rather than misdecode the packets as PT.
 func writeArchiveMeta(dir, layout, srcID string) error {
+	return writeArchiveMetaFS(iofault.OS, dir, layout, srcID)
+}
+
+func writeArchiveMetaFS(fsys iofault.FS, dir, layout, srcID string) error {
 	ver := archiveVersionLegacy
 	if srcID != "" && srcID != source.DefaultID {
 		ver = archiveVersion
@@ -69,7 +75,22 @@ func writeArchiveMeta(dir, layout, srcID string) error {
 	if srcID != "" && srcID != source.DefaultID {
 		body += fmt.Sprintf("source: %s\n", srcID)
 	}
-	return os.WriteFile(filepath.Join(dir, archiveMetaFile), []byte(body), 0o644)
+	return writeFileFS(fsys, filepath.Join(dir, archiveMetaFile), []byte(body))
+}
+
+// writeFileFS is os.WriteFile routed through an iofault.FS, so the archive
+// writers' small fixed artefacts (header, program, sideband) draw from the
+// same fault streams as the record stream itself.
+func writeFileFS(fsys iofault.FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // readArchiveMeta parses the header. A missing header with a program.gob
@@ -86,9 +107,20 @@ func readArchiveMeta(dir string) (version int, layout, srcID string, err error) 
 	if err != nil {
 		return 0, "", "", err
 	}
+	version, layout, srcID, err = parseArchiveMeta(raw)
+	if err != nil {
+		return 0, "", "", fmt.Errorf("jportal: %s: %w", dir, err)
+	}
+	return version, layout, srcID, nil
+}
+
+// parseArchiveMeta parses an archive.meta header body: the magic line, the
+// version line, the layout, and (version 3+) the optional source key.
+// Pure — no filesystem access — so the fuzz target can drive it directly.
+func parseArchiveMeta(raw []byte) (version int, layout, srcID string, err error) {
 	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
 	if len(lines) < 3 || strings.TrimSpace(lines[0]) != archiveMagicLine {
-		return 0, "", "", fmt.Errorf("jportal: %s: malformed archive header", dir)
+		return 0, "", "", errors.New("malformed archive header")
 	}
 	version, layout, srcID = 0, "", source.DefaultID
 	for _, ln := range lines[1:] {
@@ -100,25 +132,48 @@ func readArchiveMeta(dir string) (version int, layout, srcID string, err error) 
 		case "version":
 			version, err = strconv.Atoi(strings.TrimSpace(v))
 			if err != nil {
-				return 0, "", "", fmt.Errorf("jportal: %s: bad archive version %q", dir, strings.TrimSpace(v))
+				return 0, "", "", fmt.Errorf("bad archive version %q", strings.TrimSpace(v))
 			}
 		case "layout":
 			layout = strings.TrimSpace(v)
 		case "source":
 			srcID = strings.TrimSpace(v)
+			if srcID == "" {
+				// Writers only stamp a source key for non-default
+				// backends; an empty value is a damaged header, not a
+				// spelling of the default.
+				return 0, "", "", errors.New("archive header has an empty source key")
+			}
 		}
 	}
 	if version > archiveVersion {
-		return 0, "", "", fmt.Errorf("jportal: %s: archive version %d is newer than this binary supports (%d)",
-			dir, version, archiveVersion)
+		return 0, "", "", fmt.Errorf("archive version %d is newer than this binary supports (%d)",
+			version, archiveVersion)
 	}
 	if version < 1 {
-		return 0, "", "", fmt.Errorf("jportal: %s: archive header missing a version", dir)
+		return 0, "", "", errors.New("archive header missing a version")
 	}
 	if layout != LayoutBatch && layout != LayoutChunked {
-		return 0, "", "", fmt.Errorf("jportal: %s: unknown archive layout %q", dir, layout)
+		return 0, "", "", fmt.Errorf("unknown archive layout %q", layout)
 	}
 	return version, layout, srcID, nil
+}
+
+// ArchiveInfo describes a run archive's header: what the scrubber and the
+// retention/compaction pass need to know before touching the payload.
+type ArchiveInfo struct {
+	Version int
+	Layout  string // LayoutBatch or LayoutChunked
+	Source  string // trace-source backend ID (source.DefaultID when unstamped)
+}
+
+// ReadArchiveInfo reads and validates dir's archive.meta header.
+func ReadArchiveInfo(dir string) (ArchiveInfo, error) {
+	version, layout, srcID, err := readArchiveMeta(dir)
+	if err != nil {
+		return ArchiveInfo{}, err
+	}
+	return ArchiveInfo{Version: version, Layout: layout, Source: srcID}, nil
 }
 
 // ArchiveSourceID reports the trace-source backend a run archive was
@@ -245,7 +300,11 @@ func LoadRun(dir string) (*bytecode.Program, *RunResult, error) {
 }
 
 func writeGob(path string, v any) error {
-	f, err := os.Create(path)
+	return writeGobFS(iofault.OS, path, v)
+}
+
+func writeGobFS(fsys iofault.FS, path string, v any) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}

@@ -31,11 +31,11 @@ go test -race ./internal/core/... ./internal/trace/... ./internal/conc/... ./int
 echo "==> go test -race (root streaming tests)"
 go test -race -run 'TestStream|TestAnalyzeStreamed|TestSession|TestAnalyzeDeterministicAcrossWorkers|TestPipelined|TestAsyncSink' .
 
-echo "==> go test -race (ingest service + fleet + netfault)"
-go test -race ./internal/ingest/... ./internal/fleet/... ./internal/netfault/...
+echo "==> go test -race (ingest service + fleet + netfault + iofault + scrub)"
+go test -race ./internal/ingest/... ./internal/fleet/... ./internal/netfault/... ./internal/iofault/... ./internal/scrub/...
 
-echo "==> go test -race (root ingest + fleet e2e)"
-go test -race -run 'TestIngest|TestFleet' .
+echo "==> go test -race (root ingest + fleet + scrub e2e)"
+go test -race -run 'TestIngest|TestFleet|TestScrub' .
 
 echo "==> serve/push loopback smoke"
 SMOKE=$(mktemp -d)
@@ -139,6 +139,58 @@ echo "==> chaos -fleet smoke (network faults, fixed seed, archives identical)"
 "$SMOKE/jportal" chaos -fleet -subjects fop -scale 0.2 -seed 7 -rates 0,1,2 >"$SMOKE/chaosf2.txt"
 cmp "$SMOKE/chaosf1.txt" "$SMOKE/chaosf2.txt"
 echo "    chaos -fleet sweep deterministic, no data lost under faults"
+
+echo "==> chaos -disk smoke (storage faults, scrub-and-repair, fixed seed)"
+# The storage-fault counterpart: uploads run against an ingest server whose
+# filesystem is behind the seeded iofault injector (ENOSPC, EIO, torn
+# writes), then a planted torn-tail victim and a corrupt sealed casualty
+# are scrubbed — the victim repaired and resumed, the casualty
+# quarantined. The command exits nonzero on silent corruption (a completed
+# upload whose archive diverges), and the cmp pins the sweep table's
+# determinism for a fixed seed.
+"$SMOKE/jportal" chaos -disk -subjects fop -scale 0.2 -seed 7 -rates 0,1,2 >"$SMOKE/chaosd1.txt" 2>/dev/null
+"$SMOKE/jportal" chaos -disk -subjects fop -scale 0.2 -seed 7 -rates 0,1,2 >"$SMOKE/chaosd2.txt" 2>/dev/null
+cmp "$SMOKE/chaosd1.txt" "$SMOKE/chaosd2.txt"
+echo "    chaos -disk sweep deterministic, completed uploads byte-identical"
+
+echo "==> scrub smoke (torn tail planted, repaired, resumed push identical)"
+# The storage-durability loop end to end, with real processes: interrupt a
+# push mid-upload (SIGKILL, as in the fleet smoke), corrupt the tail the
+# way a torn write would, `scrub -repair`, re-push, and require the final
+# archive byte-identical. The deterministic variant is pinned by
+# TestScrubRepairTornTailThenResume.
+"$SMOKE/jportal" serve -listen 127.0.0.1:7921 -data "$SMOKE/scrub" >"$SMOKE/scrub-serve.log" 2>&1 &
+SCRUB_SERVE_PID=$!
+for i in $(seq 1 50); do
+    grep -q 'listening on' "$SMOKE/scrub-serve.log" && break
+    sleep 0.1
+done
+"$SMOKE/jportal" push -addr 127.0.0.1:7921 -id scrub-smoke "$SMOKE/local" >/dev/null &
+SCRUB_PUSH_PID=$!
+sleep 0.05
+kill -9 "$SCRUB_PUSH_PID" 2>/dev/null || true
+wait "$SCRUB_PUSH_PID" 2>/dev/null || true
+kill -TERM "$SCRUB_SERVE_PID"
+wait "$SCRUB_SERVE_PID"
+# Plant a torn tail if the upload was interrupted mid-flight (a push that
+# managed to finish leaves a sealed archive, which scrub must leave alone).
+if [ -f "$SMOKE/scrub/scrub-smoke/ingest.state" ] && ! grep -q 'sealed: true' "$SMOKE/scrub/scrub-smoke/ingest.state"; then
+    printf '\004\000\000\000\000\001' >>"$SMOKE/scrub/scrub-smoke/stream.jpt"
+fi
+"$SMOKE/jportal" scrub -data "$SMOKE/scrub" -repair >"$SMOKE/scrub-report.txt"
+"$SMOKE/jportal" serve -listen 127.0.0.1:7921 -data "$SMOKE/scrub" >"$SMOKE/scrub-serve2.log" 2>&1 &
+SCRUB_SERVE_PID=$!
+for i in $(seq 1 50); do
+    grep -q 'listening on' "$SMOKE/scrub-serve2.log" && break
+    sleep 0.1
+done
+"$SMOKE/jportal" push -addr 127.0.0.1:7921 -id scrub-smoke "$SMOKE/local" >/dev/null
+kill -TERM "$SCRUB_SERVE_PID"
+wait "$SCRUB_SERVE_PID"
+cmp "$SMOKE/local/stream.jpt" "$SMOKE/scrub/scrub-smoke/stream.jpt"
+cmp "$SMOKE/local/program.gob" "$SMOKE/scrub/scrub-smoke/program.gob"
+"$SMOKE/jportal" scrub -data "$SMOKE/scrub" >/dev/null
+echo "    torn upload repaired, resumed push byte-identical, final scrub clean"
 
 echo "==> kill-and-resume smoke (SIGKILL mid-replay, resumed output identical)"
 # The golden property (DESIGN.md §11): a replay killed with SIGKILL and

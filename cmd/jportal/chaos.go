@@ -14,6 +14,7 @@ import (
 	"jportal/internal/fault"
 	"jportal/internal/fleet"
 	"jportal/internal/meta"
+	"jportal/internal/scrub"
 	"jportal/internal/workload"
 )
 
@@ -32,16 +33,23 @@ func cmdChaos(args []string) error {
 	cores := fs.Int("cores", 0, "simulated cores (0 = default; fewer cores than threads forces migration)")
 	workers := fs.Int("workers", 0, "offline-phase parallelism (0 = GOMAXPROCS)")
 	fleetMode := fs.Bool("fleet", false, "inject network faults into an in-process ingest fleet instead of trace-decode faults")
-	sessions := fs.Int("sessions", 2, "sessions pushed per rate (-fleet)")
-	src := fs.String("source", "", sourceFlagHelp()+" (-fleet)")
+	diskMode := fs.Bool("disk", false, "inject storage faults (ENOSPC, EIO, torn writes) under an in-process ingest server, then scrub and repair")
+	sessions := fs.Int("sessions", 2, "sessions pushed per rate (-fleet/-disk)")
+	src := fs.String("source", "", sourceFlagHelp()+" (-fleet/-disk)")
 	fs.Parse(args)
 
 	rateList, err := parseRates(*rates)
 	if err != nil {
 		return err
 	}
+	if *fleetMode && *diskMode {
+		return fmt.Errorf("chaos: -fleet and -disk are mutually exclusive")
+	}
 	if *fleetMode {
 		return chaosFleet(*subjects, *scale, *seed, *src, rateList, *sessions)
+	}
+	if *diskMode {
+		return chaosDisk(*subjects, *scale, *seed, *src, rateList, *sessions)
 	}
 	pcfg := core.DefaultPipelineConfig()
 	pcfg.Workers = *workers
@@ -88,31 +96,11 @@ func chaosFleet(subjects string, scale float64, seed uint64, src string, rates [
 		if name == "" {
 			continue
 		}
-		prog, threads, subj, err := loadTarget(name, scale)
+		archive, subj, cleanup, err := collectChaosArchive(name, scale, src)
 		if err != nil {
 			return err
 		}
-		tmp, err := os.MkdirTemp("", "jportal-chaos-archive-")
-		if err != nil {
-			return err
-		}
-		defer os.RemoveAll(tmp)
-		archive := filepath.Join(tmp, subj)
-		cfg := jportal.DefaultRunConfig()
-		cfg.CollectOracle = false
-		cfg.Source = src
-		var w *jportal.StreamArchiveWriter
-		if _, err := jportal.RunWithSink(prog, threads, cfg,
-			func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (jportal.TraceSink, error) {
-				var err error
-				w, err = jportal.CreateStreamArchiveSource(archive, p, snap, ncores, cfg.Source)
-				return w, err
-			}); err != nil {
-			return err
-		}
-		if err := w.Seal(); err != nil {
-			return err
-		}
+		defer cleanup()
 
 		rows, err := fleet.ChaosSweep(fleet.SweepConfig{
 			ArchiveDir: archive,
@@ -136,6 +124,87 @@ func chaosFleet(subjects string, scale float64, seed uint64, src string, rates [
 		}
 	}
 	return nil
+}
+
+// chaosDisk is `jportal chaos -disk`: collect a chunked archive per
+// subject, push it through an ingest server whose storage runs behind a
+// seeded iofault injector, plant a torn-tail victim and a corrupt sealed
+// casualty, scrub-and-repair, resume the victim, and report outcome
+// invariants only — byte-identical per seed, like the other two tables.
+func chaosDisk(subjects string, scale float64, seed uint64, src string, rates []float64, sessions int) error {
+	for _, name := range strings.Split(subjects, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		archive, subj, cleanup, err := collectChaosArchive(name, scale, src)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+
+		rows, err := scrub.DiskSweep(scrub.DiskSweepConfig{
+			ArchiveDir: archive,
+			SourceID:   src,
+			Seed:       seed,
+			Rates:      rates,
+			Sessions:   sessions,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stdout, scrub.FormatDiskSweep(subj, seed, rows))
+		for _, r := range rows {
+			// The durability invariant: an upload may fail honestly under
+			// sustained injected faults, but a completed one must be
+			// byte-identical — and with no faults, everything completes.
+			if r.Corrupt > 0 {
+				return fmt.Errorf("%s: %d archive(s) completed but are not byte-identical at rate %.2f — silent corruption",
+					subj, r.Corrupt, r.Rate)
+			}
+			if r.Rate == 0 && (r.Completed != r.Sessions || r.Identical != r.Sessions) {
+				return fmt.Errorf("%s: %d/%d completed, %d/%d identical with zero faults injected",
+					subj, r.Completed, r.Sessions, r.Identical, r.Sessions)
+			}
+		}
+	}
+	return nil
+}
+
+// collectChaosArchive runs one subject and seals its chunked archive into
+// a temp dir, returning the archive path and a cleanup func.
+func collectChaosArchive(name string, scale float64, src string) (archive, subj string, cleanup func(), err error) {
+	prog, threads, subj, err := loadTarget(name, scale)
+	if err != nil {
+		return "", "", nil, err
+	}
+	tmp, err := os.MkdirTemp("", "jportal-chaos-archive-")
+	if err != nil {
+		return "", "", nil, err
+	}
+	cleanup = func() { os.RemoveAll(tmp) }
+	archive = filepath.Join(tmp, subj)
+	cfg := jportal.DefaultRunConfig()
+	cfg.CollectOracle = false
+	cfg.Source = src
+	var w *jportal.StreamArchiveWriter
+	if _, err := jportal.RunWithSink(prog, threads, cfg,
+		func(p *bytecode.Program, snap *meta.Snapshot, ncores int) (jportal.TraceSink, error) {
+			var err error
+			w, err = jportal.CreateStreamArchiveSource(archive, p, snap, ncores, cfg.Source)
+			return w, err
+		}); err != nil {
+		cleanup()
+		return "", "", nil, err
+	}
+	if err := w.Seal(); err != nil {
+		cleanup()
+		return "", "", nil, err
+	}
+	return archive, subj, cleanup, nil
 }
 
 func parseRates(s string) ([]float64, error) {

@@ -12,6 +12,7 @@
 //	jportal stream   <dir>                incremental analysis of a chunked archive
 //	jportal serve                         networked trace-ingest server
 //	jportal push     <dir>                upload a chunked archive to a server
+//	jportal scrub                         verify/repair archives in a data dir
 //	jportal disasm   <file.jasm>          assemble and disassemble a program
 //	jportal chaos                         fault-injection coverage sweep
 //	jportal exp      <table1|table2|table3|table4|table5|figure7|all>
@@ -74,6 +75,8 @@ func main() {
 		err = cmdServe(args)
 	case "push":
 		err = cmdPush(args)
+	case "scrub":
+		err = cmdScrub(args)
 	case "coordinate":
 		err = cmdCoordinate(args)
 	case "fleet":
@@ -123,6 +126,11 @@ commands:
                                 -retry-budget, resumable; -live runs a subject
                                 and streams its records as they appear;
                                 -addr may name coordinators or any fleet node)
+  scrub                        verify every session archive in a data dir and
+                               repair what fails: truncate torn tails to the
+                               acknowledged frontier, re-fetch from -peers,
+                               quarantine the rest (-data, -repair, -rate
+                               pacing, -compact, -retain-age/-retain-bytes)
   coordinate                   fleet control plane: nodes register under
                                heartbeat leases, sessions consistent-hash onto
                                them, clients are redirected to their owner
@@ -137,7 +145,9 @@ commands:
                                (-subjects, -seed, -rates, -scale, -cores;
                                 deterministic for a fixed seed; -fleet pushes
                                 archives through a network-faulted ingest
-                                fleet instead, -sessions per rate)
+                                fleet instead, -disk through storage-faulted
+                                ingest plus scrub-and-repair, -sessions per
+                                rate)
   bench                        hot-path performance snapshot: steady-state
                                kernels, streaming throughput, per-subject
                                wall-clock (-out BENCH_n.json, -pr, -quick,

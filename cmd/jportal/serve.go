@@ -26,6 +26,7 @@ import (
 	"jportal/internal/ingest"
 	"jportal/internal/ingest/client"
 	"jportal/internal/meta"
+	"jportal/internal/scrub"
 )
 
 // splitList splits a comma-separated flag value into its non-empty parts.
@@ -54,6 +55,10 @@ func cmdServe(args []string) error {
 	coordinator := fs.String("coordinator", "", "fleet coordinator control-plane URL(s), comma-separated (leader + standbys); empty = standalone")
 	node := fs.String("node", "", "fleet node name (default: hostname)")
 	advertise := fs.String("advertise", "", "ingest address advertised to the fleet (default: the -listen address)")
+	scrubEvery := fs.Duration("scrub-every", 0, "background archive scrub-and-repair interval (0 = disabled)")
+	scrubRate := fs.Int64("scrub-rate", 8<<20, "scrub verification I/O budget in bytes/sec (0 = unpaced)")
+	retainAge := fs.Duration("retain-age", 0, "delete finished sessions older than this on each sweep (0 = keep forever)")
+	retainBytes := fs.Int64("retain-bytes", 0, "cap the data dir's total bytes, deleting oldest finished sessions first (0 = unlimited)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments")
@@ -80,6 +85,33 @@ func cmdServe(args []string) error {
 	}
 	fmt.Printf("jportal serve: listening on %s (data %s, queue %d, policy %s)\n",
 		ln.Addr(), *data, *queue, *policy)
+
+	// Background storage durability: scrub-and-repair each interval, then
+	// retention. Busy sessions (attached writers) are always skipped.
+	var sweeper *scrub.Sweeper
+	if *scrubEvery > 0 || *retainAge > 0 || *retainBytes > 0 {
+		interval := *scrubEvery
+		if interval <= 0 {
+			interval = 5 * time.Minute
+		}
+		sweeper = scrub.StartSweeper(scrub.SweeperConfig{
+			Interval: interval,
+			Scrub: scrub.Config{
+				DataDir:         *data,
+				RateBytesPerSec: *scrubRate,
+				Busy:            srv.SessionBusy,
+			},
+			Retention: scrub.RetentionPolicy{
+				MaxAge:   *retainAge,
+				MaxBytes: *retainBytes,
+			},
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, "serve: "+format+"\n", a...)
+			},
+		})
+		fmt.Printf("jportal serve: sweeping %s every %s (retain-age %s, retain-bytes %d)\n",
+			*data, interval, *retainAge, *retainBytes)
+	}
 
 	var httpSrv *http.Server
 	var metricsURL string
@@ -153,6 +185,9 @@ func cmdServe(args []string) error {
 		if member != nil {
 			member.Stop()
 		}
+	}
+	if sweeper != nil {
+		sweeper.Stop()
 	}
 	if httpSrv != nil {
 		httpSrv.Close()

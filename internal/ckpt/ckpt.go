@@ -11,9 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 
 	"jportal/internal/fsatomic"
+	"jportal/internal/iofault"
 )
 
 // Magic identifies a JPortal checkpoint file. The trailing newline makes
@@ -79,14 +79,25 @@ func Open(data []byte) ([]byte, error) {
 
 // WriteFile seals payload and writes it crash-atomically to path.
 func WriteFile(path string, payload []byte) error {
-	return fsatomic.WriteFile(path, Seal(payload), 0o644)
+	return WriteFileFS(iofault.OS, path, payload)
+}
+
+// WriteFileFS is WriteFile over an explicit filesystem, so the coordinator
+// can persist its durable state through the storage fault injector.
+func WriteFileFS(fsys iofault.FS, path string, payload []byte) error {
+	return fsatomic.WriteFileFS(fsys, path, Seal(payload), 0o644)
 }
 
 // ReadFile reads and validates a sealed checkpoint file, returning the
 // payload. Missing-file errors pass through unwrapped (os.IsNotExist
 // works); structural failures wrap ErrCorrupt.
 func ReadFile(path string) ([]byte, error) {
-	data, err := os.ReadFile(path)
+	return ReadFileFS(iofault.OS, path)
+}
+
+// ReadFileFS is ReadFile over an explicit filesystem.
+func ReadFileFS(fsys iofault.FS, path string) ([]byte, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

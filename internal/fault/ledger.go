@@ -50,6 +50,11 @@ const (
 	// ReasonStall: the watchdog supervisor observed a stage making no
 	// progress past the stall window and quarantined/failed it.
 	ReasonStall
+	// ReasonMissingMeta: the scrubber found a session directory whose
+	// archive.meta is absent or unparseable — the archive bytes may be
+	// fine, but without the header the session cannot be attributed or
+	// resumed, so it is quarantined rather than silently skipped.
+	ReasonMissingMeta
 
 	numReasons
 )
@@ -77,6 +82,8 @@ func (r Reason) Slug() string {
 		return "deadline"
 	case ReasonStall:
 		return "stall"
+	case ReasonMissingMeta:
+		return "missing_meta"
 	}
 	return "unknown"
 }

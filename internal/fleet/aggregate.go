@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"jportal"
 	"jportal/internal/core"
@@ -92,7 +93,9 @@ func Aggregate(dataDir string, topHot int) (*Aggregation, error) {
 	agg := &Aggregation{Quarantined: make(map[string]uint64)}
 	hot := make(map[string]int64)
 	for _, e := range entries {
-		if !e.IsDir() {
+		// Dot-dirs are infrastructure, not sessions — most importantly the
+		// scrubber's .quarantine, whose contents are damaged by definition.
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
 		}
 		id := e.Name()

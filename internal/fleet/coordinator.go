@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"jportal/internal/ingest"
+	"jportal/internal/iofault"
 	"jportal/internal/metrics"
 )
 
@@ -77,8 +78,23 @@ type CoordinatorConfig struct {
 	// not cause two rebalances in one lease. Default LeaseTTL.
 	MinDwell time.Duration
 
+	// FS, when set, routes the coordinator's durable-state I/O through a
+	// fault-injecting filesystem (internal/iofault). Nil means the real
+	// filesystem. The control plane already treats a failed persist as
+	// fatal to the ACK, so injected ENOSPC/EIO here exercises the same
+	// persist-before-ACK contract the chaos sweeps pin for ingest.
+	FS iofault.FS
+
 	// now substitutes the clock in tests.
 	now func() time.Time
+}
+
+// fsys returns the configured filesystem, defaulting to the real one.
+func (cfg *CoordinatorConfig) fsys() iofault.FS {
+	if cfg.FS != nil {
+		return cfg.FS
+	}
+	return iofault.OS
 }
 
 type memberEntry struct {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"jportal/internal/ckpt"
+	"jportal/internal/iofault"
 )
 
 // leaseFileName is the leadership lease inside the shared election dir.
@@ -45,6 +46,13 @@ type ElectionConfig struct {
 	TTL time.Duration
 	// Logf, when set, receives one line per leadership transition.
 	Logf func(format string, args ...any)
+
+	// FS, when set, routes lease reads and writes through a
+	// fault-injecting filesystem (internal/iofault). Nil means the real
+	// filesystem. A torn or failed lease write already degrades to
+	// "vacant, re-acquire next tick", so injected faults here exercise
+	// the election's crash-equivalence, not new code paths.
+	FS iofault.FS
 
 	// now substitutes the clock in tests.
 	now func() time.Time
@@ -203,7 +211,7 @@ func (e *Election) campaign() {
 func (e *Election) leasePath() string { return filepath.Join(e.cfg.Dir, leaseFileName) }
 
 func (e *Election) readLease() leaseRecord {
-	payload, err := ckpt.ReadFile(e.leasePath())
+	payload, err := ckpt.ReadFileFS(e.fsys(), e.leasePath())
 	if err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
 			// Corrupt or torn: treat as absent. The next acquisition
@@ -226,7 +234,14 @@ func (e *Election) writeLease(rec leaseRecord) error {
 	if err != nil {
 		return err
 	}
-	return ckpt.WriteFile(e.leasePath(), payload)
+	return ckpt.WriteFileFS(e.fsys(), e.leasePath(), payload)
+}
+
+func (e *Election) fsys() iofault.FS {
+	if e.cfg.FS != nil {
+		return e.cfg.FS
+	}
+	return iofault.OS
 }
 
 // step runs one campaign tick: renew our lease, stand by behind a live

@@ -9,6 +9,8 @@ package fsatomic
 import (
 	"os"
 	"path/filepath"
+
+	"jportal/internal/iofault"
 )
 
 // WriteFile atomically replaces path with data. The temporary file is
@@ -16,8 +18,17 @@ import (
 // fsynced before the rename, and the directory is fsynced after it so the
 // rename itself survives a crash.
 func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return WriteFileFS(iofault.OS, path, data, perm)
+}
+
+// WriteFileFS is WriteFile over an explicit filesystem, so the storage
+// fault injector can sit beneath the atomic commit: every create, write
+// and fsync in the sequence goes through fsys, and a fault at any step
+// leaves the destination untouched (the temp file is removed, the rename
+// never happens).
+func WriteFileFS(fsys iofault.FS, path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	tmp, err := fsys.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
 	if err != nil {
 		return err
 	}
@@ -25,7 +36,7 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 	// Any failure past this point must not leave the temp file behind.
 	cleanup := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
@@ -40,22 +51,15 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 	if err := tmp.Close(); err != nil {
 		return cleanup(err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return err
 	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so a completed rename is durable. Filesystems
-// that cannot fsync a directory (some network mounts) return an error from
-// Sync; the rename itself still happened, so that error is not fatal to
-// atomicity, only to durability — it is still reported.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	// Fsync the parent directory after the rename: without it a crash
+	// immediately after commit can lose the directory entry even though
+	// the inode's data is durable. Filesystems that cannot fsync a
+	// directory (some network mounts) return an error from Sync; the
+	// rename itself still happened, so that error is not fatal to
+	// atomicity, only to durability — it is still reported.
+	return fsys.SyncDir(dir)
 }

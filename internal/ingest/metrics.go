@@ -34,6 +34,11 @@ type Metrics struct {
 
 	RedirectsSent    atomic.Int64 // counter: HELLOs for sessions owned by another fleet node (REDIRECT or typed ERR)
 	SessionsRestored atomic.Int64 // counter: sessions restored from on-disk ingest.state at first attach
+
+	StorageSheds       atomic.Int64 // counter: frames dropped on a disk-level write failure (shed, not poisoned)
+	EnospcSheds        atomic.Int64 // counter: the StorageSheds subset caused by ENOSPC
+	StatePersistErrors atomic.Int64 // counter: ingest.state writes that failed (frame rolled back and shed)
+	DiskFullRejections atomic.Int64 // counter: HELLOs refused BUSY while the full-disk gate is armed
 }
 
 // snapshot returns the counters plus computed gauges as an ordered map,
@@ -62,6 +67,10 @@ func (s *Server) snapshot() map[string]int64 {
 		"state_fallbacks":      m.StateFallbacks.Load(),
 		"redirects_sent":       m.RedirectsSent.Load(),
 		"sessions_restored":    m.SessionsRestored.Load(),
+		"storage_sheds":        m.StorageSheds.Load(),
+		"enospc_sheds":         m.EnospcSheds.Load(),
+		"state_persist_errors": m.StatePersistErrors.Load(),
+		"disk_full_rejections": m.DiskFullRejections.Load(),
 		"queue_depth":          s.queueDepth(),
 		"queued_bytes":         s.queuedBytes.Load(),
 	}

@@ -156,9 +156,8 @@ func TestValidSessionID(t *testing.T) {
 }
 
 func TestParseStateRoundTrip(t *testing.T) {
-	st := sessionState{seq: 9, size: 12345, crc: 0xDEADBEEF, sealed: true}
-	sess := &session{lastAcked: st.seq, size: st.size, crc: st.crc, sealed: st.sealed}
-	body := stateBody(sess)
+	st := SessionState{Seq: 9, Size: 12345, CRC: 0xDEADBEEF, Sealed: true}
+	body := stateBody(st)
 	got, err := parseState(body)
 	if err != nil {
 		t.Fatal(err)

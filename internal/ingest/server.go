@@ -12,11 +12,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"jportal"
 	"jportal/internal/fault"
 	"jportal/internal/fsatomic"
+	"jportal/internal/iofault"
 	"jportal/internal/metrics"
 	"jportal/internal/source"
 	"jportal/internal/streamfmt"
@@ -96,6 +98,11 @@ type Config struct {
 	// the /metrics sidecar). Default: metrics.Default, the process-wide
 	// registry analysis sessions also report to.
 	Registry *metrics.Registry
+	// IOFault, when set, threads every session's storage operations — the
+	// archive stream, program writes aside, and the durable ingest.state —
+	// through the seeded disk-fault injector. Nil (the production default)
+	// leaves the paths pointer-identical to the unfaulted code.
+	IOFault *iofault.Injector
 }
 
 func (c *Config) fill() error {
@@ -143,6 +150,7 @@ type Server struct {
 	metrics Metrics
 
 	queuedBytes atomic.Int64 // payload bytes accepted but not yet archived
+	diskFull    atomic.Bool  // last archive write hit ENOSPC; gates new sessions
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -201,6 +209,21 @@ func NewServer(cfg Config) (*Server, error) {
 	// that exhausted their retry budget.
 	cfg.Registry.Add(metrics.CounterNetfaultInjected, 0)
 	cfg.Registry.Add(metrics.CounterClientRetryBudget, 0)
+	// Storage-durability vocabulary (DESIGN.md §16): injected disk faults
+	// and the scrubber/retention outcomes, pre-declared like the rest.
+	cfg.Registry.Add(metrics.CounterIofaultInjected, 0)
+	for _, c := range iofault.Classes() {
+		cfg.Registry.Add(c.InjectCounterName(), 0)
+	}
+	for _, name := range []string{
+		metrics.CounterScrubSessionsScanned, metrics.CounterScrubBytesVerified,
+		metrics.CounterScrubTornTails, metrics.CounterScrubRefetched,
+		metrics.CounterScrubQuarantined, metrics.CounterScrubReset,
+		metrics.CounterRetentionDeleted, metrics.CounterRetentionBytes,
+		metrics.CounterCompactionRewritten, metrics.CounterCompactionDropped,
+	} {
+		cfg.Registry.Add(name, 0)
+	}
 	srv := &Server{
 		cfg:      cfg,
 		sessions: make(map[string]*session),
@@ -217,6 +240,25 @@ func NewServer(cfg Config) (*Server, error) {
 // Metrics exposes the server's counters (the HTTP sidecar serves the same
 // numbers; tests read them directly).
 func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// SessionBusy reports whether the named session is actively being written
+// in this process — a connection attached, frames queued, or the writer
+// mid-frame. The integrated scrub sweeper skips busy sessions: their
+// in-memory frontier is ahead of what a concurrent verify could see.
+func (s *Server) SessionBusy(id string) bool {
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		return false
+	}
+	if len(sess.queue) > 0 || sess.working.Load() {
+		return true
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.conn != nil
+}
 
 // SetRouter installs (or replaces) the fleet router. Fleet membership is
 // usually established after the listener is up — the advertised address
@@ -551,9 +593,23 @@ func (s *Server) attach(id string, ncores int, src string, cw *connWriter) (*ses
 	}
 	sess := s.sessions[id]
 	if sess == nil {
+		// Full-disk gate, new sessions only: once a write has hit ENOSPC,
+		// admitting more sessions just multiplies the failures, so they get
+		// BUSY until space clears. Existing sessions still attach — their
+		// next archive write is the probe that discovers the disk recovered
+		// (and clears the gate), so a transient ENOSPC cannot lock the
+		// server out forever.
+		if s.diskFull.Load() {
+			s.metrics.DiskFullRejections.Add(1)
+			return nil, &errBusy{"disk full", busyRetryAfter}
+		}
 		var err error
 		sess, err = s.openSession(id, ncores, src)
 		if err != nil {
+			if isStorageErr(err) {
+				s.metrics.DiskFullRejections.Add(1)
+				return nil, &errBusy{"session open failed on storage: " + err.Error(), busyRetryAfter}
+			}
 			return nil, err
 		}
 		s.sessions[id] = sess
@@ -588,8 +644,20 @@ func (s *Server) attach(id string, ncores int, src string, cw *connWriter) (*ses
 		return nil, fmt.Errorf("session %q already has an active connection", id)
 	}
 	sess.conn = cw
+	// Re-sync the reader gate to the durable frontier on every bind: a
+	// storage shed may have dropped a dequeued frame without archiving it,
+	// leaving nextEnqueue pointing past a hole. The client resends from
+	// the HELLO_ACK frontier; the writer-side ordering guard in archive()
+	// de-duplicates anything that was still queued.
+	sess.nextEnqueue = sess.lastAcked + 1
 	s.attached++
 	return sess, nil
+}
+
+// isStorageErr reports whether err is a disk-level failure — real or
+// injected ENOSPC/EIO — as opposed to a validation or protocol error.
+func isStorageErr(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EIO)
 }
 
 // msg is one queued unit of work for a session's writer: a data frame to
@@ -614,19 +682,48 @@ type session struct {
 	processed atomic.Uint64 // frames the writer has fully handled (watchdog progress)
 	working   atomic.Bool   // writer is inside one frame (watchdog activity)
 
-	mu          sync.Mutex
-	conn        *connWriter
-	f           *os.File
-	lastAcked   uint64 // highest sequence archived and flushed
-	nextEnqueue uint64 // next sequence the reader will accept
-	size        int64  // stream.jpt length covered by lastAcked
-	crc         uint32 // running checksum (header + records, pre-seal)
-	sealed      bool
-	haveProgram bool
-	done        bool // FIN acknowledged
-	strikes     int  // circuit-breaker NACK count
-	err         error
+	fsys iofault.FS // storage surface (iofault.OS outside chaos runs)
+
+	mu           sync.Mutex
+	conn         *connWriter
+	f            iofault.File
+	lastAcked    uint64 // highest sequence archived and flushed
+	nextEnqueue  uint64 // next sequence the reader will accept
+	size         int64  // stream.jpt length covered by lastAcked
+	crc          uint32 // running checksum (header + records, pre-seal)
+	sealed       bool
+	haveProgram  bool
+	done         bool // FIN acknowledged
+	strikes      int  // circuit-breaker NACK count
+	persistFails int  // consecutive ingest.state persist failures
+	err          error
 }
+
+// ErrStatePersist is the typed poison cause for a session whose durable
+// frontier repeatedly cannot be written: without ingest.state the
+// persist-before-ACK contract is void, so the session is failed rather
+// than silently continued on a best-effort log line.
+var ErrStatePersist = errors.New("ingest: session state cannot be persisted")
+
+// maxPersistFails is how many consecutive ingest.state failures a session
+// survives (each one sheds the frame and suspends the connection) before
+// it is poisoned with ErrStatePersist.
+const maxPersistFails = 3
+
+// errStaleFrame marks a queued frame the writer must drop silently: its
+// sequence is ahead of the durable frontier because an earlier frame was
+// shed on a storage fault after dequeue. The client re-syncs from
+// HELLO_ACK on reconnect; NACKing here would race that resync.
+var errStaleFrame = errors.New("stale queued frame after storage shed")
+
+// storageError wraps a disk-level archive failure so runWriter sheds the
+// frame and suspends the connection instead of poisoning the session —
+// ENOSPC and transient EIO are the storage analogue of a full queue, not
+// of corrupt input.
+type storageError struct{ err error }
+
+func (e *storageError) Error() string { return e.err.Error() }
+func (e *storageError) Unwrap() error { return e.err }
 
 // testHookArchive, when set by a test, runs in the writer goroutine before
 // each frame is archived — a blocking hook simulates a hung writer. Atomic
@@ -657,26 +754,34 @@ func (s *Server) openSession(id string, ncores int, src string) (*session, error
 		dir:    dir,
 		ncores: ncores,
 		srcID:  src,
+		fsys:   s.cfg.IOFault.FS("ingest:" + id),
 		queue:  make(chan msg, s.cfg.QueueDepth),
 	}
 	if restored, err := sess.restore(); err != nil {
-		return nil, fmt.Errorf("session %q: restoring %s: %v", id, dir, err)
+		return nil, fmt.Errorf("session %q: restoring %s: %w", id, dir, err)
 	} else if restored {
 		s.metrics.SessionsRestored.Add(1)
 		return sess, nil
 	}
-	// Fresh session: chunked archive dir with an empty record stream.
-	if err := jportal.InitChunkedArchiveDirSource(dir, src); err != nil {
+	// Fresh session: chunked archive dir with an empty record stream. A
+	// failure partway leaves a directory with no ingest.state, which
+	// restore() would refuse forever — remove the partial dir so the
+	// client's redial starts clean.
+	fresh := func(err error) (*session, error) {
+		os.RemoveAll(dir)
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, jportal.StreamFileName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err := jportal.InitChunkedArchiveDirFS(dir, src, sess.fsys); err != nil {
+		return fresh(err)
+	}
+	f, err := sess.fsys.OpenFile(filepath.Join(dir, jportal.StreamFileName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, err
+		return fresh(err)
 	}
 	hdr := streamfmt.AppendHeader(nil, ncores)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
-		return nil, err
+		return fresh(err)
 	}
 	sess.f = f
 	sess.crc = crc32.Update(0, crc32.IEEETable, hdr)
@@ -684,7 +789,7 @@ func (s *Server) openSession(id string, ncores int, src string) (*session, error
 	sess.nextEnqueue = 1
 	if err := sess.persistState(); err != nil {
 		f.Close()
-		return nil, err
+		return fresh(err)
 	}
 	return sess, nil
 }
@@ -694,7 +799,7 @@ func (s *Server) openSession(id string, ncores int, src string) (*session, error
 // unacknowledged tail) so the client's resend from resumeSeq+1 recreates
 // it exactly.
 func (sess *session) restore() (bool, error) {
-	raw, err := os.ReadFile(filepath.Join(sess.dir, stateFileName))
+	raw, err := sess.fsys.ReadFile(filepath.Join(sess.dir, stateFileName))
 	if os.IsNotExist(err) {
 		if _, serr := os.Stat(sess.dir); serr == nil {
 			return false, errors.New("directory exists but has no ingest state (not an ingest session?)")
@@ -718,24 +823,24 @@ func (sess *session) restore() (bool, error) {
 		}
 		return false, nil
 	}
-	f, err := os.OpenFile(filepath.Join(sess.dir, jportal.StreamFileName), os.O_WRONLY, 0o644)
+	f, err := sess.fsys.OpenFile(filepath.Join(sess.dir, jportal.StreamFileName), os.O_WRONLY, 0o644)
 	if err != nil {
 		return false, err
 	}
-	if err := f.Truncate(st.size); err != nil {
+	if err := f.Truncate(st.Size); err != nil {
 		f.Close()
 		return false, err
 	}
-	if _, err := f.Seek(st.size, 0); err != nil {
+	if _, err := f.Seek(st.Size, 0); err != nil {
 		f.Close()
 		return false, err
 	}
 	sess.f = f
-	sess.lastAcked = st.seq
-	sess.nextEnqueue = st.seq + 1
-	sess.size = st.size
-	sess.crc = st.crc
-	sess.sealed = st.sealed
+	sess.lastAcked = st.Seq
+	sess.nextEnqueue = st.Seq + 1
+	sess.size = st.Size
+	sess.crc = st.CRC
+	sess.sealed = st.Sealed
 	_, perr := os.Stat(filepath.Join(sess.dir, "program.gob"))
 	sess.haveProgram = perr == nil
 	// The archive header is the durable source of truth for the backend:
@@ -755,17 +860,30 @@ func (sess *session) restore() (bool, error) {
 	return true, nil
 }
 
-type sessionState struct {
-	seq    uint64
-	size   int64
-	crc    uint32
-	sealed bool
+// SessionState is one session's durable frontier — the contents of its
+// ingest.state file. Exported so the scrubber (internal/scrub) can verify
+// an archive against the acknowledged prefix and rewrite the frontier
+// after a repair.
+type SessionState struct {
+	// Seq is the highest acknowledged frame sequence.
+	Seq uint64
+	// Size is the stream.jpt length the acknowledged prefix covers.
+	Size int64
+	// CRC is the running IEEE checksum of that prefix (header + records,
+	// pre-seal).
+	CRC uint32
+	// Sealed records whether the stream's verified seal has been archived.
+	Sealed bool
 }
 
 const stateMagicLine = "jportal-ingest-state"
 
-func parseState(raw string) (sessionState, error) {
-	var st sessionState
+// StateFileName is the per-session durable-frontier file inside a session
+// directory.
+const StateFileName = stateFileName
+
+func parseState(raw string) (SessionState, error) {
+	var st SessionState
 	lines := strings.Split(strings.TrimSpace(raw), "\n")
 	if len(lines) < 4 || strings.TrimSpace(lines[0]) != stateMagicLine {
 		return st, errors.New("malformed ingest state file")
@@ -779,29 +897,45 @@ func parseState(raw string) (sessionState, error) {
 		var err error
 		switch strings.TrimSpace(k) {
 		case "seq":
-			st.seq, err = strconv.ParseUint(v, 10, 64)
+			st.Seq, err = strconv.ParseUint(v, 10, 64)
 		case "bytes":
-			st.size, err = strconv.ParseInt(v, 10, 64)
+			st.Size, err = strconv.ParseInt(v, 10, 64)
 		case "crc":
 			var c uint64
 			c, err = strconv.ParseUint(v, 10, 32)
-			st.crc = uint32(c)
+			st.CRC = uint32(c)
 		case "sealed":
-			st.sealed, err = strconv.ParseBool(v)
+			st.Sealed, err = strconv.ParseBool(v)
 		}
 		if err != nil {
 			return st, fmt.Errorf("bad ingest state %s: %v", strings.TrimSpace(k), err)
 		}
 	}
-	if st.size < streamfmt.HeaderLen {
-		return st, fmt.Errorf("ingest state covers %d bytes, less than a stream header", st.size)
+	if st.Size < streamfmt.HeaderLen {
+		return st, fmt.Errorf("ingest state covers %d bytes, less than a stream header", st.Size)
 	}
 	return st, nil
 }
 
-func stateBody(sess *session) string {
+func stateBody(st SessionState) string {
 	return fmt.Sprintf("%s\nseq: %d\nbytes: %d\ncrc: %d\nsealed: %v\n",
-		stateMagicLine, sess.lastAcked, sess.size, sess.crc, sess.sealed)
+		stateMagicLine, st.Seq, st.Size, st.CRC, st.Sealed)
+}
+
+// ReadSessionState reads and parses a session directory's ingest.state.
+// Missing-file errors pass through unwrapped (os.IsNotExist works).
+func ReadSessionState(dir string) (SessionState, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, stateFileName))
+	if err != nil {
+		return SessionState{}, err
+	}
+	return parseState(string(raw))
+}
+
+// WriteSessionState crash-atomically replaces a session directory's
+// ingest.state — the scrubber uses it to commit a repaired frontier.
+func WriteSessionState(dir string, st SessionState) error {
+	return fsatomic.WriteFile(filepath.Join(dir, stateFileName), []byte(stateBody(st)), 0o644)
 }
 
 // persistState records the acknowledged frontier, crash-atomically (temp +
@@ -809,7 +943,8 @@ func stateBody(sess *session) string {
 // never a torn one. Called with sess.mu held (or before the session is
 // shared). A restarted server resumes from here.
 func (sess *session) persistState() error {
-	return fsatomic.WriteFile(filepath.Join(sess.dir, stateFileName), []byte(stateBody(sess)), 0o644)
+	st := SessionState{Seq: sess.lastAcked, Size: sess.size, CRC: sess.crc, Sealed: sess.sealed}
+	return fsatomic.WriteFileFS(sess.fsys, filepath.Join(sess.dir, stateFileName), []byte(stateBody(st)), 0o644)
 }
 
 func (sess *session) ackedSeq() uint64 {
@@ -836,6 +971,12 @@ func (sess *session) detach(cw *connWriter) {
 func (sess *session) shed(cw *connWriter, wantSeq uint64) bool {
 	sess.srv.metrics.Nacks.Add(1)
 	cw.send(FrameNack, AppendSeq(nil, wantSeq))
+	return sess.strike()
+}
+
+// strike applies one circuit-breaker strike; past the budget the session
+// is poisoned. The return value says whether the session is still alive.
+func (sess *session) strike() bool {
 	n := sess.srv.cfg.BreakerNacks
 	if n <= 0 {
 		return true
@@ -939,8 +1080,18 @@ func (sess *session) runWriter() {
 		if m.typ == FrameFin {
 			sess.finish(m.seq)
 		} else if err := sess.archive(m); err != nil {
-			sess.srv.quarantineErr(err)
-			sess.rejectAndPoison(m, err)
+			var storage *storageError
+			switch {
+			case errors.Is(err, errStaleFrame):
+				// Dropped silently: an earlier frame in this queue was shed
+				// on a storage fault, so this one is ahead of the durable
+				// frontier. The client re-syncs from HELLO_ACK on reconnect.
+			case errors.As(err, &storage):
+				sess.storageShed(err)
+			default:
+				sess.srv.quarantineErr(err)
+				sess.rejectAndPoison(m, err)
+			}
 		}
 		sess.srv.queuedBytes.Add(-int64(len(m.data)))
 		sess.processed.Add(1)
@@ -957,12 +1108,74 @@ func (sess *session) runWriter() {
 	}
 }
 
+// storageShed is the graceful-degradation path for a disk-level archive
+// failure: the frame is dropped (never acknowledged — the durable frontier
+// did not move), the breaker takes a strike, and the connection is closed
+// so the client backs off, redials, and resends from the frontier against
+// a disk that may have recovered. ENOSPC additionally arms the full-disk
+// admission gate.
+func (sess *session) storageShed(err error) {
+	sess.srv.metrics.StorageSheds.Add(1)
+	if errors.Is(err, syscall.ENOSPC) {
+		sess.srv.metrics.EnospcSheds.Add(1)
+		sess.srv.diskFull.Store(true)
+	}
+	sess.srv.cfg.Logf("ingest: session %q: storage fault, shedding frame: %v", sess.id, err)
+	if !sess.strike() {
+		return // poisoned by the breaker; poison already closed the conn
+	}
+	sess.mu.Lock()
+	conn := sess.conn
+	sess.mu.Unlock()
+	if conn != nil {
+		conn.c.Close()
+	}
+}
+
+// rollback discards an un-acknowledged partial append (a torn write's
+// landed prefix) by truncating the stream back to the committed frontier.
+// A rollback that itself fails is fatal: the file no longer matches the
+// durable state, so the session must not continue.
+func (sess *session) rollback(f iofault.File, size int64) error {
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	_, err := f.Seek(size, 0)
+	return err
+}
+
 // archive validates and appends one data frame, then advances the
 // acknowledged frontier.
 func (sess *session) archive(m msg) error {
+	// Writer-side ordering guard: after a storage shed the queue can hold
+	// frames past the hole, and after a reconnect it can hold duplicates
+	// of frames already archived. The durable frontier arbitrates both.
+	sess.mu.Lock()
+	switch {
+	case m.seq <= sess.lastAcked:
+		acked := sess.lastAcked
+		conn := sess.conn
+		sess.mu.Unlock()
+		sess.srv.metrics.Duplicates.Add(1)
+		if conn != nil {
+			conn.send(FrameAck, AppendSeq(nil, acked))
+		}
+		return nil
+	case m.seq != sess.lastAcked+1:
+		sess.mu.Unlock()
+		return errStaleFrame
+	}
+	// Pre-frame frontier, for rolling the frame back if its state persist
+	// fails after the bytes were appended.
+	pre := SessionState{Seq: sess.lastAcked, Size: sess.size, CRC: sess.crc, Sealed: sess.sealed}
+	sess.mu.Unlock()
+
 	switch m.typ {
 	case FrameProgram:
-		if err := jportal.WriteArchiveProgram(sess.dir, m.data); err != nil {
+		if err := jportal.WriteArchiveProgramFS(sess.dir, m.data, sess.fsys); err != nil {
+			if isStorageErr(err) {
+				return &storageError{err}
+			}
 			return err
 		}
 		sess.mu.Lock()
@@ -998,12 +1211,21 @@ func (sess *session) archive(m msg) error {
 		}
 		sess.mu.Lock()
 		f := sess.f
+		size := sess.size
 		sess.mu.Unlock()
 		if f == nil {
 			return errors.New("session archive already closed")
 		}
 		if _, err := f.Write(m.data); err != nil {
-			return err
+			if !isStorageErr(err) {
+				return err
+			}
+			// A torn write may have landed a prefix; roll the file back to
+			// the committed frontier so a resend appends cleanly.
+			if rerr := sess.rollback(f, size); rerr != nil {
+				return fmt.Errorf("storage fault (%v), then rollback failed: %w", err, rerr)
+			}
+			return &storageError{err}
 		}
 		sess.mu.Lock()
 		sess.size += int64(len(m.data))
@@ -1020,16 +1242,36 @@ func (sess *session) archive(m msg) error {
 	sess.mu.Lock()
 	sess.lastAcked = m.seq
 	err := sess.persistState()
-	conn := sess.conn
-	acked := sess.lastAcked
-	sess.mu.Unlock()
 	if err != nil {
-		return err
+		// Persist-before-ACK must hold: an acknowledged frame whose state
+		// never landed would be lost by the next restore. Roll the whole
+		// frame back — frontier and, for a chunk, the appended bytes — and
+		// shed it instead; the client's resend replays it cleanly.
+		sess.lastAcked, sess.size, sess.crc, sess.sealed = pre.Seq, pre.Size, pre.CRC, pre.Sealed
+		var rerr error
+		if m.typ == FrameChunk {
+			rerr = sess.rollback(sess.f, pre.Size)
+		}
+		sess.persistFails++
+		fails := sess.persistFails
+		sess.mu.Unlock()
+		sess.srv.metrics.StatePersistErrors.Add(1)
+		if rerr != nil {
+			return fmt.Errorf("%w: %v; rollback failed: %v", ErrStatePersist, err, rerr)
+		}
+		if fails >= maxPersistFails {
+			return fmt.Errorf("%w: %d consecutive failures, last: %v", ErrStatePersist, fails, err)
+		}
+		return &storageError{fmt.Errorf("persisting ingest.state: %w", err)}
 	}
+	conn := sess.conn
+	sess.persistFails = 0
+	sess.mu.Unlock()
+	sess.srv.diskFull.Store(false)
 	sess.srv.metrics.ChunksIngested.Add(1)
 	sess.srv.metrics.BytesIngested.Add(int64(len(m.data)))
 	if conn != nil {
-		conn.send(FrameAck, AppendSeq(nil, acked))
+		conn.send(FrameAck, AppendSeq(nil, m.seq))
 	}
 	return nil
 }

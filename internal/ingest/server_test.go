@@ -29,6 +29,7 @@ import (
 	"jportal/internal/fault"
 	"jportal/internal/ingest"
 	"jportal/internal/ingest/client"
+	"jportal/internal/iofault"
 	"jportal/internal/pt"
 	"jportal/internal/streamfmt"
 	"jportal/internal/vm"
@@ -895,6 +896,11 @@ func TestMetricsExposeFaultCounters(t *testing.T) {
 			t.Errorf("metrics missing %q", fault.QuarantineCounterName(r))
 		}
 	}
+	for _, c := range iofault.Classes() {
+		if _, ok := m[c.InjectCounterName()]; !ok {
+			t.Errorf("metrics missing %q", c.InjectCounterName())
+		}
+	}
 	for _, key := range []string{
 		"sessions_quarantined", "records_corrupt", "records_torn",
 		// Robustness-layer counters and gauges (DESIGN.md §11): pre-declared
@@ -908,6 +914,16 @@ func TestMetricsExposeFaultCounters(t *testing.T) {
 		// Control-plane resilience counters (DESIGN.md §15): injected
 		// network faults and clients that ran out of retry budget.
 		"netfault_injected_total", "client_retry_budget_exhausted",
+		// Storage-durability counters (DESIGN.md §16): injected disk
+		// faults, the graceful-degradation write path, and the scrubber
+		// and retention/compaction outcomes.
+		"iofault_injected_total", "storage_sheds", "enospc_sheds",
+		"state_persist_errors", "disk_full_rejections",
+		"scrub_sessions_scanned", "scrub_bytes_verified",
+		"scrub_torn_tails_repaired", "scrub_sessions_refetched",
+		"scrub_sessions_quarantined", "scrub_sessions_reset",
+		"retention_sessions_deleted", "retention_bytes_reclaimed",
+		"compaction_archives_rewritten", "compaction_records_dropped",
 	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("metrics missing %q", key)

@@ -42,6 +42,43 @@ const (
 	// pusher's connect-level retry budget — shared across dial failures,
 	// BUSY refusals, REDIRECT hops and reconnects — ran out.
 	CounterClientRetryBudget = "client_retry_budget_exhausted"
+	// CounterIofaultInjected counts storage faults the iofault layer
+	// injected (ENOSPC, EIO, torn writes, slow I/O), all classes summed;
+	// per-class counts live under "iofault_injected_<class>".
+	CounterIofaultInjected = "iofault_injected_total"
+)
+
+// Storage-durability counter names (DESIGN.md §16): the scrubber's scan
+// and repair outcomes and the retention/compaction reclaim accounting.
+const (
+	// CounterScrubSessionsScanned counts sessions the scrubber examined.
+	CounterScrubSessionsScanned = "scrub_sessions_scanned"
+	// CounterScrubBytesVerified counts archive bytes re-verified against
+	// record framing and CRC seals.
+	CounterScrubBytesVerified = "scrub_bytes_verified"
+	// CounterScrubTornTails counts archives repaired by truncating a torn
+	// tail back to the last valid record boundary.
+	CounterScrubTornTails = "scrub_torn_tails_repaired"
+	// CounterScrubRefetched counts sessions restored by re-fetching a
+	// sealed copy from the owning fleet node over the ingest protocol.
+	CounterScrubRefetched = "scrub_sessions_refetched"
+	// CounterScrubQuarantined counts sessions the scrubber moved into the
+	// quarantine directory as unrepairable.
+	CounterScrubQuarantined = "scrub_sessions_quarantined"
+	// CounterScrubReset counts partial uploads the scrubber reset to the
+	// archive header so the pusher restarts the session from scratch.
+	CounterScrubReset = "scrub_sessions_reset"
+	// CounterRetentionDeleted counts sessions removed by the age/quota
+	// retention policy.
+	CounterRetentionDeleted = "retention_sessions_deleted"
+	// CounterRetentionBytes counts bytes reclaimed by retention deletes.
+	CounterRetentionBytes = "retention_bytes_reclaimed"
+	// CounterCompactionRewritten counts sealed archives rewritten by
+	// compaction.
+	CounterCompactionRewritten = "compaction_archives_rewritten"
+	// CounterCompactionDropped counts records compaction dropped
+	// (duplicates, undecodable spans, post-seal trailing garbage).
+	CounterCompactionDropped = "compaction_records_dropped"
 )
 
 // Add increments the named counter by delta (registering it at zero first

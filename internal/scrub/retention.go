@@ -1,0 +1,224 @@
+package scrub
+
+// Retention: the per-data-dir age and quota policy. Old finished sessions
+// are deleted first by age, then oldest-first until the dir fits the byte
+// quota. Unsealed sessions that are not yet stale are never deleted by
+// quota — killing a live upload to make room would turn backpressure
+// into data loss; the ingest layer's ENOSPC shed path handles a full
+// disk gracefully instead.
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"jportal"
+	"jportal/internal/ingest"
+	"jportal/internal/metrics"
+	"jportal/internal/streamfmt"
+)
+
+// RetentionPolicy bounds a data dir.
+type RetentionPolicy struct {
+	// MaxAge deletes finished (or quarantined) sessions whose newest file
+	// is older than this. 0 = no age limit.
+	MaxAge time.Duration
+	// MaxBytes caps the data dir's total size; oldest finished sessions
+	// are deleted until it fits. 0 = no quota.
+	MaxBytes int64
+	// Busy, when set, protects sessions attached to a live server.
+	Busy func(id string) bool
+	// Now anchors age computation (zero = time.Now()).
+	Now time.Time
+}
+
+// RetentionStats summarises one retention pass.
+type RetentionStats struct {
+	Deleted        int
+	BytesReclaimed int64
+	// Kept is the surviving byte total (sessions + quarantine).
+	Kept int64
+}
+
+// retEntry is one deletable unit: a session dir or a quarantined one.
+type retEntry struct {
+	path        string
+	id          string
+	bytes       int64
+	mtime       time.Time
+	quarantined bool
+	sealed      bool
+}
+
+// ApplyRetention enforces pol over dataDir. reg receives the retention_*
+// counters (nil = metrics.Default); logf one line per deletion (nil =
+// silent).
+func ApplyRetention(dataDir string, pol RetentionPolicy, reg *metrics.Registry, logf func(format string, args ...any)) (RetentionStats, error) {
+	var st RetentionStats
+	if reg == nil {
+		reg = metrics.Default
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if pol.Now.IsZero() {
+		pol.Now = time.Now()
+	}
+	entries, err := collectRetention(dataDir)
+	if err != nil {
+		return st, err
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.bytes
+	}
+	remove := func(e retEntry, why string) {
+		if err := os.RemoveAll(e.path); err != nil {
+			logf("retention: %s: %v", e.path, err)
+			return
+		}
+		st.Deleted++
+		st.BytesReclaimed += e.bytes
+		total -= e.bytes
+		reg.Add(metrics.CounterRetentionDeleted, 1)
+		reg.Add(metrics.CounterRetentionBytes, e.bytes)
+		logf("retention: deleted %s (%d bytes, %s)", e.path, e.bytes, why)
+	}
+	deletable := func(e retEntry) bool {
+		if e.quarantined {
+			return true // damage, already preserved in the ledger
+		}
+		if pol.Busy != nil && pol.Busy(e.id) {
+			return false
+		}
+		return true
+	}
+
+	// Age first: anything old enough goes, sealed or not — an upload idle
+	// past MaxAge is abandoned, not live.
+	kept := entries[:0]
+	for _, e := range entries {
+		if pol.MaxAge > 0 && pol.Now.Sub(e.mtime) > pol.MaxAge && deletable(e) {
+			remove(e, "age")
+			continue
+		}
+		kept = append(kept, e)
+	}
+	entries = kept
+
+	// Then the quota, oldest first. Quarantined entries go before healthy
+	// ones of the same age; unsealed (possibly resuming) sessions only as
+	// the last resort — and only when the Busy hook clears them.
+	if pol.MaxBytes > 0 && total > pol.MaxBytes {
+		sort.SliceStable(entries, func(i, j int) bool {
+			if entries[i].quarantined != entries[j].quarantined {
+				return entries[i].quarantined
+			}
+			if entries[i].sealed != entries[j].sealed {
+				return entries[i].sealed
+			}
+			return entries[i].mtime.Before(entries[j].mtime)
+		})
+		for _, e := range entries {
+			if total <= pol.MaxBytes {
+				break
+			}
+			if !deletable(e) {
+				continue
+			}
+			if !e.quarantined && !e.sealed {
+				// A live-looking upload: spare it unless it is the only
+				// thing left to cut — and even then, only via MaxAge.
+				continue
+			}
+			remove(e, "quota")
+		}
+	}
+	st.Kept = total
+	return st, nil
+}
+
+// collectRetention enumerates the deletable units under dataDir.
+func collectRetention(dataDir string) ([]retEntry, error) {
+	var out []retEntry
+	top, err := os.ReadDir(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	add := func(path, id string, quarantined bool) {
+		e := retEntry{path: path, id: id, quarantined: quarantined}
+		e.bytes, e.mtime = dirSizeMtime(path)
+		e.sealed = sessionSealed(path)
+		out = append(out, e)
+	}
+	for _, d := range top {
+		if !d.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(d.Name(), ".") {
+			if d.Name() != QuarantineDirName {
+				continue
+			}
+			qs, err := os.ReadDir(filepath.Join(dataDir, QuarantineDirName))
+			if err != nil {
+				continue
+			}
+			for _, q := range qs {
+				if q.IsDir() {
+					add(filepath.Join(dataDir, QuarantineDirName, q.Name()), q.Name(), true)
+				}
+			}
+			continue
+		}
+		add(filepath.Join(dataDir, d.Name()), d.Name(), false)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out, nil
+}
+
+// dirSizeMtime sums a session dir's file sizes and newest mtime.
+func dirSizeMtime(dir string) (int64, time.Time) {
+	var bytes int64
+	var newest time.Time
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, newest
+	}
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil || fi.IsDir() {
+			continue
+		}
+		bytes += fi.Size()
+		if fi.ModTime().After(newest) {
+			newest = fi.ModTime()
+		}
+	}
+	return bytes, newest
+}
+
+// sessionSealed reports whether a session looks finished: its durable
+// frontier says sealed, or (stateless local archives) its stream ends in
+// a seal record.
+func sessionSealed(dir string) bool {
+	if st, err := ingest.ReadSessionState(dir); err == nil {
+		return st.Sealed
+	}
+	f, err := os.Open(filepath.Join(dir, jportal.StreamFileName))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil || fi.Size() < streamfmt.HeaderLen+5 {
+		return false
+	}
+	var tail [5]byte
+	if _, err := f.ReadAt(tail[:], fi.Size()-5); err != nil {
+		return false
+	}
+	_, ok := streamfmt.SealCRC(tail[:])
+	return ok
+}

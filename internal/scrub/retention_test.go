@@ -1,0 +1,147 @@
+package scrub
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"jportal/internal/metrics"
+)
+
+// touch backdates every file in a session dir so retention sees it aged.
+func touch(t *testing.T, dir string, at time.Time) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := os.Chtimes(filepath.Join(dir, e.Name()), at, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func dirExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func TestRetentionDeletesByAge(t *testing.T) {
+	dataDir := t.TempDir()
+	gob := testProgramGob(t)
+	stream := buildStream(t, 1, 4)
+	now := time.Now()
+	old := writeSession(t, dataDir, "old", gob, stream, 6, int64(len(stream)), true)
+	fresh := writeSession(t, dataDir, "fresh", gob, stream, 6, int64(len(stream)), true)
+	touch(t, old, now.Add(-3*time.Hour))
+	touch(t, fresh, now.Add(-10*time.Minute))
+
+	st, err := ApplyRetention(dataDir, RetentionPolicy{MaxAge: time.Hour, Now: now}, metrics.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted != 1 || dirExists(old) || !dirExists(fresh) {
+		t.Fatalf("deleted=%d oldExists=%v freshExists=%v", st.Deleted, dirExists(old), dirExists(fresh))
+	}
+	if st.BytesReclaimed <= 0 {
+		t.Fatal("no bytes reclaimed")
+	}
+}
+
+func TestRetentionQuotaOrdering(t *testing.T) {
+	dataDir := t.TempDir()
+	gob := testProgramGob(t)
+	stream := buildStream(t, 1, 6)
+	now := time.Now()
+
+	// Quarantined damage goes first, then the oldest sealed session; an
+	// unsealed (possibly-resuming) upload survives the quota even though it
+	// is the oldest entry of all.
+	sealedOld := writeSession(t, dataDir, "sealed-old", gob, stream, 8, int64(len(stream)), true)
+	sealedNew := writeSession(t, dataDir, "sealed-new", gob, stream, 8, int64(len(stream)), true)
+	unsealed := writeSession(t, dataDir, "unsealed", gob, stream[:len(stream)-5], 0, 0, false)
+	qdir := filepath.Join(dataDir, QuarantineDirName)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	quarantined := writeSession(t, qdir, "rotten", gob, stream, 8, int64(len(stream)), true)
+
+	touch(t, unsealed, now.Add(-50*time.Minute))
+	touch(t, sealedOld, now.Add(-40*time.Minute))
+	touch(t, quarantined, now.Add(-30*time.Minute))
+	touch(t, sealedNew, now.Add(-10*time.Minute))
+
+	size := func(dir string) int64 { b, _ := dirSizeMtime(dir); return b }
+	total := size(sealedOld) + size(sealedNew) + size(unsealed) + size(quarantined)
+	// Budget for exactly the two survivors we expect (sealed-new, unsealed):
+	// freeing the quarantined entry alone is not enough, so the oldest
+	// sealed session must go too.
+	budget := total - size(quarantined) - size(sealedOld)
+
+	st, err := ApplyRetention(dataDir, RetentionPolicy{MaxBytes: budget, Now: now}, metrics.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirExists(quarantined) {
+		t.Fatal("quarantined entry not deleted first")
+	}
+	if dirExists(sealedOld) {
+		t.Fatal("oldest sealed session survived the quota")
+	}
+	if !dirExists(sealedNew) || !dirExists(unsealed) {
+		t.Fatalf("wrong survivors: sealedNew=%v unsealed=%v", dirExists(sealedNew), dirExists(unsealed))
+	}
+	if st.Deleted != 2 || st.Kept > budget {
+		t.Fatalf("stats = %+v (budget %d)", st, budget)
+	}
+}
+
+func TestRetentionSparesBusySessions(t *testing.T) {
+	dataDir := t.TempDir()
+	gob := testProgramGob(t)
+	stream := buildStream(t, 1, 4)
+	now := time.Now()
+	dir := writeSession(t, dataDir, "live", gob, stream, 6, int64(len(stream)), true)
+	touch(t, dir, now.Add(-24*time.Hour))
+
+	st, err := ApplyRetention(dataDir, RetentionPolicy{
+		MaxAge: time.Hour,
+		Busy:   func(id string) bool { return id == "live" },
+		Now:    now,
+	}, metrics.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted != 0 || !dirExists(dir) {
+		t.Fatal("retention deleted a busy session")
+	}
+}
+
+func TestSweeperRepairsOnSweep(t *testing.T) {
+	dataDir := t.TempDir()
+	stream := buildStream(t, 1, 4)
+	img := append(append([]byte(nil), stream...), 0x01, 0x02, 0x03)
+	dir := writeSession(t, dataDir, "torn", testProgramGob(t), img, 6, int64(len(stream)), true)
+
+	s := StartSweeper(SweeperConfig{
+		Interval: time.Hour, // ticks never fire in-test; Sweep() is called directly
+		Scrub: Config{
+			DataDir:  dataDir,
+			MinIdle:  time.Nanosecond, // the session was just written; don't skip it
+			Registry: metrics.NewRegistry(),
+		},
+	})
+	defer s.Stop()
+	s.Sweep()
+
+	rep, runs := s.Last()
+	if runs != 1 || rep == nil || rep.TornRepaired != 1 {
+		t.Fatalf("runs=%d rep=%+v", runs, rep)
+	}
+	got := streamBytes(t, dir)
+	if len(got) != len(stream) {
+		t.Fatalf("stream is %d bytes after sweep, want %d", len(got), len(stream))
+	}
+}

@@ -1,0 +1,117 @@
+package scrub
+
+// The background sweeper: jportal serve (and the coordinator) run one of
+// these next to the ingest server. Each tick scrubs the data dir in
+// repair mode, then applies the retention policy. Busy sessions are
+// skipped via the server's own SessionBusy, so the sweeper never races a
+// live writer.
+
+import (
+	"sync"
+	"time"
+)
+
+// SweeperConfig configures the background sweep.
+type SweeperConfig struct {
+	// Interval between sweeps (0 = 5 minutes).
+	Interval time.Duration
+	// Scrub is the per-sweep scrub configuration; Repair is forced on and
+	// MinIdle defaults to Interval/2 (a session untouched for half an
+	// interval has no writer the Busy hook missed).
+	Scrub Config
+	// Retention is applied after each scrub; Now is stamped per sweep.
+	// The zero policy disables retention.
+	Retention RetentionPolicy
+	// Logf receives one summary line per sweep (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Sweeper is a running background sweep loop.
+type Sweeper struct {
+	cfg  SweeperConfig
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu    sync.Mutex
+	last  *Report
+	runs  int
+	rstat RetentionStats
+}
+
+// StartSweeper launches the sweep loop. Stop tears it down.
+func StartSweeper(cfg SweeperConfig) *Sweeper {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Minute
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	cfg.Scrub.Repair = true
+	if cfg.Scrub.MinIdle == 0 {
+		cfg.Scrub.MinIdle = cfg.Interval / 2
+	}
+	if cfg.Retention.Busy == nil {
+		cfg.Retention.Busy = cfg.Scrub.Busy
+	}
+	s := &Sweeper{cfg: cfg, stop: make(chan struct{})}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *Sweeper) loop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Sweep()
+		}
+	}
+}
+
+// Sweep runs one scrub+retention pass immediately (the loop calls it per
+// tick; tests and the CLI call it directly).
+func (s *Sweeper) Sweep() {
+	rep, err := Run(s.cfg.Scrub)
+	if err != nil {
+		s.cfg.Logf("scrub sweep: %v", err)
+		return
+	}
+	var rstat RetentionStats
+	if s.cfg.Retention.MaxAge > 0 || s.cfg.Retention.MaxBytes > 0 {
+		pol := s.cfg.Retention
+		pol.Now = time.Now()
+		rstat, err = ApplyRetention(s.cfg.Scrub.DataDir, pol, s.cfg.Scrub.Registry, s.cfg.Logf)
+		if err != nil {
+			s.cfg.Logf("retention sweep: %v", err)
+		}
+	}
+	s.mu.Lock()
+	s.last, s.runs = rep, s.runs+1
+	s.rstat.Deleted += rstat.Deleted
+	s.rstat.BytesReclaimed += rstat.BytesReclaimed
+	s.mu.Unlock()
+	if rep.Damaged > 0 || rstat.Deleted > 0 {
+		s.cfg.Logf("sweep: %d sessions scanned, %d damaged (%d truncated, %d refetched, %d reset, %d quarantined), retention deleted %d (%d bytes)",
+			rep.Scanned, rep.Damaged, rep.TornRepaired, rep.Refetched, rep.Reset, rep.Quarantined,
+			rstat.Deleted, rstat.BytesReclaimed)
+	}
+}
+
+// Last returns the most recent sweep's report (nil before the first) and
+// how many sweeps have run.
+func (s *Sweeper) Last() (*Report, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last, s.runs
+}
+
+// Stop halts the loop and waits for an in-flight sweep to finish.
+func (s *Sweeper) Stop() {
+	close(s.stop)
+	s.wg.Wait()
+}

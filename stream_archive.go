@@ -17,6 +17,7 @@ import (
 	"jportal/internal/bytecode"
 	"jportal/internal/core"
 	"jportal/internal/fault"
+	"jportal/internal/iofault"
 	"jportal/internal/meta"
 	"jportal/internal/metrics"
 	"jportal/internal/source"
@@ -57,7 +58,7 @@ var ErrStreamPending = errors.New("jportal: stream archive has no complete next 
 // RunWithSink. Methods record the first error and turn later calls into
 // no-ops; Drain and Seal report it.
 type StreamArchiveWriter struct {
-	f   *os.File
+	f   iofault.File
 	bw  *bufio.Writer
 	enc *streamfmt.Encoder
 	err error
@@ -76,10 +77,17 @@ func InitChunkedArchiveDir(dir string) error {
 // records the source ID so readers decode the chunks with the right
 // backend.
 func InitChunkedArchiveDirSource(dir, srcID string) error {
+	return InitChunkedArchiveDirFS(dir, srcID, iofault.OS)
+}
+
+// InitChunkedArchiveDirFS is InitChunkedArchiveDirSource with the header
+// write routed through fsys, so a fault injector covering the archive
+// directory also covers its creation.
+func InitChunkedArchiveDirFS(dir, srcID string, fsys iofault.FS) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return writeArchiveMeta(dir, LayoutChunked, srcID)
+	return writeArchiveMetaFS(fsys, dir, LayoutChunked, srcID)
 }
 
 // WriteArchiveProgram validates that programGob decodes to a well-formed
@@ -87,6 +95,14 @@ func InitChunkedArchiveDirSource(dir, srcID string) error {
 // uses it to persist the program bytes a client relayed, byte-identical to
 // the client's local archive.
 func WriteArchiveProgram(dir string, programGob []byte) error {
+	return WriteArchiveProgramFS(dir, programGob, iofault.OS)
+}
+
+// WriteArchiveProgramFS is WriteArchiveProgram with the write routed
+// through fsys: the ingest server persists relayed program bytes on the
+// same faultable path as the record stream, so an injected ENOSPC here is
+// shed and retried like any other storage fault.
+func WriteArchiveProgramFS(dir string, programGob []byte, fsys iofault.FS) error {
 	var prog bytecode.Program
 	if err := gob.NewDecoder(bytes.NewReader(programGob)).Decode(&prog); err != nil {
 		return fmt.Errorf("jportal: program bytes do not decode: %w", err)
@@ -94,7 +110,7 @@ func WriteArchiveProgram(dir string, programGob []byte) error {
 	if err := bytecode.Verify(&prog); err != nil {
 		return fmt.Errorf("jportal: relayed program invalid: %w", err)
 	}
-	return os.WriteFile(filepath.Join(dir, "program.gob"), programGob, 0o644)
+	return writeFileFS(fsys, filepath.Join(dir, "program.gob"), programGob)
 }
 
 // CreateStreamArchive creates dir as a chunked run archive: header,
@@ -108,19 +124,32 @@ func CreateStreamArchive(dir string, prog *bytecode.Program, snap *meta.Snapshot
 // CreateStreamArchiveSource is CreateStreamArchive for a run collected by
 // the named trace source ("" = the default, Intel PT).
 func CreateStreamArchiveSource(dir string, prog *bytecode.Program, snap *meta.Snapshot, ncores int, srcID string) (*StreamArchiveWriter, error) {
+	return CreateStreamArchiveFS(dir, prog, snap, ncores, srcID, iofault.OS)
+}
+
+// CreateStreamArchiveFS is CreateStreamArchiveSource with every write —
+// header, program, and the record stream itself — routed through fsys.
+// Passing iofault.OS (what the non-FS constructors do) touches the real
+// filesystem directly; passing an injector-scoped FS makes the whole local
+// collection path draw from one deterministic fault stream, which is how
+// jportal chaos -disk exercises the writer.
+func CreateStreamArchiveFS(dir string, prog *bytecode.Program, snap *meta.Snapshot, ncores int, srcID string, fsys iofault.FS) (*StreamArchiveWriter, error) {
 	if ncores <= 0 {
 		return nil, fmt.Errorf("jportal: stream archive needs at least one core, got %d", ncores)
+	}
+	if fsys == nil {
+		fsys = iofault.OS
 	}
 	if _, err := source.Lookup(srcID); err != nil {
 		return nil, fmt.Errorf("jportal: %w", err)
 	}
-	if err := InitChunkedArchiveDirSource(dir, srcID); err != nil {
+	if err := InitChunkedArchiveDirFS(dir, srcID, fsys); err != nil {
 		return nil, err
 	}
-	if err := writeGob(filepath.Join(dir, "program.gob"), prog); err != nil {
+	if err := writeGobFS(fsys, filepath.Join(dir, "program.gob"), prog); err != nil {
 		return nil, err
 	}
-	f, err := os.Create(filepath.Join(dir, StreamFileName))
+	f, err := fsys.OpenFile(filepath.Join(dir, StreamFileName), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
